@@ -1,0 +1,288 @@
+(* Bechamel micro-benchmarks: one Test per table/figure of the paper
+   (kernel-level, at sizes that settle in milliseconds), plus ablations
+   for the design choices DESIGN.md calls out (strength reduction,
+   algorithm variants, cache-aware passes, kernel specialization).
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Xpose_core
+module S = Storage.Float64
+module A = Instances.F64
+module Mkl = Xpose_baselines.Mkl_like.Make (S)
+module Gus = Xpose_baselines.Gustavson.Make (S)
+module Cache = Xpose_cpu.Cache_aware.Make (S)
+module ConvAos = Xpose_simd.Aos.Make (S)
+
+let f64_iota len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+(* Each staged closure re-runs on the same buffer; a transpose followed by
+   its inverse leaves the buffer unchanged, keeping runs identical. *)
+
+let bench_m = 311
+let bench_n = 217
+
+let roundtrip_pair name fwd bwd =
+  let buf = f64_iota (bench_m * bench_n) in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         fwd buf;
+         bwd buf))
+
+(* -- Table 1 / Figure 3: CPU implementations ---------------------------- *)
+
+let table1_tests =
+  let p = Plan.make ~m:bench_m ~n:bench_n in
+  let tmp () = S.create (Plan.scratch_elements p) in
+  let t1 = tmp () in
+  Test.make_grouped ~name:"table1_cpu"
+    [
+      roundtrip_pair "mkl_like_cycle_leader"
+        (fun buf -> Mkl.imatcopy ~rows:bench_m ~cols:bench_n buf)
+        (fun buf -> Mkl.imatcopy ~rows:bench_n ~cols:bench_m buf);
+      roundtrip_pair "c2r_f64_kernels"
+        (fun buf -> Kernels_f64.c2r p buf ~tmp:t1)
+        (fun buf -> Kernels_f64.r2c p buf ~tmp:t1);
+      roundtrip_pair "c2r_generic_functor"
+        (fun buf -> A.c2r p buf ~tmp:t1)
+        (fun buf -> A.r2c p buf ~tmp:t1);
+      roundtrip_pair "gustavson_tiled"
+        (fun buf -> Gus.transpose ~m:bench_m ~n:bench_n buf)
+        (fun buf -> Gus.transpose ~m:bench_n ~n:bench_m buf);
+    ]
+
+(* -- Table 2 / Figure 6: GPU cost model --------------------------------- *)
+
+let cfg = Xpose_simd_machine.Config.k20c
+
+let table2_tests =
+  Test.make_grouped ~name:"table2_gpu_model"
+    [
+      Test.make ~name:"sung_float"
+        (Staged.stage (fun () ->
+             ignore (Xpose_simd.Sung_gpu.cost cfg ~elt_bytes:4 ~m:4099 ~n:9013)));
+      Test.make ~name:"c2r_float"
+        (Staged.stage (fun () ->
+             ignore
+               (Xpose_simd.Gpu_transpose.auto cfg ~elt_bytes:4 ~m:4099 ~n:9013)));
+      Test.make ~name:"c2r_double"
+        (Staged.stage (fun () ->
+             ignore
+               (Xpose_simd.Gpu_transpose.auto cfg ~elt_bytes:8 ~m:4099 ~n:9013)));
+    ]
+
+(* -- Figures 4/5: landscape points -------------------------------------- *)
+
+let landscape_tests =
+  Test.make_grouped ~name:"fig4_fig5_landscape_point"
+    [
+      Test.make ~name:"fig4_c2r_band"
+        (Staged.stage (fun () ->
+             ignore
+               (Xpose_simd.Gpu_transpose.cost cfg ~algorithm:`C2r ~elt_bytes:8
+                  ~m:20000 ~n:2000)));
+      Test.make ~name:"fig4_c2r_offband"
+        (Staged.stage (fun () ->
+             ignore
+               (Xpose_simd.Gpu_transpose.cost cfg ~algorithm:`C2r ~elt_bytes:8
+                  ~m:20000 ~n:20000)));
+      Test.make ~name:"fig5_r2c_band"
+        (Staged.stage (fun () ->
+             ignore
+               (Xpose_simd.Gpu_transpose.cost cfg ~algorithm:`R2c ~elt_bytes:8
+                  ~m:2000 ~n:20000)));
+    ]
+
+(* -- Figure 7: AoS <-> SoA conversion ------------------------------------ *)
+
+let fig7_tests =
+  let structs = 20000 and fields = 8 in
+  let buf = f64_iota (structs * fields) in
+  Test.make_grouped ~name:"fig7_aos_soa"
+    [
+      Test.make ~name:"aos_to_soa_roundtrip"
+        (Staged.stage (fun () ->
+             ConvAos.aos_to_soa ~structs ~fields buf;
+             ConvAos.soa_to_aos ~structs ~fields buf));
+      Test.make ~name:"cost_model_specialized"
+        (Staged.stage (fun () ->
+             ignore
+               (Xpose_simd.Aos.cost_specialized cfg ~elt_bytes:8
+                  ~structs:1_000_000 ~fields:8)));
+    ]
+
+(* -- Figures 8/9: SIMD access simulation -------------------------------- *)
+
+let access_tests =
+  let open Xpose_simd in
+  Test.make_grouped ~name:"fig8_fig9_simd_access"
+    [
+      Test.make ~name:"fig8_c2r_store_64B"
+        (Staged.stage (fun () ->
+             ignore
+               (Access.run_store cfg ~struct_words:16 ~n_structs:512
+                  Access.Unit_stride Access.C2r)));
+      Test.make ~name:"fig8_direct_store_64B"
+        (Staged.stage (fun () ->
+             ignore
+               (Access.run_store cfg ~struct_words:16 ~n_structs:512
+                  Access.Unit_stride Access.Direct)));
+      Test.make ~name:"fig9_c2r_gather_64B"
+        (Staged.stage (fun () ->
+             ignore
+               (Access.run_load cfg ~struct_words:16 ~n_structs:512
+                  (Access.Random (Array.init 512 (fun i -> (i * 97) mod 512)))
+                  Access.C2r)));
+      Test.make ~name:"reg_transpose_m16"
+        (Staged.stage
+           (let mem = Xpose_simd_machine.Memory.create cfg ~words:0 in
+            let w = Xpose_simd_machine.Warp.create mem ~regs:16 in
+            fun () ->
+              Reg_transpose.r2c w;
+              Reg_transpose.c2r w));
+    ]
+
+(* -- Ablations ----------------------------------------------------------- *)
+
+let ablation_magic =
+  (* The divisor must be opaque: with a literal the compiler strength-
+     reduces the hardware path itself, which is exactly the transformation
+     §4.4 performs by hand for divisors known only at plan time. *)
+  let d = Sys.opaque_identity 97 in
+  let mg = Magic.make d in
+  let acc = ref 0 in
+  Test.make_grouped ~name:"ablation_strength_reduction"
+    [
+      Test.make ~name:"magic_divmod"
+        (Staged.stage (fun () ->
+             for x = 0 to 4095 do
+               let q, r = Magic.divmod mg x in
+               acc := !acc + q + r
+             done));
+      Test.make ~name:"hardware_divmod"
+        (Staged.stage (fun () ->
+             for x = 0 to 4095 do
+               acc := !acc + (x / d) + (x mod d)
+             done));
+    ]
+
+let ablation_variants =
+  let p = Plan.make ~m:bench_m ~n:bench_n in
+  let tmp = S.create (Plan.scratch_elements p) in
+  let make name variant =
+    let buf = f64_iota (bench_m * bench_n) in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           Kernels_f64.c2r ~variant p buf ~tmp;
+           Kernels_f64.r2c p buf ~tmp))
+  in
+  Test.make_grouped ~name:"ablation_c2r_variants"
+    [
+      make "scatter" Algo.C2r_scatter;
+      make "gather" Algo.C2r_gather;
+      make "decomposed" Algo.C2r_decomposed;
+    ]
+
+let ablation_skinny =
+  let structs = 40000 and fields = 8 in
+  let buf1 = f64_iota (structs * fields) in
+  let buf2 = f64_iota (structs * fields) in
+  Test.make_grouped ~name:"ablation_skinny_conversion"
+    [
+      Test.make ~name:"skinny_f64_roundtrip"
+        (Staged.stage (fun () ->
+             Xpose_cpu.Skinny_f64.aos_to_soa ~structs ~fields buf1;
+             Xpose_cpu.Skinny_f64.soa_to_aos ~structs ~fields buf1));
+      Test.make ~name:"generic_kernels_roundtrip"
+        (Staged.stage (fun () ->
+             ConvAos.aos_to_soa ~structs ~fields buf2;
+             ConvAos.soa_to_aos ~structs ~fields buf2));
+    ]
+
+let ablation_cache_aware =
+  (* Large enough that one column's cache lines overflow L2: the naive
+     rotate then re-misses per element while the cache-aware one moves
+     whole sub-rows (§4.6). (This host's 260 MB LLC absorbs anything
+     smaller; the gap widens with matrices beyond the LLC.) *)
+  let m = 32768 and n = 128 in
+  let p = Plan.make ~m ~n in
+  let tmp = S.create (Plan.scratch_elements p) in
+  let buf1 = f64_iota (m * n) in
+  let buf2 = f64_iota (m * n) in
+  Test.make_grouped ~name:"ablation_cache_aware_rotate"
+    [
+      Test.make ~name:"naive_column_rotate"
+        (Staged.stage (fun () ->
+             A.Phases.rotate_columns p buf1 ~tmp ~amount:(fun j -> j) ~lo:0
+               ~hi:n));
+      Test.make ~name:"cache_aware_rotate"
+        (Staged.stage (fun () ->
+             Cache.rotate_columns p buf2 ~amount:(fun j -> j)));
+    ]
+
+let extension_tests =
+  let module T3 = Tensor3.Make (S) in
+  let module Rot = Rotate90.Make (S) in
+  let tensor_buf = f64_iota (48 * 40 * 24) in
+  let rot_buf = f64_iota (320 * 200) in
+  let exec_mem =
+    Xpose_simd_machine.Memory.create cfg
+      ~words:((96 * 72) + Xpose_simd.Gpu_exec.scratch_words ~m:96 ~n:72)
+  in
+  Test.make_grouped ~name:"extensions"
+    [
+      Test.make ~name:"tensor3_permute_roundtrip"
+        (Staged.stage (fun () ->
+             T3.permute ~dims:(48, 40, 24) ~perm:(1, 2, 0) tensor_buf;
+             T3.permute ~dims:(40, 24, 48) ~perm:(2, 0, 1) tensor_buf));
+      Test.make ~name:"rotate90_four_quarters"
+        (Staged.stage (fun () ->
+             Rot.clockwise ~m:320 ~n:200 rot_buf;
+             Rot.clockwise ~m:200 ~n:320 rot_buf;
+             Rot.clockwise ~m:320 ~n:200 rot_buf;
+             Rot.clockwise ~m:200 ~n:320 rot_buf));
+      Test.make ~name:"gpu_exec_96x72"
+        (Staged.stage (fun () ->
+             ignore (Xpose_simd.Gpu_exec.c2r exec_mem ~m:96 ~n:72);
+             ignore (Xpose_simd.Gpu_exec.r2c exec_mem ~m:72 ~n:96)));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"xpose"
+    [
+      table1_tests;
+      table2_tests;
+      landscape_tests;
+      fig7_tests;
+      access_tests;
+      ablation_magic;
+      ablation_variants;
+      ablation_cache_aware;
+      ablation_skinny;
+      extension_tests;
+    ]
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let benchmark_cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:true ()
+  in
+  let raw = Benchmark.all benchmark_cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-60s %14s\n" "benchmark" "ns/run";
+  Printf.printf "%s\n" (String.make 75 '-');
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-60s %14.1f\n" name est
+      | Some _ | None -> Printf.printf "%-60s %14s\n" name "n/a")
+    rows

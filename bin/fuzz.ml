@@ -1,0 +1,129 @@
+(* Differential fuzzer: every transposition implementation in the
+   repository is run on the same random matrices and compared against the
+   out-of-place reference. Exits non-zero on the first divergence, with a
+   reproducer line. Used by CI-style checks (`xpose-fuzz -i 500`) beyond
+   the unit test suite's fixed cases. *)
+
+open Cmdliner
+open Xpose_core
+module S = Storage.Int_elt
+module A = Instances.I
+module CacheA = Xpose_cpu.Cache_aware.Make (S)
+module ParT = Xpose_cpu.Par_transpose.Make (S)
+module ParC = Xpose_cpu.Par_cache_aware.Make (S)
+module Cycle = Xpose_baselines.Cycle_follow.Make (S)
+module Gus = Xpose_baselines.Gustavson.Make (S)
+module SungI = Xpose_baselines.Sung.Make (S)
+
+let iota len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let to_list buf = List.init (S.length buf) (S.get buf)
+
+let expected ~m ~n = List.init (m * n) (fun l -> (n * (l mod m)) + (l / m))
+
+type impl = { name : string; run : pool:Xpose_cpu.Pool.t -> m:int -> n:int -> S.t -> unit }
+
+let impls =
+  [
+    { name = "algo-gather";
+      run = (fun ~pool:_ ~m ~n buf ->
+          A.c2r ~variant:Algo.C2r_gather (Plan.make ~m ~n) buf
+            ~tmp:(S.create (max m n))) };
+    { name = "algo-scatter";
+      run = (fun ~pool:_ ~m ~n buf ->
+          A.c2r ~variant:Algo.C2r_scatter (Plan.make ~m ~n) buf
+            ~tmp:(S.create (max m n))) };
+    { name = "algo-decomposed";
+      run = (fun ~pool:_ ~m ~n buf ->
+          A.c2r ~variant:Algo.C2r_decomposed (Plan.make ~m ~n) buf
+            ~tmp:(S.create (max m n))) };
+    { name = "algo-r2c";
+      run = (fun ~pool:_ ~m ~n buf ->
+          A.r2c (Plan.make ~m:n ~n:m) buf ~tmp:(S.create (max m n))) };
+    { name = "cache-aware";
+      run = (fun ~pool:_ ~m ~n buf ->
+          CacheA.c2r (Plan.make ~m ~n) buf ~tmp:(S.create (max m n))) };
+    { name = "parallel";
+      run = (fun ~pool ~m ~n buf -> ParT.c2r pool (Plan.make ~m ~n) buf) };
+    { name = "parallel-cache-aware";
+      run = (fun ~pool ~m ~n buf -> ParC.c2r pool (Plan.make ~m ~n) buf) };
+    { name = "cycle-bitvec";
+      run = (fun ~pool:_ ~m ~n buf -> Cycle.transpose_bitvec ~m ~n buf) };
+    { name = "cycle-leader";
+      run = (fun ~pool:_ ~m ~n buf -> Cycle.transpose_leader ~m ~n buf) };
+    { name = "gustavson";
+      run = (fun ~pool:_ ~m ~n buf -> Gus.transpose ~m ~n buf) };
+    { name = "sung";
+      run = (fun ~pool:_ ~m ~n buf -> SungI.transpose ~m ~n buf) };
+  ]
+
+let gpu_exec_check ~m ~n =
+  (* the executed GPU kernels, on a fresh simulated memory *)
+  let open Xpose_simd_machine in
+  let mem =
+    Memory.create Config.k20c
+      ~words:((m * n) + Xpose_simd.Gpu_exec.scratch_words ~m ~n)
+  in
+  for l = 0 to (m * n) - 1 do
+    Memory.poke mem l l
+  done;
+  ignore (Xpose_simd.Gpu_exec.c2r mem ~m ~n);
+  List.init (m * n) (Memory.peek mem)
+
+let run_fuzz iterations seed max_dim workers =
+  let rng = Xpose_harness.Rng.create ~seed in
+  let failures = ref 0 in
+  Xpose_cpu.Pool.with_pool ~workers (fun pool ->
+      for it = 1 to iterations do
+        let m = Xpose_harness.Rng.int_range rng ~lo:1 ~hi:(max_dim + 1) in
+        let n = Xpose_harness.Rng.int_range rng ~lo:1 ~hi:(max_dim + 1) in
+        let want = expected ~m ~n in
+        List.iter
+          (fun impl ->
+            let buf = iota (m * n) in
+            match impl.run ~pool ~m ~n buf with
+            | () ->
+                if to_list buf <> want then begin
+                  incr failures;
+                  Printf.printf
+                    "MISMATCH %s at m=%d n=%d (iteration %d, seed %d)\n"
+                    impl.name m n it seed
+                end
+            | exception exn ->
+                incr failures;
+                Printf.printf "EXCEPTION %s at m=%d n=%d: %s\n" impl.name m n
+                  (Printexc.to_string exn))
+          impls;
+        if gpu_exec_check ~m ~n <> want then begin
+          incr failures;
+          Printf.printf "MISMATCH gpu-exec at m=%d n=%d (iteration %d)\n" m n it
+        end
+      done);
+  if !failures = 0 then begin
+    Printf.printf "fuzz: %d iterations x %d implementations, all agree\n"
+      iterations
+      (List.length impls + 1);
+    `Ok ()
+  end
+  else `Error (false, Printf.sprintf "%d divergences found" !failures)
+
+let iterations_arg =
+  Arg.(value & opt int 50 & info [ "i"; "iterations" ] ~docv:"N" ~doc:"Iterations.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let max_dim_arg =
+  Arg.(value & opt int 64 & info [ "max-dim" ] ~docv:"D" ~doc:"Maximum dimension.")
+
+let workers_arg =
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"W" ~doc:"Pool workers.")
+
+let main =
+  let doc = "Differential fuzzing across every transposition implementation." in
+  Cmd.v (Cmd.info "xpose-fuzz" ~doc)
+    Term.(ret (const run_fuzz $ iterations_arg $ seed_arg $ max_dim_arg $ workers_arg))
+
+let () = exit (Cmd.eval main)

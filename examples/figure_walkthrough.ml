@@ -1,0 +1,34 @@
+(* Walk through the paper's Figures 1 and 2 with the actual phase
+   implementations, printing every intermediate state.
+
+   Run with: dune exec examples/figure_walkthrough.exe *)
+
+open Xpose_core
+
+let () =
+  Format.printf "Figure 1: C2R and R2C transpositions, m = 3, n = 8@.@.";
+  let left = Trace.iota ~m:3 ~n:8 in
+  Format.printf "%a@." Trace.pp_matrix left;
+  Format.printf "--- Rows to Columns (R2C) -->@.@.";
+  let right = Trace.final (Trace.r2c ~m:3 ~n:8 left) in
+  Format.printf "%a@." Trace.pp_matrix right;
+  Format.printf "<-- Columns to Rows (C2R) ---@.@.";
+
+  Format.printf
+    "The element with value 16 moved from (2, 0) to (1, 5), matching the \
+     paper's worked example: s(2,0) = (0 + 2*8) mod 3 = %d, c(2,0) = \
+     (0 + 2*8) / 3 = %d@.@."
+    (Layout.s ~m:3 ~n:8 2 0)
+    (Layout.c ~m:3 ~n:8 2 0);
+
+  Format.printf "Figure 2: C2R transpose of a 4 x 8 matrix, phase by phase@.@.";
+  let initial = Array.init 4 (fun i -> Array.init 8 (fun j -> i + (4 * j))) in
+  let t = Trace.c2r ~m:4 ~n:8 initial in
+  Format.printf "%a@." Trace.pp t;
+  Format.printf "reinterpreted as the 8 x 4 transpose:@.";
+  Format.printf "%a@." Trace.pp_matrix (Trace.reinterpret t);
+
+  Format.printf
+    "Note how the column rotate sends column j down by floor(j/b) = \
+     floor(j/2), the row shuffle scatters within each row by Eq. 24, and \
+     the column shuffle gathers by Eq. 26 — no cycle following anywhere.@."

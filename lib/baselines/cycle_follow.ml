@@ -1,0 +1,104 @@
+open Xpose_core
+
+let cycle_lengths ~m ~n =
+  if m < 1 || n < 1 then invalid_arg "Cycle_follow: dimensions must be positive";
+  let total = m * n in
+  let succ_index l = ((l mod n) * m) + (l / n) in
+  let visited = Bytes.make ((total + 7) / 8) '\000' in
+  let mark l =
+    let b = Char.code (Bytes.get visited (l lsr 3)) in
+    Bytes.set visited (l lsr 3) (Char.chr (b lor (1 lsl (l land 7))))
+  in
+  let marked l =
+    Char.code (Bytes.get visited (l lsr 3)) land (1 lsl (l land 7)) <> 0
+  in
+  let lengths = ref [] in
+  for l0 = 0 to total - 1 do
+    if not (marked l0) then begin
+      mark l0;
+      let len = ref 1 in
+      let cur = ref (succ_index l0) in
+      while !cur <> l0 do
+        mark !cur;
+        incr len;
+        cur := succ_index !cur
+      done;
+      lengths := !len :: !lengths
+    end
+  done;
+  Array.of_list (List.rev !lengths)
+
+let cycle_count ~m ~n = Array.length (cycle_lengths ~m ~n)
+
+module Make (S : Storage.S) = struct
+  type buf = S.t
+
+  let check ~m ~n buf =
+    if m < 1 || n < 1 then invalid_arg "Cycle_follow: dimensions must be positive";
+    if S.length buf <> m * n then invalid_arg "Cycle_follow: buffer size"
+
+  (* Destination of the element at linear index l (row-major m x n). *)
+  let[@inline] succ_index ~m ~n l = ((l mod n) * m) + (l / n)
+
+  let normalize ?(order = Layout.Row_major) ~m ~n () =
+    match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
+
+  let follow_cycle ~m ~n buf l0 =
+    (* Push the value at l0 around its cycle until we return to l0. *)
+    let v = ref (S.get buf l0) in
+    let cur = ref l0 in
+    let continue = ref true in
+    while !continue do
+      let nxt = succ_index ~m ~n !cur in
+      let displaced = S.get buf nxt in
+      S.set buf nxt !v;
+      v := displaced;
+      cur := nxt;
+      if nxt = l0 then continue := false
+    done
+
+  let transpose_bitvec ?order ~m ~n buf =
+    let m, n = normalize ?order ~m ~n () in
+    check ~m ~n buf;
+    let total = m * n in
+    let visited = Bytes.make ((total + 7) / 8) '\000' in
+    let mark l =
+      let b = Char.code (Bytes.get visited (l lsr 3)) in
+      Bytes.set visited (l lsr 3) (Char.chr (b lor (1 lsl (l land 7))))
+    in
+    let marked l = Char.code (Bytes.get visited (l lsr 3)) land (1 lsl (l land 7)) <> 0 in
+    for l0 = 0 to total - 1 do
+      if not (marked l0) then begin
+        (* Move the cycle and mark every index it visits in one pass. *)
+        let v = ref (S.get buf l0) in
+        let cur = ref l0 in
+        let continue = ref true in
+        while !continue do
+          let nxt = succ_index ~m ~n !cur in
+          let displaced = S.get buf nxt in
+          S.set buf nxt !v;
+          v := displaced;
+          mark nxt;
+          cur := nxt;
+          if nxt = l0 then continue := false
+        done
+      end
+    done
+
+  let transpose_leader ?order ~m ~n buf =
+    let m, n = normalize ?order ~m ~n () in
+    check ~m ~n buf;
+    let total = m * n in
+    for l0 = 0 to total - 1 do
+      (* Walk the cycle; move it only if l0 is its smallest index. *)
+      let is_leader = ref true in
+      let cur = ref (succ_index ~m ~n l0) in
+      while !cur <> l0 && !is_leader do
+        if !cur < l0 then is_leader := false;
+        cur := succ_index ~m ~n !cur
+      done;
+      if !is_leader then follow_cycle ~m ~n buf l0
+    done
+
+  let cycle_count = cycle_count
+end

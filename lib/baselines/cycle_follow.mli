@@ -1,0 +1,42 @@
+(** Traditional cycle-following in-place transposition (Windley 1959,
+    Knuth TAOCP vol. 3, Cate-Twigg) — the baseline family the paper's
+    introduction contrasts with.
+
+    The transposition of a row-major [m x n] matrix induces the fixed
+    permutation [l -> (l mod n)*m + l/n] on linear indices; these
+    algorithms follow its cycles, moving one element at a time. Two
+    classic auxiliary-space trade-offs are provided:
+
+    - {!transpose_bitvec} marks moved elements in a bit vector:
+      [O(mn)] bits of auxiliary space, [O(mn)] work;
+    - {!transpose_leader} stores nothing and instead walks each candidate
+      cycle to check whether the start index is the cycle's minimum
+      ("cycle leader"): O(1) auxiliary space but [O(mn log mn)] expected
+      work, the trade-off quoted in the paper's introduction [3].
+
+    Both are inherently sequential: cycle lengths are highly irregular, so
+    there is no balanced parallel decomposition — the paper's motivation
+    for the decomposed algorithm. *)
+
+val cycle_lengths : m:int -> n:int -> int array
+(** Lengths of all cycles of the row-major [m x n] transposition
+    permutation (fixed points included), in discovery order. The paper's
+    introduction observes these are "poorly distributed", which is what
+    makes cycle following hard to parallelize; the [cycles] experiment
+    renders the distribution. *)
+
+val cycle_count : m:int -> n:int -> int
+(** [Array.length (cycle_lengths ~m ~n)]. *)
+
+module Make (S : Xpose_core.Storage.S) : sig
+  type buf = S.t
+
+  val transpose_bitvec : ?order:Xpose_core.Layout.order -> m:int -> n:int -> buf -> unit
+  (** Cycle following with a visited bit per element. *)
+
+  val transpose_leader : ?order:Xpose_core.Layout.order -> m:int -> n:int -> buf -> unit
+  (** Cycle-leader test with O(1) auxiliary storage. *)
+
+  val cycle_count : m:int -> n:int -> int
+  (** Alias of the top-level {!cycle_count}. *)
+end

@@ -1,0 +1,90 @@
+open Xpose_core
+
+module Make (S : Storage.S) = struct
+  type buf = S.t
+
+  let largest_divisor_le x cap =
+    let cap = min x cap in
+    let rec down d = if x mod d = 0 then d else down (d - 1) in
+    down (max 1 cap)
+
+  let tile_dims ?(target_tile = 32) ~m ~n () =
+    if target_tile < 1 then invalid_arg "Gustavson: target_tile must be positive";
+    (largest_divisor_le m target_tile, largest_divisor_le n target_tile)
+
+  (* In-place permutation of [count] contiguous blocks of [block_len]
+     elements starting at [base]: block [g] ends up at slot [dest g].
+     Cycle following with a visited bit per block and two block buffers. *)
+  let permute_blocks buf ~base ~count ~block_len ~dest =
+    let visited = Bytes.make ((count + 7) / 8) '\000' in
+    let mark g =
+      let b = Char.code (Bytes.get visited (g lsr 3)) in
+      Bytes.set visited (g lsr 3) (Char.chr (b lor (1 lsl (g land 7))))
+    in
+    let marked g =
+      Char.code (Bytes.get visited (g lsr 3)) land (1 lsl (g land 7)) <> 0
+    in
+    let hold = ref (S.create block_len) and spare = ref (S.create block_len) in
+    let off g = base + (g * block_len) in
+    for g0 = 0 to count - 1 do
+      if not (marked g0) then begin
+        S.blit buf (off g0) !hold 0 block_len;
+        let cur = ref g0 in
+        let continue = ref true in
+        while !continue do
+          let nxt = dest !cur in
+          if nxt < 0 || nxt >= count then
+            invalid_arg "Gustavson.permute_blocks: dest out of range";
+          S.blit buf (off nxt) !spare 0 block_len;
+          S.blit !hold 0 buf (off nxt) block_len;
+          let t = !hold in
+          hold := !spare;
+          spare := t;
+          mark nxt;
+          cur := nxt;
+          if nxt = g0 then continue := false
+        done
+      end
+    done
+
+  (* Transpose one contiguous th x tw row-major tile into tw x th. *)
+  let transpose_tile buf ~base ~th ~tw ~tmp =
+    for i = 0 to th - 1 do
+      for j = 0 to tw - 1 do
+        S.set tmp ((j * th) + i) (S.get buf (base + (i * tw) + j))
+      done
+    done;
+    S.blit tmp 0 buf base (th * tw)
+
+  let transpose ?(pool = Xpose_cpu.Pool.sequential) ?target_tile ~m ~n buf =
+    if m < 1 || n < 1 then invalid_arg "Gustavson: dimensions must be positive";
+    if S.length buf <> m * n then invalid_arg "Gustavson: buffer size";
+    if m = 1 || n = 1 then ()
+    else begin
+      let th, tw = tile_dims ?target_tile ~m ~n () in
+      let rows = m / th (* grid rows *) and cols = n / tw (* grid cols *) in
+      (* Pack: within each block-row of th matrix rows, gather each tile's
+         rows together. Viewing the block-row as a th x cols matrix of
+         "super-elements" of tw contiguous elements, this is a transpose
+         of super-element positions. *)
+      Xpose_cpu.Pool.parallel_for pool ~lo:0 ~hi:rows (fun br ->
+          permute_blocks buf ~base:(br * th * n) ~count:(th * cols)
+            ~block_len:tw ~dest:(fun s -> ((s mod cols) * th) + (s / cols)));
+      (* Transpose every tile in place (tiles are now contiguous). *)
+      Xpose_cpu.Pool.parallel_chunks pool ~lo:0 ~hi:(rows * cols)
+        (fun ~chunk:_ ~lo ~hi ->
+          let tmp = S.create (th * tw) in
+          for t = lo to hi - 1 do
+            transpose_tile buf ~base:(t * th * tw) ~th ~tw ~tmp
+          done);
+      (* Exchange whole tiles across the grid (rows x cols -> cols x rows). *)
+      permute_blocks buf ~base:0 ~count:(rows * cols) ~block_len:(th * tw)
+        ~dest:(fun g -> ((g mod cols) * rows) + (g / cols));
+      (* Unpack: each output block-row (tw matrix rows of the n x m result)
+         holds [rows] tiles of tw x th; scatter their rows back to
+         row-major order. *)
+      Xpose_cpu.Pool.parallel_for pool ~lo:0 ~hi:cols (fun bc ->
+          permute_blocks buf ~base:(bc * tw * m) ~count:(tw * rows)
+            ~block_len:th ~dest:(fun p -> ((p mod tw) * rows) + (p / tw)))
+    end
+end

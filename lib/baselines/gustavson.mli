@@ -1,0 +1,31 @@
+(** A Gustavson-Karlsson-Kågström-style tiled in-place transposition
+    (reference [1] of the paper: "Parallel and cache-efficient in-place
+    matrix storage format conversion", ACM TOMS 2012).
+
+    The matrix is converted in place from row-major to a tiled format
+    (pack), tiles are transposed individually, whole tiles are exchanged
+    across the grid, and the result is converted back to row-major
+    (unpack). All four stages move cache-line-sized blocks of contiguous
+    elements; the pack/unpack stages are the "overhead for packing and
+    unpacking the array into the tiled format" the paper charges to this
+    baseline. Pack/unpack and intra-tile transposition parallelise over
+    block-rows and are run on the given {!Xpose_cpu.Pool}.
+
+    Tile dimensions must divide the matrix dimensions, so they are chosen
+    as the largest divisors not exceeding [target_tile]; matrices with
+    near-prime dimensions get degenerate (thin) tiles and correspondingly
+    poor locality — the characteristic weakness of tiled in-place
+    algorithms on inconvenient sizes. *)
+
+module Make (S : Xpose_core.Storage.S) : sig
+  type buf = S.t
+
+  val tile_dims : ?target_tile:int -> m:int -> n:int -> unit -> int * int
+  (** [(tile_rows, tile_cols)] actually used: the largest divisors of [m]
+      and [n] not exceeding [target_tile] (default 32). *)
+
+  val transpose :
+    ?pool:Xpose_cpu.Pool.t -> ?target_tile:int -> m:int -> n:int -> buf -> unit
+  (** In-place transpose of the row-major [m x n] matrix in [buf];
+      afterwards [buf] is the row-major [n x m] transpose. *)
+end

@@ -1,0 +1,8 @@
+module Make (S : Xpose_core.Storage.S) = struct
+  module C = Cycle_follow.Make (S)
+
+  type buf = S.t
+
+  let imatcopy ?ordering ~rows ~cols buf =
+    C.transpose_leader ?order:ordering ~m:rows ~n:cols buf
+end

@@ -1,0 +1,20 @@
+(** A stand-in for Intel MKL's [mkl_dimatcopy]/[mkl_simatcopy] in-place
+    transposition (the "Intel MKL" rows of the paper's Figure 3 and
+    Table 1).
+
+    MKL's in-place transpose is a sequential cycle-following routine; this
+    module wraps {!Cycle_follow} behind the [?imatcopy]-shaped interface
+    so benchmark code reads like the original comparison. It is
+    deliberately sequential (the paper notes MKL's routine "is not
+    parallelized, likely due to the complexity of parallelizing
+    traditional cycle-following algorithms"). *)
+
+module Make (S : Xpose_core.Storage.S) : sig
+  type buf = S.t
+
+  val imatcopy :
+    ?ordering:Xpose_core.Layout.order -> rows:int -> cols:int -> buf -> unit
+  (** [imatcopy ~rows ~cols buf] transposes in place (the [trans = 'T'],
+      [alpha = 1] case of the MKL routine). Uses the constant-auxiliary
+      cycle-leader algorithm, the space regime MKL operates in. *)
+end

@@ -1,0 +1,35 @@
+module Make (S : Xpose_core.Storage.S) = struct
+  type buf = S.t
+
+  let check ~m ~n ~src ~dst =
+    if m < 1 || n < 1 then invalid_arg "Oop: dimensions must be positive";
+    if S.length src <> m * n || S.length dst <> m * n then
+      invalid_arg "Oop: buffer sizes"
+
+  let naive ~m ~n src dst =
+    check ~m ~n ~src ~dst;
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        S.set dst ((j * m) + i) (S.get src ((i * n) + j))
+      done
+    done
+
+  let blocked ?(tile = 32) ~m ~n src dst =
+    check ~m ~n ~src ~dst;
+    if tile < 1 then invalid_arg "Oop.blocked: tile must be positive";
+    let bi = ref 0 in
+    while !bi < m do
+      let i_hi = min (!bi + tile) m in
+      let bj = ref 0 in
+      while !bj < n do
+        let j_hi = min (!bj + tile) n in
+        for i = !bi to i_hi - 1 do
+          for j = !bj to j_hi - 1 do
+            S.set dst ((j * m) + i) (S.get src ((i * n) + j))
+          done
+        done;
+        bj := j_hi
+      done;
+      bi := i_hi
+    done
+end

@@ -1,0 +1,16 @@
+(** Out-of-place transposition baselines, for context in the benchmark
+    tables: the ideal transpose "would read the array once and write the
+    array once" (paper §5), and out-of-place is how that ideal is usually
+    approached when memory for a second copy is available. *)
+
+module Make (S : Xpose_core.Storage.S) : sig
+  type buf = S.t
+
+  val naive : m:int -> n:int -> buf -> buf -> unit
+  (** Row-major [m x n] to row-major [n x m], one element at a time
+      ([dst] column-strided writes). *)
+
+  val blocked : ?tile:int -> m:int -> n:int -> buf -> buf -> unit
+  (** Loop-tiled variant (default 32x32 tiles) touching both matrices in
+      cache-line-sized chunks. *)
+end

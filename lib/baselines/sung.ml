@@ -1,0 +1,76 @@
+open Xpose_core
+
+exception Tile_mismatch of string
+
+let factorize x =
+  if x < 1 then invalid_arg "Sung.factorize: argument must be positive";
+  let rec go x d acc =
+    if x = 1 then List.rev acc
+    else if d * d > x then List.rev (x :: acc)
+    else if x mod d = 0 then go (x / d) d (d :: acc)
+    else go x (d + 1) acc
+  in
+  go x 2 []
+
+let heuristic_tile ?(threshold = 72) x =
+  if threshold < 1 then invalid_arg "Sung.heuristic_tile: threshold";
+  List.fold_left
+    (fun acc f -> if acc * f <= threshold then acc * f else acc)
+    1 (factorize x)
+
+let tile_dims ?threshold ~m ~n () =
+  (heuristic_tile ?threshold m, heuristic_tile ?threshold n)
+
+module Make (S : Storage.S) = struct
+  type buf = S.t
+
+  let[@inline] succ_index ~m ~n l = ((l mod n) * m) + (l / n)
+
+  let transpose ?tile ?(order = Layout.Row_major) ~m ~n buf =
+    let m, n =
+      match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
+    in
+    if m < 1 || n < 1 then invalid_arg "Sung: dimensions must be positive";
+    if S.length buf <> m * n then invalid_arg "Sung: buffer size";
+    let th, tw = match tile with Some t -> t | None -> tile_dims ~m ~n () in
+    if th < 1 || tw < 1 || m mod th <> 0 || n mod tw <> 0 then
+      raise
+        (Tile_mismatch
+           (Printf.sprintf "tile %dx%d does not divide matrix %dx%d" th tw m n));
+    let total = m * n in
+    let visited = Bytes.make ((total + 7) / 8) '\000' in
+    let mark l =
+      let b = Char.code (Bytes.get visited (l lsr 3)) in
+      Bytes.set visited (l lsr 3) (Char.chr (b lor (1 lsl (l land 7))))
+    in
+    let marked l =
+      Char.code (Bytes.get visited (l lsr 3)) land (1 lsl (l land 7)) <> 0
+    in
+    let move_cycle l0 =
+      let v = ref (S.get buf l0) in
+      let cur = ref l0 in
+      let continue = ref true in
+      while !continue do
+        let nxt = succ_index ~m ~n !cur in
+        let displaced = S.get buf nxt in
+        S.set buf nxt !v;
+        v := displaced;
+        mark nxt;
+        cur := nxt;
+        if nxt = l0 then continue := false
+      done
+    in
+    (* Scan cycle starts tile by tile, the traversal order of a tiled
+       implementation (one thread block per tile). *)
+    for bi = 0 to (m / th) - 1 do
+      for bj = 0 to (n / tw) - 1 do
+        for r = 0 to th - 1 do
+          let base = (((bi * th) + r) * n) + (bj * tw) in
+          for t = 0 to tw - 1 do
+            let l0 = base + t in
+            if not (marked l0) then move_cycle l0
+          done
+        done
+      done
+    done
+end

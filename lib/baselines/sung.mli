@@ -1,0 +1,46 @@
+(** A baseline in the style of Sung's tiled in-place transposition
+    (reference [6] of the paper: I.-J. Sung's PhD thesis; see also
+    Sung et al., PPoPP 2014 [8]).
+
+    Sung's implementation processes the array in tiles whose dimensions
+    must evenly divide the array dimensions, does not choose tile sizes
+    automatically, and marks moved units with up to one bit per element.
+    This module reproduces those interface properties: an explicit tile
+    size that must divide the matrix dimensions, the factor-sorting
+    heuristic the paper uses to pick tile sizes automatically (§5.2), and
+    bit-marked cycle following as the data-movement engine. The
+    tile-shape-dependent memory behaviour on a GPU is modelled separately
+    in [Xpose_simd.Sung_gpu]. *)
+
+exception Tile_mismatch of string
+(** Raised when the tile dimensions do not divide the matrix dimensions
+    (Sung's implementation rejects such inputs). *)
+
+val factorize : int -> int list
+(** Ascending prime factorization (with multiplicity) of a positive
+    integer; [factorize 1 = []]. *)
+
+val heuristic_tile : ?threshold:int -> int -> int
+(** The paper's tile-size rule: multiply the sorted prime factors of the
+    dimension, smallest first, as long as the product stays within
+    [threshold] (default 72). Reproduces the paper's worked values:
+    7200 -> 32, 1800 -> 72, 7223 -> 31, 10368 -> 64. A prime dimension
+    larger than the threshold yields 1. *)
+
+val tile_dims : ?threshold:int -> m:int -> n:int -> unit -> int * int
+(** [(tile_rows, tile_cols)] chosen by {!heuristic_tile} per dimension. *)
+
+module Make (S : Xpose_core.Storage.S) : sig
+  type buf = S.t
+
+  val transpose :
+    ?tile:int * int ->
+    ?order:Xpose_core.Layout.order ->
+    m:int ->
+    n:int ->
+    buf ->
+    unit
+  (** [transpose ~m ~n buf] transposes in place, traversing cycle start
+      indices tile by tile. [tile] defaults to {!tile_dims}.
+      @raise Tile_mismatch if the tile does not divide the dimensions. *)
+end

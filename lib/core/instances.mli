@@ -1,0 +1,11 @@
+(** Ready-made algorithm instances for the common element types.
+
+    [F64]/[F32] correspond to the paper's "double"/"float" experiments;
+    [I64]/[I32] are exact integer variants; [I] uses native ints and is the
+    workhorse of the test suite. *)
+
+module F64 : module type of Algo.Make (Storage.Float64)
+module F32 : module type of Algo.Make (Storage.Float32)
+module I64 : module type of Algo.Make (Storage.Int64_elt)
+module I32 : module type of Algo.Make (Storage.Int32_elt)
+module I : module type of Algo.Make (Storage.Int_elt)

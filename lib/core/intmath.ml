@@ -1,0 +1,36 @@
+let emod x m =
+  let r = x mod m in
+  if r < 0 then r + m else r
+
+let ediv x m =
+  let q = x / m and r = x mod m in
+  if r < 0 then q - 1 else q
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let egcd a b =
+  let rec go a b =
+    if b = 0 then (a, 1, 0)
+    else
+      let g, u, v = go b (a mod b) in
+      (g, v, u - (a / b) * v)
+  in
+  go a b
+
+let mmi x y =
+  if y < 1 then invalid_arg "Intmath.mmi: modulus must be positive";
+  let x = emod x y in
+  let g, u, _ = egcd x y in
+  if g <> 1 && y <> 1 then invalid_arg "Intmath.mmi: arguments not coprime";
+  emod u y
+
+let is_coprime a b = gcd a b = 1
+
+let ceil_log2 x =
+  if x < 1 then invalid_arg "Intmath.ceil_log2";
+  let rec go k p = if p >= x then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let ceil_div a b = (a + b - 1) / b
+
+let lcm a b = if a = 0 || b = 0 then 0 else a / gcd a b * b

@@ -1,0 +1,38 @@
+(** Integer arithmetic used throughout the transposition equations.
+
+    All modular operations are Euclidean: results lie in [[0, m)] for a
+    positive modulus [m], even for negative arguments. The paper's index
+    equations (Eqs. 22-36) freely subtract terms, so Euclidean semantics
+    are load-bearing. *)
+
+val emod : int -> int -> int
+(** [emod x m] is the Euclidean remainder of [x] by [m > 0]: the unique
+    [r] in [[0, m)] with [x = q*m + r]. *)
+
+val ediv : int -> int -> int
+(** [ediv x m] is the Euclidean quotient matching {!emod}:
+    [x = ediv x m * m + emod x m]. *)
+
+val gcd : int -> int -> int
+(** [gcd a b] is the greatest common divisor of [a >= 0] and [b >= 0];
+    [gcd 0 0 = 0]. *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b] is [(g, u, v)] with [g = gcd a b] and [a*u + b*v = g]. *)
+
+val mmi : int -> int -> int
+(** [mmi x y] is the modular multiplicative inverse of [x] modulo [y], for
+    coprime [x] and [y]: [(x * mmi x y) mod y = 1], result in [[0, y)].
+    @raise Invalid_argument if [x] and [y] are not coprime or [y < 1]. *)
+
+val is_coprime : int -> int -> bool
+(** [is_coprime a b] is [gcd a b = 1]. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 x] is the least [k] with [2^k >= x], for [x >= 1]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [ceil (a / b)] for [a >= 0], [b > 0]. *)
+
+val lcm : int -> int -> int
+(** [lcm a b] is the least common multiple; [lcm 0 _ = 0]. *)

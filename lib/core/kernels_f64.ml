@@ -1,0 +1,137 @@
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+open Bigarray.Array1
+
+let check_args (p : Plan.t) (buf : buf) ~(tmp : buf) =
+  if dim buf <> p.m * p.n then
+    invalid_arg "Kernels_f64: buffer size does not match plan";
+  if dim tmp < Plan.scratch_elements p then
+    invalid_arg "Kernels_f64: scratch too small"
+
+module Phases = struct
+  let rotate_columns (p : Plan.t) (buf : buf) ~(tmp : buf) ~amount ~lo ~hi =
+    let m = p.m and n = p.n in
+    for j = lo to hi - 1 do
+      let k = Intmath.emod (amount j) m in
+      if k <> 0 then begin
+        for i = 0 to m - k - 1 do
+          unsafe_set tmp i (unsafe_get buf (((i + k) * n) + j))
+        done;
+        for i = m - k to m - 1 do
+          unsafe_set tmp i (unsafe_get buf (((i + k - m) * n) + j))
+        done;
+        for i = 0 to m - 1 do
+          unsafe_set buf ((i * n) + j) (unsafe_get tmp i)
+        done
+      end
+    done
+
+  let row_shuffle_gather (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
+    let n = p.n in
+    for i = lo to hi - 1 do
+      let base = i * n in
+      for j = 0 to n - 1 do
+        unsafe_set tmp j (unsafe_get buf (base + Plan.d'_inv p ~i j))
+      done;
+      blit (sub tmp 0 n) (sub buf base n)
+    done
+
+  let row_shuffle_scatter (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
+    let n = p.n in
+    for i = lo to hi - 1 do
+      let base = i * n in
+      for j = 0 to n - 1 do
+        unsafe_set tmp (Plan.d' p ~i j) (unsafe_get buf (base + j))
+      done;
+      blit (sub tmp 0 n) (sub buf base n)
+    done
+
+  let row_shuffle_ungather (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
+    let n = p.n in
+    for i = lo to hi - 1 do
+      let base = i * n in
+      for j = 0 to n - 1 do
+        unsafe_set tmp j (unsafe_get buf (base + Plan.d' p ~i j))
+      done;
+      blit (sub tmp 0 n) (sub buf base n)
+    done
+
+  let col_shuffle_gather (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
+    let m = p.m and n = p.n in
+    for j = lo to hi - 1 do
+      for i = 0 to m - 1 do
+        unsafe_set tmp i (unsafe_get buf ((Plan.s' p ~j i * n) + j))
+      done;
+      for i = 0 to m - 1 do
+        unsafe_set buf ((i * n) + j) (unsafe_get tmp i)
+      done
+    done
+
+  let col_shuffle_ungather (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
+    let m = p.m and n = p.n in
+    for j = lo to hi - 1 do
+      for i = 0 to m - 1 do
+        unsafe_set tmp i (unsafe_get buf ((Plan.s'_inv p ~j i * n) + j))
+      done;
+      for i = 0 to m - 1 do
+        unsafe_set buf ((i * n) + j) (unsafe_get tmp i)
+      done
+    done
+
+  let permute_rows (p : Plan.t) (buf : buf) ~(tmp : buf) ~index ~lo ~hi =
+    let m = p.m and n = p.n in
+    let idx = Array.init m index in
+    for j = lo to hi - 1 do
+      for i = 0 to m - 1 do
+        unsafe_set tmp i (unsafe_get buf ((Array.unsafe_get idx i * n) + j))
+      done;
+      for i = 0 to m - 1 do
+        unsafe_set buf ((i * n) + j) (unsafe_get tmp i)
+      done
+    done
+end
+
+let c2r ?(variant = Algo.C2r_gather) (p : Plan.t) buf ~tmp =
+  check_args p buf ~tmp;
+  let m = p.m and n = p.n in
+  if m = 1 || n = 1 then ()
+  else begin
+    if not (Plan.coprime p) then
+      Phases.rotate_columns p buf ~tmp ~amount:(Plan.rotate_amount p) ~lo:0
+        ~hi:n;
+    (match variant with
+    | Algo.C2r_scatter -> Phases.row_shuffle_scatter p buf ~tmp ~lo:0 ~hi:m
+    | Algo.C2r_gather | Algo.C2r_decomposed ->
+        Phases.row_shuffle_gather p buf ~tmp ~lo:0 ~hi:m);
+    match variant with
+    | Algo.C2r_scatter | Algo.C2r_gather ->
+        Phases.col_shuffle_gather p buf ~tmp ~lo:0 ~hi:n
+    | Algo.C2r_decomposed ->
+        Phases.rotate_columns p buf ~tmp ~amount:(fun j -> j) ~lo:0 ~hi:n;
+        Phases.permute_rows p buf ~tmp ~index:(Plan.q p) ~lo:0 ~hi:n
+  end
+
+let r2c ?(variant = Algo.R2c_fused) (p : Plan.t) buf ~tmp =
+  check_args p buf ~tmp;
+  let m = p.m and n = p.n in
+  if m = 1 || n = 1 then ()
+  else begin
+    (match variant with
+    | Algo.R2c_fused -> Phases.col_shuffle_ungather p buf ~tmp ~lo:0 ~hi:n
+    | Algo.R2c_decomposed ->
+        Phases.permute_rows p buf ~tmp ~index:(Plan.q_inv p) ~lo:0 ~hi:n;
+        Phases.rotate_columns p buf ~tmp ~amount:(fun j -> -j) ~lo:0 ~hi:n);
+    Phases.row_shuffle_ungather p buf ~tmp ~lo:0 ~hi:m;
+    if not (Plan.coprime p) then
+      Phases.rotate_columns p buf ~tmp
+        ~amount:(fun j -> -Plan.rotate_amount p j)
+        ~lo:0 ~hi:n
+  end
+
+let transpose ?(order = Layout.Row_major) ~m ~n buf =
+  let rm, rn =
+    match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
+  in
+  let tmp = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (max rm rn) in
+  if rm > rn then c2r (Plan.make ~m:rm ~n:rn) buf ~tmp
+  else r2c (Plan.make ~m:rn ~n:rm) buf ~tmp

@@ -1,0 +1,38 @@
+(** Specialized float64 kernels.
+
+    [Algo.Make (Storage.Float64)] is element-generic: every access goes
+    through the functor parameter and cannot be inlined to a direct
+    memory operation. This module reimplements the same passes
+    monomorphically over float64 bigarrays so the compiler emits direct
+    unboxed loads and stores — the implementation a performance-conscious
+    user should call, and the one the CPU benchmarks (Figure 3 / Table 1)
+    measure. Semantics are identical to the functor (asserted by the test
+    suite over random shapes).
+
+    All phase functions view the buffer as row-major [m x n] per the
+    plan, and take half-open ranges so parallel drivers can partition
+    work. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+module Phases : sig
+  val rotate_columns :
+    Plan.t -> buf -> tmp:buf -> amount:(int -> int) -> lo:int -> hi:int -> unit
+
+  val row_shuffle_gather : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
+  val row_shuffle_scatter : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
+  val row_shuffle_ungather : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
+  val col_shuffle_gather : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
+  val col_shuffle_ungather : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
+
+  val permute_rows :
+    Plan.t -> buf -> tmp:buf -> index:(int -> int) -> lo:int -> hi:int -> unit
+end
+
+val c2r : ?variant:Algo.c2r_variant -> Plan.t -> buf -> tmp:buf -> unit
+(** Same contract as [Algo.Make(Storage.Float64).c2r]. *)
+
+val r2c : ?variant:Algo.r2c_variant -> Plan.t -> buf -> tmp:buf -> unit
+
+val transpose : ?order:Layout.order -> m:int -> n:int -> buf -> unit
+(** Same contract as [Algo.Make(Storage.Float64).transpose]. *)

@@ -1,0 +1,44 @@
+type order = Row_major | Col_major
+
+let pp_order ppf = function
+  | Row_major -> Format.pp_print_string ppf "row-major"
+  | Col_major -> Format.pp_print_string ppf "column-major"
+
+let equal_order a b =
+  match (a, b) with
+  | Row_major, Row_major | Col_major, Col_major -> true
+  | (Row_major | Col_major), _ -> false
+
+let flip = function Row_major -> Col_major | Col_major -> Row_major
+
+type dims = { m : int; n : int }
+
+let dims ~m ~n =
+  if m < 1 || n < 1 then invalid_arg "Layout.dims: dimensions must be positive";
+  { m; n }
+
+let elements d = d.m * d.n
+
+let swap d = { m = d.n; n = d.m }
+
+let lrm ~n i j = j + (i * n)
+
+let irm ~n l = l / n
+
+let jrm ~n l = l mod n
+
+let lcm_ ~m i j = i + (j * m)
+
+let icm ~m l = l mod m
+
+let jcm ~m l = l / m
+
+let s ~m ~n i j = lrm ~n i j mod m
+
+let c ~m ~n i j = lrm ~n i j / m
+
+let t ~m ~n i j = lcm_ ~m i j / n
+
+let d ~m ~n i j = lcm_ ~m i j mod n
+
+let transpose_index ~m ~n l = ((l mod n) * m) + (l / n)

@@ -1,0 +1,74 @@
+(** Linearizations of two-dimensional arrays and the four index functions
+    that define the C2R and R2C transpositions (paper §2, Eqs. 1-14).
+
+    A matrix [A] with [m] rows and [n] columns is stored in one flat buffer
+    of [m * n] elements, either row-major ([A[i,j]] at [j + i*n]) or
+    column-major ([A[i,j]] at [i + j*m]). *)
+
+type order = Row_major | Col_major
+
+val pp_order : Format.formatter -> order -> unit
+
+val equal_order : order -> order -> bool
+
+val flip : order -> order
+(** [flip o] is the other storage order. *)
+
+type dims = { m : int; n : int }
+(** [m] rows by [n] columns. *)
+
+val dims : m:int -> n:int -> dims
+(** @raise Invalid_argument if [m < 1] or [n < 1]. *)
+
+val elements : dims -> int
+(** [elements d] is [d.m * d.n]. *)
+
+val swap : dims -> dims
+(** [swap d] exchanges row and column counts (the shape of the transpose). *)
+
+(** {1 Row-major linearization (Eqs. 1-3)} *)
+
+val lrm : n:int -> int -> int -> int
+(** [lrm ~n i j = j + i*n]. *)
+
+val irm : n:int -> int -> int
+(** [irm ~n l = l / n]. *)
+
+val jrm : n:int -> int -> int
+(** [jrm ~n l = l mod n]. *)
+
+(** {1 Column-major linearization (Eqs. 4-6)} *)
+
+val lcm_ : m:int -> int -> int -> int
+(** [lcm_ ~m i j = i + j*m] (named with a trailing underscore to avoid the
+    arithmetic [lcm]). *)
+
+val icm : m:int -> int -> int
+(** [icm ~m l = l mod m]. *)
+
+val jcm : m:int -> int -> int
+(** [jcm ~m l = l / m]. *)
+
+(** {1 Transposition index functions (Eqs. 7-10)}
+
+    [AC2R[i,j] = A[s(i,j), c(i,j)]] and [AR2C[i,j] = A[t(i,j), d(i,j)]]
+    (Eqs. 11-12). *)
+
+val s : m:int -> n:int -> int -> int -> int
+(** [s ~m ~n i j = (j + i*n) mod m] (Eq. 7). *)
+
+val c : m:int -> n:int -> int -> int -> int
+(** [c ~m ~n i j = (j + i*n) / m] (Eq. 8). *)
+
+val t : m:int -> n:int -> int -> int -> int
+(** [t ~m ~n i j = (i + j*m) / n] (Eq. 9). *)
+
+val d : m:int -> n:int -> int -> int -> int
+(** [d ~m ~n i j = (i + j*m) mod n] (Eq. 10). *)
+
+val transpose_index : m:int -> n:int -> int -> int
+(** [transpose_index ~m ~n l] is the row-major linear index in the [n x m]
+    transpose of the element at row-major linear index [l] in the original
+    [m x n] matrix: [n * (l mod n) ... ] precisely
+    [lrm ~m (jrm ~n l) (irm ~n l)] viewed in the transposed shape. Used as
+    the specification that all in-place algorithms are tested against. *)

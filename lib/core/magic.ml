@@ -1,0 +1,39 @@
+(* Granlund-Montgomery round-up reciprocal: with l = ceil(log2 d) and
+   mult = floor(2^(nbits+l) / d) + 1, floor(mult * x / 2^(nbits+l)) equals
+   floor(x / d) for all 0 <= x < 2^nbits. Since d <= 2^l, mult can reach
+   2^(nbits+1), so the product mult * x is below 2^(2*nbits+1); nbits = 30
+   keeps it inside OCaml's 63-bit native integer range. *)
+
+type t = { d : int; mult : int; shift : int }
+
+let nbits = 30
+
+let max_dividend = (1 lsl nbits) - 1
+
+let make d =
+  if d < 1 || d > max_dividend then invalid_arg "Magic.make: bad divisor";
+  if d = 1 then { d; mult = 1; shift = 0 }
+  else
+    let l = Intmath.ceil_log2 d in
+    let shift = nbits + l in
+    (* floor(2^shift / d) + 1, computed without overflow: shift <= 80 can
+       exceed 62 bits, so build the quotient digit by digit. *)
+    let rec pow_div q r k =
+      if k = 0 then q
+      else
+        let r2 = r * 2 in
+        let q2 = (q * 2) + (r2 / d) in
+        pow_div q2 (r2 mod d) (k - 1)
+    in
+    let mult = pow_div 0 1 shift + 1 in
+    { d; mult; shift }
+
+let divisor t = t.d
+
+let div t x = if t.d = 1 then x else (x * t.mult) asr t.shift
+
+let modu t x = x - (div t x * t.d)
+
+let divmod t x =
+  let q = div t x in
+  (q, x - (q * t.d))

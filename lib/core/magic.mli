@@ -1,0 +1,33 @@
+(** Arithmetic strength reduction for integer division and modulus (paper
+    §4.4, after Warren's "Hacker's Delight" and Granlund-Montgomery).
+
+    The transposition inner loops evaluate index equations such as Eq. 31
+    that repeatedly divide by the same small divisors ([a], [b], [c], [m],
+    [n]). A {!t} precomputes a fixed-point reciprocal so each division
+    becomes a multiply and a shift, and each modulus one further multiply
+    and subtract, amortising the reciprocal across the whole permutation. *)
+
+type t
+(** A precomputed reciprocal for one positive divisor. *)
+
+val max_dividend : int
+(** Largest dividend for which {!div} and {!modu} are exact ([2^30 - 1]).
+    Matrices may therefore hold up to [2^30] elements (8 GiB of doubles);
+    {!Plan.make} validates this and keeps every intermediate index
+    expression within the bound. *)
+
+val make : int -> t
+(** [make d] precomputes the reciprocal of [d].
+    @raise Invalid_argument if [d < 1] or [d > max_dividend]. *)
+
+val divisor : t -> int
+(** [divisor t] is the [d] passed to {!make}. *)
+
+val div : t -> int -> int
+(** [div t x] is [x / divisor t], exact for [0 <= x <= max_dividend]. *)
+
+val modu : t -> int -> int
+(** [modu t x] is [x mod divisor t], exact for [0 <= x <= max_dividend]. *)
+
+val divmod : t -> int -> int * int
+(** [divmod t x] is [(div t x, modu t x)] with one shared multiply. *)

@@ -1,0 +1,102 @@
+type t = {
+  m : int;
+  n : int;
+  c : int;
+  a : int;
+  b : int;
+  a_inv : int;
+  b_inv : int;
+  mg_m : Magic.t;
+  mg_n : Magic.t;
+  mg_a : Magic.t;
+  mg_b : Magic.t;
+  mg_c : Magic.t;
+}
+
+let make ~m ~n =
+  if m < 1 || n < 1 then invalid_arg "Plan.make: dimensions must be positive";
+  (* Keep every dividend fed to the fixed-point reciprocals exact: the
+     largest is the helper f of Eq. 31, bounded by m*(n+1). *)
+  if m * (n + 1) > Magic.max_dividend || n * (m + 1) > Magic.max_dividend then
+    invalid_arg "Plan.make: matrix too large for strength-reduced indexing";
+  let c = Intmath.gcd m n in
+  let a = m / c and b = n / c in
+  let a_inv = if b = 1 then 1 else Intmath.mmi a b in
+  let b_inv = if a = 1 then 1 else Intmath.mmi b a in
+  {
+    m;
+    n;
+    c;
+    a;
+    b;
+    a_inv;
+    b_inv;
+    mg_m = Magic.make m;
+    mg_n = Magic.make n;
+    mg_a = Magic.make a;
+    mg_b = Magic.make b;
+    mg_c = Magic.make c;
+  }
+
+let coprime t = t.c = 1
+
+let scratch_elements t = if t.m > t.n then t.m else t.n
+
+let rotate_amount t j = Magic.div t.mg_b j
+
+let r t ~j i = Magic.modu t.mg_m (i + Magic.div t.mg_b j)
+
+let d' t ~i j =
+  Magic.modu t.mg_n (Magic.modu t.mg_m (i + Magic.div t.mg_b j) + (j * t.m))
+
+(* Largest factor whose square stays an exact Magic dividend. *)
+let sq_fits = 32768
+
+(* Eq. 31. The helper f (§4.2) selects between two affine forms depending on
+   whether the pre-rotation wrapped for this (i, j). The quotient of f by c
+   is reduced mod b before multiplying by a^-1 so the product stays within
+   Magic's exact range; for huge b the final reduction falls back to exact
+   Euclidean mod. *)
+let d'_inv t ~i j =
+  let f =
+    if i - Magic.modu t.mg_c j + t.c <= t.m then j + (i * (t.n - 1))
+    else j + (i * (t.n - 1)) + t.m
+  in
+  let fq, fr = Magic.divmod t.mg_c f in
+  let x = t.a_inv * Magic.modu t.mg_b fq in
+  let x = if t.b <= sq_fits then Magic.modu t.mg_b x else Intmath.emod x t.b in
+  x + (fr * t.b)
+
+let s' t ~j i = Intmath.emod (j + (i * t.n) - Magic.div t.mg_a i) t.m
+
+let p t ~j i = Magic.modu t.mg_m (i + j)
+
+let q t i = Intmath.emod ((i * t.n) - Magic.div t.mg_a i) t.m
+
+(* Eq. 34. The quotient (c-1+i)/c is at most a; reduce it mod a before the
+   multiply for the same exactness reason as in d'_inv. *)
+let q_inv t i =
+  let v = Magic.div t.mg_c (t.c - 1 + i) in
+  let v = if v = t.a then 0 else v in
+  let x = v * t.b_inv in
+  let x = if t.a <= sq_fits then Magic.modu t.mg_a x else Intmath.emod x t.a in
+  x + (Magic.modu t.mg_c ((t.c - 1) * i) * t.a)
+
+let p_inv t ~j i = Intmath.emod (i - j) t.m
+
+let r_inv t ~j i = Intmath.emod (i - Magic.div t.mg_b j) t.m
+
+let s'_inv t ~j i = q_inv t (Intmath.emod (i - j) t.m)
+
+let check_internal t =
+  assert (t.a * t.c = t.m);
+  assert (t.b * t.c = t.n);
+  assert (Intmath.gcd t.a t.b = 1);
+  assert (t.b = 1 || Intmath.emod (t.a * t.a_inv) t.b = 1);
+  assert (t.a = 1 || Intmath.emod (t.b * t.b_inv) t.a = 1);
+  assert (Magic.divisor t.mg_m = t.m);
+  assert (Magic.divisor t.mg_n = t.n)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>plan %dx%d (c=%d a=%d b=%d a^-1=%d b^-1=%d)@]" t.m
+    t.n t.c t.a t.b t.a_inv t.b_inv

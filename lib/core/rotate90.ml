@@ -1,0 +1,44 @@
+module Make (S : Storage.S) = struct
+  module A = Algo.Make (S)
+
+  type buf = S.t
+
+  let check ~m ~n buf =
+    if m < 1 || n < 1 then invalid_arg "Rotate90: dimensions must be positive";
+    if S.length buf <> m * n then invalid_arg "Rotate90: buffer size"
+
+  let reverse_range buf ~lo ~hi =
+    let left = ref lo and right = ref (hi - 1) in
+    while !left < !right do
+      let a = S.get buf !left and b = S.get buf !right in
+      S.set buf !left b;
+      S.set buf !right a;
+      incr left;
+      decr right
+    done
+
+  (* After transposing, the buffer is n x m row-major. *)
+
+  let clockwise ~m ~n buf =
+    check ~m ~n buf;
+    A.transpose ~m ~n buf;
+    for i = 0 to n - 1 do
+      reverse_range buf ~lo:(i * m) ~hi:((i + 1) * m)
+    done
+
+  let counter_clockwise ~m ~n buf =
+    check ~m ~n buf;
+    A.transpose ~m ~n buf;
+    (* reverse the order of the n rows, swapping whole rows via scratch *)
+    let tmp = S.create m in
+    for i = 0 to (n / 2) - 1 do
+      let j = n - 1 - i in
+      S.blit buf (i * m) tmp 0 m;
+      S.blit buf (j * m) buf (i * m) m;
+      S.blit tmp 0 buf (j * m) m
+    done
+
+  let half_turn ~m ~n buf =
+    check ~m ~n buf;
+    reverse_range buf ~lo:0 ~hi:(m * n)
+end

@@ -1,0 +1,24 @@
+(** In-place quarter- and half-turn rotation of row-major matrices,
+    composed from the in-place transpose plus in-place reversals — the
+    classic downstream use of an in-place transposition (image rotation
+    without a second framebuffer).
+
+    A clockwise quarter turn of an [m x n] matrix is its transpose with
+    each row reversed; counter-clockwise is the transpose with the row
+    order reversed; a half turn reverses the whole linearization. All
+    run in place with [O(max(m,n))] auxiliary memory. *)
+
+module Make (S : Storage.S) : sig
+  type buf = S.t
+
+  val clockwise : m:int -> n:int -> buf -> unit
+  (** After the call the buffer holds the [n x m] row-major clockwise
+      rotation: [R[i,j] = A[m-1-j, i]].
+      @raise Invalid_argument on size mismatch. *)
+
+  val counter_clockwise : m:int -> n:int -> buf -> unit
+  (** [R[i,j] = A[j, n-1-i]] ([n x m]). *)
+
+  val half_turn : m:int -> n:int -> buf -> unit
+  (** [R[i,j] = A[m-1-i, n-1-j]] (same shape). *)
+end

@@ -1,0 +1,202 @@
+module type S = sig
+  type t
+  type elt
+
+  val name : string
+  val elt_bytes : int
+  val create : int -> t
+  val length : t -> int
+  val get : t -> int -> elt
+  val set : t -> int -> elt -> unit
+  val blit : t -> int -> t -> int -> int -> unit
+  val of_int : int -> elt
+  val to_int : elt -> int
+  val equal : elt -> elt -> bool
+  val pp : Format.formatter -> elt -> unit
+end
+
+module Bigarray1 (K : sig
+  type elt
+  type repr
+
+  val name : string
+  val elt_bytes : int
+  val kind : (elt, repr) Bigarray.kind
+  val of_int : int -> elt
+  val to_int : elt -> int
+  val equal : elt -> elt -> bool
+  val pp : Format.formatter -> elt -> unit
+end) :
+  S
+    with type elt = K.elt
+     and type t = (K.elt, K.repr, Bigarray.c_layout) Bigarray.Array1.t = struct
+  type t = (K.elt, K.repr, Bigarray.c_layout) Bigarray.Array1.t
+  type elt = K.elt
+
+  let name = K.name
+  let elt_bytes = K.elt_bytes
+  let create len = Bigarray.Array1.create K.kind Bigarray.c_layout len
+  let length = Bigarray.Array1.dim
+  let get = Bigarray.Array1.get
+  let set = Bigarray.Array1.set
+
+  (* Short blits dominate the tiled algorithms (sub-row and tile moves);
+     [Array1.sub] allocates two views per call, so copy small spans by
+     hand. *)
+  let blit src spos dst dpos len =
+    if len <= 32 then
+      if dst == src && dpos > spos then
+        for k = len - 1 downto 0 do
+          Bigarray.Array1.unsafe_set dst (dpos + k)
+            (Bigarray.Array1.unsafe_get src (spos + k))
+        done
+      else
+        for k = 0 to len - 1 do
+          Bigarray.Array1.unsafe_set dst (dpos + k)
+            (Bigarray.Array1.unsafe_get src (spos + k))
+        done
+    else
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub src spos len)
+        (Bigarray.Array1.sub dst dpos len)
+
+  let of_int = K.of_int
+  let to_int = K.to_int
+  let equal = K.equal
+  let pp = K.pp
+end
+
+module Float64 = Bigarray1 (struct
+  type elt = float
+  type repr = Bigarray.float64_elt
+
+  let name = "float64"
+  let elt_bytes = 8
+  let kind = Bigarray.float64
+  let of_int = float_of_int
+  let to_int = int_of_float
+  let equal (a : float) b = a = b
+  let pp = Format.pp_print_float
+end)
+
+module Float32 = Bigarray1 (struct
+  type elt = float
+  type repr = Bigarray.float32_elt
+
+  let name = "float32"
+  let elt_bytes = 4
+  let kind = Bigarray.float32
+  let of_int = float_of_int
+  let to_int = int_of_float
+  let equal (a : float) b = a = b
+  let pp = Format.pp_print_float
+end)
+
+module Int64_elt = Bigarray1 (struct
+  type elt = int64
+  type repr = Bigarray.int64_elt
+
+  let name = "int64"
+  let elt_bytes = 8
+  let kind = Bigarray.int64
+  let of_int = Int64.of_int
+  let to_int = Int64.to_int
+  let equal = Int64.equal
+  let pp ppf v = Format.fprintf ppf "%Ld" v
+end)
+
+module Int32_elt = Bigarray1 (struct
+  type elt = int32
+  type repr = Bigarray.int32_elt
+
+  let name = "int32"
+  let elt_bytes = 4
+  let kind = Bigarray.int32
+  let of_int = Int32.of_int
+  let to_int = Int32.to_int
+  let equal = Int32.equal
+  let pp ppf v = Format.fprintf ppf "%ld" v
+end)
+
+module Int_elt = Bigarray1 (struct
+  type elt = int
+  type repr = Bigarray.int_elt
+
+  let name = "int"
+  let elt_bytes = 8
+  let kind = Bigarray.int
+  let of_int x = x
+  let to_int x = x
+  let equal (a : int) b = a = b
+  let pp = Format.pp_print_int
+end)
+
+module Poly () = struct
+  type t = Obj.t array
+  type elt = Obj.t
+
+  let name = "poly"
+  let elt_bytes = Sys.word_size / 8
+  let create len = Array.make len (Obj.repr 0)
+  let length = Array.length
+  let get = Array.get
+  let set = Array.set
+  let blit src spos dst dpos len = Array.blit src spos dst dpos len
+  let of_int x = Obj.repr x
+  let to_int x = (Obj.obj x : int)
+  let equal a b = a == b || Obj.obj a = Obj.obj b
+  let pp ppf v = Format.fprintf ppf "<poly:%d>" (Obj.tag v)
+  let of_value v = Obj.repr v
+  let to_value v = Obj.obj v
+end
+
+module Blob (Size : sig
+  val elt_bytes : int
+end) : S with type elt = bytes = struct
+  let () =
+    if Size.elt_bytes < 1 then invalid_arg "Storage.Blob: elt_bytes must be positive"
+
+  type t = Bytes.t
+  type elt = bytes
+
+  let name = Printf.sprintf "blob%d" Size.elt_bytes
+  let elt_bytes = Size.elt_bytes
+  let create len = Bytes.create (len * elt_bytes)
+  let length t = Bytes.length t / elt_bytes
+
+  let get t i =
+    let e = Bytes.create elt_bytes in
+    Bytes.blit t (i * elt_bytes) e 0 elt_bytes;
+    e
+
+  let set t i e = Bytes.blit e 0 t (i * elt_bytes) elt_bytes
+
+  let blit src spos dst dpos len =
+    Bytes.blit src (spos * elt_bytes) dst (dpos * elt_bytes) (len * elt_bytes)
+
+  (* Little-endian tag in the first min(8, elt_bytes) bytes; the rest is a
+     deterministic pattern so corruption of any byte is caught by [equal]. *)
+  let of_int x =
+    let e = Bytes.create elt_bytes in
+    for k = 0 to elt_bytes - 1 do
+      if k < 8 then Bytes.unsafe_set e k (Char.chr ((x lsr (8 * k)) land 0xff))
+      else Bytes.unsafe_set e k (Char.chr ((x + k) land 0xff))
+    done;
+    e
+
+  let to_int e =
+    let v = ref 0 in
+    let top = min 8 elt_bytes - 1 in
+    for k = top downto 0 do
+      v := (!v lsl 8) lor Char.code (Bytes.get e k)
+    done;
+    !v
+
+  let equal = Bytes.equal
+  let pp ppf e = Format.fprintf ppf "0x%s" (Bytes.to_string e |> String.to_seq |> Seq.map (fun c -> Printf.sprintf "%02x" (Char.code c)) |> List.of_seq |> String.concat "")
+end
+
+let fill_iota (type b) (module M : S with type t = b) (buf : b) =
+  for l = 0 to M.length buf - 1 do
+    M.set buf l (M.of_int l)
+  done

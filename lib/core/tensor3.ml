@@ -1,0 +1,81 @@
+module Make (S : Storage.S) = struct
+  type buf = S.t
+
+  module Sl = Views.Slice (S)
+  module Bl = Views.Blocked (S)
+  module Algo_slice = Algo.Make (Sl)
+  module Algo_block = Algo.Make (Bl)
+  module Algo_plain = Algo.Make (S)
+
+  let transpose_batched ~batch ~m ~n buf =
+    if batch < 1 || m < 1 || n < 1 then
+      invalid_arg "Tensor3.transpose_batched: dimensions must be positive";
+    if S.length buf <> batch * m * n then
+      invalid_arg "Tensor3.transpose_batched: buffer size";
+    if m > 1 && n > 1 then begin
+      let tmp = Sl.create (max m n) in
+      let rm, rn, algorithm = if m > n then (m, n, `C2r) else (n, m, `R2c) in
+      let p = Plan.make ~m:rm ~n:rn in
+      for b = 0 to batch - 1 do
+        let slice = Sl.of_buffer buf ~off:(b * m * n) ~len:(m * n) in
+        match algorithm with
+        | `C2r -> Algo_slice.c2r p slice ~tmp
+        | `R2c -> Algo_slice.r2c p slice ~tmp
+      done
+    end
+
+  let transpose_blocks ~m ~n ~block buf =
+    if m < 1 || n < 1 || block < 1 then
+      invalid_arg "Tensor3.transpose_blocks: dimensions must be positive";
+    if S.length buf <> m * n * block then
+      invalid_arg "Tensor3.transpose_blocks: buffer size";
+    if m > 1 && n > 1 then begin
+      let view = Bl.of_buffer buf ~block in
+      let tmp = Bl.of_buffer (S.create (max m n * block)) ~block in
+      if m > n then Algo_block.c2r (Plan.make ~m ~n) view ~tmp
+      else Algo_block.r2c (Plan.make ~m:n ~n:m) view ~tmp
+    end
+
+  let check_perm (p0, p1, p2) =
+    if List.sort compare [ p0; p1; p2 ] <> [ 0; 1; 2 ] then
+      invalid_arg "Tensor3.permute: perm must be a permutation of (0,1,2)"
+
+  let permuted_dims ~dims:(d0, d1, d2) ~perm:((p0, p1, p2) as perm) =
+    check_perm perm;
+    let d = [| d0; d1; d2 |] in
+    (d.(p0), d.(p1), d.(p2))
+
+  let permuted_index ~dims:(d0, d1, d2) ~perm:((p0, p1, p2) as perm) (i0, i1, i2) =
+    check_perm perm;
+    if i0 < 0 || i0 >= d0 || i1 < 0 || i1 >= d1 || i2 < 0 || i2 >= d2 then
+      invalid_arg "Tensor3.permuted_index: index out of range";
+    let i = [| i0; i1; i2 |] in
+    let d = [| d0; d1; d2 |] in
+    let a = i.(p0) and b = i.(p1) and c = i.(p2) in
+    (((a * d.(p1)) + b) * d.(p2)) + c
+
+  let transpose_flat ~m ~n buf =
+    if m > 1 && n > 1 then begin
+      let tmp = S.create (max m n) in
+      if m > n then Algo_plain.c2r (Plan.make ~m ~n) buf ~tmp
+      else Algo_plain.r2c (Plan.make ~m:n ~n:m) buf ~tmp
+    end
+
+  let permute ~dims:(d0, d1, d2) ~perm buf =
+    check_perm perm;
+    if d0 < 1 || d1 < 1 || d2 < 1 then
+      invalid_arg "Tensor3.permute: dimensions must be positive";
+    if S.length buf <> d0 * d1 * d2 then
+      invalid_arg "Tensor3.permute: buffer size";
+    match perm with
+    | 0, 1, 2 -> ()
+    | 1, 0, 2 -> transpose_blocks ~m:d0 ~n:d1 ~block:d2 buf
+    | 0, 2, 1 -> transpose_batched ~batch:d0 ~m:d1 ~n:d2 buf
+    | 2, 0, 1 -> transpose_flat ~m:(d0 * d1) ~n:d2 buf
+    | 1, 2, 0 -> transpose_flat ~m:d0 ~n:(d1 * d2) buf
+    | 2, 1, 0 ->
+        transpose_flat ~m:(d0 * d1) ~n:d2 buf;
+        (* now a (d2, d0, d1) tensor; swap its last two axes *)
+        transpose_batched ~batch:d2 ~m:d0 ~n:d1 buf
+    | _ -> assert false
+end

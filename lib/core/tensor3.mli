@@ -1,0 +1,50 @@
+(** In-place axis permutation of rank-3 tensors, composed from the 2-D
+    decomposition — the natural extension of the paper's data-layout
+    transformations (its AoS↔SoA conversion is the [d2]-blocks special
+    case, and Sung et al.'s Array-of-Structure-of-Tiled-Array layouts
+    [7] motivate the general form).
+
+    A tensor of dimensions [(d0, d1, d2)] is stored row-major
+    (last axis fastest). [permute ~perm] rearranges it in place so that
+    afterwards the buffer holds the tensor with dimensions
+    [(d_{p0}, d_{p1}, d_{p2})] whose element at [(a, b, c)] is the source
+    element whose axis-[p0] index is [a], axis-[p1] index is [b] and
+    axis-[p2] index is [c]. Auxiliary space is [O(max dim * max dim)]
+    in the worst case (a blocked scratch row), still asymptotically below
+    the [O(d0 d1 d2)] an out-of-place copy needs.
+
+    The six permutations reduce to:
+    - [(0,1,2)]: identity;
+    - [(1,0,2)]: 2-D transpose of the [d0 x d1] matrix of [d2]-blocks;
+    - [(0,2,1)]: [d0] independent [d1 x d2] transposes (batched);
+    - [(2,0,1)]: 2-D transpose of the [(d0*d1) x d2] matrix;
+    - [(1,2,0)]: 2-D transpose of the [d0 x (d1*d2)] matrix;
+    - [(2,1,0)]: [(2,0,1)] followed by [(0,2,1)]. *)
+
+module Make (S : Storage.S) : sig
+  type buf = S.t
+
+  val transpose_batched : batch:int -> m:int -> n:int -> buf -> unit
+  (** [batch] consecutive [m x n] row-major matrices, each transposed in
+      place. @raise Invalid_argument on size mismatch. *)
+
+  val transpose_blocks : m:int -> n:int -> block:int -> buf -> unit
+  (** Transpose the [m x n] matrix whose elements are [block] consecutive
+      slots. @raise Invalid_argument on size mismatch. *)
+
+  val permute :
+    dims:int * int * int -> perm:int * int * int -> buf -> unit
+  (** In-place axis permutation as specified above.
+      @raise Invalid_argument if [perm] is not a permutation of
+      [(0,1,2)], any dimension is non-positive, or the buffer length is
+      not [d0*d1*d2]. *)
+
+  val permuted_dims : dims:int * int * int -> perm:int * int * int -> int * int * int
+  (** Shape of the result. *)
+
+  val permuted_index :
+    dims:int * int * int -> perm:int * int * int -> int * int * int -> int
+  (** [permuted_index ~dims ~perm (i0, i1, i2)] is the linear position,
+      after the permutation, of the source element at [(i0, i1, i2)] —
+      the specification {!permute} is tested against. *)
+end

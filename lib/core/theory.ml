@@ -1,0 +1,246 @@
+let for_all_range lo hi f =
+  let rec go i = i >= hi || (f i && go (i + 1)) in
+  go lo
+
+let lemma1_periodicity (p : Plan.t) =
+  let m = p.m and n = p.n and b = p.b in
+  for_all_range 0 m (fun i ->
+      for_all_range 0 (n - b) (fun j ->
+          (i + (j * m)) mod n = (i + ((j + b) * m)) mod n))
+
+let lemma2_injectivity (p : Plan.t) =
+  let n = p.n and b = p.b in
+  let seen = Array.make n false in
+  let ok = ref true in
+  for x = 0 to b - 1 do
+    let v = x * p.m mod n in
+    if seen.(v) then ok := false;
+    seen.(v) <- true
+  done;
+  !ok
+
+let lemma3_image (p : Plan.t) =
+  let module IS = Set.Make (Int) in
+  let s = ref IS.empty and t = ref IS.empty in
+  for h = 0 to p.b - 1 do
+    s := IS.add (h * p.m mod p.n) !s;
+    t := IS.add (h * p.c) !t
+  done;
+  IS.equal !s !t
+
+let transpose_perm ~m ~n l = ((l mod n) * m) + (l / n)
+(* destination of the element at l; its source-side formulation used in
+   Theorem 1 is the inverse *)
+
+let theorem1_c2r_transposes (p : Plan.t) =
+  let m = p.m and n = p.n in
+  (* Eq. 20/21: AC2R_rm[l] = A_rm[lrm(s(i,j), c(i,j))] must equal
+     A_rm[lrm(jT(l), iT(l))]. *)
+  for_all_range 0 (m * n) (fun l ->
+      let i = l / n and j = l mod n in
+      let src = (Layout.s ~m ~n i j * n) + Layout.c ~m ~n i j in
+      src = ((l mod m) * n) + (l / m))
+
+(* The gather permutation the C2R transposition induces on linear
+   indices: result[l] = source[c2r_gather l]. *)
+let c2r_gather ~m ~n l =
+  let i = l / n and j = l mod n in
+  (Layout.s ~m ~n i j * n) + Layout.c ~m ~n i j
+
+(* R2C gather (Eq. 12 linearized). *)
+let r2c_gather ~m ~n l =
+  let i = l / n and j = l mod n in
+  (Layout.t ~m ~n i j * n) + Layout.d ~m ~n i j
+
+let theorem2_swapped_dims (p : Plan.t) =
+  let m = p.m and n = p.n in
+  (* R2C on the swapped-dimension problem must inverse-match C2R: applying
+     the C2R gather for (m, n) and then the R2C gather for the same (m, n)
+     is the identity (they are inverse permutations), and the R2C gather
+     with dims swapped equals the transposition of the n x m problem. *)
+  for_all_range 0 (m * n) (fun l ->
+      c2r_gather ~m ~n (r2c_gather ~m ~n l) = l)
+  && for_all_range 0 (m * n) (fun l ->
+         (* swapping m and n first, R2C transposes row-major m x n: its
+            gather equals the inverse of the destination map l -> jT*... *)
+         r2c_gather ~m:n ~n:m l = transpose_perm ~m:n ~n:m l)
+
+let theorem3_bijectivity (p : Plan.t) =
+  let n = p.n in
+  for_all_range 0 p.m (fun i ->
+      let seen = Array.make n false in
+      let ok = ref true in
+      for j = 0 to n - 1 do
+        let x = Plan.d' p ~i j in
+        if x < 0 || x >= n || seen.(x) then ok := false else seen.(x) <- true
+      done;
+      !ok)
+
+let theorem3_si_l_sets (p : Plan.t) =
+  let module IS = Set.Make (Int) in
+  let b = p.b and c = p.c in
+  for_all_range 0 p.m (fun i ->
+      for_all_range 0 c (fun l ->
+          let s =
+            IS.of_list
+              (List.init b (fun h -> Plan.d' p ~i ((l * b) + h)))
+          in
+          let t = IS.of_list (List.init b (fun h -> ((i + l) mod c) + (h * c))) in
+          IS.equal s t))
+
+(* Simulate the three-phase decomposition on an index array and check
+   both that every intermediate step is a well-formed row-wise or
+   column-wise permutation and that the composition is the monolithic
+   transposition. *)
+let simulate_decomposition (p : Plan.t) =
+  let m = p.m and n = p.n in
+  let a = Array.init (m * n) Fun.id in
+  let rows_unique = ref true and cols_unique = ref true in
+  (* phase 1: column pre-rotation (a column-wise permutation by
+     construction) *)
+  if not (Plan.coprime p) then begin
+    let col = Array.make m 0 in
+    for j = 0 to n - 1 do
+      for i = 0 to m - 1 do
+        col.(i) <- a.((Plan.r p ~j i * n) + j)
+      done;
+      for i = 0 to m - 1 do
+        a.((i * n) + j) <- col.(i)
+      done
+    done
+  end;
+  (* phase 2: row-wise scatter by d'; uniqueness per row is Theorem 4's
+     requirement *)
+  let row = Array.make n (-1) in
+  for i = 0 to m - 1 do
+    Array.fill row 0 n (-1);
+    for j = 0 to n - 1 do
+      let d = Plan.d' p ~i j in
+      if row.(d) <> -1 then rows_unique := false;
+      row.(d) <- a.((i * n) + j)
+    done;
+    for j = 0 to n - 1 do
+      a.((i * n) + j) <- row.(j)
+    done
+  done;
+  (* phase 3: column-wise gather by s'; sources must be unique per column *)
+  let col = Array.make m (-1) in
+  let seen = Array.make m false in
+  for j = 0 to n - 1 do
+    Array.fill seen 0 m false;
+    for i = 0 to m - 1 do
+      let s = Plan.s' p ~j i in
+      if seen.(s) then cols_unique := false;
+      seen.(s) <- true;
+      col.(i) <- a.((s * n) + j)
+    done;
+    for i = 0 to m - 1 do
+      a.((i * n) + j) <- col.(i)
+    done
+  done;
+  (a, !rows_unique, !cols_unique)
+
+let theorem4_decomposable (p : Plan.t) =
+  let m = p.m and n = p.n in
+  let a, rows_unique, cols_unique = simulate_decomposition p in
+  rows_unique && cols_unique
+  && for_all_range 0 (m * n) (fun l ->
+         (* element originally at l ends at transpose_perm l *)
+         a.(transpose_perm ~m ~n l) = l)
+
+let theorem5_source_rows (p : Plan.t) =
+  let m = p.m and n = p.n and a = p.a and b = p.b in
+  (* the proof's bound: c_j(i) lands in row-group k's rotated columns *)
+  for_all_range 0 m (fun i ->
+      let k = i / a in
+      for_all_range 0 n (fun j ->
+          let cji = (j + (i * n)) / m in
+          cji >= k * b && cji < (k + 1) * b))
+  &&
+  (* and the resulting algorithm completes the transpose *)
+  let a', _, _ = simulate_decomposition p in
+  for_all_range 0 (m * n) (fun l -> a'.(transpose_perm ~m ~n l) = l)
+
+let theorem6_work_and_space (p : Plan.t) =
+  let m = p.m and n = p.n in
+  let touches = ref 0 in
+  if not (Plan.coprime p) then begin
+    (* columns whose rotation amount is zero are not touched *)
+    for j = 0 to n - 1 do
+      if Plan.rotate_amount p j mod m <> 0 then touches := !touches + (2 * m)
+    done
+  end;
+  touches := !touches + (2 * m * n) (* row shuffle *);
+  touches := !touches + (2 * m * n) (* column shuffle *);
+  (!touches, Plan.scratch_elements p)
+
+let theorem7_linearization_free (p : Plan.t) =
+  let m = p.m and n = p.n in
+  (* Direct executable form: apply the C2R gather using column-major
+     indexing (Eq. 28) to an index array and compare with the row-major
+     application (Theorem 1's permutation). *)
+  let by_cm = Array.make (m * n) 0 in
+  for l = 0 to (m * n) - 1 do
+    let i = Layout.icm ~m l and j = Layout.jcm ~m l in
+    by_cm.(l) <- Layout.lcm_ ~m (Layout.s ~m ~n i j) (Layout.c ~m ~n i j)
+  done;
+  let by_rm = Array.init (m * n) (fun l -> c2r_gather ~m ~n l) in
+  (* both must realize the same permutation: B[l] = A[g(l)] with the same
+     final content, i.e. the induced gathers agree *)
+  by_cm = by_rm
+
+let rotation_cycle_structure ~m ~r =
+  if m < 1 then invalid_arg "Theory.rotation_cycle_structure";
+  let r = Intmath.emod r m in
+  let z = Intmath.gcd m r in
+  let z = if r = 0 then m else z in
+  let len = m / z in
+  let covered = Array.make m false in
+  let ok = ref true in
+  for y = 0 to z - 1 do
+    for x = 0 to len - 1 do
+      let v = (y + (x * (m - r))) mod m in
+      if covered.(v) then ok := false;
+      covered.(v) <- true
+    done;
+    (* and the cycle is closed: advancing len times returns to y *)
+    if (y + (len * (m - r))) mod m <> y then ok := false
+  done;
+  !ok && Array.for_all Fun.id covered
+
+let q_cycle_bound (p : Plan.t) =
+  let m = p.m in
+  let visited = Array.make m false in
+  let nontrivial = ref 0 in
+  for i0 = 0 to m - 1 do
+    if not visited.(i0) then begin
+      visited.(i0) <- true;
+      let len = ref 1 in
+      let i = ref (Plan.q p i0) in
+      while !i <> i0 do
+        visited.(!i) <- true;
+        incr len;
+        i := Plan.q p !i
+      done;
+      if !len > 1 then incr nontrivial
+    end
+  done;
+  !nontrivial <= m / 2
+
+let check_all (p : Plan.t) =
+  let touches, scratch = theorem6_work_and_space p in
+  [
+    ("lemma1_periodicity", lemma1_periodicity p);
+    ("lemma2_injectivity", lemma2_injectivity p);
+    ("lemma3_image", lemma3_image p);
+    ("theorem1_c2r_transposes", theorem1_c2r_transposes p);
+    ("theorem2_swapped_dims", theorem2_swapped_dims p);
+    ("theorem3_bijectivity", theorem3_bijectivity p);
+    ("theorem3_si_l_sets", theorem3_si_l_sets p);
+    ("theorem4_decomposable", theorem4_decomposable p);
+    ("theorem5_source_rows", theorem5_source_rows p);
+    ("theorem6_work_bound", touches <= 6 * p.m * p.n);
+    ("theorem6_space_bound", scratch = max p.m p.n);
+    ("theorem7_linearization_free", theorem7_linearization_free p);
+    ("q_cycle_bound", q_cycle_bound p);
+  ]

@@ -1,0 +1,72 @@
+(** Executable statements of the paper's lemmas and theorems.
+
+    Each function checks one claim, by exhaustion over the finite domain
+    it quantifies, and returns [true] exactly when the claim holds for
+    the given plan. The test suite runs them across many dimension pairs;
+    they are also useful as a machine-checkable record of what §2-3 of
+    the paper actually asserts. All take a {!Plan.t} (which fixes
+    [m, n, c = gcd(m,n), a = m/c, b = n/c]). *)
+
+val lemma1_periodicity : Plan.t -> bool
+(** Lemma 1: for every row [i], the destination column
+    [d_i(j) = (i + j*m) mod n] is periodic in [j] with period [b]. *)
+
+val lemma2_injectivity : Plan.t -> bool
+(** Lemma 2: [x -> m*x mod n] is injective on [[0, b)]. *)
+
+val lemma3_image : Plan.t -> bool
+(** Lemma 3: [{ h*m mod n : h in [0, b) } = { h*c : h in [0, b) }]. *)
+
+val theorem1_c2r_transposes : Plan.t -> bool
+(** Theorem 1: the row-major linearization of the C2R gather
+    (Eqs. 7-8 through Eq. 20) equals the row-major linearization of the
+    transpose. *)
+
+val theorem2_swapped_dims : Plan.t -> bool
+(** Theorem 2: with [m] and [n] swapped, the R2C permutation transposes a
+    row-major array (checked via the inverse relationship against
+    Theorem 1's permutation). *)
+
+val theorem3_bijectivity : Plan.t -> bool
+(** Theorem 3: [d'_i] (Eq. 24) is a bijection on [[0, n)] for every
+    fixed [i]. *)
+
+val theorem3_si_l_sets : Plan.t -> bool
+(** The set identity inside Theorem 3's proof: for every [i] and [l],
+    [S_{i,l} = { d'_i(j) : j in [l*b, (l+1)*b) }] equals
+    [{ (i + l) mod c + h*c : h in [0, b) }]. *)
+
+val theorem4_decomposable : Plan.t -> bool
+(** Theorem 4: after the pre-rotation, the row-wise destinations are
+    unique per row and the subsequent column-wise destinations are unique
+    per column — i.e. both steps are well-formed permutations. Checked by
+    simulating the full decomposition on an index matrix and comparing
+    with the monolithic transposition permutation. *)
+
+val theorem5_source_rows : Plan.t -> bool
+(** Theorem 5: [s'_j] (Eq. 26) gives the correct source rows: the proof's
+    bound [c_j(i) in [k*b, (k+1)*b)] with [k = i/a] holds for all [i, j],
+    and the three-step algorithm using [s'_j] completes the transpose. *)
+
+val theorem6_work_and_space : Plan.t -> int * int
+(** Theorem 6 (quantified): [(touches, scratch)] — the number of element
+    reads+writes the three-phase algorithm performs (at most [6 m n]) and
+    the scratch elements it needs ([max m n]). *)
+
+val theorem7_linearization_free : Plan.t -> bool
+(** Theorem 7: performing the C2R permutation with column-major indexing
+    on a row-major array induces the same final permutation (checked on
+    index arrays). *)
+
+val rotation_cycle_structure : m:int -> r:int -> bool
+(** §4.6: rotating a vector of [m] elements by [r] has [gcd(m, r)]
+    cycles, each of length [m / gcd(m, r)], with the analytic members
+    [l_y(x) = (y + x*(m - r)) mod m]. *)
+
+val q_cycle_bound : Plan.t -> bool
+(** §4.7: the row permutation [q] has at most [m/2] cycles of length
+    greater than one. *)
+
+val check_all : Plan.t -> (string * bool) list
+(** Every named claim above (except the parametric
+    {!rotation_cycle_structure}), labelled. *)

@@ -1,0 +1,110 @@
+module I = Algo.Make (Storage.Int_elt)
+
+type step = { label : string; state : int array array }
+type trace = { m : int; n : int; steps : step list }
+
+let iota ~m ~n = Array.init m (fun i -> Array.init n (fun j -> j + (i * n)))
+
+let to_buf ~m ~n mat =
+  let buf = Storage.Int_elt.create (m * n) in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      Storage.Int_elt.set buf ((i * n) + j) mat.(i).(j)
+    done
+  done;
+  buf
+
+let of_buf ~m ~n buf =
+  Array.init m (fun i ->
+      Array.init n (fun j -> Storage.Int_elt.get buf ((i * n) + j)))
+
+let run ~m ~n mat phases =
+  let p = Plan.make ~m ~n in
+  let buf = to_buf ~m ~n mat in
+  let tmp = Storage.Int_elt.create (Plan.scratch_elements p) in
+  let snapshot label = { label; state = of_buf ~m ~n buf } in
+  let steps = ref [ snapshot "initial" ] in
+  List.iter
+    (fun (label, run_phase) ->
+      run_phase p buf tmp;
+      steps := snapshot label :: !steps)
+    phases;
+  { m; n; steps = List.rev !steps }
+
+let c2r ~m ~n mat =
+  let p = Plan.make ~m ~n in
+  let pre =
+    if Plan.coprime p then []
+    else
+      [
+        ( "column rotate",
+          fun p buf tmp ->
+            I.Phases.rotate_columns p buf ~tmp ~amount:(Plan.rotate_amount p)
+              ~lo:0 ~hi:n );
+      ]
+  in
+  run ~m ~n mat
+    (pre
+    @ [
+        ( "row shuffle",
+          fun p buf tmp -> I.Phases.row_shuffle_scatter p buf ~tmp ~lo:0 ~hi:m );
+        ( "column shuffle",
+          fun p buf tmp -> I.Phases.col_shuffle_gather p buf ~tmp ~lo:0 ~hi:n );
+      ])
+
+let r2c ~m ~n mat =
+  let p = Plan.make ~m ~n in
+  let post =
+    if Plan.coprime p then []
+    else
+      [
+        ( "column unrotate",
+          fun p buf tmp ->
+            I.Phases.rotate_columns p buf ~tmp
+              ~amount:(fun j -> -Plan.rotate_amount p j)
+              ~lo:0 ~hi:n );
+      ]
+  in
+  run ~m ~n mat
+    ([
+       ( "column unshuffle",
+         fun p buf tmp -> I.Phases.col_shuffle_ungather p buf ~tmp ~lo:0 ~hi:n );
+       ( "row unshuffle",
+         fun p buf tmp -> I.Phases.row_shuffle_ungather p buf ~tmp ~lo:0 ~hi:m );
+     ]
+    @ post)
+
+let final t =
+  match List.rev t.steps with
+  | last :: _ -> last.state
+  | [] -> invalid_arg "Trace.final: empty trace"
+
+let pp_matrix ppf mat =
+  let width =
+    Array.fold_left
+      (fun w row ->
+        Array.fold_left
+          (fun w v -> max w (String.length (string_of_int v)))
+          w row)
+      1 mat
+  in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun j v ->
+          if j > 0 then Format.pp_print_string ppf " ";
+          Format.fprintf ppf "%*d" width v)
+        row;
+      Format.pp_print_newline ppf ())
+    mat
+
+let pp ppf t =
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%s:@." s.label;
+      pp_matrix ppf s.state)
+    t.steps
+
+let reinterpret t =
+  let flat = Array.concat (Array.to_list (final t)) in
+  Array.init t.n (fun i -> Array.init t.m (fun j -> flat.((i * t.m) + j)))

@@ -1,0 +1,38 @@
+(** Step-by-step instrumentation of the C2R/R2C phases on small integer
+    matrices, for documentation, the worked examples of the paper's
+    Figures 1 and 2, and debugging.
+
+    Matrices are plain [int array array] (row-major, [mat.(i).(j)]). *)
+
+type step = {
+  label : string;  (** e.g. ["column rotate"] *)
+  state : int array array;  (** matrix contents after this step *)
+}
+
+type trace = {
+  m : int;
+  n : int;
+  steps : step list;  (** initial state first, final state last *)
+}
+
+val c2r : m:int -> n:int -> int array array -> trace
+(** [c2r ~m ~n mat] runs the three C2R phases on a copy of [mat] and
+    records the state after each (the pre-rotation step is recorded only
+    when [gcd m n > 1], matching Algorithm 1). *)
+
+val r2c : m:int -> n:int -> int array array -> trace
+(** Inverse phases, in inverse order. *)
+
+val iota : m:int -> n:int -> int array array
+(** [iota ~m ~n] is the matrix with [mat.(i).(j) = j + i*n], as in the
+    paper's figures. *)
+
+val final : trace -> int array array
+(** State after the last step. *)
+
+val pp_matrix : Format.formatter -> int array array -> unit
+val pp : Format.formatter -> trace -> unit
+
+val reinterpret : trace -> int array array
+(** Reinterpret the final linearized state as the transposed [n x m]
+    matrix (the "data is then reinterpreted" step of §2). *)

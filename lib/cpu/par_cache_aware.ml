@@ -1,0 +1,69 @@
+open Xpose_core
+
+module Make (S : Storage.S) = struct
+  module A = Algo.Make (S)
+  module C = Cache_aware.Make (S)
+
+  type buf = S.t
+
+  let check (p : Plan.t) buf =
+    if S.length buf <> p.m * p.n then
+      invalid_arg "Par_cache_aware: buffer size does not match plan"
+
+  (* Align chunk boundaries to group width so sub-row transfers stay
+     line-shaped; correctness does not depend on the alignment. *)
+  let over_columns pool ~n ~width pass =
+    let groups = Intmath.ceil_div n width in
+    Pool.parallel_chunks pool ~lo:0 ~hi:groups (fun ~chunk:_ ~lo ~hi ->
+        let lo = lo * width and hi = min n (hi * width) in
+        if lo < hi then pass ~lo ~hi)
+
+  let c2r ?(width = C.default_width) pool (p : Plan.t) buf =
+    check p buf;
+    let m = p.m and n = p.n in
+    if m = 1 || n = 1 then ()
+    else begin
+      let tmp =
+        Array.init (Pool.workers pool) (fun _ ->
+            S.create (Plan.scratch_elements p))
+      in
+      if not (Plan.coprime p) then
+        over_columns pool ~n ~width (fun ~lo ~hi ->
+            C.rotate_columns ~width ~lo ~hi p buf
+              ~amount:(Plan.rotate_amount p));
+      Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
+          A.Phases.row_shuffle_gather p buf ~tmp:tmp.(chunk) ~lo ~hi);
+      over_columns pool ~n ~width (fun ~lo ~hi ->
+          C.rotate_columns ~width ~lo ~hi p buf ~amount:(fun j -> j));
+      over_columns pool ~n ~width (fun ~lo ~hi ->
+          C.permute_rows ~width ~lo ~hi p buf ~index:(Plan.q p))
+    end
+
+  let r2c ?(width = C.default_width) pool (p : Plan.t) buf =
+    check p buf;
+    let m = p.m and n = p.n in
+    if m = 1 || n = 1 then ()
+    else begin
+      let tmp =
+        Array.init (Pool.workers pool) (fun _ ->
+            S.create (Plan.scratch_elements p))
+      in
+      over_columns pool ~n ~width (fun ~lo ~hi ->
+          C.permute_rows ~width ~lo ~hi p buf ~index:(Plan.q_inv p));
+      over_columns pool ~n ~width (fun ~lo ~hi ->
+          C.rotate_columns ~width ~lo ~hi p buf ~amount:(fun j -> -j));
+      Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
+          A.Phases.row_shuffle_ungather p buf ~tmp:tmp.(chunk) ~lo ~hi);
+      if not (Plan.coprime p) then
+        over_columns pool ~n ~width (fun ~lo ~hi ->
+            C.rotate_columns ~width ~lo ~hi p buf
+              ~amount:(fun j -> -Plan.rotate_amount p j))
+    end
+
+  let transpose ?(order = Layout.Row_major) ?width pool ~m ~n buf =
+    let rm, rn =
+      match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
+    in
+    if rm > rn then c2r ?width pool (Plan.make ~m:rm ~n:rn) buf
+    else r2c ?width pool (Plan.make ~m:rn ~n:rm) buf
+end

@@ -1,0 +1,16 @@
+(** Parallel C2R/R2C with cache-aware column operations — the structure
+    of the paper's GPU implementation (§5.2: decomposed passes, §4.6/4.7
+    cache-aware rotations and row permutations) driven by the domain
+    pool. Column groups are independent, so each pass partitions the
+    column range across workers; the row shuffle partitions across rows
+    as in {!Par_transpose}. *)
+
+module Make (S : Xpose_core.Storage.S) : sig
+  type buf = S.t
+
+  val c2r : ?width:int -> Pool.t -> Xpose_core.Plan.t -> buf -> unit
+  val r2c : ?width:int -> Pool.t -> Xpose_core.Plan.t -> buf -> unit
+
+  val transpose :
+    ?order:Xpose_core.Layout.order -> ?width:int -> Pool.t -> m:int -> n:int -> buf -> unit
+end

@@ -1,0 +1,14 @@
+(** Parallel transposition over the specialized float64 kernels
+    ({!Xpose_core.Kernels_f64}) — the fast path the CPU benchmarks
+    measure. Same partitioning as {!Par_transpose}. *)
+
+type buf = Xpose_core.Kernels_f64.buf
+
+val c2r :
+  ?variant:Xpose_core.Algo.c2r_variant -> Pool.t -> Xpose_core.Plan.t -> buf -> unit
+
+val r2c :
+  ?variant:Xpose_core.Algo.r2c_variant -> Pool.t -> Xpose_core.Plan.t -> buf -> unit
+
+val transpose :
+  ?order:Xpose_core.Layout.order -> Pool.t -> m:int -> n:int -> buf -> unit

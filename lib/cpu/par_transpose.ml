@@ -1,0 +1,74 @@
+open Xpose_core
+
+module Make (S : Storage.S) = struct
+  module A = Algo.Make (S)
+
+  type buf = S.t
+
+  let scratches pool (p : Plan.t) =
+    Array.init (Pool.workers pool) (fun _ ->
+        S.create (Plan.scratch_elements p))
+
+  let check (p : Plan.t) buf =
+    if S.length buf <> p.m * p.n then
+      invalid_arg "Par_transpose: buffer size does not match plan"
+
+  let c2r ?(variant = Algo.C2r_gather) pool (p : Plan.t) buf =
+    check p buf;
+    let m = p.m and n = p.n in
+    if m = 1 || n = 1 then ()
+    else begin
+      let tmp = scratches pool p in
+      let over_cols pass =
+        Pool.parallel_chunks pool ~lo:0 ~hi:n (fun ~chunk ~lo ~hi ->
+            pass ~tmp:tmp.(chunk) ~lo ~hi)
+      and over_rows pass =
+        Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
+            pass ~tmp:tmp.(chunk) ~lo ~hi)
+      in
+      if not (Plan.coprime p) then
+        over_cols (A.Phases.rotate_columns p buf ~amount:(Plan.rotate_amount p));
+      (match variant with
+      | Algo.C2r_scatter -> over_rows (A.Phases.row_shuffle_scatter p buf)
+      | Algo.C2r_gather | Algo.C2r_decomposed ->
+          over_rows (A.Phases.row_shuffle_gather p buf));
+      match variant with
+      | Algo.C2r_scatter | Algo.C2r_gather ->
+          over_cols (A.Phases.col_shuffle_gather p buf)
+      | Algo.C2r_decomposed ->
+          over_cols (A.Phases.rotate_columns p buf ~amount:(fun j -> j));
+          over_cols (A.Phases.permute_rows p buf ~index:(Plan.q p))
+    end
+
+  let r2c ?(variant = Algo.R2c_fused) pool (p : Plan.t) buf =
+    check p buf;
+    let m = p.m and n = p.n in
+    if m = 1 || n = 1 then ()
+    else begin
+      let tmp = scratches pool p in
+      let over_cols pass =
+        Pool.parallel_chunks pool ~lo:0 ~hi:n (fun ~chunk ~lo ~hi ->
+            pass ~tmp:tmp.(chunk) ~lo ~hi)
+      and over_rows pass =
+        Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
+            pass ~tmp:tmp.(chunk) ~lo ~hi)
+      in
+      (match variant with
+      | Algo.R2c_fused -> over_cols (A.Phases.col_shuffle_ungather p buf)
+      | Algo.R2c_decomposed ->
+          over_cols (A.Phases.permute_rows p buf ~index:(Plan.q_inv p));
+          over_cols (A.Phases.rotate_columns p buf ~amount:(fun j -> -j)));
+      over_rows (A.Phases.row_shuffle_ungather p buf);
+      if not (Plan.coprime p) then
+        over_cols
+          (A.Phases.rotate_columns p buf
+             ~amount:(fun j -> -Plan.rotate_amount p j))
+    end
+
+  let transpose ?(order = Layout.Row_major) pool ~m ~n buf =
+    let rm, rn =
+      match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
+    in
+    if rm > rn then c2r pool (Plan.make ~m:rm ~n:rn) buf
+    else r2c pool (Plan.make ~m:rn ~n:rm) buf
+end

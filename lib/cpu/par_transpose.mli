@@ -1,0 +1,34 @@
+(** Parallel in-place transposition (paper §5.1).
+
+    Each permutation pass of the decomposed algorithm operates on
+    independent rows or columns, so it parallelises as a statically-chunked
+    loop with a barrier between passes. Every worker uses a private scratch
+    buffer of [max m n] elements, for a total auxiliary space of
+    [workers * max(m, n)] — still [O(max(m,n))] for fixed worker count. *)
+
+module Make (S : Xpose_core.Storage.S) : sig
+  type buf = S.t
+
+  val c2r :
+    ?variant:Xpose_core.Algo.c2r_variant ->
+    Pool.t ->
+    Xpose_core.Plan.t ->
+    buf ->
+    unit
+  (** Parallel C2R transposition; semantics of [Xpose_core.Algo.Make(S).c2r]
+      with internally allocated per-worker scratch. *)
+
+  val r2c :
+    ?variant:Xpose_core.Algo.r2c_variant ->
+    Pool.t ->
+    Xpose_core.Plan.t ->
+    buf ->
+    unit
+  (** Parallel R2C transposition. *)
+
+  val transpose :
+    ?order:Xpose_core.Layout.order -> Pool.t -> m:int -> n:int -> buf -> unit
+  (** Parallel counterpart of [Xpose_core.Algo.Make(S).transpose]: applies
+      the §5.2 heuristic and Theorems 1/2 to pick the algorithm and
+      orientation. *)
+end

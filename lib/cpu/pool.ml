@@ -1,0 +1,162 @@
+type task = { run : unit -> unit }
+
+type state = Running | Stopped
+
+type t = {
+  lanes : int;
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  have_task : Condition.t;
+  mutable state : state;
+  mutable domains : unit Domain.t list;
+  is_sequential : bool;
+}
+
+let make_sequential () =
+  {
+    lanes = 1;
+    queue = Queue.create ();
+    mutex = Mutex.create ();
+    have_task = Condition.create ();
+    state = Running;
+    domains = [];
+    is_sequential = true;
+  }
+
+let sequential = make_sequential ()
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      if t.state = Stopped then begin
+        Mutex.unlock t.mutex;
+        None
+      end
+      else
+        match Queue.take_opt t.queue with
+        | Some task ->
+            Mutex.unlock t.mutex;
+            Some task
+        | None ->
+            Condition.wait t.have_task t.mutex;
+            wait ()
+    in
+    match wait () with
+    | None -> ()
+    | Some task ->
+        task.run ();
+        next ()
+  in
+  next ()
+
+let create ?workers () =
+  let lanes =
+    match workers with Some w -> w | None -> Domain.recommended_domain_count ()
+  in
+  if lanes < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let t =
+    {
+      lanes;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      have_task = Condition.create ();
+      state = Running;
+      domains = [];
+      is_sequential = lanes = 1;
+    }
+  in
+  t.domains <- List.init (lanes - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let workers t = t.lanes
+
+let check_running t =
+  if t.state = Stopped then invalid_arg "Pool: already shut down"
+
+let chunk_bounds ~lo ~hi ~chunks k =
+  let len = hi - lo in
+  let base = len / chunks and rem = len mod chunks in
+  let c_lo = lo + (k * base) + min k rem in
+  let c_hi = c_lo + base + if k < rem then 1 else 0 in
+  (c_lo, c_hi)
+
+let parallel_chunks t ~lo ~hi f =
+  check_running t;
+  if hi < lo then invalid_arg "Pool.parallel_chunks: hi < lo";
+  if t.is_sequential || hi - lo <= 1 then
+    for k = 0 to t.lanes - 1 do
+      let c_lo, c_hi = chunk_bounds ~lo ~hi ~chunks:t.lanes k in
+      f ~chunk:k ~lo:c_lo ~hi:c_hi
+    done
+  else begin
+    let pending = Atomic.make (t.lanes - 1) in
+    let error = Atomic.make None in
+    let run_chunk k () =
+      (try
+         let c_lo, c_hi = chunk_bounds ~lo ~hi ~chunks:t.lanes k in
+         f ~chunk:k ~lo:c_lo ~hi:c_hi
+       with exn ->
+         ignore
+           (Atomic.compare_and_set error None
+              (Some (exn, Printexc.get_raw_backtrace ()))));
+      Atomic.decr pending
+    in
+    Mutex.lock t.mutex;
+    for k = 1 to t.lanes - 1 do
+      Queue.add { run = run_chunk k } t.queue
+    done;
+    Condition.broadcast t.have_task;
+    Mutex.unlock t.mutex;
+    (* The caller processes chunk 0 itself, then helps drain the queue (a
+       worker may still be waking up) and finally spins on the barrier. *)
+    (try
+       let c_lo, c_hi = chunk_bounds ~lo ~hi ~chunks:t.lanes 0 in
+       f ~chunk:0 ~lo:c_lo ~hi:c_hi
+     with exn ->
+       ignore
+         (Atomic.compare_and_set error None
+            (Some (exn, Printexc.get_raw_backtrace ()))));
+    let rec help () =
+      let task =
+        Mutex.lock t.mutex;
+        let task = Queue.take_opt t.queue in
+        Mutex.unlock t.mutex;
+        task
+      in
+      match task with
+      | Some task ->
+          task.run ();
+          help ()
+      | None -> ()
+    in
+    help ();
+    while Atomic.get pending > 0 do
+      Domain.cpu_relax ()
+    done;
+    match Atomic.get error with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
+  end
+
+let parallel_for t ~lo ~hi f =
+  parallel_chunks t ~lo ~hi (fun ~chunk:_ ~lo ~hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+let shutdown t =
+  if t.is_sequential && t == sequential then
+    invalid_arg "Pool.shutdown: cannot shut down Pool.sequential";
+  if t.state = Running then begin
+    Mutex.lock t.mutex;
+    t.state <- Stopped;
+    Condition.broadcast t.have_task;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ?workers f =
+  let t = create ?workers () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

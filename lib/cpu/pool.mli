@@ -1,0 +1,44 @@
+(** A persistent pool of worker domains with static work partitioning.
+
+    The paper's CPU implementation (§5.1) is "a straightforward OpenMP
+    parallelization of Algorithm 1": each permutation pass is a parallel
+    loop over rows or columns, statically chunked, with a barrier between
+    passes. This module is the OCaml 5 equivalent. Chunks are contiguous
+    and equal-sized (±1), matching the paper's "perfect load balancing due
+    to the regular structure of the decomposition". *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** [create ~workers ()] starts a pool with [workers] parallel lanes in
+    total (the calling domain counts as one; [workers - 1] domains are
+    spawned). Defaults to [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [workers < 1]. *)
+
+val workers : t -> int
+(** Number of parallel lanes, including the caller. *)
+
+val sequential : t
+(** A shared pool with a single lane and no spawned domains: running on it
+    is plain sequential execution (the paper's "1 T" rows). *)
+
+val parallel_chunks : t -> lo:int -> hi:int -> (chunk:int -> lo:int -> hi:int -> unit) -> unit
+(** [parallel_chunks t ~lo ~hi f] splits [[lo, hi)] into [workers t]
+    contiguous chunks and runs [f ~chunk ~lo:c_lo ~hi:c_hi] for each, in
+    parallel; returns only when all chunks completed (a barrier). [chunk]
+    ranges over [[0, workers t)] so callers can index per-worker scratch.
+    Empty chunks are still invoked with [lo = hi]. If any chunk raises, one
+    of the exceptions is re-raised in the caller after the barrier.
+    Must not be called re-entrantly from inside a running chunk. *)
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for t ~lo ~hi f] runs [f i] for every [i] in [[lo, hi)] using
+    {!parallel_chunks}. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. Subsequent parallel
+    calls raise [Invalid_argument]. {!sequential} cannot be shut down. *)
+
+val with_pool : ?workers:int -> (t -> 'a) -> 'a
+(** [with_pool f] creates a pool, applies [f], and shuts the pool down
+    (also on exception). *)

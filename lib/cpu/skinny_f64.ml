@@ -1,0 +1,162 @@
+open Xpose_core
+open Bigarray.Array1
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let check ~structs ~fields (b : buf) =
+  if structs < 1 || fields < 1 then
+    invalid_arg "Skinny_f64: structs and fields must be positive";
+  if dim b <> structs * fields then invalid_arg "Skinny_f64: buffer size"
+
+let strip_rows = 256
+
+(* Residual column rotation: column j gathers from row (i + res.(j)) mod
+   rows. All residuals are below [fields] (single-group anchoring), so a
+   head copy of [maxres] structures serves the wrap and strips can be
+   assembled struct by struct. *)
+let fine_rotate (b : buf) ~rows ~fields ~res =
+  let maxres = Array.fold_left max 0 res in
+  if maxres > 0 then begin
+    let head = Array.make (maxres * fields) 0.0 in
+    for r = 0 to maxres - 1 do
+      for j = 0 to fields - 1 do
+        head.((r * fields) + j) <- unsafe_get b ((r * fields) + j)
+      done
+    done;
+    let strip = Array.make (strip_rows * fields) 0.0 in
+    let r = ref 0 in
+    while !r < rows do
+      let count = min strip_rows (rows - !r) in
+      for t = 0 to count - 1 do
+        let i = !r + t in
+        for j = 0 to fields - 1 do
+          let src = i + Array.unsafe_get res j in
+          let v =
+            if src >= rows then head.(((src - rows) * fields) + j)
+            else unsafe_get b ((src * fields) + j)
+          in
+          strip.((t * fields) + j) <- v
+        done
+      done;
+      for t = 0 to count - 1 do
+        for j = 0 to fields - 1 do
+          unsafe_set b (((!r + t) * fields) + j) strip.((t * fields) + j)
+        done
+      done;
+      r := !r + count
+    done
+  end
+
+(* Backward residual rotation: column j gathers from row
+   (i - res.(j)) mod rows. Strips are processed from the last row
+   downward so un-overwritten sources are always below the cursor; a
+   tail copy of [maxres] structures serves the wrap. *)
+let fine_rotate_neg (b : buf) ~rows ~fields ~res =
+  let maxres = Array.fold_left max 0 res in
+  if maxres > 0 then begin
+    let tail = Array.make (maxres * fields) 0.0 in
+    for r = 0 to maxres - 1 do
+      for j = 0 to fields - 1 do
+        tail.((r * fields) + j) <- unsafe_get b (((rows - maxres + r) * fields) + j)
+      done
+    done;
+    let strip = Array.make (strip_rows * fields) 0.0 in
+    let r = ref rows in
+    while !r > 0 do
+      let count = min strip_rows !r in
+      let base_row = !r - count in
+      for t = 0 to count - 1 do
+        let i = base_row + t in
+        for j = 0 to fields - 1 do
+          let src = i - Array.unsafe_get res j in
+          let v =
+            if src < 0 then
+              (* wrapped source row rows+src lives in the saved tail *)
+              tail.(((src + maxres) * fields) + j)
+            else unsafe_get b ((src * fields) + j)
+          in
+          strip.((t * fields) + j) <- v
+        done
+      done;
+      for t = 0 to count - 1 do
+        for j = 0 to fields - 1 do
+          unsafe_set b (((base_row + t) * fields) + j) strip.((t * fields) + j)
+        done
+      done;
+      r := base_row
+    done
+  end
+
+(* Per-structure shuffle: struct i's fields are gathered by [index ~i]. *)
+let row_shuffle (b : buf) ~rows ~fields ~index =
+  let tmp = Array.make fields 0.0 in
+  for i = 0 to rows - 1 do
+    let base = i * fields in
+    for j = 0 to fields - 1 do
+      tmp.(j) <- unsafe_get b (base + index ~i j)
+    done;
+    for j = 0 to fields - 1 do
+      unsafe_set b (base + j) tmp.(j)
+    done
+  done
+
+(* Shared row permutation: move whole structures along the cycles of the
+   gather permutation [index]. *)
+let permute_rows (b : buf) ~rows ~fields ~index =
+  let visited = Bytes.make rows '\000' in
+  let saved = Array.make fields 0.0 in
+  let copy_struct ~src ~dst =
+    blit (sub b (src * fields) fields) (sub b (dst * fields) fields)
+  in
+  for i0 = 0 to rows - 1 do
+    if Bytes.get visited i0 = '\000' then begin
+      Bytes.set visited i0 '\001';
+      let src0 = index i0 in
+      if src0 <> i0 then begin
+        for j = 0 to fields - 1 do
+          saved.(j) <- unsafe_get b ((i0 * fields) + j)
+        done;
+        let i = ref i0 in
+        let src = ref src0 in
+        while !src <> i0 do
+          Bytes.set visited !src '\001';
+          copy_struct ~src:!src ~dst:!i;
+          i := !src;
+          src := index !src
+        done;
+        for j = 0 to fields - 1 do
+          unsafe_set b ((!i * fields) + j) saved.(j)
+        done
+      end
+    end
+  done
+
+let aos_to_soa ~structs ~fields b =
+  check ~structs ~fields b;
+  if structs > 1 && fields > 1 then begin
+    let p = Plan.make ~m:structs ~n:fields in
+    (* C2R on the structs x fields view. Residuals anchored at column 0
+       (amount 0), per the single-group analysis. *)
+    if not (Plan.coprime p) then
+      fine_rotate b ~rows:structs ~fields
+        ~res:(Array.init fields (fun j -> Plan.rotate_amount p j mod structs));
+    row_shuffle b ~rows:structs ~fields ~index:(fun ~i j -> Plan.d'_inv p ~i j);
+    fine_rotate b ~rows:structs ~fields
+      ~res:(Array.init fields (fun j -> j mod structs));
+    permute_rows b ~rows:structs ~fields ~index:(Plan.q p)
+  end
+
+let soa_to_aos ~structs ~fields b =
+  check ~structs ~fields b;
+  if structs > 1 && fields > 1 then begin
+    let p = Plan.make ~m:structs ~n:fields in
+    (* R2C: inverse passes in inverse order; the negative rotations run
+       through the backward strip pass so buffers stay O(fields^2). *)
+    permute_rows b ~rows:structs ~fields ~index:(Plan.q_inv p);
+    fine_rotate_neg b ~rows:structs ~fields
+      ~res:(Array.init fields (fun j -> j mod structs));
+    row_shuffle b ~rows:structs ~fields ~index:(fun ~i j -> Plan.d' p ~i j);
+    if not (Plan.coprime p) then
+      fine_rotate_neg b ~rows:structs ~fields
+        ~res:(Array.init fields (fun j -> Plan.rotate_amount p j mod structs))
+  end

@@ -1,0 +1,28 @@
+(** Specialized float64 kernels for the skinny matrices of data-layout
+    conversion (paper §6.1): an Array of Structures of [structs] records
+    with [fields] 64-bit fields is a [structs x fields] row-major matrix,
+    and both dimensions of the decomposition's passes can then be
+    organized so every memory access touches whole structures:
+
+    - the column rotations degenerate to a single group of [fields]
+      columns whose coarse amount is anchored at zero, leaving only the
+      bounded-residual blocked pass, which streams structures through an
+      on-cache strip buffer;
+    - the row shuffle permutes within each structure ([fields] elements —
+      always "on chip");
+    - the shared row permutation moves whole structures along its cycles
+      with contiguous [fields]-element copies.
+
+    Semantically identical to
+    [Xpose_simd.Aos.Make(Storage.Float64).aos_to_soa]/[soa_to_aos]
+    (asserted by the tests), but monomorphic and structure-granular. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val aos_to_soa : structs:int -> fields:int -> buf -> unit
+(** In-place conversion; afterwards field [f] occupies
+    [[f*structs, (f+1)*structs)].
+    @raise Invalid_argument on a size mismatch. *)
+
+val soa_to_aos : structs:int -> fields:int -> buf -> unit
+(** Exact inverse. *)

@@ -1,0 +1,96 @@
+(** Figures 8 and 9: SIMD Array-of-Structures access bandwidth versus
+    structure size for the three methods (C2R in-register transpose,
+    Direct element-wise, hardware Vector), unit-stride and random,
+    stores/copies and scatters/gathers — simulated exactly, warp by
+    warp. *)
+
+open Xpose_simd_machine
+open Xpose_simd
+
+let methods = [ ("C2R", Access.C2r); ("Direct", Access.Direct); ("Vector", Access.Vector) ]
+
+let sweep cfg ~n_structs ~pattern_of runner =
+  let sizes = Workload.struct_bytes_axis ~word_bytes:cfg.Config.word_bytes ~max_bytes:64 in
+  let xs = Array.map (fun w -> float_of_int (w * cfg.Config.word_bytes)) sizes in
+  let named =
+    List.map
+      (fun (name, meth) ->
+        ( name,
+          Array.map
+            (fun words ->
+              (runner cfg ~struct_words:words ~n_structs (pattern_of words) meth)
+                .Access.gbps)
+            sizes ))
+      methods
+  in
+  (xs, named)
+
+let metrics_of prefix xs named =
+  (* headline: value at 64-byte structs, and the C2R/Direct ratio there *)
+  let last = Array.length xs - 1 in
+  let value name = Array.get (List.assoc name named) last in
+  [
+    (prefix ^ "_c2r_64B_gbps", value "C2R");
+    (prefix ^ "_direct_64B_gbps", value "Direct");
+    (prefix ^ "_vector_64B_gbps", value "Vector");
+    (prefix ^ "_c2r_over_direct_64B", value "C2R" /. value "Direct");
+  ]
+
+let fig8 ?(n_structs = 2048) () =
+  let cfg = Config.k20c in
+  let unit _ = Access.Unit_stride in
+  let xs_s, store = sweep cfg ~n_structs ~pattern_of:unit Access.run_store in
+  let xs_c, copy = sweep cfg ~n_structs ~pattern_of:unit Access.run_copy in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Render.series ~title:"Figure 8a: unit-stride AoS store bandwidth"
+       ~xlabel:"struct bytes" ~unit:"GB/s" ~xs:xs_s store);
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Render.series ~title:"Figure 8b: unit-stride AoS copy bandwidth"
+       ~xlabel:"struct bytes" ~unit:"GB/s" ~xs:xs_c copy);
+  {
+    Outcome.id = "fig8";
+    title = "Unit-stride AoS access bandwidth vs structure size (Figure 8)";
+    rendered = Buffer.contents b;
+    metrics = metrics_of "store" xs_s store @ metrics_of "copy" xs_c copy;
+    figures =
+      [
+        ( "fig8a_store.svg",
+          Svg.series ~title:"Unit-stride AoS store" ~xlabel:"struct bytes"
+            ~ylabel:"GB/s" ~xs:xs_s store );
+        ( "fig8b_copy.svg",
+          Svg.series ~title:"Unit-stride AoS copy" ~xlabel:"struct bytes"
+            ~ylabel:"GB/s" ~xs:xs_c copy );
+      ];
+  }
+
+let fig9 ?(n_structs = 2048) ?(seed = 3) () =
+  let cfg = Config.k20c in
+  let rng = Rng.create ~seed in
+  let pattern_of _ = Access.Random (Rng.permutation rng n_structs) in
+  let xs_s, scatter = sweep cfg ~n_structs ~pattern_of Access.run_store in
+  let xs_g, gather = sweep cfg ~n_structs ~pattern_of Access.run_load in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Render.series ~title:"Figure 9a: random AoS scatter bandwidth"
+       ~xlabel:"struct bytes" ~unit:"GB/s" ~xs:xs_s scatter);
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Render.series ~title:"Figure 9b: random AoS gather bandwidth"
+       ~xlabel:"struct bytes" ~unit:"GB/s" ~xs:xs_g gather);
+  {
+    Outcome.id = "fig9";
+    title = "Random AoS access bandwidth vs structure size (Figure 9)";
+    rendered = Buffer.contents b;
+    metrics = metrics_of "scatter" xs_s scatter @ metrics_of "gather" xs_g gather;
+    figures =
+      [
+        ( "fig9a_scatter.svg",
+          Svg.series ~title:"Random AoS scatter" ~xlabel:"struct bytes"
+            ~ylabel:"GB/s" ~xs:xs_s scatter );
+        ( "fig9b_gather.svg",
+          Svg.series ~title:"Random AoS gather" ~xlabel:"struct bytes"
+            ~ylabel:"GB/s" ~xs:xs_g gather );
+      ];
+  }

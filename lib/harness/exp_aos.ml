@@ -1,0 +1,60 @@
+(** Figure 7: in-place Array-of-Structures to Structure-of-Arrays
+    conversion throughput with the skinny-matrix specialization (§6.1).
+    Paper setup: 10000 random AoS, structure size in [2, 32) 64-bit
+    fields, [10^4, 10^7) structures. *)
+
+open Xpose_simd_machine
+open Xpose_simd
+
+let run ?(seed = 11) ?(samples = 2000) ?(structs_lo = 10_000)
+    ?(structs_hi = 10_000_000) () =
+  let cfg = Config.k20c in
+  let rng = Rng.create ~seed in
+  let shapes =
+    Workload.aos_shapes rng ~count:samples ~fields_lo:2 ~fields_hi:32
+      ~structs_lo ~structs_hi
+  in
+  let specialized =
+    Array.map
+      (fun (structs, fields) ->
+        (Aos.cost_specialized cfg ~elt_bytes:8 ~structs ~fields).Aos.gbps)
+      shapes
+  in
+  let general =
+    Array.map
+      (fun (structs, fields) ->
+        (Aos.cost_general cfg ~elt_bytes:8 ~structs ~fields).Aos.gbps)
+      shapes
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Render.histogram ~bins:16
+       ~title:"AoS -> SoA in-place conversion, skinny specialization"
+       ~unit:"GB/s" specialized);
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Render.histogram ~bins:16
+       ~title:"same conversion through the general transposition"
+       ~unit:"GB/s" general);
+  let s = Stats.summarize specialized in
+  {
+    Outcome.id = "fig7";
+    title =
+      Printf.sprintf
+        "AoS->SoA conversion throughput (Figure 7); %d samples, fields in \
+         [2,32), structs in [%d, %d)"
+        samples structs_lo structs_hi;
+    rendered = Buffer.contents b;
+    metrics =
+      [
+        ("median_specialized_gbps", s.Stats.median);
+        ("max_specialized_gbps", s.Stats.max);
+        ("median_general_gbps", Stats.median general);
+      ];
+    figures =
+      [
+        ( "fig7_specialized.svg",
+          Svg.histogram ~title:"AoS -> SoA, skinny specialization"
+            ~unit:"GB/s" specialized );
+      ];
+  }

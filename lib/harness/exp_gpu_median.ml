@@ -1,0 +1,84 @@
+(** Figure 6 and Table 2: GPU in-place transposition throughput
+    distributions over random matrix sizes — Sung's tiled implementation
+    (32-bit), the decomposed algorithm on 32-bit, and on 64-bit elements.
+    Paper setup: m,n uniform in [1000, 20000) on a Tesla K20c; here the
+    same distribution priced on the simulated K20c. *)
+
+open Xpose_simd_machine
+open Xpose_simd
+
+let run ?(seed = 7) ?(samples = 200) ?(lo = 1000) ?(hi = 20000) () =
+  let cfg = Config.k20c in
+  let rng = Rng.create ~seed in
+  let dims = Workload.random_dims rng ~lo ~hi ~count:samples in
+  let sung =
+    Array.map
+      (fun (m, n) -> (Sung_gpu.cost cfg ~elt_bytes:4 ~m ~n).Sung_gpu.gbps)
+      dims
+  in
+  let c2r_float =
+    Array.map
+      (fun (m, n) ->
+        (Gpu_transpose.auto cfg ~elt_bytes:4 ~m ~n).Gpu_transpose.gbps)
+      dims
+  in
+  let c2r_double =
+    Array.map
+      (fun (m, n) ->
+        (Gpu_transpose.auto cfg ~elt_bytes:8 ~m ~n).Gpu_transpose.gbps)
+      dims
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Render.histogram ~bins:16 ~title:"Sung (float)" ~unit:"GB/s" sung);
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Render.histogram ~bins:16 ~title:"C2R (float)" ~unit:"GB/s" c2r_float);
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Render.histogram ~bins:16 ~title:"C2R (double)" ~unit:"GB/s" c2r_double);
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    "Table 2: Median in-place transposition throughputs, simulated K20c (GB/s)\n";
+  Buffer.add_string b
+    (Render.table
+       ~header:[ "Implementation"; "Median GB/s"; "Paper GB/s" ]
+       ~rows:
+         [
+           [ "Sung (float)"; Printf.sprintf "%.2f" (Stats.median sung); "5.33" ];
+           [
+             "C2R (float)";
+             Printf.sprintf "%.2f" (Stats.median c2r_float);
+             "14.23";
+           ];
+           [
+             "C2R (double)";
+             Printf.sprintf "%.2f" (Stats.median c2r_double);
+             "19.53";
+           ];
+         ]);
+  {
+    Outcome.id = "fig6";
+    title =
+      Printf.sprintf
+        "GPU throughput histograms & medians (Figure 6 / Table 2); %d \
+         samples, dims in [%d, %d)"
+        samples lo hi;
+    rendered = Buffer.contents b;
+    metrics =
+      [
+        ("median_sung_float_gbps", Stats.median sung);
+        ("median_c2r_float_gbps", Stats.median c2r_float);
+        ("median_c2r_double_gbps", Stats.median c2r_double);
+      ];
+    figures =
+      [
+        ("fig6_sung_float.svg", Svg.histogram ~title:"Sung (float)" ~unit:"GB/s" sung);
+        ("fig6_c2r_float.svg", Svg.histogram ~title:"C2R (float)" ~unit:"GB/s" c2r_float);
+        ("fig6_c2r_double.svg", Svg.histogram ~title:"C2R (double)" ~unit:"GB/s" c2r_double);
+      ];
+  }
+
+let table2 ?seed ?samples ?lo ?hi () =
+  let o = run ?seed ?samples ?lo ?hi () in
+  { o with Outcome.id = "table2" }

@@ -1,0 +1,114 @@
+(** Figures 4 and 5: C2R and R2C performance landscapes over the (m, n)
+    plane on the simulated K20c, at the paper's true dimension range
+    (the transaction model is analytic, so paper-scale matrices cost
+    nothing to price). *)
+
+open Xpose_simd_machine
+open Xpose_simd
+
+let landscape ~algorithm ~id ~title ?(points = 17) ?(lo = 1000) ?(hi = 25000)
+    ?(elt_bytes = 8) () =
+  let cfg = Config.k20c in
+  let xs = Workload.axis ~lo ~hi ~points in
+  let ys = Workload.axis ~lo ~hi ~points in
+  let grid =
+    Array.init points (fun yi ->
+        Array.init points (fun xi ->
+            let n = int_of_float xs.(xi) and m = int_of_float ys.(yi) in
+            (Gpu_transpose.cost cfg ~algorithm ~elt_bytes ~m ~n)
+              .Gpu_transpose.gbps))
+  in
+  let rendered =
+    Render.heatmap ~title ~xlabel:"columns n" ~ylabel:"rows m" ~xs ~ys
+      (fun xi yi -> grid.(yi).(xi))
+  in
+  let flat = Array.concat (Array.to_list grid) in
+  (* the on-chip band: the first columns of the grid vs the rest *)
+  let band_cols = max 1 (points / 6) in
+  let band = ref [] and rest = ref [] in
+  Array.iteri
+    (fun yi row ->
+      ignore yi;
+      Array.iteri
+        (fun xi v -> if xi < band_cols then band := v :: !band else rest := v :: !rest)
+        row)
+    grid;
+  let band = Array.of_list !band and rest = Array.of_list !rest in
+  let csv =
+    Render.csv
+      ~header:[ "m"; "n"; "gbps" ]
+      ~rows:
+        (List.concat_map
+           (fun yi ->
+             List.init points (fun xi ->
+                 [| ys.(yi); xs.(xi); grid.(yi).(xi) |]))
+           (List.init points Fun.id))
+  in
+  let svg =
+    Svg.heatmap ~title ~xlabel:"columns n" ~ylabel:"rows m" ~xs ~ys
+      (fun xi yi -> grid.(yi).(xi))
+  in
+  {
+    Outcome.id;
+    title;
+    rendered = rendered ^ "\n" ^ csv;
+    metrics =
+      [
+        ("median_gbps", Stats.median flat);
+        ("max_gbps", Stats.summarize flat |> fun s -> s.Stats.max);
+        ("band_median_gbps", Stats.median band);
+        ("offband_median_gbps", Stats.median rest);
+      ];
+    figures = [ (id ^ ".svg", svg) ];
+  }
+
+let fig4 ?points ?lo ?hi () =
+  landscape ~algorithm:`C2r ~id:"fig4"
+    ~title:"C2R performance landscape, simulated K20c, float64 (Figure 4)"
+    ?points ?lo ?hi ()
+
+(* Figure 5's band is horizontal (small m); reuse the same grid but swap
+   the banding axis by transposing the roles in the metric computation. *)
+let fig5 ?(points = 17) ?(lo = 1000) ?(hi = 25000) () =
+  let cfg = Config.k20c in
+  let xs = Workload.axis ~lo ~hi ~points in
+  let ys = Workload.axis ~lo ~hi ~points in
+  let grid =
+    Array.init points (fun yi ->
+        Array.init points (fun xi ->
+            let n = int_of_float xs.(xi) and m = int_of_float ys.(yi) in
+            (Gpu_transpose.cost cfg ~algorithm:`R2c ~elt_bytes:8 ~m ~n)
+              .Gpu_transpose.gbps))
+  in
+  let rendered =
+    Render.heatmap
+      ~title:"R2C performance landscape, simulated K20c, float64 (Figure 5)"
+      ~xlabel:"columns n" ~ylabel:"rows m" ~xs ~ys
+      (fun xi yi -> grid.(yi).(xi))
+  in
+  let flat = Array.concat (Array.to_list grid) in
+  let band_rows = max 1 (points / 6) in
+  let band = ref [] and rest = ref [] in
+  Array.iteri
+    (fun yi row ->
+      Array.iter
+        (fun v -> if yi < band_rows then band := v :: !band else rest := v :: !rest)
+        row)
+    grid;
+  let svg =
+    Svg.heatmap ~title:"R2C performance landscape (Figure 5)"
+      ~xlabel:"columns n" ~ylabel:"rows m" ~xs ~ys (fun xi yi ->
+        grid.(yi).(xi))
+  in
+  {
+    Outcome.id = "fig5";
+    title = "R2C performance landscape (Figure 5)";
+    rendered;
+    metrics =
+      [
+        ("median_gbps", Stats.median flat);
+        ("band_median_gbps", Stats.median (Array.of_list !band));
+        ("offband_median_gbps", Stats.median (Array.of_list !rest));
+      ];
+    figures = [ ("fig5.svg", svg) ];
+  }

@@ -1,0 +1,87 @@
+type spec = {
+  id : string;
+  description : string;
+  run : scale:float -> Outcome.t;
+}
+
+let scaled base scale = max 1 (int_of_float (float_of_int base *. scale))
+
+let all =
+  [
+    {
+      id = "fig1";
+      description = "C2R/R2C illustration, m=3 n=8 (Figure 1)";
+      run = (fun ~scale:_ -> Exp_figures.fig1 ());
+    };
+    {
+      id = "fig2";
+      description = "C2R phases on a 4x8 matrix (Figure 2)";
+      run = (fun ~scale:_ -> Exp_figures.fig2 ());
+    };
+    {
+      id = "fig3";
+      description = "CPU throughput histograms (Figure 3)";
+      run =
+        (fun ~scale ->
+          Exp_cpu.run ~samples:(scaled 24 scale)
+            ~dim_hi:(min 4000 (scaled 600 scale))
+            ());
+    };
+    {
+      id = "table1";
+      description = "CPU median throughputs (Table 1)";
+      run =
+        (fun ~scale ->
+          Exp_cpu.table1 ~samples:(scaled 24 scale)
+            ~dim_hi:(min 4000 (scaled 600 scale))
+            ());
+    };
+    {
+      id = "fig4";
+      description = "C2R performance landscape (Figure 4)";
+      run = (fun ~scale -> Exp_landscape.fig4 ~points:(min 49 (scaled 17 scale)) ());
+    };
+    {
+      id = "fig5";
+      description = "R2C performance landscape (Figure 5)";
+      run = (fun ~scale -> Exp_landscape.fig5 ~points:(min 49 (scaled 17 scale)) ());
+    };
+    {
+      id = "fig6";
+      description = "GPU throughput histograms (Figure 6)";
+      run = (fun ~scale -> Exp_gpu_median.run ~samples:(scaled 200 scale) ());
+    };
+    {
+      id = "table2";
+      description = "GPU median throughputs (Table 2)";
+      run = (fun ~scale -> Exp_gpu_median.table2 ~samples:(scaled 200 scale) ());
+    };
+    {
+      id = "fig7";
+      description = "AoS->SoA conversion throughput (Figure 7)";
+      run = (fun ~scale -> Exp_aos.run ~samples:(scaled 2000 scale) ());
+    };
+    {
+      id = "fig8";
+      description = "Unit-stride AoS access bandwidth (Figure 8)";
+      run = (fun ~scale -> Exp_access.fig8 ~n_structs:(32 * scaled 64 scale) ());
+    };
+    {
+      id = "fig9";
+      description = "Random AoS access bandwidth (Figure 9)";
+      run = (fun ~scale -> Exp_access.fig9 ~n_structs:(32 * scaled 64 scale) ());
+    };
+    {
+      id = "cycles";
+      description = "Cycle-length imbalance motivating the decomposition (§1)";
+      run =
+        (fun ~scale ->
+          Exp_cycles.run ~samples:(scaled 12 scale)
+            ~hi:(min 2000 (scaled 400 scale))
+            ());
+    };
+  ]
+
+let find id = List.find (fun s -> s.id = id) all
+
+let ids () = List.map (fun s -> s.id) all

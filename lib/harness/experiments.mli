@@ -1,0 +1,18 @@
+(** Registry of every reproduction experiment — one entry per table and
+    figure of the paper — with a [scale] knob that grows sample counts and
+    matrix sizes toward the paper's full setup. *)
+
+type spec = {
+  id : string;
+  description : string;
+  run : scale:float -> Outcome.t;
+}
+
+val all : spec list
+(** In paper order: fig1, fig2, fig3, table1, fig4, fig5, fig6, table2,
+    fig7, fig8, fig9. *)
+
+val find : string -> spec
+(** @raise Not_found for an unknown id. *)
+
+val ids : unit -> string list

@@ -1,0 +1,26 @@
+type t = {
+  id : string;
+  title : string;
+  rendered : string;
+  metrics : (string * float) list;
+  figures : (string * string) list;
+}
+
+let metric t name = List.assoc name t.metrics
+
+let write_figures ~dir t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun (name, doc) ->
+      let path = Filename.concat dir name in
+      Svg.write_file ~path doc;
+      path)
+    t.figures
+
+let print t =
+  Printf.printf "==== %s: %s ====\n%s\n" t.id t.title t.rendered;
+  if t.metrics <> [] then begin
+    Printf.printf "metrics:\n";
+    List.iter (fun (k, v) -> Printf.printf "  %-32s %.4f\n" k v) t.metrics
+  end;
+  print_newline ()

@@ -1,0 +1,23 @@
+(** The result of running one reproduction experiment: the rendered
+    figure/table plus headline metrics for EXPERIMENTS.md and for
+    shape-assertions in the test suite. *)
+
+type t = {
+  id : string;  (** e.g. ["fig3"] *)
+  title : string;
+  rendered : string;  (** printable figure/table text *)
+  metrics : (string * float) list;  (** named headline numbers *)
+  figures : (string * string) list;
+      (** graphical artifacts as [(filename, svg document)];
+          written by [experiments --out DIR] *)
+}
+
+val metric : t -> string -> float
+(** @raise Not_found if the metric is absent. *)
+
+val print : t -> unit
+(** Write the rendered output (with a header rule) to stdout. *)
+
+val write_figures : dir:string -> t -> string list
+(** Write every figure under [dir] (created if missing); returns the
+    paths written. *)

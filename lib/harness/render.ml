@@ -1,0 +1,125 @@
+let buf_add = Buffer.add_string
+
+let histogram ?(bins = 20) ?(width = 50) ~title ~unit values =
+  if Array.length values = 0 then invalid_arg "Render.histogram: empty sample";
+  if bins < 1 || width < 1 then invalid_arg "Render.histogram: bins/width";
+  let lo = Array.fold_left Float.min values.(0) values in
+  let hi = Array.fold_left Float.max values.(0) values in
+  let hi = if hi = lo then lo +. 1.0 else hi in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun v ->
+      let b =
+        int_of_float (float_of_int bins *. (v -. lo) /. (hi -. lo))
+      in
+      let b = if b >= bins then bins - 1 else b in
+      counts.(b) <- counts.(b) + 1)
+    values;
+  let maxc = Array.fold_left max 1 counts in
+  let median = Stats.median values in
+  let b = Buffer.create 1024 in
+  buf_add b
+    (Printf.sprintf "%s  (n=%d, median=%.2f %s)\n" title
+       (Array.length values) median unit);
+  for i = 0 to bins - 1 do
+    let blo = lo +. ((hi -. lo) *. float_of_int i /. float_of_int bins) in
+    let bhi = lo +. ((hi -. lo) *. float_of_int (i + 1) /. float_of_int bins) in
+    let bar = width * counts.(i) / maxc in
+    let marker = if median >= blo && median < bhi then " <- median" else "" in
+    buf_add b
+      (Printf.sprintf "%8.2f-%-8.2f | %s %d%s\n" blo bhi (String.make bar '#')
+         counts.(i) marker)
+  done;
+  Buffer.contents b
+
+let table ~header ~rows =
+  let arity = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> arity then
+        invalid_arg "Render.table: row arity mismatch")
+    rows;
+  let all = header :: rows in
+  let widths =
+    List.init arity (fun c ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all)
+  in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell -> Printf.sprintf "%-*s" (List.nth widths c) cell)
+         row)
+  in
+  let rule =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+  ^ "\n"
+
+let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let heatmap ~title ~xlabel ~ylabel ~xs ~ys f =
+  let nx = Array.length xs and ny = Array.length ys in
+  if nx = 0 || ny = 0 then invalid_arg "Render.heatmap: empty axes";
+  let vals = Array.init ny (fun yi -> Array.init nx (fun xi -> f xi yi)) in
+  let lo = ref vals.(0).(0) and hi = ref vals.(0).(0) in
+  Array.iter
+    (Array.iter (fun v ->
+         if v < !lo then lo := v;
+         if v > !hi then hi := v))
+    vals;
+  let range = if !hi = !lo then 1.0 else !hi -. !lo in
+  let b = Buffer.create 4096 in
+  buf_add b (Printf.sprintf "%s\n" title);
+  buf_add b
+    (Printf.sprintf "x: %s in [%.0f, %.0f]; y: %s in [%.0f, %.0f]\n" xlabel
+       xs.(0)
+       xs.(nx - 1)
+       ylabel ys.(0)
+       ys.(ny - 1));
+  buf_add b
+    (Printf.sprintf "shade ' '..'@' spans %.2f..%.2f GB/s\n" !lo !hi);
+  (* y grows downward in the rendering, like the paper's figures *)
+  for yi = 0 to ny - 1 do
+    buf_add b (Printf.sprintf "%7.0f |" ys.(yi));
+    for xi = 0 to nx - 1 do
+      let v = vals.(yi).(xi) in
+      let s =
+        int_of_float ((v -. !lo) /. range *. float_of_int (Array.length shades - 1))
+      in
+      Buffer.add_char b shades.(s);
+      Buffer.add_char b shades.(s)
+    done;
+    Buffer.add_char b '\n'
+  done;
+  buf_add b (Printf.sprintf "        +%s\n" (String.make (2 * nx) '-'));
+  Buffer.contents b
+
+let series ~title ~xlabel ~unit ~xs named =
+  let b = Buffer.create 1024 in
+  buf_add b (Printf.sprintf "%s  (%s)\n" title unit);
+  let header = xlabel :: List.map fst named in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i x ->
+           Printf.sprintf "%.0f" x
+           :: List.map (fun (_, ys) -> Printf.sprintf "%.2f" ys.(i)) named)
+         xs)
+  in
+  buf_add b (table ~header ~rows);
+  Buffer.contents b
+
+let csv ~header ~rows =
+  let b = Buffer.create 1024 in
+  buf_add b (String.concat "," header);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      buf_add b
+        (String.concat ","
+           (Array.to_list (Array.map (Printf.sprintf "%.6g") row)));
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b

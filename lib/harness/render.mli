@@ -1,0 +1,36 @@
+(** Plain-text rendering of the paper's three figure styles: histograms
+    (Figs. 3, 6, 7), heatmap landscapes (Figs. 4, 5) and line series
+    (Figs. 8, 9), plus aligned tables (Tables 1, 2). *)
+
+val histogram :
+  ?bins:int -> ?width:int -> title:string -> unit:string -> float array -> string
+(** ASCII histogram with the median marked, one bin per line:
+    {v 12.0-14.0 | ############ 42 v} *)
+
+val table : header:string list -> rows:string list list -> string
+(** Column-aligned table with a rule under the header.
+    @raise Invalid_argument if a row's arity differs from the header's. *)
+
+val heatmap :
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  xs:float array ->
+  ys:float array ->
+  (int -> int -> float) ->
+  string
+(** Shaded-character heatmap of [f xi yi] over the grid; includes a legend
+    with the value range. *)
+
+val series :
+  title:string ->
+  xlabel:string ->
+  unit:string ->
+  xs:float array ->
+  (string * float array) list ->
+  string
+(** Multi-series table: one row per x, one column per named series (the
+    form the paper's line plots reduce to in text). *)
+
+val csv : header:string list -> rows:float array list -> string
+(** Machine-readable dump used alongside each figure. *)

@@ -1,0 +1,38 @@
+(* SplitMix64 with OCaml's 63-bit ints: we keep the low 62 bits to stay
+   non-negative. Quality is ample for workload generation. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_u64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t = Int64.to_int (Int64.shift_right_logical (next_u64 t) 2)
+
+let int_range t ~lo ~hi =
+  if hi <= lo then invalid_arg "Rng.int_range: empty range";
+  lo + (next t mod (hi - lo))
+
+let float_unit t = float_of_int (next t) /. 4611686018427387904.0 (* 2^62 *)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_range t ~lo:0 ~hi:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n Fun.id in
+  shuffle t a;
+  a
+
+let split t = { state = next_u64 t }

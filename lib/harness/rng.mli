@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random numbers for workload generation
+    (SplitMix64). Experiments must be reproducible run-to-run, so no
+    global state: every generator is explicitly seeded. *)
+
+type t
+
+val create : seed:int -> t
+
+val next : t -> int
+(** Next raw 62-bit non-negative value. *)
+
+val int_range : t -> lo:int -> hi:int -> int
+(** Uniform in [[lo, hi)]. @raise Invalid_argument if [hi <= lo]. *)
+
+val float_unit : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val permutation : t -> int -> int array
+(** Fisher-Yates permutation of [[0, n)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** An independently-seeded generator derived from this one. *)

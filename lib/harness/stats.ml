@@ -1,0 +1,48 @@
+type summary = {
+  count : int;
+  mean : float;
+  median : float;
+  min : float;
+  max : float;
+  p25 : float;
+  p75 : float;
+  p99 : float;
+}
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = percentile xs 50.0
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty sample";
+  {
+    count = Array.length xs;
+    mean = mean xs;
+    median = median xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    p25 = percentile xs 25.0;
+    p75 = percentile xs 75.0;
+    p99 = percentile xs 99.0;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d median=%.3f mean=%.3f min=%.3f p25=%.3f p75=%.3f p99=%.3f max=%.3f"
+    s.count s.median s.mean s.min s.p25 s.p75 s.p99 s.max

@@ -1,0 +1,27 @@
+(** Sample statistics for throughput distributions (the paper reports
+    medians throughout and histograms of the full distributions). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  median : float;
+  min : float;
+  max : float;
+  p25 : float;
+  p75 : float;
+  p99 : float;
+}
+
+val median : float array -> float
+(** @raise Invalid_argument on an empty sample. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [[0, 100]], linear interpolation.
+    @raise Invalid_argument on an empty sample or [p] out of range. *)
+
+val mean : float array -> float
+
+val summarize : float array -> summary
+(** @raise Invalid_argument on an empty sample. *)
+
+val pp_summary : Format.formatter -> summary -> unit

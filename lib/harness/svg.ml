@@ -1,0 +1,269 @@
+let buf_addf b fmt = Printf.ksprintf (Buffer.add_string b) fmt
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  b
+
+let header b ~width ~height ~title =
+  buf_addf b
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+     <svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\" font-family=\"sans-serif\">\n"
+    width height width height;
+  buf_addf b
+    "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n\
+     <text x=\"%d\" y=\"18\" font-size=\"13\" text-anchor=\"middle\" \
+     font-weight=\"bold\">%s</text>\n"
+    width height (width / 2)
+    (Buffer.contents (escape title))
+
+let footer b = Buffer.add_string b "</svg>\n"
+
+(* left/right/top/bottom margins of the plot area *)
+let ml = 55 and mr = 20 and mt = 30 and mb = 42
+
+let axis_labels b ~width ~height ~xlabel ~ylabel =
+  buf_addf b
+    "<text x=\"%d\" y=\"%d\" font-size=\"11\" text-anchor=\"middle\">%s</text>\n"
+    ((ml + width - mr) / 2)
+    (height - 8)
+    (Buffer.contents (escape xlabel));
+  buf_addf b
+    "<text x=\"14\" y=\"%d\" font-size=\"11\" text-anchor=\"middle\" \
+     transform=\"rotate(-90 14 %d)\">%s</text>\n"
+    ((mt + height - mb) / 2)
+    ((mt + height - mb) / 2)
+    (Buffer.contents (escape ylabel))
+
+let histogram ?(width = 480) ?(height = 300) ?(bins = 24) ~title ~unit values =
+  if Array.length values = 0 then invalid_arg "Svg.histogram: empty sample";
+  if bins < 1 then invalid_arg "Svg.histogram: bins";
+  let lo = Array.fold_left Float.min values.(0) values in
+  let hi = Array.fold_left Float.max values.(0) values in
+  let hi = if hi = lo then lo +. 1.0 else hi in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun v ->
+      let k = int_of_float (float_of_int bins *. (v -. lo) /. (hi -. lo)) in
+      let k = if k >= bins then bins - 1 else k in
+      counts.(k) <- counts.(k) + 1)
+    values;
+  let maxc = Array.fold_left max 1 counts in
+  let b = Buffer.create 4096 in
+  header b ~width ~height ~title;
+  let pw = width - ml - mr and ph = height - mt - mb in
+  let x_of v = float_of_int ml +. ((v -. lo) /. (hi -. lo) *. float_of_int pw) in
+  (* bars *)
+  Array.iteri
+    (fun k c ->
+      if c > 0 then begin
+        let x0 = float_of_int ml +. (float_of_int (k * pw) /. float_of_int bins) in
+        let bw = float_of_int pw /. float_of_int bins in
+        let bh = float_of_int (c * ph) /. float_of_int maxc in
+        buf_addf b
+          "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+           fill=\"#4878a8\" stroke=\"white\" stroke-width=\"0.5\"/>\n"
+          x0
+          (float_of_int (mt + ph) -. bh)
+          bw bh
+      end)
+    counts;
+  (* frame + ticks *)
+  buf_addf b
+    "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"none\" \
+     stroke=\"black\"/>\n"
+    ml mt pw ph;
+  List.iter
+    (fun frac ->
+      let v = lo +. ((hi -. lo) *. frac) in
+      buf_addf b
+        "<text x=\"%.1f\" y=\"%d\" font-size=\"10\" text-anchor=\"middle\">%.2f</text>\n"
+        (x_of v) (mt + ph + 14) v)
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
+  buf_addf b
+    "<text x=\"%d\" y=\"%d\" font-size=\"10\" text-anchor=\"end\">%d</text>\n"
+    (ml - 4) (mt + 10) maxc;
+  buf_addf b
+    "<text x=\"%d\" y=\"%d\" font-size=\"10\" text-anchor=\"end\">0</text>\n"
+    (ml - 4) (mt + ph) ;
+  (* median marker *)
+  let med = Stats.median values in
+  buf_addf b
+    "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" stroke=\"#c03028\" \
+     stroke-dasharray=\"5,3\" stroke-width=\"1.5\"/>\n"
+    (x_of med) mt (x_of med) (mt + ph);
+  buf_addf b
+    "<text x=\"%.1f\" y=\"%d\" font-size=\"10\" fill=\"#c03028\">median %.2f</text>\n"
+    (x_of med +. 4.0) (mt + 12) med;
+  axis_labels b ~width ~height ~xlabel:unit ~ylabel:"samples";
+  footer b;
+  Buffer.contents b
+
+(* blue -> yellow -> red color ramp, like typical throughput landscapes *)
+let ramp t =
+  let t = Float.max 0.0 (Float.min 1.0 t) in
+  let r, g, bl =
+    if t < 0.5 then
+      let u = t *. 2.0 in
+      (int_of_float (68.0 +. (u *. (253.0 -. 68.0))),
+       int_of_float (84.0 +. (u *. (191.0 -. 84.0))),
+       int_of_float (160.0 -. (u *. (160.0 -. 60.0))))
+    else
+      let u = (t -. 0.5) *. 2.0 in
+      (int_of_float (253.0 -. (u *. (253.0 -. 200.0))),
+       int_of_float (191.0 -. (u *. (191.0 -. 40.0))),
+       int_of_float (60.0 -. (u *. (60.0 -. 30.0))))
+  in
+  Printf.sprintf "#%02x%02x%02x" r g bl
+
+let heatmap ?(width = 520) ?(height = 440) ~title ~xlabel ~ylabel ~xs ~ys f =
+  let nx = Array.length xs and ny = Array.length ys in
+  if nx = 0 || ny = 0 then invalid_arg "Svg.heatmap: empty axes";
+  let vals = Array.init ny (fun yi -> Array.init nx (fun xi -> f xi yi)) in
+  let lo = ref vals.(0).(0) and hi = ref vals.(0).(0) in
+  Array.iter
+    (Array.iter (fun v ->
+         if v < !lo then lo := v;
+         if v > !hi then hi := v))
+    vals;
+  let range = if !hi = !lo then 1.0 else !hi -. !lo in
+  let b = Buffer.create 16384 in
+  header b ~width ~height ~title;
+  let legend_w = 60 in
+  let pw = width - ml - mr - legend_w and ph = height - mt - mb in
+  let cw = float_of_int pw /. float_of_int nx in
+  let ch = float_of_int ph /. float_of_int ny in
+  for yi = 0 to ny - 1 do
+    for xi = 0 to nx - 1 do
+      let t = (vals.(yi).(xi) -. !lo) /. range in
+      buf_addf b
+        "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" fill=\"%s\"/>\n"
+        (float_of_int ml +. (float_of_int xi *. cw))
+        (float_of_int mt +. (float_of_int yi *. ch))
+        (cw +. 0.5) (ch +. 0.5) (ramp t)
+    done
+  done;
+  buf_addf b
+    "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"none\" stroke=\"black\"/>\n"
+    ml mt pw ph;
+  (* axis extremes *)
+  buf_addf b
+    "<text x=\"%d\" y=\"%d\" font-size=\"10\">%.0f</text>\n" ml (mt + ph + 14)
+    xs.(0);
+  buf_addf b
+    "<text x=\"%d\" y=\"%d\" font-size=\"10\" text-anchor=\"end\">%.0f</text>\n"
+    (ml + pw) (mt + ph + 14)
+    xs.(nx - 1);
+  buf_addf b
+    "<text x=\"%d\" y=\"%d\" font-size=\"10\" text-anchor=\"end\">%.0f</text>\n"
+    (ml - 4) (mt + 10) ys.(0);
+  buf_addf b
+    "<text x=\"%d\" y=\"%d\" font-size=\"10\" text-anchor=\"end\">%.0f</text>\n"
+    (ml - 4) (mt + ph) ys.(ny - 1);
+  (* legend: vertical ramp *)
+  let lx = ml + pw + 18 in
+  let steps = 32 in
+  for s = 0 to steps - 1 do
+    let t = 1.0 -. (float_of_int s /. float_of_int (steps - 1)) in
+    buf_addf b
+      "<rect x=\"%d\" y=\"%.2f\" width=\"14\" height=\"%.2f\" fill=\"%s\"/>\n"
+      lx
+      (float_of_int mt +. (float_of_int (s * ph) /. float_of_int steps))
+      ((float_of_int ph /. float_of_int steps) +. 0.5)
+      (ramp t)
+  done;
+  buf_addf b "<text x=\"%d\" y=\"%d\" font-size=\"10\">%.1f</text>\n" (lx + 18)
+    (mt + 10) !hi;
+  buf_addf b "<text x=\"%d\" y=\"%d\" font-size=\"10\">%.1f</text>\n" (lx + 18)
+    (mt + ph) !lo;
+  axis_labels b ~width ~height ~xlabel ~ylabel;
+  footer b;
+  Buffer.contents b
+
+let palette = [| "#4878a8"; "#c03028"; "#489048"; "#a060a8"; "#b08030" |]
+
+let series ?(width = 520) ?(height = 340) ~title ~xlabel ~ylabel ~xs named =
+  let nx = Array.length xs in
+  if nx = 0 || named = [] then invalid_arg "Svg.series: empty data";
+  List.iter
+    (fun (_, ys) ->
+      if Array.length ys <> nx then invalid_arg "Svg.series: length mismatch")
+    named;
+  let lo = ref infinity and hi = ref neg_infinity in
+  List.iter
+    (fun (_, ys) ->
+      Array.iter
+        (fun v ->
+          if v < !lo then lo := v;
+          if v > !hi then hi := v)
+        ys)
+    named;
+  let lo = Float.min 0.0 !lo in
+  let hi = if !hi = lo then lo +. 1.0 else !hi in
+  let b = Buffer.create 8192 in
+  header b ~width ~height ~title;
+  let pw = width - ml - mr and ph = height - mt - mb in
+  let x_of i =
+    float_of_int ml
+    +. ((xs.(i) -. xs.(0)) /. (xs.(nx - 1) -. xs.(0) +. 1e-9) *. float_of_int pw)
+  in
+  let y_of v =
+    float_of_int (mt + ph) -. ((v -. lo) /. (hi -. lo) *. float_of_int ph)
+  in
+  List.iteri
+    (fun si (name, ys) ->
+      let color = palette.(si mod Array.length palette) in
+      let pts = Buffer.create 256 in
+      for i = 0 to nx - 1 do
+        if i > 0 then Buffer.add_char pts ' ';
+        buf_addf pts "%.1f,%.1f" (x_of i) (y_of ys.(i))
+      done;
+      buf_addf b
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\"/>\n"
+        (Buffer.contents pts) color;
+      for i = 0 to nx - 1 do
+        buf_addf b "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.4\" fill=\"%s\"/>\n"
+          (x_of i) (y_of ys.(i)) color
+      done;
+      (* legend entry *)
+      let ly = mt + 14 + (si * 16) in
+      buf_addf b
+        "<rect x=\"%d\" y=\"%d\" width=\"12\" height=\"3\" fill=\"%s\"/>\n"
+        (ml + 10) (ly - 4) color;
+      buf_addf b "<text x=\"%d\" y=\"%d\" font-size=\"11\">%s</text>\n"
+        (ml + 28) ly
+        (Buffer.contents (escape name)))
+    named;
+  buf_addf b
+    "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"none\" stroke=\"black\"/>\n"
+    ml mt pw ph;
+  (* ticks *)
+  buf_addf b "<text x=\"%d\" y=\"%d\" font-size=\"10\">%.0f</text>\n" ml
+    (mt + ph + 14) xs.(0);
+  buf_addf b
+    "<text x=\"%d\" y=\"%d\" font-size=\"10\" text-anchor=\"end\">%.0f</text>\n"
+    (ml + pw) (mt + ph + 14)
+    xs.(nx - 1);
+  buf_addf b
+    "<text x=\"%d\" y=\"%d\" font-size=\"10\" text-anchor=\"end\">%.1f</text>\n"
+    (ml - 4) (mt + 10) hi;
+  buf_addf b
+    "<text x=\"%d\" y=\"%d\" font-size=\"10\" text-anchor=\"end\">%.1f</text>\n"
+    (ml - 4) (mt + ph) lo;
+  axis_labels b ~width ~height ~xlabel ~ylabel;
+  footer b;
+  Buffer.contents b
+
+let write_file ~path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc doc)

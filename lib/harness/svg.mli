@@ -1,0 +1,44 @@
+(** Standalone SVG renderings of the paper's three figure styles, so
+    `experiments --out DIR` can regenerate graphical artifacts without
+    any plotting dependency. All functions return a complete SVG
+    document as a string. *)
+
+val histogram :
+  ?width:int ->
+  ?height:int ->
+  ?bins:int ->
+  title:string ->
+  unit:string ->
+  float array ->
+  string
+(** Vertical-bar histogram with the median marked by a dashed rule
+    (the style of the paper's Figures 3, 6, 7).
+    @raise Invalid_argument on an empty sample. *)
+
+val heatmap :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  xs:float array ->
+  ys:float array ->
+  (int -> int -> float) ->
+  string
+(** Color-mapped landscape over a grid, with a value-range legend
+    (Figures 4, 5). @raise Invalid_argument on empty axes. *)
+
+val series :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  xs:float array ->
+  (string * float array) list ->
+  string
+(** Multi-series line chart with a legend (Figures 8, 9).
+    @raise Invalid_argument on empty or mismatched series. *)
+
+val write_file : path:string -> string -> unit
+(** Write a document to disk. *)

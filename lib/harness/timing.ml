@@ -1,0 +1,15 @@
+let time_ns f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1e9
+
+let best_of ?(repeats = 3) f =
+  let best = ref infinity in
+  for _ = 1 to max 1 repeats do
+    let t = time_ns f in
+    if t < !best then best := t
+  done;
+  !best
+
+let throughput_gbps ~elems ~elt_bytes ~ns =
+  if ns <= 0.0 then 0.0 else 2.0 *. float_of_int (elems * elt_bytes) /. ns

@@ -1,0 +1,12 @@
+(** Wall-clock measurement and the paper's throughput definition. *)
+
+val time_ns : (unit -> unit) -> float
+(** One timed run (monotonic clock). *)
+
+val best_of : ?repeats:int -> (unit -> unit) -> float
+(** Minimum time over [repeats] runs (default 3) — the standard way to
+    suppress scheduler noise for deterministic kernels. *)
+
+val throughput_gbps : elems:int -> elt_bytes:int -> ns:float -> float
+(** Eq. 37: [2 * elems * elt_bytes / t] — every byte read once and
+    written once. *)

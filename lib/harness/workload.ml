@@ -1,0 +1,28 @@
+let random_dims rng ~lo ~hi ~count =
+  Array.init count (fun _ ->
+      (Rng.int_range rng ~lo ~hi, Rng.int_range rng ~lo ~hi))
+
+let axis ~lo ~hi ~points =
+  if points < 1 then invalid_arg "Workload.axis: points";
+  if points = 1 then [| float_of_int lo |]
+  else
+    Array.init points (fun i ->
+        float_of_int lo
+        +. (float_of_int (hi - lo) *. float_of_int i /. float_of_int (points - 1)))
+
+let aos_shapes rng ~count ~fields_lo ~fields_hi ~structs_lo ~structs_hi =
+  if structs_lo < 1 || structs_hi <= structs_lo then
+    invalid_arg "Workload.aos_shapes: structs range";
+  let log_lo = log (float_of_int structs_lo)
+  and log_hi = log (float_of_int structs_hi) in
+  Array.init count (fun _ ->
+      let fields = Rng.int_range rng ~lo:fields_lo ~hi:fields_hi in
+      let structs =
+        int_of_float
+          (exp (log_lo +. ((log_hi -. log_lo) *. Rng.float_unit rng)))
+      in
+      (max structs_lo structs, fields))
+
+let struct_bytes_axis ~word_bytes ~max_bytes =
+  if max_bytes < word_bytes then invalid_arg "Workload.struct_bytes_axis";
+  Array.init (max_bytes / word_bytes) (fun i -> i + 1)

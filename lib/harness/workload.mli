@@ -1,0 +1,26 @@
+(** Workload generators matching the paper's benchmark distributions. *)
+
+val random_dims : Rng.t -> lo:int -> hi:int -> count:int -> (int * int) array
+(** [count] pairs [(m, n)] with both dims uniform in [[lo, hi)] — the
+    paper's random-matrix distribution (§5.1: [1000, 10000), §5.2:
+    [1000, 20000)). *)
+
+val axis : lo:int -> hi:int -> points:int -> float array
+(** [points] evenly spaced values covering [[lo, hi]] (landscape grid
+    axes, Figs. 4-5). *)
+
+val aos_shapes :
+  Rng.t ->
+  count:int ->
+  fields_lo:int ->
+  fields_hi:int ->
+  structs_lo:int ->
+  structs_hi:int ->
+  (int * int) array
+(** [(structs, fields)] pairs; fields uniform, structs log-uniform across
+    the given range (§6.1 uses fields in [2, 32) and structs in
+    [10^4, 10^7)). *)
+
+val struct_bytes_axis : word_bytes:int -> max_bytes:int -> int array
+(** Struct sizes in words for a bytes axis [word, 2*word, ..., max_bytes]
+    (Figs. 8-9 sweep 4..64 bytes). *)

@@ -1,0 +1,28 @@
+let create ~path ~elements =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.ftruncate fd (elements * 8))
+
+let with_map ?(write = true) ~path f =
+  let flags = if write then [ Unix.O_RDWR ] else [ Unix.O_RDONLY ] in
+  let fd = Unix.openfile path flags 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let bytes = (Unix.fstat fd).Unix.st_size in
+      if bytes mod 8 <> 0 then
+        invalid_arg "File_matrix.with_map: file length is not a multiple of 8";
+      let gen =
+        Unix.map_file fd Bigarray.float64 Bigarray.c_layout write
+          [| bytes / 8 |]
+      in
+      f (Bigarray.array1_of_genarray gen))
+
+let transpose_file ~path ~m ~n =
+  if m < 1 || n < 1 then
+    invalid_arg "File_matrix.transpose_file: dimensions must be positive";
+  with_map ~path (fun buf ->
+      if Bigarray.Array1.dim buf <> m * n then
+        invalid_arg "File_matrix.transpose_file: file does not hold m*n elements";
+      Xpose_core.Kernels_f64.transpose ~m ~n buf)

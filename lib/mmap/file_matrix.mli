@@ -1,0 +1,26 @@
+(** Out-of-core matrices: memory-mapped files as transposition buffers.
+
+    Because the decomposition needs only [O(max(m,n))] auxiliary memory,
+    matrices larger than RAM can be transposed in place in their backing
+    file — the mapped buffer is an ordinary float64 bigarray, so it works
+    directly with {!Xpose_core.Kernels_f64} and every functor instance
+    over [Storage.Float64]. *)
+
+val create : path:string -> elements:int -> unit
+(** Create (or truncate) a file holding [elements] float64 zeros.
+    @raise Unix.Unix_error on I/O failure. *)
+
+val with_map :
+  ?write:bool -> path:string -> (Xpose_core.Storage.Float64.t -> 'a) -> 'a
+(** [with_map ~path f] maps the whole file as a float64 array, applies
+    [f], syncs (when [write], the default), and unmaps before returning.
+    The file length must be a multiple of 8 bytes.
+    @raise Invalid_argument on a misaligned file;
+    @raise Unix.Unix_error on I/O failure. *)
+
+val transpose_file : path:string -> m:int -> n:int -> unit
+(** Transpose the row-major [m x n] float64 matrix stored in [path], in
+    place in the file, using the specialized kernels and [max m n]
+    scratch in RAM.
+    @raise Invalid_argument if the file does not hold exactly [m*n]
+    elements. *)

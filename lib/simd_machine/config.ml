@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  lanes : int;
+  word_bytes : int;
+  line_bytes : int;
+  coalesce_bytes : int;
+  effective_gbps : float;
+  partial_store_factor : float;
+  instr_ns : float;
+  onchip_bytes : int;
+}
+
+let k20c =
+  {
+    name = "Tesla K20c (simulated)";
+    lanes = 32;
+    word_bytes = 4;
+    line_bytes = 32;
+    coalesce_bytes = 128;
+    effective_gbps = 180.0;
+    partial_store_factor = 2.0;
+    instr_ns = 0.05;
+    onchip_bytes = 29440 * 8;
+  }
+
+let avx512_like =
+  {
+    name = "AVX-512-like CPU SIMD (simulated)";
+    lanes = 16;
+    word_bytes = 4;
+    line_bytes = 64;
+    coalesce_bytes = 64;
+    effective_gbps = 40.0;
+    partial_store_factor = 2.0;
+    instr_ns = 0.15;
+    onchip_bytes = 32 * 1024;
+  }
+
+let validate t =
+  if t.lanes < 1 then invalid_arg "Config: lanes";
+  if t.word_bytes < 1 then invalid_arg "Config: word_bytes";
+  if t.line_bytes < t.word_bytes || t.line_bytes mod t.word_bytes <> 0 then
+    invalid_arg "Config: line_bytes must be a positive multiple of word_bytes";
+  if t.coalesce_bytes < t.line_bytes || t.coalesce_bytes mod t.line_bytes <> 0
+  then
+    invalid_arg "Config: coalesce_bytes must be a positive multiple of line_bytes";
+  if t.effective_gbps <= 0.0 then invalid_arg "Config: effective_gbps";
+  if t.partial_store_factor < 1.0 then invalid_arg "Config: partial_store_factor";
+  if t.instr_ns < 0.0 then invalid_arg "Config: instr_ns";
+  if t.onchip_bytes < 1 then invalid_arg "Config: onchip_bytes"

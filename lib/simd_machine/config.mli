@@ -1,0 +1,59 @@
+(** Parameters of the simulated SIMT processor.
+
+    The paper's GPU results (§5.2, §6) are statements about memory access
+    {e shape}: how many cache-line transactions a warp's memory instruction
+    generates, whether permutations happen in the register file or through
+    DRAM, and how instruction overhead compares to memory time. The
+    simulator models exactly those quantities:
+
+    - a warp of [lanes] lanes issues one memory instruction at a time;
+      the distinct [line_bytes]-sized lines covered by the lanes' addresses
+      each cost one transaction that moves a whole line;
+    - store transactions that fill only part of a line pay
+      [partial_store_factor] (write-allocate: the line is read, merged,
+      written back);
+    - kernel time is [max(weighted_bytes / effective_gbps,
+      instructions * instr_ns)] — bandwidth-bound unless the instruction
+      stream is long (e.g. many [dlog2 m] select steps of the dynamic
+      rotation, §6.2.2);
+    - [onchip_bytes] bounds the row length that the row shuffle can stage
+      on chip in a single pass (§4.5). *)
+
+type t = {
+  name : string;
+  lanes : int;  (** warp width *)
+  word_bytes : int;  (** smallest addressable access granule *)
+  line_bytes : int;
+      (** memory transaction size — on Kepler-class hardware global
+          accesses move 32-byte sectors *)
+  coalesce_bytes : int;
+      (** the width grouped kernels aim to move per sub-row (a full
+          128-byte cache line) *)
+  effective_gbps : float;
+      (** sustained streaming bandwidth, in bytes per nanosecond
+          (numerically equal to GB/s) *)
+  partial_store_factor : float;
+      (** cost multiplier for store transactions that fill only part of a
+          line *)
+  instr_ns : float;
+      (** aggregate cost per warp-wide instruction (shuffle, select),
+          already amortized over the chip's parallelism *)
+  onchip_bytes : int;
+      (** per-multiprocessor staging capacity for single-pass row shuffles *)
+}
+
+val k20c : t
+(** An NVIDIA Tesla K20c-like machine: 32 lanes, 32-byte transaction
+    sectors within 128-byte lines, 180 GB/s effective bandwidth (the
+    paper's measured peak for transposed accesses), and on-chip capacity
+    for 29440 64-bit elements per row (§4.5). *)
+
+val avx512_like : t
+(** A CPU SIMD instantiation (§1 notes the algorithm suits "both CPUs and
+    GPUs"): 16 four-byte lanes (one 512-bit vector), 64-byte cache lines,
+    and an L1-sized staging budget. Lane shuffles map to [vperm*],
+    the barrel rotation to masked [valign]-style steps. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument if any field is non-positive or [line_bytes]
+    is not a multiple of [word_bytes]. *)

@@ -1,0 +1,221 @@
+type kind = Load | Store
+
+type t = {
+  cfg : Config.t;
+  data : int array;
+  mutable load_tx : int;
+  mutable store_tx : int;
+  mutable instrs : int;
+  mutable useful : int;
+  mutable weighted : float;
+  scratch_lines : int array; (* per-instruction line ids, length lanes *)
+}
+
+type stats = {
+  load_transactions : int;
+  store_transactions : int;
+  instructions : int;
+  useful_bytes : int;
+  weighted_bytes : float;
+}
+
+let create cfg ~words =
+  Config.validate cfg;
+  if words < 0 then invalid_arg "Memory.create: words";
+  {
+    cfg;
+    data = Array.make words 0;
+    load_tx = 0;
+    store_tx = 0;
+    instrs = 0;
+    useful = 0;
+    weighted = 0.0;
+    scratch_lines = Array.make cfg.Config.lanes 0;
+  }
+
+let config t = t.cfg
+let words t = Array.length t.data
+
+let peek t a = t.data.(a)
+let poke t a v = t.data.(a) <- v
+
+let words_per_line t = t.cfg.Config.line_bytes / t.cfg.Config.word_bytes
+
+(* Count distinct lines among the active lanes' addresses and, for stores,
+   how full each line is. Returns (lines, full_lines). *)
+let collect_lines t ~addrs =
+  let wpl = words_per_line t in
+  let k = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some a ->
+          if a < 0 || a >= Array.length t.data then
+            invalid_arg "Memory: address out of range";
+          t.scratch_lines.(!k) <- a / wpl;
+          incr k)
+    addrs;
+  let active = !k in
+  if active = 0 then (0, 0, 0)
+  else begin
+    let lines = Array.sub t.scratch_lines 0 active in
+    Array.sort compare lines;
+    let distinct = ref 1 and max_fill = ref 1 and fill = ref 1 in
+    for i = 1 to active - 1 do
+      if lines.(i) = lines.(i - 1) then begin
+        incr fill;
+        if !fill > !max_fill then max_fill := !fill
+      end
+      else begin
+        incr distinct;
+        fill := 1
+      end
+    done;
+    (active, !distinct, !max_fill)
+  end
+
+let check_arity t ~addrs =
+  if Array.length addrs <> t.cfg.Config.lanes then
+    invalid_arg "Memory: address vector must have one slot per lane"
+
+let warp_load t ~addrs =
+  check_arity t ~addrs;
+  let active, lines, _ = collect_lines t ~addrs in
+  t.instrs <- t.instrs + 1;
+  if active > 0 then begin
+    t.load_tx <- t.load_tx + lines;
+    t.useful <- t.useful + (active * t.cfg.Config.word_bytes);
+    t.weighted <- t.weighted +. float_of_int (lines * t.cfg.Config.line_bytes)
+  end;
+  Array.map (Option.map (fun a -> t.data.(a))) addrs
+
+let warp_store t ~addrs ~values =
+  check_arity t ~addrs;
+  if Array.length values <> t.cfg.Config.lanes then
+    invalid_arg "Memory: value vector must have one slot per lane";
+  let active, lines, _ = collect_lines t ~addrs in
+  t.instrs <- t.instrs + 1;
+  if active > 0 then begin
+    t.store_tx <- t.store_tx + lines;
+    t.useful <- t.useful + (active * t.cfg.Config.word_bytes);
+    (* A line is partial unless enough active lanes cover it entirely; use
+       the average fill across this instruction's lines. *)
+    let wpl = words_per_line t in
+    let avg_fill = float_of_int active /. float_of_int lines in
+    let factor =
+      if avg_fill >= float_of_int wpl then 1.0
+      else t.cfg.Config.partial_store_factor
+    in
+    t.weighted <-
+      t.weighted +. (factor *. float_of_int (lines * t.cfg.Config.line_bytes))
+  end;
+  Array.iteri
+    (fun lane slot ->
+      match (slot, values.(lane)) with
+      | None, _ -> ()
+      | Some a, Some v -> t.data.(a) <- v
+      | Some _, None -> invalid_arg "Memory: active lane without a value")
+    addrs
+
+let charge_warp_span t kind ~starts ~span =
+  check_arity t ~addrs:starts;
+  if span < 1 then invalid_arg "Memory.charge_warp_span: span";
+  let wpl = words_per_line t in
+  (* Collect the line ids covered by every active lane's span. *)
+  let ids = ref [] in
+  let active = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some a ->
+          if a < 0 || a + span > Array.length t.data then
+            invalid_arg "Memory: span out of range";
+          incr active;
+          let first = a / wpl and last = (a + span - 1) / wpl in
+          for l = first to last do
+            ids := l :: !ids
+          done)
+    starts;
+  t.instrs <- t.instrs + 1;
+  if !active > 0 then begin
+    let ids = List.sort_uniq compare !ids in
+    let lines = List.length ids in
+    let useful = !active * span * t.cfg.Config.word_bytes in
+    (match kind with
+    | Load -> t.load_tx <- t.load_tx + lines
+    | Store -> t.store_tx <- t.store_tx + lines);
+    t.useful <- t.useful + useful;
+    let factor =
+      match kind with
+      | Load -> 1.0
+      | Store ->
+          if useful >= lines * t.cfg.Config.line_bytes then 1.0
+          else t.cfg.Config.partial_store_factor
+    in
+    t.weighted <-
+      t.weighted +. (factor *. float_of_int (lines * t.cfg.Config.line_bytes))
+  end
+
+let charge_stream t kind ~bytes =
+  if bytes < 0 then invalid_arg "Memory.charge_stream: bytes";
+  let line = t.cfg.Config.line_bytes in
+  let lines = (bytes + line - 1) / line in
+  (match kind with
+  | Load -> t.load_tx <- t.load_tx + lines
+  | Store -> t.store_tx <- t.store_tx + lines);
+  t.useful <- t.useful + bytes;
+  t.weighted <- t.weighted +. float_of_int (lines * line);
+  (* One warp instruction per lanes*word_bytes of traffic. *)
+  t.instrs <-
+    t.instrs
+    + ((bytes + (t.cfg.Config.lanes * t.cfg.Config.word_bytes) - 1)
+      / (t.cfg.Config.lanes * t.cfg.Config.word_bytes))
+
+let charge_lines t kind ~lines ~useful_bytes =
+  if lines < 0 || useful_bytes < 0 then invalid_arg "Memory.charge_lines";
+  let line = t.cfg.Config.line_bytes in
+  (match kind with
+  | Load -> t.load_tx <- t.load_tx + lines
+  | Store -> t.store_tx <- t.store_tx + lines);
+  t.useful <- t.useful + useful_bytes;
+  let factor =
+    match kind with
+    | Load -> 1.0
+    | Store ->
+        if lines = 0 || useful_bytes >= lines * line then 1.0
+        else t.cfg.Config.partial_store_factor
+  in
+  t.weighted <- t.weighted +. (factor *. float_of_int (lines * line));
+  t.instrs <-
+    t.instrs
+    + ((useful_bytes + (t.cfg.Config.lanes * t.cfg.Config.word_bytes) - 1)
+      / (t.cfg.Config.lanes * t.cfg.Config.word_bytes))
+
+let charge_instrs t n =
+  if n < 0 then invalid_arg "Memory.charge_instrs";
+  t.instrs <- t.instrs + n
+
+let stats t =
+  {
+    load_transactions = t.load_tx;
+    store_transactions = t.store_tx;
+    instructions = t.instrs;
+    useful_bytes = t.useful;
+    weighted_bytes = t.weighted;
+  }
+
+let time_ns t =
+  Float.max
+    (t.weighted /. t.cfg.Config.effective_gbps)
+    (float_of_int t.instrs *. t.cfg.Config.instr_ns)
+
+let gbps t ~useful_bytes =
+  let ns = time_ns t in
+  if ns <= 0.0 then 0.0 else float_of_int useful_bytes /. ns
+
+let reset t =
+  t.load_tx <- 0;
+  t.store_tx <- 0;
+  t.instrs <- 0;
+  t.useful <- 0;
+  t.weighted <- 0.0

@@ -1,0 +1,84 @@
+(** Word-addressed simulated device memory with cache-line transaction
+    accounting.
+
+    Data lives in a flat array of {!Config.t} [word_bytes]-sized words
+    (values are opaque integers; the transposition algorithms only move
+    them). Every warp-level access is accounted at line granularity:
+    the distinct lines covered by the active lanes each cost one
+    transaction. Bulk "charge" entry points let higher-level kernels that
+    perform perfectly coalesced streaming passes account their traffic
+    without enumerating every lane (the landscape experiments use this;
+    the in-register SIMD path uses the exact per-instruction API). *)
+
+type t
+
+type kind = Load | Store
+
+val create : Config.t -> words:int -> t
+(** Fresh memory of [words] words, zero-filled, counters at zero. *)
+
+val config : t -> Config.t
+val words : t -> int
+
+(** {1 Un-accounted host access (setup and verification)} *)
+
+val peek : t -> int -> int
+val poke : t -> int -> int -> unit
+
+(** {1 Warp-level accounted access}
+
+    [addrs] has one slot per lane; [None] marks an inactive lane.
+    Addresses are word indices. Each call is one memory instruction. *)
+
+val warp_load : t -> addrs:int option array -> int option array
+(** @raise Invalid_argument on wrong arity or out-of-range address. *)
+
+val warp_store : t -> addrs:int option array -> values:int option array -> unit
+(** Active lanes must have [Some] value.
+    @raise Invalid_argument on arity/range mismatch. *)
+
+val charge_warp_span : t -> kind -> starts:int option array -> span:int -> unit
+(** Account one warp memory instruction in which every active lane touches
+    [span] consecutive words starting at its address (the model of a
+    hardware vector load/store, §6: "Vector"). Counts the distinct lines
+    covered by all active spans; useful bytes are [active * span * word].
+    Does not move data.
+    @raise Invalid_argument on arity/range errors or [span < 1]. *)
+
+(** {1 Bulk accounting (no data movement)} *)
+
+val charge_stream : t -> kind -> bytes:int -> unit
+(** Perfectly coalesced streaming traffic: [bytes] useful bytes in
+    [ceil(bytes/line)] full-line transactions. *)
+
+val charge_lines : t -> kind -> lines:int -> useful_bytes:int -> unit
+(** Irregular traffic: [lines] transactions carrying [useful_bytes] useful
+    bytes. Stores whose average line fill is partial pay the
+    write-allocate factor. *)
+
+val charge_instrs : t -> int -> unit
+(** Account [n] warp-wide compute instructions (shuffles, selects). *)
+
+(** {1 Results} *)
+
+type stats = {
+  load_transactions : int;
+  store_transactions : int;
+  instructions : int;  (** compute + memory instructions *)
+  useful_bytes : int;
+  weighted_bytes : float;
+      (** line traffic in bytes, partial-store lines multiplied by the
+          write-allocate factor *)
+}
+
+val stats : t -> stats
+
+val time_ns : t -> float
+(** [max(weighted_bytes / effective_gbps, instructions * instr_ns)]. *)
+
+val gbps : t -> useful_bytes:int -> float
+(** Effective throughput for a caller-defined useful-byte count (e.g.
+    Eq. 37's [2mns]) over {!time_ns}. *)
+
+val reset : t -> unit
+(** Reset counters; keep data. *)

@@ -1,0 +1,95 @@
+type t = {
+  mem : Memory.t;
+  n_lanes : int;
+  n_regs : int;
+  file : int array; (* file.(reg * n_lanes + lane) *)
+}
+
+let create mem ~regs =
+  if regs < 1 then invalid_arg "Warp.create: regs";
+  let n_lanes = (Memory.config mem).Config.lanes in
+  { mem; n_lanes; n_regs = regs; file = Array.make (regs * n_lanes) 0 }
+
+let lanes t = t.n_lanes
+let regs t = t.n_regs
+let memory t = t.mem
+
+let get t ~reg ~lane = t.file.((reg * t.n_lanes) + lane)
+let set t ~reg ~lane v = t.file.((reg * t.n_lanes) + lane) <- v
+
+let shfl t ~reg ~src =
+  let row = Array.init t.n_lanes (fun j -> get t ~reg ~lane:j) in
+  for j = 0 to t.n_lanes - 1 do
+    let s = src j in
+    if s < 0 || s >= t.n_lanes then invalid_arg "Warp.shfl: source lane";
+    set t ~reg ~lane:j row.(s)
+  done;
+  Memory.charge_instrs t.mem 1
+
+let rotate_dynamic t ~amount =
+  let m = t.n_regs in
+  if m > 1 then begin
+    let steps = Xpose_core.Intmath.ceil_log2 m in
+    let old = Array.make m 0 in
+    for j = 0 to t.n_lanes - 1 do
+      let k = Xpose_core.Intmath.emod (amount j) m in
+      (* Barrel rotation: statically iterate over the bits of k,
+         conditionally rotating by 2^bit. Semantically equal to one rotate
+         by k; the cost is what the select cascade pays. *)
+      for r = 0 to m - 1 do
+        old.(r) <- get t ~reg:r ~lane:j
+      done;
+      for r = 0 to m - 1 do
+        set t ~reg:r ~lane:j old.((r + k) mod m)
+      done
+    done;
+    Memory.charge_instrs t.mem (m * steps)
+  end
+
+let permute_static t ~perm =
+  let m = t.n_regs in
+  let idx = Array.init m perm in
+  let seen = Array.make m false in
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= m || seen.(r) then
+        invalid_arg "Warp.permute_static: perm is not a permutation";
+      seen.(r) <- true)
+    idx;
+  let old = Array.make m 0 in
+  for j = 0 to t.n_lanes - 1 do
+    for r = 0 to m - 1 do
+      old.(r) <- get t ~reg:r ~lane:j
+    done;
+    for r = 0 to m - 1 do
+      set t ~reg:r ~lane:j old.(idx.(r))
+    done
+  done
+
+let load_gather t ~addr =
+  for r = 0 to t.n_regs - 1 do
+    let addrs = Array.init t.n_lanes (fun j -> addr ~reg:r ~lane:j) in
+    let values = Memory.warp_load t.mem ~addrs in
+    Array.iteri
+      (fun j v -> match v with None -> () | Some v -> set t ~reg:r ~lane:j v)
+      values
+  done
+
+let store_scatter t ~addr =
+  for r = 0 to t.n_regs - 1 do
+    let addrs = Array.init t.n_lanes (fun j -> addr ~reg:r ~lane:j) in
+    let values =
+      Array.init t.n_lanes (fun j ->
+          match addrs.(j) with
+          | None -> None
+          | Some _ -> Some (get t ~reg:r ~lane:j))
+    in
+    Memory.warp_store t.mem ~addrs ~values
+  done
+
+let load_rows t ~base =
+  load_gather t ~addr:(fun ~reg ~lane -> Some (base + (reg * t.n_lanes) + lane))
+
+let store_rows t ~base =
+  store_scatter t ~addr:(fun ~reg ~lane ->
+      Some (base + (reg * t.n_lanes) + lane))

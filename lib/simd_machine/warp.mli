@@ -1,0 +1,68 @@
+(** A warp-resident register tile and the three in-register primitives of
+    §6.2.
+
+    Each of the warp's lanes holds [regs] registers, forming a
+    [regs x lanes] array in the register file. The three primitives are
+    exactly the paper's:
+
+    - {!shfl} — the SIMD lane-shuffle instruction (§6.2.1): one warp
+      instruction per register row;
+    - {!rotate_dynamic} — branch-free per-lane rotation of the register
+      vector by a lane-dependent amount, implemented as a barrel rotator
+      over the bits of the amount (§6.2.2): [ceil(log2 regs)] conditional
+      steps of [regs] select instructions;
+    - {!permute_static} — a compile-time register renaming identical in
+      every lane (§6.2.3): zero instructions.
+
+    Instruction counts are charged to the {!Memory.t} the warp works
+    against, so the cost model sees compute and memory in one place. *)
+
+type t
+
+val create : Memory.t -> regs:int -> t
+(** A register tile of [regs] registers per lane, zero-initialized.
+    @raise Invalid_argument if [regs < 1]. *)
+
+val lanes : t -> int
+val regs : t -> int
+
+val memory : t -> Memory.t
+(** The memory (and counter set) this warp works against. *)
+
+val get : t -> reg:int -> lane:int -> int
+val set : t -> reg:int -> lane:int -> int -> unit
+
+val shfl : t -> reg:int -> src:(int -> int) -> unit
+(** [shfl w ~reg ~src] makes lane [j]'s register [reg] take the value that
+    lane [src j] held in the same register (all lanes exchange
+    simultaneously). One instruction.
+    @raise Invalid_argument if a source lane is out of range. *)
+
+val rotate_dynamic : t -> amount:(int -> int) -> unit
+(** [rotate_dynamic w ~amount] rotates each lane [j]'s register vector [x]
+    by [amount j] (any integer; reduced mod [regs]):
+    afterwards [x'[r] = x[(r + amount j) mod regs]]. Charged
+    [regs * ceil(log2 regs)] select instructions. *)
+
+val permute_static : t -> perm:(int -> int) -> unit
+(** [permute_static w ~perm] renames registers identically in every lane:
+    afterwards [x'[r] = x[perm r]]. [perm] must be a permutation of
+    [[0, regs)]. Zero instructions (done by the compiler).
+    @raise Invalid_argument if [perm] is not a permutation. *)
+
+(** {1 Memory instructions} *)
+
+val load_rows : t -> base:int -> unit
+(** Coalesced tile load: register row [r] of lane [j] takes the word at
+    [base + r*lanes + j] — [regs] fully-coalesced load instructions. *)
+
+val store_rows : t -> base:int -> unit
+(** Coalesced tile store, inverse addressing of {!load_rows}. *)
+
+val load_gather : t -> addr:(reg:int -> lane:int -> int option) -> unit
+(** One load instruction per register row with arbitrary per-lane
+    addresses ([None] = inactive lane, register left unchanged). *)
+
+val store_scatter : t -> addr:(reg:int -> lane:int -> int option) -> unit
+(** One store instruction per register row with arbitrary per-lane
+    addresses. *)

@@ -1,0 +1,212 @@
+open Xpose_simd_machine
+
+type method_ = C2r | Direct | Vector
+
+let pp_method ppf m =
+  Format.pp_print_string ppf
+    (match m with C2r -> "C2R" | Direct -> "Direct" | Vector -> "Vector")
+
+type pattern = Unit_stride | Random of int array
+
+type result = {
+  gbps : float;
+  time_ns : float;
+  transactions : int;
+  instructions : int;
+  useful_bytes : int;
+}
+
+let vector_words cfg = 16 / cfg.Config.word_bytes (* 128-bit hardware vectors *)
+
+let check cfg ~struct_words ~n_structs pattern =
+  if struct_words < 1 then invalid_arg "Access: struct_words";
+  if n_structs < 1 || n_structs mod cfg.Config.lanes <> 0 then
+    invalid_arg "Access: n_structs must be a positive multiple of lanes";
+  match pattern with
+  | Unit_stride -> ()
+  | Random perm ->
+      if Array.length perm <> n_structs then
+        invalid_arg "Access: Random permutation must cover all structures"
+
+let struct_index pattern ~lanes ~warp ~lane =
+  match pattern with
+  | Unit_stride -> (warp * lanes) + lane
+  | Random perm -> perm.((warp * lanes) + lane)
+
+let result_of mem =
+  let s = Memory.stats mem in
+  {
+    gbps = Memory.gbps mem ~useful_bytes:s.Memory.useful_bytes;
+    time_ns = Memory.time_ns mem;
+    transactions = s.Memory.load_transactions + s.Memory.store_transactions;
+    instructions = s.Memory.instructions;
+    useful_bytes = s.Memory.useful_bytes;
+  }
+
+(* Store one warp's worth of structures at [bases] (word address of each
+   lane's structure), values chosen so the final image is the AoS iota. *)
+let store_warp cfg mem method_ ~m ~bases =
+  let lanes = cfg.Config.lanes in
+  match method_ with
+  | C2r ->
+      let warp = Warp.create mem ~regs:m in
+      for j = 0 to lanes - 1 do
+        for r = 0 to m - 1 do
+          Warp.set warp ~reg:r ~lane:j (bases.(j) + r)
+        done
+      done;
+      Coalesced.store warp ~struct_base:(fun s -> bases.(s))
+  | Direct ->
+      for r = 0 to m - 1 do
+        let addrs = Array.init lanes (fun j -> Some (bases.(j) + r)) in
+        let values = Array.init lanes (fun j -> Some (bases.(j) + r)) in
+        Memory.warp_store mem ~addrs ~values
+      done
+  | Vector ->
+      let vw = vector_words cfg in
+      let k = ref 0 in
+      while !k < m do
+        let span = min vw (m - !k) in
+        let starts = Array.init lanes (fun j -> Some (bases.(j) + !k)) in
+        Memory.charge_warp_span mem Store ~starts ~span;
+        for j = 0 to lanes - 1 do
+          for w = 0 to span - 1 do
+            Memory.poke mem (bases.(j) + !k + w) (bases.(j) + !k + w)
+          done
+        done;
+        k := !k + span
+      done
+
+(* Load one warp's worth of structures; returns a checksum so the data
+   path cannot be optimized away and tests can validate it. *)
+let load_warp cfg mem method_ ~m ~bases =
+  let lanes = cfg.Config.lanes in
+  match method_ with
+  | C2r ->
+      let warp = Warp.create mem ~regs:m in
+      Coalesced.load warp ~struct_base:(fun s -> bases.(s));
+      let sum = ref 0 in
+      for j = 0 to lanes - 1 do
+        for r = 0 to m - 1 do
+          sum := !sum + Warp.get warp ~reg:r ~lane:j
+        done
+      done;
+      (!sum, Some warp)
+  | Direct ->
+      let sum = ref 0 in
+      for r = 0 to m - 1 do
+        let addrs = Array.init lanes (fun j -> Some (bases.(j) + r)) in
+        let values = Memory.warp_load mem ~addrs in
+        Array.iter (function Some v -> sum := !sum + v | None -> ()) values
+      done;
+      (!sum, None)
+  | Vector ->
+      let vw = vector_words cfg in
+      let sum = ref 0 in
+      let k = ref 0 in
+      while !k < m do
+        let span = min vw (m - !k) in
+        let starts = Array.init lanes (fun j -> Some (bases.(j) + !k)) in
+        Memory.charge_warp_span mem Load ~starts ~span;
+        for j = 0 to lanes - 1 do
+          for w = 0 to span - 1 do
+            sum := !sum + Memory.peek mem (bases.(j) + !k + w)
+          done
+        done;
+        k := !k + span
+      done;
+      (!sum, None)
+
+let warp_bases cfg pattern ~m ~warp ~offset =
+  Array.init cfg.Config.lanes (fun lane ->
+      offset
+      + (struct_index pattern ~lanes:cfg.Config.lanes ~warp ~lane * m))
+
+let run_store cfg ~struct_words:m ~n_structs pattern method_ =
+  check cfg ~struct_words:m ~n_structs pattern;
+  let mem = Memory.create cfg ~words:(n_structs * m) in
+  for w = 0 to (n_structs / cfg.Config.lanes) - 1 do
+    store_warp cfg mem method_ ~m
+      ~bases:(warp_bases cfg pattern ~m ~warp:w ~offset:0)
+  done;
+  result_of mem
+
+let run_load cfg ~struct_words:m ~n_structs pattern method_ =
+  check cfg ~struct_words:m ~n_structs pattern;
+  let mem = Memory.create cfg ~words:(n_structs * m) in
+  for a = 0 to (n_structs * m) - 1 do
+    Memory.poke mem a a
+  done;
+  Memory.reset mem;
+  let total = ref 0 in
+  for w = 0 to (n_structs / cfg.Config.lanes) - 1 do
+    let sum, _ =
+      load_warp cfg mem method_ ~m
+        ~bases:(warp_bases cfg pattern ~m ~warp:w ~offset:0)
+    in
+    total := !total + sum
+  done;
+  (* every word loaded exactly once: the checksum is the iota sum *)
+  let n = n_structs * m in
+  if !total <> n * (n - 1) / 2 then
+    invalid_arg "Access.run_load: data path returned a wrong checksum";
+  result_of mem
+
+let run_copy cfg ~struct_words:m ~n_structs pattern method_ =
+  check cfg ~struct_words:m ~n_structs pattern;
+  let half = n_structs * m in
+  let mem = Memory.create cfg ~words:(2 * half) in
+  for a = 0 to half - 1 do
+    Memory.poke mem a a
+  done;
+  Memory.reset mem;
+  let lanes = cfg.Config.lanes in
+  for w = 0 to (n_structs / lanes) - 1 do
+    let src = warp_bases cfg pattern ~m ~warp:w ~offset:0 in
+    let dst = warp_bases cfg pattern ~m ~warp:w ~offset:half in
+    match method_ with
+    | C2r ->
+        let warp = Warp.create mem ~regs:m in
+        Coalesced.load warp ~struct_base:(fun s -> src.(s));
+        Coalesced.store warp ~struct_base:(fun s -> dst.(s))
+    | Direct ->
+        for r = 0 to m - 1 do
+          let addrs = Array.init lanes (fun j -> Some (src.(j) + r)) in
+          let values = Memory.warp_load mem ~addrs in
+          let addrs = Array.init lanes (fun j -> Some (dst.(j) + r)) in
+          Memory.warp_store mem ~addrs ~values
+        done
+    | Vector ->
+        let vw = vector_words cfg in
+        let k = ref 0 in
+        while !k < m do
+          let span = min vw (m - !k) in
+          let starts = Array.init lanes (fun j -> Some (src.(j) + !k)) in
+          Memory.charge_warp_span mem Load ~starts ~span;
+          let starts = Array.init lanes (fun j -> Some (dst.(j) + !k)) in
+          Memory.charge_warp_span mem Store ~starts ~span;
+          for j = 0 to lanes - 1 do
+            for x = 0 to span - 1 do
+              Memory.poke mem
+                (dst.(j) + !k + x)
+                (Memory.peek mem (src.(j) + !k + x))
+            done
+          done;
+          k := !k + span
+        done
+  done;
+  (* verify the copy *)
+  for a = 0 to half - 1 do
+    if Memory.peek mem (half + a) <> a then
+      invalid_arg "Access.run_copy: copy produced a wrong image"
+  done;
+  result_of mem
+
+let final_image cfg ~struct_words:m ~n_structs pattern method_ =
+  check cfg ~struct_words:m ~n_structs pattern;
+  let mem = Memory.create cfg ~words:(n_structs * m) in
+  for w = 0 to (n_structs / cfg.Config.lanes) - 1 do
+    store_warp cfg mem method_ ~m
+      ~bases:(warp_bases cfg pattern ~m ~warp:w ~offset:0)
+  done;
+  Array.init (n_structs * m) (Memory.peek mem)

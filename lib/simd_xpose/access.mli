@@ -1,0 +1,54 @@
+(** The three SIMD Array-of-Structures access methods compared in the
+    paper's Figures 8 (unit-stride) and 9 (random): the in-register
+    transpose ("C2R"), compiler-generated element-wise accesses
+    ("Direct"), and the hardware's fixed-width vector loads/stores
+    ("Vector").
+
+    Each measurement runs the full access pattern over an AoS on the
+    simulated machine and reports effective throughput: useful bytes
+    (every structure word exactly once) divided by modeled time. The
+    C2R and Direct paths also move real data, so tests can verify that
+    all methods produce identical memory images. *)
+
+open Xpose_simd_machine
+
+type method_ = C2r | Direct | Vector
+
+val pp_method : Format.formatter -> method_ -> unit
+
+type pattern =
+  | Unit_stride  (** warp [w] accesses structures [32w .. 32w+31] *)
+  | Random of int array
+      (** [perm.(w*lanes + j)] is the structure index lane [j] of warp [w]
+          accesses; must be a permutation of [[0, n_structs)] for the
+          store image to be comparable *)
+
+type result = {
+  gbps : float;
+  time_ns : float;
+  transactions : int;
+  instructions : int;
+  useful_bytes : int;
+}
+
+val run_store :
+  Config.t -> struct_words:int -> n_structs:int -> pattern -> method_ -> result
+(** Every lane stores one whole structure (value of word [w] of structure
+    [s] is [s * struct_words + w], so the final image is iota and method-
+    independent). [n_structs] must be a multiple of [lanes].
+    @raise Invalid_argument otherwise. *)
+
+val run_load :
+  Config.t -> struct_words:int -> n_structs:int -> pattern -> method_ -> result
+(** Every lane loads one whole structure; loaded values are checksummed so
+    the data path is exercised. *)
+
+val run_copy :
+  Config.t -> struct_words:int -> n_structs:int -> pattern -> method_ -> result
+(** Load + store (the paper's Fig. 8b "Copy"): each structure is read from
+    one AoS and written to another. *)
+
+val final_image : Config.t -> struct_words:int -> n_structs:int -> pattern -> method_ -> int array
+(** Memory image after {!run_store}, for cross-method equality tests
+    (only meaningful for the data-moving methods [C2r] and [Direct];
+    [Vector] is accounting-only and returns the expected image). *)

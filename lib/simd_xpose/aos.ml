@@ -1,0 +1,72 @@
+open Xpose_core
+
+module Make (S : Storage.S) = struct
+  module A = Algo.Make (S)
+
+  let check ~structs ~fields buf =
+    if structs < 1 || fields < 1 then
+      invalid_arg "Aos: structs and fields must be positive";
+    if S.length buf <> structs * fields then invalid_arg "Aos: buffer size"
+
+  let aos_to_soa ~structs ~fields buf =
+    check ~structs ~fields buf;
+    let p = Plan.make ~m:structs ~n:fields in
+    let tmp = S.create (Plan.scratch_elements p) in
+    A.c2r p buf ~tmp
+
+  let soa_to_aos ~structs ~fields buf =
+    check ~structs ~fields buf;
+    let p = Plan.make ~m:structs ~n:fields in
+    let tmp = S.create (Plan.scratch_elements p) in
+    A.r2c p buf ~tmp
+end
+
+type report = {
+  structs : int;
+  fields : int;
+  elt_bytes : int;
+  gbps : float;
+  time_ns : float;
+  utilization : float;
+}
+
+(* The specialized conversion is the decomposed C2R on the skinny
+   [structs x fields] view: the general cost model already prices all its
+   passes (the row shuffle spans [fields] elements and is always on
+   chip). *)
+let cost_specialized cfg ~elt_bytes ~structs ~fields =
+  let r =
+    Gpu_transpose.cost cfg ~algorithm:`C2r ~elt_bytes ~m:structs ~n:fields
+  in
+  {
+    structs;
+    fields;
+    elt_bytes;
+    gbps = r.Gpu_transpose.gbps;
+    time_ns = r.Gpu_transpose.time_ns;
+    utilization = 1.0;
+  }
+
+(* The general kernel's column passes have only [fields] independent
+   columns to distribute; below [min_parallel_columns] units the machine
+   idles proportionally. Column passes are 3 of the 4 phases; scale their
+   share of the time by the utilization shortfall. *)
+let cost_general ?(min_parallel_columns = 256) cfg ~elt_bytes ~structs ~fields =
+  if min_parallel_columns < 1 then invalid_arg "Aos.cost_general";
+  let s = cost_specialized cfg ~elt_bytes ~structs ~fields in
+  let util =
+    Float.min 1.0 (float_of_int fields /. float_of_int min_parallel_columns)
+  in
+  let column_share = 0.75 in
+  let time =
+    s.time_ns *. ((1.0 -. column_share) +. (column_share /. util))
+  in
+  let useful = float_of_int (2 * structs * fields * elt_bytes) in
+  {
+    structs;
+    fields;
+    elt_bytes;
+    gbps = useful /. time;
+    time_ns = time;
+    utilization = util;
+  }

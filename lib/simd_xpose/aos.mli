@@ -1,0 +1,54 @@
+(** In-place Array-of-Structures ↔ Structure-of-Arrays conversion (§6.1,
+    Figure 7).
+
+    An AoS of [structs] records with [fields] words each is a row-major
+    [structs x fields] matrix; transposing it in place yields the SoA
+    layout (and the R2C inverse converts back).
+
+    The specialized implementation exploits the skinny shape: with the
+    algorithm chosen so the {e short} dimension is the one each row
+    shuffle and column sub-row spans, every pass streams whole structures
+    (contiguous [fields]-element sub-rows) and the row shuffle always fits
+    on chip. The general implementation (§5.2) distributes column
+    operations over columns — only [fields] independent work units, far
+    too few to occupy the machine, which is the paper's stated reason it
+    "performs poorly in practice" on data-layout conversion. Both are
+    modeled; {!cost_general}'s extra serialization is the utilization
+    ratio of its column passes. *)
+
+open Xpose_simd_machine
+
+(** Actual in-place conversion, element-generic (used by the examples and
+    correctness tests; the algorithm choice mirrors the specialization). *)
+module Make (S : Xpose_core.Storage.S) : sig
+  val aos_to_soa : structs:int -> fields:int -> S.t -> unit
+  (** C2R on the [structs x fields] view: afterwards the buffer is the
+      SoA ([fields x structs] row-major). *)
+
+  val soa_to_aos : structs:int -> fields:int -> S.t -> unit
+  (** Exact inverse of {!aos_to_soa}. *)
+end
+
+type report = {
+  structs : int;
+  fields : int;
+  elt_bytes : int;
+  gbps : float;
+  time_ns : float;
+  utilization : float;  (** column-pass occupancy, 1.0 when specialized *)
+}
+
+val cost_specialized : Config.t -> elt_bytes:int -> structs:int -> fields:int -> report
+(** Throughput of the skinny-specialized conversion. *)
+
+val cost_general :
+  ?min_parallel_columns:int ->
+  Config.t ->
+  elt_bytes:int ->
+  structs:int ->
+  fields:int ->
+  report
+(** Throughput of the general transposition run on the same shape: column
+    passes are served by only [fields] work units out of the
+    [min_parallel_columns] (default 256) the machine needs for full
+    occupancy. *)

@@ -1,0 +1,33 @@
+open Xpose_simd_machine
+
+(* Cooperative addressing: during memory instruction r, lane j handles
+   linear tile position p = r*lanes + j, i.e. word [p mod regs] of
+   structure [p / regs]. Consecutive lanes therefore touch consecutive
+   words of each structure, so every instruction covers contiguous spans
+   (one per structure it crosses). One extra shuffle per instruction
+   accounts for distributing the per-lane structure indices (§6.2). *)
+let cooperative_addr warp ~struct_base ~reg ~lane =
+  let m = Warp.regs warp and lanes = Warp.lanes warp in
+  let p = (reg * lanes) + lane in
+  Some (struct_base (p / m) + (p mod m))
+
+let load warp ~struct_base =
+  Warp.load_gather warp ~addr:(fun ~reg ~lane ->
+      cooperative_addr warp ~struct_base ~reg ~lane);
+  (* one shuffle per memory instruction to route structure indices *)
+  Memory.charge_instrs (Warp.memory warp) (Warp.regs warp);
+  Reg_transpose.r2c warp
+
+let store warp ~struct_base =
+  Reg_transpose.c2r warp;
+  Memory.charge_instrs (Warp.memory warp) (Warp.regs warp);
+  Warp.store_scatter warp ~addr:(fun ~reg ~lane ->
+      cooperative_addr warp ~struct_base ~reg ~lane)
+
+let load_unit_stride warp ~base ~first_struct =
+  load warp ~struct_base:(fun s ->
+      base + ((first_struct + s) * Warp.regs warp))
+
+let store_unit_stride warp ~base ~first_struct =
+  store warp ~struct_base:(fun s ->
+      base + ((first_struct + s) * Warp.regs warp))

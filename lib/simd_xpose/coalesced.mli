@@ -1,0 +1,32 @@
+(** Cooperative, coalesced Array-of-Structures access — the
+    [coalesced_ptr<T>] mechanism of the paper's Fig. 10.
+
+    Each lane of the warp wants to load or store one whole structure of
+    [Warp.regs] words. Dereferencing lane-private pointers directly would
+    issue strided accesses; instead the warp reads the [regs * lanes]
+    words {e cooperatively} in linear order (so each memory instruction
+    covers a contiguous span) and then runs the in-register R2C transpose
+    to route each structure to its lane (or C2R before a cooperative
+    store). Works for contiguous warps of structures and for arbitrary
+    per-lane structure indices (the indices are exchanged between lanes
+    with shuffles, §6.2). *)
+
+open Xpose_simd_machine
+
+val load : Warp.t -> struct_base:(int -> int) -> unit
+(** [load w ~struct_base] loads structure [s] (word address
+    [struct_base s], [s] in [[0, lanes)]) into lane [s]'s registers:
+    afterwards [Warp.get w ~reg:r ~lane:s] is word [r] of structure [s].
+    Cooperative load + in-register R2C. *)
+
+val store : Warp.t -> struct_base:(int -> int) -> unit
+(** Inverse of {!load}: lane [s]'s registers (word [r] in register [r])
+    are written to structure [s]. In-register C2R + cooperative store.
+    The register tile is clobbered (it holds the C2R image afterwards). *)
+
+val load_unit_stride : Warp.t -> base:int -> first_struct:int -> unit
+(** [load_unit_stride w ~base ~first_struct] is [load] of the [lanes]
+    consecutive structures starting at index [first_struct] in the AoS at
+    word address [base]. *)
+
+val store_unit_stride : Warp.t -> base:int -> first_struct:int -> unit

@@ -1,0 +1,336 @@
+open Xpose_core
+open Xpose_simd_machine
+
+type result = {
+  gbps : float;
+  time_ns : float;
+  stats : Memory.stats;
+  onchip_row_shuffle : bool;
+}
+
+let scratch_words ~m ~n = max m n
+
+(* -- warp-granular segment transfers ------------------------------------ *)
+
+let load_segment mem ~lanes ~base ~count dst ~dst_pos =
+  let addrs =
+    Array.init lanes (fun t -> if t < count then Some (base + t) else None)
+  in
+  let values = Memory.warp_load mem ~addrs in
+  for t = 0 to count - 1 do
+    dst.(dst_pos + t) <- Option.get values.(t)
+  done
+
+let store_segment mem ~lanes ~base ~count src ~src_pos =
+  let addrs =
+    Array.init lanes (fun t -> if t < count then Some (base + t) else None)
+  in
+  let values =
+    Array.init lanes (fun t -> if t < count then Some src.(src_pos + t) else None)
+  in
+  Memory.warp_store mem ~addrs ~values
+
+let load_span mem ~lanes ~base ~count dst =
+  let pos = ref 0 in
+  while !pos < count do
+    let seg = min lanes (count - !pos) in
+    load_segment mem ~lanes ~base:(base + !pos) ~count:seg dst ~dst_pos:!pos;
+    pos := !pos + seg
+  done
+
+let store_span mem ~lanes ~base ~count src =
+  let pos = ref 0 in
+  while !pos < count do
+    let seg = min lanes (count - !pos) in
+    store_segment mem ~lanes ~base:(base + !pos) ~count:seg src ~src_pos:!pos;
+    pos := !pos + seg
+  done
+
+(* -- cache-aware column rotation (§4.6), executed ------------------------ *)
+
+let rotate_columns mem ~rows ~cols ~amount =
+  let cfg = Memory.config mem in
+  let lanes = cfg.Config.lanes in
+  let w_max = min lanes (max 1 (cfg.Config.coalesce_bytes / cfg.Config.word_bytes)) in
+  let sub = Array.make w_max 0 in
+  let saved = Array.make w_max 0 in
+  let block_rows = 64 in
+  let lo = ref 0 in
+  while !lo < cols do
+    let base_col = !lo in
+    let w = min w_max (cols - base_col) in
+    let res = Array.make w 0 in
+    let pick anchor =
+      let k = Intmath.emod (amount anchor) rows in
+      let maxres = ref 0 in
+      for jj = 0 to w - 1 do
+        let r = Intmath.emod (amount (base_col + jj) - k) rows in
+        res.(jj) <- r;
+        if r > !maxres then maxres := r
+      done;
+      (k, !maxres)
+    in
+    let k, maxres =
+      let k, mr = pick base_col in
+      if mr < w then (k, mr) else pick (base_col + w - 1)
+    in
+    let subrow_base row = (row * cols) + base_col in
+    if maxres < w && maxres < rows then begin
+      (* coarse: cycle-follow whole sub-rows rotated by k *)
+      if k <> 0 then begin
+        let cycles = Intmath.gcd rows k in
+        for y = 0 to cycles - 1 do
+          load_segment mem ~lanes ~base:(subrow_base y) ~count:w saved
+            ~dst_pos:0;
+          let i = ref y in
+          let continue = ref true in
+          while !continue do
+            let src = !i + k in
+            let src = if src >= rows then src - rows else src in
+            if src = y then begin
+              store_segment mem ~lanes ~base:(subrow_base !i) ~count:w saved
+                ~src_pos:0;
+              continue := false
+            end
+            else begin
+              load_segment mem ~lanes ~base:(subrow_base src) ~count:w sub
+                ~dst_pos:0;
+              store_segment mem ~lanes ~base:(subrow_base !i) ~count:w sub
+                ~src_pos:0;
+              i := src
+            end
+          done
+        done
+      end;
+      (* fine: bounded residual rotation through on-chip strips *)
+      if maxres > 0 then begin
+        let head = Array.make_matrix (max 1 maxres) w 0 in
+        for r = 0 to maxres - 1 do
+          load_segment mem ~lanes ~base:(subrow_base r) ~count:w head.(r)
+            ~dst_pos:0
+        done;
+        let win = Array.make_matrix (block_rows + maxres) w 0 in
+        let out = Array.make w 0 in
+        let r = ref 0 in
+        while !r < rows do
+          let strip = min block_rows (rows - !r) in
+          (* stage source rows [r, r + strip + maxres) on chip, serving
+             wrapped rows from the saved head *)
+          for t = 0 to strip + maxres - 1 do
+            let src_row = !r + t in
+            if src_row < rows then
+              load_segment mem ~lanes ~base:(subrow_base src_row) ~count:w
+                win.(t) ~dst_pos:0
+            else Array.blit head.(src_row - rows) 0 win.(t) 0 w
+          done;
+          for t = 0 to strip - 1 do
+            for jj = 0 to w - 1 do
+              out.(jj) <- win.(t + res.(jj)).(jj)
+            done;
+            store_segment mem ~lanes ~base:(subrow_base (!r + t)) ~count:w out
+              ~src_pos:0
+          done;
+          r := !r + strip
+        done
+      end
+    end
+    else begin
+      (* unbounded residuals: rotate each column individually, lanes
+         striding down the column (scattered, and priced as such) *)
+      let col = Array.make rows 0 in
+      for jj = 0 to w - 1 do
+        let j = base_col + jj in
+        let kj = Intmath.emod (amount j) rows in
+        if kj <> 0 then begin
+          let i = ref 0 in
+          while !i < rows do
+            let seg = min lanes (rows - !i) in
+            let addrs =
+              Array.init lanes (fun t ->
+                  if t < seg then
+                    Some ((((!i + t + kj) mod rows) * cols) + j)
+                  else None)
+            in
+            let values = Memory.warp_load mem ~addrs in
+            for t = 0 to seg - 1 do
+              col.(!i + t) <- Option.get values.(t)
+            done;
+            i := !i + seg
+          done;
+          let i = ref 0 in
+          while !i < rows do
+            let seg = min lanes (rows - !i) in
+            let addrs =
+              Array.init lanes (fun t ->
+                  if t < seg then Some (((!i + t) * cols) + j) else None)
+            in
+            let values =
+              Array.init lanes (fun t ->
+                  if t < seg then Some col.(!i + t) else None)
+            in
+            Memory.warp_store mem ~addrs ~values;
+            i := !i + seg
+          done
+        end
+      done
+    end;
+    lo := base_col + w
+  done
+
+(* -- row shuffle (§4.5 on chip, Algorithm 1 otherwise), executed --------- *)
+
+let row_shuffle mem ~rows ~cols ~gather_index ~budget_elements ~tmp_base =
+  let cfg = Memory.config mem in
+  let lanes = cfg.Config.lanes in
+  if cols <= budget_elements then begin
+    let row = Array.make cols 0 and out = Array.make cols 0 in
+    for i = 0 to rows - 1 do
+      load_span mem ~lanes ~base:(i * cols) ~count:cols row;
+      for j = 0 to cols - 1 do
+        out.(j) <- row.(gather_index ~i j)
+      done;
+      store_span mem ~lanes ~base:(i * cols) ~count:cols out
+    done;
+    true
+  end
+  else begin
+    let seg_vals = Array.make lanes 0 in
+    for i = 0 to rows - 1 do
+      let base = i * cols in
+      (* pass 1: gathered read, coalesced write to the device scratch *)
+      let j = ref 0 in
+      while !j < cols do
+        let seg = min lanes (cols - !j) in
+        let addrs =
+          Array.init lanes (fun t ->
+              if t < seg then Some (base + gather_index ~i (!j + t)) else None)
+        in
+        let values = Memory.warp_load mem ~addrs in
+        for t = 0 to seg - 1 do
+          seg_vals.(t) <- Option.get values.(t)
+        done;
+        store_segment mem ~lanes ~base:(tmp_base + !j) ~count:seg seg_vals
+          ~src_pos:0;
+        j := !j + seg
+      done;
+      (* pass 2: copy the scratch vector back over the row *)
+      let j = ref 0 in
+      while !j < cols do
+        let seg = min lanes (cols - !j) in
+        load_segment mem ~lanes ~base:(tmp_base + !j) ~count:seg seg_vals
+          ~dst_pos:0;
+        store_segment mem ~lanes ~base:(base + !j) ~count:seg seg_vals
+          ~src_pos:0;
+        j := !j + seg
+      done
+    done;
+    false
+  end
+
+(* -- shared row permutation (§4.7), executed ----------------------------- *)
+
+let permute_rows mem ~rows ~cols ~index =
+  let cfg = Memory.config mem in
+  let lanes = cfg.Config.lanes in
+  let w_max = min lanes (max 1 (cfg.Config.coalesce_bytes / cfg.Config.word_bytes)) in
+  (* discover the cycles once *)
+  let visited = Bytes.make rows '\000' in
+  let chains = ref [] in
+  for i0 = 0 to rows - 1 do
+    if Bytes.get visited i0 = '\000' then begin
+      Bytes.set visited i0 '\001';
+      let src = index i0 in
+      if src <> i0 then begin
+        let chain = ref [ i0 ] in
+        let i = ref src in
+        while !i <> i0 do
+          Bytes.set visited !i '\001';
+          chain := !i :: !chain;
+          i := index !i
+        done;
+        chains := Array.of_list (List.rev !chain) :: !chains
+      end
+    end
+  done;
+  let chains = !chains in
+  let sub = Array.make w_max 0 and saved = Array.make w_max 0 in
+  let lo = ref 0 in
+  while !lo < cols do
+    let base_col = !lo in
+    let w = min w_max (cols - base_col) in
+    List.iter
+      (fun chain ->
+        let len = Array.length chain in
+        let base row = (row * cols) + base_col in
+        load_segment mem ~lanes ~base:(base chain.(0)) ~count:w saved
+          ~dst_pos:0;
+        for t = 0 to len - 2 do
+          load_segment mem ~lanes ~base:(base chain.(t + 1)) ~count:w sub
+            ~dst_pos:0;
+          store_segment mem ~lanes ~base:(base chain.(t)) ~count:w sub
+            ~src_pos:0
+        done;
+        store_segment mem ~lanes ~base:(base chain.(len - 1)) ~count:w saved
+          ~src_pos:0)
+      chains;
+    lo := base_col + w
+  done
+
+(* -- whole transpositions ------------------------------------------------ *)
+
+let check mem ~m ~n =
+  if m < 1 || n < 1 then invalid_arg "Gpu_exec: dimensions must be positive";
+  if Memory.words mem < (m * n) + scratch_words ~m ~n then
+    invalid_arg "Gpu_exec: memory too small (need matrix + scratch)"
+
+let finish mem ~m ~n ~onchip =
+  let cfg = Memory.config mem in
+  let useful = 2 * m * n * cfg.Config.word_bytes in
+  let time = Memory.time_ns mem in
+  {
+    gbps = (if time <= 0.0 then 0.0 else float_of_int useful /. time);
+    time_ns = time;
+    stats = Memory.stats mem;
+    onchip_row_shuffle = onchip;
+  }
+
+let budget_of mem ~occupancy =
+  (Memory.config mem).Config.onchip_bytes / 8 / occupancy
+
+let c2r ?(occupancy = 8) mem ~m ~n =
+  check mem ~m ~n;
+  Memory.reset mem;
+  let onchip = ref true in
+  if m > 1 && n > 1 then begin
+    let p = Plan.make ~m ~n in
+    if not (Plan.coprime p) then
+      rotate_columns mem ~rows:m ~cols:n ~amount:(Plan.rotate_amount p);
+    onchip :=
+      row_shuffle mem ~rows:m ~cols:n
+        ~gather_index:(fun ~i j -> Plan.d'_inv p ~i j)
+        ~budget_elements:(budget_of mem ~occupancy)
+        ~tmp_base:(m * n);
+    rotate_columns mem ~rows:m ~cols:n ~amount:(fun j -> j);
+    permute_rows mem ~rows:m ~cols:n ~index:(Plan.q p)
+  end;
+  finish mem ~m ~n ~onchip:!onchip
+
+let r2c ?(occupancy = 8) mem ~m ~n =
+  check mem ~m ~n;
+  Memory.reset mem;
+  let onchip = ref true in
+  if m > 1 && n > 1 then begin
+    (* Theorem 2: view the buffer as n x m *)
+    let p = Plan.make ~m:n ~n:m in
+    permute_rows mem ~rows:n ~cols:m ~index:(Plan.q_inv p);
+    rotate_columns mem ~rows:n ~cols:m ~amount:(fun j -> -j);
+    onchip :=
+      row_shuffle mem ~rows:n ~cols:m
+        ~gather_index:(fun ~i j -> Plan.d' p ~i j)
+        ~budget_elements:(budget_of mem ~occupancy)
+        ~tmp_base:(m * n);
+    if not (Plan.coprime p) then
+      rotate_columns mem ~rows:n ~cols:m
+        ~amount:(fun j -> -Plan.rotate_amount p j)
+  end;
+  finish mem ~m ~n ~onchip:!onchip

@@ -1,0 +1,38 @@
+(** Executable GPU transposition: the full three-phase C2R/R2C run warp
+    by warp against simulated device {!Xpose_simd_machine.Memory}, moving
+    real data.
+
+    Where {!Gpu_transpose} prices the kernels analytically, this module
+    executes them: every memory instruction is an accounted
+    [warp_load]/[warp_store], on-chip staging is explicit, and the final
+    memory image is the transpose (checked by the test suite, which also
+    cross-validates the analytic model's transaction counts against the
+    executed ones).
+
+    The matrix has [m x n] single-word elements (the paper's "float"
+    case) and lives at word 0; the memory must provide
+    [m*n + max m n] words (the Algorithm 1 scratch vector lives in device
+    memory after the matrix). *)
+
+open Xpose_simd_machine
+
+type result = {
+  gbps : float;  (** Eq. 37 over the executed kernel's modeled time *)
+  time_ns : float;
+  stats : Memory.stats;
+  onchip_row_shuffle : bool;
+}
+
+val scratch_words : m:int -> n:int -> int
+(** Words the memory must have beyond the matrix: [max m n]. *)
+
+val c2r : ?occupancy:int -> Memory.t -> m:int -> n:int -> result
+(** Transpose the row-major [m x n] single-word-element matrix at word 0
+    in place (C2R; the result is the [n x m] row-major transpose).
+    [occupancy] sets the §4.5 staging threshold as in {!Gpu_transpose}.
+    @raise Invalid_argument if the memory is too small. *)
+
+val r2c : ?occupancy:int -> Memory.t -> m:int -> n:int -> result
+(** The R2C inverse on the same storage convention: transposes a
+    row-major [m x n] matrix using the R2C pass order (viewing the buffer
+    as [n x m] per Theorem 2). *)

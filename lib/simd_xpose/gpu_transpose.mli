@@ -1,0 +1,55 @@
+(** Cost model of the paper's GPU implementation (§5.2): the decomposed
+    transposition with cache-aware column operations (§4.6-4.7) and the
+    on-chip row shuffle (§4.5), evaluated on the {!Xpose_simd_machine}
+    transaction model.
+
+    The permutation passes' traffic is charged exactly as the cache-aware
+    kernels issue it: sub-row granular transfers for the column rotation
+    and row permutation (with the paper's one-extra-line penalty for
+    unaligned sub-rows), full streams for blocked passes, and — for rows
+    too long to stage on chip — a gather pass whose cache-line count is
+    measured by enumerating the actual Eq. 31 indices warp by warp
+    (sampled over rows, which are structurally identical up to the row
+    offset). The algorithms themselves are the ones proven correct by the
+    [xpose_core]/[xpose_cpu] test suites; this module prices them. *)
+
+open Xpose_simd_machine
+
+type algorithm = [ `C2r | `R2c ]
+
+type report = {
+  algorithm : algorithm;
+  m : int;  (** matrix rows (row-major storage) *)
+  n : int;  (** matrix columns *)
+  elt_bytes : int;
+  gbps : float;  (** Eq. 37 throughput, [2mns / t] *)
+  time_ns : float;
+  stats : Memory.stats;
+  onchip_row_shuffle : bool;
+      (** whether the §4.5 single-pass row shuffle applied *)
+}
+
+val cost :
+  ?occupancy:int ->
+  ?sample_rows:int ->
+  Config.t ->
+  algorithm:algorithm ->
+  elt_bytes:int ->
+  m:int ->
+  n:int ->
+  report
+(** Model transposing a row-major [m x n] matrix of [elt_bytes]-sized
+    elements. [occupancy] (default 8) divides the on-chip capacity among
+    concurrently staged rows, setting the §4.5 threshold; [sample_rows]
+    (default 48) bounds how many rows the gather-pass line counting
+    enumerates. @raise Invalid_argument on non-positive arguments. *)
+
+val auto :
+  ?occupancy:int ->
+  ?sample_rows:int ->
+  Config.t ->
+  elt_bytes:int ->
+  m:int ->
+  n:int ->
+  report
+(** Apply the paper's heuristic ([m > n] → C2R, else R2C, §5.2). *)

@@ -1,0 +1,38 @@
+open Xpose_core
+open Xpose_simd_machine
+
+let plan_for warp =
+  Plan.make ~m:(Warp.regs warp) ~n:(Warp.lanes warp)
+
+let c2r warp =
+  let p = plan_for warp in
+  let m = Warp.regs warp in
+  if m > 1 then begin
+    if not (Plan.coprime p) then
+      Warp.rotate_dynamic warp ~amount:(Plan.rotate_amount p);
+    for i = 0 to m - 1 do
+      Warp.shfl warp ~reg:i ~src:(fun j -> Plan.d'_inv p ~i j)
+    done;
+    Warp.rotate_dynamic warp ~amount:(fun j -> j);
+    Warp.permute_static warp ~perm:(Plan.q p)
+  end
+
+let r2c warp =
+  let p = plan_for warp in
+  let m = Warp.regs warp in
+  if m > 1 then begin
+    Warp.permute_static warp ~perm:(Plan.q_inv p);
+    Warp.rotate_dynamic warp ~amount:(fun j -> -j);
+    for i = 0 to m - 1 do
+      Warp.shfl warp ~reg:i ~src:(fun j -> Plan.d' p ~i j)
+    done;
+    if not (Plan.coprime p) then
+      Warp.rotate_dynamic warp ~amount:(fun j -> -Plan.rotate_amount p j)
+  end
+
+let instruction_count ~lanes ~regs _direction =
+  if regs <= 1 then 0
+  else
+    let rotation = regs * Intmath.ceil_log2 regs in
+    let rotations = if Intmath.is_coprime regs lanes then 1 else 2 in
+    regs + (rotations * rotation)

@@ -1,0 +1,30 @@
+(** In-register transposition of a warp-resident tile (paper §6.2).
+
+    A warp of [n] lanes holding [m] registers each forms an [m x n] array
+    in the register file. Because the decomposed transposition only ever
+    needs (a) row shuffles, (b) per-lane dynamic rotations, and (c) static
+    row permutations, it runs entirely in registers: (a) is the hardware
+    shuffle instruction, (b) is a branch-free barrel rotation, and (c) is
+    free register renaming. No on-chip memory is allocated — the property
+    that makes the [coalesced_ptr] interface (Fig. 10) possible.
+
+    Orientation (§6.1): a coalesced tile load leaves register [(r, j)]
+    holding word [r*n + j] of the tile — the row-major linearization.
+    Lane [j] wants the [j]-th structure, i.e. word [j*m + r] in register
+    [r] — the column-major linearization. R2C converts row-major content
+    to column-major content (hence {b load = coalesced load + R2C}) and
+    C2R is its inverse ({b store = C2R + coalesced store}). *)
+
+val r2c : Xpose_simd_machine.Warp.t -> unit
+(** Apply the R2C permutation to the [regs x lanes] register tile: the
+    tile's row-major content becomes its column-major content. *)
+
+val c2r : Xpose_simd_machine.Warp.t -> unit
+(** Inverse of {!r2c}. *)
+
+val instruction_count :
+  lanes:int -> regs:int -> [ `C2r | `R2c ] -> int
+(** Warp instructions one transposition costs: [regs] shuffles, two
+    dynamic rotations of [regs * ceil(log2 regs)] selects each (§6.2.2),
+    with the pre/post-rotation skipped when [gcd(regs, lanes) = 1]. Used
+    by tests and the cost-model documentation. *)

@@ -1,0 +1,44 @@
+(** Cost model of Sung's tiled GPU transposition [6] on the transaction
+    model, for the paper's Figure 6 / Table 2 comparison.
+
+    Each tile of [th x tw] elements is read from its strided location in
+    the source interpretation (one transfer per tile sub-row) and written
+    to its strided destination (one transfer per destination sub-row),
+    with a marking transaction per tile (the algorithm keeps up to one
+    bit per element of moved-state, the [O(mn)]-bit auxiliary space the
+    paper points out). Tile sizes come from the factor heuristic (§5.2,
+    {!Xpose_baselines.Sung.heuristic_tile}); dimensions with small prime
+    factors get efficient wide tiles while near-prime dimensions degrade
+    toward element-wise transfers — reproducing why the tiled baseline's
+    median suffers on randomly-sized matrices. *)
+
+open Xpose_simd_machine
+
+type report = {
+  m : int;
+  n : int;
+  elt_bytes : int;
+  tile : int * int;
+  gbps : float;
+  time_ns : float;
+  stats : Memory.stats;
+}
+
+val default_overhead_factor : float
+(** Staging/synchronization overhead of Sung's kernel beyond its raw
+    transaction traffic, calibrated so the model reproduces the paper's
+    replicated measurement (20.8 GB/s at 7200 x 1800, tile 32 x 72). *)
+
+val cost :
+  ?tile:int * int ->
+  ?threshold:int ->
+  ?overhead_factor:float ->
+  Config.t ->
+  elt_bytes:int ->
+  m:int ->
+  n:int ->
+  report
+(** Model transposing a row-major [m x n] matrix. [tile] defaults to the
+    factor heuristic with [threshold] (default 72).
+    @raise Xpose_baselines.Sung.Tile_mismatch if an explicit tile does
+    not divide the dimensions. *)

@@ -1,0 +1,71 @@
+open Xpose_core
+open Xpose_baselines
+module S = Storage.Int_elt
+module C = Cycle_follow.Make (Storage.Int_elt)
+module A = Instances.I
+
+let iota_buf len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let buf_to_list buf = List.init (S.length buf) (S.get buf)
+
+let expected ~m ~n = List.init (m * n) (fun l -> (n * (l mod m)) + (l / m))
+
+let check name f m n =
+  let buf = iota_buf (m * n) in
+  f ~m ~n buf;
+  Alcotest.(check (list int))
+    (Printf.sprintf "%s %dx%d" name m n)
+    (expected ~m ~n) (buf_to_list buf)
+
+let shapes = [ (1, 1); (1, 9); (9, 1); (3, 8); (4, 8); (12, 12); (37, 18); (50, 49) ]
+
+let test_bitvec () =
+  List.iter (fun (m, n) -> check "bitvec" (C.transpose_bitvec ?order:None) m n) shapes
+
+let test_leader () =
+  List.iter (fun (m, n) -> check "leader" (C.transpose_leader ?order:None) m n) shapes
+
+let test_col_major () =
+  let m = 6 and n = 10 in
+  let buf = iota_buf (m * n) in
+  let original = A.copy buf in
+  C.transpose_bitvec ~order:Layout.Col_major ~m ~n buf;
+  Alcotest.(check bool) "col-major bitvec" true
+    (A.is_transpose_of ~order:Layout.Col_major ~m ~n ~original buf)
+
+let test_cycle_count () =
+  (* Square matrices: each off-diagonal pair is a 2-cycle plus m fixed
+     points: m + m(m-1)/2 cycles. *)
+  Alcotest.(check int) "4x4" (4 + 6) (C.cycle_count ~m:4 ~n:4);
+  (* Known small case: 3x2 permutation 0->0, 1->3->4->2->1, 5->5. *)
+  Alcotest.(check int) "3x2" 3 (C.cycle_count ~m:3 ~n:2);
+  Alcotest.(check int) "1xn" 6 (C.cycle_count ~m:1 ~n:6)
+
+let test_errors () =
+  let buf = iota_buf 10 in
+  Alcotest.check_raises "size" (Invalid_argument "Cycle_follow: buffer size")
+    (fun () -> C.transpose_bitvec ~m:3 ~n:4 buf)
+
+let prop_both_agree =
+  QCheck2.Test.make ~name:"bitvec and leader agree with reference" ~count:100
+    QCheck2.Gen.(pair (int_range 1 40) (int_range 1 40))
+    (fun (m, n) ->
+      let e = expected ~m ~n in
+      let b1 = iota_buf (m * n) in
+      C.transpose_bitvec ~m ~n b1;
+      let b2 = iota_buf (m * n) in
+      C.transpose_leader ~m ~n b2;
+      buf_to_list b1 = e && buf_to_list b2 = e)
+
+let tests =
+  [
+    Alcotest.test_case "bitvec variant" `Quick test_bitvec;
+    Alcotest.test_case "leader variant" `Quick test_leader;
+    Alcotest.test_case "column-major" `Quick test_col_major;
+    Alcotest.test_case "cycle count" `Quick test_cycle_count;
+    Alcotest.test_case "errors" `Quick test_errors;
+    QCheck_alcotest.to_alcotest prop_both_agree;
+  ]

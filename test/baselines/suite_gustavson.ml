@@ -1,0 +1,66 @@
+open Xpose_core
+open Xpose_baselines
+module S = Storage.Int_elt
+module G = Gustavson.Make (Storage.Int_elt)
+
+let iota_buf len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let buf_to_list buf = List.init (S.length buf) (S.get buf)
+
+let expected ~m ~n = List.init (m * n) (fun l -> (n * (l mod m)) + (l / m))
+
+let check ?pool ?target_tile m n =
+  let buf = iota_buf (m * n) in
+  G.transpose ?pool ?target_tile ~m ~n buf;
+  Alcotest.(check (list int))
+    (Printf.sprintf "gustavson %dx%d" m n)
+    (expected ~m ~n) (buf_to_list buf)
+
+let test_tile_dims () =
+  Alcotest.(check (pair int int)) "divisible" (32, 24) (G.tile_dims ~m:64 ~n:24 ());
+  Alcotest.(check (pair int int)) "primes" (1, 1) (G.tile_dims ~m:37 ~n:41 ());
+  Alcotest.(check (pair int int)) "mixed" (30, 32)
+    (G.tile_dims ~m:90 ~n:96 ());
+  Alcotest.(check (pair int int)) "custom target" (8, 6)
+    (G.tile_dims ~target_tile:8 ~m:64 ~n:54 ())
+
+let test_divisible_shapes () =
+  List.iter (fun (m, n) -> check m n) [ (8, 8); (16, 32); (32, 16); (64, 48); (96, 60) ]
+
+let test_awkward_shapes () =
+  (* Prime and near-prime dimensions: degenerate tiles, still correct. *)
+  List.iter (fun (m, n) -> check m n) [ (37, 41); (1, 13); (13, 1); (7, 49); (50, 49) ]
+
+let test_small_tiles () =
+  List.iter (fun tt -> check ~target_tile:tt 24 36) [ 1; 2; 5; 7; 24 ]
+
+let test_parallel_matches () =
+  Xpose_cpu.Pool.with_pool ~workers:3 (fun pool ->
+      List.iter (fun (m, n) -> check ~pool m n) [ (48, 64); (37, 18) ])
+
+let test_errors () =
+  let buf = iota_buf 10 in
+  Alcotest.check_raises "size" (Invalid_argument "Gustavson: buffer size")
+    (fun () -> G.transpose ~m:3 ~n:4 buf)
+
+let prop_matches_reference =
+  QCheck2.Test.make ~name:"gustavson = reference transpose" ~count:80
+    QCheck2.Gen.(triple (int_range 1 60) (int_range 1 60) (int_range 1 16))
+    (fun (m, n, tt) ->
+      let buf = iota_buf (m * n) in
+      G.transpose ~target_tile:tt ~m ~n buf;
+      buf_to_list buf = expected ~m ~n)
+
+let tests =
+  [
+    Alcotest.test_case "tile dims" `Quick test_tile_dims;
+    Alcotest.test_case "divisible shapes" `Quick test_divisible_shapes;
+    Alcotest.test_case "awkward shapes" `Quick test_awkward_shapes;
+    Alcotest.test_case "small tiles" `Quick test_small_tiles;
+    Alcotest.test_case "parallel matches" `Quick test_parallel_matches;
+    Alcotest.test_case "errors" `Quick test_errors;
+    QCheck_alcotest.to_alcotest prop_matches_reference;
+  ]

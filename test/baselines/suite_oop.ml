@@ -1,0 +1,55 @@
+open Xpose_core
+open Xpose_baselines
+module S = Storage.Int_elt
+module O = Oop.Make (Storage.Int_elt)
+
+let iota_buf len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let buf_to_list buf = List.init (S.length buf) (S.get buf)
+
+let expected ~m ~n = List.init (m * n) (fun l -> (n * (l mod m)) + (l / m))
+
+let test_naive () =
+  List.iter
+    (fun (m, n) ->
+      let src = iota_buf (m * n) in
+      let dst = S.create (m * n) in
+      O.naive ~m ~n src dst;
+      Alcotest.(check (list int)) "naive" (expected ~m ~n) (buf_to_list dst))
+    [ (1, 1); (5, 9); (9, 5); (33, 47) ]
+
+let test_blocked_matches_naive () =
+  List.iter
+    (fun tile ->
+      let m = 45 and n = 37 in
+      let src = iota_buf (m * n) in
+      let dst = S.create (m * n) in
+      O.blocked ~tile ~m ~n src dst;
+      Alcotest.(check (list int)) "blocked" (expected ~m ~n) (buf_to_list dst))
+    [ 1; 4; 32; 100 ]
+
+let test_errors () =
+  let src = iota_buf 12 and dst = S.create 11 in
+  Alcotest.check_raises "sizes" (Invalid_argument "Oop: buffer sizes") (fun () ->
+      O.naive ~m:3 ~n:4 src dst);
+  let dst = S.create 12 in
+  Alcotest.check_raises "tile" (Invalid_argument "Oop.blocked: tile must be positive")
+    (fun () -> O.blocked ~tile:0 ~m:3 ~n:4 src dst)
+
+let test_mkl_like_api () =
+  let module M = Mkl_like.Make (Storage.Int_elt) in
+  let m = 14 and n = 9 in
+  let buf = iota_buf (m * n) in
+  M.imatcopy ~rows:m ~cols:n buf;
+  Alcotest.(check (list int)) "imatcopy" (expected ~m ~n) (buf_to_list buf)
+
+let tests =
+  [
+    Alcotest.test_case "naive" `Quick test_naive;
+    Alcotest.test_case "blocked matches" `Quick test_blocked_matches_naive;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "mkl-like wrapper" `Quick test_mkl_like_api;
+  ]

@@ -1,0 +1,84 @@
+open Xpose_core
+open Xpose_baselines
+module S = Storage.Int_elt
+module Su = Sung.Make (Storage.Int_elt)
+
+let iota_buf len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let buf_to_list buf = List.init (S.length buf) (S.get buf)
+
+let expected ~m ~n = List.init (m * n) (fun l -> (n * (l mod m)) + (l / m))
+
+let test_factorize () =
+  Alcotest.(check (list int)) "7200" [ 2; 2; 2; 2; 2; 3; 3; 5; 5 ] (Sung.factorize 7200);
+  Alcotest.(check (list int)) "1" [] (Sung.factorize 1);
+  Alcotest.(check (list int)) "prime" [ 7919 ] (Sung.factorize 7919);
+  Alcotest.(check (list int)) "7223" [ 31; 233 ] (Sung.factorize 7223)
+
+let test_heuristic_paper_values () =
+  (* The paper replicates Sung's reported 7200x1800 result with tile
+     32x72 and reports 7223x10368 with tile 31x64. *)
+  Alcotest.(check int) "7200" 32 (Sung.heuristic_tile 7200);
+  Alcotest.(check int) "1800" 72 (Sung.heuristic_tile 1800);
+  Alcotest.(check int) "7223" 31 (Sung.heuristic_tile 7223);
+  Alcotest.(check int) "10368" 64 (Sung.heuristic_tile 10368);
+  Alcotest.(check int) "large prime -> degenerate" 1 (Sung.heuristic_tile 7919);
+  Alcotest.(check (pair int int)) "tile_dims" (32, 72)
+    (Sung.tile_dims ~m:7200 ~n:1800 ())
+
+let test_transpose_default_tiles () =
+  List.iter
+    (fun (m, n) ->
+      let buf = iota_buf (m * n) in
+      Su.transpose ~m ~n buf;
+      Alcotest.(check (list int))
+        (Printf.sprintf "sung %dx%d" m n)
+        (expected ~m ~n) (buf_to_list buf))
+    [ (8, 8); (12, 30); (37, 18); (41, 37); (72, 32) ]
+
+let test_tile_mismatch () =
+  let buf = iota_buf (7 * 9) in
+  (try
+     Su.transpose ~tile:(2, 3) ~m:7 ~n:9 buf;
+     Alcotest.fail "expected Tile_mismatch"
+   with Sung.Tile_mismatch msg ->
+     Alcotest.(check string) "message"
+       "tile 2x3 does not divide matrix 7x9" msg)
+
+let test_explicit_tile () =
+  let m = 12 and n = 18 in
+  let buf = iota_buf (m * n) in
+  Su.transpose ~tile:(4, 6) ~m ~n buf;
+  Alcotest.(check (list int)) "explicit tile" (expected ~m ~n) (buf_to_list buf)
+
+let prop_heuristic_divides =
+  QCheck2.Test.make ~name:"heuristic tile divides dimension and <= threshold"
+    ~count:500
+    QCheck2.Gen.(pair (int_range 1 100000) (int_range 1 128))
+    (fun (x, t) ->
+      let h = Sung.heuristic_tile ~threshold:t x in
+      h >= 1 && h <= max t 1 && x mod h = 0)
+
+let prop_transpose_correct =
+  QCheck2.Test.make ~name:"sung transpose = reference" ~count:80
+    QCheck2.Gen.(pair (int_range 1 50) (int_range 1 50))
+    (fun (m, n) ->
+      let buf = iota_buf (m * n) in
+      Su.transpose ~m ~n buf;
+      buf_to_list buf = expected ~m ~n)
+
+let tests =
+  [
+    Alcotest.test_case "factorize" `Quick test_factorize;
+    Alcotest.test_case "heuristic: paper's worked values" `Quick
+      test_heuristic_paper_values;
+    Alcotest.test_case "transpose (default tiles)" `Quick
+      test_transpose_default_tiles;
+    Alcotest.test_case "tile mismatch rejected" `Quick test_tile_mismatch;
+    Alcotest.test_case "explicit tile" `Quick test_explicit_tile;
+    QCheck_alcotest.to_alcotest prop_heuristic_divides;
+    QCheck_alcotest.to_alcotest prop_transpose_correct;
+  ]

@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "xpose_baselines"
+    [
+      ("cycle_follow", Suite_cycle_follow.tests);
+      ("gustavson", Suite_gustavson.tests);
+      ("sung", Suite_sung.tests);
+      ("oop", Suite_oop.tests);
+    ]

@@ -1,0 +1,270 @@
+open Xpose_core
+module I = Instances.I
+module S = Storage.Int_elt
+
+let iota_buf len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let buf_to_list buf = List.init (S.length buf) (S.get buf)
+
+let expected_transpose ~m ~n =
+  (* Row-major linearization of the transpose of iota (the specification
+     from Theorem 1). *)
+  List.init (m * n) (fun l -> (n * (l mod m)) + (l / m))
+
+let check_c2r variant m n =
+  let p = Plan.make ~m ~n in
+  let buf = iota_buf (m * n) in
+  let tmp = S.create (Plan.scratch_elements p) in
+  I.c2r ~variant p buf ~tmp;
+  Alcotest.(check (list int))
+    (Printf.sprintf "c2r %dx%d" m n)
+    (expected_transpose ~m ~n) (buf_to_list buf)
+
+let check_r2c_inverts variant m n =
+  let p = Plan.make ~m ~n in
+  let buf = iota_buf (m * n) in
+  let tmp = S.create (Plan.scratch_elements p) in
+  I.c2r p buf ~tmp;
+  I.r2c ~variant p buf ~tmp;
+  Alcotest.(check (list int))
+    (Printf.sprintf "r2c . c2r = id %dx%d" m n)
+    (List.init (m * n) Fun.id) (buf_to_list buf)
+
+let test_exhaustive_small () =
+  for m = 1 to 12 do
+    for n = 1 to 12 do
+      List.iter
+        (fun v -> check_c2r v m n)
+        [ Algo.C2r_scatter; Algo.C2r_gather; Algo.C2r_decomposed ];
+      List.iter
+        (fun v -> check_r2c_inverts v m n)
+        [ Algo.R2c_fused; Algo.R2c_decomposed ]
+    done
+  done
+
+let test_medium_shapes () =
+  List.iter
+    (fun (m, n) ->
+      List.iter
+        (fun v -> check_c2r v m n)
+        [ Algo.C2r_scatter; Algo.C2r_gather; Algo.C2r_decomposed ];
+      check_r2c_inverts Algo.R2c_fused m n)
+    [ (3, 8); (4, 8); (100, 64); (63, 81); (128, 128); (1, 200); (200, 1); (97, 89); (96, 72) ]
+
+let test_transpose_dispatch () =
+  List.iter
+    (fun (m, n) ->
+      let buf = iota_buf (m * n) in
+      let original = I.copy buf in
+      I.transpose ~m ~n buf;
+      Alcotest.(check bool)
+        (Printf.sprintf "dispatch %dx%d" m n)
+        true
+        (I.is_transpose_of ~m ~n ~original buf))
+    [ (30, 7); (7, 30); (12, 12); (1, 5); (5, 1); (50, 48); (48, 50) ]
+
+let test_col_major () =
+  (* A column-major m x n transpose must equal the out-of-place reference
+     under the same interpretation. *)
+  List.iter
+    (fun (m, n) ->
+      let buf = iota_buf (m * n) in
+      let original = I.copy buf in
+      I.transpose ~order:Layout.Col_major ~m ~n buf;
+      Alcotest.(check bool)
+        (Printf.sprintf "col-major %dx%d" m n)
+        true
+        (I.is_transpose_of ~order:Layout.Col_major ~m ~n ~original buf);
+      (* and against the explicit reference *)
+      let dst = S.create (m * n) in
+      I.transpose_oop ~order:Layout.Col_major ~m ~n original dst;
+      Alcotest.(check (list int)) "vs oop" (buf_to_list dst) (buf_to_list buf))
+    [ (6, 9); (9, 6); (13, 4) ]
+
+let test_explicit_algorithm_choice () =
+  (* Theorems 1 and 2: both C2R and R2C transpose either storage order. *)
+  List.iter
+    (fun (m, n) ->
+      List.iter
+        (fun algorithm ->
+          List.iter
+            (fun order ->
+              let buf = iota_buf (m * n) in
+              let original = I.copy buf in
+              let tmp = S.create (max m n) in
+              I.transpose_with ~algorithm ~order ~m ~n buf ~tmp;
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %dx%d"
+                   (match algorithm with `C2r -> "c2r" | `R2c -> "r2c")
+                   m n)
+                true
+                (I.is_transpose_of ~order ~m ~n ~original buf))
+            [ Layout.Row_major; Layout.Col_major ])
+        [ `C2r; `R2c ])
+    [ (9, 21); (21, 9); (16, 16); (5, 11) ]
+
+let test_paper_figure1 () =
+  (* Fig. 1: m=3, n=8. C2R of the right-hand matrix gives the left-hand
+     iota; equivalently C2R of iota(3x8) linearizes the transpose. *)
+  let m = 3 and n = 8 in
+  let p = Plan.make ~m ~n in
+  let buf = iota_buf (m * n) in
+  let tmp = S.create 8 in
+  I.c2r p buf ~tmp;
+  Alcotest.(check (list int)) "fig1 c2r"
+    [ 0; 8; 16; 1; 9; 17; 2; 10; 18; 3; 11; 19; 4; 12; 20; 5; 13; 21; 6; 14; 22; 7; 15; 23 ]
+    (buf_to_list buf)
+
+let test_element_16_example () =
+  (* §2 worked example: under R2C the element at (2,0) of the 3x8 iota
+     lands at (1,5). R2C on plan (3,8) maps the row-major 8x3 transpose
+     back to iota; equivalently scatter Eq. 14 applies. Check via the
+     gather formulation on the result of c2r. *)
+  let m = 3 and n = 8 in
+  let p = Plan.make ~m ~n in
+  let buf = iota_buf (m * n) in
+  let tmp = S.create 8 in
+  I.c2r p buf ~tmp;
+  I.r2c p buf ~tmp;
+  (* after the round trip value 16 is back at row 2, col 0 *)
+  Alcotest.(check int) "16 home" 16 (S.get buf ((2 * n) + 0));
+  (* and the R2C image of iota puts 16 at (1,5) as the paper computes *)
+  let r2c_of_iota = Trace.final (Trace.r2c ~m ~n (Trace.iota ~m ~n)) in
+  Alcotest.(check int) "16 at (1,5)" 16 r2c_of_iota.(1).(5)
+
+let test_errors () =
+  let p = Plan.make ~m:4 ~n:6 in
+  let buf = iota_buf 23 in
+  let tmp = S.create 6 in
+  Alcotest.check_raises "short buffer"
+    (Invalid_argument "Algo: buffer has 23 elements, plan needs 4 x 6")
+    (fun () -> I.c2r p buf ~tmp);
+  let buf = iota_buf 24 in
+  let tiny = S.create 5 in
+  Alcotest.check_raises "short scratch"
+    (Invalid_argument "Algo: scratch has 5 elements, plan needs 6") (fun () ->
+      I.r2c p buf ~tmp:tiny)
+
+let test_poly_storage_arbitrary_values () =
+  let module P = Storage.Poly () in
+  let module A = Algo.Make (P) in
+  let m = 7 and n = 10 in
+  let buf = P.create (m * n) in
+  for l = 0 to (m * n) - 1 do
+    P.set buf l (P.of_value (string_of_int l, l * l))
+  done;
+  let original = A.copy buf in
+  A.transpose ~m ~n buf;
+  Alcotest.(check bool) "poly transpose" true
+    (A.is_transpose_of ~m ~n ~original buf);
+  let s, sq = P.to_value (P.get buf 1) in
+  (* element (0,1) of the transpose = element (1,0) of the original = l=n *)
+  Alcotest.(check (pair string int)) "value payload" (string_of_int n, n * n) (s, sq)
+
+let test_blob_storage_transpose () =
+  let module B = Storage.Blob (struct
+    let elt_bytes = 24
+  end) in
+  let module A = Algo.Make (B) in
+  let m = 9 and n = 15 in
+  let buf = B.create (m * n) in
+  Storage.fill_iota (module B) buf;
+  let original = A.copy buf in
+  A.transpose ~m ~n buf;
+  Alcotest.(check bool) "blob transpose" true
+    (A.is_transpose_of ~m ~n ~original buf)
+
+let gen_dims =
+  QCheck2.Gen.(
+    oneof
+      [
+        pair (int_range 1 80) (int_range 1 80);
+        map
+          (fun ((a, b), c) -> (a * c, b * c))
+          (pair (pair (int_range 1 16) (int_range 1 16)) (int_range 2 10));
+      ])
+
+let prop_c2r_equals_oop =
+  QCheck2.Test.make ~name:"c2r = out-of-place transpose (all variants)"
+    ~count:200 gen_dims (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      let expected = expected_transpose ~m ~n in
+      List.for_all
+        (fun variant ->
+          let buf = iota_buf (m * n) in
+          let tmp = S.create (Plan.scratch_elements p) in
+          I.c2r ~variant p buf ~tmp;
+          buf_to_list buf = expected)
+        [ Algo.C2r_scatter; Algo.C2r_gather; Algo.C2r_decomposed ])
+
+let prop_r2c_inverse =
+  QCheck2.Test.make ~name:"r2c inverts c2r (all variants)" ~count:200 gen_dims
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      List.for_all
+        (fun variant ->
+          let buf = iota_buf (m * n) in
+          let tmp = S.create (Plan.scratch_elements p) in
+          I.c2r p buf ~tmp;
+          I.r2c ~variant p buf ~tmp;
+          buf_to_list buf = List.init (m * n) Fun.id)
+        [ Algo.R2c_fused; Algo.R2c_decomposed ])
+
+let prop_double_transpose_identity =
+  QCheck2.Test.make ~name:"transpose twice = identity" ~count:200 gen_dims
+    (fun (m, n) ->
+      let buf = iota_buf (m * n) in
+      I.transpose ~m ~n buf;
+      I.transpose ~m:n ~n:m buf;
+      buf_to_list buf = List.init (m * n) Fun.id)
+
+let prop_random_contents =
+  (* duplicate and arbitrary values: the permutation must not depend on
+     the data *)
+  QCheck2.Test.make ~name:"random contents transpose correctly" ~count:100
+    QCheck2.Gen.(
+      triple (int_range 1 40) (int_range 1 40)
+        (array_size (return 1600) (int_range (-5) 5)))
+    (fun (m, n, data) ->
+      let buf = S.create (m * n) in
+      for l = 0 to (m * n) - 1 do
+        S.set buf l data.(l)
+      done;
+      let original = I.copy buf in
+      I.transpose ~m ~n buf;
+      I.is_transpose_of ~m ~n ~original buf)
+
+let prop_f64_matches_int =
+  QCheck2.Test.make ~name:"float64 instance permutes identically" ~count:100
+    gen_dims (fun (m, n) ->
+      let module F = Instances.F64 in
+      let fbuf = Storage.Float64.create (m * n) in
+      Storage.fill_iota (module Storage.Float64) fbuf;
+      let original = F.copy fbuf in
+      F.transpose ~m ~n fbuf;
+      F.is_transpose_of ~m ~n ~original fbuf)
+
+let tests =
+  [
+    Alcotest.test_case "exhaustive small dims, all variants" `Quick
+      test_exhaustive_small;
+    Alcotest.test_case "medium shapes" `Quick test_medium_shapes;
+    Alcotest.test_case "dispatch heuristic" `Quick test_transpose_dispatch;
+    Alcotest.test_case "column-major" `Quick test_col_major;
+    Alcotest.test_case "explicit algorithm x order" `Quick
+      test_explicit_algorithm_choice;
+    Alcotest.test_case "paper figure 1" `Quick test_paper_figure1;
+    Alcotest.test_case "paper element-16 example" `Quick test_element_16_example;
+    Alcotest.test_case "argument validation" `Quick test_errors;
+    Alcotest.test_case "poly storage" `Quick test_poly_storage_arbitrary_values;
+    Alcotest.test_case "blob storage (24-byte structs)" `Quick
+      test_blob_storage_transpose;
+    QCheck_alcotest.to_alcotest prop_random_contents;
+    QCheck_alcotest.to_alcotest prop_c2r_equals_oop;
+    QCheck_alcotest.to_alcotest prop_r2c_inverse;
+    QCheck_alcotest.to_alcotest prop_double_transpose_identity;
+    QCheck_alcotest.to_alcotest prop_f64_matches_int;
+  ]

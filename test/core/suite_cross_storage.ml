@@ -1,0 +1,95 @@
+(* The algorithm must induce the same permutation regardless of element
+   type: run every storage instance on the same shapes and compare the
+   integer tags. *)
+
+open Xpose_core
+
+let permutation_of (type b) (module M : Storage.S with type t = b)
+    (transpose : b -> unit) len =
+  let buf = M.create len in
+  Storage.fill_iota (module M) buf;
+  transpose buf;
+  List.init len (fun l -> M.to_int (M.get buf l))
+
+let shapes = [ (3, 8); (4, 8); (17, 13); (24, 36); (1, 7); (7, 1) ]
+
+let test_all_instances_agree () =
+  List.iter
+    (fun (m, n) ->
+      let reference =
+        let module A = Algo.Make (Storage.Int_elt) in
+        permutation_of (module Storage.Int_elt) (A.transpose ~m ~n) (m * n)
+      in
+      let check name actual =
+        Alcotest.(check (list int)) (Printf.sprintf "%s %dx%d" name m n)
+          reference actual
+      in
+      let module A64 = Algo.Make (Storage.Float64) in
+      check "float64"
+        (permutation_of (module Storage.Float64) (A64.transpose ~m ~n) (m * n));
+      let module A32 = Algo.Make (Storage.Float32) in
+      check "float32"
+        (permutation_of (module Storage.Float32) (A32.transpose ~m ~n) (m * n));
+      let module I64 = Algo.Make (Storage.Int64_elt) in
+      check "int64"
+        (permutation_of (module Storage.Int64_elt) (I64.transpose ~m ~n) (m * n));
+      let module I32 = Algo.Make (Storage.Int32_elt) in
+      check "int32"
+        (permutation_of (module Storage.Int32_elt) (I32.transpose ~m ~n) (m * n));
+      check "kernels_f64"
+        (permutation_of
+           (module Storage.Float64)
+           (Kernels_f64.transpose ~m ~n)
+           (m * n));
+      List.iter
+        (fun bytes ->
+          (* narrow blob tags wrap at 2^(8*bytes); mask the reference *)
+          let mask = if bytes >= 8 then -1 else (1 lsl (8 * bytes)) - 1 in
+          let module B = Storage.Blob (struct
+            let elt_bytes = bytes
+          end) in
+          let module AB = Algo.Make (B) in
+          Alcotest.(check (list int))
+            (Printf.sprintf "blob%d %dx%d" bytes m n)
+            (List.map (fun v -> v land mask) reference)
+            (permutation_of (module B) (AB.transpose ~m ~n) (m * n)))
+        [ 1; 3; 8; 24 ])
+    shapes
+
+let test_instances_exposed () =
+  (* the Instances module compiles usable pre-applied functors *)
+  let m = 6 and n = 10 in
+  let check_instance (type b) (module M : Storage.S with type t = b)
+      (transpose : b -> unit) =
+    let buf = M.create (m * n) in
+    Storage.fill_iota (module M) buf;
+    transpose buf;
+    Alcotest.(check int) "corner" n (M.to_int (M.get buf 1))
+  in
+  check_instance (module Storage.Float64) (Instances.F64.transpose ~m ~n);
+  check_instance (module Storage.Float32) (Instances.F32.transpose ~m ~n);
+  check_instance (module Storage.Int64_elt) (Instances.I64.transpose ~m ~n);
+  check_instance (module Storage.Int32_elt) (Instances.I32.transpose ~m ~n);
+  check_instance (module Storage.Int_elt) (Instances.I.transpose ~m ~n)
+
+let prop_random_shapes_blob_vs_int =
+  QCheck2.Test.make ~name:"blob and int agree on random shapes" ~count:60
+    QCheck2.Gen.(triple (int_range 1 30) (int_range 1 30) (int_range 1 16))
+    (fun (m, n, bytes) ->
+      let mask = if bytes >= 8 then -1 else (1 lsl (8 * bytes)) - 1 in
+      let module B = Storage.Blob (struct
+        let elt_bytes = bytes
+      end) in
+      let module AB = Algo.Make (B) in
+      let module AI = Algo.Make (Storage.Int_elt) in
+      permutation_of (module B) (AB.transpose ~m ~n) (m * n)
+      = List.map
+          (fun v -> v land mask)
+          (permutation_of (module Storage.Int_elt) (AI.transpose ~m ~n) (m * n)))
+
+let tests =
+  [
+    Alcotest.test_case "all instances agree" `Quick test_all_instances_agree;
+    Alcotest.test_case "Instances module" `Quick test_instances_exposed;
+    QCheck_alcotest.to_alcotest prop_random_shapes_blob_vs_int;
+  ]

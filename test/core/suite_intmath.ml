@@ -1,0 +1,103 @@
+open Xpose_core
+
+let check_int = Alcotest.(check int)
+
+let test_emod_basic () =
+  check_int "7 mod 3" 1 (Intmath.emod 7 3);
+  check_int "-1 mod 3" 2 (Intmath.emod (-1) 3);
+  check_int "-3 mod 3" 0 (Intmath.emod (-3) 3);
+  check_int "-7 mod 3" 2 (Intmath.emod (-7) 3);
+  check_int "0 mod 5" 0 (Intmath.emod 0 5)
+
+let test_ediv_basic () =
+  check_int "7 / 3" 2 (Intmath.ediv 7 3);
+  check_int "-1 / 3" (-1) (Intmath.ediv (-1) 3);
+  check_int "-7 / 3" (-3) (Intmath.ediv (-7) 3)
+
+let test_gcd () =
+  check_int "gcd 12 18" 6 (Intmath.gcd 12 18);
+  check_int "gcd 3 8" 1 (Intmath.gcd 3 8);
+  check_int "gcd 0 5" 5 (Intmath.gcd 0 5);
+  check_int "gcd 5 0" 5 (Intmath.gcd 5 0);
+  check_int "gcd 0 0" 0 (Intmath.gcd 0 0);
+  check_int "gcd 24 36" 12 (Intmath.gcd 24 36)
+
+let test_mmi () =
+  check_int "mmi 3 8" 3 (Intmath.mmi 3 8);
+  check_int "mmi 1 7" 1 (Intmath.mmi 1 7);
+  check_int "mmi anything 1" 0 (Intmath.mmi 5 1);
+  Alcotest.check_raises "mmi non-coprime" (Invalid_argument "Intmath.mmi: arguments not coprime")
+    (fun () -> ignore (Intmath.mmi 4 8));
+  Alcotest.check_raises "mmi bad modulus" (Invalid_argument "Intmath.mmi: modulus must be positive")
+    (fun () -> ignore (Intmath.mmi 4 0))
+
+let test_ceil_log2 () =
+  check_int "1" 0 (Intmath.ceil_log2 1);
+  check_int "2" 1 (Intmath.ceil_log2 2);
+  check_int "3" 2 (Intmath.ceil_log2 3);
+  check_int "1024" 10 (Intmath.ceil_log2 1024);
+  check_int "1025" 11 (Intmath.ceil_log2 1025)
+
+let test_ceil_div () =
+  check_int "7/2" 4 (Intmath.ceil_div 7 2);
+  check_int "8/2" 4 (Intmath.ceil_div 8 2);
+  check_int "0/3" 0 (Intmath.ceil_div 0 3)
+
+let test_lcm () =
+  check_int "lcm 4 6" 12 (Intmath.lcm 4 6);
+  check_int "lcm 3 8" 24 (Intmath.lcm 3 8);
+  check_int "lcm 0 8" 0 (Intmath.lcm 0 8)
+
+(* Properties *)
+
+let prop_emod_range =
+  QCheck2.Test.make ~name:"emod in [0,m) and division identity" ~count:1000
+    QCheck2.Gen.(pair (int_range (-100000) 100000) (int_range 1 1000))
+    (fun (x, m) ->
+      let r = Intmath.emod x m in
+      let q = Intmath.ediv x m in
+      r >= 0 && r < m && (q * m) + r = x)
+
+let prop_gcd_divides =
+  QCheck2.Test.make ~name:"gcd divides both and is maximal-ish" ~count:1000
+    QCheck2.Gen.(pair (int_range 1 100000) (int_range 1 100000))
+    (fun (a, b) ->
+      let g = Intmath.gcd a b in
+      g > 0 && a mod g = 0 && b mod g = 0
+      && Intmath.gcd (a / g) (b / g) = 1)
+
+let prop_egcd_bezout =
+  QCheck2.Test.make ~name:"egcd Bezout identity" ~count:1000
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 0 100000))
+    (fun (a, b) ->
+      let g, u, v = Intmath.egcd a b in
+      (a * u) + (b * v) = g && g = Intmath.gcd a b)
+
+let prop_mmi =
+  QCheck2.Test.make ~name:"mmi inverse property" ~count:1000
+    QCheck2.Gen.(pair (int_range 1 10000) (int_range 2 10000))
+    (fun (x, y) ->
+      QCheck2.assume (Intmath.is_coprime x y);
+      let inv = Intmath.mmi x y in
+      inv >= 0 && inv < y && Intmath.emod (x * inv) y = 1)
+
+let prop_lcm_gcd =
+  QCheck2.Test.make ~name:"lcm * gcd = a * b" ~count:500
+    QCheck2.Gen.(pair (int_range 1 10000) (int_range 1 10000))
+    (fun (a, b) -> Intmath.lcm a b * Intmath.gcd a b = a * b)
+
+let tests =
+  [
+    Alcotest.test_case "emod basics" `Quick test_emod_basic;
+    Alcotest.test_case "ediv basics" `Quick test_ediv_basic;
+    Alcotest.test_case "gcd" `Quick test_gcd;
+    Alcotest.test_case "mmi" `Quick test_mmi;
+    Alcotest.test_case "ceil_log2" `Quick test_ceil_log2;
+    Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+    Alcotest.test_case "lcm" `Quick test_lcm;
+    QCheck_alcotest.to_alcotest prop_emod_range;
+    QCheck_alcotest.to_alcotest prop_gcd_divides;
+    QCheck_alcotest.to_alcotest prop_egcd_bezout;
+    QCheck_alcotest.to_alcotest prop_mmi;
+    QCheck_alcotest.to_alcotest prop_lcm_gcd;
+  ]

@@ -1,0 +1,69 @@
+open Xpose_core
+
+let test_linearizations () =
+  let m = 5 and n = 7 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      (* lrm(irm l, jrm l) = l and the column-major twin (paper Eqs. 1-6) *)
+      let l = Layout.lrm ~n i j in
+      Alcotest.(check int) "irm" i (Layout.irm ~n l);
+      Alcotest.(check int) "jrm" j (Layout.jrm ~n l);
+      let l' = Layout.lcm_ ~m i j in
+      Alcotest.(check int) "icm" i (Layout.icm ~m l');
+      Alcotest.(check int) "jcm" j (Layout.jcm ~m l')
+    done
+  done
+
+let test_sctd_example () =
+  (* Paper's worked example (§2): m = 3, n = 8; the element at i=2, j=0
+     moves to i'=1, j'=5 under R2C. *)
+  let m = 3 and n = 8 in
+  Alcotest.(check int) "s(2,0)" 1 (Layout.s ~m ~n 2 0);
+  Alcotest.(check int) "c(2,0)" 5 (Layout.c ~m ~n 2 0)
+
+let test_dims () =
+  let d = Layout.dims ~m:4 ~n:9 in
+  Alcotest.(check int) "elements" 36 (Layout.elements d);
+  let s = Layout.swap d in
+  Alcotest.(check int) "swap m" 9 s.Layout.m;
+  Alcotest.(check int) "swap n" 4 s.Layout.n;
+  Alcotest.check_raises "bad dims" (Invalid_argument "Layout.dims: dimensions must be positive")
+    (fun () -> ignore (Layout.dims ~m:0 ~n:3))
+
+let test_order () =
+  Alcotest.(check bool) "eq" true Layout.(equal_order Row_major Row_major);
+  Alcotest.(check bool) "neq" false Layout.(equal_order Row_major Col_major);
+  Alcotest.(check bool) "flip" true
+    Layout.(equal_order (flip Row_major) Col_major);
+  Alcotest.(check string) "pp" "row-major"
+    (Format.asprintf "%a" Layout.pp_order Layout.Row_major)
+
+let prop_transpose_index_involution =
+  QCheck2.Test.make ~name:"transpose_index is an involution across m<->n"
+    ~count:1000
+    QCheck2.Gen.(triple (int_range 1 50) (int_range 1 50) (int_range 0 2499))
+    (fun (m, n, l) ->
+      QCheck2.assume (l < m * n);
+      let l' = Layout.transpose_index ~m ~n l in
+      l' >= 0 && l' < m * n && Layout.transpose_index ~m:n ~n:m l' = l)
+
+let prop_c2r_gather_defs =
+  (* Eqs. 7-10 vs their definitional forms. *)
+  QCheck2.Test.make ~name:"s,c,t,d match definitions" ~count:1000
+    QCheck2.Gen.(quad (int_range 1 40) (int_range 1 40) (int_range 0 39) (int_range 0 39))
+    (fun (m, n, i, j) ->
+      QCheck2.assume (i < m && j < n);
+      Layout.s ~m ~n i j = (j + (i * n)) mod m
+      && Layout.c ~m ~n i j = (j + (i * n)) / m
+      && Layout.t ~m ~n i j = (i + (j * m)) / n
+      && Layout.d ~m ~n i j = (i + (j * m)) mod n)
+
+let tests =
+  [
+    Alcotest.test_case "linearization inverses" `Quick test_linearizations;
+    Alcotest.test_case "paper element-16 example" `Quick test_sctd_example;
+    Alcotest.test_case "dims" `Quick test_dims;
+    Alcotest.test_case "order" `Quick test_order;
+    QCheck_alcotest.to_alcotest prop_transpose_index_involution;
+    QCheck_alcotest.to_alcotest prop_c2r_gather_defs;
+  ]

@@ -1,0 +1,69 @@
+open Xpose_core
+
+let test_small_divisors () =
+  for d = 1 to 64 do
+    let t = Magic.make d in
+    Alcotest.(check int) "divisor" d (Magic.divisor t);
+    for x = 0 to 2000 do
+      if Magic.div t x <> x / d then
+        Alcotest.failf "div %d / %d: got %d want %d" x d (Magic.div t x) (x / d);
+      if Magic.modu t x <> x mod d then
+        Alcotest.failf "mod %d %% %d" x d
+    done
+  done
+
+let test_boundaries () =
+  let xs = [ 0; 1; Magic.max_dividend; Magic.max_dividend - 1 ] in
+  let ds = [ 1; 2; 3; 7; 1 lsl 20; Magic.max_dividend; Magic.max_dividend - 1 ] in
+  List.iter
+    (fun d ->
+      let t = Magic.make d in
+      List.iter
+        (fun x ->
+          Alcotest.(check int) (Printf.sprintf "%d/%d" x d) (x / d) (Magic.div t x);
+          Alcotest.(check int) (Printf.sprintf "%d%%%d" x d) (x mod d) (Magic.modu t x))
+        xs)
+    ds
+
+let test_invalid () =
+  Alcotest.check_raises "zero divisor" (Invalid_argument "Magic.make: bad divisor")
+    (fun () -> ignore (Magic.make 0));
+  Alcotest.check_raises "negative divisor" (Invalid_argument "Magic.make: bad divisor")
+    (fun () -> ignore (Magic.make (-3)));
+  Alcotest.check_raises "huge divisor" (Invalid_argument "Magic.make: bad divisor")
+    (fun () -> ignore (Magic.make (Magic.max_dividend + 1)))
+
+let test_divmod () =
+  let t = Magic.make 37 in
+  for x = 0 to 5000 do
+    let q, r = Magic.divmod t x in
+    Alcotest.(check (pair int int)) "divmod" (x / 37, x mod 37) (q, r)
+  done
+
+let gen_divisor =
+  (* Mix small divisors (the common case: matrix dims) with huge ones. *)
+  QCheck2.Gen.(
+    oneof
+      [
+        int_range 1 4096;
+        int_range 1 Magic.max_dividend;
+        map (fun k -> 1 lsl k) (int_range 0 29);
+        map (fun k -> (1 lsl k) - 1) (int_range 1 30);
+        map (fun k -> (1 lsl k) + 1) (int_range 1 29);
+      ])
+
+let prop_div_exact =
+  QCheck2.Test.make ~name:"magic div/mod = / and mod" ~count:20000
+    QCheck2.Gen.(pair gen_divisor (int_range 0 Magic.max_dividend))
+    (fun (d, x) ->
+      let t = Magic.make d in
+      Magic.div t x = x / d && Magic.modu t x = x mod d)
+
+let tests =
+  [
+    Alcotest.test_case "exhaustive small divisors" `Quick test_small_divisors;
+    Alcotest.test_case "boundary dividends" `Quick test_boundaries;
+    Alcotest.test_case "invalid divisors" `Quick test_invalid;
+    Alcotest.test_case "divmod" `Quick test_divmod;
+    QCheck_alcotest.to_alcotest prop_div_exact;
+  ]

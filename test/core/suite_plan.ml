@@ -1,0 +1,148 @@
+open Xpose_core
+
+let gen_dims =
+  QCheck2.Gen.(
+    oneof
+      [
+        pair (int_range 1 64) (int_range 1 64);
+        pair (int_range 1 400) (int_range 1 400);
+        (* Force shared factors, the interesting c > 1 regime. *)
+        map
+          (fun ((a, b), c) -> (a * c, b * c))
+          (pair (pair (int_range 1 20) (int_range 1 20)) (int_range 1 12));
+      ])
+
+let test_internal_consistency () =
+  for m = 1 to 24 do
+    for n = 1 to 24 do
+      Plan.check_internal (Plan.make ~m ~n)
+    done
+  done;
+  Plan.check_internal (Plan.make ~m:7200 ~n:1800)
+
+let test_invalid () =
+  Alcotest.check_raises "bad plan" (Invalid_argument "Plan.make: dimensions must be positive")
+    (fun () -> ignore (Plan.make ~m:0 ~n:4))
+
+let test_coprime () =
+  Alcotest.(check bool) "3x8 coprime" true (Plan.coprime (Plan.make ~m:3 ~n:8));
+  Alcotest.(check bool) "4x8 not" false (Plan.coprime (Plan.make ~m:4 ~n:8));
+  Alcotest.(check int) "scratch" 8 (Plan.scratch_elements (Plan.make ~m:4 ~n:8))
+
+let test_periodicity_lemma1 () =
+  (* Lemma 1: d_i(j) = (i + j*m) mod n is periodic with period b. *)
+  let m = 6 and n = 9 in
+  let p = Plan.make ~m ~n in
+  let b = p.Plan.b in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 - b do
+      Alcotest.(check int) "period b"
+        (Layout.d ~m ~n i j)
+        (Layout.d ~m ~n i (j + b))
+    done
+  done
+
+let prop_d'_bijective =
+  QCheck2.Test.make ~name:"Theorem 3: d' bijective in j for every i" ~count:300
+    gen_dims (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        let seen = Array.make n false in
+        for j = 0 to n - 1 do
+          let x = Plan.d' p ~i j in
+          if x < 0 || x >= n || seen.(x) then ok := false else seen.(x) <- true
+        done
+      done;
+      !ok)
+
+let prop_d'_inv =
+  QCheck2.Test.make ~name:"Eq. 31: d'_inv inverts d'" ~count:300 gen_dims
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          if Plan.d' p ~i (Plan.d'_inv p ~i j) <> j then ok := false;
+          if Plan.d'_inv p ~i (Plan.d' p ~i j) <> j then ok := false
+        done
+      done;
+      !ok)
+
+let prop_s'_decomposition =
+  QCheck2.Test.make ~name:"§4.2: p_j (q i) = s'_j i" ~count:300 gen_dims
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      let ok = ref true in
+      for j = 0 to n - 1 do
+        for i = 0 to m - 1 do
+          if Plan.p p ~j (Plan.q p i) <> Plan.s' p ~j i then ok := false
+        done
+      done;
+      !ok)
+
+let prop_q_inv =
+  QCheck2.Test.make ~name:"Eq. 34: q_inv inverts q" ~count:300 gen_dims
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        if Plan.q p (Plan.q_inv p i) <> i then ok := false;
+        if Plan.q_inv p (Plan.q p i) <> i then ok := false
+      done;
+      !ok)
+
+let prop_s'_inv =
+  QCheck2.Test.make ~name:"s'_inv inverts s' (composition order §4.3)"
+    ~count:300 gen_dims (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      let ok = ref true in
+      for j = 0 to min (n - 1) 40 do
+        for i = 0 to m - 1 do
+          if Plan.s' p ~j (Plan.s'_inv p ~j i) <> i then ok := false
+        done
+      done;
+      !ok)
+
+let prop_rotations_inverse =
+  QCheck2.Test.make ~name:"Eqs. 23/36 and 32/35 are mutually inverse"
+    ~count:300 gen_dims (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      let ok = ref true in
+      for j = 0 to min (n - 1) 40 do
+        for i = 0 to m - 1 do
+          if Plan.r_inv p ~j (Plan.r p ~j i) <> i then ok := false;
+          if Plan.p_inv p ~j (Plan.p p ~j i) <> i then ok := false
+        done
+      done;
+      !ok)
+
+let prop_coprime_degenerate =
+  QCheck2.Test.make ~name:"coprime dims: d' = d (paper §3)" ~count:300
+    QCheck2.Gen.(pair (int_range 1 100) (int_range 1 100))
+    (fun (m, n) ->
+      QCheck2.assume (Intmath.is_coprime m n);
+      let p = Plan.make ~m ~n in
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          if Plan.d' p ~i j <> Layout.d ~m ~n i j then ok := false
+        done
+      done;
+      !ok)
+
+let tests =
+  [
+    Alcotest.test_case "internal consistency (exhaustive small)" `Quick
+      test_internal_consistency;
+    Alcotest.test_case "invalid dims" `Quick test_invalid;
+    Alcotest.test_case "coprime / scratch" `Quick test_coprime;
+    Alcotest.test_case "Lemma 1 periodicity" `Quick test_periodicity_lemma1;
+    QCheck_alcotest.to_alcotest prop_d'_bijective;
+    QCheck_alcotest.to_alcotest prop_d'_inv;
+    QCheck_alcotest.to_alcotest prop_s'_decomposition;
+    QCheck_alcotest.to_alcotest prop_q_inv;
+    QCheck_alcotest.to_alcotest prop_s'_inv;
+    QCheck_alcotest.to_alcotest prop_rotations_inverse;
+    QCheck_alcotest.to_alcotest prop_coprime_degenerate;
+  ]

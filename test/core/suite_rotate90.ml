@@ -1,0 +1,108 @@
+open Xpose_core
+module S = Storage.Int_elt
+module R = Rotate90.Make (Storage.Int_elt)
+
+let iota_buf len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let buf_to_list buf = List.init (S.length buf) (S.get buf)
+
+(* references from the index specifications *)
+let ref_cw ~m ~n = List.init (m * n) (fun l ->
+    let i = l / m and j = l mod m in
+    ((m - 1 - j) * n) + i)
+
+let ref_ccw ~m ~n = List.init (m * n) (fun l ->
+    let i = l / m and j = l mod m in
+    (j * n) + (n - 1 - i))
+
+let ref_half ~m ~n = List.init (m * n) (fun l -> (m * n) - 1 - l)
+
+let shapes = [ (1, 1); (2, 3); (3, 2); (4, 4); (5, 9); (9, 5); (16, 12); (31, 17) ]
+
+let test_clockwise () =
+  List.iter
+    (fun (m, n) ->
+      let buf = iota_buf (m * n) in
+      R.clockwise ~m ~n buf;
+      Alcotest.(check (list int))
+        (Printf.sprintf "cw %dx%d" m n)
+        (ref_cw ~m ~n) (buf_to_list buf))
+    shapes
+
+let test_counter_clockwise () =
+  List.iter
+    (fun (m, n) ->
+      let buf = iota_buf (m * n) in
+      R.counter_clockwise ~m ~n buf;
+      Alcotest.(check (list int))
+        (Printf.sprintf "ccw %dx%d" m n)
+        (ref_ccw ~m ~n) (buf_to_list buf))
+    shapes
+
+let test_half_turn () =
+  List.iter
+    (fun (m, n) ->
+      let buf = iota_buf (m * n) in
+      R.half_turn ~m ~n buf;
+      Alcotest.(check (list int))
+        (Printf.sprintf "half %dx%d" m n)
+        (ref_half ~m ~n) (buf_to_list buf))
+    shapes
+
+let test_four_quarters_identity () =
+  let m = 7 and n = 11 in
+  let buf = iota_buf (m * n) in
+  R.clockwise ~m ~n buf;
+  R.clockwise ~m:n ~n:m buf;
+  R.clockwise ~m ~n buf;
+  R.clockwise ~m:n ~n:m buf;
+  Alcotest.(check (list int)) "4 quarter turns = id"
+    (List.init (m * n) Fun.id) (buf_to_list buf)
+
+let test_cw_ccw_inverse () =
+  let m = 8 and n = 13 in
+  let buf = iota_buf (m * n) in
+  R.clockwise ~m ~n buf;
+  R.counter_clockwise ~m:n ~n:m buf;
+  Alcotest.(check (list int)) "ccw inverts cw"
+    (List.init (m * n) Fun.id) (buf_to_list buf)
+
+let test_two_quarters_equal_half () =
+  let m = 6 and n = 10 in
+  let a = iota_buf (m * n) in
+  R.clockwise ~m ~n a;
+  R.clockwise ~m:n ~n:m a;
+  let b = iota_buf (m * n) in
+  R.half_turn ~m ~n b;
+  Alcotest.(check (list int)) "cw . cw = half turn" (buf_to_list b) (buf_to_list a)
+
+let test_errors () =
+  let buf = iota_buf 5 in
+  Alcotest.check_raises "size" (Invalid_argument "Rotate90: buffer size")
+    (fun () -> R.clockwise ~m:2 ~n:3 buf)
+
+let prop_random =
+  QCheck2.Test.make ~name:"rotations match references on random shapes"
+    ~count:80
+    QCheck2.Gen.(pair (int_range 1 40) (int_range 1 40))
+    (fun (m, n) ->
+      let a = iota_buf (m * n) in
+      R.clockwise ~m ~n a;
+      let b = iota_buf (m * n) in
+      R.counter_clockwise ~m ~n b;
+      buf_to_list a = ref_cw ~m ~n && buf_to_list b = ref_ccw ~m ~n)
+
+let tests =
+  [
+    Alcotest.test_case "clockwise" `Quick test_clockwise;
+    Alcotest.test_case "counter-clockwise" `Quick test_counter_clockwise;
+    Alcotest.test_case "half turn" `Quick test_half_turn;
+    Alcotest.test_case "four quarters = id" `Quick test_four_quarters_identity;
+    Alcotest.test_case "ccw inverts cw" `Quick test_cw_ccw_inverse;
+    Alcotest.test_case "two quarters = half" `Quick test_two_quarters_equal_half;
+    Alcotest.test_case "errors" `Quick test_errors;
+    QCheck_alcotest.to_alcotest prop_random;
+  ]

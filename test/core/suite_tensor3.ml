@@ -1,0 +1,133 @@
+open Xpose_core
+module S = Storage.Int_elt
+module T = Tensor3.Make (Storage.Int_elt)
+
+let iota_buf len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let buf_to_list buf = List.init (S.length buf) (S.get buf)
+
+let all_perms =
+  [ (0, 1, 2); (0, 2, 1); (1, 0, 2); (1, 2, 0); (2, 0, 1); (2, 1, 0) ]
+
+(* Out-of-place reference from the index specification. *)
+let reference ~dims ~perm =
+  let d0, d1, d2 = dims in
+  let out = Array.make (d0 * d1 * d2) 0 in
+  for i0 = 0 to d0 - 1 do
+    for i1 = 0 to d1 - 1 do
+      for i2 = 0 to d2 - 1 do
+        let src = (((i0 * d1) + i1) * d2) + i2 in
+        out.(T.permuted_index ~dims ~perm (i0, i1, i2)) <- src
+      done
+    done
+  done;
+  Array.to_list out
+
+let check_permute dims perm =
+  let d0, d1, d2 = dims in
+  let buf = iota_buf (d0 * d1 * d2) in
+  T.permute ~dims ~perm buf;
+  Alcotest.(check (list int))
+    (Printf.sprintf "permute (%d,%d,%d) by (%d,%d,%d)" d0 d1 d2
+       (let a, _, _ = perm in a)
+       (let _, b, _ = perm in b)
+       (let _, _, c = perm in c))
+    (reference ~dims ~perm) (buf_to_list buf)
+
+let test_all_perms_exhaustive_small () =
+  List.iter
+    (fun dims -> List.iter (fun perm -> check_permute dims perm) all_perms)
+    [ (1, 1, 1); (2, 3, 4); (4, 3, 2); (3, 3, 3); (1, 5, 2); (5, 1, 4); (4, 6, 1) ]
+
+let test_larger_shapes () =
+  List.iter
+    (fun dims -> List.iter (fun perm -> check_permute dims perm) all_perms)
+    [ (7, 11, 13); (12, 8, 10); (16, 3, 21) ]
+
+let test_batched () =
+  let batch = 5 and m = 4 and n = 7 in
+  let buf = iota_buf (batch * m * n) in
+  T.transpose_batched ~batch ~m ~n buf;
+  for b = 0 to batch - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to m - 1 do
+        Alcotest.(check int) "batched entry"
+          ((b * m * n) + (j * n) + i)
+          (S.get buf ((b * m * n) + (i * m) + j))
+      done
+    done
+  done
+
+let test_blocks () =
+  let m = 3 and n = 5 and block = 4 in
+  let buf = iota_buf (m * n * block) in
+  T.transpose_blocks ~m ~n ~block buf;
+  (* block (i, j) moved to (j, i); contents stay in order *)
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      for k = 0 to block - 1 do
+        Alcotest.(check int) "block entry"
+          ((((i * n) + j) * block) + k)
+          (S.get buf ((((j * m) + i) * block) + k))
+      done
+    done
+  done
+
+let test_roundtrips () =
+  (* applying a permutation then its inverse restores the tensor *)
+  let inverse (p0, p1, p2) =
+    let inv = Array.make 3 0 in
+    inv.(p0) <- 0;
+    inv.(p1) <- 1;
+    inv.(p2) <- 2;
+    (inv.(0), inv.(1), inv.(2))
+  in
+  let dims = (6, 5, 7) in
+  List.iter
+    (fun perm ->
+      let d0, d1, d2 = dims in
+      let buf = iota_buf (d0 * d1 * d2) in
+      T.permute ~dims ~perm buf;
+      let new_dims = T.permuted_dims ~dims ~perm in
+      T.permute ~dims:new_dims ~perm:(inverse perm) buf;
+      Alcotest.(check (list int)) "roundtrip"
+        (List.init (d0 * d1 * d2) Fun.id)
+        (buf_to_list buf))
+    all_perms
+
+let test_errors () =
+  let buf = iota_buf 24 in
+  Alcotest.check_raises "bad perm"
+    (Invalid_argument "Tensor3.permute: perm must be a permutation of (0,1,2)")
+    (fun () -> T.permute ~dims:(2, 3, 4) ~perm:(0, 0, 2) buf);
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Tensor3.permute: buffer size") (fun () ->
+      T.permute ~dims:(2, 3, 5) ~perm:(1, 0, 2) buf)
+
+let prop_random_tensors =
+  QCheck2.Test.make ~name:"permute = reference on random shapes" ~count:100
+    QCheck2.Gen.(
+      pair
+        (triple (int_range 1 12) (int_range 1 12) (int_range 1 12))
+        (int_range 0 5))
+    (fun (dims, pi) ->
+      let perm = List.nth all_perms pi in
+      let d0, d1, d2 = dims in
+      let buf = iota_buf (d0 * d1 * d2) in
+      T.permute ~dims ~perm buf;
+      buf_to_list buf = reference ~dims ~perm)
+
+let tests =
+  [
+    Alcotest.test_case "all perms, small shapes" `Quick
+      test_all_perms_exhaustive_small;
+    Alcotest.test_case "all perms, larger shapes" `Quick test_larger_shapes;
+    Alcotest.test_case "batched transpose" `Quick test_batched;
+    Alcotest.test_case "block transpose" `Quick test_blocks;
+    Alcotest.test_case "inverse roundtrips" `Quick test_roundtrips;
+    Alcotest.test_case "errors" `Quick test_errors;
+    QCheck_alcotest.to_alcotest prop_random_tensors;
+  ]

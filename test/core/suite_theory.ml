@@ -1,0 +1,72 @@
+open Xpose_core
+
+let test_exhaustive_small () =
+  for m = 1 to 14 do
+    for n = 1 to 14 do
+      let p = Plan.make ~m ~n in
+      List.iter
+        (fun (name, ok) ->
+          if not ok then Alcotest.failf "%s fails for m=%d n=%d" name m n)
+        (Theory.check_all p)
+    done
+  done
+
+let test_paper_shapes () =
+  List.iter
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      List.iter
+        (fun (name, ok) ->
+          Alcotest.(check bool) (Printf.sprintf "%s %dx%d" name m n) true ok)
+        (Theory.check_all p))
+    [ (3, 8); (4, 8); (32, 24); (72, 32); (100, 64) ]
+
+let test_work_bound_tight () =
+  (* coprime dims skip the pre-rotation: exactly 4mn touches *)
+  let p = Plan.make ~m:7 ~n:9 in
+  let touches, scratch = Theory.theorem6_work_and_space p in
+  Alcotest.(check int) "coprime touches" (4 * 7 * 9) touches;
+  Alcotest.(check int) "scratch" 9 scratch;
+  (* with shared factors at most 6mn *)
+  let p = Plan.make ~m:8 ~n:12 in
+  let touches, _ = Theory.theorem6_work_and_space p in
+  Alcotest.(check bool) "<= 6mn" true (touches <= 6 * 8 * 12);
+  Alcotest.(check bool) "> 4mn (pre-rotation ran)" true (touches > 4 * 8 * 12)
+
+let test_rotation_cycles () =
+  for m = 1 to 24 do
+    for r = 0 to m - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "rotation cycles m=%d r=%d" m r)
+        true
+        (Theory.rotation_cycle_structure ~m ~r)
+    done
+  done
+
+let prop_random_dims =
+  QCheck2.Test.make ~name:"all claims on random dims" ~count:60
+    QCheck2.Gen.(pair (int_range 1 60) (int_range 1 60))
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      List.for_all snd (Theory.check_all p))
+
+let prop_shared_factor_dims =
+  QCheck2.Test.make ~name:"all claims when gcd(m,n) > 1" ~count:60
+    QCheck2.Gen.(
+      map
+        (fun ((a, b), c) -> (a * c, b * c))
+        (pair (pair (int_range 1 10) (int_range 1 10)) (int_range 2 8)))
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      List.for_all snd (Theory.check_all p))
+
+let tests =
+  [
+    Alcotest.test_case "exhaustive small dims" `Quick test_exhaustive_small;
+    Alcotest.test_case "paper's shapes" `Quick test_paper_shapes;
+    Alcotest.test_case "work bound tightness" `Quick test_work_bound_tight;
+    Alcotest.test_case "rotation cycle structure (§4.6)" `Quick
+      test_rotation_cycles;
+    QCheck_alcotest.to_alcotest prop_random_dims;
+    QCheck_alcotest.to_alcotest prop_shared_factor_dims;
+  ]

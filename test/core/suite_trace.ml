@@ -1,0 +1,103 @@
+open Xpose_core
+
+let check_mat msg expected actual =
+  Alcotest.(check (list (list int)))
+    msg
+    (Array.to_list (Array.map Array.to_list expected))
+    (Array.to_list (Array.map Array.to_list actual))
+
+let test_iota () =
+  check_mat "iota 2x3" [| [| 0; 1; 2 |]; [| 3; 4; 5 |] |] (Trace.iota ~m:2 ~n:3)
+
+let find_step t label =
+  match List.find_opt (fun s -> s.Trace.label = label) t.Trace.steps with
+  | Some s -> s.Trace.state
+  | None -> Alcotest.failf "missing step %S" label
+
+(* Figure 2 of the paper: C2R transpose of the 4x8 matrix holding
+   column-major numbering (A[i,j] = i + 4j), shown after each phase. *)
+let fig2_initial = Array.init 4 (fun i -> Array.init 8 (fun j -> i + (4 * j)))
+
+let fig2_after_rotate =
+  [|
+    [| 0; 4; 9; 13; 18; 22; 27; 31 |];
+    [| 1; 5; 10; 14; 19; 23; 24; 28 |];
+    [| 2; 6; 11; 15; 16; 20; 25; 29 |];
+    [| 3; 7; 8; 12; 17; 21; 26; 30 |];
+  |]
+
+let fig2_after_row_shuffle =
+  [|
+    [| 0; 9; 18; 27; 4; 13; 22; 31 |];
+    [| 24; 1; 10; 19; 28; 5; 14; 23 |];
+    [| 16; 25; 2; 11; 20; 29; 6; 15 |];
+    [| 8; 17; 26; 3; 12; 21; 30; 7 |];
+  |]
+
+let fig2_after_col_shuffle =
+  Array.init 4 (fun i -> Array.init 8 (fun j -> (8 * i) + j))
+
+let test_figure2 () =
+  let t = Trace.c2r ~m:4 ~n:8 fig2_initial in
+  check_mat "initial" fig2_initial (find_step t "initial");
+  check_mat "column rotate" fig2_after_rotate (find_step t "column rotate");
+  check_mat "row shuffle" fig2_after_row_shuffle (find_step t "row shuffle");
+  check_mat "column shuffle" fig2_after_col_shuffle (find_step t "column shuffle");
+  check_mat "final" fig2_after_col_shuffle (Trace.final t)
+
+(* Figure 1: R2C of the 3x8 iota. *)
+let fig1_right =
+  [|
+    [| 0; 3; 6; 9; 12; 15; 18; 21 |];
+    [| 1; 4; 7; 10; 13; 16; 19; 22 |];
+    [| 2; 5; 8; 11; 14; 17; 20; 23 |];
+  |]
+
+let test_figure1 () =
+  let t = Trace.r2c ~m:3 ~n:8 (Trace.iota ~m:3 ~n:8) in
+  check_mat "fig1 r2c" fig1_right (Trace.final t);
+  (* and C2R brings it back *)
+  let back = Trace.c2r ~m:3 ~n:8 fig1_right in
+  check_mat "fig1 c2r inverse" (Trace.iota ~m:3 ~n:8) (Trace.final back)
+
+let test_coprime_skips_rotation () =
+  let t = Trace.c2r ~m:3 ~n:8 (Trace.iota ~m:3 ~n:8) in
+  Alcotest.(check bool) "no rotate step" true
+    (List.for_all (fun s -> s.Trace.label <> "column rotate") t.Trace.steps);
+  let t' = Trace.c2r ~m:4 ~n:8 (Trace.iota ~m:4 ~n:8) in
+  Alcotest.(check bool) "rotate step present" true
+    (List.exists (fun s -> s.Trace.label = "column rotate") t'.Trace.steps)
+
+let test_reinterpret () =
+  let m = 4 and n = 8 in
+  let t = Trace.c2r ~m ~n (Trace.iota ~m ~n) in
+  let tr = Trace.reinterpret t in
+  Alcotest.(check int) "rows" n (Array.length tr);
+  Alcotest.(check int) "cols" m (Array.length tr.(0));
+  let src = Trace.iota ~m ~n in
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      Alcotest.(check int) "transposed entry" src.(j).(i) tr.(i).(j)
+    done
+  done
+
+let contains ~sub s =
+  let ls = String.length sub and l = String.length s in
+  let rec go i = i + ls <= l && (String.sub s i ls = sub || go (i + 1)) in
+  go 0
+
+let test_pp_smoke () =
+  let t = Trace.c2r ~m:4 ~n:8 fig2_initial in
+  let s = Format.asprintf "%a" Trace.pp t in
+  Alcotest.(check bool) "mentions phases" true
+    (String.length s > 0 && contains ~sub:"row shuffle" s)
+
+let tests =
+  [
+    Alcotest.test_case "iota" `Quick test_iota;
+    Alcotest.test_case "paper figure 2 (all phases)" `Quick test_figure2;
+    Alcotest.test_case "paper figure 1" `Quick test_figure1;
+    Alcotest.test_case "coprime skips rotation" `Quick test_coprime_skips_rotation;
+    Alcotest.test_case "reinterpret" `Quick test_reinterpret;
+    Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+  ]

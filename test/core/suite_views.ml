@@ -1,0 +1,74 @@
+open Xpose_core
+module S = Storage.Int_elt
+module Sl = Views.Slice (Storage.Int_elt)
+module Bl = Views.Blocked (Storage.Int_elt)
+
+let iota_buf len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let test_slice_basics () =
+  let buf = iota_buf 20 in
+  let v = Sl.of_buffer buf ~off:5 ~len:10 in
+  Alcotest.(check int) "length" 10 (Sl.length v);
+  Alcotest.(check int) "get" 7 (Sl.get v 2);
+  Sl.set v 0 99;
+  Alcotest.(check int) "aliases" 99 (S.get buf 5);
+  Alcotest.(check int) "offset" 5 (Sl.offset v);
+  Alcotest.check_raises "oob view"
+    (Invalid_argument "Views.Slice.of_buffer: range out of bounds") (fun () ->
+      ignore (Sl.of_buffer buf ~off:15 ~len:6));
+  Alcotest.check_raises "oob index" (Invalid_argument "Views.Slice: index")
+    (fun () -> ignore (Sl.get v 10))
+
+let test_slice_blit () =
+  let buf = iota_buf 20 in
+  let a = Sl.of_buffer buf ~off:0 ~len:10 in
+  let b = Sl.of_buffer buf ~off:10 ~len:10 in
+  Sl.blit a 0 b 0 10;
+  for i = 0 to 9 do
+    Alcotest.(check int) "copied" i (S.get buf (10 + i))
+  done
+
+let test_slice_transpose () =
+  (* transpose a sub-matrix embedded in a larger buffer *)
+  let module A = Algo.Make (Sl) in
+  let buf = iota_buf 100 in
+  let m = 6 and n = 8 in
+  let v = Sl.of_buffer buf ~off:20 ~len:(m * n) in
+  let p = Plan.make ~m ~n in
+  A.c2r p v ~tmp:(Sl.create (max m n));
+  for l = 0 to (m * n) - 1 do
+    Alcotest.(check int) "slice transposed"
+      (20 + (n * (l mod m)) + (l / m))
+      (S.get buf (20 + l))
+  done;
+  (* and the surrounding data is untouched *)
+  for l = 0 to 19 do
+    Alcotest.(check int) "prefix intact" l (S.get buf l)
+  done;
+  for l = 20 + (m * n) to 99 do
+    Alcotest.(check int) "suffix intact" l (S.get buf l)
+  done
+
+let test_blocked_basics () =
+  let buf = iota_buf 12 in
+  let v = Bl.of_buffer buf ~block:3 in
+  Alcotest.(check int) "length" 4 (Bl.length v);
+  let e = Bl.get v 1 in
+  Alcotest.(check int) "block contents" 4 (S.get e 1);
+  Bl.set v 0 e;
+  Alcotest.(check int) "block written" 3 (S.get buf 0);
+  Alcotest.(check bool) "equal" true (Bl.equal (Bl.get v 0) (Bl.get v 1));
+  Alcotest.check_raises "bad block"
+    (Invalid_argument "Views.Blocked.of_buffer: block must divide the length")
+    (fun () -> ignore (Bl.of_buffer buf ~block:5))
+
+let tests =
+  [
+    Alcotest.test_case "slice basics" `Quick test_slice_basics;
+    Alcotest.test_case "slice blit" `Quick test_slice_blit;
+    Alcotest.test_case "transpose inside a slice" `Quick test_slice_transpose;
+    Alcotest.test_case "blocked basics" `Quick test_blocked_basics;
+  ]

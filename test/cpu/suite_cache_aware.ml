@@ -1,0 +1,140 @@
+open Xpose_core
+open Xpose_cpu
+module S = Storage.Int_elt
+module A = Instances.I
+module C = Cache_aware.Make (Storage.Int_elt)
+
+let iota_buf len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let buf_to_list buf = List.init (S.length buf) (S.get buf)
+
+let check_rotate ~width m n amount =
+  let p = Plan.make ~m ~n in
+  let expected =
+    let buf = iota_buf (m * n) in
+    let tmp = S.create (Plan.scratch_elements p) in
+    A.Phases.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n;
+    buf_to_list buf
+  in
+  let buf = iota_buf (m * n) in
+  C.rotate_columns ~width p buf ~amount;
+  Alcotest.(check (list int))
+    (Printf.sprintf "rotate %dx%d w=%d" m n width)
+    expected (buf_to_list buf)
+
+let test_rotate_families () =
+  (* The two amount families the algorithm uses (§4.6), plus inverses. *)
+  List.iter
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      List.iter
+        (fun width ->
+          check_rotate ~width m n (Plan.rotate_amount p);
+          check_rotate ~width m n (fun j -> j);
+          check_rotate ~width m n (fun j -> -j);
+          check_rotate ~width m n (fun j -> -Plan.rotate_amount p j))
+        [ 1; 3; 16; 64 ])
+    [ (12, 18); (7, 7); (30, 8); (8, 30); (64, 48) ]
+
+let test_rotate_arbitrary_amount_falls_back () =
+  (* Residuals not bounded by the group width: the implementation must
+     still be exact via its per-column fallback. *)
+  check_rotate ~width:8 20 24 (fun j -> (j * 7) + 3);
+  check_rotate ~width:8 20 24 (fun j -> j * j)
+
+let test_rotate_zero () =
+  check_rotate ~width:16 9 14 (fun _ -> 0)
+
+let check_permute ~width m n index =
+  let p = Plan.make ~m ~n in
+  let expected =
+    let buf = iota_buf (m * n) in
+    let tmp = S.create (Plan.scratch_elements p) in
+    A.Phases.permute_rows p buf ~tmp ~index ~lo:0 ~hi:n;
+    buf_to_list buf
+  in
+  let buf = iota_buf (m * n) in
+  C.permute_rows ~width p buf ~index;
+  Alcotest.(check (list int))
+    (Printf.sprintf "permute %dx%d w=%d" m n width)
+    expected (buf_to_list buf)
+
+let test_permute_q_family () =
+  List.iter
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      List.iter
+        (fun width ->
+          check_permute ~width m n (Plan.q p);
+          check_permute ~width m n (Plan.q_inv p);
+          check_permute ~width m n Fun.id;
+          check_permute ~width m n (fun i -> m - 1 - i))
+        [ 1; 5; 16 ])
+    [ (12, 18); (16, 10); (31, 9) ]
+
+let test_permute_rejects_non_permutation () =
+  let p = Plan.make ~m:6 ~n:4 in
+  let buf = iota_buf 24 in
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Cache_aware.permute_rows: index is not a permutation")
+    (fun () -> C.permute_rows p buf ~index:(fun i -> if i = 0 then 1 else i));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Cache_aware.permute_rows: index out of range")
+    (fun () -> C.permute_rows p buf ~index:(fun i -> i + 1))
+
+let test_c2r_r2c () =
+  List.iter
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      let expected =
+        let buf = iota_buf (m * n) in
+        let tmp = S.create (Plan.scratch_elements p) in
+        A.c2r p buf ~tmp;
+        buf_to_list buf
+      in
+      List.iter
+        (fun width ->
+          let buf = iota_buf (m * n) in
+          let tmp = S.create (Plan.scratch_elements p) in
+          C.c2r ~width p buf ~tmp;
+          Alcotest.(check (list int))
+            (Printf.sprintf "cache-aware c2r %dx%d w=%d" m n width)
+            expected (buf_to_list buf);
+          C.r2c ~width p buf ~tmp;
+          Alcotest.(check (list int)) "cache-aware r2c inverts"
+            (List.init (m * n) Fun.id) (buf_to_list buf))
+        [ 4; 16; 32 ])
+    [ (3, 8); (4, 8); (48, 36); (36, 48); (55, 50); (1, 9); (9, 1) ]
+
+let prop_cache_aware_equals_plain =
+  QCheck2.Test.make ~name:"cache-aware c2r = plain c2r" ~count:80
+    QCheck2.Gen.(
+      triple (int_range 1 64) (int_range 1 64) (int_range 1 24))
+    (fun (m, n, width) ->
+      let p = Plan.make ~m ~n in
+      let expected =
+        let buf = iota_buf (m * n) in
+        let tmp = S.create (Plan.scratch_elements p) in
+        A.c2r p buf ~tmp;
+        buf_to_list buf
+      in
+      let buf = iota_buf (m * n) in
+      let tmp = S.create (Plan.scratch_elements p) in
+      C.c2r ~width p buf ~tmp;
+      buf_to_list buf = expected)
+
+let tests =
+  [
+    Alcotest.test_case "rotate amount families" `Quick test_rotate_families;
+    Alcotest.test_case "rotate fallback for wild amounts" `Quick
+      test_rotate_arbitrary_amount_falls_back;
+    Alcotest.test_case "rotate by zero" `Quick test_rotate_zero;
+    Alcotest.test_case "permute q family" `Quick test_permute_q_family;
+    Alcotest.test_case "permute rejects non-permutations" `Quick
+      test_permute_rejects_non_permutation;
+    Alcotest.test_case "cache-aware c2r/r2c" `Quick test_c2r_r2c;
+    QCheck_alcotest.to_alcotest prop_cache_aware_equals_plain;
+  ]

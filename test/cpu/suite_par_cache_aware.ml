@@ -1,0 +1,80 @@
+open Xpose_core
+open Xpose_cpu
+module S = Storage.Int_elt
+module A = Instances.I
+module PC = Par_cache_aware.Make (Storage.Int_elt)
+
+let iota_buf len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let buf_to_list buf = List.init (S.length buf) (S.get buf)
+
+let reference m n =
+  let p = Plan.make ~m ~n in
+  let buf = iota_buf (m * n) in
+  let tmp = S.create (Plan.scratch_elements p) in
+  A.c2r p buf ~tmp;
+  buf_to_list buf
+
+let test_matches_plain () =
+  Pool.with_pool ~workers:3 (fun pool ->
+      List.iter
+        (fun (m, n) ->
+          let p = Plan.make ~m ~n in
+          let buf = iota_buf (m * n) in
+          PC.c2r pool p buf;
+          Alcotest.(check (list int))
+            (Printf.sprintf "par cache-aware c2r %dx%d" m n)
+            (reference m n) (buf_to_list buf);
+          PC.r2c pool p buf;
+          Alcotest.(check (list int)) "r2c inverts"
+            (List.init (m * n) Fun.id) (buf_to_list buf))
+        [ (1, 1); (3, 8); (4, 8); (48, 36); (36, 48); (97, 55); (16, 100) ])
+
+let test_widths () =
+  Pool.with_pool ~workers:2 (fun pool ->
+      let m = 40 and n = 56 in
+      List.iter
+        (fun width ->
+          let p = Plan.make ~m ~n in
+          let buf = iota_buf (m * n) in
+          PC.c2r ~width pool p buf;
+          Alcotest.(check (list int))
+            (Printf.sprintf "width %d" width)
+            (reference m n) (buf_to_list buf))
+        [ 1; 3; 16; 64; 200 ])
+
+let test_transpose_dispatch () =
+  Pool.with_pool ~workers:2 (fun pool ->
+      List.iter
+        (fun (m, n, order) ->
+          let buf = iota_buf (m * n) in
+          let original = A.copy buf in
+          PC.transpose ~order pool ~m ~n buf;
+          Alcotest.(check bool)
+            (Printf.sprintf "dispatch %dx%d" m n)
+            true
+            (A.is_transpose_of ~order ~m ~n ~original buf))
+        [ (33, 12, Layout.Row_major); (12, 33, Layout.Col_major) ])
+
+let prop_random =
+  QCheck2.Test.make ~name:"par cache-aware = plain over random shapes"
+    ~count:50
+    QCheck2.Gen.(
+      triple (int_range 1 48) (int_range 1 48) (int_range 1 4))
+    (fun (m, n, workers) ->
+      Pool.with_pool ~workers (fun pool ->
+          let p = Plan.make ~m ~n in
+          let buf = iota_buf (m * n) in
+          PC.c2r pool p buf;
+          buf_to_list buf = reference m n))
+
+let tests =
+  [
+    Alcotest.test_case "matches plain" `Quick test_matches_plain;
+    Alcotest.test_case "group widths" `Quick test_widths;
+    Alcotest.test_case "dispatch" `Quick test_transpose_dispatch;
+    QCheck_alcotest.to_alcotest prop_random;
+  ]

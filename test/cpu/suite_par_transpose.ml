@@ -1,0 +1,119 @@
+open Xpose_core
+open Xpose_cpu
+module S = Storage.Int_elt
+module Seq_algo = Instances.I
+module Par = Par_transpose.Make (Storage.Int_elt)
+
+let iota_buf len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let buf_to_list buf = List.init (S.length buf) (S.get buf)
+
+let check_against_sequential pool m n =
+  let p = Plan.make ~m ~n in
+  let expected =
+    let buf = iota_buf (m * n) in
+    let tmp = S.create (Plan.scratch_elements p) in
+    Seq_algo.c2r p buf ~tmp;
+    buf_to_list buf
+  in
+  let buf = iota_buf (m * n) in
+  Par.c2r pool p buf;
+  Alcotest.(check (list int)) (Printf.sprintf "par c2r %dx%d" m n) expected
+    (buf_to_list buf);
+  Par.r2c pool p buf;
+  Alcotest.(check (list int))
+    (Printf.sprintf "par r2c %dx%d" m n)
+    (List.init (m * n) Fun.id) (buf_to_list buf)
+
+let test_matches_sequential () =
+  Pool.with_pool ~workers:4 (fun pool ->
+      List.iter
+        (fun (m, n) -> check_against_sequential pool m n)
+        [ (1, 1); (1, 17); (17, 1); (3, 8); (4, 8); (31, 31); (60, 45); (128, 96); (97, 101) ])
+
+let test_all_variants () =
+  Pool.with_pool ~workers:3 (fun pool ->
+      let m = 24 and n = 36 in
+      let p = Plan.make ~m ~n in
+      let reference =
+        let buf = iota_buf (m * n) in
+        let tmp = S.create (Plan.scratch_elements p) in
+        Seq_algo.c2r p buf ~tmp;
+        buf_to_list buf
+      in
+      List.iter
+        (fun variant ->
+          let buf = iota_buf (m * n) in
+          Par.c2r ~variant pool p buf;
+          Alcotest.(check (list int)) "variant" reference (buf_to_list buf))
+        [ Algo.C2r_scatter; Algo.C2r_gather; Algo.C2r_decomposed ];
+      List.iter
+        (fun variant ->
+          let buf = iota_buf (m * n) in
+          Par.c2r pool p buf;
+          Par.r2c ~variant pool p buf;
+          Alcotest.(check (list int)) "r2c variant"
+            (List.init (m * n) Fun.id) (buf_to_list buf))
+        [ Algo.R2c_fused; Algo.R2c_decomposed ])
+
+let test_transpose_dispatch () =
+  Pool.with_pool ~workers:2 (fun pool ->
+      List.iter
+        (fun (m, n, order) ->
+          let buf = iota_buf (m * n) in
+          let original = Seq_algo.copy buf in
+          Par.transpose ~order pool ~m ~n buf;
+          Alcotest.(check bool)
+            (Printf.sprintf "dispatch %dx%d" m n)
+            true
+            (Seq_algo.is_transpose_of ~order ~m ~n ~original buf))
+        [
+          (40, 15, Layout.Row_major);
+          (15, 40, Layout.Row_major);
+          (40, 15, Layout.Col_major);
+          (22, 22, Layout.Row_major);
+        ])
+
+let test_bad_buffer () =
+  Pool.with_pool ~workers:2 (fun pool ->
+      let p = Plan.make ~m:4 ~n:5 in
+      let buf = iota_buf 19 in
+      Alcotest.check_raises "size mismatch"
+        (Invalid_argument "Par_transpose: buffer size does not match plan")
+        (fun () -> Par.c2r pool p buf))
+
+let test_sequential_pool_matches () =
+  (* workers = 1 must behave exactly like the library algorithm. *)
+  List.iter
+    (fun (m, n) -> check_against_sequential Pool.sequential m n)
+    [ (9, 12); (50, 20) ]
+
+let prop_par_equals_seq =
+  QCheck2.Test.make ~name:"parallel = sequential for random dims/workers"
+    ~count:60
+    QCheck2.Gen.(triple (int_range 1 60) (int_range 1 60) (int_range 1 5))
+    (fun (m, n, workers) ->
+      let p = Plan.make ~m ~n in
+      let expected =
+        let buf = iota_buf (m * n) in
+        let tmp = S.create (Plan.scratch_elements p) in
+        Seq_algo.c2r p buf ~tmp;
+        buf_to_list buf
+      in
+      Pool.with_pool ~workers (fun pool ->
+          let buf = iota_buf (m * n) in
+          Par.c2r pool p buf;
+          buf_to_list buf = expected))
+
+let tests =
+  [
+    Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
+    Alcotest.test_case "all variants" `Quick test_all_variants;
+    Alcotest.test_case "dispatch + orders" `Quick test_transpose_dispatch;
+    Alcotest.test_case "bad buffer" `Quick test_bad_buffer;
+    Alcotest.test_case "sequential pool" `Quick test_sequential_pool_matches;
+    QCheck_alcotest.to_alcotest prop_par_equals_seq;
+  ]

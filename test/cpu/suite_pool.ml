@@ -1,0 +1,112 @@
+open Xpose_cpu
+
+let test_create_invalid () =
+  Alcotest.check_raises "zero workers"
+    (Invalid_argument "Pool.create: workers must be >= 1") (fun () ->
+      ignore (Pool.create ~workers:0 ()))
+
+let test_sequential () =
+  Alcotest.(check int) "one lane" 1 (Pool.workers Pool.sequential);
+  let acc = ref [] in
+  Pool.parallel_for Pool.sequential ~lo:0 ~hi:5 (fun i -> acc := i :: !acc);
+  Alcotest.(check (list int)) "in order" [ 4; 3; 2; 1; 0 ] !acc;
+  Alcotest.check_raises "cannot shut down"
+    (Invalid_argument "Pool.shutdown: cannot shut down Pool.sequential")
+    (fun () -> Pool.shutdown Pool.sequential)
+
+let test_chunks_cover_range () =
+  Pool.with_pool ~workers:3 (fun pool ->
+      Alcotest.(check int) "workers" 3 (Pool.workers pool);
+      let seen = Array.make 100 0 in
+      let chunks = ref [] in
+      let mu = Mutex.create () in
+      Pool.parallel_chunks pool ~lo:0 ~hi:100 (fun ~chunk ~lo ~hi ->
+          Mutex.lock mu;
+          chunks := (chunk, lo, hi) :: !chunks;
+          Mutex.unlock mu;
+          for i = lo to hi - 1 do
+            seen.(i) <- seen.(i) + 1
+          done);
+      Array.iteri
+        (fun i c -> if c <> 1 then Alcotest.failf "index %d covered %d times" i c)
+        seen;
+      Alcotest.(check int) "three chunks" 3 (List.length !chunks);
+      let ids = List.sort compare (List.map (fun (c, _, _) -> c) !chunks) in
+      Alcotest.(check (list int)) "chunk ids" [ 0; 1; 2 ] ids)
+
+let test_empty_and_tiny_ranges () =
+  Pool.with_pool ~workers:4 (fun pool ->
+      let count = Atomic.make 0 in
+      Pool.parallel_for pool ~lo:5 ~hi:5 (fun _ -> Atomic.incr count);
+      Alcotest.(check int) "empty" 0 (Atomic.get count);
+      Pool.parallel_for pool ~lo:0 ~hi:1 (fun _ -> Atomic.incr count);
+      Alcotest.(check int) "single" 1 (Atomic.get count);
+      Pool.parallel_for pool ~lo:0 ~hi:2 (fun _ -> Atomic.incr count);
+      Alcotest.(check int) "two" 3 (Atomic.get count))
+
+let test_parallel_sum () =
+  Pool.with_pool ~workers:4 (fun pool ->
+      let partial = Array.make 4 0 in
+      Pool.parallel_chunks pool ~lo:1 ~hi:1001 (fun ~chunk ~lo ~hi ->
+          for i = lo to hi - 1 do
+            partial.(chunk) <- partial.(chunk) + i
+          done);
+      Alcotest.(check int) "sum 1..1000" 500500 (Array.fold_left ( + ) 0 partial))
+
+let test_exception_propagates () =
+  Pool.with_pool ~workers:2 (fun pool ->
+      let raised =
+        try
+          Pool.parallel_for pool ~lo:0 ~hi:10 (fun i ->
+              if i = 7 then failwith "boom");
+          false
+        with Failure m -> m = "boom"
+      in
+      Alcotest.(check bool) "exception surfaced" true raised;
+      (* pool is still usable afterwards *)
+      let count = Atomic.make 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:10 (fun _ -> Atomic.incr count);
+      Alcotest.(check int) "still works" 10 (Atomic.get count))
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~workers:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "use after shutdown"
+    (Invalid_argument "Pool: already shut down") (fun () ->
+      Pool.parallel_for pool ~lo:0 ~hi:1 ignore)
+
+let test_many_rounds () =
+  (* Exercise the barrier repeatedly; a racy pool would hang or drop work. *)
+  Pool.with_pool ~workers:3 (fun pool ->
+      let total = Atomic.make 0 in
+      for _ = 1 to 200 do
+        Pool.parallel_for pool ~lo:0 ~hi:30 (fun _ -> Atomic.incr total)
+      done;
+      Alcotest.(check int) "all iterations" 6000 (Atomic.get total))
+
+let prop_chunks_partition =
+  QCheck2.Test.make ~name:"chunks partition any range" ~count:200
+    QCheck2.Gen.(triple (int_range 1 8) (int_range 0 50) (int_range 0 200))
+    (fun (workers, lo, len) ->
+      let hi = lo + len in
+      let hits = Array.make (max 1 len) 0 in
+      Pool.with_pool ~workers (fun pool ->
+          Pool.parallel_chunks pool ~lo ~hi (fun ~chunk:_ ~lo:c_lo ~hi:c_hi ->
+              for i = c_lo to c_hi - 1 do
+                hits.(i - lo) <- hits.(i - lo) + 1
+              done));
+      Array.for_all (fun c -> c = 1) (Array.sub hits 0 len))
+
+let tests =
+  [
+    Alcotest.test_case "invalid create" `Quick test_create_invalid;
+    Alcotest.test_case "sequential pool" `Quick test_sequential;
+    Alcotest.test_case "chunks cover range" `Quick test_chunks_cover_range;
+    Alcotest.test_case "empty and tiny ranges" `Quick test_empty_and_tiny_ranges;
+    Alcotest.test_case "parallel sum" `Quick test_parallel_sum;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "many rounds" `Quick test_many_rounds;
+    QCheck_alcotest.to_alcotest prop_chunks_partition;
+  ]

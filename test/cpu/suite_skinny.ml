@@ -1,0 +1,83 @@
+open Xpose_core
+open Xpose_cpu
+module S = Storage.Float64
+module Ref = Xpose_simd.Aos.Make (Storage.Float64)
+
+let iota len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let to_list buf = List.init (S.length buf) (S.get buf)
+
+let test_matches_reference () =
+  for structs = 1 to 30 do
+    List.iter
+      (fun fields ->
+        let len = structs * fields in
+        let a = iota len and b = iota len in
+        Ref.aos_to_soa ~structs ~fields a;
+        Skinny_f64.aos_to_soa ~structs ~fields b;
+        if to_list a <> to_list b then
+          Alcotest.failf "aos_to_soa diverges at structs=%d fields=%d" structs
+            fields)
+      [ 1; 2; 3; 4; 7; 8; 16; 31 ]
+  done
+
+let test_roundtrip () =
+  List.iter
+    (fun (structs, fields) ->
+      let buf = iota (structs * fields) in
+      Skinny_f64.aos_to_soa ~structs ~fields buf;
+      Skinny_f64.soa_to_aos ~structs ~fields buf;
+      Alcotest.(check (list (float 0.0)))
+        (Printf.sprintf "roundtrip %dx%d" structs fields)
+        (List.init (structs * fields) float_of_int)
+        (to_list buf))
+    [ (1, 1); (100, 4); (999, 7); (1000, 2); (512, 32); (257, 31); (2048, 24) ]
+
+let test_soa_layout () =
+  let structs = 500 and fields = 6 in
+  let buf = iota (structs * fields) in
+  Skinny_f64.aos_to_soa ~structs ~fields buf;
+  for s = 0 to structs - 1 do
+    for f = 0 to fields - 1 do
+      Alcotest.(check (float 0.0)) "field-major"
+        (float_of_int ((s * fields) + f))
+        (S.get buf ((f * structs) + s))
+    done
+  done
+
+let test_errors () =
+  let buf = iota 10 in
+  Alcotest.check_raises "size" (Invalid_argument "Skinny_f64: buffer size")
+    (fun () -> Skinny_f64.aos_to_soa ~structs:3 ~fields:4 buf)
+
+let prop_random_shapes =
+  QCheck2.Test.make ~name:"skinny = generic AoS conversion" ~count:120
+    QCheck2.Gen.(pair (int_range 1 400) (int_range 1 32))
+    (fun (structs, fields) ->
+      let len = structs * fields in
+      let a = iota len and b = iota len in
+      Ref.aos_to_soa ~structs ~fields a;
+      Skinny_f64.aos_to_soa ~structs ~fields b;
+      to_list a = to_list b)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"skinny soa_to_aos inverts aos_to_soa" ~count:120
+    QCheck2.Gen.(pair (int_range 1 400) (int_range 1 32))
+    (fun (structs, fields) ->
+      let buf = iota (structs * fields) in
+      Skinny_f64.aos_to_soa ~structs ~fields buf;
+      Skinny_f64.soa_to_aos ~structs ~fields buf;
+      to_list buf = List.init (structs * fields) float_of_int)
+
+let tests =
+  [
+    Alcotest.test_case "matches generic reference" `Quick test_matches_reference;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "SoA layout" `Quick test_soa_layout;
+    Alcotest.test_case "errors" `Quick test_errors;
+    QCheck_alcotest.to_alcotest prop_random_shapes;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,10 @@
+let () =
+  Alcotest.run "xpose_cpu"
+    [
+      ("pool", Suite_pool.tests);
+      ("par_transpose", Suite_par_transpose.tests);
+      ("cache_aware", Suite_cache_aware.tests);
+      ("f64_kernels", Suite_f64.tests);
+      ("par_cache_aware", Suite_par_cache_aware.tests);
+      ("skinny", Suite_skinny.tests);
+    ]

@@ -1,0 +1,37 @@
+The experiment registry lists every table and figure:
+
+  $ xpose-experiments list
+  fig1     C2R/R2C illustration, m=3 n=8 (Figure 1)
+  fig2     C2R phases on a 4x8 matrix (Figure 2)
+  fig3     CPU throughput histograms (Figure 3)
+  table1   CPU median throughputs (Table 1)
+  fig4     C2R performance landscape (Figure 4)
+  fig5     R2C performance landscape (Figure 5)
+  fig6     GPU throughput histograms (Figure 6)
+  table2   GPU median throughputs (Table 2)
+  fig7     AoS->SoA conversion throughput (Figure 7)
+  fig8     Unit-stride AoS access bandwidth (Figure 8)
+  fig9     Random AoS access bandwidth (Figure 9)
+  cycles   Cycle-length imbalance motivating the decomposition (§1)
+
+Figure 1 is exact:
+
+  $ xpose-experiments run fig1 | head -6
+  ==== fig1: C2R and R2C transpositions, m = 3, n = 8 (Figure 1) ====
+  left (row-major iota, m=3 n=8):
+   0  1  2  3  4  5  6  7
+   8  9 10 11 12 13 14 15
+  16 17 18 19 20 21 22 23
+  Rows to Columns ->
+
+Unknown ids are reported with the available list:
+
+  $ xpose-experiments run nope 2>&1 | head -1
+  experiments: unknown experiment "nope"; try: fig1, fig2, fig3, table1, fig4, fig5, fig6, table2, fig7, fig8, fig9, cycles
+
+Figures are written as SVG with --out:
+
+  $ xpose-experiments run fig5 -o figs | grep wrote
+  wrote figs/fig5.svg
+  $ head -c 38 figs/fig5.svg
+  <?xml version="1.0" encoding="UTF-8"?>

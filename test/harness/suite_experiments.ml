@@ -1,0 +1,127 @@
+(* Shape assertions: every experiment runs at a tiny scale and its
+   headline metrics must reproduce the paper's qualitative claims. *)
+
+open Xpose_harness
+
+let metric = Outcome.metric
+
+let test_registry () =
+  Alcotest.(check (list string))
+    "paper order"
+    [ "fig1"; "fig2"; "fig3"; "table1"; "fig4"; "fig5"; "fig6"; "table2"; "fig7"; "fig8"; "fig9"; "cycles" ]
+    (Experiments.ids ());
+  Alcotest.(check bool) "find" true ((Experiments.find "fig3").Experiments.id = "fig3");
+  Alcotest.(check bool) "missing" true
+    (match Experiments.find "nope" with
+    | exception Not_found -> true
+    | _ -> false)
+
+let test_fig1_fig2 () =
+  let o1 = Exp_figures.fig1 () in
+  Alcotest.(check (float 0.0)) "element 16 lands at (1,5)" 1.0
+    (metric o1 "element16_row");
+  Alcotest.(check (float 0.0)) "roundtrip" 1.0 (metric o1 "roundtrip_identity");
+  let o2 = Exp_figures.fig2 () in
+  Alcotest.(check (float 0.0)) "fig2 final" 1.0
+    (metric o2 "final_is_rowmajor_iota")
+
+let test_fig3_shape () =
+  (* Tiny but real measurement: the decomposed algorithm must beat the
+     cycle-leader baseline. *)
+  let o = Exp_cpu.run ~samples:6 ~dim_lo:80 ~dim_hi:260 ~workers:2 () in
+  let mkl = metric o "median_mkl_gbps" in
+  let c2r = metric o "median_c2r_1t_gbps" in
+  Alcotest.(check bool)
+    (Printf.sprintf "c2r (%.3f) > mkl (%.3f)" c2r mkl)
+    true (c2r > mkl);
+  Alcotest.(check bool) "all positive" true (mkl > 0.0)
+
+let test_fig4_fig5_bands () =
+  let o4 = Exp_landscape.fig4 ~points:5 () in
+  Alcotest.(check bool) "fig4 band beats off-band" true
+    (metric o4 "band_median_gbps" > metric o4 "offband_median_gbps");
+  let o5 = Exp_landscape.fig5 ~points:5 () in
+  Alcotest.(check bool) "fig5 band beats off-band" true
+    (metric o5 "band_median_gbps" > metric o5 "offband_median_gbps")
+
+let test_fig6_table2_shape () =
+  let o = Exp_gpu_median.run ~samples:40 () in
+  let sung = metric o "median_sung_float_gbps" in
+  let cf = metric o "median_c2r_float_gbps" in
+  let cd = metric o "median_c2r_double_gbps" in
+  Alcotest.(check bool)
+    (Printf.sprintf "ordering sung %.1f < float %.1f < double %.1f" sung cf cd)
+    true
+    (sung < cf && cf < cd);
+  (* roughly the paper's factors: C2R float ~2.7x Sung; double ~1.37x float *)
+  Alcotest.(check bool) "sung gap in range" true (cf /. sung > 1.5 && cf /. sung < 6.0);
+  Alcotest.(check bool) "double gap in range" true (cd /. cf > 1.05 && cd /. cf < 2.0)
+
+let test_fig7_shape () =
+  let o = Exp_aos.run ~samples:200 () in
+  let spec = metric o "median_specialized_gbps" in
+  let gen = metric o "median_general_gbps" in
+  let mx = metric o "max_specialized_gbps" in
+  Alcotest.(check bool)
+    (Printf.sprintf "specialized %.1f >> general %.1f" spec gen)
+    true
+    (spec > 4.0 *. gen);
+  (* paper: median 34.3, max 51; we accept the band *)
+  Alcotest.(check bool) "median band" true (spec > 15.0 && spec < 60.0);
+  Alcotest.(check bool) "max band" true (mx > spec && mx <= 185.0)
+
+let test_fig8_shape () =
+  let o = Exp_access.fig8 ~n_structs:256 () in
+  Alcotest.(check bool) "store: c2r >> direct at 64B" true
+    (metric o "store_c2r_over_direct_64B" > 8.0);
+  Alcotest.(check bool) "copy: c2r >> direct at 64B" true
+    (metric o "copy_c2r_over_direct_64B" > 4.0);
+  Alcotest.(check bool) "vector between" true
+    (metric o "store_vector_64B_gbps" > metric o "store_direct_64B_gbps"
+    && metric o "store_vector_64B_gbps" < metric o "store_c2r_64B_gbps")
+
+let test_fig9_shape () =
+  let o = Exp_access.fig9 ~n_structs:256 () in
+  Alcotest.(check bool) "scatter: c2r >= direct" true
+    (metric o "scatter_c2r_over_direct_64B" >= 1.0);
+  Alcotest.(check bool) "gather: c2r >= direct" true
+    (metric o "gather_c2r_over_direct_64B" >= 1.0)
+
+let test_cycles_imbalance () =
+  let o = Exp_cycles.run ~samples:10 ~lo:40 ~hi:200 () in
+  (* some matrix in any reasonable sample has a dominant cycle *)
+  Alcotest.(check bool) "imbalance exists" true
+    (Outcome.metric o "max_longest_cycle_share" > 0.2);
+  Alcotest.(check bool) "median sane" true
+    (Outcome.metric o "median_longest_cycle_share" <= 1.0)
+
+let test_outcome_render_nonempty () =
+  (* run the entire registry at a tiny scale: the driver path for every
+     table and figure must produce output and keep its id *)
+  List.iter
+    (fun spec ->
+      let id = spec.Experiments.id in
+      let o = spec.Experiments.run ~scale:0.2 in
+      Alcotest.(check bool) (id ^ " renders") true
+        (String.length o.Outcome.rendered > 0);
+      Alcotest.(check string) (id ^ " id") id o.Outcome.id;
+      List.iter
+        (fun (name, doc) ->
+          Alcotest.(check bool) (id ^ "/" ^ name ^ " svg") true
+            (String.length doc > 0))
+        o.Outcome.figures)
+    Experiments.all
+
+let tests =
+  [
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "fig1/fig2 exact" `Quick test_fig1_fig2;
+    Alcotest.test_case "fig3 shape (measured)" `Slow test_fig3_shape;
+    Alcotest.test_case "fig4/fig5 bands" `Quick test_fig4_fig5_bands;
+    Alcotest.test_case "fig6/table2 ordering" `Quick test_fig6_table2_shape;
+    Alcotest.test_case "fig7 specialization" `Quick test_fig7_shape;
+    Alcotest.test_case "fig8 orderings" `Quick test_fig8_shape;
+    Alcotest.test_case "fig9 orderings" `Quick test_fig9_shape;
+    Alcotest.test_case "cycles imbalance" `Quick test_cycles_imbalance;
+    Alcotest.test_case "whole registry renders" `Slow test_outcome_render_nonempty;
+  ]

@@ -1,0 +1,107 @@
+open Xpose_harness
+
+let contains ~sub s =
+  let ls = String.length sub and l = String.length s in
+  let rec go i = i + ls <= l && (String.sub s i ls = sub || go (i + 1)) in
+  go 0
+
+let test_histogram () =
+  let h =
+    Render.histogram ~bins:4 ~title:"t" ~unit:"GB/s" [| 1.0; 2.0; 2.1; 3.9 |]
+  in
+  Alcotest.(check bool) "has title" true (contains ~sub:"t  (n=4" h);
+  Alcotest.(check bool) "marks median" true (contains ~sub:"<- median" h);
+  Alcotest.(check int) "4 bin lines + header" 5
+    (List.length (String.split_on_char '\n' (String.trim h)));
+  Alcotest.check_raises "empty" (Invalid_argument "Render.histogram: empty sample")
+    (fun () -> ignore (Render.histogram ~title:"x" ~unit:"" [||]))
+
+let test_histogram_constant () =
+  (* all-equal samples must not divide by zero *)
+  let h = Render.histogram ~bins:3 ~title:"c" ~unit:"u" [| 5.0; 5.0; 5.0 |] in
+  Alcotest.(check bool) "renders" true (String.length h > 0)
+
+let test_table () =
+  let t =
+    Render.table ~header:[ "a"; "bb" ] ~rows:[ [ "xxx"; "y" ]; [ "1"; "2" ] ]
+  in
+  let lines = String.split_on_char '\n' (String.trim t) in
+  Alcotest.(check int) "rows" 4 (List.length lines);
+  Alcotest.(check bool) "aligned" true (contains ~sub:"xxx  y" t);
+  Alcotest.check_raises "arity" (Invalid_argument "Render.table: row arity mismatch")
+    (fun () -> ignore (Render.table ~header:[ "a" ] ~rows:[ [ "1"; "2" ] ]))
+
+let test_heatmap () =
+  let xs = [| 1.0; 2.0 |] and ys = [| 10.0; 20.0; 30.0 |] in
+  let h =
+    Render.heatmap ~title:"hm" ~xlabel:"n" ~ylabel:"m" ~xs ~ys (fun xi yi ->
+        float_of_int (xi + yi))
+  in
+  Alcotest.(check bool) "title" true (contains ~sub:"hm" h);
+  Alcotest.(check bool) "legend" true (contains ~sub:"shade" h);
+  Alcotest.(check int) "y rows + 4 header/footer" 7
+    (List.length (String.split_on_char '\n' (String.trim h)))
+
+let test_series () =
+  let s =
+    Render.series ~title:"s" ~xlabel:"x" ~unit:"GB/s" ~xs:[| 4.0; 8.0 |]
+      [ ("A", [| 1.0; 2.0 |]); ("B", [| 3.0; 4.0 |]) ]
+  in
+  Alcotest.(check bool) "columns" true (contains ~sub:"A" s && contains ~sub:"B" s);
+  Alcotest.(check bool) "values" true (contains ~sub:"3.00" s)
+
+let test_csv () =
+  let c = Render.csv ~header:[ "m"; "n" ] ~rows:[ [| 1.0; 2.0 |]; [| 3.5; 4.0 |] ] in
+  Alcotest.(check string) "csv" "m,n\n1,2\n3.5,4\n" c
+
+let test_workload_axis () =
+  let a = Workload.axis ~lo:0 ~hi:10 ~points:3 in
+  Alcotest.(check (array (float 1e-9))) "axis" [| 0.0; 5.0; 10.0 |] a;
+  let single = Workload.axis ~lo:7 ~hi:9 ~points:1 in
+  Alcotest.(check (array (float 1e-9))) "single" [| 7.0 |] single
+
+let test_workload_dims () =
+  let rng = Rng.create ~seed:1 in
+  let dims = Workload.random_dims rng ~lo:10 ~hi:20 ~count:50 in
+  Array.iter
+    (fun (m, n) ->
+      if m < 10 || m >= 20 || n < 10 || n >= 20 then
+        Alcotest.failf "dims out of range: %d %d" m n)
+    dims
+
+let test_workload_aos () =
+  let rng = Rng.create ~seed:2 in
+  let shapes =
+    Workload.aos_shapes rng ~count:100 ~fields_lo:2 ~fields_hi:32
+      ~structs_lo:100 ~structs_hi:10000
+  in
+  Array.iter
+    (fun (structs, fields) ->
+      if fields < 2 || fields >= 32 then Alcotest.failf "fields %d" fields;
+      if structs < 100 || structs > 10000 then Alcotest.failf "structs %d" structs)
+    shapes
+
+let test_struct_bytes_axis () =
+  Alcotest.(check (array int)) "words" [| 1; 2; 3; 4 |]
+    (Workload.struct_bytes_axis ~word_bytes:4 ~max_bytes:16)
+
+let test_timing () =
+  let ns = Timing.time_ns (fun () -> ignore (Sys.opaque_identity (Array.make 10 0))) in
+  Alcotest.(check bool) "positive" true (ns >= 0.0);
+  Alcotest.(check (float 1e-9)) "eq37" 4.0
+    (Timing.throughput_gbps ~elems:100 ~elt_bytes:8 ~ns:400.0)
+
+let tests =
+  [
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram constant" `Quick test_histogram_constant;
+    Alcotest.test_case "table" `Quick test_table;
+    Alcotest.test_case "heatmap" `Quick test_heatmap;
+    Alcotest.test_case "series" `Quick test_series;
+    Alcotest.test_case "csv" `Quick test_csv;
+    Alcotest.test_case "workload axis" `Quick test_workload_axis;
+    Alcotest.test_case "workload dims" `Quick test_workload_dims;
+    Alcotest.test_case "workload aos" `Quick test_workload_aos;
+    Alcotest.test_case "struct bytes axis" `Quick test_struct_bytes_axis;
+    Alcotest.test_case "timing" `Quick test_timing;
+  ]

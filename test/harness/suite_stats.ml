@@ -1,0 +1,81 @@
+open Xpose_harness
+
+let test_median () =
+  Alcotest.(check (float 1e-9)) "odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "single" 7.0 (Stats.median [| 7.0 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty sample")
+    (fun () -> ignore (Stats.median [||]))
+
+let test_percentile () =
+  let xs = Array.init 101 float_of_int in
+  Alcotest.(check (float 1e-9)) "p0" 0.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p25" 25.0 (Stats.percentile xs 25.0);
+  Alcotest.check_raises "range" (Invalid_argument "Stats.percentile: p out of range")
+    (fun () -> ignore (Stats.percentile xs 101.0))
+
+let test_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+  Alcotest.(check bool) "pp" true
+    (String.length (Format.asprintf "%a" Stats.pp_summary s) > 0)
+
+let prop_median_bounds =
+  QCheck2.Test.make ~name:"median within min/max, percentiles monotone"
+    ~count:300
+    QCheck2.Gen.(array_size (int_range 1 50) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.min <= s.Stats.median
+      && s.Stats.median <= s.Stats.max
+      && s.Stats.p25 <= s.Stats.median
+      && s.Stats.median <= s.Stats.p75
+      && s.Stats.p75 <= s.Stats.p99 +. 1e-9)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:5 and b = Rng.create ~seed:5 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done;
+  let c = Rng.create ~seed:6 in
+  Alcotest.(check bool) "different seed differs" true (Rng.next a <> Rng.next c)
+
+let prop_rng_range =
+  QCheck2.Test.make ~name:"int_range stays in range" ~count:500
+    QCheck2.Gen.(triple (int_range 0 1000) (int_range 1 1000) small_int)
+    (fun (lo, len, seed) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int_range rng ~lo ~hi:(lo + len) in
+      v >= lo && v < lo + len)
+
+let prop_rng_permutation =
+  QCheck2.Test.make ~name:"permutation is a permutation" ~count:200
+    QCheck2.Gen.(pair (int_range 1 200) small_int)
+    (fun (n, seed) ->
+      let p = Rng.permutation (Rng.create ~seed) n in
+      let seen = Array.make n false in
+      Array.iter (fun v -> seen.(v) <- true) p;
+      Array.for_all Fun.id seen)
+
+let test_float_unit () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let f = Rng.float_unit rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float_unit out of range: %f" f
+  done
+
+let tests =
+  [
+    Alcotest.test_case "median" `Quick test_median;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "summary" `Quick test_summary;
+    QCheck_alcotest.to_alcotest prop_median_bounds;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    QCheck_alcotest.to_alcotest prop_rng_range;
+    QCheck_alcotest.to_alcotest prop_rng_permutation;
+    Alcotest.test_case "float_unit range" `Quick test_float_unit;
+  ]

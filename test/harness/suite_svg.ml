@@ -1,0 +1,110 @@
+open Xpose_harness
+
+let contains ~sub s =
+  let ls = String.length sub and l = String.length s in
+  let rec go i = i + ls <= l && (String.sub s i ls = sub || go (i + 1)) in
+  go 0
+
+let is_wellformed doc =
+  contains ~sub:"<?xml" doc
+  && contains ~sub:"<svg" doc
+  && contains ~sub:"</svg>" doc
+  (* every opened rect/text/line/polyline/circle is self-closed *)
+  && not (contains ~sub:"nan" (String.lowercase_ascii doc))
+
+let test_histogram () =
+  let doc = Svg.histogram ~title:"t" ~unit:"GB/s" [| 1.0; 2.0; 2.5; 9.0 |] in
+  Alcotest.(check bool) "wellformed" true (is_wellformed doc);
+  Alcotest.(check bool) "median marker" true (contains ~sub:"median" doc);
+  Alcotest.(check bool) "bars present" true (contains ~sub:"<rect" doc);
+  Alcotest.check_raises "empty" (Invalid_argument "Svg.histogram: empty sample")
+    (fun () -> ignore (Svg.histogram ~title:"x" ~unit:"" [||]))
+
+let test_histogram_constant () =
+  let doc = Svg.histogram ~title:"c" ~unit:"u" [| 3.0; 3.0 |] in
+  Alcotest.(check bool) "constant sample renders" true (is_wellformed doc)
+
+let test_heatmap () =
+  let doc =
+    Svg.heatmap ~title:"hm" ~xlabel:"n" ~ylabel:"m" ~xs:[| 1.0; 2.0; 3.0 |]
+      ~ys:[| 10.0; 20.0 |]
+      (fun xi yi -> float_of_int ((xi * 10) + yi))
+  in
+  Alcotest.(check bool) "wellformed" true (is_wellformed doc);
+  (* 6 cells + frame + legend steps *)
+  let rects = ref 0 in
+  let rec count i =
+    match String.index_from_opt doc i '<' with
+    | Some k ->
+        if k + 5 <= String.length doc && String.sub doc k 5 = "<rect" then
+          incr rects;
+        count (k + 1)
+    | None -> ()
+  in
+  count 0;
+  Alcotest.(check bool) "has cells and legend" true (!rects > 6 + 32)
+
+let test_series () =
+  let doc =
+    Svg.series ~title:"s" ~xlabel:"x" ~ylabel:"y" ~xs:[| 4.0; 8.0; 12.0 |]
+      [ ("A", [| 1.0; 2.0; 3.0 |]); ("B", [| 3.0; 2.0; 1.0 |]) ]
+  in
+  Alcotest.(check bool) "wellformed" true (is_wellformed doc);
+  Alcotest.(check bool) "two polylines" true
+    (contains ~sub:"polyline" doc && contains ~sub:">A<" doc
+    && contains ~sub:">B<" doc);
+  Alcotest.check_raises "mismatch" (Invalid_argument "Svg.series: length mismatch")
+    (fun () ->
+      ignore
+        (Svg.series ~title:"s" ~xlabel:"x" ~ylabel:"y" ~xs:[| 1.0 |]
+           [ ("A", [| 1.0; 2.0 |]) ]))
+
+let test_escaping () =
+  let doc = Svg.histogram ~title:"a<b & \"c\">" ~unit:"u" [| 1.0 |] in
+  Alcotest.(check bool) "escaped" true
+    (contains ~sub:"a&lt;b &amp; &quot;c&quot;&gt;" doc)
+
+let test_write_figures () =
+  let dir = Filename.temp_file "xpose_svg" "" in
+  Sys.remove dir;
+  let outcome =
+    {
+      Outcome.id = "t";
+      title = "t";
+      rendered = "";
+      metrics = [];
+      figures = [ ("a.svg", Svg.histogram ~title:"a" ~unit:"u" [| 1.0 |]) ];
+    }
+  in
+  let written = Outcome.write_figures ~dir outcome in
+  Alcotest.(check int) "one file" 1 (List.length written);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "exists" true (Sys.file_exists p);
+      Sys.remove p)
+    written;
+  Sys.rmdir dir
+
+let test_experiment_figures_render () =
+  (* each figure attached by the fast experiments is well-formed *)
+  let o = Exp_access.fig8 ~n_structs:64 () in
+  List.iter
+    (fun (name, doc) ->
+      Alcotest.(check bool) (name ^ " wellformed") true (is_wellformed doc))
+    o.Outcome.figures;
+  let o = Exp_landscape.fig4 ~points:4 () in
+  List.iter
+    (fun (name, doc) ->
+      Alcotest.(check bool) (name ^ " wellformed") true (is_wellformed doc))
+    o.Outcome.figures
+
+let tests =
+  [
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram constant" `Quick test_histogram_constant;
+    Alcotest.test_case "heatmap" `Quick test_heatmap;
+    Alcotest.test_case "series" `Quick test_series;
+    Alcotest.test_case "escaping" `Quick test_escaping;
+    Alcotest.test_case "write figures" `Quick test_write_figures;
+    Alcotest.test_case "experiment figures" `Quick test_experiment_figures_render;
+  ]

@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "xpose_harness"
+    [
+      ("stats_rng", Suite_stats.tests);
+      ("render_workload", Suite_render.tests);
+      ("experiments", Suite_experiments.tests);
+      ("svg", Suite_svg.tests);
+    ]

@@ -1,0 +1,78 @@
+open Xpose_core
+open Xpose_mmap
+
+let temp_path () = Filename.temp_file "xpose_mmap" ".mat"
+
+let test_create_and_map () =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      File_matrix.create ~path ~elements:100;
+      File_matrix.with_map ~path (fun buf ->
+          Alcotest.(check int) "size" 100 (Bigarray.Array1.dim buf);
+          Alcotest.(check (float 0.0)) "zeroed" 0.0 (Bigarray.Array1.get buf 7);
+          for l = 0 to 99 do
+            Bigarray.Array1.set buf l (float_of_int (l * 2))
+          done);
+      (* the write persisted *)
+      File_matrix.with_map ~write:false ~path (fun buf ->
+          Alcotest.(check (float 0.0)) "persisted" 14.0 (Bigarray.Array1.get buf 7)))
+
+let test_transpose_file () =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let m = 37 and n = 52 in
+      File_matrix.create ~path ~elements:(m * n);
+      File_matrix.with_map ~path (fun buf ->
+          for l = 0 to (m * n) - 1 do
+            Bigarray.Array1.set buf l (float_of_int l)
+          done);
+      File_matrix.transpose_file ~path ~m ~n;
+      File_matrix.with_map ~write:false ~path (fun buf ->
+          for l = 0 to (m * n) - 1 do
+            Alcotest.(check (float 0.0))
+              "transposed in the file"
+              (float_of_int ((n * (l mod m)) + (l / m)))
+              (Bigarray.Array1.get buf l)
+          done))
+
+let test_size_mismatch () =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      File_matrix.create ~path ~elements:10;
+      Alcotest.check_raises "mismatch"
+        (Invalid_argument "File_matrix.transpose_file: file does not hold m*n elements")
+        (fun () -> File_matrix.transpose_file ~path ~m:3 ~n:4))
+
+let test_generic_functor_on_map () =
+  (* mapped buffers are ordinary Storage.Float64 values *)
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let m = 8 and n = 14 in
+      File_matrix.create ~path ~elements:(m * n);
+      File_matrix.with_map ~path (fun buf ->
+          Storage.fill_iota (module Storage.Float64) buf;
+          let original = Instances.F64.copy buf in
+          Instances.F64.transpose ~m ~n buf;
+          Alcotest.(check bool) "functor works on mapped file" true
+            (Instances.F64.is_transpose_of ~m ~n ~original buf)))
+
+let () =
+  Alcotest.run "xpose_mmap"
+    [
+      ( "file_matrix",
+        [
+          Alcotest.test_case "create and map" `Quick test_create_and_map;
+          Alcotest.test_case "transpose in file" `Quick test_transpose_file;
+          Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
+          Alcotest.test_case "generic functor on map" `Quick
+            test_generic_functor_on_map;
+        ] );
+    ]

@@ -1,0 +1,105 @@
+(* The in-register transposition must work for any machine shape (§1:
+   "both CPUs and GPUs"): exercise the AVX-512-like 16-lane config and a
+   few synthetic machines. *)
+
+open Xpose_simd_machine
+open Xpose_simd
+
+let machines =
+  [
+    ("avx512", Config.avx512_like);
+    ("k20c", Config.k20c);
+    ( "weird-6-lane",
+      {
+        Config.k20c with
+        Config.name = "6 lanes";
+        lanes = 6;
+        line_bytes = 32;
+        coalesce_bytes = 32;
+      } );
+  ]
+
+let test_reg_transpose_all_machines () =
+  List.iter
+    (fun (name, cfg) ->
+      Config.validate cfg;
+      for m = 1 to 24 do
+        let mem = Memory.create cfg ~words:0 in
+        let w = Warp.create mem ~regs:m in
+        let lanes = Warp.lanes w in
+        for r = 0 to m - 1 do
+          for j = 0 to lanes - 1 do
+            Warp.set w ~reg:r ~lane:j ((r * lanes) + j)
+          done
+        done;
+        Reg_transpose.r2c w;
+        for r = 0 to m - 1 do
+          for j = 0 to lanes - 1 do
+            Alcotest.(check int)
+              (Printf.sprintf "%s m=%d (%d,%d)" name m r j)
+              ((j * m) + r)
+              (Warp.get w ~reg:r ~lane:j)
+          done
+        done;
+        Reg_transpose.c2r w;
+        for r = 0 to m - 1 do
+          for j = 0 to lanes - 1 do
+            Alcotest.(check int) "roundtrip" ((r * lanes) + j)
+              (Warp.get w ~reg:r ~lane:j)
+          done
+        done
+      done)
+    machines
+
+let test_coalesced_on_avx512 () =
+  let cfg = Config.avx512_like in
+  let m = 5 in
+  let mem = Memory.create cfg ~words:(cfg.Config.lanes * m) in
+  for a = 0 to (cfg.Config.lanes * m) - 1 do
+    Memory.poke mem a (a * 3)
+  done;
+  Memory.reset mem;
+  let w = Warp.create mem ~regs:m in
+  Coalesced.load_unit_stride w ~base:0 ~first_struct:0;
+  for j = 0 to cfg.Config.lanes - 1 do
+    for r = 0 to m - 1 do
+      Alcotest.(check int) "struct routed" (((j * m) + r) * 3)
+        (Warp.get w ~reg:r ~lane:j)
+    done
+  done
+
+let test_access_orderings_on_avx512 () =
+  let cfg = Config.avx512_like in
+  let n_structs = 16 * 16 in
+  let g meth =
+    (Access.run_store cfg ~struct_words:16 ~n_structs Access.Unit_stride meth)
+      .Access.gbps
+  in
+  let c2r = g Access.C2r and direct = g Access.Direct in
+  Alcotest.(check bool)
+    (Printf.sprintf "cpu simd: c2r (%.1f) > direct (%.1f)" c2r direct)
+    true (c2r > direct);
+  Alcotest.(check bool) "near peak" true
+    (c2r > 0.5 *. cfg.Config.effective_gbps)
+
+let test_gpu_cost_on_avx512 () =
+  (* the cost model is machine-generic; sanity on the CPU config *)
+  let cfg = Config.avx512_like in
+  let r = Gpu_transpose.auto cfg ~elt_bytes:8 ~m:2000 ~n:1500 in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.2f sane" r.Gpu_transpose.gbps)
+    true
+    (r.Gpu_transpose.gbps > 0.5
+    && r.Gpu_transpose.gbps <= 2.0 *. cfg.Config.effective_gbps)
+
+let tests =
+  [
+    Alcotest.test_case "in-register transpose on all machines" `Quick
+      test_reg_transpose_all_machines;
+    Alcotest.test_case "coalesced load on avx512-like" `Quick
+      test_coalesced_on_avx512;
+    Alcotest.test_case "access orderings on avx512-like" `Quick
+      test_access_orderings_on_avx512;
+    Alcotest.test_case "cost model on avx512-like" `Quick
+      test_gpu_cost_on_avx512;
+  ]

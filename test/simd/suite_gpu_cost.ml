@@ -1,0 +1,142 @@
+open Xpose_simd_machine
+open Xpose_simd
+
+let cfg = Config.k20c
+
+let test_sane_range () =
+  List.iter
+    (fun (m, n) ->
+      List.iter
+        (fun algorithm ->
+          let r = Gpu_transpose.cost cfg ~algorithm ~elt_bytes:8 ~m ~n in
+          Alcotest.(check bool)
+            (Printf.sprintf "%dx%d gbps=%.1f in range" m n r.Gpu_transpose.gbps)
+            true
+            (r.Gpu_transpose.gbps > 1.0
+            && r.Gpu_transpose.gbps <= 2.0 *. cfg.Config.effective_gbps))
+        [ `C2r; `R2c ])
+    [ (1000, 1000); (5000, 1200); (1200, 5000); (4097, 4099) ]
+
+let test_c2r_band_when_n_small () =
+  (* Fig. 4: the C2R landscape has a high band for small n (row fits on
+     chip). *)
+  let narrow = Gpu_transpose.cost cfg ~algorithm:`C2r ~elt_bytes:8 ~m:20000 ~n:2000 in
+  let wide = Gpu_transpose.cost cfg ~algorithm:`C2r ~elt_bytes:8 ~m:20000 ~n:20000 in
+  Alcotest.(check bool) "narrow on chip" true narrow.Gpu_transpose.onchip_row_shuffle;
+  Alcotest.(check bool) "wide off chip" false wide.Gpu_transpose.onchip_row_shuffle;
+  Alcotest.(check bool)
+    (Printf.sprintf "band: %.1f > %.1f" narrow.Gpu_transpose.gbps
+       wide.Gpu_transpose.gbps)
+    true
+    (narrow.Gpu_transpose.gbps > wide.Gpu_transpose.gbps)
+
+let test_r2c_band_when_m_small () =
+  (* Fig. 5: mirrored band for R2C. *)
+  let short = Gpu_transpose.cost cfg ~algorithm:`R2c ~elt_bytes:8 ~m:2000 ~n:20000 in
+  let tall = Gpu_transpose.cost cfg ~algorithm:`R2c ~elt_bytes:8 ~m:20000 ~n:20000 in
+  Alcotest.(check bool) "short on chip" true short.Gpu_transpose.onchip_row_shuffle;
+  Alcotest.(check bool)
+    (Printf.sprintf "band: %.1f > %.1f" short.Gpu_transpose.gbps
+       tall.Gpu_transpose.gbps)
+    true
+    (short.Gpu_transpose.gbps > tall.Gpu_transpose.gbps)
+
+let test_auto_heuristic () =
+  let r1 = Gpu_transpose.auto cfg ~elt_bytes:8 ~m:5000 ~n:1000 in
+  let r2 = Gpu_transpose.auto cfg ~elt_bytes:8 ~m:1000 ~n:5000 in
+  Alcotest.(check bool) "m>n -> c2r" true (r1.Gpu_transpose.algorithm = `C2r);
+  Alcotest.(check bool) "m<=n -> r2c" true (r2.Gpu_transpose.algorithm = `R2c)
+
+let test_double_beats_float () =
+  (* Table 2 shape: 64-bit elements transpose at higher GB/s than 32-bit
+     (the gathers waste less of each line). *)
+  let f = Gpu_transpose.auto cfg ~elt_bytes:4 ~m:9000 ~n:11000 in
+  let d = Gpu_transpose.auto cfg ~elt_bytes:8 ~m:9000 ~n:11000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "double %.1f > float %.1f" d.Gpu_transpose.gbps
+       f.Gpu_transpose.gbps)
+    true
+    (d.Gpu_transpose.gbps > f.Gpu_transpose.gbps)
+
+let test_sung_shapes () =
+  (* nice dimensions: decent tiles; prime dimensions: degenerate tiles *)
+  let nice = Sung_gpu.cost cfg ~elt_bytes:4 ~m:7200 ~n:1800 in
+  Alcotest.(check (pair int int)) "paper tile" (32, 72) nice.Sung_gpu.tile;
+  let ugly = Sung_gpu.cost cfg ~elt_bytes:4 ~m:7919 ~n:7907 in
+  Alcotest.(check (pair int int)) "degenerate tile" (1, 1) ugly.Sung_gpu.tile;
+  Alcotest.(check bool)
+    (Printf.sprintf "nice %.1f > ugly %.1f" nice.Sung_gpu.gbps ugly.Sung_gpu.gbps)
+    true
+    (nice.Sung_gpu.gbps > 4.0 *. ugly.Sung_gpu.gbps)
+
+let test_sung_vs_c2r_float () =
+  (* Fig. 6 / Table 2 ordering on awkward sizes: C2R(float) > Sung(float). *)
+  let mn = [ (1234, 5678); (4099, 9013); (2500, 7907) ] in
+  List.iter
+    (fun (m, n) ->
+      let c = Gpu_transpose.auto cfg ~elt_bytes:4 ~m ~n in
+      let s = Sung_gpu.cost cfg ~elt_bytes:4 ~m ~n in
+      Alcotest.(check bool)
+        (Printf.sprintf "%dx%d c2r %.1f > sung %.1f" m n c.Gpu_transpose.gbps
+           s.Sung_gpu.gbps)
+        true
+        (c.Gpu_transpose.gbps > s.Sung_gpu.gbps))
+    mn
+
+let test_sung_tile_mismatch () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Sung_gpu.cost ~tile:(3, 3) cfg ~elt_bytes:4 ~m:10 ~n:10);
+       false
+     with Xpose_baselines.Sung.Tile_mismatch _ -> true)
+
+let test_aos_costs () =
+  (* Fig. 7 regime: specialized conversion well above the general one,
+     and in a plausible band. *)
+  let spec = Aos.cost_specialized cfg ~elt_bytes:8 ~structs:1_000_000 ~fields:8 in
+  let gen = Aos.cost_general cfg ~elt_bytes:8 ~structs:1_000_000 ~fields:8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "specialized %.1f > general %.1f" spec.Aos.gbps gen.Aos.gbps)
+    true
+    (spec.Aos.gbps > 3.0 *. gen.Aos.gbps);
+  Alcotest.(check bool)
+    (Printf.sprintf "specialized band: %.1f" spec.Aos.gbps)
+    true
+    (spec.Aos.gbps > 10.0 && spec.Aos.gbps < 80.0);
+  Alcotest.(check (float 1e-9)) "full utilization" 1.0 spec.Aos.utilization
+
+let test_aos_conversion_correct () =
+  let module A = Aos.Make (Xpose_core.Storage.Int_elt) in
+  let module S = Xpose_core.Storage.Int_elt in
+  List.iter
+    (fun (structs, fields) ->
+      let buf = S.create (structs * fields) in
+      Xpose_core.Storage.fill_iota (module S) buf;
+      A.aos_to_soa ~structs ~fields buf;
+      (* SoA: field f of struct s at f*structs + s, holding s*fields + f *)
+      for s = 0 to structs - 1 do
+        for f = 0 to fields - 1 do
+          Alcotest.(check int) "soa layout"
+            ((s * fields) + f)
+            (S.get buf ((f * structs) + s))
+        done
+      done;
+      A.soa_to_aos ~structs ~fields buf;
+      for l = 0 to (structs * fields) - 1 do
+        Alcotest.(check int) "back to aos" l (S.get buf l)
+      done)
+    [ (100, 3); (64, 8); (37, 5); (1000, 2); (50, 31) ]
+
+let tests =
+  [
+    Alcotest.test_case "sane throughput range" `Quick test_sane_range;
+    Alcotest.test_case "fig4 band (C2R, small n)" `Quick test_c2r_band_when_n_small;
+    Alcotest.test_case "fig5 band (R2C, small m)" `Quick test_r2c_band_when_m_small;
+    Alcotest.test_case "auto heuristic" `Quick test_auto_heuristic;
+    Alcotest.test_case "table2: double > float" `Quick test_double_beats_float;
+    Alcotest.test_case "sung tiles & degradation" `Quick test_sung_shapes;
+    Alcotest.test_case "fig6: c2r > sung (float)" `Quick test_sung_vs_c2r_float;
+    Alcotest.test_case "sung tile mismatch" `Quick test_sung_tile_mismatch;
+    Alcotest.test_case "fig7: aos cost model" `Quick test_aos_costs;
+    Alcotest.test_case "aos conversion correct" `Quick test_aos_conversion_correct;
+  ]

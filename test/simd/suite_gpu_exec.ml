@@ -1,0 +1,133 @@
+open Xpose_simd_machine
+open Xpose_simd
+
+let cfg = Config.k20c
+
+let setup ~m ~n =
+  let mem =
+    Memory.create cfg ~words:((m * n) + Gpu_exec.scratch_words ~m ~n)
+  in
+  for l = 0 to (m * n) - 1 do
+    Memory.poke mem l l
+  done;
+  mem
+
+let check_transposed mem ~m ~n label =
+  for l = 0 to (m * n) - 1 do
+    let expected = (n * (l mod m)) + (l / m) in
+    if Memory.peek mem l <> expected then
+      Alcotest.failf "%s %dx%d: word %d is %d, want %d" label m n l
+        (Memory.peek mem l) expected
+  done
+
+let shapes = [ (2, 2); (3, 8); (4, 8); (40, 56); (56, 40); (37, 41); (1, 9); (9, 1); (64, 64) ]
+
+let test_c2r_executes_transpose () =
+  List.iter
+    (fun (m, n) ->
+      let mem = setup ~m ~n in
+      let r = Gpu_exec.c2r mem ~m ~n in
+      check_transposed mem ~m ~n "c2r";
+      if m > 1 && n > 1 then
+        Alcotest.(check bool) "throughput positive" true (r.Gpu_exec.gbps > 0.0))
+    shapes
+
+let test_r2c_executes_transpose () =
+  List.iter
+    (fun (m, n) ->
+      let mem = setup ~m ~n in
+      ignore (Gpu_exec.r2c mem ~m ~n);
+      check_transposed mem ~m ~n "r2c")
+    shapes
+
+let test_r2c_inverts_c2r () =
+  let m = 24 and n = 30 in
+  let mem = setup ~m ~n in
+  ignore (Gpu_exec.c2r mem ~m ~n);
+  (* buffer now holds the n x m transpose; r2c on the transposed shape
+     brings it back *)
+  ignore (Gpu_exec.r2c mem ~m:n ~n:m);
+  for l = 0 to (m * n) - 1 do
+    Alcotest.(check int) "identity" l (Memory.peek mem l)
+  done
+
+let test_onchip_flag () =
+  let m = 64 in
+  let small = setup ~m ~n:64 in
+  let r = Gpu_exec.c2r small ~m ~n:64 in
+  Alcotest.(check bool) "64 cols on chip" true r.Gpu_exec.onchip_row_shuffle;
+  let n = 4000 in
+  let wide = setup ~m:8 ~n in
+  let r = Gpu_exec.c2r wide ~m:8 ~n in
+  Alcotest.(check bool) "4000 cols off chip" false r.Gpu_exec.onchip_row_shuffle;
+  check_transposed wide ~m:8 ~n "offchip c2r"
+
+let test_matches_cost_model () =
+  (* The analytic model (Gpu_transpose) and the executed kernels must
+     agree on the transaction traffic within a modest tolerance. *)
+  List.iter
+    (fun (m, n) ->
+      let mem = setup ~m ~n in
+      let exec = Gpu_exec.c2r mem ~m ~n in
+      let model =
+        Gpu_transpose.cost cfg ~algorithm:`C2r ~elt_bytes:4 ~m ~n
+      in
+      let et = exec.Gpu_exec.stats.Memory.weighted_bytes in
+      let mt = model.Gpu_transpose.stats.Memory.weighted_bytes in
+      let ratio = et /. mt in
+      Alcotest.(check bool)
+        (Printf.sprintf "%dx%d exec %.0f vs model %.0f (ratio %.2f)" m n et mt
+           ratio)
+        true
+        (ratio > 0.6 && ratio < 1.8))
+    [ (48, 64); (64, 48); (96, 96); (60, 45) ]
+
+let test_r2c_matches_cost_model () =
+  List.iter
+    (fun (m, n) ->
+      let mem = setup ~m ~n in
+      let exec = Gpu_exec.r2c mem ~m ~n in
+      let model = Gpu_transpose.cost cfg ~algorithm:`R2c ~elt_bytes:4 ~m ~n in
+      let ratio =
+        exec.Gpu_exec.stats.Memory.weighted_bytes
+        /. model.Gpu_transpose.stats.Memory.weighted_bytes
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%dx%d r2c exec/model ratio %.2f" m n ratio)
+        true
+        (ratio > 0.6 && ratio < 1.8))
+    [ (48, 64); (64, 48); (60, 45) ]
+
+let test_scratch_required () =
+  let mem = Memory.create cfg ~words:(6 * 7) in
+  Alcotest.check_raises "needs scratch"
+    (Invalid_argument "Gpu_exec: memory too small (need matrix + scratch)")
+    (fun () -> ignore (Gpu_exec.c2r mem ~m:6 ~n:7))
+
+let prop_random_shapes =
+  QCheck2.Test.make ~name:"executed c2r transposes random shapes" ~count:40
+    QCheck2.Gen.(pair (int_range 1 48) (int_range 1 48))
+    (fun (m, n) ->
+      let mem = setup ~m ~n in
+      ignore (Gpu_exec.c2r mem ~m ~n);
+      let ok = ref true in
+      for l = 0 to (m * n) - 1 do
+        if Memory.peek mem l <> (n * (l mod m)) + (l / m) then ok := false
+      done;
+      !ok)
+
+let tests =
+  [
+    Alcotest.test_case "c2r executes the transpose" `Quick
+      test_c2r_executes_transpose;
+    Alcotest.test_case "r2c executes the transpose" `Quick
+      test_r2c_executes_transpose;
+    Alcotest.test_case "r2c inverts c2r" `Quick test_r2c_inverts_c2r;
+    Alcotest.test_case "on-chip flag" `Quick test_onchip_flag;
+    Alcotest.test_case "exec agrees with cost model" `Quick
+      test_matches_cost_model;
+    Alcotest.test_case "r2c exec agrees with cost model" `Quick
+      test_r2c_matches_cost_model;
+    Alcotest.test_case "scratch required" `Quick test_scratch_required;
+    QCheck_alcotest.to_alcotest prop_random_shapes;
+  ]

@@ -1,0 +1,164 @@
+open Xpose_simd_machine
+
+let cfg = Config.k20c
+let some_all n f = Array.init n (fun i -> Some (f i))
+
+let test_config_validate () =
+  Config.validate cfg;
+  Alcotest.check_raises "bad lanes" (Invalid_argument "Config: lanes")
+    (fun () -> Config.validate { cfg with Config.lanes = 0 });
+  Alcotest.check_raises "bad line"
+    (Invalid_argument "Config: line_bytes must be a positive multiple of word_bytes")
+    (fun () -> Config.validate { cfg with Config.line_bytes = 6 })
+
+let test_coalesced_load_one_line () =
+  let mem = Memory.create cfg ~words:1024 in
+  for a = 0 to 1023 do
+    Memory.poke mem a (a * 10)
+  done;
+  Memory.reset mem;
+  (* 32 lanes x 4B consecutive = 128B = four full 32B sectors *)
+  let values = Memory.warp_load mem ~addrs:(some_all 32 (fun j -> j)) in
+  let s = Memory.stats mem in
+  Alcotest.(check int) "four sector transactions" 4 s.Memory.load_transactions;
+  Alcotest.(check int) "useful" 128 s.Memory.useful_bytes;
+  Alcotest.(check int) "instr" 1 s.Memory.instructions;
+  Array.iteri
+    (fun j v -> Alcotest.(check (option int)) "value" (Some (j * 10)) v)
+    values
+
+let test_strided_load_many_lines () =
+  let mem = Memory.create cfg ~words:65536 in
+  (* stride of 64 words = 256 bytes: every lane hits its own sector *)
+  ignore (Memory.warp_load mem ~addrs:(some_all 32 (fun j -> j * 64)));
+  let s = Memory.stats mem in
+  Alcotest.(check int) "32 transactions" 32 s.Memory.load_transactions
+
+let test_inactive_lanes () =
+  let mem = Memory.create cfg ~words:128 in
+  let addrs = Array.init 32 (fun j -> if j < 4 then Some j else None) in
+  ignore (Memory.warp_load mem ~addrs);
+  let s = Memory.stats mem in
+  Alcotest.(check int) "one sector" 1 s.Memory.load_transactions;
+  Alcotest.(check int) "useful 16B" 16 s.Memory.useful_bytes
+
+let test_store_partial_penalty () =
+  let mem = Memory.create cfg ~words:65536 in
+  (* full-line store: no penalty *)
+  Memory.warp_store mem
+    ~addrs:(some_all 32 (fun j -> j))
+    ~values:(some_all 32 (fun j -> j));
+  let full = (Memory.stats mem).Memory.weighted_bytes in
+  Alcotest.(check (float 0.01)) "full sectors weighted" 128.0 full;
+  Memory.reset mem;
+  (* scattered store: write-allocate factor *)
+  Memory.warp_store mem
+    ~addrs:(some_all 32 (fun j -> j * 64))
+    ~values:(some_all 32 (fun j -> j));
+  let scattered = (Memory.stats mem).Memory.weighted_bytes in
+  Alcotest.(check (float 0.01)) "penalized"
+    (32.0 *. 32.0 *. cfg.Config.partial_store_factor)
+    scattered
+
+let test_store_moves_data () =
+  let mem = Memory.create cfg ~words:64 in
+  Memory.warp_store mem
+    ~addrs:(some_all 32 (fun j -> j * 2))
+    ~values:(some_all 32 (fun j -> 100 + j));
+  for j = 0 to 31 do
+    Alcotest.(check int) "written" (100 + j) (Memory.peek mem (j * 2))
+  done
+
+let test_errors () =
+  let mem = Memory.create cfg ~words:16 in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Memory: address vector must have one slot per lane")
+    (fun () -> ignore (Memory.warp_load mem ~addrs:[| Some 0 |]));
+  Alcotest.check_raises "range" (Invalid_argument "Memory: address out of range")
+    (fun () -> ignore (Memory.warp_load mem ~addrs:(some_all 32 (fun j -> j))));
+  Alcotest.check_raises "missing value"
+    (Invalid_argument "Memory: active lane without a value") (fun () ->
+      Memory.warp_store mem
+        ~addrs:(Array.init 32 (fun j -> if j = 0 then Some 0 else None))
+        ~values:(Array.make 32 None))
+
+let test_charge_stream () =
+  let mem = Memory.create cfg ~words:0 in
+  Memory.charge_stream mem Memory.Load ~bytes:(1 lsl 20);
+  let s = Memory.stats mem in
+  Alcotest.(check int) "lines" (1 lsl 20 / 32) s.Memory.load_transactions;
+  Alcotest.(check int) "useful" (1 lsl 20) s.Memory.useful_bytes;
+  (* streaming at 180 GB/s: 1 MiB in ~5825 ns *)
+  Alcotest.(check bool) "time sane" true
+    (Memory.time_ns mem > 5000.0 && Memory.time_ns mem < 7000.0);
+  let g = Memory.gbps mem ~useful_bytes:s.Memory.useful_bytes in
+  Alcotest.(check (float 1.0)) "streaming gbps" cfg.Config.effective_gbps g
+
+let test_charge_warp_span () =
+  let mem = Memory.create cfg ~words:65536 in
+  (* 32 lanes x 4-word (16B) spans, contiguous: 32*16=512B = 16 sectors *)
+  Memory.charge_warp_span mem Memory.Load
+    ~starts:(some_all 32 (fun j -> j * 4))
+    ~span:4;
+  let s = Memory.stats mem in
+  Alcotest.(check int) "16 sectors" 16 s.Memory.load_transactions;
+  Alcotest.(check int) "useful 512" 512 s.Memory.useful_bytes;
+  Alcotest.check_raises "span range" (Invalid_argument "Memory: span out of range")
+    (fun () ->
+      Memory.charge_warp_span mem Memory.Load
+        ~starts:(some_all 32 (fun _ -> 65535))
+        ~span:2)
+
+let test_instr_time_floor () =
+  let mem = Memory.create cfg ~words:0 in
+  Memory.charge_instrs mem 1000000;
+  Alcotest.(check (float 1.0))
+    "instruction-bound time"
+    (1000000.0 *. cfg.Config.instr_ns)
+    (Memory.time_ns mem)
+
+let prop_line_count_vs_bruteforce =
+  QCheck2.Test.make ~name:"warp line counting = brute force" ~count:500
+    QCheck2.Gen.(array_size (return 32) (int_range 0 4095))
+    (fun raw ->
+      let mem = Memory.create cfg ~words:4096 in
+      let addrs = Array.map (fun a -> Some a) raw in
+      ignore (Memory.warp_load mem ~addrs);
+      let expected =
+        Array.to_list raw
+        |> List.map (fun a -> a / 8 (* 32B sector = 8 words *))
+        |> List.sort_uniq compare |> List.length
+      in
+      (Memory.stats mem).Memory.load_transactions = expected)
+
+let prop_span_count_vs_bruteforce =
+  QCheck2.Test.make ~name:"warp span counting = brute force" ~count:300
+    QCheck2.Gen.(
+      pair (array_size (return 32) (int_range 0 4000)) (int_range 1 16))
+    (fun (raw, span) ->
+      let mem = Memory.create cfg ~words:4096 in
+      let starts = Array.map (fun a -> Some a) raw in
+      Memory.charge_warp_span mem Memory.Load ~starts ~span;
+      let expected =
+        Array.to_list raw
+        |> List.concat_map (fun a ->
+               List.init span (fun k -> (a + k) / 8 (* words per sector *)))
+        |> List.sort_uniq compare |> List.length
+      in
+      (Memory.stats mem).Memory.load_transactions = expected)
+
+let tests =
+  [
+    Alcotest.test_case "config validation" `Quick test_config_validate;
+    Alcotest.test_case "coalesced load = 1 line" `Quick test_coalesced_load_one_line;
+    Alcotest.test_case "strided load = 32 lines" `Quick test_strided_load_many_lines;
+    Alcotest.test_case "inactive lanes" `Quick test_inactive_lanes;
+    Alcotest.test_case "partial store penalty" `Quick test_store_partial_penalty;
+    Alcotest.test_case "store moves data" `Quick test_store_moves_data;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "charge stream" `Quick test_charge_stream;
+    Alcotest.test_case "charge warp span" `Quick test_charge_warp_span;
+    Alcotest.test_case "instruction time floor" `Quick test_instr_time_floor;
+    QCheck_alcotest.to_alcotest prop_line_count_vs_bruteforce;
+    QCheck_alcotest.to_alcotest prop_span_count_vs_bruteforce;
+  ]

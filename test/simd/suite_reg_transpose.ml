@@ -1,0 +1,99 @@
+open Xpose_simd_machine
+open Xpose_simd
+
+let cfg = Config.k20c
+
+let make ~regs =
+  let mem = Memory.create cfg ~words:(max 1 (regs * 32)) in
+  (mem, Warp.create mem ~regs)
+
+(* Row-major tile content: register (r, lane j) = r*lanes + j. *)
+let fill_row_major w =
+  for r = 0 to Warp.regs w - 1 do
+    for j = 0 to Warp.lanes w - 1 do
+      Warp.set w ~reg:r ~lane:j ((r * Warp.lanes w) + j)
+    done
+  done
+
+let check_col_major w name =
+  let m = Warp.regs w in
+  for r = 0 to m - 1 do
+    for j = 0 to Warp.lanes w - 1 do
+      Alcotest.(check int)
+        (Printf.sprintf "%s m=%d (%d,%d)" name m r j)
+        ((j * m) + r)
+        (Warp.get w ~reg:r ~lane:j)
+    done
+  done
+
+let test_r2c_all_struct_sizes () =
+  (* every struct size the paper's Figures 8/9 sweep, and then some *)
+  for m = 1 to 40 do
+    let _, w = make ~regs:m in
+    fill_row_major w;
+    Reg_transpose.r2c w;
+    check_col_major w "r2c"
+  done
+
+let test_c2r_inverts () =
+  for m = 1 to 40 do
+    let _, w = make ~regs:m in
+    fill_row_major w;
+    Reg_transpose.r2c w;
+    Reg_transpose.c2r w;
+    for r = 0 to m - 1 do
+      for j = 0 to 31 do
+        Alcotest.(check int) "roundtrip" ((r * 32) + j)
+          (Warp.get w ~reg:r ~lane:j)
+      done
+    done
+  done
+
+let test_instruction_budget () =
+  (* The transpose must cost what §6.2 promises: m shuffles plus one or
+     two barrel rotations of m*ceil(log2 m) selects. *)
+  List.iter
+    (fun m ->
+      let mem, w = make ~regs:m in
+      Memory.reset mem;
+      Reg_transpose.r2c w;
+      let actual = (Memory.stats mem).Memory.instructions in
+      let expected = Reg_transpose.instruction_count ~lanes:32 ~regs:m `R2c in
+      Alcotest.(check int) (Printf.sprintf "instrs m=%d" m) expected actual)
+    [ 1; 2; 3; 4; 7; 8; 16; 31; 32 ]
+
+let test_no_memory_traffic () =
+  (* the whole point: the in-register transpose touches no memory *)
+  let mem, w = make ~regs:8 in
+  fill_row_major w;
+  Memory.reset mem;
+  Reg_transpose.r2c w;
+  let s = Memory.stats mem in
+  Alcotest.(check int) "no loads" 0 s.Memory.load_transactions;
+  Alcotest.(check int) "no stores" 0 s.Memory.store_transactions
+
+let prop_roundtrip_random_m =
+  QCheck2.Test.make ~name:"c2r . r2c = id on register tiles" ~count:100
+    QCheck2.Gen.(int_range 1 64)
+    (fun m ->
+      let _, w = make ~regs:m in
+      fill_row_major w;
+      Reg_transpose.c2r w;
+      Reg_transpose.r2c w;
+      let ok = ref true in
+      for r = 0 to m - 1 do
+        for j = 0 to 31 do
+          if Warp.get w ~reg:r ~lane:j <> (r * 32) + j then ok := false
+        done
+      done;
+      !ok)
+
+let tests =
+  [
+    Alcotest.test_case "r2c routes structs to lanes (m=1..40)" `Quick
+      test_r2c_all_struct_sizes;
+    Alcotest.test_case "c2r inverts r2c" `Quick test_c2r_inverts;
+    Alcotest.test_case "instruction budget (§6.2)" `Quick test_instruction_budget;
+    Alcotest.test_case "no memory traffic" `Quick test_no_memory_traffic;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random_m;
+  ]

@@ -1,0 +1,108 @@
+open Xpose_simd_machine
+
+let cfg = Config.k20c
+
+let make_warp ~regs =
+  let mem = Memory.create cfg ~words:(regs * cfg.Config.lanes * 4) in
+  (mem, Warp.create mem ~regs)
+
+let test_create () =
+  let _, w = make_warp ~regs:4 in
+  Alcotest.(check int) "lanes" 32 (Warp.lanes w);
+  Alcotest.(check int) "regs" 4 (Warp.regs w);
+  Alcotest.(check int) "zero" 0 (Warp.get w ~reg:3 ~lane:31);
+  Alcotest.check_raises "bad regs" (Invalid_argument "Warp.create: regs")
+    (fun () ->
+      ignore (Warp.create (Memory.create cfg ~words:0) ~regs:0))
+
+let fill w f =
+  for r = 0 to Warp.regs w - 1 do
+    for j = 0 to Warp.lanes w - 1 do
+      Warp.set w ~reg:r ~lane:j (f r j)
+    done
+  done
+
+let test_shfl () =
+  let mem, w = make_warp ~regs:2 in
+  fill w (fun r j -> (r * 100) + j);
+  Memory.reset mem;
+  Warp.shfl w ~reg:1 ~src:(fun j -> (j + 5) mod 32);
+  for j = 0 to 31 do
+    Alcotest.(check int) "rotated row" (100 + ((j + 5) mod 32))
+      (Warp.get w ~reg:1 ~lane:j);
+    Alcotest.(check int) "other row untouched" j (Warp.get w ~reg:0 ~lane:j)
+  done;
+  Alcotest.(check int) "one instruction" 1
+    (Memory.stats mem).Memory.instructions
+
+let test_rotate_dynamic () =
+  let mem, w = make_warp ~regs:8 in
+  fill w (fun r j -> (j * 8) + r);
+  Memory.reset mem;
+  Warp.rotate_dynamic w ~amount:(fun j -> j);
+  for j = 0 to 31 do
+    for r = 0 to 7 do
+      Alcotest.(check int) "rotated"
+        ((j * 8) + ((r + j) mod 8))
+        (Warp.get w ~reg:r ~lane:j)
+    done
+  done;
+  (* regs * ceil(log2 regs) = 8 * 3 selects *)
+  Alcotest.(check int) "select count" 24 (Memory.stats mem).Memory.instructions
+
+let test_rotate_negative_amount () =
+  let _, w = make_warp ~regs:5 in
+  fill w (fun r _ -> r);
+  Warp.rotate_dynamic w ~amount:(fun _ -> -2);
+  for r = 0 to 4 do
+    Alcotest.(check int) "neg rotate" ((r + 3) mod 5) (Warp.get w ~reg:r ~lane:0)
+  done
+
+let test_permute_static () =
+  let mem, w = make_warp ~regs:4 in
+  fill w (fun r j -> (j * 4) + r);
+  Memory.reset mem;
+  Warp.permute_static w ~perm:(fun r -> (r + 1) mod 4);
+  for j = 0 to 31 do
+    for r = 0 to 3 do
+      Alcotest.(check int) "renamed" ((j * 4) + ((r + 1) mod 4))
+        (Warp.get w ~reg:r ~lane:j)
+    done
+  done;
+  Alcotest.(check int) "free" 0 (Memory.stats mem).Memory.instructions;
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Warp.permute_static: perm is not a permutation")
+    (fun () -> Warp.permute_static w ~perm:(fun _ -> 0))
+
+let test_load_store_rows_roundtrip () =
+  let mem, w = make_warp ~regs:3 in
+  for a = 0 to (3 * 32) - 1 do
+    Memory.poke mem a (a * 7)
+  done;
+  Memory.reset mem;
+  Warp.load_rows w ~base:0;
+  for r = 0 to 2 do
+    for j = 0 to 31 do
+      Alcotest.(check int) "loaded" (((r * 32) + j) * 7)
+        (Warp.get w ~reg:r ~lane:j)
+    done
+  done;
+  let s = Memory.stats mem in
+  (* 3 rows x 128B, each four 32B sectors *)
+  Alcotest.(check int) "3 coalesced loads" 12 s.Memory.load_transactions;
+  (* write back shifted *)
+  fill w (fun r j -> (r * 32) + j);
+  Warp.store_rows w ~base:0;
+  for a = 0 to 95 do
+    Alcotest.(check int) "stored" a (Memory.peek mem a)
+  done
+
+let tests =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "shfl" `Quick test_shfl;
+    Alcotest.test_case "dynamic rotate" `Quick test_rotate_dynamic;
+    Alcotest.test_case "negative rotate" `Quick test_rotate_negative_amount;
+    Alcotest.test_case "static permute" `Quick test_permute_static;
+    Alcotest.test_case "load/store rows" `Quick test_load_store_rows_roundtrip;
+  ]

@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "xpose_simd"
+    [
+      ("memory", Suite_memory.tests);
+      ("warp", Suite_warp.tests);
+      ("reg_transpose", Suite_reg_transpose.tests);
+      ("coalesced", Suite_coalesced.tests);
+      ("access", Suite_access.tests);
+      ("gpu_cost", Suite_gpu_cost.tests);
+      ("cpu_simd", Suite_cpu_simd.tests);
+      ("gpu_exec", Suite_gpu_exec.tests);
+    ]
