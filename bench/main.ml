@@ -251,6 +251,37 @@ let extension_tests =
              ignore (Xpose_simd.Gpu_exec.r2c exec_mem ~m:72 ~n:96)));
     ]
 
+(* -- Rank-N permutation planner ------------------------------------------ *)
+
+let permute_tests =
+  let module Nd = Tensor_nd.Make (S) in
+  let module Sh = Xpose_permute.Shape in
+  (* forward + inverse leaves the buffer unchanged between runs *)
+  let roundtrip name dims perm =
+    let buf = f64_iota (Sh.nelems dims) in
+    let fwd = Tensor_nd.plan ~dims ~perm in
+    let bwd =
+      Tensor_nd.plan
+        ~dims:(Sh.permuted_dims ~dims ~perm)
+        ~perm:(Sh.inverse perm)
+    in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           Nd.execute fwd buf;
+           Nd.execute bwd buf))
+  in
+  Test.make_grouped ~name:"permute_planner"
+    [
+      (* AoS -> SoA at rank 4 (NCHW <-> NHWC: one batched pass each way) *)
+      roundtrip "rank4_nchw_nhwc" [| 24; 18; 20; 8 |] [| 0; 2; 3; 1 |];
+      (* full reversal: nothing fuses, two passes each way *)
+      roundtrip "rank4_reversal" [| 24; 18; 20; 8 |] [| 3; 2; 1; 0 |];
+      (* rank-5 shuffle: three passes through the move graph *)
+      roundtrip "rank5_shuffle" [| 12; 5; 14; 3; 16 |] [| 4; 2; 0; 3; 1 |];
+      (* fused identity in disguise: planner cost is pure overhead *)
+      roundtrip "rank5_fused_flat" [| 6; 7; 8; 9; 4 |] [| 2; 3; 4; 0; 1 |];
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"xpose"
     [
@@ -264,6 +295,7 @@ let all_tests =
       ablation_cache_aware;
       ablation_skinny;
       extension_tests;
+      permute_tests;
     ]
 
 let () =

@@ -60,6 +60,57 @@ let impls =
       run = (fun ~pool:_ ~m ~n buf -> SungI.transpose ~m ~n buf) };
   ]
 
+module Nd = Tensor_nd.Make (S)
+module ParP = Xpose_cpu.Par_permute.Make (S)
+module Shape = Xpose_permute.Shape
+
+(* random rank-N permutation problem with at most 2^16 elements *)
+let random_problem rng =
+  let rank = Xpose_harness.Rng.int_range rng ~lo:1 ~hi:6 in
+  let dims = Array.make rank 1 in
+  let budget = ref 65536 in
+  for ax = 0 to rank - 1 do
+    let hi = min 16 !budget in
+    dims.(ax) <- Xpose_harness.Rng.int_range rng ~lo:1 ~hi:(hi + 1);
+    budget := !budget / dims.(ax)
+  done;
+  (dims, Xpose_harness.Rng.permutation rng rank)
+
+let permute_check ~pool ~rng it seed failures =
+  let dims, perm = random_problem rng in
+  let total = Shape.nelems dims in
+  let want = Array.make total 0 in
+  for l = 0 to total - 1 do
+    want.(Shape.permuted_index ~dims ~perm (Shape.multi_index ~dims l)) <- l
+  done;
+  let reproducer name =
+    incr failures;
+    Printf.printf "MISMATCH %s at dims %s perm %s (iteration %d, seed %d)\n"
+      name
+      (Format.asprintf "%a" Shape.pp_dims dims)
+      (Format.asprintf "%a" Shape.pp_perm perm)
+      it seed
+  in
+  let agrees buf = Array.for_all Fun.id
+      (Array.init total (fun i -> S.to_int (S.get buf i) = want.(i)))
+  in
+  let serial = iota total in
+  (match Nd.permute ~dims ~perm serial with
+  | () -> if not (agrees serial) then reproducer "permute-serial"
+  | exception exn ->
+      incr failures;
+      Printf.printf "EXCEPTION permute-serial at dims %s: %s\n"
+        (Format.asprintf "%a" Shape.pp_dims dims)
+        (Printexc.to_string exn));
+  let par = iota total in
+  match ParP.permute pool ~dims ~perm par with
+  | () -> if not (agrees par) then reproducer "permute-parallel"
+  | exception exn ->
+      incr failures;
+      Printf.printf "EXCEPTION permute-parallel at dims %s: %s\n"
+        (Format.asprintf "%a" Shape.pp_dims dims)
+        (Printexc.to_string exn)
+
 let gpu_exec_check ~m ~n =
   (* the executed GPU kernels, on a fresh simulated memory *)
   let open Xpose_simd_machine in
@@ -100,12 +151,16 @@ let run_fuzz iterations seed max_dim workers =
         if gpu_exec_check ~m ~n <> want then begin
           incr failures;
           Printf.printf "MISMATCH gpu-exec at m=%d n=%d (iteration %d)\n" m n it
-        end
+        end;
+        permute_check ~pool ~rng it seed failures
       done);
   if !failures = 0 then begin
     Printf.printf "fuzz: %d iterations x %d implementations, all agree\n"
       iterations
       (List.length impls + 1);
+    Printf.printf
+      "fuzz: %d rank-N permutations x 2 executors, all match the oracle\n"
+      iterations;
     `Ok ()
   end
   else `Error (false, Printf.sprintf "%d divergences found" !failures)

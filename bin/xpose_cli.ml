@@ -201,9 +201,76 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(ret (const run $ m_arg $ n_arg $ algorithm_arg))
 
+let permute_cmd =
+  let doc =
+    "Plan a rank-N in-place axis permutation, print the chosen decomposition \
+     and its predicted cost, then execute and verify it."
+  in
+  let dims_arg =
+    Arg.(
+      required
+      & opt (some (list int)) None
+      & info [ "dims" ] ~docv:"D0,D1,..."
+          ~doc:"Tensor dimensions, row-major (last axis fastest).")
+  in
+  let perm_arg =
+    Arg.(
+      required
+      & opt (some (list int)) None
+      & info [ "perm" ] ~docv:"P0,P1,..."
+          ~doc:
+            "Axis permutation: output axis $(i,k) carries source axis \
+             $(i,Pk) (NumPy transpose convention).")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Also list the rejected candidate plans.")
+  in
+  let run dims perm all =
+    let dims = Array.of_list dims and perm = Array.of_list perm in
+    let module P = Xpose_permute in
+    match P.Shape.validate ~dims ~perm with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | () ->
+        let module Si = Storage.Int_elt in
+        let module Nd = Tensor_nd.Make (Si) in
+        let plan = Tensor_nd.plan ~dims ~perm in
+        Format.printf "%a" P.Permute.pp_plan plan;
+        if all then begin
+          match Tensor_nd.candidates ~dims ~perm with
+          | _ :: (_ :: _ as rest) ->
+              List.iter
+                (fun (c : P.Permute.plan) ->
+                  Format.printf "rejected: %d passes, score %.1f@."
+                    c.P.Permute.cost.P.Cost.passes c.P.Permute.cost.P.Cost.score)
+                rest
+          | _ -> print_endline "no other candidates"
+        end;
+        let total = P.Shape.nelems dims in
+        let buf = Si.create total in
+        Storage.fill_iota (module Si) buf;
+        Nd.execute plan buf;
+        let ok = ref true in
+        for l = 0 to total - 1 do
+          let dst =
+            P.Shape.permuted_index ~dims ~perm (P.Shape.multi_index ~dims l)
+          in
+          if Si.get buf dst <> l then ok := false
+        done;
+        if !ok then begin
+          Printf.printf "verified: %d elements match the permuted_index oracle\n"
+            total;
+          `Ok ()
+        end
+        else `Error (false, "verification failed")
+  in
+  Cmd.v (Cmd.info "permute" ~doc)
+    Term.(ret (const run $ dims_arg $ perm_arg $ all_arg))
+
 let main =
   let doc = "In-place matrix transposition by decomposition (PPoPP 2014)." in
   Cmd.group (Cmd.info "xpose" ~doc)
-    [ demo_cmd; transpose_cmd; rotate_cmd; plan_cmd; bench_cmd ]
+    [ demo_cmd; transpose_cmd; rotate_cmd; plan_cmd; bench_cmd; permute_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -6,6 +6,7 @@ module Make (S : Storage.S) = struct
   module Algo_slice = Algo.Make (Sl)
   module Algo_block = Algo.Make (Bl)
   module Algo_plain = Algo.Make (S)
+  module Nd = Tensor_nd.Make (S)
 
   let transpose_batched ~batch ~m ~n buf =
     if batch < 1 || m < 1 || n < 1 then
@@ -61,12 +62,15 @@ module Make (S : Storage.S) = struct
       else Algo_plain.r2c (Plan.make ~m:n ~n:m) buf ~tmp
     end
 
-  let permute ~dims:(d0, d1, d2) ~perm buf =
+  let check_permute_args ~dims:(d0, d1, d2) ~perm buf =
     check_perm perm;
     if d0 < 1 || d1 < 1 || d2 < 1 then
       invalid_arg "Tensor3.permute: dimensions must be positive";
     if S.length buf <> d0 * d1 * d2 then
-      invalid_arg "Tensor3.permute: buffer size";
+      invalid_arg "Tensor3.permute: buffer size"
+
+  let permute_direct ~dims:(d0, d1, d2) ~perm buf =
+    check_permute_args ~dims:(d0, d1, d2) ~perm buf;
     match perm with
     | 0, 1, 2 -> ()
     | 1, 0, 2 -> transpose_blocks ~m:d0 ~n:d1 ~block:d2 buf
@@ -78,4 +82,8 @@ module Make (S : Storage.S) = struct
         (* now a (d2, d0, d1) tensor; swap its last two axes *)
         transpose_batched ~batch:d2 ~m:d0 ~n:d1 buf
     | _ -> assert false
+
+  let permute ~dims:(d0, d1, d2) ~perm:((p0, p1, p2) as perm) buf =
+    check_permute_args ~dims:(d0, d1, d2) ~perm buf;
+    Nd.permute ~dims:[| d0; d1; d2 |] ~perm:[| p0; p1; p2 |] buf
 end

@@ -34,10 +34,20 @@ module Make (S : Storage.S) : sig
 
   val permute :
     dims:int * int * int -> perm:int * int * int -> buf -> unit
-  (** In-place axis permutation as specified above.
+  (** In-place axis permutation as specified above. Delegates to the
+      [Xpose_permute] planner via {!Tensor_nd}: after axis fusion the
+      planner recovers exactly the factorization table above, chosen by
+      cost rather than hard-coded.
       @raise Invalid_argument if [perm] is not a permutation of
       [(0,1,2)], any dimension is non-positive, or the buffer length is
       not [d0*d1*d2]. *)
+
+  val permute_direct :
+    dims:int * int * int -> perm:int * int * int -> buf -> unit
+  (** The original hand-written six-case factorization, kept as a
+      cross-check oracle: the test suite asserts {!permute} (the planner
+      path) and [permute_direct] agree on every permutation. Same
+      contract as {!permute}. *)
 
   val permuted_dims : dims:int * int * int -> perm:int * int * int -> int * int * int
   (** Shape of the result. *)

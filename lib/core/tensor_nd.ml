@@ -1,0 +1,93 @@
+module P = Xpose_permute
+
+let plan_arith =
+  let transpose_touches ~m ~n =
+    if m <= 1 || n <= 1 then 0
+    else begin
+      let p = Plan.make ~m ~n in
+      (* columns with rotation amount zero (the first [b] of them) are
+         not touched by the pre-rotation; the row and column shuffles
+         each read and write every element once *)
+      let rotate = if Plan.coprime p then 0 else 2 * m * (n - p.Plan.b) in
+      rotate + (4 * m * n)
+    end
+  in
+  let transpose_scratch ~m ~n =
+    if m <= 1 || n <= 1 then 0
+    else Plan.scratch_elements (Plan.make ~m ~n)
+  in
+  { P.Cost.transpose_touches; transpose_scratch }
+
+let plan ~dims ~perm = P.Permute.plan ~arith:plan_arith ~dims ~perm ()
+let candidates ~dims ~perm = P.Permute.candidates ~arith:plan_arith ~dims ~perm ()
+
+module Make (S : Storage.S) = struct
+  type buf = S.t
+
+  module Sl = Views.Slice (S)
+  module Bl = Views.Blocked (S)
+  module Blsl = Views.Blocked (Sl)
+  module Algo_plain = Algo.Make (S)
+  module Algo_slice = Algo.Make (Sl)
+  module Algo_block = Algo.Make (Bl)
+  module Algo_block_slice = Algo.Make (Blsl)
+
+  let transpose ~batch ~rows ~cols ~block buf =
+    if batch < 1 || rows < 1 || cols < 1 || block < 1 then
+      invalid_arg "Tensor_nd.transpose: sizes must be positive";
+    if S.length buf <> batch * rows * cols * block then
+      invalid_arg "Tensor_nd.transpose: buffer size";
+    if rows > 1 && cols > 1 then begin
+      let c2r = rows > cols in
+      let rm = max rows cols and rn = min rows cols in
+      let p = Plan.make ~m:rm ~n:rn in
+      if block = 1 && batch = 1 then begin
+        let tmp = S.create rm in
+        if c2r then Algo_plain.c2r p buf ~tmp else Algo_plain.r2c p buf ~tmp
+      end
+      else if block = 1 then begin
+        let tmp = Sl.create rm in
+        let mn = rows * cols in
+        for b = 0 to batch - 1 do
+          let slice = Sl.of_buffer buf ~off:(b * mn) ~len:mn in
+          if c2r then Algo_slice.c2r p slice ~tmp
+          else Algo_slice.r2c p slice ~tmp
+        done
+      end
+      else if batch = 1 then begin
+        let view = Bl.of_buffer buf ~block in
+        let tmp = Bl.of_buffer (S.create (rm * block)) ~block in
+        if c2r then Algo_block.c2r p view ~tmp else Algo_block.r2c p view ~tmp
+      end
+      else begin
+        let tmp = Blsl.of_buffer (Sl.create (rm * block)) ~block in
+        let len = rows * cols * block in
+        for b = 0 to batch - 1 do
+          let view = Blsl.of_buffer (Sl.of_buffer buf ~off:(b * len) ~len) ~block in
+          if c2r then Algo_block_slice.c2r p view ~tmp
+          else Algo_block_slice.r2c p view ~tmp
+        done
+      end
+    end
+
+  module Exec = P.Exec.Make (struct
+    type nonrec buf = buf
+
+    let length = S.length
+    let transpose = transpose
+  end)
+
+  let execute (plan : P.Permute.plan) buf =
+    if S.length buf <> P.Shape.nelems plan.P.Permute.dims then
+      invalid_arg "Tensor_nd.execute: buffer size";
+    Exec.run_passes (P.Permute.passes plan) buf
+
+  let permute ~dims ~perm buf =
+    P.Shape.validate ~dims ~perm;
+    if S.length buf <> P.Shape.nelems dims then
+      invalid_arg "Tensor_nd.permute: buffer size";
+    execute (plan ~dims ~perm) buf
+
+  let permuted_dims = P.Shape.permuted_dims
+  let permuted_index = P.Shape.permuted_index
+end

@@ -1,0 +1,85 @@
+open Xpose_core
+
+module Make (S : Storage.S) = struct
+  type buf = S.t
+
+  module Sl = Views.Slice (S)
+  module Blsl = Views.Blocked (Sl)
+  module Sb = Views.Strided_blocked (S)
+  module Algo_slice = Algo.Make (Sl)
+  module Algo_block_slice = Algo.Make (Blsl)
+  module Algo_sb = Algo.Make (Sb)
+  module ParT = Par_transpose.Make (S)
+
+  let transpose pool ~batch ~rows ~cols ~block buf =
+    if batch < 1 || rows < 1 || cols < 1 || block < 1 then
+      invalid_arg "Par_permute.transpose: sizes must be positive";
+    if S.length buf <> batch * rows * cols * block then
+      invalid_arg "Par_permute.transpose: buffer size";
+    if rows > 1 && cols > 1 then begin
+      let c2r = rows > cols in
+      let rm = max rows cols and rn = min rows cols in
+      let p = Plan.make ~m:rm ~n:rn in
+      if batch = 1 && block = 1 then
+        (if c2r then ParT.c2r pool p buf else ParT.r2c pool p buf)
+      else if batch > 1 then begin
+        (* independent slices: chunk the batch, one scratch per worker *)
+        let len = rows * cols * block in
+        Pool.parallel_chunks pool ~lo:0 ~hi:batch (fun ~chunk:_ ~lo ~hi ->
+            if lo < hi then
+              if block = 1 then begin
+                let tmp = Sl.create rm in
+                for b = lo to hi - 1 do
+                  let slice = Sl.of_buffer buf ~off:(b * len) ~len in
+                  if c2r then Algo_slice.c2r p slice ~tmp
+                  else Algo_slice.r2c p slice ~tmp
+                done
+              end
+              else begin
+                let tmp = Blsl.of_buffer (Sl.create (rm * block)) ~block in
+                for b = lo to hi - 1 do
+                  let view =
+                    Blsl.of_buffer (Sl.of_buffer buf ~off:(b * len) ~len) ~block
+                  in
+                  if c2r then Algo_block_slice.c2r p view ~tmp
+                  else Algo_block_slice.r2c p view ~tmp
+                done
+              end)
+      end
+      else begin
+        (* one wide block transpose: split the block axis — every worker
+           permutes its own strided sub-range of each block *)
+        Pool.parallel_chunks pool ~lo:0 ~hi:block (fun ~chunk:_ ~lo ~hi ->
+            if lo < hi then begin
+              let w = hi - lo in
+              let view =
+                Sb.of_buffer buf ~off:lo ~stride:block ~block:w
+                  ~count:(rows * cols)
+              in
+              let tmp =
+                Sb.of_buffer (S.create (rm * w)) ~off:0 ~stride:w ~block:w
+                  ~count:rm
+              in
+              if c2r then Algo_sb.c2r p view ~tmp
+              else Algo_sb.r2c p view ~tmp
+            end)
+      end
+    end
+
+  let execute pool (plan : Xpose_permute.Permute.plan) buf =
+    if S.length buf <> Xpose_permute.Shape.nelems plan.Xpose_permute.Permute.dims
+    then invalid_arg "Par_permute.execute: buffer size";
+    let module E = Xpose_permute.Exec.Make (struct
+      type nonrec buf = buf
+
+      let length = S.length
+      let transpose = transpose pool
+    end) in
+    E.run_passes (Xpose_permute.Permute.passes plan) buf
+
+  let permute pool ~dims ~perm buf =
+    Xpose_permute.Shape.validate ~dims ~perm;
+    if S.length buf <> Xpose_permute.Shape.nelems dims then
+      invalid_arg "Par_permute.permute: buffer size";
+    execute pool (Tensor_nd.plan ~dims ~perm) buf
+end

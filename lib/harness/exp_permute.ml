@@ -1,0 +1,106 @@
+(** Planner validation for the rank-N permutation subsystem: for a set of
+    representative axis permutations, time {e every} minimal-pass
+    candidate decomposition and check that the cost model's choice is the
+    (or near the) measured fastest. This is the experiment counterpart of
+    the paper's AoS/SoA conversions (Figure 7): NCHW<->NHWC and the full
+    axis reversal are exactly the layout changes the decomposition is
+    sold on, generalized past rank 3. *)
+
+open Xpose_core
+module S = Storage.Float64
+module Nd = Tensor_nd.Make (S)
+module P = Xpose_permute
+
+let problems ~base =
+  let b = max 2 base in
+  [
+    ("reverse3", [| 2 * b; (3 * b / 2) + 1; b |], [| 2; 1; 0 |]);
+    ("nchw->nhwc", [| b; 3; b; b |], [| 0; 2; 3; 1 |]);
+    ("nhwc->nchw", [| b; b; b; 3 |], [| 0; 3; 1; 2 |]);
+    ("shuffle5", [| b; 3; b; 2; b |], [| 4; 2; 0; 3; 1 |]);
+  ]
+
+let time_candidate ~repeats buf (c : P.Permute.plan) =
+  Timing.best_of ~repeats (fun () -> Nd.execute c buf)
+
+let run ?(base = 24) ?(repeats = 3) () =
+  let rows = ref [] in
+  let chosen_fastest = ref 0 in
+  let concordant = ref 0 in
+  let pairs = ref 0 in
+  let slowdowns = ref [] in
+  let problems = problems ~base in
+  List.iter
+    (fun (name, dims, perm) ->
+      let cands = Tensor_nd.candidates ~dims ~perm in
+      let buf = S.create (P.Shape.nelems dims) in
+      Storage.fill_iota (module S) buf;
+      let timed =
+        List.map (fun c -> (c, time_candidate ~repeats buf c)) cands
+      in
+      let fastest_ns =
+        List.fold_left (fun acc (_, ns) -> min acc ns) infinity timed
+      in
+      let chosen_ns = snd (List.hd timed) in
+      if chosen_ns <= fastest_ns *. 1.0001 then incr chosen_fastest;
+      slowdowns := (chosen_ns /. fastest_ns) :: !slowdowns;
+      (* concordance between the model's order and the measured order *)
+      let a = Array.of_list timed in
+      Array.iteri
+        (fun i (ci, ti) ->
+          Array.iteri
+            (fun j ((cj : P.Permute.plan), tj) ->
+              if i < j then begin
+                incr pairs;
+                let model =
+                  P.Cost.compare ci.P.Permute.cost cj.P.Permute.cost
+                in
+                if (model <= 0 && ti <= tj) || (model >= 0 && ti >= tj) then
+                  incr concordant
+              end)
+            a)
+        a;
+      List.iteri
+        (fun rank (c, ns) ->
+          rows :=
+            [
+              (if rank = 0 then name else "");
+              Format.asprintf "%a" P.Shape.pp_dims dims;
+              Format.asprintf "%a" P.Shape.pp_perm perm;
+              string_of_int c.P.Permute.cost.P.Cost.passes;
+              Printf.sprintf "%.0f" c.P.Permute.cost.P.Cost.score;
+              Printf.sprintf "%.3f" (ns /. 1e6);
+              (if rank = 0 then "chosen" else "")
+              ^ (if ns <= fastest_ns *. 1.0001 then
+                   if rank = 0 then "+fastest" else "fastest"
+                 else "");
+            ]
+            :: !rows)
+        timed)
+    problems;
+  let n = List.length problems in
+  let slow = Array.of_list !slowdowns in
+  let rendered =
+    "Cost-model choice vs measured time, every minimal-pass candidate \
+     (float64, in place)\n"
+    ^ Render.table
+        ~header:
+          [ "problem"; "dims"; "perm"; "passes"; "score"; "ms"; "verdict" ]
+        ~rows:(List.rev !rows)
+    ^ "\nThe planner's pick (first row of each problem) should be the \
+       measured fastest, or within noise of it.\n"
+  in
+  {
+    Outcome.id = "permute";
+    title = "Rank-N permutation planner: predicted vs measured cost";
+    rendered;
+    metrics =
+      [
+        ("chosen_is_fastest_frac", float_of_int !chosen_fastest /. float_of_int n);
+        ( "pairwise_order_agreement",
+          if !pairs = 0 then 1.0
+          else float_of_int !concordant /. float_of_int !pairs );
+        ("max_chosen_slowdown", (Stats.summarize slow).Stats.max);
+      ];
+    figures = [];
+  }

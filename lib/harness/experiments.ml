@@ -72,6 +72,11 @@ let all =
       run = (fun ~scale -> Exp_access.fig9 ~n_structs:(32 * scaled 64 scale) ());
     };
     {
+      id = "permute";
+      description = "Rank-N permutation planner, predicted vs measured";
+      run = (fun ~scale -> Exp_permute.run ~base:(min 48 (scaled 24 scale)) ());
+    };
+    {
       id = "cycles";
       description = "Cycle-length imbalance motivating the decomposition (§1)";
       run =

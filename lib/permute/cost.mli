@@ -1,0 +1,58 @@
+(** Cost model for candidate pass sequences.
+
+    Every pass runs the paper's decomposed 2-D transposition over the
+    whole buffer, so the dominant term is memory traffic: the element
+    touches of Theorem 6 (at most [6mn] reads+writes per transpose),
+    multiplied by the batch count and the block width. Two corrections
+    discriminate between sequences of equal pass count:
+
+    - {e contiguity}: a pass that moves [block]-sized units amortizes its
+      traffic over whole cache lines, while a [block = 1] pass pays a
+      full line per element in the worst case — modelled as a
+      [1 + (line - 1)/block] multiplier on the touches;
+    - {e scratch}: the per-pass auxiliary space is
+      [block * max rows cols] elements (Theorem 6's bound applied to
+      block elements); the model reports the maximum over the passes and
+      uses it only to break ties.
+
+    The arithmetic is injected via {!arith} so higher layers can feed the
+    exact [Plan]/[Theory] quantities of [xpose_core]
+    ([Xpose_core.Tensor_nd.plan_arith] does exactly that); the default
+    {!theorem6_arith} is a pure restatement of the same Theorem 6 count,
+    asserted equal to the measured [Theory.theorem6_work_and_space] in
+    the test suite. *)
+
+type arith = {
+  transpose_touches : m:int -> n:int -> int;
+      (** Element reads+writes of one in-place [m x n] transpose, with
+          [m >= n] (the orientation the executor picks). *)
+  transpose_scratch : m:int -> n:int -> int;
+      (** Scratch elements of one in-place [m x n] transpose. *)
+}
+
+val theorem6_arith : arith
+(** Theorem 6 in closed form: [4mn] for the row and column shuffles,
+    plus [2m(n - n/c)] pre-rotation touches when [c = gcd(m,n) > 1]
+    (columns whose rotation amount is zero are not touched), and
+    [max m n] scratch. *)
+
+type t = {
+  passes : int;  (** primitive passes *)
+  touches : int;  (** total element reads+writes across all passes *)
+  scratch : int;  (** peak scratch elements of any single pass *)
+  score : float;  (** the comparable figure of merit (lower is better) *)
+}
+
+val zero : t
+(** The cost of doing nothing (the fused identity). *)
+
+val line_elems : float
+(** Elements per cache line assumed by the contiguity multiplier (8,
+    i.e. 64-byte lines of 8-byte elements). *)
+
+val of_passes : ?arith:arith -> Decompose.pass list -> t
+val compare : t -> t -> int
+(** Orders by [score], then fewer [passes], then smaller [scratch],
+    then fewer [touches]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,137 @@
+type pass = { batch : int; rows : int; cols : int; block : int }
+type kind = Flat | Batched | Blocks | Batched_blocks
+
+let kind p =
+  match (p.batch, p.block) with
+  | 1, 1 -> Flat
+  | _, 1 -> Batched
+  | 1, _ -> Blocks
+  | _, _ -> Batched_blocks
+
+let elems p = p.batch * p.rows * p.cols * p.block
+
+let pp_pass ppf p =
+  match kind p with
+  | Flat -> Format.fprintf ppf "flat transpose %dx%d" p.rows p.cols
+  | Batched ->
+      Format.fprintf ppf "%d x batched transpose %dx%d" p.batch p.rows p.cols
+  | Blocks ->
+      Format.fprintf ppf "block transpose %dx%d (block %d)" p.rows p.cols
+        p.block
+  | Batched_blocks ->
+      Format.fprintf ppf "%d x block transpose %dx%d (block %d)" p.batch
+        p.rows p.cols p.block
+
+type move = { i : int; j : int; k : int }
+
+let moves ~rank =
+  let acc = ref [] in
+  for i = rank - 2 downto 0 do
+    for j = rank - 1 downto i + 1 do
+      for k = rank downto j + 1 do
+        acc := { i; j; k } :: !acc
+      done
+    done
+  done;
+  !acc
+
+let apply_move order { i; j; k } =
+  let r = Array.length order in
+  Array.concat
+    [
+      Array.sub order 0 i;
+      Array.sub order j (k - j);
+      Array.sub order i (j - i);
+      Array.sub order k (r - k);
+    ]
+
+let pass_of_move ~dims ~order { i; j; k } =
+  let r = Array.length order in
+  let prod lo hi =
+    let p = ref 1 in
+    for t = lo to hi - 1 do
+      p := !p * dims.(order.(t))
+    done;
+    !p
+  in
+  { batch = prod 0 i; rows = prod i j; cols = prod j k; block = prod k r }
+
+type step = { pass : pass; order : int array }
+
+(* Beyond this rank the breadth-first search over all rank! layouts gets
+   expensive; fall back to constructive placement. *)
+let search_rank_limit = 7
+
+let constructive ~dims ~perm =
+  let r = Array.length perm in
+  let cur = ref (Shape.identity r) in
+  let steps = ref [] in
+  for p = 0 to r - 1 do
+    if !cur.(p) <> perm.(p) then begin
+      let q = ref p in
+      while !cur.(!q) <> perm.(p) do
+        incr q
+      done;
+      let m = { i = p; j = !q; k = !q + 1 } in
+      let pass = pass_of_move ~dims ~order:!cur m in
+      cur := apply_move !cur m;
+      steps := { pass; order = !cur } :: !steps
+    end
+  done;
+  List.rev !steps
+
+let candidates ?(limit = 64) ~dims ~perm () =
+  let r = Array.length perm in
+  let start = Shape.identity r in
+  if r <= 1 || perm = start then [ [] ]
+  else if r > search_rank_limit then [ constructive ~dims ~perm ]
+  else begin
+    (* Distances to the target layout, by BFS from [perm]. The move set
+       is closed under inversion (the inverse of swapping runs X,Y is
+       swapping Y,X, also a move), so distances are symmetric and a
+       search from the target serves paths from the start. *)
+    let key = Array.to_list in
+    let dist : (int list, int) Hashtbl.t = Hashtbl.create 97 in
+    Hashtbl.add dist (key perm) 0;
+    let q = Queue.create () in
+    Queue.add perm q;
+    let mvs = moves ~rank:r in
+    while (not (Hashtbl.mem dist (key start))) && not (Queue.is_empty q) do
+      let o = Queue.pop q in
+      let d = Hashtbl.find dist (key o) in
+      List.iter
+        (fun m ->
+          let o' = apply_move o m in
+          if not (Hashtbl.mem dist (key o')) then begin
+            Hashtbl.add dist (key o') (d + 1);
+            Queue.add o' q
+          end)
+        mvs
+    done;
+    let d0 =
+      match Hashtbl.find_opt dist (key start) with
+      | Some d -> d
+      | None -> assert false (* the moves generate the symmetric group *)
+    in
+    (* enumerate every path that walks the distance down to 0 *)
+    let results = ref [] and count = ref 0 in
+    let rec go order d acc =
+      if !count >= limit then ()
+      else if d = 0 then begin
+        results := List.rev acc :: !results;
+        incr count
+      end
+      else
+        List.iter
+          (fun m ->
+            let o' = apply_move order m in
+            match Hashtbl.find_opt dist (key o') with
+            | Some d' when d' = d - 1 && !count < limit ->
+                let pass = pass_of_move ~dims ~order m in
+                go o' (d - 1) ({ pass; order = o' } :: acc)
+            | _ -> ())
+          mvs
+    in
+    go start d0 [];
+    List.rev !results
+  end

@@ -1,0 +1,62 @@
+(** Factoring an axis permutation into in-place primitive passes.
+
+    One pass views the buffer as a [batch x rows x cols x block] row-major
+    tensor and swaps the middle two axes — i.e. for each of the [batch]
+    contiguous slices it transposes, in place, the [rows x cols] matrix
+    whose elements are [block] consecutive slots. This single primitive
+    specializes to all three existing kernels:
+
+    - [batch = 1, block = 1]: a plain 2-D transpose of the flattened
+      matrix ([Tensor3.transpose_flat]);
+    - [block = 1]: a batched 2-D transpose ([Tensor3.transpose_batched]);
+    - [batch = 1]: a block transpose ([Tensor3.transpose_blocks]).
+
+    On the axis order, a pass is the exchange of two adjacent runs of
+    axes — a "block transposition" in the sorting-by-transpositions
+    sense. The move set contains every adjacent-axis swap, so it
+    generates the full symmetric group: any permutation is reachable,
+    and the known transposition diameters guarantee at most 2 passes for
+    rank 3, and at most 3 for ranks 4 and 5, after axis fusion. *)
+
+type pass = {
+  batch : int;  (** leading axes left untouched *)
+  rows : int;   (** size of the first swapped run *)
+  cols : int;   (** size of the second swapped run *)
+  block : int;  (** trailing axes left untouched (contiguous element block) *)
+}
+
+type kind = Flat | Batched | Blocks | Batched_blocks
+
+val kind : pass -> kind
+val elems : pass -> int
+(** [batch * rows * cols * block]: the buffer size the pass expects. *)
+
+val pp_pass : Format.formatter -> pass -> unit
+(** E.g. ["flat transpose 6x4"], ["5 x batched transpose 3x7"],
+    ["block transpose 3x5 (block 4)"]. *)
+
+type move = { i : int; j : int; k : int }
+(** Exchange axis runs [[i, j)] and [[j, k)] of the current layout;
+    requires [0 <= i < j < k <= rank]. *)
+
+val moves : rank:int -> move list
+(** All valid moves at the given rank, in a fixed deterministic order. *)
+
+val apply_move : int array -> move -> int array
+(** The axis order after the move. *)
+
+val pass_of_move : dims:int array -> order:int array -> move -> pass
+(** Concrete pass sizes for a move applied to a tensor whose current
+    memory layout is [order] (an array of axis ids into [dims]). *)
+
+type step = { pass : pass; order : int array }
+(** One planned pass and the axis layout it leaves behind. *)
+
+val candidates : ?limit:int -> dims:int array -> perm:int array -> unit -> step list list
+(** All minimal-length pass sequences that turn the identity layout into
+    [perm], capped at [limit] (default 64) sequences. [dims] and [perm]
+    should be normalized ({!Shape.normalize}); the identity (or rank
+    [<= 1]) yields [[[]]] — zero passes. For rank [<= 7] the sequences
+    come from an exhaustive breadth-first search of the move graph; above
+    that a constructive placement fallback returns a single sequence of
+    at most [rank - 1] passes. *)

@@ -1,0 +1,16 @@
+module type PRIMITIVES = sig
+  type buf
+
+  val length : buf -> int
+  val transpose : batch:int -> rows:int -> cols:int -> block:int -> buf -> unit
+end
+
+module Make (P : PRIMITIVES) = struct
+  let run_passes passes buf =
+    List.iter
+      (fun (p : Decompose.pass) ->
+        if Decompose.elems p <> P.length buf then
+          invalid_arg "Exec.run_passes: pass size does not match the buffer";
+        P.transpose ~batch:p.batch ~rows:p.rows ~cols:p.cols ~block:p.block buf)
+      passes
+end

@@ -1,0 +1,58 @@
+type plan = {
+  dims : int array;
+  perm : int array;
+  normalized : Shape.normalized;
+  steps : Decompose.step list;
+  cost : Cost.t;
+}
+
+let passes plan = List.map (fun s -> s.Decompose.pass) plan.steps
+
+let candidates ?arith ?limit ~dims ~perm () =
+  Shape.validate ~dims ~perm;
+  let normalized = Shape.normalize ~dims ~perm in
+  let seqs =
+    Decompose.candidates ?limit ~dims:normalized.Shape.dims
+      ~perm:normalized.Shape.perm ()
+  in
+  (* distinct move sequences can coincide numerically when axis sizes
+     repeat; keep one of each *)
+  let seen = Hashtbl.create 16 in
+  let plans =
+    List.filter_map
+      (fun steps ->
+        let ps = List.map (fun s -> s.Decompose.pass) steps in
+        if Hashtbl.mem seen ps then None
+        else begin
+          Hashtbl.add seen ps ();
+          Some
+            { dims; perm; normalized; steps; cost = Cost.of_passes ?arith ps }
+        end)
+      seqs
+  in
+  List.stable_sort (fun a b -> Cost.compare a.cost b.cost) plans
+
+let plan ?arith ?limit ~dims ~perm () =
+  match candidates ?arith ?limit ~dims ~perm () with
+  | p :: _ -> p
+  | [] -> assert false (* candidates always yields at least [[]] *)
+
+let pp_plan ppf plan =
+  Format.fprintf ppf "permute %a by %a -> %a@." Shape.pp_dims plan.dims
+    Shape.pp_perm plan.perm Shape.pp_dims
+    (Shape.permuted_dims ~dims:plan.dims ~perm:plan.perm);
+  let n = plan.normalized in
+  Format.fprintf ppf "normalized: %a by %a@." Shape.pp_dims n.Shape.dims
+    Shape.pp_perm n.Shape.perm;
+  if plan.steps = [] then
+    Format.fprintf ppf "identity after axis fusion: nothing to move@."
+  else
+    List.iteri
+      (fun i s ->
+        Format.fprintf ppf "pass %d: %a@." (i + 1) Decompose.pp_pass
+          s.Decompose.pass)
+      plan.steps;
+  Format.fprintf ppf "predicted: %a@." Cost.pp plan.cost
+
+let permuted_dims = Shape.permuted_dims
+let permuted_index = Shape.permuted_index

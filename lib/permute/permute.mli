@@ -1,0 +1,51 @@
+(** Cost-model-driven planning of in-place rank-N axis permutations.
+
+    The pipeline (TTC- and GenTT-style, built on the paper's 2-D
+    decomposition as the only data-movement primitive):
+
+    + {!Shape.normalize} the problem — drop size-1 axes and fuse axis
+      runs that stay adjacent, so e.g. the rank-3 permutation [(2,0,1)]
+      collapses to a single flat 2-D transpose;
+    + {!Decompose.candidates} — enumerate every minimal-length
+      factorization into batched/blocked/flat transpose passes (at most
+      2 passes for normalized rank 3, at most 3 for ranks 4-5);
+    + {!Cost} — price each candidate by Theorem 6 traffic, contiguity
+      and scratch, and keep the cheapest.
+
+    Execution is separate ({!Exec}, [Xpose_core.Tensor_nd],
+    [Xpose_cpu.Par_permute]): a {!plan} is pure data and can be built
+    once, inspected ({!pp_plan}) and reused across buffers. *)
+
+type plan = {
+  dims : int array;
+  perm : int array;
+  normalized : Shape.normalized;
+  steps : Decompose.step list;  (** chosen passes, in execution order *)
+  cost : Cost.t;
+}
+
+val plan :
+  ?arith:Cost.arith -> ?limit:int -> dims:int array -> perm:int array -> unit -> plan
+(** The cheapest plan. [arith] defaults to {!Cost.theorem6_arith};
+    [limit] caps the candidate enumeration (default 64).
+    @raise Invalid_argument on an invalid shape/permutation pair. *)
+
+val candidates :
+  ?arith:Cost.arith ->
+  ?limit:int ->
+  dims:int array ->
+  perm:int array ->
+  unit ->
+  plan list
+(** Every (deduplicated) minimal-length candidate, cheapest first.
+    [plan] is the head of this list. *)
+
+val passes : plan -> Decompose.pass list
+val pp_plan : Format.formatter -> plan -> unit
+
+(** {1 Specification re-exports}
+
+    The oracle the execution layers and the fuzzer test against. *)
+
+val permuted_dims : dims:int array -> perm:int array -> int array
+val permuted_index : dims:int array -> perm:int array -> int array -> int

@@ -1,0 +1,132 @@
+let rank = Array.length
+let nelems dims = Array.fold_left ( * ) 1 dims
+
+let is_permutation perm =
+  let r = Array.length perm in
+  let seen = Array.make (max r 1) false in
+  try
+    Array.iter
+      (fun p ->
+        if p < 0 || p >= r || seen.(p) then raise Exit;
+        seen.(p) <- true)
+      perm;
+    true
+  with Exit -> false
+
+let validate ~dims ~perm =
+  if Array.length perm <> Array.length dims then
+    invalid_arg "Shape.validate: perm and dims must have the same rank";
+  if Array.exists (fun d -> d < 1) dims then
+    invalid_arg "Shape.validate: dimensions must be positive";
+  if not (is_permutation perm) then
+    invalid_arg "Shape.validate: perm is not a permutation of the axes"
+
+let identity r = Array.init r Fun.id
+
+let inverse perm =
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun k p -> inv.(p) <- k) perm;
+  inv
+
+let compose ~first ~then_ = Array.map (Array.get first) then_
+let permuted_dims ~dims ~perm = Array.map (Array.get dims) perm
+
+let linear_index ~dims idx =
+  if Array.length idx <> Array.length dims then
+    invalid_arg "Shape.linear_index: rank mismatch";
+  let l = ref 0 in
+  Array.iteri
+    (fun ax i ->
+      if i < 0 || i >= dims.(ax) then
+        invalid_arg "Shape.linear_index: index out of range";
+      l := (!l * dims.(ax)) + i)
+    idx;
+  !l
+
+let multi_index ~dims l =
+  let r = rank dims in
+  let idx = Array.make r 0 in
+  let rem = ref l in
+  for ax = r - 1 downto 0 do
+    idx.(ax) <- !rem mod dims.(ax);
+    rem := !rem / dims.(ax)
+  done;
+  idx
+
+let permuted_index ~dims ~perm idx =
+  validate ~dims ~perm;
+  let pidx = Array.map (fun p -> idx.(p)) perm in
+  linear_index ~dims:(permuted_dims ~dims ~perm) pidx
+
+type normalized = {
+  dims : int array;
+  perm : int array;
+  groups : int array array;
+}
+
+let normalize ~dims ~perm =
+  validate ~dims ~perm;
+  let r = rank dims in
+  (* 1. keep only axes of size > 1; relabel them 0.. in source order *)
+  let kept = ref [] in
+  for i = r - 1 downto 0 do
+    if dims.(i) > 1 then kept := i :: !kept
+  done;
+  let kept = Array.of_list !kept in
+  let label = Array.make (max r 1) (-1) in
+  Array.iteri (fun k i -> label.(i) <- k) kept;
+  let sperm =
+    Array.of_list
+      (List.filter_map
+         (fun p -> if r > 0 && label.(p) >= 0 then Some label.(p) else None)
+         (Array.to_list perm))
+  in
+  let sr = Array.length kept in
+  if sr = 0 then { dims = [||]; perm = [||]; groups = [||] }
+  else begin
+    (* 2. maximal runs of source axes that stay consecutive, in order, in
+       the permuted layout: each run moves as one contiguous unit *)
+    let run_starts = ref [ 0 ] in
+    for k = 1 to sr - 1 do
+      if sperm.(k) <> sperm.(k - 1) + 1 then run_starts := k :: !run_starts
+    done;
+    let starts = Array.of_list (List.rev !run_starts) in
+    let nruns = Array.length starts in
+    let run_len t =
+      (if t = nruns - 1 then sr else starts.(t + 1)) - starts.(t)
+    in
+    (* number the fused axes by source position, not output position *)
+    let by_input = Array.init nruns Fun.id in
+    Array.sort (fun t u -> compare sperm.(starts.(t)) sperm.(starts.(u))) by_input;
+    let group_of_run = Array.make nruns 0 in
+    Array.iteri (fun g t -> group_of_run.(t) <- g) by_input;
+    let ndims = Array.make nruns 1 in
+    let groups = Array.make nruns [||] in
+    Array.iteri
+      (fun g t ->
+        let s = starts.(t) in
+        let members = Array.init (run_len t) (fun h -> kept.(sperm.(s + h))) in
+        groups.(g) <- members;
+        ndims.(g) <- Array.fold_left (fun acc ax -> acc * dims.(ax)) 1 members)
+      by_input;
+    let nperm = Array.init nruns (fun t -> group_of_run.(t)) in
+    { dims = ndims; perm = nperm; groups }
+  end
+
+let pp_dims ppf dims =
+  if Array.length dims = 0 then Format.pp_print_string ppf "scalar"
+  else
+    Array.iteri
+      (fun i d ->
+        if i > 0 then Format.pp_print_char ppf 'x';
+        Format.pp_print_int ppf d)
+      dims
+
+let pp_perm ppf perm =
+  Format.pp_print_char ppf '(';
+  Array.iteri
+    (fun i p ->
+      if i > 0 then Format.pp_print_char ppf ',';
+      Format.pp_print_int ppf p)
+    perm;
+  Format.pp_print_char ppf ')'

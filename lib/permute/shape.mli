@@ -1,0 +1,78 @@
+(** Rank-N shape algebra for row-major tensors.
+
+    Conventions used throughout the permutation subsystem:
+
+    - a shape is an [int array] of positive dimensions, last axis fastest
+      (row-major);
+    - a permutation [perm] maps {e output} axes to {e source} axes: after
+      permuting, output axis [k] carries source axis [perm.(k)], so the
+      result has dimensions [permuted_dims ~dims ~perm] — the same
+      convention as [Xpose_core.Tensor3] and NumPy's [transpose].
+
+    Everything here is pure index arithmetic: this module (and the whole
+    [Xpose_permute] library) has no dependencies, which is what lets
+    [Xpose_core.Tensor3] delegate to the planner without a cycle. *)
+
+val rank : int array -> int
+(** Number of axes. *)
+
+val nelems : int array -> int
+(** Product of the dimensions ([1] for rank 0). *)
+
+val is_permutation : int array -> bool
+(** Whether the array is a permutation of [0 .. length - 1]. *)
+
+val validate : dims:int array -> perm:int array -> unit
+(** @raise Invalid_argument if ranks differ, a dimension is non-positive,
+    or [perm] is not a permutation of the axes. *)
+
+val identity : int -> int array
+(** [identity r] is [[|0; 1; ...; r-1|]]. *)
+
+val inverse : int array -> int array
+(** [inverse perm] undoes [perm]: permuting by [perm] and then by
+    [inverse perm] restores the original axis order. *)
+
+val compose : first:int array -> then_:int array -> int array
+(** [compose ~first ~then_] is the single permutation equivalent to
+    permuting by [first] and then by [then_]. *)
+
+val permuted_dims : dims:int array -> perm:int array -> int array
+(** Shape of the permuted tensor: [Array.map (Array.get dims) perm]. *)
+
+val linear_index : dims:int array -> int array -> int
+(** Row-major linearization of a multi-index.
+    @raise Invalid_argument on rank mismatch or out-of-range entries. *)
+
+val multi_index : dims:int array -> int -> int array
+(** Inverse of {!linear_index}. *)
+
+val permuted_index : dims:int array -> perm:int array -> int array -> int
+(** [permuted_index ~dims ~perm idx] is the linear position, after the
+    permutation, of the source element at multi-index [idx] — the
+    specification every in-place execution is tested against (the rank-N
+    generalization of [Tensor3.permuted_index]). *)
+
+type normalized = {
+  dims : int array;  (** fused dimensions, all [> 1] *)
+  perm : int array;  (** permutation of the fused axes *)
+  groups : int array array;
+      (** [groups.(k)]: the original axes fused into normalized input
+          axis [k], in ascending order (size-1 axes omitted) *)
+}
+(** A permutation problem with the trivial structure removed. *)
+
+val normalize : dims:int array -> perm:int array -> normalized
+(** Drop size-1 axes (they occupy no stride, so moving them is free) and
+    fuse maximal runs of axes that are adjacent, in the same order, both
+    in the source and in the permuted layout (such a run moves as one
+    contiguous unit, so it acts as a single axis of the product size).
+    The identity permutation normalizes to rank [<= 1]; a normalized
+    permutation of rank [>= 2] has no fixed structure left to exploit,
+    so every pass the planner emits does real data movement. *)
+
+val pp_dims : Format.formatter -> int array -> unit
+(** ["2x3x4"]. Rank 0 prints as ["scalar"]. *)
+
+val pp_perm : Format.formatter -> int array -> unit
+(** ["(1,2,0)"]. *)

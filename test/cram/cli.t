@@ -45,6 +45,7 @@ The differential fuzzer agrees across all implementations:
 
   $ xpose-fuzz -i 10 --max-dim 40
   fuzz: 10 iterations x 12 implementations, all agree
+  fuzz: 10 rank-N permutations x 2 executors, all match the oracle
 
 Quarter-turn rotation in place:
 
@@ -59,6 +60,54 @@ Quarter-turn rotation in place:
   $ xpose rotate -m 2 -n 3 -d half 1 2 3 4 5 6
   6 5 4
   3 2 1
+
+The rank-N permutation planner prints the chosen decomposition, its
+predicted cost, and verifies the execution against the index oracle.
+A cyclic shift of three axes fuses to a single flat transpose:
+
+  $ xpose permute --dims 2,3,4 --perm 1,2,0
+  permute 2x3x4 by (1,2,0) -> 3x4x2
+  normalized: 2x12 by (1,0)
+  pass 1: flat transpose 2x12
+  predicted: 1 pass, 120 element touches, 12 scratch elements, score 960.0
+  verified: 24 elements match the permuted_index oracle
+
+NCHW -> NHWC keeps the H and W axes fused and needs one batched pass:
+
+  $ xpose permute --dims 32,3,8,8 --perm 0,2,3,1
+  permute 32x3x8x8 by (0,2,3,1) -> 32x8x8x3
+  normalized: 32x3x64 by (0,2,1)
+  pass 1: 32 x batched transpose 3x64
+  predicted: 1 pass, 24576 element touches, 64 scratch elements, score 196608.0
+  verified: 6144 elements match the permuted_index oracle
+
+A full axis reversal needs two passes; --all shows what lost:
+
+  $ xpose permute --dims 2,3,4 --perm 2,1,0 --all
+  permute 2x3x4 by (2,1,0) -> 4x3x2
+  normalized: 2x3x4 by (2,1,0)
+  pass 1: block transpose 2x3 (block 4)
+  pass 2: flat transpose 6x4
+  predicted: 2 passes, 216 element touches, 12 scratch elements, score 1224.0
+  rejected: 2 passes, score 1392.0
+  rejected: 2 passes, score 1728.0
+  rejected: 2 passes, score 1728.0
+  verified: 24 elements match the permuted_index oracle
+
+The identity costs nothing after fusion:
+
+  $ xpose permute --dims 4,5 --perm 0,1
+  permute 4x5 by (0,1) -> 4x5
+  normalized: 20 by (0)
+  identity after axis fusion: nothing to move
+  predicted: 0 passes, 0 element touches, 0 scratch elements, score 0.0
+  verified: 20 elements match the permuted_index oracle
+
+Invalid permutations are rejected:
+
+  $ xpose permute --dims 2,3 --perm 0,0
+  xpose: Shape.validate: perm is not a permutation of the axes
+  [124]
 
 The plan inspector reports the decomposition structure:
 

@@ -12,6 +12,7 @@ The experiment registry lists every table and figure:
   fig7     AoS->SoA conversion throughput (Figure 7)
   fig8     Unit-stride AoS access bandwidth (Figure 8)
   fig9     Random AoS access bandwidth (Figure 9)
+  permute  Rank-N permutation planner, predicted vs measured
   cycles   Cycle-length imbalance motivating the decomposition (§1)
 
 Figure 1 is exact:
@@ -27,7 +28,7 @@ Figure 1 is exact:
 Unknown ids are reported with the available list:
 
   $ xpose-experiments run nope 2>&1 | head -1
-  experiments: unknown experiment "nope"; try: fig1, fig2, fig3, table1, fig4, fig5, fig6, table2, fig7, fig8, fig9, cycles
+  experiments: unknown experiment "nope"; try: fig1, fig2, fig3, table1, fig4, fig5, fig6, table2, fig7, fig8, fig9, permute, cycles
 
 Figures are written as SVG with --out:
 

@@ -8,7 +8,7 @@ let metric = Outcome.metric
 let test_registry () =
   Alcotest.(check (list string))
     "paper order"
-    [ "fig1"; "fig2"; "fig3"; "table1"; "fig4"; "fig5"; "fig6"; "table2"; "fig7"; "fig8"; "fig9"; "cycles" ]
+    [ "fig1"; "fig2"; "fig3"; "table1"; "fig4"; "fig5"; "fig6"; "table2"; "fig7"; "fig8"; "fig9"; "permute"; "cycles" ]
     (Experiments.ids ());
   Alcotest.(check bool) "find" true ((Experiments.find "fig3").Experiments.id = "fig3");
   Alcotest.(check bool) "missing" true
@@ -87,6 +87,19 @@ let test_fig9_shape () =
   Alcotest.(check bool) "gather: c2r >= direct" true
     (metric o "gather_c2r_over_direct_64B" >= 1.0)
 
+let test_permute_planner () =
+  let o = Exp_permute.run ~base:16 ~repeats:3 () in
+  (* structural sanity: fractions in range, and the model's choice is
+     never catastrophically slower than the measured best *)
+  let frac = metric o "chosen_is_fastest_frac" in
+  Alcotest.(check bool) "fraction in [0,1]" true (frac >= 0.0 && frac <= 1.0);
+  let agree = metric o "pairwise_order_agreement" in
+  Alcotest.(check bool)
+    (Printf.sprintf "order agreement %.2f above chance" agree)
+    true (agree > 0.5);
+  Alcotest.(check bool) "chosen within 3x of fastest" true
+    (metric o "max_chosen_slowdown" < 3.0)
+
 let test_cycles_imbalance () =
   let o = Exp_cycles.run ~samples:10 ~lo:40 ~hi:200 () in
   (* some matrix in any reasonable sample has a dominant cycle *)
@@ -122,6 +135,7 @@ let tests =
     Alcotest.test_case "fig7 specialization" `Quick test_fig7_shape;
     Alcotest.test_case "fig8 orderings" `Quick test_fig8_shape;
     Alcotest.test_case "fig9 orderings" `Quick test_fig9_shape;
+    Alcotest.test_case "permute planner sanity" `Quick test_permute_planner;
     Alcotest.test_case "cycles imbalance" `Quick test_cycles_imbalance;
     Alcotest.test_case "whole registry renders" `Slow test_outcome_render_nonempty;
   ]

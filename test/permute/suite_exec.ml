@@ -1,0 +1,228 @@
+open Xpose_permute
+module Core = Xpose_core
+module S = Xpose_core.Storage.Int_elt
+module Nd = Xpose_core.Tensor_nd.Make (S)
+module T3 = Xpose_core.Tensor3.Make (S)
+module Pool = Xpose_cpu.Pool
+module Par = Xpose_cpu.Par_permute.Make (S)
+
+let rec perms = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun rest -> x :: rest) (perms (List.filter (( <> ) x) l)))
+        l
+
+let all_perms r = List.map Array.of_list (perms (List.init r Fun.id))
+
+let iota dims =
+  let buf = S.create (Shape.nelems dims) in
+  for i = 0 to S.length buf - 1 do
+    S.set buf i (S.of_int i)
+  done;
+  buf
+
+(* what the buffer must hold after permuting iota: element born at linear
+   index l lands at permuted_index l *)
+let expected ~dims ~perm =
+  let total = Shape.nelems dims in
+  let out = Array.make total 0 in
+  for l = 0 to total - 1 do
+    out.(Shape.permuted_index ~dims ~perm (Shape.multi_index ~dims l)) <- l
+  done;
+  out
+
+let check_against_oracle ~msg ~dims ~perm buf =
+  let want = expected ~dims ~perm in
+  Array.iteri
+    (fun i w ->
+      if S.to_int (S.get buf i) <> w then
+        Alcotest.failf "%s: dims %s perm %s: slot %d holds %d, want %d" msg
+          (Format.asprintf "%a" Shape.pp_dims dims)
+          (Format.asprintf "%a" Shape.pp_perm perm)
+          i
+          (S.to_int (S.get buf i))
+          w)
+    want
+
+let gen_problem =
+  QCheck2.Gen.(
+    let* r = int_range 1 5 in
+    let* dims = array_repeat r (int_range 1 6) in
+    let* perm = shuffle_a (Array.init r Fun.id) in
+    return (dims, perm))
+
+let print_problem (dims, perm) =
+  Format.asprintf "%a by %a" Shape.pp_dims dims Shape.pp_perm perm
+
+let prop_serial_matches_oracle =
+  QCheck2.Test.make ~name:"Tensor_nd.permute matches the oracle" ~count:300
+    ~print:print_problem gen_problem (fun (dims, perm) ->
+      let buf = iota dims in
+      Nd.permute ~dims ~perm buf;
+      let want = expected ~dims ~perm in
+      let good = ref true in
+      Array.iteri
+        (fun i w -> if S.to_int (S.get buf i) <> w then good := false)
+        want;
+      !good)
+
+let prop_inverse_roundtrip =
+  QCheck2.Test.make ~name:"permute then inverse is the identity" ~count:200
+    ~print:print_problem gen_problem (fun (dims, perm) ->
+      let buf = iota dims in
+      Nd.permute ~dims ~perm buf;
+      Nd.permute
+        ~dims:(Shape.permuted_dims ~dims ~perm)
+        ~perm:(Shape.inverse perm) buf;
+      let good = ref true in
+      for i = 0 to S.length buf - 1 do
+        if S.to_int (S.get buf i) <> i then good := false
+      done;
+      !good)
+
+let prop_composition =
+  (* permuting by p then by q equals permuting once by compose p q *)
+  QCheck2.Test.make ~name:"composition of permutes" ~count:200
+    QCheck2.Gen.(
+      let* r = int_range 1 4 in
+      let* dims = array_repeat r (int_range 1 5) in
+      let* p = shuffle_a (Array.init r Fun.id) in
+      let* q = shuffle_a (Array.init r Fun.id) in
+      return (dims, p, q))
+    (fun (dims, p, q) ->
+      let a = iota dims in
+      Nd.permute ~dims ~perm:p a;
+      Nd.permute ~dims:(Shape.permuted_dims ~dims ~perm:p) ~perm:q a;
+      let b = iota dims in
+      Nd.permute ~dims ~perm:(Shape.compose ~first:p ~then_:q) b;
+      let good = ref true in
+      for i = 0 to S.length a - 1 do
+        if S.to_int (S.get a i) <> S.to_int (S.get b i) then good := false
+      done;
+      !good)
+
+let test_degenerate_shapes () =
+  List.iter
+    (fun (dims, perm) ->
+      let buf = iota dims in
+      Nd.permute ~dims ~perm buf;
+      check_against_oracle ~msg:"degenerate" ~dims ~perm buf)
+    [
+      ([| 1 |], [| 0 |]);
+      ([| 7 |], [| 0 |]);
+      ([| 1; 1; 1; 1 |], [| 3; 1; 0; 2 |]);
+      ([| 1; 6; 1 |], [| 2; 0; 1 |]);
+      ([| 4; 4 |], [| 1; 0 |]) (* equal dims: gcd = m = n *);
+      ([| 3; 3; 3 |], [| 2; 1; 0 |]);
+      ([| 2; 1; 2; 1; 2 |], [| 4; 2; 0; 3; 1 |]);
+    ]
+
+let test_exhaustive_rank_le_4 () =
+  (* every permutation of some awkward small shapes, serial execution *)
+  List.iter
+    (fun dims ->
+      let r = Array.length dims in
+      List.iter
+        (fun perm ->
+          let buf = iota dims in
+          Nd.permute ~dims ~perm buf;
+          check_against_oracle ~msg:"exhaustive" ~dims ~perm buf)
+        (all_perms r))
+    [ [| 2; 3 |]; [| 6; 4 |]; [| 2; 3; 4 |]; [| 5; 2; 5 |]; [| 2; 3; 4; 5 |]; [| 3; 1; 4; 2 |] ]
+
+let test_execute_prebuilt_plan () =
+  (* a plan is reusable data: build once, run on two buffers *)
+  let dims = [| 4; 5; 6 |] and perm = [| 2; 0; 1 |] in
+  let plan = Core.Tensor_nd.plan ~dims ~perm in
+  let a = iota dims and b = iota dims in
+  Nd.execute plan a;
+  Nd.execute plan b;
+  check_against_oracle ~msg:"execute a" ~dims ~perm a;
+  check_against_oracle ~msg:"execute b" ~dims ~perm b
+
+let test_errors () =
+  let buf = iota [| 2; 3 |] in
+  Alcotest.check_raises "buffer size"
+    (Invalid_argument "Tensor_nd.permute: buffer size") (fun () ->
+      Nd.permute ~dims:[| 2; 4 |] ~perm:[| 1; 0 |] buf);
+  Alcotest.check_raises "bad perm"
+    (Invalid_argument "Shape.validate: perm is not a permutation of the axes")
+    (fun () -> Nd.permute ~dims:[| 2; 3 |] ~perm:[| 1; 1 |] buf);
+  Alcotest.check_raises "transpose sizes"
+    (Invalid_argument "Tensor_nd.transpose: sizes must be positive") (fun () ->
+      Nd.transpose ~batch:1 ~rows:0 ~cols:3 ~block:1 buf)
+
+let test_tensor3_delegates () =
+  (* the refactored Tensor3.permute (through the planner) agrees with the
+     original hand-written factorization on every rank-3 permutation *)
+  let shapes = [ (2, 3, 4); (4, 6, 2); (5, 5, 5); (1, 7, 3); (8, 1, 1) ] in
+  let perms3 =
+    [ (0, 1, 2); (0, 2, 1); (1, 0, 2); (1, 2, 0); (2, 0, 1); (2, 1, 0) ]
+  in
+  List.iter
+    (fun ((d0, d1, d2) as dims) ->
+      List.iter
+        (fun perm ->
+          let n = d0 * d1 * d2 in
+          let a = S.create n and b = S.create n in
+          for i = 0 to n - 1 do
+            S.set a i (S.of_int i);
+            S.set b i (S.of_int i)
+          done;
+          T3.permute ~dims ~perm a;
+          T3.permute_direct ~dims ~perm b;
+          for i = 0 to n - 1 do
+            if S.to_int (S.get a i) <> S.to_int (S.get b i) then
+              Alcotest.failf
+                "Tensor3 delegation disagrees with permute_direct at %d" i
+          done)
+        perms3)
+    shapes
+
+let test_parallel_matches_oracle () =
+  Pool.with_pool ~workers:2 (fun pool ->
+      List.iter
+        (fun (dims, perm) ->
+          let buf = iota dims in
+          Par.permute pool ~dims ~perm buf;
+          check_against_oracle ~msg:"parallel" ~dims ~perm buf)
+        [
+          ([| 12; 9 |], [| 1; 0 |]);
+          ([| 2; 3; 4 |], [| 2; 1; 0 |]);
+          ([| 6; 5; 4 |], [| 1; 0; 2 |]) (* block transpose path *);
+          ([| 7; 3; 5 |], [| 0; 2; 1 |]) (* batched path *);
+          ([| 3; 4; 5; 2 |], [| 3; 1; 0; 2 |]);
+          ([| 2; 3; 2; 3; 2 |], [| 4; 0; 3; 1; 2 |]);
+          ([| 1; 5; 1 |], [| 2; 1; 0 |]);
+        ])
+
+let prop_parallel_matches_serial =
+  QCheck2.Test.make ~name:"Par_permute = Tensor_nd on random problems"
+    ~count:60 ~print:print_problem gen_problem (fun (dims, perm) ->
+      let a = iota dims and b = iota dims in
+      Nd.permute ~dims ~perm a;
+      Pool.with_pool ~workers:3 (fun pool -> Par.permute pool ~dims ~perm b);
+      let good = ref true in
+      for i = 0 to S.length a - 1 do
+        if S.to_int (S.get a i) <> S.to_int (S.get b i) then good := false
+      done;
+      !good)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_serial_matches_oracle;
+    QCheck_alcotest.to_alcotest prop_inverse_roundtrip;
+    QCheck_alcotest.to_alcotest prop_composition;
+    Alcotest.test_case "degenerate shapes" `Quick test_degenerate_shapes;
+    Alcotest.test_case "all perms of small shapes" `Quick
+      test_exhaustive_rank_le_4;
+    Alcotest.test_case "prebuilt plan reuse" `Quick test_execute_prebuilt_plan;
+    Alcotest.test_case "error reporting" `Quick test_errors;
+    Alcotest.test_case "Tensor3 delegation = direct kernels" `Quick
+      test_tensor3_delegates;
+    Alcotest.test_case "pool-parallel against oracle" `Quick
+      test_parallel_matches_oracle;
+    QCheck_alcotest.to_alcotest prop_parallel_matches_serial;
+  ]

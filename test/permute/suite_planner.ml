@@ -1,0 +1,231 @@
+open Xpose_permute
+module Core = Xpose_core
+
+let rec perms = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun rest -> x :: rest) (perms (List.filter (( <> ) x) l)))
+        l
+
+let all_perms r = List.map Array.of_list (perms (List.init r Fun.id))
+
+(* distinct primes so no pair of axes ever fuses by accident and every
+   dimension is identifiable in a pass shape *)
+let prime_dims r = Array.sub [| 2; 3; 5; 7; 11 |] 0 r
+
+let test_identity_is_free () =
+  List.iter
+    (fun (dims, perm) ->
+      let p = Permute.plan ~dims ~perm () in
+      Alcotest.(check int) "no passes" 0 p.Permute.cost.Cost.passes;
+      Alcotest.(check int) "no touches" 0 p.Permute.cost.Cost.touches;
+      Alcotest.(check int) "no steps" 0 (List.length p.Permute.steps))
+    [
+      ([| 4; 5; 6 |], [| 0; 1; 2 |]);
+      ([| 7 |], [| 0 |]);
+      ([| 1; 9; 1 |], [| 2; 1; 0 |]) (* only size-1 axes move *);
+      ([| 1; 1; 1; 1 |], [| 3; 0; 2; 1 |]);
+    ]
+
+(* simulate a pass sequence on linear indices and compare against the
+   permuted_index oracle: proves a candidate is a correct factorization
+   without touching any storage *)
+let steps_realize_perm ~dims ~perm steps =
+  let total = Shape.nelems dims in
+  let pos = Array.init total Fun.id in
+  (* pos.(l) = current linear position of the element born at l *)
+  List.iter
+    (fun { Decompose.pass = { Decompose.batch = _; rows; cols; block }; _ } ->
+      for e = 0 to total - 1 do
+        let cur = pos.(e) in
+        let blk = cur mod block in
+        let rest = cur / block in
+        let c = rest mod cols in
+        let rest = rest / cols in
+        let r = rest mod rows in
+        let b = rest / rows in
+        pos.(e) <- (((((b * cols) + c) * rows) + r) * block) + blk
+      done)
+    steps;
+  let ok = ref true in
+  for l = 0 to total - 1 do
+    let idx = Shape.multi_index ~dims l in
+    if pos.(l) <> Shape.permuted_index ~dims ~perm idx then ok := false
+  done;
+  !ok
+
+let test_pass_bound_and_correctness () =
+  (* acceptance criterion: <= 3 primitive passes after fusion for every
+     permutation of rank <= 5; and every candidate actually realizes the
+     requested permutation *)
+  List.iter
+    (fun r ->
+      let dims = prime_dims r in
+      List.iter
+        (fun perm ->
+          let cands = Permute.candidates ~dims ~perm () in
+          Alcotest.(check bool) "has candidates" true (cands <> []);
+          List.iter
+            (fun (p : Permute.plan) ->
+              let npass = List.length p.Permute.steps in
+              if npass > 3 then
+                Alcotest.failf "rank %d perm %s: %d passes" r
+                  (Format.asprintf "%a" Shape.pp_perm perm)
+                  npass;
+              Alcotest.(check bool)
+                "candidate realizes the permutation" true
+                (steps_realize_perm ~dims ~perm p.Permute.steps))
+            cands)
+        (all_perms r))
+    [ 2; 3; 4; 5 ]
+
+let test_rank3_matches_diameter () =
+  (* normalized rank 3 needs at most 2 passes (transposition diameter) *)
+  let dims = prime_dims 3 in
+  List.iter
+    (fun perm ->
+      let p = Permute.plan ~dims ~perm () in
+      Alcotest.(check bool)
+        "rank-3 plan has <= 2 passes" true
+        (List.length p.Permute.steps <= 2))
+    (all_perms 3)
+
+let test_fusion_finds_single_flat_pass () =
+  (* (2,0,1) and (1,2,0) on rank 3 are single flat transposes in disguise *)
+  List.iter
+    (fun (perm, rows, cols) ->
+      let p = Permute.plan ~dims:[| 2; 3; 4 |] ~perm () in
+      match p.Permute.steps with
+      | [ { Decompose.pass; _ } ] ->
+          Alcotest.(check int) "batch" 1 pass.Decompose.batch;
+          Alcotest.(check int) "block" 1 pass.Decompose.block;
+          Alcotest.(check int) "rows" rows pass.Decompose.rows;
+          Alcotest.(check int) "cols" cols pass.Decompose.cols
+      | steps -> Alcotest.failf "expected 1 pass, got %d" (List.length steps))
+    [ ([| 2; 0; 1 |], 6, 4); ([| 1; 2; 0 |], 2, 12) ]
+
+let test_plan_is_cheapest () =
+  List.iter
+    (fun r ->
+      let dims = prime_dims r in
+      List.iter
+        (fun perm ->
+          match Permute.candidates ~dims ~perm () with
+          | [] -> Alcotest.fail "no candidates"
+          | best :: rest ->
+              List.iter
+                (fun (c : Permute.plan) ->
+                  Alcotest.(check bool)
+                    "head is cheapest" true
+                    (Cost.compare best.Permute.cost c.Permute.cost <= 0))
+                rest)
+        (all_perms r))
+    [ 3; 4 ]
+
+let test_plan_arith_matches_theory () =
+  (* the O(1) closed form fed to the planner equals the instrumented
+     Theorem 6 count from lib/core/theory.ml *)
+  for m = 2 to 24 do
+    for n = 2 to m do
+      let p = Core.Plan.make ~m ~n in
+      let work, space = Core.Theory.theorem6_work_and_space p in
+      Alcotest.(check int)
+        (Printf.sprintf "touches %dx%d" m n)
+        work
+        (Core.Tensor_nd.plan_arith.Cost.transpose_touches ~m ~n);
+      Alcotest.(check int)
+        (Printf.sprintf "scratch %dx%d" m n)
+        space
+        (Core.Tensor_nd.plan_arith.Cost.transpose_scratch ~m ~n)
+    done
+  done
+
+let test_default_arith_matches_theory () =
+  (* Cost.theorem6_arith restates the same closed form *)
+  for m = 2 to 24 do
+    for n = 2 to m do
+      let p = Core.Plan.make ~m ~n in
+      let work, _ = Core.Theory.theorem6_work_and_space p in
+      Alcotest.(check int)
+        (Printf.sprintf "touches %dx%d" m n)
+        work
+        (Cost.theorem6_arith.Cost.transpose_touches ~m ~n)
+    done
+  done
+
+let test_aos_soa_is_single_pass () =
+  (* NCHW -> NHWC: H and W fuse, one batched transpose remains *)
+  let p = Permute.plan ~dims:[| 8; 3; 5; 7 |] ~perm:[| 0; 2; 3; 1 |] () in
+  match p.Permute.steps with
+  | [ { Decompose.pass; _ } ] ->
+      Alcotest.(check int) "batch" 8 pass.Decompose.batch;
+      Alcotest.(check int) "rows" 3 pass.Decompose.rows;
+      Alcotest.(check int) "cols" 35 pass.Decompose.cols;
+      Alcotest.(check int) "block" 1 pass.Decompose.block
+  | steps -> Alcotest.failf "expected 1 pass, got %d" (List.length steps)
+
+let test_blocked_beats_flat_on_score () =
+  (* (1,0,2) moves whole rows of the last axis: the planner must keep the
+     contiguous block (block transpose) rather than flatten it away *)
+  let p = Permute.plan ~dims:[| 16; 16; 8 |] ~perm:[| 1; 0; 2 |] () in
+  match p.Permute.steps with
+  | [ { Decompose.pass; _ } ] ->
+      Alcotest.(check int) "block" 8 pass.Decompose.block;
+      Alcotest.(check int) "rows" 16 pass.Decompose.rows
+  | steps -> Alcotest.failf "expected 1 pass, got %d" (List.length steps)
+
+let test_high_rank_constructive () =
+  (* above the search rank limit the constructive fallback still returns
+     a correct sequence of at most rank-1 passes *)
+  let dims = [| 2; 3; 2; 3; 2; 3; 2; 3 |] in
+  let perm = [| 7; 5; 3; 1; 6; 4; 2; 0 |] in
+  Shape.validate ~dims ~perm;
+  let p = Permute.plan ~dims ~perm () in
+  let n = Shape.normalize ~dims ~perm in
+  Alcotest.(check bool)
+    "passes <= normalized rank - 1" true
+    (List.length p.Permute.steps <= Shape.rank n.Shape.dims - 1);
+  Alcotest.(check bool)
+    "constructive sequence is correct" true
+    (steps_realize_perm ~dims ~perm p.Permute.steps)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_pp_plan_smoke () =
+  let p = Permute.plan ~dims:[| 2; 3; 4 |] ~perm:[| 2; 1; 0 |] () in
+  let s = Format.asprintf "%a" Permute.pp_plan p in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "plan mentions %S" sub) true
+        (contains_sub s sub))
+    [ "2x3x4"; "(2,1,0)"; "predicted" ]
+
+let tests =
+  [
+    Alcotest.test_case "identity after fusion is free" `Quick
+      test_identity_is_free;
+    Alcotest.test_case "<= 3 passes and correct, all perms rank <= 5" `Quick
+      test_pass_bound_and_correctness;
+    Alcotest.test_case "rank 3 within diameter 2" `Quick
+      test_rank3_matches_diameter;
+    Alcotest.test_case "fusion finds the flat transpose" `Quick
+      test_fusion_finds_single_flat_pass;
+    Alcotest.test_case "plan head is cheapest candidate" `Quick
+      test_plan_is_cheapest;
+    Alcotest.test_case "plan_arith = theorem6_work_and_space" `Quick
+      test_plan_arith_matches_theory;
+    Alcotest.test_case "theorem6_arith = theorem6_work_and_space" `Quick
+      test_default_arith_matches_theory;
+    Alcotest.test_case "NCHW->NHWC is one batched pass" `Quick
+      test_aos_soa_is_single_pass;
+    Alcotest.test_case "planner keeps contiguous blocks" `Quick
+      test_blocked_beats_flat_on_score;
+    Alcotest.test_case "constructive fallback above rank limit" `Quick
+      test_high_rank_constructive;
+    Alcotest.test_case "pp_plan smoke" `Quick test_pp_plan_smoke;
+  ]

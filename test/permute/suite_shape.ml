@@ -1,0 +1,149 @@
+open Xpose_permute
+
+let arr = Alcotest.(array int)
+
+(* all permutations of [0 .. r-1], lexicographic *)
+let rec perms = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun rest -> x :: rest) (perms (List.filter (( <> ) x) l)))
+        l
+
+let all_perms r = List.map Array.of_list (perms (List.init r Fun.id))
+
+let test_validate () =
+  Shape.validate ~dims:[| 2; 3 |] ~perm:[| 1; 0 |];
+  Shape.validate ~dims:[| 5 |] ~perm:[| 0 |];
+  Alcotest.check_raises "rank mismatch"
+    (Invalid_argument "Shape.validate: perm and dims must have the same rank")
+    (fun () -> Shape.validate ~dims:[| 2; 3 |] ~perm:[| 0 |]);
+  Alcotest.check_raises "bad dim"
+    (Invalid_argument "Shape.validate: dimensions must be positive") (fun () ->
+      Shape.validate ~dims:[| 2; 0 |] ~perm:[| 0; 1 |]);
+  Alcotest.check_raises "not a perm"
+    (Invalid_argument "Shape.validate: perm is not a permutation of the axes")
+    (fun () -> Shape.validate ~dims:[| 2; 3 |] ~perm:[| 0; 0 |])
+
+let test_inverse_compose () =
+  List.iter
+    (fun r ->
+      List.iter
+        (fun p ->
+          let inv = Shape.inverse p in
+          Alcotest.check arr "p . p^-1 = id"
+            (Shape.identity r)
+            (Shape.compose ~first:p ~then_:inv);
+          Alcotest.check arr "p^-1 . p = id"
+            (Shape.identity r)
+            (Shape.compose ~first:inv ~then_:p))
+        (all_perms r))
+    [ 1; 2; 3; 4 ]
+
+let test_linear_roundtrip () =
+  let dims = [| 3; 4; 5 |] in
+  for l = 0 to Shape.nelems dims - 1 do
+    Alcotest.(check int)
+      "linear . multi = id" l
+      (Shape.linear_index ~dims (Shape.multi_index ~dims l))
+  done
+
+let test_permuted_index_matches_tensor3 () =
+  (* the rank-N oracle must agree with the rank-3 oracle of Tensor3 *)
+  let module T3 = Xpose_core.Tensor3.Make (Xpose_core.Storage.Int_elt) in
+  let dims3 = (3, 4, 5) and dims = [| 3; 4; 5 |] in
+  List.iter
+    (fun perm ->
+      let p0 = perm.(0) and p1 = perm.(1) and p2 = perm.(2) in
+      for i0 = 0 to 2 do
+        for i1 = 0 to 3 do
+          for i2 = 0 to 4 do
+            Alcotest.(check int)
+              "oracles agree"
+              (T3.permuted_index ~dims:dims3 ~perm:(p0, p1, p2) (i0, i1, i2))
+              (Shape.permuted_index ~dims ~perm [| i0; i1; i2 |])
+          done
+        done
+      done)
+    (all_perms 3)
+
+let check_normalized ~dims ~perm (ndims, nperm) =
+  let n = Shape.normalize ~dims ~perm in
+  Alcotest.check arr "normalized dims" ndims n.Shape.dims;
+  Alcotest.check arr "normalized perm" nperm n.Shape.perm
+
+let test_normalize_cases () =
+  (* identity fuses completely *)
+  check_normalized ~dims:[| 2; 3; 4 |] ~perm:[| 0; 1; 2 |] ([| 24 |], [| 0 |]);
+  (* (2,0,1): leading pair stays adjacent -> rank 2 *)
+  check_normalized ~dims:[| 2; 3; 4 |] ~perm:[| 2; 0; 1 |] ([| 6; 4 |], [| 1; 0 |]);
+  (* (1,2,0): trailing pair stays adjacent -> rank 2 *)
+  check_normalized ~dims:[| 2; 3; 4 |] ~perm:[| 1; 2; 0 |] ([| 2; 12 |], [| 1; 0 |]);
+  (* (2,1,0) has nothing to fuse *)
+  check_normalized ~dims:[| 2; 3; 4 |] ~perm:[| 2; 1; 0 |]
+    ([| 2; 3; 4 |], [| 2; 1; 0 |]);
+  (* size-1 axes vanish *)
+  check_normalized ~dims:[| 2; 1; 3 |] ~perm:[| 0; 2; 1 |] ([| 6 |], [| 0 |]);
+  check_normalized ~dims:[| 1; 1; 1 |] ~perm:[| 2; 0; 1 |] ([||], [||]);
+  (* dropping a size-1 axis can enable a fusion across it *)
+  check_normalized ~dims:[| 2; 1; 3; 4 |] ~perm:[| 3; 0; 2; 1 |]
+    ([| 6; 4 |], [| 1; 0 |]);
+  (* NCHW -> NHWC: H and W stay fused *)
+  check_normalized ~dims:[| 8; 3; 5; 7 |] ~perm:[| 0; 2; 3; 1 |]
+    ([| 8; 3; 35 |], [| 0; 2; 1 |])
+
+let test_normalize_groups_cover () =
+  (* groups partition the non-unit axes and their products give the dims *)
+  let dims = [| 2; 1; 3; 4; 5 |] and perm = [| 3; 4; 0; 2; 1 |] in
+  let n = Shape.normalize ~dims ~perm in
+  let covered = Array.concat (Array.to_list n.Shape.groups) in
+  let sorted = Array.copy covered in
+  Array.sort compare sorted;
+  Alcotest.check arr "covers non-unit axes" [| 0; 2; 3; 4 |] sorted;
+  Array.iteri
+    (fun g members ->
+      Alcotest.(check int)
+        "group product"
+        n.Shape.dims.(g)
+        (Array.fold_left (fun acc ax -> acc * dims.(ax)) 1 members))
+    n.Shape.groups
+
+let prop_normalize_preserves_oracle =
+  (* moving an element through the normalized problem lands where the
+     original oracle says it should *)
+  QCheck2.Test.make ~name:"normalization preserves the permutation" ~count:200
+    QCheck2.Gen.(
+      let* r = int_range 1 5 in
+      let* dims = array_repeat r (int_range 1 4) in
+      let* perm = shuffle_a (Array.init r Fun.id) in
+      return (dims, perm))
+    (fun (dims, perm) ->
+      let n = Shape.normalize ~dims ~perm in
+      let total = Shape.nelems dims in
+      Shape.nelems n.Shape.dims = total
+      && List.for_all
+           (fun l ->
+             let idx = Shape.multi_index ~dims l in
+             let via_original = Shape.permuted_index ~dims ~perm idx in
+             (* map l through the normalized problem: positions agree *)
+             let nl =
+               if Array.length n.Shape.dims = 0 then 0
+               else
+                 Shape.permuted_index ~dims:n.Shape.dims ~perm:n.Shape.perm
+                   (Shape.multi_index ~dims:n.Shape.dims l)
+             in
+             nl = via_original)
+           (List.init total Fun.id))
+
+let tests =
+  [
+    Alcotest.test_case "validate" `Quick test_validate;
+    Alcotest.test_case "inverse/compose" `Quick test_inverse_compose;
+    Alcotest.test_case "linear index roundtrip" `Quick test_linear_roundtrip;
+    Alcotest.test_case "oracle matches Tensor3" `Quick
+      test_permuted_index_matches_tensor3;
+    Alcotest.test_case "normalization cases" `Quick test_normalize_cases;
+    Alcotest.test_case "normalization groups" `Quick test_normalize_groups_cover;
+    QCheck_alcotest.to_alcotest prop_normalize_preserves_oracle;
+  ]

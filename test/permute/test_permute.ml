@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "xpose_permute"
+    [
+      ("shape", Suite_shape.tests);
+      ("planner", Suite_planner.tests);
+      ("exec", Suite_exec.tests);
+    ]
