@@ -298,13 +298,74 @@ let all_tests =
       permute_tests;
     ]
 
+(* -- machine-readable sink ----------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~file ~quick rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"suite\": \"xpose\",\n";
+  Printf.bprintf b "  \"quick\": %b,\n" quick;
+  Buffer.add_string b "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, est) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Printf.bprintf b "    {\"name\": \"%s\", \"ns_per_run\": %s}"
+        (json_escape name)
+        (match est with
+        | Some e when Float.is_finite e -> Printf.sprintf "%.3f" e
+        | _ -> "null"))
+    rows;
+  Buffer.add_string b "\n  ],\n  \"counters\": {\n";
+  let counters =
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | Xpose_obs.Metrics.Counter c -> Some (name, c)
+        | _ -> None)
+      (Xpose_obs.Metrics.dump ())
+  in
+  List.iteri
+    (fun i (name, c) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Printf.bprintf b "    \"%s\": %d" (json_escape name) c)
+    counters;
+  Buffer.add_string b "\n  }\n}\n";
+  let oc = open_out file in
+  Buffer.output_buffer oc b;
+  close_out oc
+
 let () =
+  (* [--quick] shrinks each benchmark's quota to a dry run (CI uses it to
+     validate the pipeline and the JSON output, not the numbers);
+     [--out FILE] overrides the JSON destination. *)
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let out = ref "BENCH_xpose.json" in
+  Array.iteri
+    (fun i a ->
+      if String.equal a "--out" && i + 1 < Array.length Sys.argv then
+        out := Sys.argv.(i + 1))
+    Sys.argv;
+  Xpose_obs.Clock.install (fun () -> Unix.gettimeofday () *. 1e9);
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let benchmark_cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:true ()
+    if quick then
+      Benchmark.cfg ~limit:20 ~quota:(Time.second 0.005) ~stabilize:false ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:true ()
   in
   let raw = Benchmark.all benchmark_cfg instances all_tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -312,9 +373,17 @@ let () =
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   Printf.printf "%-60s %14s\n" "benchmark" "ns/run";
   Printf.printf "%s\n" (String.make 75 '-');
-  List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Printf.printf "%-60s %14.1f\n" name est
-      | Some _ | None -> Printf.printf "%-60s %14s\n" name "n/a")
-    rows
+  let estimates =
+    List.map
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] ->
+            Printf.printf "%-60s %14.1f\n" name est;
+            (name, Some est)
+        | Some _ | None ->
+            Printf.printf "%-60s %14s\n" name "n/a";
+            (name, None))
+      rows
+  in
+  write_json ~file:!out ~quick estimates;
+  Printf.printf "wrote %s (%d benchmarks)\n" !out (List.length estimates)

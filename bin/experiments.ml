@@ -75,4 +75,6 @@ let main =
   in
   Cmd.group (Cmd.info "experiments" ~doc) [ list_cmd; run_cmd; all_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  Xpose_obs.Clock.install (fun () -> Unix.gettimeofday () *. 1e9);
+  exit (Cmd.eval main)

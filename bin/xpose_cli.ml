@@ -9,6 +9,48 @@
 open Cmdliner
 open Xpose_core
 
+(* Global observability flags, shared by every subcommand: [--trace FILE]
+   records spans for the whole invocation and writes Chrome trace_event
+   JSON (Perfetto-loadable) on exit; [--metrics] dumps the metrics
+   registry on exit. *)
+let obs_args =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a trace of the whole invocation and write it to $(docv) \
+             as Chrome trace_event JSON (load it at ui.perfetto.dev).")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the metrics registry on exit (one line per metric).")
+  in
+  let setup trace metrics =
+    Xpose_obs.Clock.install (fun () -> Unix.gettimeofday () *. 1e9);
+    if trace <> None then Xpose_obs.Tracer.start ();
+    at_exit (fun () ->
+        (match trace with
+        | None -> ()
+        | Some file ->
+            Xpose_obs.Tracer.stop ();
+            let oc = open_out file in
+            output_string oc (Xpose_obs.Tracer.to_chrome_json ());
+            close_out oc;
+            Printf.eprintf "trace written to %s (%d events)\n%!" file
+              (List.length (Xpose_obs.Tracer.events ())));
+        if metrics then print_string (Xpose_obs.Metrics.render ()))
+  in
+  Term.(const setup $ trace_arg $ metrics_arg)
+
+(* [cmd info term] is [Cmd.v] with the observability flags grafted on
+   (the setup side effects run before the command body). *)
+let cmd info term =
+  Cmd.v info Term.(ret (const (fun () r -> r) $ obs_args $ term))
+
 let m_arg =
   Arg.(required & opt (some int) None & info [ "m"; "rows" ] ~docv:"M" ~doc:"Rows.")
 
@@ -46,7 +88,7 @@ let demo_cmd =
       `Ok ()
     end
   in
-  Cmd.v (Cmd.info "demo" ~doc) Term.(ret (const run $ m_arg $ n_arg))
+  cmd (Cmd.info "demo" ~doc) Term.(const run $ m_arg $ n_arg)
 
 let elements_arg =
   Arg.(
@@ -94,9 +136,8 @@ let transpose_cmd =
       `Ok ()
     end
   in
-  Cmd.v (Cmd.info "transpose" ~doc)
-    Term.(
-      ret (const run $ m_arg $ n_arg $ algorithm_arg $ order_arg $ elements_arg))
+  cmd (Cmd.info "transpose" ~doc)
+    Term.(const run $ m_arg $ n_arg $ algorithm_arg $ order_arg $ elements_arg)
 
 let rotate_cmd =
   let doc = "Rotate the given M x N elements a quarter or half turn in place." in
@@ -140,8 +181,8 @@ let rotate_cmd =
       `Ok ()
     end
   in
-  Cmd.v (Cmd.info "rotate" ~doc)
-    Term.(ret (const run $ m_arg $ n_arg $ dir_arg $ elements_arg))
+  cmd (Cmd.info "rotate" ~doc)
+    Term.(const run $ m_arg $ n_arg $ dir_arg $ elements_arg)
 
 let plan_cmd =
   let doc = "Print the transposition plan and permutation structure for M x N." in
@@ -171,7 +212,7 @@ let plan_cmd =
       `Ok ()
     end
   in
-  Cmd.v (Cmd.info "plan" ~doc) Term.(ret (const run $ m_arg $ n_arg))
+  cmd (Cmd.info "plan" ~doc) Term.(const run $ m_arg $ n_arg)
 
 let bench_cmd =
   let doc = "Time one in-place transpose of an M x N float64 matrix." in
@@ -198,8 +239,7 @@ let bench_cmd =
       else `Error (false, "verification failed")
     end
   in
-  Cmd.v (Cmd.info "bench" ~doc)
-    Term.(ret (const run $ m_arg $ n_arg $ algorithm_arg))
+  cmd (Cmd.info "bench" ~doc) Term.(const run $ m_arg $ n_arg $ algorithm_arg)
 
 let permute_cmd =
   let doc =
@@ -265,12 +305,112 @@ let permute_cmd =
         end
         else `Error (false, "verification failed")
   in
-  Cmd.v (Cmd.info "permute" ~doc)
-    Term.(ret (const run $ dims_arg $ perm_arg $ all_arg))
+  cmd (Cmd.info "permute" ~doc)
+    Term.(const run $ dims_arg $ perm_arg $ all_arg)
+
+let report_cmd =
+  let doc =
+    "Run one traced in-place transpose of an M x N float64 matrix on a \
+     worker pool and print the per-pass predicted-vs-measured report: \
+     Theorem-6 element touches, measured time, relative error of the \
+     touch-proportional time model, and pool load imbalance."
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"W"
+          ~doc:"Worker domains for the pool (1 runs serially).")
+  in
+  let repeats_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeats" ] ~docv:"R"
+          ~doc:"Trace $(docv) runs and report the fastest one.")
+  in
+  let no_times_arg =
+    Arg.(
+      value & flag
+      & info [ "no-times" ]
+          ~doc:
+            "Omit the wall-clock-derived columns (measured time, relative \
+             error, imbalance) so the output is deterministic.")
+  in
+  let run m n algorithm workers repeats no_times =
+    if m < 1 || n < 1 then `Error (false, "dimensions must be positive")
+    else if workers < 1 then `Error (false, "workers must be >= 1")
+    else if repeats < 1 then `Error (false, "repeats must be >= 1")
+    else begin
+      let module PT = Xpose_cpu.Par_transpose.Make (S) in
+      (* §5.2 heuristic, as in [transpose]: more rows than columns
+         favours C2R; both orientations transpose the row-major m x n
+         buffer in place. *)
+      let algorithm =
+        match algorithm with
+        | `Auto -> if m > n then `C2r else `R2c
+        | (`C2r | `R2c | `Cycle) as a -> a
+      in
+      match algorithm with
+      | `Cycle -> `Error (false, "report: algorithm must be c2r or r2c")
+      | (`C2r | `R2c) as algorithm ->
+          let transpose_once pool buf =
+            match algorithm with
+            | `C2r -> PT.c2r pool (Plan.make ~m ~n) buf
+            | `R2c -> PT.r2c pool (Plan.make ~m:n ~n:m) buf
+          in
+          let buf = S.create (m * n) in
+          let best = ref None in
+          Xpose_cpu.Pool.with_pool ~workers (fun pool ->
+              for _ = 1 to repeats do
+                Storage.fill_iota (module S) buf;
+                Xpose_obs.Tracer.start ();
+                transpose_once pool buf;
+                Xpose_obs.Tracer.stop ();
+                let r =
+                  Xpose_obs.Report.of_events (Xpose_obs.Tracer.events ())
+                in
+                match !best with
+                | Some (b : Xpose_obs.Report.t)
+                  when b.total_ns <= r.Xpose_obs.Report.total_ns ->
+                    ()
+                | _ -> best := Some r
+              done);
+          let ok = ref true in
+          for l = 0 to (m * n) - 1 do
+            if S.get buf l <> float_of_int ((n * (l mod m)) + (l / m)) then
+              ok := false
+          done;
+          if not !ok then `Error (false, "verification failed")
+          else begin
+            Printf.printf "%d x %d float64 %s, %d worker%s, best of %d:\n" m n
+              (match algorithm with `C2r -> "c2r" | `R2c -> "r2c")
+              workers
+              (if workers = 1 then "" else "s")
+              repeats;
+            (match !best with
+            | None -> ()
+            | Some r ->
+                print_string
+                  (Xpose_obs.Report.render ~show_times:(not no_times) r));
+            `Ok ()
+          end
+    end
+  in
+  cmd (Cmd.info "report" ~doc)
+    Term.(
+      const run $ m_arg $ n_arg $ algorithm_arg $ workers_arg $ repeats_arg
+      $ no_times_arg)
 
 let main =
   let doc = "In-place matrix transposition by decomposition (PPoPP 2014)." in
   Cmd.group (Cmd.info "xpose" ~doc)
-    [ demo_cmd; transpose_cmd; rotate_cmd; plan_cmd; bench_cmd; permute_cmd ]
+    [
+      demo_cmd;
+      transpose_cmd;
+      rotate_cmd;
+      plan_cmd;
+      bench_cmd;
+      permute_cmd;
+      report_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -104,23 +104,41 @@ module Make (S : Storage.S) = struct
       done
   end
 
+  (* One observability span per permutation pass: the shape, the exact
+     Theorem-6 element-touch count of the pass (Pass_cost), and the
+     scratch it needs. Zero-cost when the tracer is off beyond one flag
+     read per pass — never per element. *)
+  let obs_pass (p : Plan.t) name ~pred f =
+    Xpose_obs.Tracer.pass ~name ~rows:p.m ~cols:p.n ~pred_touches:pred
+      ~scratch_elems:(Plan.scratch_elements p) f
+
   let c2r ?(variant = C2r_gather) (p : Plan.t) buf ~tmp =
     check_args p buf ~tmp;
     let m = p.m and n = p.n in
     if m = 1 || n = 1 then ()
     else begin
-      if not (Plan.coprime p) then
-        Phases.rotate_columns p buf ~tmp ~amount:(Plan.rotate_amount p) ~lo:0
-          ~hi:n;
+      if not (Plan.coprime p) then begin
+        let amount = Plan.rotate_amount p in
+        obs_pass p "rotate_pre" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
+            Phases.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n)
+      end;
       (match variant with
-      | C2r_scatter -> Phases.row_shuffle_scatter p buf ~tmp ~lo:0 ~hi:m
+      | C2r_scatter ->
+          obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+              Phases.row_shuffle_scatter p buf ~tmp ~lo:0 ~hi:m)
       | C2r_gather | C2r_decomposed ->
-          Phases.row_shuffle_gather p buf ~tmp ~lo:0 ~hi:m);
+          obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+              Phases.row_shuffle_gather p buf ~tmp ~lo:0 ~hi:m));
       match variant with
-      | C2r_scatter | C2r_gather -> Phases.col_shuffle_gather p buf ~tmp ~lo:0 ~hi:n
+      | C2r_scatter | C2r_gather ->
+          obs_pass p "col_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+              Phases.col_shuffle_gather p buf ~tmp ~lo:0 ~hi:n)
       | C2r_decomposed ->
-          Phases.rotate_columns p buf ~tmp ~amount:(fun j -> j) ~lo:0 ~hi:n;
-          Phases.permute_rows p buf ~tmp ~index:(Plan.q p) ~lo:0 ~hi:n
+          let amount j = j in
+          obs_pass p "col_rotate" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
+              Phases.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n);
+          obs_pass p "row_permute" ~pred:(Pass_cost.permute_rows p) (fun () ->
+              Phases.permute_rows p buf ~tmp ~index:(Plan.q p) ~lo:0 ~hi:n)
     end
 
   let r2c ?(variant = R2c_fused) (p : Plan.t) buf ~tmp =
@@ -129,15 +147,23 @@ module Make (S : Storage.S) = struct
     if m = 1 || n = 1 then ()
     else begin
       (match variant with
-      | R2c_fused -> Phases.col_shuffle_ungather p buf ~tmp ~lo:0 ~hi:n
+      | R2c_fused ->
+          obs_pass p "col_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+              Phases.col_shuffle_ungather p buf ~tmp ~lo:0 ~hi:n)
       | R2c_decomposed ->
-          Phases.permute_rows p buf ~tmp ~index:(Plan.q_inv p) ~lo:0 ~hi:n;
-          Phases.rotate_columns p buf ~tmp ~amount:(fun j -> -j) ~lo:0 ~hi:n);
-      Phases.row_shuffle_ungather p buf ~tmp ~lo:0 ~hi:m;
-      if not (Plan.coprime p) then
-        Phases.rotate_columns p buf ~tmp
-          ~amount:(fun j -> -Plan.rotate_amount p j)
-          ~lo:0 ~hi:n
+          obs_pass p "row_unpermute" ~pred:(Pass_cost.permute_rows p)
+            (fun () ->
+              Phases.permute_rows p buf ~tmp ~index:(Plan.q_inv p) ~lo:0 ~hi:n);
+          let amount j = -j in
+          obs_pass p "col_unrotate" ~pred:(Pass_cost.rotate p ~amount)
+            (fun () -> Phases.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n));
+      obs_pass p "row_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+          Phases.row_shuffle_ungather p buf ~tmp ~lo:0 ~hi:m);
+      if not (Plan.coprime p) then begin
+        let amount j = -Plan.rotate_amount p j in
+        obs_pass p "rotate_post" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
+            Phases.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n)
+      end
     end
 
   (* A row-major m x n matrix is transposed by C2R on plan (m, n) (Thm. 1)

@@ -91,24 +91,39 @@ module Phases = struct
     done
 end
 
+(* Same per-pass observability hook as Algo.Make (one span per pass;
+   nothing per element, so the specialized kernels keep their speed). *)
+let obs_pass (p : Plan.t) name ~pred f =
+  Xpose_obs.Tracer.pass ~name ~rows:p.m ~cols:p.n ~pred_touches:pred
+    ~scratch_elems:(Plan.scratch_elements p) f
+
 let c2r ?(variant = Algo.C2r_gather) (p : Plan.t) buf ~tmp =
   check_args p buf ~tmp;
   let m = p.m and n = p.n in
   if m = 1 || n = 1 then ()
   else begin
-    if not (Plan.coprime p) then
-      Phases.rotate_columns p buf ~tmp ~amount:(Plan.rotate_amount p) ~lo:0
-        ~hi:n;
+    if not (Plan.coprime p) then begin
+      let amount = Plan.rotate_amount p in
+      obs_pass p "rotate_pre" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
+          Phases.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n)
+    end;
     (match variant with
-    | Algo.C2r_scatter -> Phases.row_shuffle_scatter p buf ~tmp ~lo:0 ~hi:m
+    | Algo.C2r_scatter ->
+        obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+            Phases.row_shuffle_scatter p buf ~tmp ~lo:0 ~hi:m)
     | Algo.C2r_gather | Algo.C2r_decomposed ->
-        Phases.row_shuffle_gather p buf ~tmp ~lo:0 ~hi:m);
+        obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+            Phases.row_shuffle_gather p buf ~tmp ~lo:0 ~hi:m));
     match variant with
     | Algo.C2r_scatter | Algo.C2r_gather ->
-        Phases.col_shuffle_gather p buf ~tmp ~lo:0 ~hi:n
+        obs_pass p "col_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+            Phases.col_shuffle_gather p buf ~tmp ~lo:0 ~hi:n)
     | Algo.C2r_decomposed ->
-        Phases.rotate_columns p buf ~tmp ~amount:(fun j -> j) ~lo:0 ~hi:n;
-        Phases.permute_rows p buf ~tmp ~index:(Plan.q p) ~lo:0 ~hi:n
+        let amount j = j in
+        obs_pass p "col_rotate" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
+            Phases.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n);
+        obs_pass p "row_permute" ~pred:(Pass_cost.permute_rows p) (fun () ->
+            Phases.permute_rows p buf ~tmp ~index:(Plan.q p) ~lo:0 ~hi:n)
   end
 
 let r2c ?(variant = Algo.R2c_fused) (p : Plan.t) buf ~tmp =
@@ -117,15 +132,22 @@ let r2c ?(variant = Algo.R2c_fused) (p : Plan.t) buf ~tmp =
   if m = 1 || n = 1 then ()
   else begin
     (match variant with
-    | Algo.R2c_fused -> Phases.col_shuffle_ungather p buf ~tmp ~lo:0 ~hi:n
+    | Algo.R2c_fused ->
+        obs_pass p "col_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+            Phases.col_shuffle_ungather p buf ~tmp ~lo:0 ~hi:n)
     | Algo.R2c_decomposed ->
-        Phases.permute_rows p buf ~tmp ~index:(Plan.q_inv p) ~lo:0 ~hi:n;
-        Phases.rotate_columns p buf ~tmp ~amount:(fun j -> -j) ~lo:0 ~hi:n);
-    Phases.row_shuffle_ungather p buf ~tmp ~lo:0 ~hi:m;
-    if not (Plan.coprime p) then
-      Phases.rotate_columns p buf ~tmp
-        ~amount:(fun j -> -Plan.rotate_amount p j)
-        ~lo:0 ~hi:n
+        obs_pass p "row_unpermute" ~pred:(Pass_cost.permute_rows p) (fun () ->
+            Phases.permute_rows p buf ~tmp ~index:(Plan.q_inv p) ~lo:0 ~hi:n);
+        let amount j = -j in
+        obs_pass p "col_unrotate" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
+            Phases.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n));
+    obs_pass p "row_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+        Phases.row_shuffle_ungather p buf ~tmp ~lo:0 ~hi:m);
+    if not (Plan.coprime p) then begin
+      let amount j = -Plan.rotate_amount p j in
+      obs_pass p "rotate_post" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
+          Phases.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n)
+    end
   end
 
 let transpose ?(order = Layout.Row_major) ~m ~n buf =

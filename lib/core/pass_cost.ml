@@ -1,0 +1,11 @@
+let shuffle (p : Plan.t) = 2 * p.m * p.n
+
+let rotate (p : Plan.t) ~amount =
+  let m = p.m in
+  let moved = ref 0 in
+  for j = 0 to p.n - 1 do
+    if Intmath.emod (amount j) m <> 0 then incr moved
+  done;
+  2 * m * !moved
+
+let permute_rows (p : Plan.t) = 2 * p.m * p.n

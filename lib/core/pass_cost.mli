@@ -1,0 +1,21 @@
+(** Per-pass Theorem-6 pricing, shared by every instrumented pass runner.
+
+    {!Theory.theorem6_work_and_space} prices a whole transposition; the
+    observability layer needs the same accounting split by pass so a
+    traced run can be joined against the model pass by pass. The counts
+    here are {e exact} for the implementations in {!Algo.Make}: a shuffle
+    pass reads and writes every element once ([2mn]); a rotation pass
+    skips the columns whose reduced amount is zero. Summing the passes of
+    the default gather C2R reproduces [Theory.theorem6_work_and_space]
+    exactly (asserted in the obs test suite). *)
+
+val shuffle : Plan.t -> int
+(** Element touches of a row or column shuffle pass: [2mn]. *)
+
+val rotate : Plan.t -> amount:(int -> int) -> int
+(** Element touches of a column-rotation pass: [2m] per column whose
+    rotation amount is nonzero mod [m]. O(n). *)
+
+val permute_rows : Plan.t -> int
+(** Element touches of a row-permutation pass ([2mn]: the implementation
+    gathers and writes back every column in full). *)

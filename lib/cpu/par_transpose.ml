@@ -13,31 +13,52 @@ module Make (S : Storage.S) = struct
     if S.length buf <> p.m * p.n then
       invalid_arg "Par_transpose: buffer size does not match plan"
 
+  (* One span per pass, wrapping the whole barrier, so the chunk spans
+     Pool records nest inside it (the Report joins them by interval
+     containment to compute the per-pass load-imbalance ratio). *)
+  let obs_pass (p : Plan.t) name ~pred f =
+    Xpose_obs.Tracer.pass ~name ~rows:p.m ~cols:p.n ~pred_touches:pred
+      ~scratch_elems:(Plan.scratch_elements p) f
+
   let c2r ?(variant = Algo.C2r_gather) pool (p : Plan.t) buf =
     check p buf;
     let m = p.m and n = p.n in
     if m = 1 || n = 1 then ()
     else begin
       let tmp = scratches pool p in
-      let over_cols pass =
-        Pool.parallel_chunks pool ~lo:0 ~hi:n (fun ~chunk ~lo ~hi ->
-            pass ~tmp:tmp.(chunk) ~lo ~hi)
-      and over_rows pass =
-        Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
-            pass ~tmp:tmp.(chunk) ~lo ~hi)
+      let over_cols name ~pred pass =
+        obs_pass p name ~pred (fun () ->
+            Pool.parallel_chunks pool ~lo:0 ~hi:n (fun ~chunk ~lo ~hi ->
+                pass ~tmp:tmp.(chunk) ~lo ~hi))
+      and over_rows name ~pred pass =
+        obs_pass p name ~pred (fun () ->
+            Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
+                pass ~tmp:tmp.(chunk) ~lo ~hi))
       in
-      if not (Plan.coprime p) then
-        over_cols (A.Phases.rotate_columns p buf ~amount:(Plan.rotate_amount p));
+      if not (Plan.coprime p) then begin
+        let amount = Plan.rotate_amount p in
+        over_cols "rotate_pre"
+          ~pred:(Pass_cost.rotate p ~amount)
+          (A.Phases.rotate_columns p buf ~amount)
+      end;
       (match variant with
-      | Algo.C2r_scatter -> over_rows (A.Phases.row_shuffle_scatter p buf)
+      | Algo.C2r_scatter ->
+          over_rows "row_shuffle" ~pred:(Pass_cost.shuffle p)
+            (A.Phases.row_shuffle_scatter p buf)
       | Algo.C2r_gather | Algo.C2r_decomposed ->
-          over_rows (A.Phases.row_shuffle_gather p buf));
+          over_rows "row_shuffle" ~pred:(Pass_cost.shuffle p)
+            (A.Phases.row_shuffle_gather p buf));
       match variant with
       | Algo.C2r_scatter | Algo.C2r_gather ->
-          over_cols (A.Phases.col_shuffle_gather p buf)
+          over_cols "col_shuffle" ~pred:(Pass_cost.shuffle p)
+            (A.Phases.col_shuffle_gather p buf)
       | Algo.C2r_decomposed ->
-          over_cols (A.Phases.rotate_columns p buf ~amount:(fun j -> j));
-          over_cols (A.Phases.permute_rows p buf ~index:(Plan.q p))
+          let amount j = j in
+          over_cols "col_rotate"
+            ~pred:(Pass_cost.rotate p ~amount)
+            (A.Phases.rotate_columns p buf ~amount);
+          over_cols "row_permute" ~pred:(Pass_cost.permute_rows p)
+            (A.Phases.permute_rows p buf ~index:(Plan.q p))
     end
 
   let r2c ?(variant = Algo.R2c_fused) pool (p : Plan.t) buf =
@@ -46,23 +67,34 @@ module Make (S : Storage.S) = struct
     if m = 1 || n = 1 then ()
     else begin
       let tmp = scratches pool p in
-      let over_cols pass =
-        Pool.parallel_chunks pool ~lo:0 ~hi:n (fun ~chunk ~lo ~hi ->
-            pass ~tmp:tmp.(chunk) ~lo ~hi)
-      and over_rows pass =
-        Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
-            pass ~tmp:tmp.(chunk) ~lo ~hi)
+      let over_cols name ~pred pass =
+        obs_pass p name ~pred (fun () ->
+            Pool.parallel_chunks pool ~lo:0 ~hi:n (fun ~chunk ~lo ~hi ->
+                pass ~tmp:tmp.(chunk) ~lo ~hi))
+      and over_rows name ~pred pass =
+        obs_pass p name ~pred (fun () ->
+            Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
+                pass ~tmp:tmp.(chunk) ~lo ~hi))
       in
       (match variant with
-      | Algo.R2c_fused -> over_cols (A.Phases.col_shuffle_ungather p buf)
+      | Algo.R2c_fused ->
+          over_cols "col_unshuffle" ~pred:(Pass_cost.shuffle p)
+            (A.Phases.col_shuffle_ungather p buf)
       | Algo.R2c_decomposed ->
-          over_cols (A.Phases.permute_rows p buf ~index:(Plan.q_inv p));
-          over_cols (A.Phases.rotate_columns p buf ~amount:(fun j -> -j)));
-      over_rows (A.Phases.row_shuffle_ungather p buf);
-      if not (Plan.coprime p) then
-        over_cols
-          (A.Phases.rotate_columns p buf
-             ~amount:(fun j -> -Plan.rotate_amount p j))
+          over_cols "row_unpermute" ~pred:(Pass_cost.permute_rows p)
+            (A.Phases.permute_rows p buf ~index:(Plan.q_inv p));
+          let amount j = -j in
+          over_cols "col_unrotate"
+            ~pred:(Pass_cost.rotate p ~amount)
+            (A.Phases.rotate_columns p buf ~amount));
+      over_rows "row_unshuffle" ~pred:(Pass_cost.shuffle p)
+        (A.Phases.row_shuffle_ungather p buf);
+      if not (Plan.coprime p) then begin
+        let amount j = -Plan.rotate_amount p j in
+        over_cols "rotate_post"
+          ~pred:(Pass_cost.rotate p ~amount)
+          (A.Phases.rotate_columns p buf ~amount)
+      end
     end
 
   let transpose ?(order = Layout.Row_major) pool ~m ~n buf =

@@ -74,6 +74,24 @@ let workers t = t.lanes
 let check_running t =
   if t.state = Stopped then invalid_arg "Pool: already shut down"
 
+(* Observability: barrier/chunk counters are always on (one bump per
+   barrier and per chunk, never per element); per-chunk spans — the raw
+   material for the load-imbalance column of [xpose report] — are only
+   recorded while the tracer is on. *)
+let c_barriers = Xpose_obs.Metrics.counter "pool.barriers_total"
+let c_chunks = Xpose_obs.Metrics.counter "pool.chunks_total"
+
+let observe_chunk f ~chunk ~lo ~hi =
+  Xpose_obs.Metrics.incr c_chunks;
+  if Xpose_obs.Tracer.enabled () then
+    Xpose_obs.Tracer.with_span ~cat:"chunk"
+      ~args:(fun () ->
+        Xpose_obs.Tracer.
+          [ ("chunk", Int chunk); ("lo", Int lo); ("hi", Int hi) ])
+      (Printf.sprintf "chunk%d" chunk)
+      (fun () -> f ~chunk ~lo ~hi)
+  else f ~chunk ~lo ~hi
+
 let chunk_bounds ~lo ~hi ~chunks k =
   let len = hi - lo in
   let base = len / chunks and rem = len mod chunks in
@@ -84,6 +102,8 @@ let chunk_bounds ~lo ~hi ~chunks k =
 let parallel_chunks t ~lo ~hi f =
   check_running t;
   if hi < lo then invalid_arg "Pool.parallel_chunks: hi < lo";
+  Xpose_obs.Metrics.incr c_barriers;
+  let f = observe_chunk f in
   if t.is_sequential || hi - lo <= 1 then
     for k = 0 to t.lanes - 1 do
       let c_lo, c_hi = chunk_bounds ~lo ~hi ~chunks:t.lanes k in

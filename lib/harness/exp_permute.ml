@@ -20,24 +20,30 @@ let problems ~base =
     ("shuffle5", [| b; 3; b; 2; b |], [| 4; 2; 0; 3; 1 |]);
   ]
 
-let time_candidate ~repeats buf (c : P.Permute.plan) =
-  Timing.best_of ~repeats (fun () -> Nd.execute c buf)
-
 let run ?(base = 24) ?(repeats = 3) () =
   let rows = ref [] in
   let chosen_fastest = ref 0 in
   let concordant = ref 0 in
   let pairs = ref 0 in
   let slowdowns = ref [] in
+  let spreads = ref [] in
+  (* best-of for the verdicts, but keep every sample so the outcome also
+     records how noisy the timings were (worst/best per candidate) *)
+  let time_candidate buf (c : P.Permute.plan) =
+    let best, samples =
+      Timing.best_of_samples ~repeats (fun () -> Nd.execute c buf)
+    in
+    let worst = Array.fold_left Float.max best samples in
+    spreads := (if best > 0.0 then worst /. best else 1.0) :: !spreads;
+    best
+  in
   let problems = problems ~base in
   List.iter
     (fun (name, dims, perm) ->
       let cands = Tensor_nd.candidates ~dims ~perm in
       let buf = S.create (P.Shape.nelems dims) in
       Storage.fill_iota (module S) buf;
-      let timed =
-        List.map (fun c -> (c, time_candidate ~repeats buf c)) cands
-      in
+      let timed = List.map (fun c -> (c, time_candidate buf c)) cands in
       let fastest_ns =
         List.fold_left (fun acc (_, ns) -> min acc ns) infinity timed
       in
@@ -101,6 +107,8 @@ let run ?(base = 24) ?(repeats = 3) () =
           if !pairs = 0 then 1.0
           else float_of_int !concordant /. float_of_int !pairs );
         ("max_chosen_slowdown", (Stats.summarize slow).Stats.max);
+        ( "max_repeat_spread",
+          (Stats.summarize (Array.of_list !spreads)).Stats.max );
       ];
     figures = [];
   }

@@ -6,8 +6,37 @@ type spec = {
 
 let scaled base scale = max 1 (int_of_float (float_of_int base *. scale))
 
-let all =
+(* Headline observability counters: every experiment reports how much
+   instrumented work it drove as [obs.<counter>] metric deltas, so a
+   regression that silently skips passes (or doubles them) shows up in
+   the recorded outcome, not just in wall time. *)
+let headline_counters =
   [
+    "xpose.passes_total";
+    "xpose.pred_touches_total";
+    "pool.barriers_total";
+    "pool.chunks_total";
+    "simd.phases_total";
+    "simd.load_transactions_total";
+    "simd.store_transactions_total";
+  ]
+
+let with_counter_deltas run ~scale =
+  let read name = Xpose_obs.Metrics.(counter_value (counter name)) in
+  let before = List.map (fun name -> (name, read name)) headline_counters in
+  let o = run ~scale in
+  let deltas =
+    List.filter_map
+      (fun (name, b) ->
+        let d = read name - b in
+        if d = 0 then None else Some ("obs." ^ name, float_of_int d))
+      before
+  in
+  { o with Outcome.metrics = o.Outcome.metrics @ deltas }
+
+let all =
+  List.map (fun s -> { s with run = with_counter_deltas s.run })
+  @@ [
     {
       id = "fig1";
       description = "C2R/R2C illustration, m=3 n=8 (Figure 1)";

@@ -1,0 +1,7 @@
+let default_now_ns () = Sys.time () *. 1e9
+
+let source = Atomic.make default_now_ns
+
+let install f = Atomic.set source f
+
+let now_ns () = (Atomic.get source) ()

@@ -1,0 +1,20 @@
+(** The tracer's time source.
+
+    [Xpose_obs] links against the OCaml standard library only, which has
+    no wall clock, so the clock is injectable: the default source is
+    [Sys.time] (process CPU seconds — monotone but coarse and wrong for
+    parallel spans), and any layer that links [unix] installs a real wall
+    clock once at startup ([xpose_cli], the bench driver, and the harness
+    all install [Unix.gettimeofday]). Installation is idempotent and
+    safe from any domain. *)
+
+val now_ns : unit -> float
+(** Current time in nanoseconds from the installed source. Only
+    differences are meaningful; the epoch is the source's. *)
+
+val install : (unit -> float) -> unit
+(** [install f] makes [f] the time source. [f] must return nanoseconds
+    and be safe to call from any domain. *)
+
+val default_now_ns : unit -> float
+(** The fallback source: [Sys.time () *. 1e9]. *)

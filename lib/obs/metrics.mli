@@ -1,0 +1,68 @@
+(** A process-global metrics registry with domain-sharded primitives.
+
+    Counters are the workhorse: each one holds an array of per-shard
+    atomic cells indexed by [Domain.self () mod shards], so concurrent
+    bumps from different pool workers land on different cache lines and
+    never contend; the value is the sum over shards (exact — every bump
+    is an atomic increment). Gauges are last-write-wins. Histograms use
+    power-of-two buckets with sharded count/sum accumulators.
+
+    Metrics are always on: a bump is a handful of nanoseconds and the
+    instrumented layers only bump at pass/barrier granularity, never per
+    element. Creation is idempotent — [counter name] returns the existing
+    counter when [name] is already registered (and raises if the name is
+    registered as a different metric type). *)
+
+val shards : int
+(** Number of shards per counter/histogram (a power of two). *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+(** Sum over all shards. Exact, but a concurrent snapshot: bumps racing
+    with the read may or may not be included. *)
+
+val shard_values : counter -> int array
+(** Per-shard values, for tests and diagnostics. *)
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val histogram_buckets : histogram -> (float * int) array
+(** [(upper_bound, count)] per non-empty bucket; bounds are powers of
+    two, the last bucket is unbounded. *)
+
+(** {1 Registry} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float }
+
+val dump : unit -> (string * value) list
+(** Every registered metric with its current value, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept). *)
+
+val render : unit -> string
+(** One [name kind value] line per metric, sorted — the [--metrics]
+    output of the CLI. *)

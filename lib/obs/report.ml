@@ -1,0 +1,152 @@
+type row = {
+  seq : int;
+  name : string;
+  batch : int;
+  rows : int;
+  cols : int;
+  block : int;
+  pred_touches : int;
+  scratch_elems : int;
+  measured_ns : float;
+  pred_ns : float;
+  rel_err : float;
+  chunks : int;
+  imbalance : float;
+}
+
+type t = { passes : row list; total_ns : float; total_pred_touches : int }
+
+let int_arg args key default =
+  match List.assoc_opt key args with Some (Tracer.Int i) -> i | _ -> default
+
+let contains ~(outer : Tracer.event) ~(inner : Tracer.event) =
+  inner.Tracer.ts_ns >= outer.Tracer.ts_ns
+  && inner.Tracer.ts_ns +. inner.Tracer.dur_ns
+     <= outer.Tracer.ts_ns +. outer.Tracer.dur_ns
+
+(* A chunk belongs to the tightest pass span whose interval contains it:
+   chunks run strictly inside the barrier their pass opened, and nested
+   passes (a plan pass running phase passes inside pool chunks) contain
+   the chunk's pass rather than the other way around. *)
+let chunks_of passes (chunk : Tracer.event) =
+  List.fold_left
+    (fun best (p : Tracer.event) ->
+      if contains ~outer:p ~inner:chunk then
+        match best with
+        | Some (b : Tracer.event) when b.Tracer.dur_ns <= p.Tracer.dur_ns ->
+            best
+        | _ -> Some p
+      else best)
+    None passes
+
+let of_events evs =
+  let complete cat =
+    List.filter
+      (fun (e : Tracer.event) -> e.Tracer.cat = cat && e.Tracer.ph = `Complete)
+      evs
+  in
+  let passes =
+    List.sort
+      (fun (a : Tracer.event) b -> compare a.Tracer.seq b.Tracer.seq)
+      (complete "pass")
+  in
+  let chunk_durs : (int, float list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Tracer.event) ->
+      match chunks_of passes c with
+      | None -> ()
+      | Some p ->
+          let k = p.Tracer.seq in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt chunk_durs k) in
+          Hashtbl.replace chunk_durs k (c.Tracer.dur_ns :: prev))
+    (complete "chunk");
+  let total_ns =
+    List.fold_left (fun a (p : Tracer.event) -> a +. p.Tracer.dur_ns) 0.0 passes
+  in
+  let total_pred_touches =
+    List.fold_left
+      (fun a (p : Tracer.event) -> a + int_arg p.Tracer.args "pred_touches" 0)
+      0 passes
+  in
+  let rows =
+    List.map
+      (fun (p : Tracer.event) ->
+        let pred_touches = int_arg p.Tracer.args "pred_touches" 0 in
+        let pred_ns =
+          if total_pred_touches = 0 then 0.0
+          else
+            total_ns *. float_of_int pred_touches
+            /. float_of_int total_pred_touches
+        in
+        let durs =
+          Option.value ~default:[] (Hashtbl.find_opt chunk_durs p.Tracer.seq)
+        in
+        let chunks = List.length durs in
+        let imbalance =
+          if chunks = 0 then 1.0
+          else
+            let sum = List.fold_left ( +. ) 0.0 durs in
+            let mean = sum /. float_of_int chunks in
+            if mean <= 0.0 then 1.0
+            else List.fold_left Float.max 0.0 durs /. mean
+        in
+        {
+          seq = p.Tracer.seq;
+          name = p.Tracer.name;
+          batch = int_arg p.Tracer.args "batch" 1;
+          rows = int_arg p.Tracer.args "rows" 0;
+          cols = int_arg p.Tracer.args "cols" 0;
+          block = int_arg p.Tracer.args "block" 1;
+          pred_touches;
+          scratch_elems = int_arg p.Tracer.args "scratch_elems" 0;
+          measured_ns = p.Tracer.dur_ns;
+          pred_ns;
+          rel_err =
+            (if pred_ns > 0.0 then (p.Tracer.dur_ns -. pred_ns) /. pred_ns
+             else Float.nan);
+          chunks;
+          imbalance;
+        })
+      passes
+  in
+  { passes = rows; total_ns; total_pred_touches }
+
+let shape_string r =
+  let b = Buffer.create 16 in
+  if r.batch > 1 then Printf.bprintf b "%dx " r.batch;
+  Printf.bprintf b "%dx%d" r.rows r.cols;
+  if r.block > 1 then Printf.bprintf b " x%db" r.block;
+  Buffer.contents b
+
+let render ?(show_times = true) t =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "%-4s %-16s %-16s %12s %7s %9s %10s %8s %7s %7s\n" "#"
+    "pass" "shape" "pred.touch" "share%" "scratch" "meas.ms" "rel.err"
+    "chunks" "imbal";
+  Printf.bprintf b "%s\n" (String.make 104 '-');
+  let share r =
+    if t.total_pred_touches = 0 then 0.0
+    else
+      100.0 *. float_of_int r.pred_touches
+      /. float_of_int t.total_pred_touches
+  in
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b "%-4d %-16s %-16s %12d %7.1f %9d" (i + 1) r.name
+        (shape_string r) r.pred_touches (share r) r.scratch_elems;
+      if show_times then begin
+        Printf.bprintf b " %10.3f" (r.measured_ns /. 1e6);
+        if Float.is_nan r.rel_err then Printf.bprintf b " %8s" "-"
+        else Printf.bprintf b " %+7.1f%%" (100.0 *. r.rel_err)
+      end
+      else Printf.bprintf b " %10s %8s" "-" "-";
+      Printf.bprintf b " %7d" r.chunks;
+      if show_times then Printf.bprintf b " %7.2f" r.imbalance
+      else Printf.bprintf b " %7s" "-";
+      Buffer.add_char b '\n')
+    t.passes;
+  Printf.bprintf b "total: %d passes, %d predicted element touches"
+    (List.length t.passes) t.total_pred_touches;
+  if show_times then Printf.bprintf b ", %.3f ms measured" (t.total_ns /. 1e6);
+  Buffer.add_char b '\n';
+  Buffer.contents b

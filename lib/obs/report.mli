@@ -1,0 +1,47 @@
+(** Predicted-vs-measured accounting: join the ["pass"] spans of one
+    traced run against the cost model's per-pass predictions.
+
+    Each pass span carries the exact Theorem-6 element-touch count the
+    executor computed for that pass ([pred_touches]); the model has no
+    opinion on absolute nanoseconds, so the predicted time of pass [i] is
+    its {e share} of the measured total:
+    [pred_ns_i = total_ns * touches_i / total_touches], and
+    [rel_err_i = (measured_ns_i - pred_ns_i) / pred_ns_i]. A relative
+    error near zero means wall time is proportional to element touches —
+    the assumption the planner's ranking rests on; a large positive error
+    flags a pass whose traffic shape (strided columns, scattered rows)
+    costs more per touch than its peers.
+
+    ["chunk"] spans (recorded by [Pool.parallel_chunks]) are matched to
+    their enclosing pass by interval containment; each pass then gets a
+    load-imbalance ratio: slowest chunk over mean chunk duration (1.0 is
+    the paper's "perfect load balancing"). *)
+
+type row = {
+  seq : int;
+  name : string;
+  batch : int;
+  rows : int;
+  cols : int;
+  block : int;
+  pred_touches : int;
+  scratch_elems : int;
+  measured_ns : float;
+  pred_ns : float;
+  rel_err : float;  (** [nan] when the pass has no predicted share *)
+  chunks : int;  (** matched pool chunks; 0 when run serially *)
+  imbalance : float;  (** max/mean chunk duration; 1.0 without chunks *)
+}
+
+type t = {
+  passes : row list;  (** in execution order *)
+  total_ns : float;
+  total_pred_touches : int;
+}
+
+val of_events : Tracer.event list -> t
+
+val render : ?show_times:bool -> t -> string
+(** Fixed-width table. With [show_times:false] every wall-clock-derived
+    column (measured/predicted ns, relative error, imbalance) renders as
+    ["-"] so the output is deterministic (used by the cram tests). *)

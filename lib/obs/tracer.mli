@@ -1,0 +1,89 @@
+(** A span-based tracer whose sink is the Chrome [trace_event] JSON
+    format (loadable in [ui.perfetto.dev] or [chrome://tracing]), plus a
+    compact text renderer.
+
+    The tracer is {e off} by default and spans cost nothing while it is
+    off beyond one atomic load per {!with_span} call: instrumented layers
+    open one span per permutation {e pass} or pool {e chunk} — never per
+    element — and every argument list is built lazily, only when a span
+    is actually recorded.
+
+    Categories used by the instrumented stack:
+    - ["pass"] — one 2-D permutation pass (rotate / row shuffle / column
+      shuffle) with its Theorem-6 predicted element touches;
+    - ["plan"] — one pass of a rank-N permutation plan (a batched/blocked
+      2-D transpose over the whole buffer);
+    - ["chunk"] — one worker's share of a {!Xpose_cpu.Pool} barrier;
+    - ["simd"] — one simulated-GPU kernel phase with its
+      [Memory.stats] delta. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  name : string;
+  cat : string;
+  ph : [ `Complete | `Instant ];
+  ts_ns : float;  (** start, {!Clock} epoch *)
+  dur_ns : float;  (** 0 for instants *)
+  tid : int;  (** domain id *)
+  seq : int;  (** global emission ticket, unique and monotone *)
+  args : (string * value) list;
+}
+
+(** {1 Control} *)
+
+val enabled : unit -> bool
+val start : unit -> unit
+(** Clear the buffer and start recording. *)
+
+val stop : unit -> unit
+(** Stop recording; the buffer is kept for rendering. *)
+
+val clear : unit -> unit
+val events : unit -> event list
+(** Recorded events in emission order. *)
+
+(** {1 Recording} *)
+
+val with_span :
+  ?cat:string ->
+  ?args:(unit -> (string * value) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span name f] runs [f] and, when the tracer is enabled, records
+    a complete event around it ([args] is forced once, after [f]
+    returns — it may read state [f] updated). The span is recorded even
+    if [f] raises. When disabled this is exactly [f ()]. *)
+
+val instant :
+  ?cat:string -> ?args:(unit -> (string * value) list) -> string -> unit
+
+val emit : event -> unit
+(** Append a pre-built event (thread-safe; no enabled check). *)
+
+val pass :
+  name:string ->
+  ?batch:int ->
+  ?block:int ->
+  rows:int ->
+  cols:int ->
+  pred_touches:int ->
+  scratch_elems:int ->
+  (unit -> 'a) ->
+  'a
+(** The one helper every pass runner uses: always bumps the
+    [xpose.passes_total] / [xpose.pred_touches_total] counters and the
+    per-kind [pass.<name>] counter, and opens a ["pass"] span carrying
+    the pass shape, predicted element touches and scratch elements when
+    the tracer is enabled. *)
+
+(** {1 Sinks} *)
+
+val to_chrome_json : unit -> string
+(** The whole buffer as a JSON object with a [traceEvents] array of
+    ["X"]/["i"] events — the Chrome [trace_event] format Perfetto
+    accepts. Timestamps are microseconds. *)
+
+val to_text : unit -> string
+(** Compact one-line-per-event rendering, sorted by start time. *)

@@ -6,11 +6,38 @@ module type PRIMITIVES = sig
 end
 
 module Make (P : PRIMITIVES) = struct
+  (* Each plan pass gets a ["plan"] span priced by the same Theorem-6
+     arithmetic the planner scored it with; the 2-D ["pass"] spans the
+     primitive opens underneath nest inside it in the trace. The span
+     name renders the pass (e.g. [b=3 r2c 64x48 blk=8]), so it is only
+     built when the tracer is recording. *)
+  let run_pass (p : Decompose.pass) buf =
+    if Decompose.elems p <> P.length buf then
+      invalid_arg "Exec.run_passes: pass size does not match the buffer";
+    let run () =
+      P.transpose ~batch:p.batch ~rows:p.rows ~cols:p.cols ~block:p.block buf
+    in
+    if Xpose_obs.Tracer.enabled () then begin
+      let big = max p.rows p.cols and small = min p.rows p.cols in
+      let pred =
+        p.batch * p.block
+        * Cost.theorem6_arith.transpose_touches ~m:big ~n:small
+      in
+      Xpose_obs.Tracer.with_span ~cat:"plan"
+        ~args:(fun () ->
+          Xpose_obs.Tracer.
+            [
+              ("batch", Int p.batch);
+              ("rows", Int p.rows);
+              ("cols", Int p.cols);
+              ("block", Int p.block);
+              ("pred_touches", Int pred);
+            ])
+        (Format.asprintf "%a" Decompose.pp_pass p)
+        run
+    end
+    else run ()
+
   let run_passes passes buf =
-    List.iter
-      (fun (p : Decompose.pass) ->
-        if Decompose.elems p <> P.length buf then
-          invalid_arg "Exec.run_passes: pass size does not match the buffer";
-        P.transpose ~batch:p.batch ~rows:p.rows ~cols:p.cols ~block:p.block buf)
-      passes
+    List.iter (fun p -> run_pass p buf) passes
 end

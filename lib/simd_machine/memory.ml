@@ -204,6 +204,31 @@ let stats t =
     weighted_bytes = t.weighted;
   }
 
+let snapshot = stats
+
+let zero_stats =
+  {
+    load_transactions = 0;
+    store_transactions = 0;
+    instructions = 0;
+    useful_bytes = 0;
+    weighted_bytes = 0.0;
+  }
+
+let diff (after : stats) (before : stats) =
+  {
+    load_transactions = after.load_transactions - before.load_transactions;
+    store_transactions = after.store_transactions - before.store_transactions;
+    instructions = after.instructions - before.instructions;
+    useful_bytes = after.useful_bytes - before.useful_bytes;
+    weighted_bytes = after.weighted_bytes -. before.weighted_bytes;
+  }
+
+let time_ns_of (cfg : Config.t) (s : stats) =
+  Float.max
+    (s.weighted_bytes /. cfg.Config.effective_gbps)
+    (float_of_int s.instructions *. cfg.Config.instr_ns)
+
 let time_ns t =
   Float.max
     (t.weighted /. t.cfg.Config.effective_gbps)

@@ -73,6 +73,20 @@ type stats = {
 
 val stats : t -> stats
 
+val snapshot : t -> stats
+(** Alias of {!stats}, named for the snapshot/diff idiom: take one
+    snapshot before a phase and {!diff} a later one against it instead
+    of destructively {!reset}ing the counters between phases. *)
+
+val zero_stats : stats
+
+val diff : stats -> stats -> stats
+(** [diff after before] is the field-wise difference: the traffic of
+    whatever ran between the two snapshots. *)
+
+val time_ns_of : Config.t -> stats -> float
+(** {!time_ns} evaluated on an arbitrary (e.g. diffed) [stats] value. *)
+
 val time_ns : t -> float
 (** [max(weighted_bytes / effective_gbps, instructions * instr_ns)]. *)
 

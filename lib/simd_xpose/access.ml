@@ -33,11 +33,17 @@ let struct_index pattern ~lanes ~warp ~lane =
   | Unit_stride -> (warp * lanes) + lane
   | Random perm -> perm.((warp * lanes) + lane)
 
-let result_of mem =
-  let s = Memory.stats mem in
+(* [since] is the snapshot taken after setup: the result reflects only
+   the traffic of the measured phase, without destructively resetting
+   the memory's cumulative counters. *)
+let result_of ?(since = Memory.zero_stats) mem =
+  let s = Memory.diff (Memory.snapshot mem) since in
+  let time = Memory.time_ns_of (Memory.config mem) s in
   {
-    gbps = Memory.gbps mem ~useful_bytes:s.Memory.useful_bytes;
-    time_ns = Memory.time_ns mem;
+    gbps =
+      (if time <= 0.0 then 0.0
+       else float_of_int s.Memory.useful_bytes /. time);
+    time_ns = time;
     transactions = s.Memory.load_transactions + s.Memory.store_transactions;
     instructions = s.Memory.instructions;
     useful_bytes = s.Memory.useful_bytes;
@@ -137,7 +143,7 @@ let run_load cfg ~struct_words:m ~n_structs pattern method_ =
   for a = 0 to (n_structs * m) - 1 do
     Memory.poke mem a a
   done;
-  Memory.reset mem;
+  let since = Memory.snapshot mem in
   let total = ref 0 in
   for w = 0 to (n_structs / cfg.Config.lanes) - 1 do
     let sum, _ =
@@ -150,7 +156,7 @@ let run_load cfg ~struct_words:m ~n_structs pattern method_ =
   let n = n_structs * m in
   if !total <> n * (n - 1) / 2 then
     invalid_arg "Access.run_load: data path returned a wrong checksum";
-  result_of mem
+  result_of ~since mem
 
 let run_copy cfg ~struct_words:m ~n_structs pattern method_ =
   check cfg ~struct_words:m ~n_structs pattern;
@@ -159,7 +165,7 @@ let run_copy cfg ~struct_words:m ~n_structs pattern method_ =
   for a = 0 to half - 1 do
     Memory.poke mem a a
   done;
-  Memory.reset mem;
+  let since = Memory.snapshot mem in
   let lanes = cfg.Config.lanes in
   for w = 0 to (n_structs / lanes) - 1 do
     let src = warp_bases cfg pattern ~m ~warp:w ~offset:0 in
@@ -200,7 +206,7 @@ let run_copy cfg ~struct_words:m ~n_structs pattern method_ =
     if Memory.peek mem (half + a) <> a then
       invalid_arg "Access.run_copy: copy produced a wrong image"
   done;
-  result_of mem
+  result_of ~since mem
 
 let final_image cfg ~struct_words:m ~n_structs pattern method_ =
   check cfg ~struct_words:m ~n_structs pattern;

@@ -283,14 +283,55 @@ let check mem ~m ~n =
   if Memory.words mem < (m * n) + scratch_words ~m ~n then
     invalid_arg "Gpu_exec: memory too small (need matrix + scratch)"
 
-let finish mem ~m ~n ~onchip =
+(* -- per-phase observability --------------------------------------------- *)
+
+let c_phases = Xpose_obs.Metrics.counter "simd.phases_total"
+let c_load_tx = Xpose_obs.Metrics.counter "simd.load_transactions_total"
+let c_store_tx = Xpose_obs.Metrics.counter "simd.store_transactions_total"
+let c_instrs = Xpose_obs.Metrics.counter "simd.instructions_total"
+
+(* Each kernel phase contributes its [Memory.stats] delta — taken with
+   snapshot/diff, never by resetting the memory's cumulative counters —
+   to the registry and, when the tracer is on, to a ["simd"] span whose
+   args carry the delta and its modeled time. *)
+let obs_phase mem name f =
+  let before = Memory.snapshot mem in
+  let delta = ref Memory.zero_stats in
+  let wrapped () =
+    let r = f () in
+    let d = Memory.diff (Memory.snapshot mem) before in
+    delta := d;
+    Xpose_obs.Metrics.incr c_phases;
+    Xpose_obs.Metrics.incr ~by:d.Memory.load_transactions c_load_tx;
+    Xpose_obs.Metrics.incr ~by:d.Memory.store_transactions c_store_tx;
+    Xpose_obs.Metrics.incr ~by:d.Memory.instructions c_instrs;
+    r
+  in
+  if Xpose_obs.Tracer.enabled () then
+    Xpose_obs.Tracer.with_span ~cat:"simd"
+      ~args:(fun () ->
+        let d = !delta in
+        Xpose_obs.Tracer.
+          [
+            ("load_tx", Int d.Memory.load_transactions);
+            ("store_tx", Int d.Memory.store_transactions);
+            ("instrs", Int d.Memory.instructions);
+            ("useful_bytes", Int d.Memory.useful_bytes);
+            ("weighted_bytes", Float d.Memory.weighted_bytes);
+            ("model_ns", Float (Memory.time_ns_of (Memory.config mem) d));
+          ])
+      name wrapped
+  else wrapped ()
+
+let finish mem ~since ~m ~n ~onchip =
   let cfg = Memory.config mem in
   let useful = 2 * m * n * cfg.Config.word_bytes in
-  let time = Memory.time_ns mem in
+  let stats = Memory.diff (Memory.snapshot mem) since in
+  let time = Memory.time_ns_of cfg stats in
   {
     gbps = (if time <= 0.0 then 0.0 else float_of_int useful /. time);
     time_ns = time;
-    stats = Memory.stats mem;
+    stats;
     onchip_row_shuffle = onchip;
   }
 
@@ -299,38 +340,46 @@ let budget_of mem ~occupancy =
 
 let c2r ?(occupancy = 8) mem ~m ~n =
   check mem ~m ~n;
-  Memory.reset mem;
+  let since = Memory.snapshot mem in
   let onchip = ref true in
   if m > 1 && n > 1 then begin
     let p = Plan.make ~m ~n in
     if not (Plan.coprime p) then
-      rotate_columns mem ~rows:m ~cols:n ~amount:(Plan.rotate_amount p);
+      obs_phase mem "gpu.rotate_pre" (fun () ->
+          rotate_columns mem ~rows:m ~cols:n ~amount:(Plan.rotate_amount p));
     onchip :=
-      row_shuffle mem ~rows:m ~cols:n
-        ~gather_index:(fun ~i j -> Plan.d'_inv p ~i j)
-        ~budget_elements:(budget_of mem ~occupancy)
-        ~tmp_base:(m * n);
-    rotate_columns mem ~rows:m ~cols:n ~amount:(fun j -> j);
-    permute_rows mem ~rows:m ~cols:n ~index:(Plan.q p)
+      obs_phase mem "gpu.row_shuffle" (fun () ->
+          row_shuffle mem ~rows:m ~cols:n
+            ~gather_index:(fun ~i j -> Plan.d'_inv p ~i j)
+            ~budget_elements:(budget_of mem ~occupancy)
+            ~tmp_base:(m * n));
+    obs_phase mem "gpu.col_rotate" (fun () ->
+        rotate_columns mem ~rows:m ~cols:n ~amount:(fun j -> j));
+    obs_phase mem "gpu.row_permute" (fun () ->
+        permute_rows mem ~rows:m ~cols:n ~index:(Plan.q p))
   end;
-  finish mem ~m ~n ~onchip:!onchip
+  finish mem ~since ~m ~n ~onchip:!onchip
 
 let r2c ?(occupancy = 8) mem ~m ~n =
   check mem ~m ~n;
-  Memory.reset mem;
+  let since = Memory.snapshot mem in
   let onchip = ref true in
   if m > 1 && n > 1 then begin
     (* Theorem 2: view the buffer as n x m *)
     let p = Plan.make ~m:n ~n:m in
-    permute_rows mem ~rows:n ~cols:m ~index:(Plan.q_inv p);
-    rotate_columns mem ~rows:n ~cols:m ~amount:(fun j -> -j);
+    obs_phase mem "gpu.row_unpermute" (fun () ->
+        permute_rows mem ~rows:n ~cols:m ~index:(Plan.q_inv p));
+    obs_phase mem "gpu.col_unrotate" (fun () ->
+        rotate_columns mem ~rows:n ~cols:m ~amount:(fun j -> -j));
     onchip :=
-      row_shuffle mem ~rows:n ~cols:m
-        ~gather_index:(fun ~i j -> Plan.d' p ~i j)
-        ~budget_elements:(budget_of mem ~occupancy)
-        ~tmp_base:(m * n);
+      obs_phase mem "gpu.row_unshuffle" (fun () ->
+          row_shuffle mem ~rows:n ~cols:m
+            ~gather_index:(fun ~i j -> Plan.d' p ~i j)
+            ~budget_elements:(budget_of mem ~occupancy)
+            ~tmp_base:(m * n));
     if not (Plan.coprime p) then
-      rotate_columns mem ~rows:n ~cols:m
-        ~amount:(fun j -> -Plan.rotate_amount p j)
+      obs_phase mem "gpu.rotate_post" (fun () ->
+          rotate_columns mem ~rows:n ~cols:m
+            ~amount:(fun j -> -Plan.rotate_amount p j))
   end;
-  finish mem ~m ~n ~onchip:!onchip
+  finish mem ~since ~m ~n ~onchip:!onchip

@@ -1,0 +1,77 @@
+The report subcommand joins measured passes against the Theorem-6 model;
+--no-times hides the wall-clock columns so the output is stable:
+
+  $ xpose report -m 4 -n 6 --no-times
+  4 x 6 float64 r2c, 1 worker, best of 1:
+  #    pass             shape              pred.touch  share%   scratch    meas.ms  rel.err  chunks   imbal
+  --------------------------------------------------------------------------------------------------------
+  1    col_unshuffle    6x4                        48    40.0         6          -        -       1       -
+  2    row_unshuffle    6x4                        48    40.0         6          -        -       1       -
+  3    rotate_post      6x4                        24    20.0         6          -        -       1       -
+  total: 3 passes, 120 predicted element touches
+
+The touch total matches `xpose plan` for the same shape:
+
+  $ xpose plan -m 4 -n 6 | grep 'element touches'
+  element touches: 120 (bound 144 = 6mn)
+
+Forcing the other orientation prices the C2R pass sequence instead, with
+its pre-rotation:
+
+  $ xpose report -m 4 -n 6 -a c2r --workers 2 --no-times
+  4 x 6 float64 c2r, 2 workers, best of 1:
+  #    pass             shape              pred.touch  share%   scratch    meas.ms  rel.err  chunks   imbal
+  --------------------------------------------------------------------------------------------------------
+  1    rotate_pre       4x6                        24    20.0         6          -        -       2       -
+  2    row_shuffle      4x6                        48    40.0         6          -        -       2       -
+  3    col_shuffle      4x6                        48    40.0         6          -        -       2       -
+  total: 3 passes, 120 predicted element touches
+
+A coprime shape needs no rotation passes:
+
+  $ xpose report -m 7 -n 5 -a c2r --no-times
+  7 x 5 float64 c2r, 1 worker, best of 1:
+  #    pass             shape              pred.touch  share%   scratch    meas.ms  rel.err  chunks   imbal
+  --------------------------------------------------------------------------------------------------------
+  1    row_shuffle      7x5                        70    50.0         7          -        -       1       -
+  2    col_shuffle      7x5                        70    50.0         7          -        -       1       -
+  total: 2 passes, 140 predicted element touches
+
+--metrics dumps the registry after any subcommand; the pass counters
+reflect the run that just happened:
+
+  $ xpose report -m 4 -n 6 -a c2r --no-times --metrics
+  4 x 6 float64 c2r, 1 worker, best of 1:
+  #    pass             shape              pred.touch  share%   scratch    meas.ms  rel.err  chunks   imbal
+  --------------------------------------------------------------------------------------------------------
+  1    rotate_pre       4x6                        24    20.0         6          -        -       1       -
+  2    row_shuffle      4x6                        48    40.0         6          -        -       1       -
+  3    col_shuffle      4x6                        48    40.0         6          -        -       1       -
+  total: 3 passes, 120 predicted element touches
+  counter   pass.col_shuffle                         1
+  counter   pass.rotate_pre                          1
+  counter   pass.row_shuffle                         1
+  counter   pool.barriers_total                      3
+  counter   pool.chunks_total                        3
+  counter   xpose.passes_total                       3
+  counter   xpose.pred_touches_total                 120
+
+--trace writes Chrome trace_event JSON; the file loads as JSON and holds
+one complete event per pass plus the pool chunks:
+
+  $ xpose report -m 4 -n 6 -a c2r --no-times --trace trace.json >/dev/null
+  trace written to trace.json (6 events)
+  $ grep -c '"ph":"X"' trace.json
+  6
+  $ grep -o '"name":"[a-z_]*","cat":"pass"' trace.json
+  "name":"rotate_pre","cat":"pass"
+  "name":"row_shuffle","cat":"pass"
+  "name":"col_shuffle","cat":"pass"
+
+Tracing composes with every subcommand, e.g. a rank-N permutation records
+plan-level passes:
+
+  $ xpose permute --dims 4,6,8 --perm 2,0,1 --trace perm.json >/dev/null
+  trace written to perm.json (4 events)
+  $ grep -c '"cat":"plan"' perm.json
+  1

@@ -1,0 +1,92 @@
+open Xpose_obs
+
+(* The load-bearing claim: counters are exact under concurrent bumps from
+   pool workers (sharded cells, atomic increments), not merely
+   approximate. *)
+let test_counter_parallel () =
+  let c = Metrics.counter "test.parallel_bumps" in
+  let before = Metrics.counter_value c in
+  let n = 100_000 in
+  Xpose_cpu.Pool.with_pool ~workers:4 (fun pool ->
+      Xpose_cpu.Pool.parallel_for pool ~lo:0 ~hi:n (fun _ -> Metrics.incr c));
+  Alcotest.(check int) "exact total" n (Metrics.counter_value c - before)
+
+let test_counter_by_parallel () =
+  let c = Metrics.counter "test.parallel_by" in
+  let before = Metrics.counter_value c in
+  Xpose_cpu.Pool.with_pool ~workers:4 (fun pool ->
+      Xpose_cpu.Pool.parallel_for pool ~lo:0 ~hi:1_000 (fun i ->
+          Metrics.incr ~by:i c));
+  Alcotest.(check int)
+    "exact weighted total" (1000 * 999 / 2)
+    (Metrics.counter_value c - before)
+
+let test_shards_sum () =
+  let c = Metrics.counter "test.shard_sum" in
+  Xpose_cpu.Pool.with_pool ~workers:4 (fun pool ->
+      Xpose_cpu.Pool.parallel_for pool ~lo:0 ~hi:10_000 (fun _ ->
+          Metrics.incr c));
+  let total = Array.fold_left ( + ) 0 (Metrics.shard_values c) in
+  Alcotest.(check int) "shards sum to value" (Metrics.counter_value c) total
+
+let test_registration_idempotent () =
+  let a = Metrics.counter "test.same_name" in
+  Metrics.incr a;
+  let b = Metrics.counter "test.same_name" in
+  Metrics.incr b;
+  Alcotest.(check int) "one underlying counter" 2 (Metrics.counter_value a)
+
+let test_type_mismatch () =
+  ignore (Metrics.counter "test.typed");
+  Alcotest.check_raises "gauge under a counter name"
+    (Invalid_argument
+       "Metrics: \"test.typed\" is already registered as another metric type")
+    (fun () -> ignore (Metrics.gauge "test.typed"))
+
+let test_gauge_histogram () =
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set_gauge g 1.5;
+  Metrics.set_gauge g 2.5;
+  Alcotest.(check (float 1e-9)) "last write wins" 2.5 (Metrics.gauge_value g);
+  let h = Metrics.histogram "test.hist" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 4.0; 1000.0 ];
+  Alcotest.(check int) "count" 4 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 1007.0 (Metrics.histogram_sum h);
+  let bucketed =
+    Array.fold_left (fun a (_, c) -> a + c) 0 (Metrics.histogram_buckets h)
+  in
+  Alcotest.(check int) "every observation bucketed" 4 bucketed
+
+let test_dump_and_render () =
+  let c = Metrics.counter "test.dumped" in
+  Metrics.incr ~by:7 c;
+  (match List.assoc_opt "test.dumped" (Metrics.dump ()) with
+  | Some (Metrics.Counter 7) -> ()
+  | _ -> Alcotest.fail "dump missing test.dumped = 7");
+  let rendered = Metrics.render () in
+  let has_line =
+    String.split_on_char '\n' rendered
+    |> List.exists (fun l ->
+           let has s sub =
+             let n = String.length sub in
+             let rec go i =
+               i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+             in
+             go 0
+           in
+           has l "test.dumped" && has l "7")
+  in
+  Alcotest.(check bool) "rendered line present" true has_line
+
+let tests =
+  [
+    Alcotest.test_case "parallel counter is exact" `Quick test_counter_parallel;
+    Alcotest.test_case "parallel incr ~by is exact" `Quick
+      test_counter_by_parallel;
+    Alcotest.test_case "shard values sum to the total" `Quick test_shards_sum;
+    Alcotest.test_case "registration is idempotent by name" `Quick
+      test_registration_idempotent;
+    Alcotest.test_case "name/type mismatch raises" `Quick test_type_mismatch;
+    Alcotest.test_case "gauges and histograms" `Quick test_gauge_histogram;
+    Alcotest.test_case "dump and render" `Quick test_dump_and_render;
+  ]

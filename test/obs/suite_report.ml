@@ -1,0 +1,151 @@
+open Xpose_obs
+open Xpose_core
+
+let ev ?(cat = "pass") ?(args = []) ~seq ~ts ~dur name =
+  {
+    Tracer.name;
+    cat;
+    ph = `Complete;
+    ts_ns = ts;
+    dur_ns = dur;
+    tid = 0;
+    seq;
+    args;
+  }
+
+let pred n = [ ("pred_touches", Tracer.Int n) ]
+
+(* Hand-built events with round numbers: the predicted time of a pass is
+   its touch-share of the measured total, and the relative error follows
+   exactly. *)
+let test_shares_and_rel_err () =
+  let events =
+    [
+      ev ~seq:0 ~ts:0.0 ~dur:2000.0 ~args:(pred 100) "a";
+      ev ~seq:1 ~ts:3000.0 ~dur:2000.0 ~args:(pred 300) "b";
+    ]
+  in
+  let r = Report.of_events events in
+  Alcotest.(check int) "touch total" 400 r.Report.total_pred_touches;
+  Alcotest.(check (float 1e-9)) "measured total" 4000.0 r.Report.total_ns;
+  match r.Report.passes with
+  | [ a; b ] ->
+      (* a: pred_ns = 4000 * 100/400 = 1000; measured 2000 -> +100% *)
+      Alcotest.(check (float 1e-9)) "a pred_ns" 1000.0 a.Report.pred_ns;
+      Alcotest.(check (float 1e-9)) "a rel_err" 1.0 a.Report.rel_err;
+      (* b: pred_ns = 3000; measured 2000 -> -33.3% *)
+      Alcotest.(check (float 1e-9)) "b pred_ns" 3000.0 b.Report.pred_ns;
+      Alcotest.(check (float 1e-9)) "b rel_err" (-1.0 /. 3.0) b.Report.rel_err
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
+
+let test_chunk_imbalance () =
+  let events =
+    [
+      ev ~seq:0 ~ts:0.0 ~dur:2000.0 ~args:(pred 10) "outer";
+      (* two chunks inside the pass: 500 and 1500 -> mean 1000, max 1500 *)
+      ev ~cat:"chunk" ~seq:1 ~ts:0.0 ~dur:500.0 "chunk0";
+      ev ~cat:"chunk" ~seq:2 ~ts:500.0 ~dur:1500.0 "chunk1";
+      (* a chunk outside every pass is matched to none *)
+      ev ~cat:"chunk" ~seq:3 ~ts:9000.0 ~dur:100.0 "chunk_stray";
+    ]
+  in
+  match (Report.of_events events).Report.passes with
+  | [ row ] ->
+      Alcotest.(check int) "chunks matched" 2 row.Report.chunks;
+      Alcotest.(check (float 1e-9)) "imbalance" 1.5 row.Report.imbalance
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows)
+
+let test_nested_pass_owns_chunk () =
+  (* a plan-level pass is not cat "pass"; of two containing passes the
+     tighter one owns the chunk *)
+  let events =
+    [
+      ev ~seq:0 ~ts:0.0 ~dur:10000.0 ~args:(pred 100) "outer_pass";
+      ev ~seq:1 ~ts:1000.0 ~dur:4000.0 ~args:(pred 50) "inner_pass";
+      ev ~cat:"chunk" ~seq:2 ~ts:2000.0 ~dur:1000.0 "chunk0";
+    ]
+  in
+  match (Report.of_events events).Report.passes with
+  | [ outer; inner ] ->
+      Alcotest.(check int) "outer has no chunk" 0 outer.Report.chunks;
+      Alcotest.(check int) "inner owns the chunk" 1 inner.Report.chunks
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
+
+(* End to end: trace a real parallel C2R and check the report's predicted
+   touches against the exact Theorem 6 total — the pass-level accounting
+   must sum to the whole-transpose model. *)
+module PT = Xpose_cpu.Par_transpose.Make (Storage.Float64)
+
+let traced_c2r ~workers ~m ~n =
+  let p = Plan.make ~m ~n in
+  let buf = Storage.Float64.create (m * n) in
+  Storage.fill_iota (module Storage.Float64) buf;
+  Tracer.start ();
+  Xpose_cpu.Pool.with_pool ~workers (fun pool -> PT.c2r pool p buf);
+  Tracer.stop ();
+  let r = Report.of_events (Tracer.events ()) in
+  Tracer.clear ();
+  (p, r)
+
+let check_c2r_totals ~workers ~m ~n ~pass_names =
+  let p, r = traced_c2r ~workers ~m ~n in
+  let theorem6, _ = Theory.theorem6_work_and_space p in
+  Alcotest.(check int)
+    (Printf.sprintf "%dx%d pass pred sum = theorem 6" m n)
+    theorem6 r.Report.total_pred_touches;
+  Alcotest.(check (list string))
+    "pass sequence" pass_names
+    (List.map (fun (row : Report.row) -> row.Report.name) r.Report.passes);
+  List.iter
+    (fun (row : Report.row) ->
+      Alcotest.(check int)
+        (row.Report.name ^ " chunks")
+        workers row.Report.chunks)
+    r.Report.passes
+
+let test_c2r_noncoprime () =
+  check_c2r_totals ~workers:2 ~m:4 ~n:6
+    ~pass_names:[ "rotate_pre"; "row_shuffle"; "col_shuffle" ]
+
+let test_c2r_coprime () =
+  check_c2r_totals ~workers:2 ~m:7 ~n:5
+    ~pass_names:[ "row_shuffle"; "col_shuffle" ]
+
+let test_c2r_paper_shape () =
+  check_c2r_totals ~workers:4 ~m:311 ~n:217
+    ~pass_names:[ "row_shuffle"; "col_shuffle" ]
+
+let test_render_no_times_deterministic () =
+  let _, r = traced_c2r ~workers:2 ~m:4 ~n:6 in
+  let rendered = Report.render ~show_times:false r in
+  let _, r2 = traced_c2r ~workers:2 ~m:4 ~n:6 in
+  let rendered2 = Report.render ~show_times:false r2 in
+  Alcotest.(check string) "identical across runs" rendered rendered2;
+  Alcotest.(check bool)
+    "mentions the touch total" true
+    (let has s sub =
+       let nn = String.length sub in
+       let rec go i =
+         i + nn <= String.length s && (String.sub s i nn = sub || go (i + 1))
+       in
+       go 0
+     in
+     has rendered "120 predicted element touches")
+
+let tests =
+  [
+    Alcotest.test_case "touch shares and relative error" `Quick
+      test_shares_and_rel_err;
+    Alcotest.test_case "chunk matching and imbalance" `Quick
+      test_chunk_imbalance;
+    Alcotest.test_case "tightest containing pass owns the chunk" `Quick
+      test_nested_pass_owns_chunk;
+    Alcotest.test_case "c2r 4x6 pred sum = theorem 6" `Quick
+      test_c2r_noncoprime;
+    Alcotest.test_case "c2r 7x5 (coprime) pred sum = theorem 6" `Quick
+      test_c2r_coprime;
+    Alcotest.test_case "c2r 311x217 pred sum = theorem 6" `Quick
+      test_c2r_paper_shape;
+    Alcotest.test_case "render without times is deterministic" `Quick
+      test_render_no_times_deterministic;
+  ]

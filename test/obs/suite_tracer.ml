@@ -1,0 +1,258 @@
+open Xpose_obs
+
+(* A minimal JSON parser — deliberately written here, with no library
+   help, so the trace sink is validated against an independent reading of
+   the format rather than against itself. Supports exactly the grammar
+   Chrome trace_event files use: objects, arrays, strings, numbers,
+   booleans, null. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else raise (Bad "eof") in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      if !pos < n then
+        match s.[!pos] with
+        | ' ' | '\t' | '\n' | '\r' ->
+            advance ();
+            skip_ws ()
+        | _ -> ()
+    in
+    let expect c =
+      if peek () <> c then
+        raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
+      advance ()
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+                pos := !pos + 4;
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else Buffer.add_string b (Printf.sprintf "\\u%04x" code)
+            | c -> raise (Bad (Printf.sprintf "bad escape %c" c)));
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < n && num_char s.[!pos] do
+        advance ()
+      done;
+      float_of_string (String.sub s start (!pos - start))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = '}' then (
+            advance ();
+            Obj [])
+          else
+            let rec members acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | ',' ->
+                  advance ();
+                  members ((key, v) :: acc)
+              | '}' ->
+                  advance ();
+                  Obj (List.rev ((key, v) :: acc))
+              | c -> raise (Bad (Printf.sprintf "bad object char %c" c))
+            in
+            members []
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then (
+            advance ();
+            Arr [])
+          else
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | c -> raise (Bad (Printf.sprintf "bad array char %c" c))
+            in
+            elements []
+      | '"' -> Str (parse_string ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad (Printf.sprintf "trailing input at %d" !pos));
+    v
+
+  let mem key = function
+    | Obj kvs -> List.assoc key kvs
+    | _ -> raise (Bad ("not an object looking up " ^ key))
+
+  let str = function Str s -> s | _ -> raise (Bad "not a string")
+  let num = function Num x -> x | _ -> raise (Bad "not a number")
+end
+
+let with_tracing f =
+  Tracer.start ();
+  Fun.protect f ~finally:(fun () ->
+      Tracer.stop ();
+      Tracer.clear ())
+
+(* Record a small mixed trace and re-read the Chrome JSON through the
+   independent parser: every span must come back with its category,
+   phase, microsecond timing and args intact. *)
+let test_chrome_roundtrip () =
+  with_tracing (fun () ->
+      Tracer.with_span ~cat:"pass"
+        ~args:(fun () ->
+          [
+            ("rows", Tracer.Int 311);
+            ("label", Tracer.Str "outer \"quoted\"");
+            ("onchip", Tracer.Bool true);
+            ("ratio", Tracer.Float 1.5);
+          ])
+        "outer"
+        (fun () ->
+          Tracer.with_span ~cat:"chunk" "inner" (fun () -> ());
+          Tracer.instant "mark");
+      let recorded = Tracer.events () in
+      Alcotest.(check int) "recorded events" 3 (List.length recorded);
+      let json = Json.parse (Tracer.to_chrome_json ()) in
+      let events =
+        match Json.mem "traceEvents" json with
+        | Json.Arr l -> l
+        | _ -> Alcotest.fail "traceEvents is not an array"
+      in
+      Alcotest.(check int) "serialized events" 3 (List.length events);
+      let find name =
+        List.find (fun e -> Json.(str (mem "name" e)) = name) events
+      in
+      let outer = find "outer" and inner = find "inner" in
+      let mark = find "mark" in
+      Alcotest.(check string) "outer cat" "pass" Json.(str (mem "cat" outer));
+      Alcotest.(check string) "outer ph" "X" Json.(str (mem "ph" outer));
+      Alcotest.(check string) "instant ph" "i" Json.(str (mem "ph" mark));
+      Alcotest.(check string) "instant scope" "t" Json.(str (mem "s" mark));
+      let args = Json.mem "args" outer in
+      Alcotest.(check (float 1e-9)) "int arg" 311.0 Json.(num (mem "rows" args));
+      Alcotest.(check string)
+        "string arg escaped" "outer \"quoted\""
+        Json.(str (mem "label" args));
+      (match Json.mem "onchip" args with
+      | Json.Bool true -> ()
+      | _ -> Alcotest.fail "bool arg lost");
+      Alcotest.(check (float 1e-9))
+        "float arg" 1.5
+        Json.(num (mem "ratio" args));
+      (* the inner span nests inside the outer one, in microseconds *)
+      let ts e = Json.(num (mem "ts" e)) and dur e = Json.(num (mem "dur" e)) in
+      Alcotest.(check bool) "inner starts after outer" true (ts inner >= ts outer);
+      Alcotest.(check bool)
+        "inner ends before outer" true
+        (ts inner +. dur inner <= ts outer +. dur outer +. 1e-3))
+
+let test_disabled_is_free () =
+  Tracer.clear ();
+  Alcotest.(check bool) "off by default here" false (Tracer.enabled ());
+  let forced = ref false in
+  let r =
+    Tracer.with_span
+      ~args:(fun () ->
+        forced := true;
+        [])
+      "ghost"
+      (fun () -> 42)
+  in
+  Alcotest.(check int) "value passes through" 42 r;
+  Alcotest.(check bool) "args never forced" false !forced;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Tracer.events ()))
+
+let test_span_on_exception () =
+  with_tracing (fun () ->
+      (try Tracer.with_span "boom" (fun () -> failwith "no") with
+      | Failure _ -> ());
+      match Tracer.events () with
+      | [ e ] -> Alcotest.(check string) "span recorded" "boom" e.Tracer.name
+      | es -> Alcotest.failf "expected 1 event, got %d" (List.length es))
+
+let test_pass_counters () =
+  let read name = Metrics.(counter_value (counter name)) in
+  let passes0 = read "xpose.passes_total" in
+  let pred0 = read "xpose.pred_touches_total" in
+  let r =
+    Tracer.pass ~name:"unit_test_pass" ~rows:4 ~cols:6 ~pred_touches:48
+      ~scratch_elems:6
+      (fun () -> 7)
+  in
+  Alcotest.(check int) "result" 7 r;
+  Alcotest.(check int) "passes bumped" 1 (read "xpose.passes_total" - passes0);
+  Alcotest.(check int)
+    "pred touches bumped" 48
+    (read "xpose.pred_touches_total" - pred0);
+  Alcotest.(check int) "per-kind counter" 1 (read "pass.unit_test_pass")
+
+let tests =
+  [
+    Alcotest.test_case "chrome json round-trip" `Quick test_chrome_roundtrip;
+    Alcotest.test_case "disabled tracer records nothing" `Quick
+      test_disabled_is_free;
+    Alcotest.test_case "span survives an exception" `Quick
+      test_span_on_exception;
+    Alcotest.test_case "pass bumps registry counters" `Quick test_pass_counters;
+  ]

@@ -1,0 +1,10 @@
+let () =
+  (* the stdlib default clock is CPU time; tests want wall time so span
+     durations are meaningful under a sleeping pool *)
+  Xpose_obs.Clock.install (fun () -> Unix.gettimeofday () *. 1e9);
+  Alcotest.run "xpose_obs"
+    [
+      ("metrics", Suite_metrics.tests);
+      ("tracer", Suite_tracer.tests);
+      ("report", Suite_report.tests);
+    ]
