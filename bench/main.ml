@@ -251,6 +251,50 @@ let extension_tests =
              ignore (Xpose_simd.Gpu_exec.r2c exec_mem ~m:72 ~n:96)));
     ]
 
+(* -- Fused tile engine ---------------------------------------------------- *)
+
+let fused_tests =
+  (* Non-coprime shape (gcd = 96) so every pass of the C2R sequence runs,
+     large enough that the column phase dominates: the fused engine saves
+     one full-matrix sweep over the unfused cache-aware passes, and both
+     should beat the decomposed per-column kernels. *)
+  let fm = 480 and fn = 384 in
+  let p = Plan.make ~m:fm ~n:fn in
+  let tmp = S.create (Plan.scratch_elements p) in
+  let ws = Workspace.F64.create () in
+  let roundtrip name fwd bwd =
+    let buf = f64_iota (fm * fn) in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           fwd buf;
+           bwd buf))
+  in
+  let plan_cache = Plan.Cache.create ~capacity:8 () in
+  let pool = Xpose_cpu.Pool.create ~workers:2 () in
+  let batch = 8 and bm = 192 and bn = 144 in
+  let batch_bufs = Array.init batch (fun _ -> f64_iota (bm * bn)) in
+  Test.make_grouped ~name:"fused_engine"
+    [
+      roundtrip "fused_f64"
+        (fun buf -> Xpose_cpu.Fused_f64.c2r ~ws p buf)
+        (fun buf -> Xpose_cpu.Fused_f64.r2c ~ws p buf);
+      roundtrip "cache_aware_functor"
+        (fun buf -> Cache.c2r p buf ~tmp)
+        (fun buf -> Cache.r2c p buf ~tmp);
+      roundtrip "kernels_decomposed"
+        (fun buf -> Kernels_f64.c2r ~variant:Algo.C2r_decomposed p buf ~tmp)
+        (fun buf -> Kernels_f64.r2c ~variant:Algo.R2c_decomposed p buf ~tmp);
+      Test.make ~name:"plan_make"
+        (Staged.stage (fun () -> ignore (Plan.make ~m:fm ~n:fn)));
+      Test.make ~name:"plan_cache_hit"
+        (Staged.stage (fun () ->
+             ignore (Plan.Cache.get ~cache:plan_cache ~m:fm ~n:fn ())));
+      Test.make ~name:"batch8_pool2"
+        (Staged.stage (fun () ->
+             Xpose_cpu.Fused_f64.transpose_batch pool ~m:bm ~n:bn batch_bufs;
+             Xpose_cpu.Fused_f64.transpose_batch pool ~m:bn ~n:bm batch_bufs));
+    ]
+
 (* -- Rank-N permutation planner ------------------------------------------ *)
 
 let permute_tests =
@@ -282,21 +326,42 @@ let permute_tests =
       roundtrip "rank5_fused_flat" [| 6; 7; 8; 9; 4 |] [| 2; 3; 4; 0; 1 |];
     ]
 
-let all_tests =
-  Test.make_grouped ~name:"xpose"
-    [
-      table1_tests;
-      table2_tests;
-      landscape_tests;
-      fig7_tests;
-      access_tests;
-      ablation_magic;
-      ablation_variants;
-      ablation_cache_aware;
-      ablation_skinny;
-      extension_tests;
-      permute_tests;
-    ]
+let all_groups =
+  [
+    table1_tests;
+    table2_tests;
+    landscape_tests;
+    fig7_tests;
+    access_tests;
+    ablation_magic;
+    ablation_variants;
+    ablation_cache_aware;
+    ablation_skinny;
+    fused_tests;
+    extension_tests;
+    permute_tests;
+  ]
+
+(* [--only PREFIX] keeps the groups whose name starts with PREFIX, so a
+   single family can be re-measured without paying for the whole suite. *)
+let select_tests ~only =
+  let groups =
+    match only with
+    | None -> all_groups
+    | Some prefix ->
+        List.filter
+          (fun g ->
+            let name = Test.name g in
+            String.length name >= String.length prefix
+            && String.equal (String.sub name 0 (String.length prefix)) prefix)
+          all_groups
+  in
+  if groups = [] then (
+    Printf.eprintf "no benchmark group matches --only %s; groups are:\n"
+      (Option.value only ~default:"");
+    List.iter (fun g -> Printf.eprintf "  %s\n" (Test.name g)) all_groups;
+    exit 1);
+  Test.make_grouped ~name:"xpose" groups
 
 (* -- machine-readable sink ----------------------------------------------- *)
 
@@ -349,13 +414,17 @@ let write_json ~file ~quick rows =
 let () =
   (* [--quick] shrinks each benchmark's quota to a dry run (CI uses it to
      validate the pipeline and the JSON output, not the numbers);
-     [--out FILE] overrides the JSON destination. *)
+     [--out FILE] overrides the JSON destination;
+     [--only PREFIX] restricts the run to matching benchmark groups. *)
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let out = ref "BENCH_xpose.json" in
+  let only = ref None in
   Array.iteri
     (fun i a ->
       if String.equal a "--out" && i + 1 < Array.length Sys.argv then
-        out := Sys.argv.(i + 1))
+        out := Sys.argv.(i + 1);
+      if String.equal a "--only" && i + 1 < Array.length Sys.argv then
+        only := Some Sys.argv.(i + 1))
     Sys.argv;
   Xpose_obs.Clock.install (fun () -> Unix.gettimeofday () *. 1e9);
   let ols =
@@ -367,7 +436,7 @@ let () =
       Benchmark.cfg ~limit:20 ~quota:(Time.second 0.005) ~stabilize:false ()
     else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:true ()
   in
-  let raw = Benchmark.all benchmark_cfg instances all_tests in
+  let raw = Benchmark.all benchmark_cfg instances (select_tests ~only:!only) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in

@@ -214,32 +214,119 @@ let plan_cmd =
   in
   cmd (Cmd.info "plan" ~doc) Term.(const run $ m_arg $ n_arg)
 
+(* Engine selection shared by bench and report: [functor] is the
+   element-generic Algo functor, [kernels] the specialized float64
+   kernels, [decomposed] the same kernels with the §4.1 decomposed
+   column passes (separate col_rotate / row_permute sweeps), [cache]
+   the cache-aware §4.6/4.7 sweeps, [fused] the pass-fused panel
+   engine. *)
+let engine_conv =
+  Arg.enum
+    [
+      ("functor", `Functor);
+      ("kernels", `Kernels);
+      ("decomposed", `Decomposed);
+      ("cache", `Cache);
+      ("fused", `Fused);
+    ]
+
+let engine_arg =
+  Arg.(
+    value & opt engine_conv `Functor
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "One of functor, kernels, decomposed, cache, fused. See the \
+           bench suite for what each measures.")
+
+module CA = Xpose_cpu.Cache_aware.Make (S)
+
+let transpose_engine ~engine ~algorithm ~m ~n buf =
+  match engine with
+  | `Functor -> transpose_buf ~algorithm ~order:Layout.Row_major ~m ~n buf
+  | `Kernels -> Kernels_f64.transpose ~m ~n buf
+  | `Decomposed ->
+      let tmp = S.create (max m n) in
+      if m > n then
+        Kernels_f64.c2r ~variant:Algo.C2r_decomposed (Plan.make ~m ~n) buf ~tmp
+      else
+        Kernels_f64.r2c ~variant:Algo.R2c_decomposed (Plan.make ~m:n ~n:m) buf
+          ~tmp
+  | `Cache ->
+      let tmp = S.create (max m n) in
+      if m > n then CA.c2r (Plan.make ~m ~n) buf ~tmp
+      else CA.r2c (Plan.make ~m:n ~n:m) buf ~tmp
+  | `Fused -> Xpose_cpu.Fused_f64.transpose ~m ~n buf
+
 let bench_cmd =
-  let doc = "Time one in-place transpose of an M x N float64 matrix." in
-  let run m n algorithm =
+  let doc =
+    "Time one in-place transpose of an M x N float64 matrix (or a batch of \
+     BATCH same-shape matrices) with the selected engine."
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"BATCH"
+          ~doc:"Number of same-shape matrices to transpose.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"W"
+          ~doc:"Worker domains for batched runs (1 runs serially).")
+  in
+  let run m n algorithm engine batch workers =
     if m < 1 || n < 1 then `Error (false, "dimensions must be positive")
+    else if batch < 1 then `Error (false, "batch must be >= 1")
+    else if workers < 1 then `Error (false, "workers must be >= 1")
     else begin
-      let buf = S.create (m * n) in
-      Storage.fill_iota (module S) buf;
+      let bufs =
+        Array.init batch (fun _ ->
+            let buf = S.create (m * n) in
+            Storage.fill_iota (module S) buf;
+            buf)
+      in
       let t0 = Unix.gettimeofday () in
-      transpose_buf ~algorithm ~order:Layout.Row_major ~m ~n buf;
+      (if batch = 1 && workers = 1 then
+         transpose_engine ~engine ~algorithm ~m ~n bufs.(0)
+       else
+         Xpose_cpu.Pool.with_pool ~workers (fun pool ->
+             match engine with
+             | `Fused -> Xpose_cpu.Fused_f64.transpose_batch pool ~m ~n bufs
+             | _ ->
+                 (* Other engines have no batched path: fan the serial
+                    engine across the pool. *)
+                 Xpose_cpu.Pool.parallel_for pool ~lo:0 ~hi:batch (fun b ->
+                     transpose_engine ~engine ~algorithm ~m ~n bufs.(b))));
       let dt = Unix.gettimeofday () -. t0 in
-      let gbps = 2.0 *. float_of_int (m * n * 8) /. (dt *. 1e9) in
-      Printf.printf "%d x %d float64: %.3f ms, %.3f GB/s\n" m n (dt *. 1e3) gbps;
+      let bytes = 2.0 *. float_of_int (batch * m * n * 8) in
+      let gbps = bytes /. (dt *. 1e9) in
+      if batch = 1 then
+        Printf.printf "%d x %d float64: %.3f ms, %.3f GB/s\n" m n (dt *. 1e3)
+          gbps
+      else
+        Printf.printf "%d x (%d x %d) float64: %.3f ms, %.3f GB/s\n" batch m n
+          (dt *. 1e3) gbps;
       (* verify *)
       let ok = ref true in
-      for l = 0 to (m * n) - 1 do
-        let expected = float_of_int ((n * (l mod m)) + (l / m)) in
-        if S.get buf l <> expected then ok := false
-      done;
+      Array.iter
+        (fun buf ->
+          for l = 0 to (m * n) - 1 do
+            let expected = float_of_int ((n * (l mod m)) + (l / m)) in
+            if S.get buf l <> expected then ok := false
+          done)
+        bufs;
       if !ok then begin
-        Printf.printf "verified: result is the transpose\n";
+        if batch = 1 then Printf.printf "verified: result is the transpose\n"
+        else Printf.printf "verified: all %d results are transposes\n" batch;
         `Ok ()
       end
       else `Error (false, "verification failed")
     end
   in
-  cmd (Cmd.info "bench" ~doc) Term.(const run $ m_arg $ n_arg $ algorithm_arg)
+  cmd (Cmd.info "bench" ~doc)
+    Term.(
+      const run $ m_arg $ n_arg $ algorithm_arg $ engine_arg $ batch_arg
+      $ workers_arg)
 
 let permute_cmd =
   let doc =
@@ -335,12 +422,13 @@ let report_cmd =
             "Omit the wall-clock-derived columns (measured time, relative \
              error, imbalance) so the output is deterministic.")
   in
-  let run m n algorithm workers repeats no_times =
+  let run m n algorithm engine workers repeats no_times =
     if m < 1 || n < 1 then `Error (false, "dimensions must be positive")
     else if workers < 1 then `Error (false, "workers must be >= 1")
     else if repeats < 1 then `Error (false, "repeats must be >= 1")
     else begin
       let module PT = Xpose_cpu.Par_transpose.Make (S) in
+      let module FF = Xpose_cpu.Fused_f64 in
       (* §5.2 heuristic, as in [transpose]: more rows than columns
          favours C2R; both orientations transpose the row-major m x n
          buffer in place. *)
@@ -349,13 +437,17 @@ let report_cmd =
         | `Auto -> if m > n then `C2r else `R2c
         | (`C2r | `R2c | `Cycle) as a -> a
       in
-      match algorithm with
-      | `Cycle -> `Error (false, "report: algorithm must be c2r or r2c")
-      | (`C2r | `R2c) as algorithm ->
+      match (algorithm, engine) with
+      | `Cycle, _ -> `Error (false, "report: algorithm must be c2r or r2c")
+      | _, (`Kernels | `Decomposed | `Cache) ->
+          `Error (false, "report: engine must be functor or fused")
+      | (`C2r | `R2c) as algorithm, ((`Functor | `Fused) as engine) ->
           let transpose_once pool buf =
-            match algorithm with
-            | `C2r -> PT.c2r pool (Plan.make ~m ~n) buf
-            | `R2c -> PT.r2c pool (Plan.make ~m:n ~n:m) buf
+            match (engine, algorithm) with
+            | `Functor, `C2r -> PT.c2r pool (Plan.make ~m ~n) buf
+            | `Functor, `R2c -> PT.r2c pool (Plan.make ~m:n ~n:m) buf
+            | `Fused, `C2r -> FF.c2r_pool pool (Plan.make ~m ~n) buf
+            | `Fused, `R2c -> FF.r2c_pool pool (Plan.make ~m:n ~n:m) buf
           in
           let buf = S.create (m * n) in
           let best = ref None in
@@ -397,8 +489,8 @@ let report_cmd =
   in
   cmd (Cmd.info "report" ~doc)
     Term.(
-      const run $ m_arg $ n_arg $ algorithm_arg $ workers_arg $ repeats_arg
-      $ no_times_arg)
+      const run $ m_arg $ n_arg $ algorithm_arg $ engine_arg $ workers_arg
+      $ repeats_arg $ no_times_arg)
 
 let main =
   let doc = "In-place matrix transposition by decomposition (PPoPP 2014)." in

@@ -26,6 +26,16 @@ module Phases = struct
       end
     done
 
+  (* Write the shuffled row in [tmp.(0..n-1)] back over row [i]. An
+     explicit loop rather than [blit (sub tmp 0 n) (sub buf base n)]:
+     the two [sub] views are heap allocations per row, which a batched
+     caller pays m times per matrix; the loop allocates nothing and
+     vectorizes just as well. *)
+  let writeback_row (buf : buf) ~(tmp : buf) ~base ~n =
+    for j = 0 to n - 1 do
+      unsafe_set buf (base + j) (unsafe_get tmp j)
+    done
+
   let row_shuffle_gather (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
     let n = p.n in
     for i = lo to hi - 1 do
@@ -33,7 +43,7 @@ module Phases = struct
       for j = 0 to n - 1 do
         unsafe_set tmp j (unsafe_get buf (base + Plan.d'_inv p ~i j))
       done;
-      blit (sub tmp 0 n) (sub buf base n)
+      writeback_row buf ~tmp ~base ~n
     done
 
   let row_shuffle_scatter (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
@@ -43,7 +53,7 @@ module Phases = struct
       for j = 0 to n - 1 do
         unsafe_set tmp (Plan.d' p ~i j) (unsafe_get buf (base + j))
       done;
-      blit (sub tmp 0 n) (sub buf base n)
+      writeback_row buf ~tmp ~base ~n
     done
 
   let row_shuffle_ungather (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
@@ -53,7 +63,7 @@ module Phases = struct
       for j = 0 to n - 1 do
         unsafe_set tmp j (unsafe_get buf (base + Plan.d' p ~i j))
       done;
-      blit (sub tmp 0 n) (sub buf base n)
+      writeback_row buf ~tmp ~base ~n
     done
 
   let col_shuffle_gather (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
@@ -150,10 +160,17 @@ let r2c ?(variant = Algo.R2c_fused) (p : Plan.t) buf ~tmp =
     end
   end
 
-let transpose ?(order = Layout.Row_major) ~m ~n buf =
+let transpose ?ws ?(order = Layout.Row_major) ~m ~n buf =
   let rm, rn =
     match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
   in
-  let tmp = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (max rm rn) in
+  (* Batch callers pass a workspace so the Theorem-6 scratch is allocated
+     once per worker instead of once per matrix. *)
+  let tmp =
+    match ws with
+    | Some ws -> Workspace.F64.tmp ws (max rm rn)
+    | None ->
+        Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (max rm rn)
+  in
   if rm > rn then c2r (Plan.make ~m:rm ~n:rn) buf ~tmp
   else r2c (Plan.make ~m:rn ~n:rm) buf ~tmp

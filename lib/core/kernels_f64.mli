@@ -34,5 +34,8 @@ val c2r : ?variant:Algo.c2r_variant -> Plan.t -> buf -> tmp:buf -> unit
 
 val r2c : ?variant:Algo.r2c_variant -> Plan.t -> buf -> tmp:buf -> unit
 
-val transpose : ?order:Layout.order -> m:int -> n:int -> buf -> unit
-(** Same contract as [Algo.Make(Storage.Float64).transpose]. *)
+val transpose :
+  ?ws:Workspace.F64.t -> ?order:Layout.order -> m:int -> n:int -> buf -> unit
+(** Same contract as [Algo.Make(Storage.Float64).transpose]. When [ws]
+    is given the Theorem-6 scratch comes from the workspace (grown once,
+    reused across calls) instead of a fresh allocation per call. *)

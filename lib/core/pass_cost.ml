@@ -9,3 +9,23 @@ let rotate (p : Plan.t) ~amount =
   2 * m * !moved
 
 let permute_rows (p : Plan.t) = 2 * p.m * p.n
+
+let panel_rotate (p : Plan.t) ~width ~amount =
+  if width < 1 then invalid_arg "Pass_cost.panel_rotate: width must be >= 1";
+  let m = p.m in
+  let traffic = ref 0 in
+  let lo = ref 0 in
+  while !lo < p.n do
+    let w = min width (p.n - !lo) in
+    let moved = ref false in
+    for jj = 0 to w - 1 do
+      if Intmath.emod (amount (!lo + jj)) m <> 0 then moved := true
+    done;
+    if !moved then traffic := !traffic + (2 * m * w);
+    lo := !lo + w
+  done;
+  !traffic
+
+let fused_panel (p : Plan.t) ~width = 2 * p.m * width
+
+let fused_col (p : Plan.t) = 2 * p.m * p.n

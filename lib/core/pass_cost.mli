@@ -19,3 +19,30 @@ val rotate : Plan.t -> amount:(int -> int) -> int
 val permute_rows : Plan.t -> int
 (** Element touches of a row-permutation pass ([2mn]: the implementation
     gathers and writes back every column in full). *)
+
+(** {1 Panelized (cache-aware / fused) passes}
+
+    The counts above price {e buffer accesses}, which for the naive
+    per-column passes coincide with memory traffic (nothing stays
+    resident between columns). The panelized engines are priced under
+    the §4.6 residency model instead: a width-[W] column panel is loaded
+    into cache once and stored once per {e visit}, however many fused
+    operations run while it is resident. The two models agree on what
+    the regression guard needs — un-fusing a pass into a second sweep
+    doubles the count. *)
+
+val panel_rotate : Plan.t -> width:int -> amount:(int -> int) -> int
+(** Modeled memory element transfers of a §4.6 panelized rotation:
+    [2m * w] per width-[w] panel containing at least one column whose
+    reduced amount is nonzero; untouched panels are free. O(n).
+    @raise Invalid_argument if [width < 1]. *)
+
+val fused_panel : Plan.t -> width:int -> int
+(** One fused panel visit ([2m * width]): the panel is read and written
+    once while the rotation and the row permutation both run on it. *)
+
+val fused_col : Plan.t -> int
+(** The whole fused column phase, [2mn]: every element moves through
+    cache once even though two §4.1 passes (column rotation, row
+    permutation) are applied to it. Compare against
+    {!rotate}[ + ]{!permute_rows} ([~4mn]) for the unfused path. *)

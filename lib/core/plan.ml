@@ -100,3 +100,92 @@ let check_internal t =
 let pp ppf t =
   Format.fprintf ppf "@[<h>plan %dx%d (c=%d a=%d b=%d a^-1=%d b^-1=%d)@]" t.m
     t.n t.c t.a t.b t.a_inv t.b_inv
+
+module Cache = struct
+  type plan = t
+  type entry = { plan : plan; mutable stamp : int }
+
+  type t = {
+    capacity : int;
+    mutable clock : int;
+    mutable hits : int;
+    mutable misses : int;
+    table : (int * int, entry) Hashtbl.t;
+    mutex : Mutex.t;
+  }
+
+  let create ?(capacity = 64) () =
+    if capacity < 1 then invalid_arg "Plan.Cache.create: capacity must be >= 1";
+    {
+      capacity;
+      clock = 0;
+      hits = 0;
+      misses = 0;
+      table = Hashtbl.create 32;
+      mutex = Mutex.create ();
+    }
+
+  let default = create ()
+
+  let m_hits = lazy (Xpose_obs.Metrics.counter "plan_cache.hits")
+  let m_misses = lazy (Xpose_obs.Metrics.counter "plan_cache.misses")
+
+  (* Least-recently-used entry by stamp; a linear scan is fine at the
+     capacities plans are cached at (the table holds tens of entries). *)
+  let evict_lru t =
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= e.stamp -> acc
+          | _ -> Some (key, e.stamp))
+        t.table None
+    in
+    match victim with
+    | Some (key, _) -> Hashtbl.remove t.table key
+    | None -> ()
+
+  let get ?(cache = default) ~m ~n () =
+    Mutex.lock cache.mutex;
+    cache.clock <- cache.clock + 1;
+    match Hashtbl.find_opt cache.table (m, n) with
+    | Some e ->
+        e.stamp <- cache.clock;
+        cache.hits <- cache.hits + 1;
+        Mutex.unlock cache.mutex;
+        Xpose_obs.Metrics.incr (Lazy.force m_hits);
+        e.plan
+    | None ->
+        cache.misses <- cache.misses + 1;
+        Mutex.unlock cache.mutex;
+        Xpose_obs.Metrics.incr (Lazy.force m_misses);
+        (* Build outside the lock: [make] is the expensive part (gcd,
+           modular inverses, five Magic reciprocals) and may raise. A
+           racing lookup of the same shape builds twice; the table keeps
+           one winner. *)
+        let plan = make ~m ~n in
+        Mutex.lock cache.mutex;
+        (if not (Hashtbl.mem cache.table (m, n)) then begin
+           if Hashtbl.length cache.table >= cache.capacity then
+             evict_lru cache;
+           Hashtbl.replace cache.table (m, n) { plan; stamp = cache.clock }
+         end);
+        Mutex.unlock cache.mutex;
+        plan
+
+  let length t =
+    Mutex.lock t.mutex;
+    let len = Hashtbl.length t.table in
+    Mutex.unlock t.mutex;
+    len
+
+  let hits t = t.hits
+  let misses t = t.misses
+
+  let clear t =
+    Mutex.lock t.mutex;
+    Hashtbl.reset t.table;
+    t.hits <- 0;
+    t.misses <- 0;
+    Mutex.unlock t.mutex
+end

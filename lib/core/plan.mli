@@ -94,3 +94,36 @@ val check_internal : t -> unit
     tests and by [make] under assertions. @raise Assert_failure *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Plan cache}
+
+    [make] pays a gcd, two extended-gcd modular inverses and five Magic
+    reciprocal constructions. A serving workload transposing the same
+    handful of shapes over and over should pay that once per shape: the
+    cache memoizes plans keyed by [(m, n)] with LRU eviction. Lookups are
+    thread-safe (pool workers may share a cache); hit/miss totals are
+    also published as the [plan_cache.hits]/[plan_cache.misses] metrics
+    counters. *)
+
+module Cache : sig
+  type plan = t
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** An empty cache holding at most [capacity] (default 64) plans.
+      @raise Invalid_argument if [capacity < 1]. *)
+
+  val default : t
+  (** The process-global cache used when no explicit one is given. *)
+
+  val get : ?cache:t -> m:int -> n:int -> unit -> plan
+  (** [get ~m ~n ()] is [make ~m ~n], memoized: a hit returns the cached
+      plan (physically equal to the one built on the miss), a miss
+      builds, stores, and (at capacity) evicts the least recently used
+      shape. @raise Invalid_argument as {!val:make}. *)
+
+  val length : t -> int
+  val hits : t -> int
+  val misses : t -> int
+  val clear : t -> unit
+end

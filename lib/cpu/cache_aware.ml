@@ -2,200 +2,58 @@ open Xpose_core
 
 module Make (S : Storage.S) = struct
   module A = Algo.Make (S)
+  module F = Fused.Make (S)
+  module Ws = F.Ws
 
   type buf = S.t
 
-  let default_width = 16
+  let default_width = F.default_width
 
-  (* Copy the sub-row [cols lo..lo+w-1] of row [src] over the same columns
-     of row [dst]. *)
-  let copy_subrow buf ~n ~lo ~w ~src ~dst =
-    S.blit buf ((src * n) + lo) buf ((dst * n) + lo) w
+  (* The panel primitives live in Fused.Make; this module keeps the
+     historical sweep-at-a-time interface (one pass per sweep) on top of
+     them, with scratch hoisted into a Workspace instead of allocated per
+     call. *)
 
-  let save_subrow buf ~n ~lo ~w ~row tmp = S.blit buf ((row * n) + lo) tmp 0 w
-  let restore_subrow tmp buf ~n ~lo ~w ~row = S.blit tmp 0 buf ((row * n) + lo) w
-
-  (* Coarse phase of §4.6: rotate the [w] columns starting at [lo] together
-     by [k], by following the analytic cycles of the rotation. There are
-     gcd(m, k) cycles; the chain starting at y visits y, y+k, y+2k, ... *)
-  let rotate_group_coarse buf ~m ~n ~lo ~w ~k ~line =
-    if k <> 0 then begin
-      let cycles = Intmath.gcd m k in
-      for y = 0 to cycles - 1 do
-        save_subrow buf ~n ~lo ~w ~row:y line;
-        let i = ref y in
-        let continue = ref true in
-        while !continue do
-          let src = !i + k in
-          let src = if src >= m then src - m else src in
-          if src = y then begin
-            restore_subrow line buf ~n ~lo ~w ~row:!i;
-            continue := false
-          end
-          else begin
-            copy_subrow buf ~n ~lo ~w ~src ~dst:!i;
-            i := src
-          end
-        done
-      done
-    end
-
-  (* Fine phase of §4.6: apply per-column residual rotations bounded by
-     [w], reading strips of [block_rows] rows through a block buffer. Rows
-     that wrap past m-1 are served from a saved copy of the head rows. *)
-  let rotate_group_fine buf ~m ~n ~lo ~w ~res ~maxres ~block_rows ~head ~block =
-    if maxres > 0 then begin
-      (* head.(r*w + jj) caches original row r (r < maxres), columns lo+jj *)
-      for r = 0 to maxres - 1 do
-        S.blit buf ((r * n) + lo) head (r * w) w
-      done;
-      let r = ref 0 in
-      while !r < m do
-        let rows = min block_rows (m - !r) in
-        for t = 0 to rows - 1 do
-          let i = !r + t in
-          for jj = 0 to w - 1 do
-            let src = i + res.(jj) in
-            let v =
-              if src >= m then S.get head (((src - m) * w) + jj)
-              else S.get buf ((src * n) + lo + jj)
-            in
-            S.set block ((t * w) + jj) v
-          done
-        done;
-        for t = 0 to rows - 1 do
-          S.blit block (t * w) buf (((!r + t) * n) + lo) w
-        done;
-        r := !r + rows
-      done
-    end
-
-  let rotate_columns ?(width = default_width) ?(block_rows = 64) ?(lo = 0)
-      ?hi (p : Plan.t) buf ~amount =
-    let m = p.m and n = p.n in
+  let rotate_columns ?width ?block_rows ?ws ?(lo = 0) ?hi (p : Plan.t) buf
+      ~amount =
+    let n = p.n in
     let hi = match hi with Some h -> h | None -> n in
     if lo < 0 || hi > n || lo > hi then
       invalid_arg "Cache_aware.rotate_columns: bad column range";
-    let line = S.create width in
-    let head = S.create (width * width) in
-    let block = S.create (block_rows * width) in
-    let res = Array.make width 0 in
-    let fallback_tmp = lazy (S.create m) in
-    let g = ref lo in
-    while !g < hi do
-      let lo = !g in
-      let w = min width (hi - lo) in
-      (* Anchor the coarse amount so residuals (amount j - coarse) mod m
-         stay below w; increasing amounts anchor at the first column,
-         decreasing ones at the last. *)
-      let pick anchor =
-        let k = Intmath.emod (amount anchor) m in
-        let maxres = ref 0 in
-        for jj = 0 to w - 1 do
-          let r = Intmath.emod (amount (lo + jj) - k) m in
-          res.(jj) <- r;
-          if r > !maxres then maxres := r
-        done;
-        (k, !maxres)
-      in
-      let k, maxres =
-        let k, mr = pick lo in
-        if mr < w then (k, mr)
-        else
-          (* Decreasing amount functions bound residuals when anchored at
-             the last column of the group instead. *)
-          pick (lo + w - 1)
-      in
-      if maxres < w && maxres < m then begin
-        rotate_group_coarse buf ~m ~n ~lo ~w ~k ~line;
-        rotate_group_fine buf ~m ~n ~lo ~w ~res ~maxres ~block_rows ~head
-          ~block
-      end
-      else
-        (* Arbitrary amount function: per-column rotation is still exact. *)
-        A.Phases.rotate_columns p buf ~tmp:(Lazy.force fallback_tmp) ~amount
-          ~lo ~hi:(lo + w);
-      g := lo + w
-    done
+    F.rotate_columns ?width ?block_rows ?ws ~lo ~hi p buf ~amount
 
-  (* §4.7: discover the cycles of the shared row permutation once. Returns
-     the rows of each nontrivial cycle in gather-chain order. *)
-  let build_cycles ~m ~index =
-    let index i =
-      let v = index i in
-      if v < 0 || v >= m then
-        invalid_arg "Cache_aware.permute_rows: index out of range";
-      v
-    in
-    let visited = Bytes.make m '\000' in
-    let chains = ref [] in
-    for i0 = 0 to m - 1 do
-      if Bytes.get visited i0 = '\000' then begin
-        Bytes.set visited i0 '\001';
-        let src = index i0 in
-        if src <> i0 then begin
-          let chain = ref [ i0 ] in
-          let i = ref src in
-          while !i <> i0 do
-            if Bytes.get visited !i <> '\000' then
-              invalid_arg "Cache_aware.permute_rows: index is not a permutation";
-            Bytes.set visited !i '\001';
-            chain := !i :: !chain;
-            i := index !i
-          done;
-          chains := Array.of_list (List.rev !chain) :: !chains
-        end
-      end
-    done;
-    !chains
-
-  let permute_rows ?(width = default_width) ?(lo = 0) ?hi (p : Plan.t) buf
-      ~index =
+  let permute_rows ?width ?ws ?(lo = 0) ?hi (p : Plan.t) buf ~index =
     let m = p.m and n = p.n in
     let hi = match hi with Some h -> h | None -> n in
     if lo < 0 || hi > n || lo > hi then
       invalid_arg "Cache_aware.permute_rows: bad column range";
-    let cycles = build_cycles ~m ~index in
-    let line = S.create width in
-    let g = ref lo in
-    while !g < hi do
-      let lo = !g in
-      let w = min width (hi - lo) in
-      List.iter
-        (fun chain ->
-          (* chain.(t+1) = index chain.(t): new row chain.(t) takes the old
-             contents of row chain.(t+1); the last takes the saved head. *)
-          let len = Array.length chain in
-          save_subrow buf ~n ~lo ~w ~row:chain.(0) line;
-          for t = 0 to len - 2 do
-            copy_subrow buf ~n ~lo ~w ~src:chain.(t + 1) ~dst:chain.(t)
-          done;
-          restore_subrow line buf ~n ~lo ~w ~row:chain.(len - 1))
-        cycles;
-      g := lo + w
-    done
+    let cycles = F.cycles ~whom:"Cache_aware.permute_rows" ~m ~index in
+    F.permute_cols ?width ?ws ~lo ~hi p buf ~cycles
 
-  let c2r ?width (p : Plan.t) buf ~tmp =
+  let c2r ?width ?ws (p : Plan.t) buf ~tmp =
     let m = p.m and n = p.n in
     if S.length buf <> m * n then invalid_arg "Cache_aware.c2r: buffer size";
     if m = 1 || n = 1 then ()
     else begin
+      let ws = match ws with Some ws -> ws | None -> Ws.create () in
       if not (Plan.coprime p) then
-        rotate_columns ?width p buf ~amount:(Plan.rotate_amount p);
+        rotate_columns ?width ~ws p buf ~amount:(Plan.rotate_amount p);
       A.Phases.row_shuffle_gather p buf ~tmp ~lo:0 ~hi:m;
-      rotate_columns ?width p buf ~amount:(fun j -> j);
-      permute_rows ?width p buf ~index:(Plan.q p)
+      rotate_columns ?width ~ws p buf ~amount:(fun j -> j);
+      permute_rows ?width ~ws p buf ~index:(Plan.q p)
     end
 
-  let r2c ?width (p : Plan.t) buf ~tmp =
+  let r2c ?width ?ws (p : Plan.t) buf ~tmp =
     let m = p.m and n = p.n in
     if S.length buf <> m * n then invalid_arg "Cache_aware.r2c: buffer size";
     if m = 1 || n = 1 then ()
     else begin
-      permute_rows ?width p buf ~index:(Plan.q_inv p);
-      rotate_columns ?width p buf ~amount:(fun j -> -j);
+      let ws = match ws with Some ws -> ws | None -> Ws.create () in
+      permute_rows ?width ~ws p buf ~index:(Plan.q_inv p);
+      rotate_columns ?width ~ws p buf ~amount:(fun j -> -j);
       A.Phases.row_shuffle_ungather p buf ~tmp ~lo:0 ~hi:m;
       if not (Plan.coprime p) then
-        rotate_columns ?width p buf ~amount:(fun j -> -Plan.rotate_amount p j)
+        rotate_columns ?width ~ws p buf
+          ~amount:(fun j -> -Plan.rotate_amount p j)
     end
 end

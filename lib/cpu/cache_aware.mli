@@ -14,9 +14,19 @@
       cycles), then follows them moving sub-rows.
 
     Both are drop-in replacements for the corresponding
-    [Xpose_core.Algo.Make(S).Phases] passes over the full index range. *)
+    [Xpose_core.Algo.Make(S).Phases] passes over the full index range.
+
+    The panel primitives are shared with (and implemented by)
+    {!Xpose_cpu.Fused}; this module keeps the historical sweep-at-a-time
+    interface — each sweep streams the matrix once. Callers wanting one
+    panel residency for the whole column phase should use
+    [Fused.Make(S).c2r_cols]/[r2c_cols] (or the {!Xpose_cpu.Fused_f64}
+    engine) instead. Scratch buffers come from an optional
+    {!Xpose_core.Workspace}; when omitted, each call allocates its own. *)
 
 module Make (S : Xpose_core.Storage.S) : sig
+  module Ws : module type of Xpose_core.Workspace.Make (S)
+
   type buf = S.t
 
   val default_width : int
@@ -26,6 +36,7 @@ module Make (S : Xpose_core.Storage.S) : sig
   val rotate_columns :
     ?width:int ->
     ?block_rows:int ->
+    ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
     Xpose_core.Plan.t ->
@@ -44,6 +55,7 @@ module Make (S : Xpose_core.Storage.S) : sig
 
   val permute_rows :
     ?width:int ->
+    ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
     Xpose_core.Plan.t ->
@@ -56,11 +68,15 @@ module Make (S : Xpose_core.Storage.S) : sig
       permutation of [[0, m)] (checked while building cycles).
       @raise Invalid_argument if [index] is not a permutation. *)
 
-  val c2r : ?width:int -> Xpose_core.Plan.t -> buf -> tmp:buf -> unit
+  val c2r :
+    ?width:int -> ?ws:Ws.t -> Xpose_core.Plan.t -> buf -> tmp:buf -> unit
   (** C2R transposition using cache-aware passes for every column
       operation (the decomposed §4.1 form); the paper's GPU implementation
-      structure (§5.2) on a CPU. *)
+      structure (§5.2) on a CPU. Line/head/block scratch is allocated once
+      per call (or taken from [ws]); [tmp] holds the Theorem-6 row
+      scratch as before. *)
 
-  val r2c : ?width:int -> Xpose_core.Plan.t -> buf -> tmp:buf -> unit
+  val r2c :
+    ?width:int -> ?ws:Ws.t -> Xpose_core.Plan.t -> buf -> tmp:buf -> unit
   (** Inverse of {!c2r}. *)
 end

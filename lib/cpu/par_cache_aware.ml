@@ -3,6 +3,7 @@ open Xpose_core
 module Make (S : Storage.S) = struct
   module A = Algo.Make (S)
   module C = Cache_aware.Make (S)
+  module F = Fused.Make (S)
 
   type buf = S.t
 
@@ -14,29 +15,32 @@ module Make (S : Storage.S) = struct
      line-shaped; correctness does not depend on the alignment. *)
   let over_columns pool ~n ~width pass =
     let groups = Intmath.ceil_div n width in
-    Pool.parallel_chunks pool ~lo:0 ~hi:groups (fun ~chunk:_ ~lo ~hi ->
+    Pool.parallel_chunks pool ~lo:0 ~hi:groups (fun ~chunk ~lo ~hi ->
         let lo = lo * width and hi = min n (hi * width) in
-        if lo < hi then pass ~lo ~hi)
+        if lo < hi then pass ~chunk ~lo ~hi)
+
+  let workspaces pool = Array.init (Pool.workers pool) (fun _ -> F.Ws.create ())
 
   let c2r ?(width = C.default_width) pool (p : Plan.t) buf =
     check p buf;
     let m = p.m and n = p.n in
     if m = 1 || n = 1 then ()
     else begin
-      let tmp =
-        Array.init (Pool.workers pool) (fun _ ->
-            S.create (Plan.scratch_elements p))
-      in
+      let wss = workspaces pool in
+      let tmp chunk = F.Ws.tmp wss.(chunk) (Plan.scratch_elements p) in
       if not (Plan.coprime p) then
-        over_columns pool ~n ~width (fun ~lo ~hi ->
-            C.rotate_columns ~width ~lo ~hi p buf
+        over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
+            F.rotate_columns ~width ~ws:wss.(chunk) ~lo ~hi p buf
               ~amount:(Plan.rotate_amount p));
       Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
-          A.Phases.row_shuffle_gather p buf ~tmp:tmp.(chunk) ~lo ~hi);
-      over_columns pool ~n ~width (fun ~lo ~hi ->
-          C.rotate_columns ~width ~lo ~hi p buf ~amount:(fun j -> j));
-      over_columns pool ~n ~width (fun ~lo ~hi ->
-          C.permute_rows ~width ~lo ~hi p buf ~index:(Plan.q p))
+          A.Phases.row_shuffle_gather p buf ~tmp:(tmp chunk) ~lo ~hi);
+      (* Column rotation and row permutation are both column-local, so one
+         fused barrier visits each panel once instead of sweeping the
+         matrix twice; the permutation cycles are discovered once and
+         shared read-only by all workers. *)
+      let cycles = F.cycles ~whom:"Par_cache_aware.c2r" ~m ~index:(Plan.q p) in
+      over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
+          F.c2r_cols ~width ~ws:wss.(chunk) ~lo ~hi p buf ~cycles)
     end
 
   let r2c ?(width = C.default_width) pool (p : Plan.t) buf =
@@ -44,19 +48,18 @@ module Make (S : Storage.S) = struct
     let m = p.m and n = p.n in
     if m = 1 || n = 1 then ()
     else begin
-      let tmp =
-        Array.init (Pool.workers pool) (fun _ ->
-            S.create (Plan.scratch_elements p))
+      let wss = workspaces pool in
+      let tmp chunk = F.Ws.tmp wss.(chunk) (Plan.scratch_elements p) in
+      let cycles =
+        F.cycles ~whom:"Par_cache_aware.r2c" ~m ~index:(Plan.q_inv p)
       in
-      over_columns pool ~n ~width (fun ~lo ~hi ->
-          C.permute_rows ~width ~lo ~hi p buf ~index:(Plan.q_inv p));
-      over_columns pool ~n ~width (fun ~lo ~hi ->
-          C.rotate_columns ~width ~lo ~hi p buf ~amount:(fun j -> -j));
+      over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
+          F.r2c_cols ~width ~ws:wss.(chunk) ~lo ~hi p buf ~cycles);
       Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
-          A.Phases.row_shuffle_ungather p buf ~tmp:tmp.(chunk) ~lo ~hi);
+          A.Phases.row_shuffle_ungather p buf ~tmp:(tmp chunk) ~lo ~hi);
       if not (Plan.coprime p) then
-        over_columns pool ~n ~width (fun ~lo ~hi ->
-            C.rotate_columns ~width ~lo ~hi p buf
+        over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
+            F.rotate_columns ~width ~ws:wss.(chunk) ~lo ~hi p buf
               ~amount:(fun j -> -Plan.rotate_amount p j))
     end
 

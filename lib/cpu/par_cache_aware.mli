@@ -3,7 +3,11 @@
     cache-aware rotations and row permutations) driven by the domain
     pool. Column groups are independent, so each pass partitions the
     column range across workers; the row shuffle partitions across rows
-    as in {!Par_transpose}. *)
+    as in {!Par_transpose}. The final column rotation and row
+    permutation run as a single fused barrier ({!Fused.Make}[.c2r_cols]
+    / [.r2c_cols]): each worker visits its panels once, doing both
+    column-wise passes while the panel is resident, with per-worker
+    workspaces and one shared cycle discovery. *)
 
 module Make (S : Xpose_core.Storage.S) : sig
   type buf = S.t

@@ -89,6 +89,7 @@ let pass ~name ?(batch = 1) ?(block = 1) ~rows ~cols ~pred_touches
   Metrics.incr (Lazy.force m_passes);
   Metrics.incr ~by:pred_touches (Lazy.force m_pred);
   Metrics.incr (Metrics.counter ("pass." ^ name));
+  Metrics.incr ~by:pred_touches (Metrics.counter ("pass." ^ name ^ ".touches"));
   if not (enabled ()) then f ()
   else
     with_span ~cat:"pass"
@@ -100,6 +101,22 @@ let pass ~name ?(batch = 1) ?(block = 1) ~rows ~cols ~pred_touches
           ("block", Int block);
           ("pred_touches", Int pred_touches);
           ("scratch_elems", Int scratch_elems);
+        ])
+      name f
+
+let m_panels = lazy (Metrics.counter "xpose.panels_total")
+
+let panel ~name ~lo ~width ~rows ~pred_touches f =
+  Metrics.incr (Lazy.force m_panels);
+  if not (enabled ()) then f ()
+  else
+    with_span ~cat:"panel"
+      ~args:(fun () ->
+        [
+          ("lo", Int lo);
+          ("width", Int width);
+          ("rows", Int rows);
+          ("pred_touches", Int pred_touches);
         ])
       name f
 

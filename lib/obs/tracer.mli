@@ -13,6 +13,8 @@
       shuffle) with its Theorem-6 predicted element touches;
     - ["plan"] — one pass of a rank-N permutation plan (a batched/blocked
       2-D transpose over the whole buffer);
+    - ["panel"] — one width-W column-panel visit of a cache-aware or
+      fused engine, nested inside its ["pass"] span;
     - ["chunk"] — one worker's share of a {!Xpose_cpu.Pool} barrier;
     - ["simd"] — one simulated-GPU kernel phase with its
       [Memory.stats] delta. *)
@@ -74,9 +76,25 @@ val pass :
   'a
 (** The one helper every pass runner uses: always bumps the
     [xpose.passes_total] / [xpose.pred_touches_total] counters and the
-    per-kind [pass.<name>] counter, and opens a ["pass"] span carrying
-    the pass shape, predicted element touches and scratch elements when
-    the tracer is enabled. *)
+    per-kind [pass.<name>] / [pass.<name>.touches] counters, and opens a
+    ["pass"] span carrying the pass shape, predicted element touches and
+    scratch elements when the tracer is enabled. The [.touches] counters
+    let two engines' per-pass traffic be compared from the metrics dump
+    alone (the CI locality guard does exactly that). *)
+
+val panel :
+  name:string ->
+  lo:int ->
+  width:int ->
+  rows:int ->
+  pred_touches:int ->
+  (unit -> 'a) ->
+  'a
+(** Per-panel twin of {!pass} for the cache-aware/fused engines: always
+    bumps [xpose.panels_total], and opens a ["panel"] span (columns
+    [[lo, lo+width)], [rows] rows, predicted memory element transfers)
+    when the tracer is enabled. Called once per panel visit — [rows *
+    width] elements of work — never per element. *)
 
 (** {1 Sinks} *)
 

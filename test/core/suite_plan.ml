@@ -131,10 +131,54 @@ let prop_coprime_degenerate =
       done;
       !ok)
 
+let test_cache_hit_miss () =
+  let cache = Plan.Cache.create ~capacity:8 () in
+  let p1 = Plan.Cache.get ~cache ~m:48 ~n:36 () in
+  let p2 = Plan.Cache.get ~cache ~m:48 ~n:36 () in
+  Alcotest.(check bool) "hit returns the cached plan" true (p1 == p2);
+  Alcotest.(check int) "one miss" 1 (Plan.Cache.misses cache);
+  Alcotest.(check int) "one hit" 1 (Plan.Cache.hits cache);
+  let p3 = Plan.Cache.get ~cache ~m:36 ~n:48 () in
+  Alcotest.(check bool) "transposed shape is a distinct entry" true
+    (p3 != p1 && p3.m = 36 && p3.n = 48);
+  Alcotest.(check int) "two entries" 2 (Plan.Cache.length cache);
+  Plan.Cache.clear cache;
+  Alcotest.(check int) "clear empties" 0 (Plan.Cache.length cache);
+  Alcotest.(check int) "clear resets hits" 0 (Plan.Cache.hits cache)
+
+let test_cache_lru_eviction () =
+  let cache = Plan.Cache.create ~capacity:2 () in
+  let p_a = Plan.Cache.get ~cache ~m:3 ~n:4 () in
+  let _ = Plan.Cache.get ~cache ~m:5 ~n:6 () in
+  (* Touch (3,4) so (5,6) is the least recently used, then overflow. *)
+  let p_a' = Plan.Cache.get ~cache ~m:3 ~n:4 () in
+  Alcotest.(check bool) "touch is a hit" true (p_a == p_a');
+  let _ = Plan.Cache.get ~cache ~m:7 ~n:8 () in
+  Alcotest.(check int) "capacity respected" 2 (Plan.Cache.length cache);
+  let p_a'' = Plan.Cache.get ~cache ~m:3 ~n:4 () in
+  Alcotest.(check bool) "recently used survives eviction" true (p_a == p_a'');
+  let misses = Plan.Cache.misses cache in
+  let _ = Plan.Cache.get ~cache ~m:5 ~n:6 () in
+  Alcotest.(check int) "LRU victim was evicted (rebuild misses)"
+    (misses + 1) (Plan.Cache.misses cache)
+
+let test_cache_invalid () =
+  Alcotest.check_raises "capacity >= 1"
+    (Invalid_argument "Plan.Cache.create: capacity must be >= 1") (fun () ->
+      ignore (Plan.Cache.create ~capacity:0 ()));
+  let cache = Plan.Cache.create () in
+  Alcotest.check_raises "bad dims propagate"
+    (Invalid_argument "Plan.make: dimensions must be positive") (fun () ->
+      ignore (Plan.Cache.get ~cache ~m:0 ~n:4 ()));
+  Alcotest.(check int) "failed build not cached" 0 (Plan.Cache.length cache)
+
 let tests =
   [
     Alcotest.test_case "internal consistency (exhaustive small)" `Quick
       test_internal_consistency;
+    Alcotest.test_case "cache hit/miss bookkeeping" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache invalid args" `Quick test_cache_invalid;
     Alcotest.test_case "invalid dims" `Quick test_invalid;
     Alcotest.test_case "coprime / scratch" `Quick test_coprime;
     Alcotest.test_case "Lemma 1 periodicity" `Quick test_periodicity_lemma1;

@@ -1,0 +1,258 @@
+(* The pass-fused engines (generic functor and float64 fast path) must be
+   behaviourally identical to the element-generic Algo oracle: fusing the
+   column rotation and row permutation into one panel visit is a pure
+   locality transformation. *)
+
+open Xpose_core
+open Xpose_cpu
+module S = Storage.Float64
+module A = Instances.F64
+module FI = Fused.Make (Storage.Int_elt)
+module AI = Instances.I
+
+let iota_buf len =
+  let buf = S.create len in
+  Storage.fill_iota (module S) buf;
+  buf
+
+let buf_to_list buf = List.init (S.length buf) (S.get buf)
+
+(* Coprime, non-coprime, prime, skinny, square, and panel-boundary shapes
+   (n not a multiple of the default width 16). *)
+let shapes =
+  [
+    (1, 1);
+    (3, 8);
+    (37, 18);
+    (48, 36);
+    (97, 89);
+    (1, 9);
+    (9, 1);
+    (40, 23);
+    (23, 40);
+    (96, 72);
+    (17, 17);
+    (64, 48);
+  ]
+
+let oracle_c2r m n =
+  let p = Plan.make ~m ~n in
+  let buf = iota_buf (m * n) in
+  let tmp = S.create (Plan.scratch_elements p) in
+  A.c2r p buf ~tmp;
+  buf_to_list buf
+
+let test_c2r_matches_oracle () =
+  List.iter
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      let expected = oracle_c2r m n in
+      let buf = iota_buf (m * n) in
+      Fused_f64.c2r p buf;
+      Alcotest.(check (list (float 0.0)))
+        (Printf.sprintf "fused c2r %dx%d" m n)
+        expected (buf_to_list buf);
+      Fused_f64.r2c p buf;
+      Alcotest.(check (list (float 0.0)))
+        (Printf.sprintf "fused r2c inverts %dx%d" m n)
+        (List.init (m * n) float_of_int)
+        (buf_to_list buf))
+    shapes
+
+let test_workspace_reuse_across_shapes () =
+  (* One workspace driven through growing and shrinking shapes: the
+     grow-only scratch must never leak state between calls. *)
+  let ws = Workspace.F64.create () in
+  List.iter
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      let buf = iota_buf (m * n) in
+      Fused_f64.c2r ~ws p buf;
+      Alcotest.(check (list (float 0.0)))
+        (Printf.sprintf "shared-ws c2r %dx%d" m n)
+        (oracle_c2r m n) (buf_to_list buf))
+    (shapes @ List.rev shapes)
+
+let prop_fused_equals_oracle =
+  QCheck2.Test.make ~name:"fused f64 c2r = generic c2r" ~count:120
+    QCheck2.Gen.(
+      quad (int_range 1 80) (int_range 1 80) (int_range 1 24) (int_range 1 80))
+    (fun (m, n, width, block_rows) ->
+      let p = Plan.make ~m ~n in
+      let expected =
+        let buf = iota_buf (m * n) in
+        let tmp = S.create (Plan.scratch_elements p) in
+        A.c2r p buf ~tmp;
+        buf_to_list buf
+      in
+      let buf = iota_buf (m * n) in
+      Fused_f64.c2r ~width ~block_rows p buf;
+      buf_to_list buf = expected)
+
+let prop_r2c_inverts =
+  QCheck2.Test.make ~name:"fused f64 r2c inverts c2r" ~count:120
+    QCheck2.Gen.(triple (int_range 1 80) (int_range 1 80) (int_range 1 24))
+    (fun (m, n, width) ->
+      let p = Plan.make ~m ~n in
+      let buf = iota_buf (m * n) in
+      Fused_f64.c2r ~width p buf;
+      Fused_f64.r2c ~width p buf;
+      buf_to_list buf = List.init (m * n) float_of_int)
+
+let test_generic_fused_matches_oracle () =
+  (* The functorized twin over int storage, exercising fused visits,
+     unfused sweeps, and the full engine. *)
+  let module SI = Storage.Int_elt in
+  let iota len =
+    let buf = SI.create len in
+    Storage.fill_iota (module SI) buf;
+    buf
+  in
+  let to_list buf = List.init (SI.length buf) (SI.get buf) in
+  List.iter
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      let expected =
+        let buf = iota (m * n) in
+        let tmp = SI.create (Plan.scratch_elements p) in
+        AI.c2r p buf ~tmp;
+        to_list buf
+      in
+      let buf = iota (m * n) in
+      FI.c2r p buf;
+      Alcotest.(check (list int))
+        (Printf.sprintf "generic fused c2r %dx%d" m n)
+        expected (to_list buf);
+      FI.r2c p buf;
+      Alcotest.(check (list int))
+        "generic fused r2c inverts"
+        (List.init (m * n) Fun.id)
+        (to_list buf))
+    shapes
+
+let test_cols_match_sweeps () =
+  (* A fused panel visit over any sub-range equals the two sweeps over
+     that range — the fusion claim itself, at the primitive level. *)
+  List.iter
+    (fun (m, n) ->
+      let p = Plan.make ~m ~n in
+      let cycles = Fused_f64.cycles ~m ~index:(Plan.q p) in
+      List.iter
+        (fun (lo, hi) ->
+          let expected =
+            let buf = iota_buf (m * n) in
+            Fused_f64.rotate_columns ~lo ~hi p buf ~amount:(fun j -> j);
+            Fused_f64.permute_cols ~lo ~hi p buf ~cycles;
+            buf_to_list buf
+          in
+          let buf = iota_buf (m * n) in
+          Fused_f64.c2r_cols ~lo ~hi p buf ~cycles;
+          Alcotest.(check (list (float 0.0)))
+            (Printf.sprintf "c2r_cols %dx%d [%d,%d)" m n lo hi)
+            expected (buf_to_list buf))
+        [ (0, n); (0, n / 2); (n / 2, n); (3, min n 21) ])
+    [ (48, 36); (37, 18); (40, 23) ]
+
+let test_transpose_routes_and_caches () =
+  let cache = Plan.Cache.create ~capacity:4 () in
+  List.iter
+    (fun (m, n) ->
+      let buf = iota_buf (m * n) in
+      Fused_f64.transpose ~cache ~m ~n buf;
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          if S.get buf ((j * m) + i) <> float_of_int ((i * n) + j) then
+            ok := false
+        done
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "transpose %dx%d" m n)
+        true !ok)
+    [ (48, 36); (36, 48); (5, 120); (120, 5) ];
+  Alcotest.(check bool) "cache hit on repeat" true
+    (let before = Plan.Cache.hits cache in
+     let buf = iota_buf (48 * 36) in
+     Fused_f64.transpose ~cache ~m:48 ~n:36 buf;
+     Plan.Cache.hits cache > before)
+
+let with_pool workers f =
+  let pool = Pool.create ~workers () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_pool_engines () =
+  with_pool 4 (fun pool ->
+      List.iter
+        (fun (m, n) ->
+          let p = Plan.make ~m ~n in
+          let expected = oracle_c2r m n in
+          let buf = iota_buf (m * n) in
+          Fused_f64.c2r_pool pool p buf;
+          Alcotest.(check (list (float 0.0)))
+            (Printf.sprintf "pooled fused c2r %dx%d" m n)
+            expected (buf_to_list buf);
+          Fused_f64.r2c_pool pool p buf;
+          Alcotest.(check (list (float 0.0)))
+            "pooled fused r2c inverts"
+            (List.init (m * n) float_of_int)
+            (buf_to_list buf))
+        shapes)
+
+let check_batch pool ~batch ~m ~n =
+  let bufs = Array.init batch (fun _ -> iota_buf (m * n)) in
+  Fused_f64.transpose_batch pool ~m ~n bufs;
+  let expected =
+    let buf = iota_buf (m * n) in
+    Fused_f64.transpose ~m ~n buf;
+    buf_to_list buf
+  in
+  Array.iteri
+    (fun b buf ->
+      Alcotest.(check (list (float 0.0)))
+        (Printf.sprintf "batch[%d] %dx%d (batch=%d)" b m n batch)
+        expected (buf_to_list buf))
+    bufs
+
+let test_transpose_batch () =
+  with_pool 4 (fun pool ->
+      (* batch >= lanes: matrix-parallel branch *)
+      check_batch pool ~batch:9 ~m:48 ~n:36;
+      check_batch pool ~batch:4 ~m:37 ~n:18;
+      (* batch < lanes: panel-parallel branch *)
+      check_batch pool ~batch:2 ~m:96 ~n:72;
+      check_batch pool ~batch:1 ~m:23 ~n:40;
+      (* degenerate shapes and empty batch *)
+      check_batch pool ~batch:3 ~m:1 ~n:17;
+      Fused_f64.transpose_batch pool ~m:4 ~n:4 [||]);
+  (* sequential pool exercises the lanes = 1 path *)
+  check_batch Pool.sequential ~batch:3 ~m:48 ~n:36
+
+let test_batch_validates_before_moving () =
+  with_pool 2 (fun pool ->
+      let good = iota_buf (6 * 4) in
+      let bad = iota_buf 5 in
+      Alcotest.check_raises "size mismatch"
+        (Invalid_argument
+           "Fused_f64.transpose_batch: buffer size does not match shape")
+        (fun () -> Fused_f64.transpose_batch pool ~m:6 ~n:4 [| good; bad |]);
+      Alcotest.(check (list (float 0.0)))
+        "no element moved" (List.init 24 float_of_int) (buf_to_list good))
+
+let tests =
+  [
+    Alcotest.test_case "fused f64 c2r/r2c vs oracle" `Quick
+      test_c2r_matches_oracle;
+    Alcotest.test_case "workspace reuse across shapes" `Quick
+      test_workspace_reuse_across_shapes;
+    Alcotest.test_case "generic fused functor vs oracle" `Quick
+      test_generic_fused_matches_oracle;
+    Alcotest.test_case "fused visit = two sweeps" `Quick test_cols_match_sweeps;
+    Alcotest.test_case "transpose routing + plan cache" `Quick
+      test_transpose_routes_and_caches;
+    Alcotest.test_case "pooled fused engines" `Quick test_pool_engines;
+    Alcotest.test_case "transpose_batch" `Quick test_transpose_batch;
+    Alcotest.test_case "batch validates before moving" `Quick
+      test_batch_validates_before_moving;
+    QCheck_alcotest.to_alcotest prop_fused_equals_oracle;
+    QCheck_alcotest.to_alcotest prop_r2c_inverts;
+  ]

@@ -4,6 +4,7 @@ let () =
       ("pool", Suite_pool.tests);
       ("par_transpose", Suite_par_transpose.tests);
       ("cache_aware", Suite_cache_aware.tests);
+      ("fused", Suite_fused.tests);
       ("f64_kernels", Suite_f64.tests);
       ("par_cache_aware", Suite_par_cache_aware.tests);
       ("skinny", Suite_skinny.tests);

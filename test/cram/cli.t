@@ -41,6 +41,20 @@ A timed transpose verifies its own result:
   $ xpose bench -m 200 -n 150 -a c2r | tail -1
   verified: result is the transpose
 
+Every engine verifies, including the pass-fused panel engine and the
+batched path:
+
+  $ xpose bench -m 96 -n 72 --engine kernels | tail -1
+  verified: result is the transpose
+  $ xpose bench -m 96 -n 72 --engine decomposed | tail -1
+  verified: result is the transpose
+  $ xpose bench -m 96 -n 72 --engine cache | tail -1
+  verified: result is the transpose
+  $ xpose bench -m 96 -n 72 --engine fused | tail -1
+  verified: result is the transpose
+  $ xpose bench -m 64 -n 48 --engine fused --batch 5 --workers 2 | tail -1
+  verified: all 5 results are transposes
+
 The differential fuzzer agrees across all implementations:
 
   $ xpose-fuzz -i 10 --max-dim 40

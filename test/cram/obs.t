@@ -37,6 +37,19 @@ A coprime shape needs no rotation passes:
   2    col_shuffle      7x5                        70    50.0         7          -        -       1       -
   total: 2 passes, 140 predicted element touches
 
+The fused engine collapses the column rotation and row permutation into
+one panel-resident pass, priced at one matrix sweep under the §4.6
+residency model (2mn = 48 here) instead of two:
+
+  $ xpose report -m 4 -n 6 -a c2r --engine fused --no-times
+  4 x 6 float64 c2r, 1 worker, best of 1:
+  #    pass             shape              pred.touch  share%   scratch    meas.ms  rel.err  chunks   imbal
+  --------------------------------------------------------------------------------------------------------
+  1    rotate_pre       4x6                        48    33.3         6          -        -       1       -
+  2    row_shuffle      4x6                        48    33.3         6          -        -       1       -
+  3    fused_col        4x6                        48    33.3         6          -        -       1       -
+  total: 3 passes, 144 predicted element touches
+
 --metrics dumps the registry after any subcommand; the pass counters
 reflect the run that just happened:
 
@@ -49,8 +62,11 @@ reflect the run that just happened:
   3    col_shuffle      4x6                        48    40.0         6          -        -       1       -
   total: 3 passes, 120 predicted element touches
   counter   pass.col_shuffle                         1
+  counter   pass.col_shuffle.touches                 48
   counter   pass.rotate_pre                          1
+  counter   pass.rotate_pre.touches                  24
   counter   pass.row_shuffle                         1
+  counter   pass.row_shuffle.touches                 48
   counter   pool.barriers_total                      3
   counter   pool.chunks_total                        3
   counter   xpose.passes_total                       3
