@@ -492,6 +492,77 @@ let report_cmd =
       const run $ m_arg $ n_arg $ algorithm_arg $ engine_arg $ workers_arg
       $ repeats_arg $ no_times_arg)
 
+let check_cmd =
+  let doc =
+    "Statically verify the engines: prove every plan's pass pipeline equal to \
+     the transpose specification (symbolic, no data movement), prove the \
+     parallel drivers' chunk footprints disjoint, and optionally run the \
+     checked-access engine twins. Non-zero exit on any violation or seeded \
+     detection."
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let shadow_arg =
+    Arg.(
+      value & flag
+      & info [ "shadow" ]
+          ~doc:
+            "Also run the checked-access twins of the float64 engines on \
+             real (small) buffers: every access bounds-verified.")
+  in
+  let seed_race_arg =
+    Arg.(
+      value & flag
+      & info [ "seed-race" ]
+          ~doc:
+            "Negative test: model the pool's chunk split with a deliberate \
+             off-by-one; the race analyzer must detect the overlap (non-zero \
+             exit).")
+  in
+  let seed_oob_arg =
+    Arg.(
+      value & flag
+      & info [ "seed-oob" ]
+          ~doc:
+            "Negative test: run a checked kernel over a deliberately short \
+             buffer; the access checker must detect the out-of-bounds read \
+             (non-zero exit).")
+  in
+  let lanes_arg =
+    Arg.(
+      value
+      & opt (list int) Xpose_check.Driver.default_lanes
+      & info [ "lanes" ] ~docv:"L1,L2,.."
+          ~doc:"Worker-lane counts to analyze the parallel footprints at.")
+  in
+  let run json shadow seed_race seed_oob lanes =
+    if lanes = [] || List.exists (fun l -> l < 1) lanes then
+      `Error (false, "lanes must be positive")
+    else begin
+      let r =
+        Xpose_check.Driver.run ~lanes ~seed_race ~seed_oob ~shadow ()
+      in
+      if json then print_string (Xpose_check.Driver.to_json r)
+      else Format.printf "%a" Xpose_check.Driver.pp r;
+      if Xpose_check.Driver.ok r then `Ok ()
+      else if r.Xpose_check.Driver.violations > 0 then
+        `Error
+          ( false,
+            Printf.sprintf "%d of %d checks violated"
+              r.Xpose_check.Driver.violations r.Xpose_check.Driver.checked )
+      else
+        `Error
+          ( false,
+            Printf.sprintf "%d seeded defect(s) detected"
+              r.Xpose_check.Driver.detections )
+    end
+  in
+  cmd (Cmd.info "check" ~doc)
+    Term.(
+      const run $ json_arg $ shadow_arg $ seed_race_arg $ seed_oob_arg
+      $ lanes_arg)
+
 let main =
   let doc = "In-place matrix transposition by decomposition (PPoPP 2014)." in
   Cmd.group (Cmd.info "xpose" ~doc)
@@ -503,6 +574,7 @@ let main =
       bench_cmd;
       permute_cmd;
       report_cmd;
+      check_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,67 @@
+(** The [xpose check] grid: run every static check, collect a report.
+
+    Three check families, in order:
+    - ["plan"] — symbolic plan verification ({!Spec}): every engine x
+      shape, plus the rank-N planner on a set of permutation problems;
+    - ["race"] — parallel-footprint disjointness ({!Footprint}): every
+      engine x shape x lane count, the batched driver, and the planner's
+      parallel executor;
+    - ["shadow"] (opt-in) — checked-access runs: the {!Kernels_f64} and
+      [Fused_f64] [Checked] twins executed on real (small) buffers.
+
+    Seeded negatives ([seed_race], [seed_oob]) inject a known defect and
+    expect the corresponding analyzer to {e detect} it: a detection is
+    reported with status [Detected] and makes the report non-[ok], which
+    is what the CI negative stage asserts (via a negated exit code). A
+    seeded defect that goes undetected is a [Violated] entry — the
+    analyzer itself is broken. *)
+
+type status =
+  | Proved  (** check passed *)
+  | Violated  (** unexpected failure: broken engine, model, or analyzer *)
+  | Detected  (** a seeded defect was caught, as intended *)
+
+type entry = {
+  check : string;
+  subject : string;
+  status : status;
+  detail : string;
+}
+
+type report = {
+  entries : entry list;
+  checked : int;
+  violations : int;
+  detections : int;
+}
+
+val status_name : status -> string
+
+val default_shapes : (int * int) list
+(** Coprime, non-coprime, prime, square, skinny, panel-boundary shapes,
+    plus one past the exhaustive-verification threshold. *)
+
+val default_permutes : (int array * int array) list
+val default_lanes : int list
+
+val run :
+  ?threshold:int ->
+  ?shapes:(int * int) list ->
+  ?permutes:(int array * int array) list ->
+  ?lanes:int list ->
+  ?seed_race:bool ->
+  ?seed_oob:bool ->
+  ?shadow:bool ->
+  unit ->
+  report
+(** Run the grid. [seed_race] swaps the pool's chunk split for
+    {!Footprint.off_by_one_split} in the race models; [seed_oob] runs a
+    checked kernel over a deliberately short buffer; [shadow] adds the
+    checked-access engine runs. *)
+
+val ok : report -> bool
+(** No violations and no detections: the clean-CI condition. A seeded
+    run is {e expected} to be non-[ok]. *)
+
+val pp : Format.formatter -> report -> unit
+val to_json : report -> string

@@ -1,0 +1,78 @@
+type t = { size : int; map : int -> int }
+
+let make ~size map =
+  if size < 0 then invalid_arg "Perm.make: negative size";
+  { size; map }
+
+let size t = t.size
+let apply t l = t.map l
+let id size = make ~size (fun l -> l)
+
+let compose p q =
+  if p.size <> q.size then invalid_arg "Perm.compose: size mismatch";
+  { size = p.size; map = (fun l -> p.map (q.map l)) }
+
+let pipeline ~size passes = List.fold_left compose (id size) passes
+
+type verdict =
+  | Proved of { checked : int; exhaustive : bool }
+  | Mismatch of { index : int; expected : int; got : int }
+
+let default_threshold = 1 lsl 18
+let lcg_samples = 4096
+
+(* Deterministic splitmix-style sampler: probing must be reproducible so
+   a reported mismatch can be replayed. *)
+let sample_indices ~size ~seed k =
+  let state = ref (seed lxor 0x1e3779b97f4a7c15) in
+  List.init k (fun _ ->
+      let x = !state in
+      let x = (x lxor (x lsr 30)) * 0x1f58476d1ce4e5b9 in
+      let x = (x lxor (x lsr 27)) * 0x14d049bb133111eb in
+      let x = x lxor (x lsr 31) in
+      state := x + 0x1e3779b97f4a7c15;
+      (x land max_int) mod size)
+
+let check_at ~target p l =
+  let expected = target.map l and got = p.map l in
+  if expected = got then None else Some (Mismatch { index = l; expected; got })
+
+let verify ?(threshold = default_threshold) ?(probes = []) ~target p =
+  if p.size <> target.size then invalid_arg "Perm.verify: size mismatch";
+  let size = p.size in
+  if size = 0 then Proved { checked = 0; exhaustive = true }
+  else if size <= threshold then begin
+    let rec go l =
+      if l >= size then Proved { checked = size; exhaustive = true }
+      else match check_at ~target p l with Some m -> m | None -> go (l + 1)
+    in
+    go 0
+  end
+  else begin
+    let sampled = sample_indices ~size ~seed:size lcg_samples in
+    let seen = Hashtbl.create 4096 in
+    let candidates =
+      List.filter
+        (fun l ->
+          l >= 0 && l < size
+          && not (Hashtbl.mem seen l)
+          && (Hashtbl.add seen l (); true))
+        (List.rev_append probes sampled)
+    in
+    let rec go checked = function
+      | [] -> Proved { checked; exhaustive = false }
+      | l :: rest -> (
+          match check_at ~target p l with
+          | Some m -> m
+          | None -> go (checked + 1) rest)
+    in
+    go 0 candidates
+  end
+
+let pp_verdict ppf = function
+  | Proved { checked; exhaustive } ->
+      Format.fprintf ppf "proved (%d indices%s)" checked
+        (if exhaustive then ", exhaustive" else ", probed")
+  | Mismatch { index; expected; got } ->
+      Format.fprintf ppf "MISMATCH at %d: expected source %d, got %d" index
+        expected got

@@ -1,0 +1,55 @@
+(** Symbolic index permutations — the vocabulary of the plan verifier.
+
+    Every in-place pass of the transposition engines moves whole elements
+    and never mixes values, so each pass {e is} a permutation of the flat
+    index space: in gather form, a pass satisfies
+    [after.(l) = before.(map l)]. A value of type {!t} is that map,
+    represented symbolically (a closure over the plan's index equations)
+    rather than as a materialized array, so composing and probing a
+    multi-gigabyte shape costs nothing per element until an index is
+    actually queried. *)
+
+type t
+(** A gather map over a flat index space of a given size. *)
+
+val make : size:int -> (int -> int) -> t
+(** [make ~size map] wraps [map] as the pass
+    [after.(l) = before.(map l)] over indices [[0, size)]. [map] must be
+    total on that range; it is never called outside it. *)
+
+val size : t -> int
+val apply : t -> int -> int
+
+val id : int -> t
+(** The identity pass. *)
+
+val compose : t -> t -> t
+(** [compose p q] is the net map of running pass [p] {e first} and pass
+    [q] {e second} — note the gather-form reversal: the result maps [l]
+    to [apply p (apply q l)].
+    @raise Invalid_argument on size mismatch. *)
+
+val pipeline : size:int -> t list -> t
+(** [pipeline ~size passes] is the net gather map of running [passes] in
+    list order (folds {!compose}; [[]] is {!id}). *)
+
+type verdict =
+  | Proved of { checked : int; exhaustive : bool }
+      (** Every index checked agreed with the target; [exhaustive] means
+          the whole index space was enumerated, otherwise [checked]
+          structured probes and deterministic samples were. *)
+  | Mismatch of { index : int; expected : int; got : int }
+      (** The first disagreeing flat index: the target gathers from
+          [expected], the pipeline from [got]. *)
+
+val default_threshold : int
+(** Index-space size up to which {!verify} is exhaustive ([2^18]). *)
+
+val verify : ?threshold:int -> ?probes:int list -> target:t -> t -> verdict
+(** [verify ~target p] proves [p] equal to [target]: exhaustively when
+    [size <= threshold], otherwise at the caller's structured [probes]
+    (out-of-range or duplicate probes are dropped) plus a deterministic
+    pseudo-random sample of the index space.
+    @raise Invalid_argument on size mismatch. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

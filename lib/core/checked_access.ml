@@ -1,0 +1,38 @@
+exception Violation of string
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+let bounds ~who ~what ~len i =
+  if i < 0 || i >= len then
+    violation "%s: %s index %d out of bounds [0, %d)" who what i len
+
+let range ~who ~what ~len ~pos ~count =
+  if count < 0 then violation "%s: %s negative length %d" who what count;
+  if pos < 0 || pos + count > len then
+    violation "%s: %s range [%d, %d) outside [0, %d)" who what pos (pos + count)
+      len
+
+let distinct ~who ~what a b =
+  if a == b then violation "%s: %s aliases the matrix buffer" who what
+
+module F64 = struct
+  include Storage.Float64
+
+  let name = "float64-checked"
+  let who = "Checked_access.F64"
+
+  let get buf i =
+    bounds ~who ~what:"get" ~len:(Bigarray.Array1.dim buf) i;
+    Bigarray.Array1.unsafe_get buf i
+
+  let set buf i v =
+    bounds ~who ~what:"set" ~len:(Bigarray.Array1.dim buf) i;
+    Bigarray.Array1.unsafe_set buf i v
+
+  let blit src spos dst dpos len =
+    range ~who ~what:"blit source" ~len:(Bigarray.Array1.dim src) ~pos:spos
+      ~count:len;
+    range ~who ~what:"blit destination" ~len:(Bigarray.Array1.dim dst)
+      ~pos:dpos ~count:len;
+    Storage.Float64.blit src spos dst dpos len
+end

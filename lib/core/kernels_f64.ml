@@ -107,70 +107,230 @@ let obs_pass (p : Plan.t) name ~pred f =
   Xpose_obs.Tracer.pass ~name ~rows:p.m ~cols:p.n ~pred_touches:pred
     ~scratch_elems:(Plan.scratch_elements p) f
 
-let c2r ?(variant = Algo.C2r_gather) (p : Plan.t) buf ~tmp =
-  check_args p buf ~tmp;
-  let m = p.m and n = p.n in
-  if m = 1 || n = 1 then ()
-  else begin
-    if not (Plan.coprime p) then begin
-      let amount = Plan.rotate_amount p in
-      obs_pass p "rotate_pre" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
-          Phases.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n)
-    end;
-    (match variant with
-    | Algo.C2r_scatter ->
-        obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
-            Phases.row_shuffle_scatter p buf ~tmp ~lo:0 ~hi:m)
-    | Algo.C2r_gather | Algo.C2r_decomposed ->
-        obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
-            Phases.row_shuffle_gather p buf ~tmp ~lo:0 ~hi:m));
-    match variant with
-    | Algo.C2r_scatter | Algo.C2r_gather ->
-        obs_pass p "col_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
-            Phases.col_shuffle_gather p buf ~tmp ~lo:0 ~hi:n)
-    | Algo.C2r_decomposed ->
-        let amount j = j in
-        obs_pass p "col_rotate" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
-            Phases.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n);
-        obs_pass p "row_permute" ~pred:(Pass_cost.permute_rows p) (fun () ->
-            Phases.permute_rows p buf ~tmp ~index:(Plan.q p) ~lo:0 ~hi:n)
-  end
+module type PHASES = sig
+  val rotate_columns :
+    Plan.t -> buf -> tmp:buf -> amount:(int -> int) -> lo:int -> hi:int -> unit
 
-let r2c ?(variant = Algo.R2c_fused) (p : Plan.t) buf ~tmp =
-  check_args p buf ~tmp;
-  let m = p.m and n = p.n in
-  if m = 1 || n = 1 then ()
-  else begin
-    (match variant with
-    | Algo.R2c_fused ->
-        obs_pass p "col_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
-            Phases.col_shuffle_ungather p buf ~tmp ~lo:0 ~hi:n)
-    | Algo.R2c_decomposed ->
-        obs_pass p "row_unpermute" ~pred:(Pass_cost.permute_rows p) (fun () ->
-            Phases.permute_rows p buf ~tmp ~index:(Plan.q_inv p) ~lo:0 ~hi:n);
-        let amount j = -j in
-        obs_pass p "col_unrotate" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
-            Phases.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n));
-    obs_pass p "row_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
-        Phases.row_shuffle_ungather p buf ~tmp ~lo:0 ~hi:m);
-    if not (Plan.coprime p) then begin
-      let amount j = -Plan.rotate_amount p j in
-      obs_pass p "rotate_post" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
-          Phases.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n)
+  val row_shuffle_gather : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
+  val row_shuffle_scatter : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
+  val row_shuffle_ungather : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
+  val col_shuffle_gather : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
+  val col_shuffle_ungather : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
+
+  val permute_rows :
+    Plan.t -> buf -> tmp:buf -> index:(int -> int) -> lo:int -> hi:int -> unit
+end
+
+module type ENGINE = sig
+  val c2r : ?variant:Algo.c2r_variant -> Plan.t -> buf -> tmp:buf -> unit
+  val r2c : ?variant:Algo.r2c_variant -> Plan.t -> buf -> tmp:buf -> unit
+
+  val transpose :
+    ?ws:Workspace.F64.t -> ?order:Layout.order -> m:int -> n:int -> buf -> unit
+end
+
+(* The engine orchestration (pass order, variant dispatch, observability)
+   is written once and instantiated with both the raw and the checked
+   phases. Without flambda a functor application costs an indirect call,
+   but only one per *pass* — never per element — so the raw instantiation
+   keeps its specialized speed. *)
+module Engine_of (P : PHASES) = struct
+  let c2r ?(variant = Algo.C2r_gather) (p : Plan.t) buf ~tmp =
+    check_args p buf ~tmp;
+    let m = p.m and n = p.n in
+    if m = 1 || n = 1 then ()
+    else begin
+      if not (Plan.coprime p) then begin
+        let amount = Plan.rotate_amount p in
+        obs_pass p "rotate_pre" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
+            P.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n)
+      end;
+      (match variant with
+      | Algo.C2r_scatter ->
+          obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+              P.row_shuffle_scatter p buf ~tmp ~lo:0 ~hi:m)
+      | Algo.C2r_gather | Algo.C2r_decomposed ->
+          obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+              P.row_shuffle_gather p buf ~tmp ~lo:0 ~hi:m));
+      match variant with
+      | Algo.C2r_scatter | Algo.C2r_gather ->
+          obs_pass p "col_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+              P.col_shuffle_gather p buf ~tmp ~lo:0 ~hi:n)
+      | Algo.C2r_decomposed ->
+          let amount j = j in
+          obs_pass p "col_rotate" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
+              P.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n);
+          obs_pass p "row_permute" ~pred:(Pass_cost.permute_rows p) (fun () ->
+              P.permute_rows p buf ~tmp ~index:(Plan.q p) ~lo:0 ~hi:n)
     end
+
+  let r2c ?(variant = Algo.R2c_fused) (p : Plan.t) buf ~tmp =
+    check_args p buf ~tmp;
+    let m = p.m and n = p.n in
+    if m = 1 || n = 1 then ()
+    else begin
+      (match variant with
+      | Algo.R2c_fused ->
+          obs_pass p "col_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+              P.col_shuffle_ungather p buf ~tmp ~lo:0 ~hi:n)
+      | Algo.R2c_decomposed ->
+          obs_pass p "row_unpermute" ~pred:(Pass_cost.permute_rows p)
+            (fun () ->
+              P.permute_rows p buf ~tmp ~index:(Plan.q_inv p) ~lo:0 ~hi:n);
+          let amount j = -j in
+          obs_pass p "col_unrotate" ~pred:(Pass_cost.rotate p ~amount)
+            (fun () -> P.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n));
+      obs_pass p "row_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+          P.row_shuffle_ungather p buf ~tmp ~lo:0 ~hi:m);
+      if not (Plan.coprime p) then begin
+        let amount j = -Plan.rotate_amount p j in
+        obs_pass p "rotate_post" ~pred:(Pass_cost.rotate p ~amount) (fun () ->
+            P.rotate_columns p buf ~tmp ~amount ~lo:0 ~hi:n)
+      end
+    end
+
+  let transpose ?ws ?(order = Layout.Row_major) ~m ~n buf =
+    let rm, rn =
+      match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
+    in
+    (* Batch callers pass a workspace so the Theorem-6 scratch is allocated
+       once per worker instead of once per matrix. *)
+    let tmp =
+      match ws with
+      | Some ws -> Workspace.F64.tmp ws (max rm rn)
+      | None ->
+          Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (max rm rn)
+    in
+    if rm > rn then c2r (Plan.make ~m:rm ~n:rn) buf ~tmp
+    else r2c (Plan.make ~m:rn ~n:rm) buf ~tmp
+end
+
+include Engine_of (Phases)
+
+(* Checked-access shadow mode: the same phase bodies with every matrix
+   and scratch access bounds-verified and every index-equation result
+   range-verified, raising [Checked_access.Violation] instead of
+   corrupting memory. Selected by tests and [xpose check --shadow]. *)
+module Checked = struct
+  let who = "Kernels_f64.Checked"
+
+  let cget (buf : buf) what i =
+    Checked_access.bounds ~who ~what ~len:(dim buf) i;
+    unsafe_get buf i
+
+  let cset (buf : buf) what i v =
+    Checked_access.bounds ~who ~what ~len:(dim buf) i;
+    unsafe_set buf i v
+
+  let cidx what ~bound v =
+    if v < 0 || v >= bound then
+      Checked_access.violation "%s: %s %d outside [0, %d)" who what v bound;
+    v
+
+  module Phases = struct
+    let rotate_columns (p : Plan.t) (buf : buf) ~(tmp : buf) ~amount ~lo ~hi =
+      Checked_access.distinct ~who ~what:"rotate scratch" tmp buf;
+      let m = p.m and n = p.n in
+      for j = lo to hi - 1 do
+        let k = Intmath.emod (amount j) m in
+        if k <> 0 then begin
+          for i = 0 to m - k - 1 do
+            cset tmp "rotate scratch write" i
+              (cget buf "rotate read" (((i + k) * n) + j))
+          done;
+          for i = m - k to m - 1 do
+            cset tmp "rotate scratch write" i
+              (cget buf "rotate read" (((i + k - m) * n) + j))
+          done;
+          for i = 0 to m - 1 do
+            cset buf "rotate write" ((i * n) + j)
+              (cget tmp "rotate scratch read" i)
+          done
+        end
+      done
+
+    let writeback_row (buf : buf) ~(tmp : buf) ~base ~n =
+      for j = 0 to n - 1 do
+        cset buf "row writeback" (base + j) (cget tmp "row scratch read" j)
+      done
+
+    let row_shuffle_gather (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
+      Checked_access.distinct ~who ~what:"row-shuffle scratch" tmp buf;
+      let n = p.n in
+      for i = lo to hi - 1 do
+        let base = i * n in
+        for j = 0 to n - 1 do
+          let src = cidx "d'_inv column" ~bound:n (Plan.d'_inv p ~i j) in
+          cset tmp "row scratch write" j (cget buf "row read" (base + src))
+        done;
+        writeback_row buf ~tmp ~base ~n
+      done
+
+    let row_shuffle_scatter (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
+      Checked_access.distinct ~who ~what:"row-shuffle scratch" tmp buf;
+      let n = p.n in
+      for i = lo to hi - 1 do
+        let base = i * n in
+        for j = 0 to n - 1 do
+          let dst = cidx "d' column" ~bound:n (Plan.d' p ~i j) in
+          cset tmp "row scratch write" dst (cget buf "row read" (base + j))
+        done;
+        writeback_row buf ~tmp ~base ~n
+      done
+
+    let row_shuffle_ungather (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
+      Checked_access.distinct ~who ~what:"row-shuffle scratch" tmp buf;
+      let n = p.n in
+      for i = lo to hi - 1 do
+        let base = i * n in
+        for j = 0 to n - 1 do
+          let src = cidx "d' column" ~bound:n (Plan.d' p ~i j) in
+          cset tmp "row scratch write" j (cget buf "row read" (base + src))
+        done;
+        writeback_row buf ~tmp ~base ~n
+      done
+
+    let col_shuffle_gather (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
+      Checked_access.distinct ~who ~what:"col-shuffle scratch" tmp buf;
+      let m = p.m and n = p.n in
+      for j = lo to hi - 1 do
+        for i = 0 to m - 1 do
+          let src = cidx "s' row" ~bound:m (Plan.s' p ~j i) in
+          cset tmp "col scratch write" i (cget buf "col read" ((src * n) + j))
+        done;
+        for i = 0 to m - 1 do
+          cset buf "col write" ((i * n) + j) (cget tmp "col scratch read" i)
+        done
+      done
+
+    let col_shuffle_ungather (p : Plan.t) (buf : buf) ~(tmp : buf) ~lo ~hi =
+      Checked_access.distinct ~who ~what:"col-shuffle scratch" tmp buf;
+      let m = p.m and n = p.n in
+      for j = lo to hi - 1 do
+        for i = 0 to m - 1 do
+          let src = cidx "s'_inv row" ~bound:m (Plan.s'_inv p ~j i) in
+          cset tmp "col scratch write" i (cget buf "col read" ((src * n) + j))
+        done;
+        for i = 0 to m - 1 do
+          cset buf "col write" ((i * n) + j) (cget tmp "col scratch read" i)
+        done
+      done
+
+    let permute_rows (p : Plan.t) (buf : buf) ~(tmp : buf) ~index ~lo ~hi =
+      Checked_access.distinct ~who ~what:"permute scratch" tmp buf;
+      let m = p.m and n = p.n in
+      let idx = Array.init m (fun i -> cidx "row index" ~bound:m (index i)) in
+      for j = lo to hi - 1 do
+        for i = 0 to m - 1 do
+          cset tmp "permute scratch write" i
+            (cget buf "permute read" ((idx.(i) * n) + j))
+        done;
+        for i = 0 to m - 1 do
+          cset buf "permute write" ((i * n) + j)
+            (cget tmp "permute scratch read" i)
+        done
+      done
   end
 
-let transpose ?ws ?(order = Layout.Row_major) ~m ~n buf =
-  let rm, rn =
-    match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
-  in
-  (* Batch callers pass a workspace so the Theorem-6 scratch is allocated
-     once per worker instead of once per matrix. *)
-  let tmp =
-    match ws with
-    | Some ws -> Workspace.F64.tmp ws (max rm rn)
-    | None ->
-        Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (max rm rn)
-  in
-  if rm > rn then c2r (Plan.make ~m:rm ~n:rn) buf ~tmp
-  else r2c (Plan.make ~m:rn ~n:rm) buf ~tmp
+  include Engine_of (Phases)
+end

@@ -15,7 +15,10 @@
 
 type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-module Phases : sig
+(** The seven permutation passes. Both the raw unsafe implementation
+    ({!Phases}) and its checked twin ({!Checked.Phases}) satisfy this
+    signature; {!Engine_of} builds the full engine from either. *)
+module type PHASES = sig
   val rotate_columns :
     Plan.t -> buf -> tmp:buf -> amount:(int -> int) -> lo:int -> hi:int -> unit
 
@@ -29,13 +32,40 @@ module Phases : sig
     Plan.t -> buf -> tmp:buf -> index:(int -> int) -> lo:int -> hi:int -> unit
 end
 
-val c2r : ?variant:Algo.c2r_variant -> Plan.t -> buf -> tmp:buf -> unit
-(** Same contract as [Algo.Make(Storage.Float64).c2r]. *)
+module Phases : PHASES
+(** The raw unsafe passes: direct unboxed loads and stores, no checks. *)
 
-val r2c : ?variant:Algo.r2c_variant -> Plan.t -> buf -> tmp:buf -> unit
+(** The engine type shared by the raw ({!c2r} / {!r2c} / {!transpose} at
+    top level) and checked ({!Checked}) instantiations. *)
+module type ENGINE = sig
+  val c2r : ?variant:Algo.c2r_variant -> Plan.t -> buf -> tmp:buf -> unit
+  (** Same contract as [Algo.Make(Storage.Float64).c2r]. *)
 
-val transpose :
-  ?ws:Workspace.F64.t -> ?order:Layout.order -> m:int -> n:int -> buf -> unit
-(** Same contract as [Algo.Make(Storage.Float64).transpose]. When [ws]
-    is given the Theorem-6 scratch comes from the workspace (grown once,
-    reused across calls) instead of a fresh allocation per call. *)
+  val r2c : ?variant:Algo.r2c_variant -> Plan.t -> buf -> tmp:buf -> unit
+
+  val transpose :
+    ?ws:Workspace.F64.t -> ?order:Layout.order -> m:int -> n:int -> buf -> unit
+  (** Same contract as [Algo.Make(Storage.Float64).transpose]. When [ws]
+      is given the Theorem-6 scratch comes from the workspace (grown once,
+      reused across calls) instead of a fresh allocation per call. *)
+end
+
+module Engine_of (P : PHASES) : ENGINE
+(** The pass orchestration (order, variant dispatch, per-pass
+    observability spans) over any {!PHASES}. One indirect call per pass,
+    never per element, so [Engine_of (Phases)] runs at full speed. *)
+
+include ENGINE
+
+(** Checked-access shadow mode ({!Checked_access}): the same passes with
+    every matrix and scratch access bounds-verified, every index-equation
+    result ([d'], [d'_inv], [s'], [s'_inv], permutation indices)
+    range-verified, and the scratch verified distinct from the matrix
+    buffer. Raises {!Checked_access.Violation} on the first bad access
+    instead of corrupting memory. Selected by tests (run the suite once
+    under checking) and by [xpose check --shadow]. *)
+module Checked : sig
+  module Phases : PHASES
+
+  include ENGINE
+end

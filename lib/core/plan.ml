@@ -110,6 +110,7 @@ module Cache = struct
     mutable clock : int;
     mutable hits : int;
     mutable misses : int;
+    mutable evictions : int;
     table : (int * int, entry) Hashtbl.t;
     mutex : Mutex.t;
   }
@@ -121,6 +122,7 @@ module Cache = struct
       clock = 0;
       hits = 0;
       misses = 0;
+      evictions = 0;
       table = Hashtbl.create 32;
       mutex = Mutex.create ();
     }
@@ -129,6 +131,7 @@ module Cache = struct
 
   let m_hits = lazy (Xpose_obs.Metrics.counter "plan_cache.hits")
   let m_misses = lazy (Xpose_obs.Metrics.counter "plan_cache.misses")
+  let m_evictions = lazy (Xpose_obs.Metrics.counter "plan_cache.evictions")
 
   (* Least-recently-used entry by stamp; a linear scan is fine at the
      capacities plans are cached at (the table holds tens of entries). *)
@@ -142,7 +145,10 @@ module Cache = struct
         t.table None
     in
     match victim with
-    | Some (key, _) -> Hashtbl.remove t.table key
+    | Some (key, _) ->
+        Hashtbl.remove t.table key;
+        t.evictions <- t.evictions + 1;
+        Xpose_obs.Metrics.incr (Lazy.force m_evictions)
     | None -> ()
 
   let get ?(cache = default) ~m ~n () =
@@ -181,11 +187,13 @@ module Cache = struct
 
   let hits t = t.hits
   let misses t = t.misses
+  let evictions t = t.evictions
 
   let clear t =
     Mutex.lock t.mutex;
     Hashtbl.reset t.table;
     t.hits <- 0;
     t.misses <- 0;
+    t.evictions <- 0;
     Mutex.unlock t.mutex
 end

@@ -101,9 +101,9 @@ val pp : Format.formatter -> t -> unit
     reciprocal constructions. A serving workload transposing the same
     handful of shapes over and over should pay that once per shape: the
     cache memoizes plans keyed by [(m, n)] with LRU eviction. Lookups are
-    thread-safe (pool workers may share a cache); hit/miss totals are
-    also published as the [plan_cache.hits]/[plan_cache.misses] metrics
-    counters. *)
+    thread-safe (pool workers may share a cache); hit/miss/eviction
+    totals are also published as the [plan_cache.hits] /
+    [plan_cache.misses] / [plan_cache.evictions] metrics counters. *)
 
 module Cache : sig
   type plan = t
@@ -125,5 +125,10 @@ module Cache : sig
   val length : t -> int
   val hits : t -> int
   val misses : t -> int
+
+  val evictions : t -> int
+  (** Number of LRU evictions performed at capacity; also published as
+      the [plan_cache.evictions] metrics counter. *)
+
   val clear : t -> unit
 end

@@ -11,88 +11,7 @@ let default_block_rows = G.default_block_rows
 let cycles ~m ~index = G.cycles ~whom:"Fused_f64" ~m ~index
 let get_ws = function Some ws -> ws | None -> Ws.create ()
 
-(* -- monomorphic sub-row primitives -------------------------------------
-   Explicit unsafe loops instead of [Bigarray.Array1.sub]+[blit]: the sub
-   views are heap allocations per transfer, and for the 16-element panel
-   width a direct loop vectorizes at least as well. *)
-
-let copy_subrow (buf : buf) ~n ~lo ~w ~src ~dst =
-  let sb = (src * n) + lo and db = (dst * n) + lo in
-  for jj = 0 to w - 1 do
-    unsafe_set buf (db + jj) (unsafe_get buf (sb + jj))
-  done
-
-let save_subrow (buf : buf) ~n ~lo ~w ~row (line : buf) =
-  let base = (row * n) + lo in
-  for jj = 0 to w - 1 do
-    unsafe_set line jj (unsafe_get buf (base + jj))
-  done
-
-let restore_subrow (line : buf) (buf : buf) ~n ~lo ~w ~row =
-  let base = (row * n) + lo in
-  for jj = 0 to w - 1 do
-    unsafe_set buf (base + jj) (unsafe_get line jj)
-  done
-
-(* Coarse phase of §4.6: cycle-following rotation of the whole panel by a
-   shared amount k (gcd(m, k) analytic cycles). *)
-let rotate_coarse (buf : buf) ~m ~n ~lo ~w ~k ~line =
-  if k <> 0 then begin
-    let cycles = Intmath.gcd m k in
-    for y = 0 to cycles - 1 do
-      save_subrow buf ~n ~lo ~w ~row:y line;
-      let i = ref y in
-      let continue = ref true in
-      while !continue do
-        let src = !i + k in
-        let src = if src >= m then src - m else src in
-        if src = y then begin
-          restore_subrow line buf ~n ~lo ~w ~row:!i;
-          continue := false
-        end
-        else begin
-          copy_subrow buf ~n ~lo ~w ~src ~dst:!i;
-          i := src
-        end
-      done
-    done
-  end
-
-(* Fine phase of §4.6: per-column residual rotations bounded by [w], read
-   in strips of [block_rows] rows through the block buffer; wrapped rows
-   come from the saved head. *)
-let rotate_fine (buf : buf) ~m ~n ~lo ~w ~(res : int array) ~maxres
-    ~block_rows ~(head : buf) ~(block : buf) =
-  if maxres > 0 then begin
-    for r = 0 to maxres - 1 do
-      let base = (r * n) + lo in
-      for jj = 0 to w - 1 do
-        unsafe_set head ((r * w) + jj) (unsafe_get buf (base + jj))
-      done
-    done;
-    let r = ref 0 in
-    while !r < m do
-      let rows = min block_rows (m - !r) in
-      for t = 0 to rows - 1 do
-        let i = !r + t in
-        for jj = 0 to w - 1 do
-          let src = i + Array.unsafe_get res jj in
-          let v =
-            if src >= m then unsafe_get head (((src - m) * w) + jj)
-            else unsafe_get buf ((src * n) + lo + jj)
-          in
-          unsafe_set block ((t * w) + jj) v
-        done
-      done;
-      for t = 0 to rows - 1 do
-        let base = ((!r + t) * n) + lo in
-        for jj = 0 to w - 1 do
-          unsafe_set buf (base + jj) (unsafe_get block ((t * w) + jj))
-        done
-      done;
-      r := !r + rows
-    done
-  end
+(* -- shared pure index math ---------------------------------------------- *)
 
 let pick_residuals ~m ~lo ~w ~amount ~(res : int array) anchor =
   let k = Intmath.emod (amount anchor) m in
@@ -104,36 +23,6 @@ let pick_residuals ~m ~lo ~w ~amount ~(res : int array) anchor =
   done;
   (k, !maxres)
 
-let rotate_panel ~block_rows ws (p : Plan.t) (buf : buf) ~amount ~res ~lo ~w =
-  let m = p.m and n = p.n in
-  let k, maxres =
-    let k, mr = pick_residuals ~m ~lo ~w ~amount ~res lo in
-    if mr < w then (k, mr) else pick_residuals ~m ~lo ~w ~amount ~res (lo + w - 1)
-  in
-  if maxres < w && maxres < m then begin
-    rotate_coarse buf ~m ~n ~lo ~w ~k ~line:(Ws.line ws w);
-    rotate_fine buf ~m ~n ~lo ~w ~res ~maxres ~block_rows
-      ~head:(Ws.head ws (w * w))
-      ~block:(Ws.block ws (block_rows * w))
-  end
-  else
-    Kernels_f64.Phases.rotate_columns p buf ~tmp:(Ws.tmp ws m) ~amount ~lo
-      ~hi:(lo + w)
-
-let permute_panel ws (buf : buf) ~n ~cycles ~lo ~w =
-  let line = Ws.line ws w in
-  Array.iter
-    (fun (chain : int array) ->
-      let len = Array.length chain in
-      save_subrow buf ~n ~lo ~w ~row:chain.(0) line;
-      for t = 0 to len - 2 do
-        copy_subrow buf ~n ~lo ~w ~src:chain.(t + 1) ~dst:chain.(t)
-      done;
-      restore_subrow line buf ~n ~lo ~w ~row:chain.(len - 1))
-    cycles
-
-(* -- column-range sweeps ------------------------------------------------- *)
-
 let check_range whom ~n ~lo ~hi =
   if lo < 0 || hi > n || lo > hi then invalid_arg (whom ^ ": bad column range")
 
@@ -144,84 +33,8 @@ let rotate_panel_pred (p : Plan.t) ~amount ~lo ~w =
   done;
   if !moved then Pass_cost.fused_panel p ~width:w else 0
 
-let rotate_columns ?(width = default_width) ?(block_rows = default_block_rows)
-    ?ws ?(lo = 0) ?hi (p : Plan.t) buf ~amount =
-  let m = p.m and n = p.n in
-  let hi = match hi with Some h -> h | None -> n in
-  check_range "Fused_f64.rotate_columns" ~n ~lo ~hi;
-  let ws = get_ws ws in
-  let res = Array.make width 0 in
-  let g = ref lo in
-  while !g < hi do
-    let lo = !g in
-    let w = min width (hi - lo) in
-    Xpose_obs.Tracer.panel ~name:"rotate_panel" ~lo ~width:w ~rows:m
-      ~pred_touches:(rotate_panel_pred p ~amount ~lo ~w)
-      (fun () -> rotate_panel ~block_rows ws p buf ~amount ~res ~lo ~w);
-    g := lo + w
-  done
-
 let cycle_rows cycles =
   Array.fold_left (fun acc chain -> acc + Array.length chain) 0 cycles
-
-let permute_cols ?(width = default_width) ?ws ?(lo = 0) ?hi (p : Plan.t) buf
-    ~cycles =
-  let m = p.m and n = p.n in
-  let hi = match hi with Some h -> h | None -> n in
-  check_range "Fused_f64.permute_cols" ~n ~lo ~hi;
-  let ws = get_ws ws in
-  let rows = cycle_rows cycles in
-  let g = ref lo in
-  while !g < hi do
-    let lo = !g in
-    let w = min width (hi - lo) in
-    Xpose_obs.Tracer.panel ~name:"permute_panel" ~lo ~width:w ~rows:m
-      ~pred_touches:(2 * rows * w)
-      (fun () -> permute_panel ws buf ~n ~cycles ~lo ~w);
-    g := lo + w
-  done
-
-(* -- fused panel visits --------------------------------------------------- *)
-
-let c2r_cols ?(width = default_width) ?(block_rows = default_block_rows) ?ws
-    ?(lo = 0) ?hi (p : Plan.t) buf ~cycles =
-  let m = p.m and n = p.n in
-  let hi = match hi with Some h -> h | None -> n in
-  check_range "Fused_f64.c2r_cols" ~n ~lo ~hi;
-  let ws = get_ws ws in
-  let res = Array.make width 0 in
-  let g = ref lo in
-  while !g < hi do
-    let lo = !g in
-    let w = min width (hi - lo) in
-    Xpose_obs.Tracer.panel ~name:"fused_panel" ~lo ~width:w ~rows:m
-      ~pred_touches:(Pass_cost.fused_panel p ~width:w)
-      (fun () ->
-        rotate_panel ~block_rows ws p buf ~amount:(fun j -> j) ~res ~lo ~w;
-        permute_panel ws buf ~n ~cycles ~lo ~w);
-    g := lo + w
-  done
-
-let r2c_cols ?(width = default_width) ?(block_rows = default_block_rows) ?ws
-    ?(lo = 0) ?hi (p : Plan.t) buf ~cycles =
-  let m = p.m and n = p.n in
-  let hi = match hi with Some h -> h | None -> n in
-  check_range "Fused_f64.r2c_cols" ~n ~lo ~hi;
-  let ws = get_ws ws in
-  let res = Array.make width 0 in
-  let g = ref lo in
-  while !g < hi do
-    let lo = !g in
-    let w = min width (hi - lo) in
-    Xpose_obs.Tracer.panel ~name:"fused_panel" ~lo ~width:w ~rows:m
-      ~pred_touches:(Pass_cost.fused_panel p ~width:w)
-      (fun () ->
-        permute_panel ws buf ~n ~cycles ~lo ~w;
-        rotate_panel ~block_rows ws p buf ~amount:(fun j -> -j) ~res ~lo ~w);
-    g := lo + w
-  done
-
-(* -- serial engines ------------------------------------------------------- *)
 
 let obs_pass (p : Plan.t) name ~pred f =
   Xpose_obs.Tracer.pass ~name ~rows:p.m ~cols:p.n ~pred_touches:pred
@@ -230,59 +43,6 @@ let obs_pass (p : Plan.t) name ~pred f =
 let check_buf whom (p : Plan.t) (buf : buf) =
   if dim buf <> p.m * p.n then
     invalid_arg (whom ^ ": buffer size does not match plan")
-
-let c2r ?(width = default_width) ?(block_rows = default_block_rows) ?ws
-    (p : Plan.t) buf =
-  check_buf "Fused_f64.c2r" p buf;
-  let m = p.m in
-  if m = 1 || p.n = 1 then ()
-  else begin
-    let ws = get_ws ws in
-    if not (Plan.coprime p) then begin
-      let amount = Plan.rotate_amount p in
-      obs_pass p "rotate_pre" ~pred:(Pass_cost.panel_rotate p ~width ~amount)
-        (fun () -> rotate_columns ~width ~block_rows ~ws p buf ~amount)
-    end;
-    obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
-        Kernels_f64.Phases.row_shuffle_gather p buf
-          ~tmp:(Ws.tmp ws (Plan.scratch_elements p))
-          ~lo:0 ~hi:m);
-    let cycles = cycles ~m ~index:(Plan.q p) in
-    obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
-        c2r_cols ~width ~block_rows ~ws p buf ~cycles)
-  end
-
-let r2c ?(width = default_width) ?(block_rows = default_block_rows) ?ws
-    (p : Plan.t) buf =
-  check_buf "Fused_f64.r2c" p buf;
-  let m = p.m in
-  if m = 1 || p.n = 1 then ()
-  else begin
-    let ws = get_ws ws in
-    let cycles = cycles ~m ~index:(Plan.q_inv p) in
-    obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
-        r2c_cols ~width ~block_rows ~ws p buf ~cycles);
-    obs_pass p "row_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
-        Kernels_f64.Phases.row_shuffle_ungather p buf
-          ~tmp:(Ws.tmp ws (Plan.scratch_elements p))
-          ~lo:0 ~hi:m);
-    if not (Plan.coprime p) then begin
-      let amount j = -Plan.rotate_amount p j in
-      obs_pass p "rotate_post" ~pred:(Pass_cost.panel_rotate p ~width ~amount)
-        (fun () -> rotate_columns ~width ~block_rows ~ws p buf ~amount)
-    end
-  end
-
-let transpose ?(order = Layout.Row_major) ?width ?block_rows ?ws ?cache ~m ~n
-    buf =
-  let rm, rn =
-    match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
-  in
-  if rm > rn then
-    c2r ?width ?block_rows ?ws (Plan.Cache.get ?cache ~m:rm ~n:rn ()) buf
-  else r2c ?width ?block_rows ?ws (Plan.Cache.get ?cache ~m:rn ~n:rm ()) buf
-
-(* -- pool drivers --------------------------------------------------------- *)
 
 let over_columns pool ~n ~width pass =
   let groups = Intmath.ceil_div n width in
@@ -298,115 +58,639 @@ let get_workspaces ?workspaces pool =
       wss
   | None -> Array.init (Pool.workers pool) (fun _ -> Ws.create ())
 
-let c2r_pool ?(width = default_width) ?(block_rows = default_block_rows)
-    ?workspaces pool (p : Plan.t) buf =
-  check_buf "Fused_f64.c2r_pool" p buf;
-  let m = p.m and n = p.n in
-  if m = 1 || n = 1 then ()
-  else begin
-    let wss = get_workspaces ?workspaces pool in
-    if not (Plan.coprime p) then begin
-      let amount = Plan.rotate_amount p in
-      obs_pass p "rotate_pre" ~pred:(Pass_cost.panel_rotate p ~width ~amount)
-        (fun () ->
-          over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-              rotate_columns ~width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
-                ~amount))
-    end;
-    obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
-        Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
-            Kernels_f64.Phases.row_shuffle_gather p buf
-              ~tmp:(Ws.tmp wss.(chunk) (Plan.scratch_elements p))
-              ~lo ~hi));
-    let cycles = cycles ~m ~index:(Plan.q p) in
-    obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
-        over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-            c2r_cols ~width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf ~cycles))
-  end
+(* -- panel primitives ---------------------------------------------------- *)
 
-let r2c_pool ?(width = default_width) ?(block_rows = default_block_rows)
-    ?workspaces pool (p : Plan.t) buf =
-  check_buf "Fused_f64.r2c_pool" p buf;
-  let m = p.m and n = p.n in
-  if m = 1 || n = 1 then ()
-  else begin
-    let wss = get_workspaces ?workspaces pool in
-    let cycles = cycles ~m ~index:(Plan.q_inv p) in
-    obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
-        over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-            r2c_cols ~width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf ~cycles));
-    obs_pass p "row_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
-        Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
-            Kernels_f64.Phases.row_shuffle_ungather p buf
-              ~tmp:(Ws.tmp wss.(chunk) (Plan.scratch_elements p))
-              ~lo ~hi));
-    if not (Plan.coprime p) then begin
-      let amount j = -Plan.rotate_amount p j in
-      obs_pass p "rotate_post" ~pred:(Pass_cost.panel_rotate p ~width ~amount)
-        (fun () ->
-          over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-              rotate_columns ~width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
-                ~amount))
+(* The per-element panel work. The raw implementation ({!Prims}) and its
+   checked twin ({!Checked_prims}) both satisfy this; {!Engine_of} builds
+   the sweeps, serial engines, pool drivers, and batch driver from
+   either. *)
+module type PRIMS = sig
+  val rotate_panel :
+    block_rows:int ->
+    Ws.t ->
+    Plan.t ->
+    buf ->
+    amount:(int -> int) ->
+    res:int array ->
+    lo:int ->
+    w:int ->
+    unit
+
+  val permute_panel :
+    Ws.t -> buf -> n:int -> cycles:int array array -> lo:int -> w:int -> unit
+
+  val row_shuffle_gather : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
+  val row_shuffle_ungather : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
+end
+
+module Prims = struct
+  (* -- monomorphic sub-row primitives -----------------------------------
+     Explicit unsafe loops instead of [Bigarray.Array1.sub]+[blit]: the sub
+     views are heap allocations per transfer, and for the 16-element panel
+     width a direct loop vectorizes at least as well. *)
+
+  let copy_subrow (buf : buf) ~n ~lo ~w ~src ~dst =
+    let sb = (src * n) + lo and db = (dst * n) + lo in
+    for jj = 0 to w - 1 do
+      unsafe_set buf (db + jj) (unsafe_get buf (sb + jj))
+    done
+
+  let save_subrow (buf : buf) ~n ~lo ~w ~row (line : buf) =
+    let base = (row * n) + lo in
+    for jj = 0 to w - 1 do
+      unsafe_set line jj (unsafe_get buf (base + jj))
+    done
+
+  let restore_subrow (line : buf) (buf : buf) ~n ~lo ~w ~row =
+    let base = (row * n) + lo in
+    for jj = 0 to w - 1 do
+      unsafe_set buf (base + jj) (unsafe_get line jj)
+    done
+
+  (* Coarse phase of §4.6: cycle-following rotation of the whole panel by a
+     shared amount k (gcd(m, k) analytic cycles). *)
+  let rotate_coarse (buf : buf) ~m ~n ~lo ~w ~k ~line =
+    if k <> 0 then begin
+      let cycles = Intmath.gcd m k in
+      for y = 0 to cycles - 1 do
+        save_subrow buf ~n ~lo ~w ~row:y line;
+        let i = ref y in
+        let continue = ref true in
+        while !continue do
+          let src = !i + k in
+          let src = if src >= m then src - m else src in
+          if src = y then begin
+            restore_subrow line buf ~n ~lo ~w ~row:!i;
+            continue := false
+          end
+          else begin
+            copy_subrow buf ~n ~lo ~w ~src ~dst:!i;
+            i := src
+          end
+        done
+      done
     end
-  end
 
-let transpose_pool ?(order = Layout.Row_major) ?width ?block_rows ?workspaces
-    ?cache pool ~m ~n buf =
-  let rm, rn =
-    match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
-  in
-  if rm > rn then
-    c2r_pool ?width ?block_rows ?workspaces pool
-      (Plan.Cache.get ?cache ~m:rm ~n:rn ())
-      buf
-  else
-    r2c_pool ?width ?block_rows ?workspaces pool
-      (Plan.Cache.get ?cache ~m:rn ~n:rm ())
-      buf
+  (* Fine phase of §4.6: per-column residual rotations bounded by [w], read
+     in strips of [block_rows] rows through the block buffer; wrapped rows
+     come from the saved head. *)
+  let rotate_fine (buf : buf) ~m ~n ~lo ~w ~(res : int array) ~maxres
+      ~block_rows ~(head : buf) ~(block : buf) =
+    if maxres > 0 then begin
+      for r = 0 to maxres - 1 do
+        let base = (r * n) + lo in
+        for jj = 0 to w - 1 do
+          unsafe_set head ((r * w) + jj) (unsafe_get buf (base + jj))
+        done
+      done;
+      let r = ref 0 in
+      while !r < m do
+        let rows = min block_rows (m - !r) in
+        for t = 0 to rows - 1 do
+          let i = !r + t in
+          for jj = 0 to w - 1 do
+            let src = i + Array.unsafe_get res jj in
+            let v =
+              if src >= m then unsafe_get head (((src - m) * w) + jj)
+              else unsafe_get buf ((src * n) + lo + jj)
+            in
+            unsafe_set block ((t * w) + jj) v
+          done
+        done;
+        for t = 0 to rows - 1 do
+          let base = ((!r + t) * n) + lo in
+          for jj = 0 to w - 1 do
+            unsafe_set buf (base + jj) (unsafe_get block ((t * w) + jj))
+          done
+        done;
+        r := !r + rows
+      done
+    end
 
-(* -- batched transpose ---------------------------------------------------- *)
-
-let transpose_batch ?(order = Layout.Row_major) ?width ?block_rows ?cache pool
-    ~m ~n bufs =
-  let rm, rn =
-    match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
-  in
-  let nb = Array.length bufs in
-  if nb > 0 then begin
-    (* Validate the whole batch before moving any element, so a bad
-       buffer cannot leave earlier matrices transposed and later ones
-       untouched. *)
-    Array.iter
-      (fun b ->
-        if dim b <> rm * rn then
-          invalid_arg "Fused_f64.transpose_batch: buffer size does not match shape")
-      bufs;
-    let c2r_side = rm > rn in
-    let p =
-      if c2r_side then Plan.Cache.get ?cache ~m:rm ~n:rn ()
-      else Plan.Cache.get ?cache ~m:rn ~n:rm ()
+  let rotate_panel ~block_rows ws (p : Plan.t) (buf : buf) ~amount ~res ~lo ~w
+      =
+    let m = p.m and n = p.n in
+    let k, maxres =
+      let k, mr = pick_residuals ~m ~lo ~w ~amount ~res lo in
+      if mr < w then (k, mr)
+      else pick_residuals ~m ~lo ~w ~amount ~res (lo + w - 1)
     in
-    let lanes = Pool.workers pool in
-    if nb >= lanes || lanes = 1 then begin
-      (* Enough matrices to keep every lane busy: parallelize across the
-         batch, each lane running the serial fused engine with its own
-         workspace. *)
-      let wss = Array.init lanes (fun _ -> Ws.create ()) in
-      Pool.parallel_chunks pool ~lo:0 ~hi:nb (fun ~chunk ~lo ~hi ->
-          let ws = wss.(chunk) in
-          for b = lo to hi - 1 do
-            if c2r_side then c2r ?width ?block_rows ~ws p bufs.(b)
-            else r2c ?width ?block_rows ~ws p bufs.(b)
-          done)
+    if maxres < w && maxres < m then begin
+      rotate_coarse buf ~m ~n ~lo ~w ~k ~line:(Ws.line ws w);
+      rotate_fine buf ~m ~n ~lo ~w ~res ~maxres ~block_rows
+        ~head:(Ws.head ws (w * w))
+        ~block:(Ws.block ws (block_rows * w))
     end
+    else
+      Kernels_f64.Phases.rotate_columns p buf ~tmp:(Ws.tmp ws m) ~amount ~lo
+        ~hi:(lo + w)
+
+  let permute_panel ws (buf : buf) ~n ~cycles ~lo ~w =
+    let line = Ws.line ws w in
+    Array.iter
+      (fun (chain : int array) ->
+        let len = Array.length chain in
+        save_subrow buf ~n ~lo ~w ~row:chain.(0) line;
+        for t = 0 to len - 2 do
+          copy_subrow buf ~n ~lo ~w ~src:chain.(t + 1) ~dst:chain.(t)
+        done;
+        restore_subrow line buf ~n ~lo ~w ~row:chain.(len - 1))
+      cycles
+
+  let row_shuffle_gather = Kernels_f64.Phases.row_shuffle_gather
+  let row_shuffle_ungather = Kernels_f64.Phases.row_shuffle_ungather
+end
+
+(* Checked twins of the panel primitives: every access to the matrix and
+   to the line/head/block workspace buffers is bounds-verified, and the
+   workspace buffers are verified distinct from the matrix
+   ([Checked_access.Violation] on the first bad access). *)
+module Checked_prims = struct
+  let who = "Fused_f64.Checked"
+
+  let cget (buf : buf) what i =
+    Checked_access.bounds ~who ~what ~len:(dim buf) i;
+    unsafe_get buf i
+
+  let cset (buf : buf) what i v =
+    Checked_access.bounds ~who ~what ~len:(dim buf) i;
+    unsafe_set buf i v
+
+  let copy_subrow (buf : buf) ~n ~lo ~w ~src ~dst =
+    let sb = (src * n) + lo and db = (dst * n) + lo in
+    for jj = 0 to w - 1 do
+      cset buf "panel copy write" (db + jj)
+        (cget buf "panel copy read" (sb + jj))
+    done
+
+  let save_subrow (buf : buf) ~n ~lo ~w ~row (line : buf) =
+    let base = (row * n) + lo in
+    for jj = 0 to w - 1 do
+      cset line "panel line write" jj (cget buf "panel save read" (base + jj))
+    done
+
+  let restore_subrow (line : buf) (buf : buf) ~n ~lo ~w ~row =
+    let base = (row * n) + lo in
+    for jj = 0 to w - 1 do
+      cset buf "panel restore write" (base + jj)
+        (cget line "panel line read" jj)
+    done
+
+  let rotate_coarse (buf : buf) ~m ~n ~lo ~w ~k ~line =
+    Checked_access.distinct ~who ~what:"panel line buffer" line buf;
+    if k <> 0 then begin
+      let cycles = Intmath.gcd m k in
+      for y = 0 to cycles - 1 do
+        save_subrow buf ~n ~lo ~w ~row:y line;
+        let i = ref y in
+        let continue = ref true in
+        while !continue do
+          let src = !i + k in
+          let src = if src >= m then src - m else src in
+          if src = y then begin
+            restore_subrow line buf ~n ~lo ~w ~row:!i;
+            continue := false
+          end
+          else begin
+            copy_subrow buf ~n ~lo ~w ~src ~dst:!i;
+            i := src
+          end
+        done
+      done
+    end
+
+  let rotate_fine (buf : buf) ~m ~n ~lo ~w ~(res : int array) ~maxres
+      ~block_rows ~(head : buf) ~(block : buf) =
+    Checked_access.distinct ~who ~what:"panel head buffer" head buf;
+    Checked_access.distinct ~who ~what:"panel block buffer" block buf;
+    if maxres > 0 then begin
+      for r = 0 to maxres - 1 do
+        let base = (r * n) + lo in
+        for jj = 0 to w - 1 do
+          cset head "panel head write" ((r * w) + jj)
+            (cget buf "panel fine read" (base + jj))
+        done
+      done;
+      let r = ref 0 in
+      while !r < m do
+        let rows = min block_rows (m - !r) in
+        for t = 0 to rows - 1 do
+          let i = !r + t in
+          for jj = 0 to w - 1 do
+            let src = i + res.(jj) in
+            let v =
+              if src >= m then cget head "panel head read" (((src - m) * w) + jj)
+              else cget buf "panel fine read" ((src * n) + lo + jj)
+            in
+            cset block "panel block write" ((t * w) + jj) v
+          done
+        done;
+        for t = 0 to rows - 1 do
+          let base = ((!r + t) * n) + lo in
+          for jj = 0 to w - 1 do
+            cset buf "panel fine write" (base + jj)
+              (cget block "panel block read" ((t * w) + jj))
+          done
+        done;
+        r := !r + rows
+      done
+    end
+
+  let rotate_panel ~block_rows ws (p : Plan.t) (buf : buf) ~amount ~res ~lo ~w
+      =
+    let m = p.m and n = p.n in
+    let k, maxres =
+      let k, mr = pick_residuals ~m ~lo ~w ~amount ~res lo in
+      if mr < w then (k, mr)
+      else pick_residuals ~m ~lo ~w ~amount ~res (lo + w - 1)
+    in
+    if maxres < w && maxres < m then begin
+      rotate_coarse buf ~m ~n ~lo ~w ~k ~line:(Ws.line ws w);
+      rotate_fine buf ~m ~n ~lo ~w ~res ~maxres ~block_rows
+        ~head:(Ws.head ws (w * w))
+        ~block:(Ws.block ws (block_rows * w))
+    end
+    else
+      Kernels_f64.Checked.Phases.rotate_columns p buf ~tmp:(Ws.tmp ws m)
+        ~amount ~lo ~hi:(lo + w)
+
+  let permute_panel ws (buf : buf) ~n ~cycles ~lo ~w =
+    let line = Ws.line ws w in
+    Checked_access.distinct ~who ~what:"panel line buffer" line buf;
+    Array.iter
+      (fun (chain : int array) ->
+        let len = Array.length chain in
+        save_subrow buf ~n ~lo ~w ~row:chain.(0) line;
+        for t = 0 to len - 2 do
+          copy_subrow buf ~n ~lo ~w ~src:chain.(t + 1) ~dst:chain.(t)
+        done;
+        restore_subrow line buf ~n ~lo ~w ~row:chain.(len - 1))
+      cycles
+
+  let row_shuffle_gather = Kernels_f64.Checked.Phases.row_shuffle_gather
+  let row_shuffle_ungather = Kernels_f64.Checked.Phases.row_shuffle_ungather
+end
+
+(* -- the engine over either primitive set -------------------------------- *)
+
+module type ENGINE = sig
+  val rotate_columns :
+    ?width:int ->
+    ?block_rows:int ->
+    ?ws:Ws.t ->
+    ?lo:int ->
+    ?hi:int ->
+    Plan.t ->
+    buf ->
+    amount:(int -> int) ->
+    unit
+
+  val permute_cols :
+    ?width:int ->
+    ?ws:Ws.t ->
+    ?lo:int ->
+    ?hi:int ->
+    Plan.t ->
+    buf ->
+    cycles:int array array ->
+    unit
+
+  val c2r_cols :
+    ?width:int ->
+    ?block_rows:int ->
+    ?ws:Ws.t ->
+    ?lo:int ->
+    ?hi:int ->
+    Plan.t ->
+    buf ->
+    cycles:int array array ->
+    unit
+
+  val r2c_cols :
+    ?width:int ->
+    ?block_rows:int ->
+    ?ws:Ws.t ->
+    ?lo:int ->
+    ?hi:int ->
+    Plan.t ->
+    buf ->
+    cycles:int array array ->
+    unit
+
+  val c2r : ?width:int -> ?block_rows:int -> ?ws:Ws.t -> Plan.t -> buf -> unit
+  val r2c : ?width:int -> ?block_rows:int -> ?ws:Ws.t -> Plan.t -> buf -> unit
+
+  val transpose :
+    ?order:Layout.order ->
+    ?width:int ->
+    ?block_rows:int ->
+    ?ws:Ws.t ->
+    ?cache:Plan.Cache.t ->
+    m:int ->
+    n:int ->
+    buf ->
+    unit
+
+  val c2r_pool :
+    ?width:int ->
+    ?block_rows:int ->
+    ?workspaces:Ws.t array ->
+    Pool.t ->
+    Plan.t ->
+    buf ->
+    unit
+
+  val r2c_pool :
+    ?width:int ->
+    ?block_rows:int ->
+    ?workspaces:Ws.t array ->
+    Pool.t ->
+    Plan.t ->
+    buf ->
+    unit
+
+  val transpose_pool :
+    ?order:Layout.order ->
+    ?width:int ->
+    ?block_rows:int ->
+    ?workspaces:Ws.t array ->
+    ?cache:Plan.Cache.t ->
+    Pool.t ->
+    m:int ->
+    n:int ->
+    buf ->
+    unit
+
+  val transpose_batch :
+    ?order:Layout.order ->
+    ?width:int ->
+    ?block_rows:int ->
+    ?cache:Plan.Cache.t ->
+    Pool.t ->
+    m:int ->
+    n:int ->
+    buf array ->
+    unit
+end
+
+(* Sweeps, serial engines, pool drivers, and the batch driver, written
+   once over {!PRIMS}. Without flambda the functor costs an indirect call
+   per panel visit / per pass chunk — never per element — so the raw
+   instantiation keeps its specialized speed. *)
+module Engine_of (P : PRIMS) : ENGINE = struct
+  (* -- column-range sweeps ---------------------------------------------- *)
+
+  let rotate_columns ?(width = default_width)
+      ?(block_rows = default_block_rows) ?ws ?(lo = 0) ?hi (p : Plan.t) buf
+      ~amount =
+    let m = p.m and n = p.n in
+    let hi = match hi with Some h -> h | None -> n in
+    check_range "Fused_f64.rotate_columns" ~n ~lo ~hi;
+    let ws = get_ws ws in
+    let res = Array.make width 0 in
+    let g = ref lo in
+    while !g < hi do
+      let lo = !g in
+      let w = min width (hi - lo) in
+      Xpose_obs.Tracer.panel ~name:"rotate_panel" ~lo ~width:w ~rows:m
+        ~pred_touches:(rotate_panel_pred p ~amount ~lo ~w)
+        (fun () -> P.rotate_panel ~block_rows ws p buf ~amount ~res ~lo ~w);
+      g := lo + w
+    done
+
+  let permute_cols ?(width = default_width) ?ws ?(lo = 0) ?hi (p : Plan.t) buf
+      ~cycles =
+    let m = p.m and n = p.n in
+    let hi = match hi with Some h -> h | None -> n in
+    check_range "Fused_f64.permute_cols" ~n ~lo ~hi;
+    let ws = get_ws ws in
+    let rows = cycle_rows cycles in
+    let g = ref lo in
+    while !g < hi do
+      let lo = !g in
+      let w = min width (hi - lo) in
+      Xpose_obs.Tracer.panel ~name:"permute_panel" ~lo ~width:w ~rows:m
+        ~pred_touches:(2 * rows * w)
+        (fun () -> P.permute_panel ws buf ~n ~cycles ~lo ~w);
+      g := lo + w
+    done
+
+  (* -- fused panel visits ------------------------------------------------ *)
+
+  let c2r_cols ?(width = default_width) ?(block_rows = default_block_rows) ?ws
+      ?(lo = 0) ?hi (p : Plan.t) buf ~cycles =
+    let m = p.m and n = p.n in
+    let hi = match hi with Some h -> h | None -> n in
+    check_range "Fused_f64.c2r_cols" ~n ~lo ~hi;
+    let ws = get_ws ws in
+    let res = Array.make width 0 in
+    let g = ref lo in
+    while !g < hi do
+      let lo = !g in
+      let w = min width (hi - lo) in
+      Xpose_obs.Tracer.panel ~name:"fused_panel" ~lo ~width:w ~rows:m
+        ~pred_touches:(Pass_cost.fused_panel p ~width:w)
+        (fun () ->
+          P.rotate_panel ~block_rows ws p buf ~amount:(fun j -> j) ~res ~lo ~w;
+          P.permute_panel ws buf ~n ~cycles ~lo ~w);
+      g := lo + w
+    done
+
+  let r2c_cols ?(width = default_width) ?(block_rows = default_block_rows) ?ws
+      ?(lo = 0) ?hi (p : Plan.t) buf ~cycles =
+    let m = p.m and n = p.n in
+    let hi = match hi with Some h -> h | None -> n in
+    check_range "Fused_f64.r2c_cols" ~n ~lo ~hi;
+    let ws = get_ws ws in
+    let res = Array.make width 0 in
+    let g = ref lo in
+    while !g < hi do
+      let lo = !g in
+      let w = min width (hi - lo) in
+      Xpose_obs.Tracer.panel ~name:"fused_panel" ~lo ~width:w ~rows:m
+        ~pred_touches:(Pass_cost.fused_panel p ~width:w)
+        (fun () ->
+          P.permute_panel ws buf ~n ~cycles ~lo ~w;
+          P.rotate_panel ~block_rows ws p buf ~amount:(fun j -> -j) ~res ~lo
+            ~w);
+      g := lo + w
+    done
+
+  (* -- serial engines ---------------------------------------------------- *)
+
+  let c2r ?(width = default_width) ?(block_rows = default_block_rows) ?ws
+      (p : Plan.t) buf =
+    check_buf "Fused_f64.c2r" p buf;
+    let m = p.m in
+    if m = 1 || p.n = 1 then ()
     else begin
-      (* Few large matrices: go panel-parallel inside each one, reusing
-         one workspace set across the whole batch. *)
-      let wss = get_workspaces pool in
-      Array.iter
-        (fun buf ->
-          if c2r_side then c2r_pool ?width ?block_rows ~workspaces:wss pool p buf
-          else r2c_pool ?width ?block_rows ~workspaces:wss pool p buf)
-        bufs
+      let ws = get_ws ws in
+      if not (Plan.coprime p) then begin
+        let amount = Plan.rotate_amount p in
+        obs_pass p "rotate_pre" ~pred:(Pass_cost.panel_rotate p ~width ~amount)
+          (fun () -> rotate_columns ~width ~block_rows ~ws p buf ~amount)
+      end;
+      obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+          P.row_shuffle_gather p buf
+            ~tmp:(Ws.tmp ws (Plan.scratch_elements p))
+            ~lo:0 ~hi:m);
+      let cycles = cycles ~m ~index:(Plan.q p) in
+      obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
+          c2r_cols ~width ~block_rows ~ws p buf ~cycles)
     end
-  end
+
+  let r2c ?(width = default_width) ?(block_rows = default_block_rows) ?ws
+      (p : Plan.t) buf =
+    check_buf "Fused_f64.r2c" p buf;
+    let m = p.m in
+    if m = 1 || p.n = 1 then ()
+    else begin
+      let ws = get_ws ws in
+      let cycles = cycles ~m ~index:(Plan.q_inv p) in
+      obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
+          r2c_cols ~width ~block_rows ~ws p buf ~cycles);
+      obs_pass p "row_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+          P.row_shuffle_ungather p buf
+            ~tmp:(Ws.tmp ws (Plan.scratch_elements p))
+            ~lo:0 ~hi:m);
+      if not (Plan.coprime p) then begin
+        let amount j = -Plan.rotate_amount p j in
+        obs_pass p "rotate_post"
+          ~pred:(Pass_cost.panel_rotate p ~width ~amount)
+          (fun () -> rotate_columns ~width ~block_rows ~ws p buf ~amount)
+      end
+    end
+
+  let transpose ?(order = Layout.Row_major) ?width ?block_rows ?ws ?cache ~m
+      ~n buf =
+    let rm, rn =
+      match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
+    in
+    if rm > rn then
+      c2r ?width ?block_rows ?ws (Plan.Cache.get ?cache ~m:rm ~n:rn ()) buf
+    else r2c ?width ?block_rows ?ws (Plan.Cache.get ?cache ~m:rn ~n:rm ()) buf
+
+  (* -- pool drivers ------------------------------------------------------ *)
+
+  let c2r_pool ?(width = default_width) ?(block_rows = default_block_rows)
+      ?workspaces pool (p : Plan.t) buf =
+    check_buf "Fused_f64.c2r_pool" p buf;
+    let m = p.m and n = p.n in
+    if m = 1 || n = 1 then ()
+    else begin
+      let wss = get_workspaces ?workspaces pool in
+      if not (Plan.coprime p) then begin
+        let amount = Plan.rotate_amount p in
+        obs_pass p "rotate_pre" ~pred:(Pass_cost.panel_rotate p ~width ~amount)
+          (fun () ->
+            over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
+                rotate_columns ~width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
+                  ~amount))
+      end;
+      obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+          Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
+              P.row_shuffle_gather p buf
+                ~tmp:(Ws.tmp wss.(chunk) (Plan.scratch_elements p))
+                ~lo ~hi));
+      let cycles = cycles ~m ~index:(Plan.q p) in
+      obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
+          over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
+              c2r_cols ~width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
+                ~cycles))
+    end
+
+  let r2c_pool ?(width = default_width) ?(block_rows = default_block_rows)
+      ?workspaces pool (p : Plan.t) buf =
+    check_buf "Fused_f64.r2c_pool" p buf;
+    let m = p.m and n = p.n in
+    if m = 1 || n = 1 then ()
+    else begin
+      let wss = get_workspaces ?workspaces pool in
+      let cycles = cycles ~m ~index:(Plan.q_inv p) in
+      obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
+          over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
+              r2c_cols ~width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
+                ~cycles));
+      obs_pass p "row_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
+          Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
+              P.row_shuffle_ungather p buf
+                ~tmp:(Ws.tmp wss.(chunk) (Plan.scratch_elements p))
+                ~lo ~hi));
+      if not (Plan.coprime p) then begin
+        let amount j = -Plan.rotate_amount p j in
+        obs_pass p "rotate_post"
+          ~pred:(Pass_cost.panel_rotate p ~width ~amount)
+          (fun () ->
+            over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
+                rotate_columns ~width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
+                  ~amount))
+      end
+    end
+
+  let transpose_pool ?(order = Layout.Row_major) ?width ?block_rows
+      ?workspaces ?cache pool ~m ~n buf =
+    let rm, rn =
+      match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
+    in
+    if rm > rn then
+      c2r_pool ?width ?block_rows ?workspaces pool
+        (Plan.Cache.get ?cache ~m:rm ~n:rn ())
+        buf
+    else
+      r2c_pool ?width ?block_rows ?workspaces pool
+        (Plan.Cache.get ?cache ~m:rn ~n:rm ())
+        buf
+
+  (* -- batched transpose ------------------------------------------------- *)
+
+  let transpose_batch ?(order = Layout.Row_major) ?width ?block_rows ?cache
+      pool ~m ~n bufs =
+    let rm, rn =
+      match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
+    in
+    let nb = Array.length bufs in
+    if nb > 0 then begin
+      (* Validate the whole batch before moving any element, so a bad
+         buffer cannot leave earlier matrices transposed and later ones
+         untouched. *)
+      Array.iter
+        (fun b ->
+          if dim b <> rm * rn then
+            invalid_arg
+              "Fused_f64.transpose_batch: buffer size does not match shape")
+        bufs;
+      let c2r_side = rm > rn in
+      let p =
+        if c2r_side then Plan.Cache.get ?cache ~m:rm ~n:rn ()
+        else Plan.Cache.get ?cache ~m:rn ~n:rm ()
+      in
+      let lanes = Pool.workers pool in
+      if nb >= lanes || lanes = 1 then begin
+        (* Enough matrices to keep every lane busy: parallelize across the
+           batch, each lane running the serial fused engine with its own
+           workspace. *)
+        let wss = Array.init lanes (fun _ -> Ws.create ()) in
+        Pool.parallel_chunks pool ~lo:0 ~hi:nb (fun ~chunk ~lo ~hi ->
+            let ws = wss.(chunk) in
+            for b = lo to hi - 1 do
+              if c2r_side then c2r ?width ?block_rows ~ws p bufs.(b)
+              else r2c ?width ?block_rows ~ws p bufs.(b)
+            done)
+      end
+      else begin
+        (* Few large matrices: go panel-parallel inside each one, reusing
+           one workspace set across the whole batch. *)
+        let wss = get_workspaces pool in
+        Array.iter
+          (fun buf ->
+            if c2r_side then
+              c2r_pool ?width ?block_rows ~workspaces:wss pool p buf
+            else r2c_pool ?width ?block_rows ~workspaces:wss pool p buf)
+          bufs
+      end
+    end
+end
+
+include Engine_of (Prims)
+
+module Checked = Engine_of (Checked_prims)

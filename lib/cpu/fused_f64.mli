@@ -21,7 +21,11 @@
     {!Xpose_core.Plan.Cache}. Observability: one "pass" span per logical
     pass ([rotate_pre] / [row_shuffle] / [fused_col] and inverses), one
     "panel" span per panel visit, with predicted touches from the
-    panel-residency model in {!Xpose_core.Pass_cost}. *)
+    panel-residency model in {!Xpose_core.Pass_cost}.
+
+    {!Checked} is the checked-access shadow mode: the same engine with
+    every access bounds-verified
+    ({!Xpose_core.Checked_access.Violation} on the first bad one). *)
 
 type buf = Xpose_core.Storage.Float64.t
 
@@ -36,147 +40,161 @@ val cycles : m:int -> index:(int -> int) -> int array array
     @raise Invalid_argument if [index] is not a permutation of
     [[0, m)]. *)
 
-(** {1 Sweeps and fused visits}
+(** The full engine surface, satisfied by both the raw top-level
+    operations and the {!Checked} shadow-mode twin. *)
+module type ENGINE = sig
+  (** {1 Sweeps and fused visits}
 
-    Same contracts as the corresponding {!Fused.Make} operations, over
-    the column range [[lo, hi)] (default all columns). *)
+      Same contracts as the corresponding {!Fused.Make} operations, over
+      the column range [[lo, hi)] (default all columns). *)
 
-val rotate_columns :
-  ?width:int ->
-  ?block_rows:int ->
-  ?ws:Ws.t ->
-  ?lo:int ->
-  ?hi:int ->
-  Xpose_core.Plan.t ->
-  buf ->
-  amount:(int -> int) ->
-  unit
+  val rotate_columns :
+    ?width:int ->
+    ?block_rows:int ->
+    ?ws:Ws.t ->
+    ?lo:int ->
+    ?hi:int ->
+    Xpose_core.Plan.t ->
+    buf ->
+    amount:(int -> int) ->
+    unit
 
-val permute_cols :
-  ?width:int ->
-  ?ws:Ws.t ->
-  ?lo:int ->
-  ?hi:int ->
-  Xpose_core.Plan.t ->
-  buf ->
-  cycles:int array array ->
-  unit
+  val permute_cols :
+    ?width:int ->
+    ?ws:Ws.t ->
+    ?lo:int ->
+    ?hi:int ->
+    Xpose_core.Plan.t ->
+    buf ->
+    cycles:int array array ->
+    unit
 
-val c2r_cols :
-  ?width:int ->
-  ?block_rows:int ->
-  ?ws:Ws.t ->
-  ?lo:int ->
-  ?hi:int ->
-  Xpose_core.Plan.t ->
-  buf ->
-  cycles:int array array ->
-  unit
-(** One panel visit = rotate by [j] + permute by the cycles of
-    [Plan.q]. *)
+  val c2r_cols :
+    ?width:int ->
+    ?block_rows:int ->
+    ?ws:Ws.t ->
+    ?lo:int ->
+    ?hi:int ->
+    Xpose_core.Plan.t ->
+    buf ->
+    cycles:int array array ->
+    unit
+  (** One panel visit = rotate by [j] + permute by the cycles of
+      [Plan.q]. *)
 
-val r2c_cols :
-  ?width:int ->
-  ?block_rows:int ->
-  ?ws:Ws.t ->
-  ?lo:int ->
-  ?hi:int ->
-  Xpose_core.Plan.t ->
-  buf ->
-  cycles:int array array ->
-  unit
-(** One panel visit = permute by the cycles of [Plan.q_inv] + rotate by
-    [-j]. *)
+  val r2c_cols :
+    ?width:int ->
+    ?block_rows:int ->
+    ?ws:Ws.t ->
+    ?lo:int ->
+    ?hi:int ->
+    Xpose_core.Plan.t ->
+    buf ->
+    cycles:int array array ->
+    unit
+  (** One panel visit = permute by the cycles of [Plan.q_inv] + rotate by
+      [-j]. *)
 
-(** {1 Serial engines} *)
+  (** {1 Serial engines} *)
 
-val c2r :
-  ?width:int ->
-  ?block_rows:int ->
-  ?ws:Ws.t ->
-  Xpose_core.Plan.t ->
-  buf ->
-  unit
-(** @raise Invalid_argument if the buffer size does not match the
-    plan. *)
+  val c2r :
+    ?width:int ->
+    ?block_rows:int ->
+    ?ws:Ws.t ->
+    Xpose_core.Plan.t ->
+    buf ->
+    unit
+  (** @raise Invalid_argument if the buffer size does not match the
+      plan. *)
 
-val r2c :
-  ?width:int ->
-  ?block_rows:int ->
-  ?ws:Ws.t ->
-  Xpose_core.Plan.t ->
-  buf ->
-  unit
+  val r2c :
+    ?width:int ->
+    ?block_rows:int ->
+    ?ws:Ws.t ->
+    Xpose_core.Plan.t ->
+    buf ->
+    unit
 
-val transpose :
-  ?order:Xpose_core.Layout.order ->
-  ?width:int ->
-  ?block_rows:int ->
-  ?ws:Ws.t ->
-  ?cache:Xpose_core.Plan.Cache.t ->
-  m:int ->
-  n:int ->
-  buf ->
-  unit
-(** In-place transpose of an [m x n] matrix (same C2R/R2C routing policy
-    as [Algo.Make(S).transpose]); plans come from [cache] (default
-    {!Xpose_core.Plan.Cache.default}). *)
+  val transpose :
+    ?order:Xpose_core.Layout.order ->
+    ?width:int ->
+    ?block_rows:int ->
+    ?ws:Ws.t ->
+    ?cache:Xpose_core.Plan.Cache.t ->
+    m:int ->
+    n:int ->
+    buf ->
+    unit
+  (** In-place transpose of an [m x n] matrix (same C2R/R2C routing policy
+      as [Algo.Make(S).transpose]); plans come from [cache] (default
+      {!Xpose_core.Plan.Cache.default}). *)
 
-(** {1 Panel-parallel engines}
+  (** {1 Panel-parallel engines}
 
-    One matrix, column panels partitioned across the pool; the row
-    shuffle partitions across rows. [workspaces] supplies per-lane
-    scratch indexed by chunk (at least [Pool.workers pool] entries,
-    checked); created per call when omitted.
-    @raise Invalid_argument on buffer/plan mismatch or short workspace
-    array. *)
+      One matrix, column panels partitioned across the pool; the row
+      shuffle partitions across rows. [workspaces] supplies per-lane
+      scratch indexed by chunk (at least [Pool.workers pool] entries,
+      checked); created per call when omitted.
+      @raise Invalid_argument on buffer/plan mismatch or short workspace
+      array. *)
 
-val c2r_pool :
-  ?width:int ->
-  ?block_rows:int ->
-  ?workspaces:Ws.t array ->
-  Pool.t ->
-  Xpose_core.Plan.t ->
-  buf ->
-  unit
+  val c2r_pool :
+    ?width:int ->
+    ?block_rows:int ->
+    ?workspaces:Ws.t array ->
+    Pool.t ->
+    Xpose_core.Plan.t ->
+    buf ->
+    unit
 
-val r2c_pool :
-  ?width:int ->
-  ?block_rows:int ->
-  ?workspaces:Ws.t array ->
-  Pool.t ->
-  Xpose_core.Plan.t ->
-  buf ->
-  unit
+  val r2c_pool :
+    ?width:int ->
+    ?block_rows:int ->
+    ?workspaces:Ws.t array ->
+    Pool.t ->
+    Xpose_core.Plan.t ->
+    buf ->
+    unit
 
-val transpose_pool :
-  ?order:Xpose_core.Layout.order ->
-  ?width:int ->
-  ?block_rows:int ->
-  ?workspaces:Ws.t array ->
-  ?cache:Xpose_core.Plan.Cache.t ->
-  Pool.t ->
-  m:int ->
-  n:int ->
-  buf ->
-  unit
+  val transpose_pool :
+    ?order:Xpose_core.Layout.order ->
+    ?width:int ->
+    ?block_rows:int ->
+    ?workspaces:Ws.t array ->
+    ?cache:Xpose_core.Plan.Cache.t ->
+    Pool.t ->
+    m:int ->
+    n:int ->
+    buf ->
+    unit
 
-(** {1 Batched transpose} *)
+  (** {1 Batched transpose} *)
 
-val transpose_batch :
-  ?order:Xpose_core.Layout.order ->
-  ?width:int ->
-  ?block_rows:int ->
-  ?cache:Xpose_core.Plan.Cache.t ->
-  Pool.t ->
-  m:int ->
-  n:int ->
-  buf array ->
-  unit
-(** [transpose_batch pool ~m ~n bufs] transposes every matrix of the
-    same-shape batch in place. When the batch has at least as many
-    matrices as the pool has lanes, lanes take contiguous slices of the
-    batch and run the serial engine (one plan, one workspace per lane);
-    smaller batches run each matrix panel-parallel instead. The whole
-    batch is validated before any element moves.
-    @raise Invalid_argument if any buffer size differs from [m * n]. *)
+  val transpose_batch :
+    ?order:Xpose_core.Layout.order ->
+    ?width:int ->
+    ?block_rows:int ->
+    ?cache:Xpose_core.Plan.Cache.t ->
+    Pool.t ->
+    m:int ->
+    n:int ->
+    buf array ->
+    unit
+  (** [transpose_batch pool ~m ~n bufs] transposes every matrix of the
+      same-shape batch in place. When the batch has at least as many
+      matrices as the pool has lanes, lanes take contiguous slices of the
+      batch and run the serial engine (one plan, one workspace per lane);
+      smaller batches run each matrix panel-parallel instead. The whole
+      batch is validated before any element moves.
+      @raise Invalid_argument if any buffer size differs from [m * n]. *)
+end
+
+include ENGINE
+
+module Checked : ENGINE
+(** Checked-access shadow mode: the identical engine with every matrix
+    and workspace access bounds-verified and the workspace buffers
+    verified distinct from the matrix, raising
+    {!Xpose_core.Checked_access.Violation} on the first bad access
+    instead of corrupting memory. Selected by tests (run the suite once
+    under checking) and by [xpose check --shadow]. *)

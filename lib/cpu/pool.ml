@@ -104,39 +104,38 @@ let parallel_chunks t ~lo ~hi f =
   if hi < lo then invalid_arg "Pool.parallel_chunks: hi < lo";
   Xpose_obs.Metrics.incr c_barriers;
   let f = observe_chunk f in
-  if t.is_sequential || hi - lo <= 1 then
-    for k = 0 to t.lanes - 1 do
+  (* Deterministic exception aggregation: every chunk runs to completion
+     and records any exception in its own slot; after the barrier the
+     exception of the lowest-numbered failing chunk is re-raised, so a
+     multi-failure barrier raises the same exception on every run
+     regardless of worker scheduling. *)
+  let errors = Array.init t.lanes (fun _ -> Atomic.make None) in
+  let run_chunk k =
+    try
       let c_lo, c_hi = chunk_bounds ~lo ~hi ~chunks:t.lanes k in
       f ~chunk:k ~lo:c_lo ~hi:c_hi
+    with exn ->
+      Atomic.set errors.(k) (Some (exn, Printexc.get_raw_backtrace ()))
+  in
+  if t.is_sequential || hi - lo <= 1 then
+    for k = 0 to t.lanes - 1 do
+      run_chunk k
     done
   else begin
     let pending = Atomic.make (t.lanes - 1) in
-    let error = Atomic.make None in
-    let run_chunk k () =
-      (try
-         let c_lo, c_hi = chunk_bounds ~lo ~hi ~chunks:t.lanes k in
-         f ~chunk:k ~lo:c_lo ~hi:c_hi
-       with exn ->
-         ignore
-           (Atomic.compare_and_set error None
-              (Some (exn, Printexc.get_raw_backtrace ()))));
+    let run_task k () =
+      run_chunk k;
       Atomic.decr pending
     in
     Mutex.lock t.mutex;
     for k = 1 to t.lanes - 1 do
-      Queue.add { run = run_chunk k } t.queue
+      Queue.add { run = run_task k } t.queue
     done;
     Condition.broadcast t.have_task;
     Mutex.unlock t.mutex;
     (* The caller processes chunk 0 itself, then helps drain the queue (a
        worker may still be waking up) and finally spins on the barrier. *)
-    (try
-       let c_lo, c_hi = chunk_bounds ~lo ~hi ~chunks:t.lanes 0 in
-       f ~chunk:0 ~lo:c_lo ~hi:c_hi
-     with exn ->
-       ignore
-         (Atomic.compare_and_set error None
-            (Some (exn, Printexc.get_raw_backtrace ()))));
+    run_chunk 0;
     let rec help () =
       let task =
         Mutex.lock t.mutex;
@@ -153,11 +152,14 @@ let parallel_chunks t ~lo ~hi f =
     help ();
     while Atomic.get pending > 0 do
       Domain.cpu_relax ()
-    done;
-    match Atomic.get error with
-    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
-    | None -> ()
-  end
+    done
+  end;
+  Array.iter
+    (fun slot ->
+      match Atomic.get slot with
+      | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+      | None -> ())
+    errors
 
 let parallel_for t ~lo ~hi f =
   parallel_chunks t ~lo ~hi (fun ~chunk:_ ~lo ~hi ->

@@ -22,13 +22,28 @@ val sequential : t
 (** A shared pool with a single lane and no spawned domains: running on it
     is plain sequential execution (the paper's "1 T" rows). *)
 
+val chunk_bounds : lo:int -> hi:int -> chunks:int -> int -> int * int
+(** [chunk_bounds ~lo ~hi ~chunks k] is the half-open sub-range
+    [[c_lo, c_hi)] that chunk [k] of [chunks] receives when [[lo, hi)] is
+    split statically: contiguous, equal-sized (±1, the first [len mod
+    chunks] chunks get the extra element), covering [[lo, hi)] exactly.
+    This is the split {!parallel_chunks} uses; it is exposed so the
+    static race analyzer ([Xpose_check.Footprint]) partitions index
+    space with the very same function the pool executes. *)
+
 val parallel_chunks : t -> lo:int -> hi:int -> (chunk:int -> lo:int -> hi:int -> unit) -> unit
 (** [parallel_chunks t ~lo ~hi f] splits [[lo, hi)] into [workers t]
-    contiguous chunks and runs [f ~chunk ~lo:c_lo ~hi:c_hi] for each, in
-    parallel; returns only when all chunks completed (a barrier). [chunk]
-    ranges over [[0, workers t)] so callers can index per-worker scratch.
-    Empty chunks are still invoked with [lo = hi]. If any chunk raises, one
-    of the exceptions is re-raised in the caller after the barrier.
+    contiguous chunks (per {!chunk_bounds}) and runs
+    [f ~chunk ~lo:c_lo ~hi:c_hi] for each, in parallel; returns only when
+    all chunks completed (a barrier). [chunk] ranges over
+    [[0, workers t)] so callers can index per-worker scratch. Empty
+    chunks are still invoked with [lo = hi]. Exceptions aggregate
+    deterministically: every chunk runs to completion (also on the
+    sequential path), each failing chunk's exception is recorded, and
+    after the barrier the exception of the {e lowest-numbered} failing
+    chunk is re-raised with its backtrace — so a barrier that fails in
+    several chunks raises the same exception on every run, independent of
+    worker scheduling.
     Must not be called re-entrantly from inside a running chunk. *)
 
 val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit

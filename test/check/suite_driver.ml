@@ -1,0 +1,78 @@
+(* The [xpose check] driver: grid assembly, seeded-negative semantics,
+   shadow runs, and report rendering. Small grids keep this fast. *)
+
+open Xpose_check
+
+let shapes = [ (3, 5); (16, 16); (48, 36) ]
+let permutes = [ ([| 4; 5; 6 |], [| 2; 0; 1 |]) ]
+let lanes = [ 2; 3 ]
+
+let test_clean_run_ok () =
+  let r = Driver.run ~shapes ~permutes ~lanes () in
+  Alcotest.(check bool) "ok" true (Driver.ok r);
+  Alcotest.(check int) "no violations" 0 r.Driver.violations;
+  Alcotest.(check int) "no detections" 0 r.Driver.detections;
+  Alcotest.(check int) "entry count" r.Driver.checked
+    (List.length r.Driver.entries);
+  Alcotest.(check bool) "plan entries present" true
+    (List.exists (fun e -> e.Driver.check = "plan") r.Driver.entries);
+  Alcotest.(check bool) "race entries present" true
+    (List.exists (fun e -> e.Driver.check = "race") r.Driver.entries)
+
+let test_seeded_race_detected () =
+  let r = Driver.run ~shapes ~permutes ~lanes ~seed_race:true () in
+  Alcotest.(check bool) "not ok" false (Driver.ok r);
+  Alcotest.(check int) "no violations" 0 r.Driver.violations;
+  Alcotest.(check bool) "detections" true (r.Driver.detections > 0);
+  List.iter
+    (fun e ->
+      if e.Driver.check = "race" && e.Driver.status <> Driver.Detected then
+        Alcotest.failf "race entry %s not detected (%s)" e.Driver.subject
+          e.Driver.detail)
+    r.Driver.entries
+
+let test_seeded_oob_detected () =
+  let r = Driver.run ~shapes ~permutes ~lanes ~seed_oob:true () in
+  Alcotest.(check bool) "not ok" false (Driver.ok r);
+  Alcotest.(check int) "no violations" 0 r.Driver.violations;
+  Alcotest.(check int) "one detection" 1 r.Driver.detections;
+  match
+    List.find_opt
+      (fun e -> e.Driver.subject = "seeded out-of-bounds")
+      r.Driver.entries
+  with
+  | Some e -> Alcotest.(check bool) "detected" true (e.Driver.status = Driver.Detected)
+  | None -> Alcotest.fail "seeded OOB entry missing"
+
+let test_shadow_runs_clean () =
+  let r = Driver.run ~shapes ~permutes ~lanes ~shadow:true () in
+  Alcotest.(check bool) "ok" true (Driver.ok r);
+  Alcotest.(check bool) "shadow entries present" true
+    (List.exists (fun e -> e.Driver.check = "shadow") r.Driver.entries)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_json_rendering () =
+  let r = Driver.run ~shapes:[ (3, 5) ] ~permutes:[] ~lanes:[ 2 ] () in
+  let json = Driver.to_json r in
+  Alcotest.(check bool) "violations field" true
+    (contains ~sub:"\"violations\":0" json);
+  Alcotest.(check bool) "entries array" true
+    (contains ~sub:"\"entries\":[{" json);
+  Alcotest.(check bool) "status rendered" true
+    (contains ~sub:"\"status\":\"proved\"" json);
+  let pretty = Format.asprintf "%a" Driver.pp r in
+  Alcotest.(check bool) "summary line" true
+    (contains ~sub:"0 violations" pretty)
+
+let tests =
+  [
+    Alcotest.test_case "clean run ok" `Quick test_clean_run_ok;
+    Alcotest.test_case "seeded race detected" `Quick test_seeded_race_detected;
+    Alcotest.test_case "seeded OOB detected" `Quick test_seeded_oob_detected;
+    Alcotest.test_case "shadow runs clean" `Quick test_shadow_runs_clean;
+    Alcotest.test_case "report rendering" `Quick test_json_rendering;
+  ]

@@ -1,0 +1,90 @@
+(* The symbolic permutation vocabulary: gather-form composition order and
+   the exhaustive/probed verification split. *)
+
+open Xpose_check
+
+(* Applying a gather map to a concrete array: new.(l) = old.(map l). *)
+let apply_to_array perm a =
+  Array.init (Array.length a) (fun l -> a.(Perm.apply perm l))
+
+let test_compose_order () =
+  (* [compose p q] must mean "run p first, then q" — the gather-form
+     reversal is where an orientation bug would hide. *)
+  let size = 6 in
+  let rotate = Perm.make ~size (fun l -> (l + 1) mod size) in
+  let reverse = Perm.make ~size (fun l -> size - 1 - l) in
+  let a = Array.init size (fun i -> 10 * i) in
+  let sequential = apply_to_array reverse (apply_to_array rotate a) in
+  Alcotest.(check (array int))
+    "compose = p then q" sequential
+    (apply_to_array (Perm.compose rotate reverse) a);
+  Alcotest.(check (array int))
+    "pipeline runs in list order" sequential
+    (apply_to_array (Perm.pipeline ~size [ rotate; reverse ]) a);
+  Alcotest.(check (array int))
+    "empty pipeline is the identity" a
+    (apply_to_array (Perm.pipeline ~size []) a)
+
+let test_verify_exhaustive () =
+  let size = 100 in
+  let target = Perm.make ~size (fun l -> l * 7 mod size) in
+  (match Perm.verify ~target target with
+  | Perm.Proved { checked; exhaustive } ->
+      Alcotest.(check int) "all indices" size checked;
+      Alcotest.(check bool) "exhaustive" true exhaustive
+  | Perm.Mismatch _ -> Alcotest.fail "self-verification must prove");
+  match Perm.verify ~target (Perm.id size) with
+  | Perm.Mismatch { index; expected; got } ->
+      Alcotest.(check int) "first disagreeing index" 1 index;
+      Alcotest.(check int) "target source" 7 expected;
+      Alcotest.(check int) "pipeline source" 1 got
+  | Perm.Proved _ -> Alcotest.fail "id is not the target"
+
+let test_verify_probed () =
+  (* Above the threshold, verification is probes + deterministic samples:
+     a planted probe must be visited, junk probes must be dropped, and a
+     global mismatch must still be caught by the samples alone. *)
+  let size = 1 lsl 20 in
+  let target = Perm.id size in
+  let planted = 123_457 in
+  let bad =
+    Perm.make ~size (fun l -> if l = planted then 0 else l)
+  in
+  (match Perm.verify ~probes:[ planted ] ~target bad with
+  | Perm.Mismatch { index; got; _ } ->
+      Alcotest.(check int) "planted probe caught" planted index;
+      Alcotest.(check int) "wrong source reported" 0 got
+  | Perm.Proved _ -> Alcotest.fail "planted mismatch missed");
+  (match Perm.verify ~probes:[ -5; size; size + 3 ] ~target target with
+  | Perm.Proved { exhaustive; checked } ->
+      Alcotest.(check bool) "probed, not exhaustive" false exhaustive;
+      Alcotest.(check bool) "samples ran" true (checked > 0)
+  | Perm.Mismatch _ -> Alcotest.fail "self-verification must prove");
+  match
+    Perm.verify ~target (Perm.make ~size (fun l -> (l + 1) mod size))
+  with
+  | Perm.Mismatch _ -> ()
+  | Perm.Proved _ -> Alcotest.fail "global shift not caught by samples"
+
+let test_verify_threshold_boundary () =
+  (* size = threshold is still exhaustive; one past is probed. *)
+  let check_mode size expected_exhaustive =
+    let target = Perm.id size in
+    match Perm.verify ~threshold:64 ~target target with
+    | Perm.Proved { exhaustive; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "size %d" size)
+          expected_exhaustive exhaustive
+    | Perm.Mismatch _ -> Alcotest.fail "id must prove"
+  in
+  check_mode 64 true;
+  check_mode 65 false
+
+let tests =
+  [
+    Alcotest.test_case "compose order" `Quick test_compose_order;
+    Alcotest.test_case "exhaustive verification" `Quick test_verify_exhaustive;
+    Alcotest.test_case "probed verification" `Quick test_verify_probed;
+    Alcotest.test_case "threshold boundary" `Quick
+      test_verify_threshold_boundary;
+  ]

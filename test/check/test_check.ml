@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "xpose_check"
+    [
+      ("perm", Suite_perm.tests);
+      ("spec", Suite_spec.tests);
+      ("footprint", Suite_footprint.tests);
+      ("driver", Suite_driver.tests);
+    ]

@@ -162,6 +162,24 @@ let test_cache_lru_eviction () =
   Alcotest.(check int) "LRU victim was evicted (rebuild misses)"
     (misses + 1) (Plan.Cache.misses cache)
 
+let test_cache_eviction_counter () =
+  let cache = Plan.Cache.create ~capacity:2 () in
+  Alcotest.(check int) "fresh cache" 0 (Plan.Cache.evictions cache);
+  let _ = Plan.Cache.get ~cache ~m:3 ~n:4 () in
+  let _ = Plan.Cache.get ~cache ~m:5 ~n:6 () in
+  Alcotest.(check int) "fills don't evict" 0 (Plan.Cache.evictions cache);
+  let _ = Plan.Cache.get ~cache ~m:7 ~n:8 () in
+  Alcotest.(check int) "overflow evicts once" 1 (Plan.Cache.evictions cache);
+  (* Hits never evict. *)
+  let _ = Plan.Cache.get ~cache ~m:5 ~n:6 () in
+  Alcotest.(check int) "hit doesn't evict" 1 (Plan.Cache.evictions cache);
+  (* Rebuilding the evicted (3,4) entry overflows again. *)
+  let _ = Plan.Cache.get ~cache ~m:3 ~n:4 () in
+  Alcotest.(check int) "rebuild of evicted entry evicts again" 2
+    (Plan.Cache.evictions cache);
+  Plan.Cache.clear cache;
+  Alcotest.(check int) "clear resets evictions" 0 (Plan.Cache.evictions cache)
+
 let test_cache_invalid () =
   Alcotest.check_raises "capacity >= 1"
     (Invalid_argument "Plan.Cache.create: capacity must be >= 1") (fun () ->
@@ -178,6 +196,8 @@ let tests =
       test_internal_consistency;
     Alcotest.test_case "cache hit/miss bookkeeping" `Quick test_cache_hit_miss;
     Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache eviction counter" `Quick
+      test_cache_eviction_counter;
     Alcotest.test_case "cache invalid args" `Quick test_cache_invalid;
     Alcotest.test_case "invalid dims" `Quick test_invalid;
     Alcotest.test_case "coprime / scratch" `Quick test_coprime;

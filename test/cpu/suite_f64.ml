@@ -6,6 +6,13 @@ open Xpose_cpu
 module S = Storage.Float64
 module A = Instances.F64
 
+(* XPOSE_CHECKED=1 reruns this suite through the checked-access shadow
+   kernels: identical semantics, every access bounds-verified. *)
+module K =
+  (val if Sys.getenv_opt "XPOSE_CHECKED" <> None then
+         (module Kernels_f64.Checked : Kernels_f64.ENGINE)
+       else (module Kernels_f64 : Kernels_f64.ENGINE))
+
 let iota_buf len =
   let buf = S.create len in
   Storage.fill_iota (module S) buf;
@@ -28,11 +35,11 @@ let test_c2r_matches_generic () =
           let p = Plan.make ~m ~n in
           let buf = iota_buf (m * n) in
           let tmp = S.create (Plan.scratch_elements p) in
-          Kernels_f64.c2r ~variant p buf ~tmp;
+          K.c2r ~variant p buf ~tmp;
           Alcotest.(check (list (float 0.0)))
             (Printf.sprintf "kernels c2r %dx%d" m n)
             (reference variant m n) (buf_to_list buf);
-          Kernels_f64.r2c p buf ~tmp;
+          K.r2c p buf ~tmp;
           Alcotest.(check (list (float 0.0)))
             "kernels r2c inverts"
             (List.init (m * n) float_of_int)
@@ -47,8 +54,8 @@ let test_r2c_variants () =
     (fun variant ->
       let buf = iota_buf (m * n) in
       let tmp = S.create (Plan.scratch_elements p) in
-      Kernels_f64.c2r p buf ~tmp;
-      Kernels_f64.r2c ~variant p buf ~tmp;
+      K.c2r p buf ~tmp;
+      K.r2c ~variant p buf ~tmp;
       Alcotest.(check (list (float 0.0)))
         "r2c variant"
         (List.init (m * n) float_of_int)
@@ -60,7 +67,7 @@ let test_transpose_dispatch () =
     (fun (m, n, order) ->
       let buf = iota_buf (m * n) in
       let original = A.copy buf in
-      Kernels_f64.transpose ~order ~m ~n buf;
+      K.transpose ~order ~m ~n buf;
       Alcotest.(check bool)
         (Printf.sprintf "dispatch %dx%d" m n)
         true
@@ -78,12 +85,12 @@ let test_errors () =
   let tmp = S.create 6 in
   Alcotest.check_raises "size"
     (Invalid_argument "Kernels_f64: buffer size does not match plan")
-    (fun () -> Kernels_f64.c2r p buf ~tmp);
+    (fun () -> K.c2r p buf ~tmp);
   let buf = iota_buf 24 in
   let tiny = S.create 5 in
   Alcotest.check_raises "scratch"
     (Invalid_argument "Kernels_f64: scratch too small") (fun () ->
-      Kernels_f64.r2c p buf ~tmp:tiny)
+      K.r2c p buf ~tmp:tiny)
 
 let test_par_f64_matches () =
   Pool.with_pool ~workers:3 (fun pool ->
@@ -115,7 +122,7 @@ let prop_kernels_equal_generic =
       let p = Plan.make ~m ~n in
       let buf = iota_buf (m * n) in
       let tmp = S.create (Plan.scratch_elements p) in
-      Kernels_f64.c2r p buf ~tmp;
+      K.c2r p buf ~tmp;
       buf_to_list buf = reference Algo.C2r_gather m n)
 
 let tests =

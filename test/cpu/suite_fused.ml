@@ -10,6 +10,13 @@ module A = Instances.F64
 module FI = Fused.Make (Storage.Int_elt)
 module AI = Instances.I
 
+(* XPOSE_CHECKED=1 reruns this suite through the checked-access shadow
+   engine: identical semantics, every access bounds-verified. *)
+module F =
+  (val if Sys.getenv_opt "XPOSE_CHECKED" <> None then
+         (module Fused_f64.Checked : Fused_f64.ENGINE)
+       else (module Fused_f64 : Fused_f64.ENGINE))
+
 let iota_buf len =
   let buf = S.create len in
   Storage.fill_iota (module S) buf;
@@ -48,11 +55,11 @@ let test_c2r_matches_oracle () =
       let p = Plan.make ~m ~n in
       let expected = oracle_c2r m n in
       let buf = iota_buf (m * n) in
-      Fused_f64.c2r p buf;
+      F.c2r p buf;
       Alcotest.(check (list (float 0.0)))
         (Printf.sprintf "fused c2r %dx%d" m n)
         expected (buf_to_list buf);
-      Fused_f64.r2c p buf;
+      F.r2c p buf;
       Alcotest.(check (list (float 0.0)))
         (Printf.sprintf "fused r2c inverts %dx%d" m n)
         (List.init (m * n) float_of_int)
@@ -67,7 +74,7 @@ let test_workspace_reuse_across_shapes () =
     (fun (m, n) ->
       let p = Plan.make ~m ~n in
       let buf = iota_buf (m * n) in
-      Fused_f64.c2r ~ws p buf;
+      F.c2r ~ws p buf;
       Alcotest.(check (list (float 0.0)))
         (Printf.sprintf "shared-ws c2r %dx%d" m n)
         (oracle_c2r m n) (buf_to_list buf))
@@ -86,7 +93,7 @@ let prop_fused_equals_oracle =
         buf_to_list buf
       in
       let buf = iota_buf (m * n) in
-      Fused_f64.c2r ~width ~block_rows p buf;
+      F.c2r ~width ~block_rows p buf;
       buf_to_list buf = expected)
 
 let prop_r2c_inverts =
@@ -95,8 +102,8 @@ let prop_r2c_inverts =
     (fun (m, n, width) ->
       let p = Plan.make ~m ~n in
       let buf = iota_buf (m * n) in
-      Fused_f64.c2r ~width p buf;
-      Fused_f64.r2c ~width p buf;
+      F.c2r ~width p buf;
+      F.r2c ~width p buf;
       buf_to_list buf = List.init (m * n) float_of_int)
 
 let test_generic_fused_matches_oracle () =
@@ -141,12 +148,12 @@ let test_cols_match_sweeps () =
         (fun (lo, hi) ->
           let expected =
             let buf = iota_buf (m * n) in
-            Fused_f64.rotate_columns ~lo ~hi p buf ~amount:(fun j -> j);
-            Fused_f64.permute_cols ~lo ~hi p buf ~cycles;
+            F.rotate_columns ~lo ~hi p buf ~amount:(fun j -> j);
+            F.permute_cols ~lo ~hi p buf ~cycles;
             buf_to_list buf
           in
           let buf = iota_buf (m * n) in
-          Fused_f64.c2r_cols ~lo ~hi p buf ~cycles;
+          F.c2r_cols ~lo ~hi p buf ~cycles;
           Alcotest.(check (list (float 0.0)))
             (Printf.sprintf "c2r_cols %dx%d [%d,%d)" m n lo hi)
             expected (buf_to_list buf))
@@ -158,7 +165,7 @@ let test_transpose_routes_and_caches () =
   List.iter
     (fun (m, n) ->
       let buf = iota_buf (m * n) in
-      Fused_f64.transpose ~cache ~m ~n buf;
+      F.transpose ~cache ~m ~n buf;
       let ok = ref true in
       for i = 0 to m - 1 do
         for j = 0 to n - 1 do
@@ -173,7 +180,7 @@ let test_transpose_routes_and_caches () =
   Alcotest.(check bool) "cache hit on repeat" true
     (let before = Plan.Cache.hits cache in
      let buf = iota_buf (48 * 36) in
-     Fused_f64.transpose ~cache ~m:48 ~n:36 buf;
+     F.transpose ~cache ~m:48 ~n:36 buf;
      Plan.Cache.hits cache > before)
 
 let with_pool workers f =
@@ -187,11 +194,11 @@ let test_pool_engines () =
           let p = Plan.make ~m ~n in
           let expected = oracle_c2r m n in
           let buf = iota_buf (m * n) in
-          Fused_f64.c2r_pool pool p buf;
+          F.c2r_pool pool p buf;
           Alcotest.(check (list (float 0.0)))
             (Printf.sprintf "pooled fused c2r %dx%d" m n)
             expected (buf_to_list buf);
-          Fused_f64.r2c_pool pool p buf;
+          F.r2c_pool pool p buf;
           Alcotest.(check (list (float 0.0)))
             "pooled fused r2c inverts"
             (List.init (m * n) float_of_int)
@@ -200,10 +207,10 @@ let test_pool_engines () =
 
 let check_batch pool ~batch ~m ~n =
   let bufs = Array.init batch (fun _ -> iota_buf (m * n)) in
-  Fused_f64.transpose_batch pool ~m ~n bufs;
+  F.transpose_batch pool ~m ~n bufs;
   let expected =
     let buf = iota_buf (m * n) in
-    Fused_f64.transpose ~m ~n buf;
+    F.transpose ~m ~n buf;
     buf_to_list buf
   in
   Array.iteri
@@ -223,9 +230,48 @@ let test_transpose_batch () =
       check_batch pool ~batch:1 ~m:23 ~n:40;
       (* degenerate shapes and empty batch *)
       check_batch pool ~batch:3 ~m:1 ~n:17;
-      Fused_f64.transpose_batch pool ~m:4 ~n:4 [||]);
+      F.transpose_batch pool ~m:4 ~n:4 [||]);
   (* sequential pool exercises the lanes = 1 path *)
   check_batch Pool.sequential ~batch:3 ~m:48 ~n:36
+
+let test_pool_workspace_reuse_across_shapes () =
+  (* Per-lane workspaces handed to the pool drivers and reused across
+     successive different shapes on the same pool (grow, shrink, grow
+     again): a stale-capacity bug — scratch still sized or sliced for a
+     previous shape — would corrupt results. *)
+  with_pool 3 (fun pool ->
+      let workspaces = Array.init 3 (fun _ -> Workspace.F64.create ()) in
+      List.iter
+        (fun (m, n) ->
+          let p = Plan.make ~m ~n in
+          let buf = iota_buf (m * n) in
+          F.c2r_pool ~workspaces pool p buf;
+          Alcotest.(check (list (float 0.0)))
+            (Printf.sprintf "pooled shared-ws c2r %dx%d" m n)
+            (oracle_c2r m n) (buf_to_list buf);
+          F.r2c_pool ~workspaces pool p buf;
+          Alcotest.(check (list (float 0.0)))
+            (Printf.sprintf "pooled shared-ws r2c %dx%d" m n)
+            (List.init (m * n) float_of_int)
+            (buf_to_list buf))
+        (shapes @ List.rev shapes))
+
+let test_batch_workspace_reuse_across_shapes () =
+  (* The batched driver reuses one workspace per lane across the matrices
+     of a batch; drive the same pool through successive batches of very
+     different shapes, alternating the matrix-parallel (batch >= lanes)
+     and panel-parallel (batch < lanes) regimes. *)
+  with_pool 3 (fun pool ->
+      List.iter
+        (fun (batch, m, n) -> check_batch pool ~batch ~m ~n)
+        [
+          (5, 96, 72);
+          (5, 3, 8);
+          (2, 48, 36);
+          (4, 97, 89);
+          (1, 9, 1);
+          (6, 40, 23);
+        ])
 
 let test_batch_validates_before_moving () =
   with_pool 2 (fun pool ->
@@ -234,7 +280,7 @@ let test_batch_validates_before_moving () =
       Alcotest.check_raises "size mismatch"
         (Invalid_argument
            "Fused_f64.transpose_batch: buffer size does not match shape")
-        (fun () -> Fused_f64.transpose_batch pool ~m:6 ~n:4 [| good; bad |]);
+        (fun () -> F.transpose_batch pool ~m:6 ~n:4 [| good; bad |]);
       Alcotest.(check (list (float 0.0)))
         "no element moved" (List.init 24 float_of_int) (buf_to_list good))
 
@@ -251,6 +297,10 @@ let tests =
       test_transpose_routes_and_caches;
     Alcotest.test_case "pooled fused engines" `Quick test_pool_engines;
     Alcotest.test_case "transpose_batch" `Quick test_transpose_batch;
+    Alcotest.test_case "pool workspace reuse across shapes" `Quick
+      test_pool_workspace_reuse_across_shapes;
+    Alcotest.test_case "batch workspace reuse across shapes" `Quick
+      test_batch_workspace_reuse_across_shapes;
     Alcotest.test_case "batch validates before moving" `Quick
       test_batch_validates_before_moving;
     QCheck_alcotest.to_alcotest prop_fused_equals_oracle;

@@ -68,6 +68,58 @@ let test_exception_propagates () =
       Pool.parallel_for pool ~lo:0 ~hi:10 (fun _ -> Atomic.incr count);
       Alcotest.(check int) "still works" 10 (Atomic.get count))
 
+let test_exception_deterministic () =
+  (* When several chunks fail in one barrier, the exception of the
+     lowest-numbered failing chunk must surface — on every run,
+     regardless of worker scheduling — and every chunk must still have
+     run to completion. *)
+  Pool.with_pool ~workers:4 (fun pool ->
+      let ran = Array.make 4 false in
+      for _ = 1 to 25 do
+        Array.fill ran 0 4 false;
+        let msg =
+          try
+            Pool.parallel_chunks pool ~lo:0 ~hi:40 (fun ~chunk ~lo:_ ~hi:_ ->
+                ran.(chunk) <- true;
+                if chunk >= 1 then failwith (Printf.sprintf "chunk %d" chunk));
+            "no exception"
+          with Failure m -> m
+        in
+        Alcotest.(check string) "lowest failing chunk wins" "chunk 1" msg;
+        Alcotest.(check bool)
+          "all chunks ran despite failures" true
+          (Array.for_all Fun.id ran)
+      done)
+
+let test_exception_deterministic_sequential () =
+  let ran = Array.make 1 false in
+  let msg =
+    try
+      Pool.parallel_chunks Pool.sequential ~lo:0 ~hi:10
+        (fun ~chunk ~lo:_ ~hi:_ ->
+          ran.(chunk) <- true;
+          failwith (Printf.sprintf "chunk %d" chunk));
+      "no exception"
+    with Failure m -> m
+  in
+  Alcotest.(check string) "sequential chunk reported" "chunk 0" msg;
+  Alcotest.(check bool) "sequential chunk ran" true ran.(0)
+
+let test_chunk_bounds_match_execution () =
+  (* [chunk_bounds] is documented as the exact split [parallel_chunks]
+     executes — the contract Xpose_check.Footprint relies on. *)
+  Pool.with_pool ~workers:3 (fun pool ->
+      let observed = Array.make 3 (-1, -1) in
+      Pool.parallel_chunks pool ~lo:5 ~hi:47 (fun ~chunk ~lo ~hi ->
+          observed.(chunk) <- (lo, hi));
+      Array.iteri
+        (fun k got ->
+          Alcotest.(check (pair int int))
+            (Printf.sprintf "chunk %d bounds" k)
+            (Pool.chunk_bounds ~lo:5 ~hi:47 ~chunks:3 k)
+            got)
+        observed)
+
 let test_shutdown_idempotent () =
   let pool = Pool.create ~workers:2 () in
   Pool.shutdown pool;
@@ -106,6 +158,12 @@ let tests =
     Alcotest.test_case "empty and tiny ranges" `Quick test_empty_and_tiny_ranges;
     Alcotest.test_case "parallel sum" `Quick test_parallel_sum;
     Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "exception aggregation deterministic" `Quick
+      test_exception_deterministic;
+    Alcotest.test_case "exception aggregation sequential" `Quick
+      test_exception_deterministic_sequential;
+    Alcotest.test_case "chunk_bounds matches execution" `Quick
+      test_chunk_bounds_match_execution;
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
     Alcotest.test_case "many rounds" `Quick test_many_rounds;
     QCheck_alcotest.to_alcotest prop_chunks_partition;

@@ -1,0 +1,55 @@
+The full check grid proves every engine's plan and every parallel
+split, exiting zero:
+
+  $ xpose check > report.txt; echo "exit $?"
+  exit 0
+  $ tail -1 report.txt
+  checked 338: 0 violations, 0 seeded detections
+  $ grep -c proved report.txt
+  338
+
+One plan line per engine and shape, one race line per engine, shape and
+lane count:
+
+  $ grep -c '^plan' report.txt
+  80
+  $ grep '^plan' report.txt | head -5
+  plan   proved    functor 2x2                        [col_unshuffle; row_unshuffle; rotate_post] proved (4 indices, exhaustive)
+  plan   proved    kernels 2x2                        [col_unshuffle; row_unshuffle; rotate_post] proved (4 indices, exhaustive)
+  plan   proved    decomposed 2x2                     [row_unpermute; col_unrotate; row_unshuffle; rotate_post] proved (4 indices, exhaustive)
+  plan   proved    cache 2x2                          [row_unpermute; col_unrotate; row_unshuffle; rotate_post] proved (4 indices, exhaustive)
+  plan   proved    fused 2x2                          [fused_col; row_unshuffle; rotate_post] proved (4 indices, exhaustive)
+
+A seeded off-by-one chunk split must be detected, with a non-zero exit
+and the first conflicting pair named:
+
+  $ xpose check --seed-race > seeded.txt 2> err.txt; echo "exit $?"
+  exit 124
+  $ grep -c detected seeded.txt
+  228
+  $ grep violated seeded.txt
+  [1]
+  $ grep '^race' seeded.txt | head -1
+  race   detected  functor 2x2 @2 lanes               write/write conflict in pass col_unshuffle between chunks 0 and 1 at index 1
+  $ cat err.txt
+  xpose: 228 seeded defect(s) detected
+
+A seeded out-of-bounds access in the checked kernels must likewise be
+detected:
+
+  $ xpose check --seed-oob > oob.txt 2> err.txt; echo "exit $?"
+  exit 124
+  $ grep 'seeded out-of-bounds' oob.txt
+  shadow detected  seeded out-of-bounds               Kernels_f64.Checked: rotate read index 34 out of bounds [0, 34)
+
+Shadow mode reruns the engines with every access checked:
+
+  $ xpose check --shadow > shadow.txt; echo "exit $?"
+  exit 0
+  $ grep -c '^shadow' shadow.txt
+  52
+
+JSON output carries the same verdicts:
+
+  $ xpose check --json | head -c 66; echo
+  {"checked":338,"violations":0,"detections":0,"entries":[{"check":"
