@@ -295,6 +295,41 @@ let fused_tests =
              Xpose_cpu.Fused_f64.transpose_batch pool ~m:bn ~n:bm batch_bufs));
     ]
 
+(* -- Out-of-core engine --------------------------------------------------- *)
+
+let ooc_tests =
+  (* A transpose followed by its inverse restores the file, so every run
+     sees identical bytes.  The 4x shapes force the windowed path (four
+     row windows / column panels per pass); the fits shape measures the
+     whole-file fast path on the same data. *)
+  let om = 256 and on = 192 in
+  let file_bytes = om * on * 8 in
+  let make_file () =
+    let path = Filename.temp_file "xpose_bench_ooc" ".mat" in
+    at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+    Xpose_mmap.File_matrix.create ~path ~elements:(om * on);
+    Xpose_mmap.File_matrix.with_map ~path (fun buf ->
+        Storage.fill_iota (module S) buf);
+    path
+  in
+  let roundtrip name ~window_bytes ~prefetch =
+    let path = make_file () in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           Xpose_ooc.Ooc_f64.transpose_file ~window_bytes ~prefetch ~path ~m:om
+             ~n:on ();
+           Xpose_ooc.Ooc_f64.transpose_file ~window_bytes ~prefetch ~path ~m:on
+             ~n:om ()))
+  in
+  Test.make_grouped ~name:"ooc_file_transpose"
+    [
+      roundtrip "fits_in_window" ~window_bytes:(2 * file_bytes) ~prefetch:false;
+      roundtrip "window_quarter_prefetch" ~window_bytes:(file_bytes / 4)
+        ~prefetch:true;
+      roundtrip "window_quarter_noprefetch" ~window_bytes:(file_bytes / 4)
+        ~prefetch:false;
+    ]
+
 (* -- Rank-N permutation planner ------------------------------------------ *)
 
 let permute_tests =
@@ -338,6 +373,7 @@ let all_groups =
     ablation_cache_aware;
     ablation_skinny;
     fused_tests;
+    ooc_tests;
     extension_tests;
     permute_tests;
   ]

@@ -219,7 +219,8 @@ let plan_cmd =
    kernels, [decomposed] the same kernels with the §4.1 decomposed
    column passes (separate col_rotate / row_permute sweeps), [cache]
    the cache-aware §4.6/4.7 sweeps, [fused] the pass-fused panel
-   engine. *)
+   engine, [ooc] the windowed out-of-core engine (bench only: it
+   transposes a backing file under a --window-bytes residency budget). *)
 let engine_conv =
   Arg.enum
     [
@@ -228,6 +229,7 @@ let engine_conv =
       ("decomposed", `Decomposed);
       ("cache", `Cache);
       ("fused", `Fused);
+      ("ooc", `Ooc);
     ]
 
 let engine_arg =
@@ -235,7 +237,7 @@ let engine_arg =
     value & opt engine_conv `Functor
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "One of functor, kernels, decomposed, cache, fused. See the \
+          "One of functor, kernels, decomposed, cache, fused, ooc. See the \
            bench suite for what each measures.")
 
 module CA = Xpose_cpu.Cache_aware.Make (S)
@@ -256,11 +258,51 @@ let transpose_engine ~engine ~algorithm ~m ~n buf =
       if m > n then CA.c2r (Plan.make ~m ~n) buf ~tmp
       else CA.r2c (Plan.make ~m:n ~n:m) buf ~tmp
   | `Fused -> Xpose_cpu.Fused_f64.transpose ~m ~n buf
+  | `Ooc ->
+      (* bench routes the ooc engine to its file path before reaching
+         here; the other subcommands reject it. *)
+      invalid_arg "the ooc engine transposes files, not in-RAM buffers"
+
+(* The out-of-core bench leg: stage an iota matrix in a temp file,
+   transpose it in place in the file under the window budget, verify
+   against the oracle. *)
+let bench_ooc ~m ~n ~workers ~window_bytes ~prefetch =
+  let path = Filename.temp_file "xpose_bench_ooc" ".mat" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Xpose_mmap.File_matrix.create ~path ~elements:(m * n);
+      Xpose_mmap.File_matrix.with_map ~path (fun buf ->
+          Storage.fill_iota (module S) buf);
+      let t0 = Unix.gettimeofday () in
+      (if workers = 1 then
+         Xpose_ooc.Ooc_f64.transpose_file ~window_bytes ~prefetch ~path ~m ~n ()
+       else
+         Xpose_cpu.Pool.with_pool ~workers (fun pool ->
+             Xpose_ooc.Ooc_f64.transpose_file ~pool ~window_bytes ~prefetch
+               ~path ~m ~n ()));
+      let dt = Unix.gettimeofday () -. t0 in
+      let gbps = 2.0 *. float_of_int (m * n * 8) /. (dt *. 1e9) in
+      Printf.printf "%d x %d float64 out-of-core (window %d B): %.3f ms, %.3f GB/s\n"
+        m n window_bytes (dt *. 1e3) gbps;
+      let ok = ref true in
+      Xpose_mmap.File_matrix.with_map ~write:false ~path (fun buf ->
+          for l = 0 to (m * n) - 1 do
+            let expected = float_of_int ((n * (l mod m)) + (l / m)) in
+            if S.get buf l <> expected then ok := false
+          done);
+      if !ok then begin
+        Printf.printf "verified: result is the transpose\n";
+        `Ok ()
+      end
+      else `Error (false, "verification failed"))
 
 let bench_cmd =
   let doc =
     "Time one in-place transpose of an M x N float64 matrix (or a batch of \
-     BATCH same-shape matrices) with the selected engine."
+     BATCH same-shape matrices) with the selected engine. The ooc engine \
+     transposes a staged temp file in place under the --window-bytes \
+     residency budget instead."
   in
   let batch_arg =
     Arg.(
@@ -274,10 +316,33 @@ let bench_cmd =
       & info [ "workers" ] ~docv:"W"
           ~doc:"Worker domains for batched runs (1 runs serially).")
   in
-  let run m n algorithm engine batch workers =
+  let window_bytes_arg =
+    Arg.(
+      value
+      & opt int Xpose_ooc.Ooc_f64.default_window_bytes
+      & info [ "window-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Resident window budget for the ooc engine: at most $(docv) of \
+             the file is mapped at any moment.")
+  in
+  let no_prefetch_arg =
+    Arg.(
+      value & flag
+      & info [ "no-prefetch" ]
+          ~doc:
+            "Disable the ooc engine's I/O-domain double-buffered prefetch \
+             (windows are mapped synchronously).")
+  in
+  let run m n algorithm engine batch workers window_bytes no_prefetch =
     if m < 1 || n < 1 then `Error (false, "dimensions must be positive")
     else if batch < 1 then `Error (false, "batch must be >= 1")
     else if workers < 1 then `Error (false, "workers must be >= 1")
+    else if engine = `Ooc && batch > 1 then
+      `Error (false, "the ooc engine has no batched path")
+    else if engine = `Ooc && window_bytes < 8 then
+      `Error (false, "window-bytes must be >= 8")
+    else if engine = `Ooc then
+      bench_ooc ~m ~n ~workers ~window_bytes ~prefetch:(not no_prefetch)
     else begin
       let bufs =
         Array.init batch (fun _ ->
@@ -326,7 +391,7 @@ let bench_cmd =
   cmd (Cmd.info "bench" ~doc)
     Term.(
       const run $ m_arg $ n_arg $ algorithm_arg $ engine_arg $ batch_arg
-      $ workers_arg)
+      $ workers_arg $ window_bytes_arg $ no_prefetch_arg)
 
 let permute_cmd =
   let doc =
@@ -439,7 +504,7 @@ let report_cmd =
       in
       match (algorithm, engine) with
       | `Cycle, _ -> `Error (false, "report: algorithm must be c2r or r2c")
-      | _, (`Kernels | `Decomposed | `Cache) ->
+      | _, (`Kernels | `Decomposed | `Cache | `Ooc) ->
           `Error (false, "report: engine must be functor or fused")
       | (`C2r | `R2c) as algorithm, ((`Functor | `Fused) as engine) ->
           let transpose_once pool buf =

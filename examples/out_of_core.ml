@@ -20,7 +20,7 @@ let () =
         path;
 
       let t0 = Unix.gettimeofday () in
-      Xpose_mmap.File_matrix.transpose_file ~path ~m ~n;
+      Xpose_mmap.File_matrix.transpose_file ~path ~m ~n ();
       let dt = Unix.gettimeofday () -. t0 in
       Printf.printf "transposed in place in the file in %.1f ms using %d \
                      doubles of RAM scratch\n"

@@ -166,6 +166,29 @@ let race_entries ?(seeded = false) ~shapes ~permutes ~lanes () =
           lanes)
       [ (32, 48); (97, 89) ]
   in
+  (* The out-of-core engine adds a second axis of partitioning: the
+     window splits themselves. A seeded run swaps the windowing policy
+     for the overlapping one, so the analyzer's detection of two windows
+     claiming the same file region stays tested alongside the pool's
+     off-by-one chunk split. The budget is a quarter of the matrix, the
+     CI smoke configuration (>= 4 windows whenever any pass runs). *)
+  let ooc_entries =
+    let window_split =
+      if seeded then Xpose_ooc.Window.overlapping_split
+      else Xpose_ooc.Window.split
+    in
+    List.concat_map
+      (fun (m, n) ->
+        List.filter_map
+          (fun l ->
+            let window_bytes = max 8 (m * n * 8 / 4) in
+            let subject = Printf.sprintf "ooc %dx%d @%d lanes" m n l in
+            race_entry ~subject ~seeded
+              (Footprint.ooc_barriers ~split ~window_split ~lanes:l ~m ~n
+                 ~window_bytes ()))
+          lanes)
+      shapes
+  in
   let permute_entries =
     List.concat_map
       (fun (dims, perm) ->
@@ -182,7 +205,7 @@ let race_entries ?(seeded = false) ~shapes ~permutes ~lanes () =
           lanes)
       permutes
   in
-  engine_entries @ batch_entries @ permute_entries
+  engine_entries @ batch_entries @ ooc_entries @ permute_entries
 
 (* -- checked-access shadow runs ------------------------------------------- *)
 

@@ -4,8 +4,10 @@
     - ["plan"] — symbolic plan verification ({!Spec}): every engine x
       shape, plus the rank-N planner on a set of permutation problems;
     - ["race"] — parallel-footprint disjointness ({!Footprint}): every
-      engine x shape x lane count, the batched driver, and the planner's
-      parallel executor;
+      engine x shape x lane count, the batched driver, the out-of-core
+      engine's window splits (row windows, column panels, stripes, and
+      the pool barriers inside them), and the planner's parallel
+      executor;
     - ["shadow"] (opt-in) — checked-access runs: the {!Kernels_f64} and
       [Fused_f64] [Checked] twins executed on real (small) buffers.
 
@@ -55,9 +57,10 @@ val run :
   unit ->
   report
 (** Run the grid. [seed_race] swaps the pool's chunk split for
-    {!Footprint.off_by_one_split} in the race models; [seed_oob] runs a
-    checked kernel over a deliberately short buffer; [shadow] adds the
-    checked-access engine runs. *)
+    {!Footprint.off_by_one_split} and the out-of-core windowing for
+    {!Xpose_ooc.Window.overlapping_split} in the race models; [seed_oob]
+    runs a checked kernel over a deliberately short buffer; [shadow]
+    adds the checked-access engine runs. *)
 
 val ok : report -> bool
 (** No violations and no detections: the clean-CI condition. A seeded

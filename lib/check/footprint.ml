@@ -266,6 +266,86 @@ let batch_barriers ?(split = pool_split) ?(width = default_panel_width) ~lanes
       panel_engine_barriers ~split ~lanes ~width p ~c2r_side
   end
 
+(* Xpose_ooc.Ooc_f64.transpose_file: window-granular barriers (each
+   window is one "chunk" of its split, with its own mapping — conflicts
+   here mean two windows claim the same file region) plus, inside every
+   window, the pool barrier the engine actually runs. Matrices that fit
+   the budget delegate to the fused pool engine and its panel model. *)
+let ooc_barriers ?(split = pool_split) ?(window_split = Xpose_ooc.Window.split)
+    ?(width = default_panel_width) ~lanes ~m ~n ~window_bytes () =
+  let c2r_side = m > n in
+  let p = if c2r_side then Plan.make ~m ~n else Plan.make ~m:n ~n:m in
+  let budget = Xpose_ooc.Window.budget_elems ~window_bytes in
+  if p.m * p.n <= budget then
+    panel_engine_barriers ~split ~lanes ~width p ~c2r_side
+  else if p.m = 1 || p.n = 1 then []
+  else begin
+    let row_per = Xpose_ooc.Window.row_rows ~budget_elems:budget ~n:p.n in
+    let col_per = Xpose_ooc.Window.panel_cols ~budget_elems:budget ~m:p.m in
+    let s_per = Xpose_ooc.Window.stripe_rows ~budget_elems:budget ~n:p.n in
+    let rows_w = window_split ~total:p.m ~per:row_per in
+    let cols_w = window_split ~total:p.n ~per:col_per in
+    let stripes = window_split ~total:p.m ~per:s_per in
+    (* One chunk per window: distinct mappings are distinct "scratch",
+       and the footprint is the window's slice of the file. *)
+    let window_barrier ~name ~atom ws =
+      let chunks =
+        List.mapi
+          (fun k (w : Xpose_ooc.Window.t) ->
+            let fp =
+              if w.Xpose_ooc.Window.lo < w.Xpose_ooc.Window.hi then
+                [ atom ~lo:w.Xpose_ooc.Window.lo ~hi:w.Xpose_ooc.Window.hi ]
+              else []
+            in
+            { id = k; writes = fp; reads = fp; scratch = k })
+          ws
+      in
+      { name; chunks }
+    in
+    let row_atom ~lo ~hi = interval ~lo:(lo * p.n) ~hi:(hi * p.n) in
+    let col_atom ~lo ~hi = columns ~m:p.m ~n:p.n ~lo ~hi in
+    (* Per row window, the pool splits the window's rows across lanes. *)
+    let shuffle_barrier (w : Xpose_ooc.Window.t) =
+      let chunks =
+        List.init lanes (fun k ->
+            let lo, hi =
+              split ~lo:w.Xpose_ooc.Window.lo ~hi:w.Xpose_ooc.Window.hi
+                ~chunks:lanes k
+            in
+            let fp = if lo < hi then [ row_atom ~lo ~hi ] else [] in
+            { id = k; writes = fp; reads = fp; scratch = k })
+      in
+      { name = "ooc.row_shuffle"; chunks }
+    in
+    (* Per column panel, the pool splits the staging's columns: the
+       staging is a contiguous [p.m x w] matrix in panel coordinates. *)
+    let staging_barrier ~name (w : Xpose_ooc.Window.t) =
+      let wd = w.Xpose_ooc.Window.hi - w.Xpose_ooc.Window.lo in
+      let chunks =
+        List.init lanes (fun k ->
+            let lo, hi = split ~lo:0 ~hi:wd ~chunks:lanes k in
+            let fp =
+              if lo < hi then [ columns ~m:p.m ~n:wd ~lo ~hi ] else []
+            in
+            { id = k; writes = fp; reads = fp; scratch = k })
+      in
+      { name; chunks }
+    in
+    [
+      window_barrier ~name:"ooc.row_windows" ~atom:row_atom rows_w;
+      window_barrier ~name:"ooc.col_panels" ~atom:col_atom cols_w;
+      window_barrier ~name:"ooc.stripes" ~atom:row_atom stripes;
+    ]
+    @ List.map shuffle_barrier rows_w
+    @ List.concat_map
+        (fun w ->
+          [
+            staging_barrier ~name:"ooc.panel_rotate" w;
+            staging_barrier ~name:"ooc.panel_permute" w;
+          ])
+        cols_w
+  end
+
 (* Par_permute.transpose: batch-axis chunking for batched passes, block
    (sub-element) axis chunking for wide single blocks, plain row/col
    barriers for the flat case. *)

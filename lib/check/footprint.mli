@@ -108,6 +108,28 @@ val batch_barriers :
     [nb >= lanes] (or [lanes = 1]), per-matrix panel parallelism
     otherwise. *)
 
+val ooc_barriers :
+  ?split:split ->
+  ?window_split:Xpose_ooc.Window.splitter ->
+  ?width:int ->
+  lanes:int ->
+  m:int ->
+  n:int ->
+  window_bytes:int ->
+  unit ->
+  barrier list
+(** [Xpose_ooc.Ooc_f64.transpose_file] under a [window_bytes] budget:
+    window-granular barriers proving the row-window, column-panel and
+    gather/scatter-stripe splits cover the file without overlap (each
+    window is one chunk with its own mapping), plus the per-window pool
+    barriers the engine runs inside them — the row shuffle split across
+    a window's rows, and the staged panel passes split across a panel's
+    columns (in staging coordinates). [window_split] swaps the windowing
+    policy; seeding {!Xpose_ooc.Window.overlapping_split} must produce a
+    write/write conflict between adjacent windows. Matrices fitting the
+    budget delegate to the fused engine's panel model; degenerate
+    matrices run no pass and have no barriers. *)
+
 val permute_pass_barriers :
   ?split:split ->
   lanes:int ->

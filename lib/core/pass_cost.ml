@@ -29,3 +29,11 @@ let panel_rotate (p : Plan.t) ~width ~amount =
 let fused_panel (p : Plan.t) ~width = 2 * p.m * width
 
 let fused_col (p : Plan.t) = 2 * p.m * p.n
+
+let ooc_row_window (p : Plan.t) ~rows =
+  if rows < 0 then invalid_arg "Pass_cost.ooc_row_window: rows must be >= 0";
+  2 * rows * p.n
+
+let ooc_panel_window (p : Plan.t) ~width =
+  if width < 1 then invalid_arg "Pass_cost.ooc_panel_window: width must be >= 1";
+  2 * p.m * width

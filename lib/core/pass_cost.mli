@@ -46,3 +46,23 @@ val fused_col : Plan.t -> int
     cache once even though two §4.1 passes (column rotation, row
     permutation) are applied to it. Compare against
     {!rotate}[ + ]{!permute_rows} ([~4mn]) for the unfused path. *)
+
+(** {1 Out-of-core windows}
+
+    The windowed engine's unit of residency is a mapped window, and what
+    the pricing must predict is {e file traffic through that window}:
+    every resident element is read once on the way in and written once
+    on the way out, regardless of how many fused operations run while it
+    is staged. These feed the per-window [ooc.window] spans. *)
+
+val ooc_row_window : Plan.t -> rows:int -> int
+(** File traffic of one streaming row window of [rows] rows:
+    [2 * rows * n] (each row is gathered through scratch and written
+    back in place).
+    @raise Invalid_argument if [rows < 0]. *)
+
+val ooc_panel_window : Plan.t -> width:int -> int
+(** File traffic of one staged column panel of [width] columns:
+    [2 * m * width] (gathered into the staging once, scattered back
+    once), independent of how many column passes run on the staging.
+    @raise Invalid_argument if [width < 1]. *)

@@ -1,0 +1,92 @@
+type state = Pending | Done | Failed of exn * Printexc.raw_backtrace
+
+(* Jobs share the domain's mutex/condition: completion is published and
+   awaited under [mu], giving the happens-before edge the engine relies
+   on to read buffers the job filled. *)
+type t = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  queue : ((unit -> unit) * job) Queue.t;
+  mutable stop : bool;
+  mutable domain : unit Domain.t option;
+}
+
+and job = { owner : t; mutable st : state }
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.stop do
+      Condition.wait t.cv t.mu
+    done;
+    (* Drain remaining jobs even after [stop]: an awaiter must never
+       block on a job that was accepted but not run. *)
+    if Queue.is_empty t.queue then Mutex.unlock t.mu
+    else begin
+      let fn, job = Queue.pop t.queue in
+      Mutex.unlock t.mu;
+      let st =
+        match fn () with
+        | () -> Done
+        | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mu;
+      job.st <- st;
+      Condition.broadcast t.cv;
+      Mutex.unlock t.mu;
+      loop ()
+    end
+  in
+  loop ()
+
+let create () =
+  let t =
+    {
+      mu = Mutex.create ();
+      cv = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      domain = None;
+    }
+  in
+  t.domain <- Some (Domain.spawn (worker t));
+  t
+
+let async t fn =
+  Mutex.lock t.mu;
+  if t.stop then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Io_domain.async: domain was shut down"
+  end;
+  let job = { owner = t; st = Pending } in
+  Queue.push (fn, job) t.queue;
+  Condition.signal t.cv;
+  Mutex.unlock t.mu;
+  job
+
+let await job =
+  let t = job.owner in
+  Mutex.lock t.mu;
+  let was_done = job.st <> Pending in
+  while job.st = Pending do
+    Condition.wait t.cv t.mu
+  done;
+  let st = job.st in
+  Mutex.unlock t.mu;
+  match st with
+  | Done -> was_done
+  | Pending -> assert false
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stop <- true;
+  Condition.broadcast t.cv;
+  let d = t.domain in
+  t.domain <- None;
+  Mutex.unlock t.mu;
+  match d with None -> () | Some d -> Domain.join d
+
+let with_io f =
+  let t = create () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

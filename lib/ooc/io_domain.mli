@@ -1,0 +1,36 @@
+(** A dedicated I/O domain: one worker running queued thunks in order.
+
+    The out-of-core engine overlaps I/O with compute by handing
+    map-and-prefault (and scatter-back) work for window [k+1] to this
+    domain while the {!Xpose_cpu.Pool} workers permute window [k]. Jobs
+    run strictly in submission order, so a scatter of the previous
+    staging and a gather into the same staging never reorder.
+
+    Completion is published under a mutex, so everything the job wrote
+    happens-before {!await} returning — the caller may freely read the
+    buffers the job filled. *)
+
+type t
+
+type job
+
+val create : unit -> t
+(** Spawn the I/O domain, idle until jobs arrive. *)
+
+val async : t -> (unit -> unit) -> job
+(** Enqueue a thunk; returns immediately. Jobs run one at a time in
+    submission order.
+    @raise Invalid_argument if the domain was shut down. *)
+
+val await : job -> bool
+(** Block until the job completed. Returns whether it had {e already}
+    finished when [await] was called — the prefetch-hit signal. If the
+    job raised, the exception is re-raised here with its backtrace. *)
+
+val shutdown : t -> unit
+(** Finish every queued job, then stop and join the domain.
+    Idempotent. *)
+
+val with_io : (t -> 'a) -> 'a
+(** [with_io f] creates a domain, applies [f], and shuts it down (also
+    on exception). *)

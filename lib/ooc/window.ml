@@ -1,0 +1,30 @@
+type t = { lo : int; hi : int }
+
+type splitter = total:int -> per:int -> t list
+
+let split ~total ~per =
+  if total < 0 then invalid_arg "Window.split: total must be non-negative";
+  let per = max 1 per in
+  let rec go lo acc =
+    if lo >= total then List.rev acc
+    else
+      let hi = min total (lo + per) in
+      go hi ({ lo; hi } :: acc)
+  in
+  go 0 []
+
+(* Every window but the last claims one extra trailing unit: the classic
+   inclusive-[hi] windowing bug, seeded so the race analyzer's detection
+   of overlapping windows stays tested. *)
+let overlapping_split ~total ~per =
+  List.map
+    (fun w -> if w.hi < total then { w with hi = w.hi + 1 } else w)
+    (split ~total ~per)
+
+let budget_elems ~window_bytes = max 1 (window_bytes / 8)
+
+let row_rows ~budget_elems ~n = max 1 (budget_elems / (2 * n))
+
+let stripe_rows ~budget_elems ~n = max 1 (budget_elems / (4 * n))
+
+let panel_cols ~budget_elems ~m = max 1 (budget_elems / (4 * m))

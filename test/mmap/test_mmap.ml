@@ -30,7 +30,7 @@ let test_transpose_file () =
           for l = 0 to (m * n) - 1 do
             Bigarray.Array1.set buf l (float_of_int l)
           done);
-      File_matrix.transpose_file ~path ~m ~n;
+      File_matrix.transpose_file ~path ~m ~n ();
       File_matrix.with_map ~write:false ~path (fun buf ->
           for l = 0 to (m * n) - 1 do
             Alcotest.(check (float 0.0))
@@ -47,7 +47,69 @@ let test_size_mismatch () =
       File_matrix.create ~path ~elements:10;
       Alcotest.check_raises "mismatch"
         (Invalid_argument "File_matrix.transpose_file: file does not hold m*n elements")
-        (fun () -> File_matrix.transpose_file ~path ~m:3 ~n:4))
+        (fun () -> File_matrix.transpose_file ~path ~m:3 ~n:4 ()))
+
+let test_misaligned_file () =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "12 bytes here";
+      close_out oc;
+      Alcotest.check_raises "misaligned"
+        (Invalid_argument "File_matrix.with_map: file length is not a multiple of 8")
+        (fun () -> File_matrix.with_map ~write:false ~path (fun _ -> ())))
+
+(* Edge shapes, each checked against the in-RAM kernels on an identical
+   buffer: degenerate rows/columns (the transpose is the identity),
+   prime x prime, and a shape whose fused-panel count (ceil (n/16) = 5)
+   is not a multiple of any pool worker count the suites use. *)
+let test_edge_shapes () =
+  List.iter
+    (fun (m, n) ->
+      let path = temp_path () in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          File_matrix.create ~path ~elements:(m * n);
+          let ram = Storage.Float64.create (m * n) in
+          Storage.fill_iota (module Storage.Float64) ram;
+          File_matrix.with_map ~path (fun buf ->
+              Storage.fill_iota (module Storage.Float64) buf);
+          Kernels_f64.transpose ~m ~n ram;
+          File_matrix.transpose_file ~path ~m ~n ();
+          File_matrix.with_map ~write:false ~path (fun buf ->
+              let ok = ref true in
+              for l = 0 to (m * n) - 1 do
+                if Bigarray.Array1.get buf l <> Storage.Float64.get ram l then
+                  ok := false
+              done;
+              Alcotest.(check bool)
+                (Printf.sprintf "%dx%d matches the in-RAM oracle" m n)
+                true !ok)))
+    [ (1, 40); (40, 1); (13, 17); (23, 29); (31, 78) ]
+
+let test_workspace_reuse () =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let m = 24 and n = 36 in
+      File_matrix.create ~path ~elements:(m * n);
+      File_matrix.with_map ~path (fun buf ->
+          Storage.fill_iota (module Storage.Float64) buf);
+      (* one workspace across both directions: the round trip must land
+         back on the identity *)
+      let ws = Workspace.F64.create () in
+      File_matrix.transpose_file ~ws ~path ~m ~n ();
+      File_matrix.transpose_file ~ws ~path ~m:n ~n:m ();
+      File_matrix.with_map ~write:false ~path (fun buf ->
+          let ok = ref true in
+          for l = 0 to (m * n) - 1 do
+            if Bigarray.Array1.get buf l <> float_of_int l then ok := false
+          done;
+          Alcotest.(check bool) "round trip through one workspace" true !ok))
 
 let test_generic_functor_on_map () =
   (* mapped buffers are ordinary Storage.Float64 values *)
@@ -72,6 +134,10 @@ let () =
           Alcotest.test_case "create and map" `Quick test_create_and_map;
           Alcotest.test_case "transpose in file" `Quick test_transpose_file;
           Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
+          Alcotest.test_case "misaligned file" `Quick test_misaligned_file;
+          Alcotest.test_case "edge shapes vs in-RAM oracle" `Quick
+            test_edge_shapes;
+          Alcotest.test_case "workspace reuse" `Quick test_workspace_reuse;
           Alcotest.test_case "generic functor on map" `Quick
             test_generic_functor_on_map;
         ] );

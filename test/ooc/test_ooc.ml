@@ -1,0 +1,232 @@
+open Xpose_ooc
+
+let temp_path () = Filename.temp_file "xpose_ooc" ".mat"
+
+let with_file ~elements f =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Xpose_mmap.File_matrix.create ~path ~elements;
+      Xpose_mmap.File_matrix.with_map ~path (fun buf ->
+          Xpose_core.Storage.fill_iota (module Xpose_core.Storage.Float64) buf);
+      f path)
+
+let check_transposed ~m ~n path =
+  Xpose_mmap.File_matrix.with_map ~write:false ~path (fun buf ->
+      let ok = ref true in
+      for l = 0 to (m * n) - 1 do
+        let expected = float_of_int ((n * (l mod m)) + (l / m)) in
+        if Bigarray.Array1.get buf l <> expected then ok := false
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%dx%d matches the in-RAM oracle bit-for-bit" m n)
+        true !ok)
+
+(* -- window geometry ------------------------------------------------------- *)
+
+let test_window_split () =
+  let ws = Window.split ~total:10 ~per:3 in
+  Alcotest.(check (list (pair int int)))
+    "split 10 by 3"
+    [ (0, 3); (3, 6); (6, 9); (9, 10) ]
+    (List.map (fun w -> (w.Window.lo, w.Window.hi)) ws);
+  Alcotest.(check int) "clamped per" 7
+    (List.length (Window.split ~total:7 ~per:0));
+  Alcotest.(check (list (pair int int))) "empty range" []
+    (List.map (fun w -> (w.Window.lo, w.Window.hi)) (Window.split ~total:0 ~per:4));
+  (* exact disjoint cover, for a spread of totals and windows *)
+  List.iter
+    (fun (total, per) ->
+      let ws = Window.split ~total ~per in
+      let covered = ref 0 in
+      List.iter
+        (fun w ->
+          Alcotest.(check int) "windows are adjacent" !covered w.Window.lo;
+          Alcotest.(check bool) "window is non-empty" true (w.Window.hi > w.Window.lo);
+          covered := w.Window.hi)
+        ws;
+      Alcotest.(check int) "windows cover the range" total !covered)
+    [ (1, 1); (1, 100); (17, 4); (64, 64); (65, 64); (1000, 7) ]
+
+let test_overlapping_split () =
+  let ws = Window.overlapping_split ~total:10 ~per:4 in
+  Alcotest.(check (list (pair int int)))
+    "every window but the last grabs one extra unit"
+    [ (0, 5); (4, 9); (8, 10) ]
+    (List.map (fun w -> (w.Window.lo, w.Window.hi)) ws)
+
+let test_window_sizing () =
+  Alcotest.(check int) "budget_elems" 2048 (Window.budget_elems ~window_bytes:16384);
+  Alcotest.(check int) "budget floor" 1 (Window.budget_elems ~window_bytes:3);
+  Alcotest.(check int) "row_rows double-buffers" 12
+    (Window.row_rows ~budget_elems:2048 ~n:80);
+  Alcotest.(check int) "row_rows floor" 1 (Window.row_rows ~budget_elems:10 ~n:80);
+  Alcotest.(check int) "panel_cols quarters the budget" 5
+    (Window.panel_cols ~budget_elems:2048 ~m:96);
+  Alcotest.(check int) "stripe_rows" 6 (Window.stripe_rows ~budget_elems:2048 ~n:80)
+
+(* -- the I/O domain -------------------------------------------------------- *)
+
+let test_io_domain_order () =
+  Io_domain.with_io (fun io ->
+      let log = ref [] in
+      let jobs =
+        List.map
+          (fun k -> Io_domain.async io (fun () -> log := k :: !log))
+          [ 1; 2; 3; 4 ]
+      in
+      List.iter (fun j -> ignore (Io_domain.await j)) jobs;
+      Alcotest.(check (list int)) "jobs ran in submission order" [ 4; 3; 2; 1 ] !log)
+
+let test_io_domain_hit_detection () =
+  Io_domain.with_io (fun io ->
+      let slow = Io_domain.async io (fun () -> Unix.sleepf 0.2) in
+      Alcotest.(check bool) "a running job is a prefetch miss" false
+        (Io_domain.await slow);
+      let fast = Io_domain.async io (fun () -> ()) in
+      Unix.sleepf 0.1;
+      Alcotest.(check bool) "a finished job is a prefetch hit" true
+        (Io_domain.await fast))
+
+let test_io_domain_exception () =
+  Io_domain.with_io (fun io ->
+      let job = Io_domain.async io (fun () -> failwith "boom") in
+      Alcotest.check_raises "job exceptions surface at await" (Failure "boom")
+        (fun () -> ignore (Io_domain.await job));
+      (* the domain survives a failed job *)
+      let ok = Io_domain.async io (fun () -> ()) in
+      ignore (Io_domain.await ok))
+
+(* -- out-of-core transposition vs the in-RAM oracle ------------------------ *)
+
+(* Shapes covering every structural regime: degenerate (identity),
+   coprime and non-coprime on both C2R and R2C sides, prime x prime, and
+   panel/window counts that are not multiples of the worker count. *)
+let oracle_shapes =
+  [ (1, 64); (64, 1); (29, 31); (31, 29); (32, 48); (48, 36); (97, 89); (16, 33) ]
+
+let run_oracle ~prefetch ~workers () =
+  List.iter
+    (fun (m, n) ->
+      with_file ~elements:(m * n) (fun path ->
+          (* >= 4 windows whenever any pass runs at all *)
+          let window_bytes = max 8 (m * n * 8 / 5) in
+          let go pool =
+            Ooc_f64.transpose_file ~pool ~window_bytes ~prefetch ~path ~m ~n ()
+          in
+          (if workers = 1 then go Xpose_cpu.Pool.sequential
+           else Xpose_cpu.Pool.with_pool ~workers go);
+          check_transposed ~m ~n path))
+    oracle_shapes
+
+let test_fits_in_window () =
+  List.iter
+    (fun (m, n) ->
+      with_file ~elements:(m * n) (fun path ->
+          Ooc_f64.transpose_file ~path ~m ~n ();
+          check_transposed ~m ~n path))
+    [ (32, 48); (29, 31) ]
+
+let test_col_major_order () =
+  let m = 36 and n = 48 in
+  with_file ~elements:(m * n) (fun path ->
+      (* col-major m x n is row-major n x m over the same bytes *)
+      let window_bytes = m * n * 8 / 5 in
+      Ooc_f64.transpose_file ~order:Xpose_core.Layout.Col_major ~window_bytes
+        ~path ~m ~n ();
+      check_transposed ~m:n ~n:m path)
+
+(* -- residency and prefetch accounting ------------------------------------- *)
+
+let test_bounded_residency () =
+  Xpose_obs.Metrics.reset ();
+  let m = 96 and n = 80 in
+  let window_bytes = 16384 in
+  with_file ~elements:(m * n) (fun path ->
+      Xpose_cpu.Pool.with_pool ~workers:3 (fun pool ->
+          Ooc_f64.transpose_file ~pool ~window_bytes ~path ~m ~n ());
+      check_transposed ~m ~n path);
+  let peak =
+    Xpose_obs.Metrics.gauge_value (Xpose_obs.Metrics.gauge "ooc.window_peak_bytes")
+  in
+  Alcotest.(check bool) "peak resident bytes are recorded" true (peak > 0.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %.0f stays within the %d-byte budget" peak window_bytes)
+    true
+    (peak <= float_of_int window_bytes);
+  let counter name =
+    Xpose_obs.Metrics.counter_value (Xpose_obs.Metrics.counter name)
+  in
+  Alcotest.(check bool) "file is 4x the budget => several windows" true
+    (counter "ooc.windows" > 4);
+  Alcotest.(check bool) "bytes_mapped counts total window traffic" true
+    (counter "ooc.bytes_mapped" > m * n * 8);
+  Alcotest.(check bool) "every window was either a hit or a wait" true
+    (counter "ooc.prefetch_hits" + counter "ooc.prefetch_waits" > 0)
+
+let test_no_prefetch_counters () =
+  Xpose_obs.Metrics.reset ();
+  let m = 48 and n = 36 in
+  with_file ~elements:(m * n) (fun path ->
+      Ooc_f64.transpose_file ~window_bytes:(m * n * 8 / 4) ~prefetch:false ~path
+        ~m ~n ();
+      check_transposed ~m ~n path);
+  let counter name =
+    Xpose_obs.Metrics.counter_value (Xpose_obs.Metrics.counter name)
+  in
+  Alcotest.(check int) "no prefetch, no hits" 0 (counter "ooc.prefetch_hits");
+  Alcotest.(check int) "no prefetch, no waits" 0 (counter "ooc.prefetch_waits")
+
+(* -- error paths ----------------------------------------------------------- *)
+
+let test_errors () =
+  with_file ~elements:12 (fun path ->
+      Alcotest.check_raises "length mismatch"
+        (Invalid_argument "Ooc_f64.transpose_file: file does not hold m*n elements")
+        (fun () -> Ooc_f64.transpose_file ~path ~m:5 ~n:3 ());
+      Alcotest.check_raises "bad dimensions"
+        (Invalid_argument "Ooc_f64.transpose_file: dimensions must be positive")
+        (fun () -> Ooc_f64.transpose_file ~path ~m:0 ~n:12 ());
+      Alcotest.check_raises "bad window budget"
+        (Invalid_argument "Ooc_f64.transpose_file: window_bytes must be at least 8")
+        (fun () -> Ooc_f64.transpose_file ~window_bytes:7 ~path ~m:4 ~n:3 ()))
+
+let () =
+  Alcotest.run "xpose_ooc"
+    [
+      ( "window",
+        [
+          Alcotest.test_case "split" `Quick test_window_split;
+          Alcotest.test_case "overlapping split (seeded)" `Quick
+            test_overlapping_split;
+          Alcotest.test_case "budget sizing" `Quick test_window_sizing;
+        ] );
+      ( "io_domain",
+        [
+          Alcotest.test_case "submission order" `Quick test_io_domain_order;
+          Alcotest.test_case "hit detection" `Quick test_io_domain_hit_detection;
+          Alcotest.test_case "exception propagation" `Quick
+            test_io_domain_exception;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "sequential, prefetch" `Quick
+            (run_oracle ~prefetch:true ~workers:1);
+          Alcotest.test_case "sequential, no prefetch" `Quick
+            (run_oracle ~prefetch:false ~workers:1);
+          Alcotest.test_case "3 workers, prefetch" `Quick
+            (run_oracle ~prefetch:true ~workers:3);
+          Alcotest.test_case "3 workers, no prefetch" `Quick
+            (run_oracle ~prefetch:false ~workers:3);
+          Alcotest.test_case "fits in one window" `Quick test_fits_in_window;
+          Alcotest.test_case "column-major order" `Quick test_col_major_order;
+        ] );
+      ( "residency",
+        [
+          Alcotest.test_case "bounded residency" `Quick test_bounded_residency;
+          Alcotest.test_case "no-prefetch counters" `Quick
+            test_no_prefetch_counters;
+        ] );
+      ("errors", [ Alcotest.test_case "invalid arguments" `Quick test_errors ]);
+    ]
