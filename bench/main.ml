@@ -361,6 +361,60 @@ let permute_tests =
       roundtrip "rank5_fused_flat" [| 6; 7; 8; 9; 4 |] [| 2; 3; 4; 0; 1 |];
     ]
 
+(* -- Job-server building blocks ------------------------------------------ *)
+
+let server_tests =
+  let module P = Xpose_server.Protocol in
+  let module Adm = Xpose_server.Admission in
+  let module Co = Xpose_server.Coalescer in
+  let module Jq = Xpose_server.Job_queue in
+  (* One hot-path request: big enough that payload encoding dominates,
+     small enough to stay a fused-route job. *)
+  let sm = 64 and sn = 48 in
+  let req =
+    P.Transpose
+      {
+        id = 1;
+        tenant = "bench";
+        priority = P.Normal;
+        m = sm;
+        n = sn;
+        payload = f64_iota (sm * sn);
+      }
+  in
+  let body = P.encode_request req in
+  let adm = Adm.create () in
+  let queue = Jq.create () in
+  let key = { Co.priority = P.Normal; m = sm; n = sn } in
+  Test.make_grouped ~name:"server_protocol"
+    [
+      Test.make ~name:"encode_request_24k"
+        (Staged.stage (fun () -> ignore (P.encode_request req)));
+      Test.make ~name:"decode_request_24k"
+        (Staged.stage (fun () ->
+             match P.decode_request body with
+             | Ok _ -> ()
+             | Error _ -> assert false));
+      Test.make ~name:"admission_admit_release"
+        (Staged.stage (fun () ->
+             match Adm.admit adm ~tenant:"bench" ~bytes:(sm * sn * 8) with
+             | Adm.Admit _ -> Adm.release adm ~bytes:(sm * sn * 8)
+             | Adm.Reject _ -> assert false));
+      Test.make ~name:"queue_offer_pop"
+        (Staged.stage (fun () ->
+             (match Jq.offer queue ~priority:P.Normal ~bytes:8 () with
+             | `Ok -> ()
+             | `Queue_full | `Bytes_full -> assert false);
+             ignore (Jq.pop queue)));
+      Test.make ~name:"coalescer_add8_ready"
+        (Staged.stage (fun () ->
+             let c = Co.create ~max_batch:8 ~window_ns:1_000 () in
+             for i = 0 to 7 do
+               Co.add c ~now_ns:i ~batchable:true ~key i
+             done;
+             ignore (Co.ready c ~now_ns:8)));
+    ]
+
 let all_groups =
   [
     table1_tests;
@@ -376,6 +430,7 @@ let all_groups =
     ooc_tests;
     extension_tests;
     permute_tests;
+    server_tests;
   ]
 
 (* [--only PREFIX] keeps the groups whose name starts with PREFIX, so a

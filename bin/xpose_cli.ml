@@ -628,6 +628,418 @@ let check_cmd =
       const run $ json_arg $ shadow_arg $ seed_race_arg $ seed_oob_arg
       $ lanes_arg)
 
+(* -- the job server ------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+(* NAME:QUOTA:WINDOW, sizes in bytes. *)
+let tenant_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ name; quota; window ] -> (
+        match (int_of_string_opt quota, int_of_string_opt window) with
+        | Some quota_bytes, Some window_bytes
+          when quota_bytes >= 1 && window_bytes >= 8 ->
+            Ok { Xpose_server.Admission.name; quota_bytes; window_bytes }
+        | _ -> Error (`Msg (Printf.sprintf "bad tenant sizes in %S" s)))
+    | _ -> Error (`Msg (Printf.sprintf "expected NAME:QUOTA:WINDOW, got %S" s))
+  in
+  let print ppf (t : Xpose_server.Admission.tenant) =
+    Format.fprintf ppf "%s:%d:%d" t.name t.quota_bytes t.window_bytes
+  in
+  Arg.conv (parse, print)
+
+let serve_cmd =
+  let doc =
+    "Run the transpose job server on a Unix-domain socket: framed \
+     transpose/stats requests, priority queues with shape-coalescing \
+     batching, admission control under a global memory budget (over-quota \
+     jobs run out-of-core under the tenant's window), backpressure replies \
+     when saturated. SIGTERM or SIGINT shuts down cleanly: every admitted \
+     job is answered first."
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"W" ~doc:"Worker domains for the engines.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int (1024 * 1024 * 1024)
+      & info [ "budget-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Global admission budget: payload bytes in flight (queued plus \
+             executing) never exceed $(docv); requests beyond it get a busy \
+             reply.")
+  in
+  let quota_arg =
+    Arg.(
+      value
+      & opt int (16 * 1024 * 1024)
+      & info [ "quota-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Default per-tenant in-memory footprint quota: bigger jobs are \
+             routed to the out-of-core engine.")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt int (4 * 1024 * 1024)
+      & info [ "window-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Default per-tenant residency window for out-of-core routed \
+             jobs.")
+  in
+  let tenant_arg =
+    Arg.(
+      value & opt_all tenant_conv []
+      & info [ "tenant" ] ~docv:"NAME:QUOTA:WINDOW"
+          ~doc:"Per-tenant override (repeatable), sizes in bytes.")
+  in
+  let max_queue_jobs_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-queue-jobs" ] ~docv:"N"
+          ~doc:"Per-priority queue depth before backpressure.")
+  in
+  let max_queue_bytes_arg =
+    Arg.(
+      value
+      & opt int (256 * 1024 * 1024)
+      & info [ "max-queue-bytes" ] ~docv:"BYTES"
+          ~doc:"Queued payload bytes before backpressure.")
+  in
+  let coalesce_us_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "coalesce-window-us" ] ~docv:"US"
+          ~doc:
+            "Same-shape requests arriving within $(docv) microseconds are \
+             batched through one fused transpose_batch dispatch.")
+  in
+  let max_batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-batch" ] ~docv:"N" ~doc:"Largest coalesced batch.")
+  in
+  let no_prefetch_arg =
+    Arg.(
+      value & flag
+      & info [ "no-prefetch" ]
+          ~doc:"Disable the ooc engine's I/O-domain prefetch for routed jobs.")
+  in
+  let run socket workers budget quota window tenants max_queue_jobs
+      max_queue_bytes coalesce_us max_batch no_prefetch =
+    if workers < 1 then `Error (false, "workers must be >= 1")
+    else if budget < 8 then `Error (false, "budget-bytes must be >= 8")
+    else if quota < 8 then `Error (false, "quota-bytes must be >= 8")
+    else if window < 8 then `Error (false, "window-bytes must be >= 8")
+    else if max_batch < 1 then `Error (false, "max-batch must be >= 1")
+    else if coalesce_us < 0 then `Error (false, "coalesce-window-us must be >= 0")
+    else begin
+      let cfg =
+        {
+          (Xpose_server.Server.default_config ~socket_path:socket) with
+          workers;
+          budget_bytes = budget;
+          default_quota_bytes = quota;
+          default_window_bytes = window;
+          tenants;
+          max_queue_jobs;
+          max_queue_bytes;
+          coalesce_window_ns = coalesce_us * 1000;
+          max_batch;
+          prefetch = not no_prefetch;
+        }
+      in
+      let server = Xpose_server.Server.start cfg in
+      let stop_rd, stop_wr = Unix.pipe () in
+      let request_stop _ =
+        try ignore (Unix.write stop_wr (Bytes.make 1 '!') 0 1)
+        with Unix.Unix_error _ -> ()
+      in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      Printf.printf "xpose server listening on %s (workers %d, budget %d B)\n%!"
+        socket workers budget;
+      let rec wait () =
+        match Unix.select [ stop_rd ] [] [] (-1.0) with
+        | [], _, _ -> wait ()
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      in
+      wait ();
+      Printf.printf "shutting down: draining admitted jobs\n%!";
+      Xpose_server.Server.stop server;
+      Printf.printf "server stopped\n%!";
+      `Ok ()
+    end
+  in
+  cmd (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ workers_arg $ budget_arg $ quota_arg
+      $ window_arg $ tenant_arg $ max_queue_jobs_arg $ max_queue_bytes_arg
+      $ coalesce_us_arg $ max_batch_arg $ no_prefetch_arg)
+
+(* Pull one "name": value field out of the stats JSON without a JSON
+   dependency: the server emits flat two-level objects with quoted keys,
+   so a textual scan for the exact quoted key is unambiguous. *)
+let json_number_field json name =
+  let needle = Printf.sprintf "\"%s\":" name in
+  match String.index_opt json '{' with
+  | None -> None
+  | Some _ -> (
+      let rec find from =
+        match String.index_from_opt json from '"' with
+        | None -> None
+        | Some q ->
+            if
+              q + String.length needle <= String.length json
+              && String.sub json q (String.length needle) = needle
+            then Some (q + String.length needle)
+            else find (q + 1)
+      in
+      match find 0 with
+      | None -> None
+      | Some p ->
+          let len = String.length json in
+          let p = ref p in
+          while !p < len && (json.[!p] = ' ' || json.[!p] = '\n') do incr p done;
+          let q = ref !p in
+          while
+            !q < len
+            && (match json.[!q] with
+               | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+               | _ -> false)
+          do
+            incr q
+          done;
+          float_of_string_opt (String.sub json !p (!q - !p)))
+
+let loadtest_cmd =
+  let doc =
+    "Replay the paper's random-shape distribution (element counts drawn \
+     log-uniformly from 1000-250000, a bounded pool of distinct shapes as a \
+     serving workload would repeat) as concurrent client traffic against a \
+     running server; verify every result against the transpose oracle, \
+     retry on backpressure, and report p50/p99 latency, throughput, and the \
+     server's coalesce/admission/residency counters as JSON."
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"C" ~doc:"Concurrent client connections.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "requests" ] ~docv:"R" ~doc:"Requests per client.")
+  in
+  let shapes_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "shapes" ] ~docv:"S"
+          ~doc:"Distinct shapes in the replayed distribution.")
+  in
+  let min_elems_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "min-elems" ] ~docv:"E" ~doc:"Smallest matrix element count.")
+  in
+  let max_elems_arg =
+    Arg.(
+      value & opt int 250000
+      & info [ "max-elems" ] ~docv:"E" ~doc:"Largest matrix element count.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Traffic seed.")
+  in
+  let tenant_name_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "tenant-name" ] ~docv:"NAME" ~doc:"Tenant to submit as.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the JSON report to $(docv).")
+  in
+  let run socket clients requests shapes min_elems max_elems seed tenant out =
+    if clients < 1 then `Error (false, "clients must be >= 1")
+    else if requests < 1 then `Error (false, "requests must be >= 1")
+    else if shapes < 1 then `Error (false, "shapes must be >= 1")
+    else if min_elems < 4 || max_elems < min_elems then
+      `Error (false, "need 4 <= min-elems <= max-elems")
+    else begin
+      let module C = Xpose_server.Client in
+      let module P = Xpose_server.Protocol in
+      (* The shape pool: element counts log-uniform over
+         [min_elems, max_elems] (the paper's evaluation range), rows
+         bounded so even the widest matrix stays within an ooc window's
+         two-rows-and-two-columns regime. *)
+      let rng = Random.State.make [| seed |] in
+      let shape_pool =
+        Array.init shapes (fun _ ->
+            let lo = log (float_of_int min_elems)
+            and hi = log (float_of_int max_elems) in
+            let target =
+              int_of_float (exp (lo +. Random.State.float rng (hi -. lo)))
+            in
+            let m = 16 + Random.State.int rng 497 in
+            let n = max 1 (target / m) in
+            (m, n))
+      in
+      let mu = Mutex.create () in
+      let all_latencies = ref [] in
+      let ok = ref 0
+      and busy_retries = ref 0
+      and failed = ref 0
+      and verify_failures = ref 0
+      and payload_bytes = ref 0 in
+      let worker k () =
+        let rng = Random.State.make [| seed; k |] in
+        let latencies = ref [] in
+        let w_ok = ref 0
+        and w_busy = ref 0
+        and w_failed = ref 0
+        and w_bad = ref 0
+        and w_bytes = ref 0 in
+        C.with_client ~socket_path:socket (fun client ->
+            for _ = 1 to requests do
+              let m, n = shape_pool.(Random.State.int rng shapes) in
+              let buf = S.create (m * n) in
+              Storage.fill_iota (module S) buf;
+              let rec attempt tries =
+                let t0 = Unix.gettimeofday () in
+                match C.transpose ~tenant client ~m ~n buf with
+                | P.Result { m = rm; n = rn; payload; _ } ->
+                    let dt_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+                    latencies := dt_ns :: !latencies;
+                    incr w_ok;
+                    w_bytes := !w_bytes + (m * n * 8);
+                    if rm <> n || rn <> m then incr w_bad
+                    else begin
+                      let good = ref true in
+                      for l = 0 to (m * n) - 1 do
+                        let expected =
+                          float_of_int ((n * (l mod m)) + (l / m))
+                        in
+                        if S.get payload l <> expected then good := false
+                      done;
+                      if not !good then incr w_bad
+                    end
+                | P.Busy _ ->
+                    incr w_busy;
+                    if tries >= 200 then incr w_failed
+                    else begin
+                      Thread.delay (0.001 *. float_of_int (1 + (tries mod 8)));
+                      attempt (tries + 1)
+                    end
+                | P.Error_reply _ | P.Stats_reply _ -> incr w_failed
+              in
+              attempt 0
+            done);
+        Mutex.lock mu;
+        all_latencies := !latencies @ !all_latencies;
+        ok := !ok + !w_ok;
+        busy_retries := !busy_retries + !w_busy;
+        failed := !failed + !w_failed;
+        verify_failures := !verify_failures + !w_bad;
+        payload_bytes := !payload_bytes + !w_bytes;
+        Mutex.unlock mu
+      in
+      let t0 = Unix.gettimeofday () in
+      let threads = List.init clients (fun k -> Thread.create (worker k) ()) in
+      List.iter Thread.join threads;
+      let wall_s = Unix.gettimeofday () -. t0 in
+      let stats =
+        C.with_client ~socket_path:socket (fun client -> C.stats client)
+      in
+      let counter name =
+        match json_number_field stats name with Some v -> v | None -> 0.0
+      in
+      let batches = counter "server.batches" in
+      let batched = counter "server.batched_jobs" in
+      let coalesce_ratio = if batches > 0.0 then batched /. batches else 0.0 in
+      let lat = Array.of_list !all_latencies in
+      Array.sort compare lat;
+      let pct p =
+        if Array.length lat = 0 then 0.0
+        else
+          lat.(min (Array.length lat - 1)
+                 (int_of_float (p *. float_of_int (Array.length lat))))
+      in
+      let mean =
+        if Array.length lat = 0 then 0.0
+        else Array.fold_left ( +. ) 0.0 lat /. float_of_int (Array.length lat)
+      in
+      let b = Buffer.create 1024 in
+      Printf.bprintf b "{\n  \"suite\": \"xpose_server\",\n";
+      Printf.bprintf b "  \"clients\": %d,\n  \"requests_per_client\": %d,\n"
+        clients requests;
+      Printf.bprintf b
+        "  \"shapes\": %d,\n  \"min_elems\": %d,\n  \"max_elems\": %d,\n"
+        shapes min_elems max_elems;
+      Printf.bprintf b "  \"seed\": %d,\n" seed;
+      Printf.bprintf b
+        "  \"ok\": %d,\n  \"busy_retries\": %d,\n  \"failed\": %d,\n" !ok
+        !busy_retries !failed;
+      Printf.bprintf b "  \"verify_failures\": %d,\n" !verify_failures;
+      Printf.bprintf b
+        "  \"p50_latency_ns\": %.0f,\n  \"p99_latency_ns\": %.0f,\n\
+        \  \"mean_latency_ns\": %.0f,\n"
+        (pct 0.50) (pct 0.99) mean;
+      Printf.bprintf b "  \"wall_s\": %.3f,\n" wall_s;
+      Printf.bprintf b "  \"throughput_rps\": %.1f,\n"
+        (float_of_int !ok /. wall_s);
+      Printf.bprintf b "  \"payload_mb_per_s\": %.2f,\n"
+        (float_of_int !payload_bytes /. 1e6 /. wall_s);
+      Printf.bprintf b
+        "  \"coalesce_batches\": %.0f,\n  \"coalesced_jobs\": %.0f,\n\
+        \  \"coalesce_ratio\": %.3f,\n"
+        batches batched coalesce_ratio;
+      Printf.bprintf b
+        "  \"admit_fused\": %.0f,\n  \"admit_ooc\": %.0f,\n\
+        \  \"rejects_budget\": %.0f,\n  \"rejects_queue\": %.0f,\n"
+        (counter "server.admit.fused")
+        (counter "server.admit.ooc")
+        (counter "server.rejects.budget")
+        (counter "server.rejects.queue_full")
+      ;
+      Printf.bprintf b "  \"ooc_window_peak_bytes\": %.0f,\n"
+        (counter "ooc.window_peak_bytes");
+      Printf.bprintf b "  \"plan_cache_hits\": %.0f,\n"
+        (counter "plan_cache.hits");
+      Printf.bprintf b "  \"server_stats\": %s}\n"
+        (String.trim stats);
+      let report = Buffer.contents b in
+      print_string report;
+      (match out with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc report;
+          close_out oc;
+          Printf.eprintf "report written to %s\n%!" file);
+      if !verify_failures > 0 then
+        `Error (false, "some responses failed oracle verification")
+      else if !failed > 0 then
+        `Error (false, "some requests failed or exhausted retries")
+      else `Ok ()
+    end
+  in
+  cmd (Cmd.info "loadtest" ~doc)
+    Term.(
+      const run $ socket_arg $ clients_arg $ requests_arg $ shapes_arg
+      $ min_elems_arg $ max_elems_arg $ seed_arg $ tenant_name_arg $ out_arg)
+
 let main =
   let doc = "In-place matrix transposition by decomposition (PPoPP 2014)." in
   Cmd.group (Cmd.info "xpose" ~doc)
@@ -640,6 +1052,8 @@ let main =
       permute_cmd;
       report_cmd;
       check_cmd;
+      serve_cmd;
+      loadtest_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,89 @@
+(* Transpose as a service, end to end in one process: start the job
+   server on a private socket, submit matrices over the wire, watch
+   admission route a small job to the fused in-memory engine and an
+   over-quota job out of core, then read the stats snapshot.
+
+   Run with:  dune exec examples/server_roundtrip.exe *)
+
+module P = Xpose_server.Protocol
+module Server = Xpose_server.Server
+module Client = Xpose_server.Client
+module S = Xpose_core.Storage.Float64
+
+let iota mn =
+  let b = S.create mn in
+  for i = 0 to mn - 1 do
+    S.set b i (float_of_int i)
+  done;
+  b
+
+let print_matrix ~rows ~cols buf =
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Printf.printf "%5.0f" (S.get buf ((r * cols) + c))
+    done;
+    print_newline ()
+  done
+
+let () =
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xpose_example_%d.sock" (Unix.getpid ()))
+  in
+  let config =
+    {
+      (Server.default_config ~socket_path) with
+      (* "bulk" jobs over 2 KiB leave RAM: served by the out-of-core
+         engine under a 64 KiB residency window. *)
+      Server.tenants =
+        [ { Xpose_server.Admission.name = "bulk";
+            quota_bytes = 2048; window_bytes = 65536 } ];
+    }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      Client.with_client ~socket_path (fun c ->
+          let m = 4 and n = 6 in
+          Printf.printf "A (%d x %d):\n" m n;
+          let a = iota (m * n) in
+          print_matrix ~rows:m ~cols:n a;
+          (match Client.transpose c ~m ~n a with
+          | P.Result { m = rm; n = rn; payload; _ } ->
+              Printf.printf "\nA^T (%d x %d), transposed by the server:\n"
+                rm rn;
+              print_matrix ~rows:rm ~cols:rn payload
+          | P.Busy _ -> print_endline "server busy — retry later"
+          | P.Error_reply { message; _ } -> Printf.printf "error: %s\n" message
+          | P.Stats_reply _ -> assert false);
+          (* The same request from the "bulk" tenant exceeds its 2 KiB
+             quota (64 x 64 f64 = 32 KiB): admission demotes it to the
+             out-of-core engine; the reply is byte-identical either
+             way. *)
+          (match Client.transpose c ~tenant:"bulk" ~m:64 ~n:64 (iota 4096) with
+          | P.Result _ ->
+              print_endline
+                "\n64 x 64 from tenant \"bulk\": served out of core \
+                 (over quota), reply verified below via stats"
+          | _ -> print_endline "\nunexpected reply to the bulk job");
+          (* Every engine shares one metrics registry; the stats reply
+             snapshots it as JSON. *)
+          let json = Client.stats c in
+          let interesting =
+            [ "server.admit.fused"; "server.admit.ooc"; "server.batches" ]
+          in
+          print_endline "\nstats excerpt:";
+          String.split_on_char '\n' json
+          |> List.iter (fun line ->
+                 if
+                   List.exists
+                     (fun k ->
+                       let n = String.length k in
+                       let rec go i =
+                         i + n <= String.length line
+                         && (String.sub line i n = k || go (i + 1))
+                       in
+                       go 0)
+                     interesting
+                 then print_endline line)))

@@ -179,15 +179,20 @@ module Cache = struct
         Mutex.unlock cache.mutex;
         plan
 
-  let length t =
+  (* Readers take the mutex too: the server resolves plans from several
+     domains at once, and unsynchronized reads of the mutable totals are
+     data races under the OCaml 5 memory model (each total is also
+     updated under the lock, so a locked read is exact). *)
+  let locked t f =
     Mutex.lock t.mutex;
-    let len = Hashtbl.length t.table in
+    let v = f t in
     Mutex.unlock t.mutex;
-    len
+    v
 
-  let hits t = t.hits
-  let misses t = t.misses
-  let evictions t = t.evictions
+  let length t = locked t (fun t -> Hashtbl.length t.table)
+  let hits t = locked t (fun t -> t.hits)
+  let misses t = locked t (fun t -> t.misses)
+  let evictions t = locked t (fun t -> t.evictions)
 
   let clear t =
     Mutex.lock t.mutex;

@@ -142,6 +142,58 @@ let reset () =
           Array.iter (fun cell -> Atomic.set cell 0) h.buckets)
     ms
 
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.17g" x
+
+let render_json () =
+  let rows = dump () in
+  let section pick render_v =
+    let entries = List.filter_map pick rows in
+    String.concat ",\n"
+      (List.map
+         (fun (name, v) ->
+           Printf.sprintf "    \"%s\": %s" (json_escape name) (render_v v))
+         entries)
+  in
+  let counters =
+    section
+      (fun (n, v) -> match v with Counter c -> Some (n, c) | _ -> None)
+      string_of_int
+  in
+  let gauges =
+    section
+      (fun (n, v) -> match v with Gauge g -> Some (n, g) | _ -> None)
+      json_float
+  in
+  let histograms =
+    section
+      (fun (n, v) ->
+        match v with
+        | Histogram { count; sum } -> Some (n, (count, sum))
+        | _ -> None)
+      (fun (count, sum) ->
+        Printf.sprintf "{\"count\": %d, \"sum\": %s}" count (json_float sum))
+  in
+  Printf.sprintf
+    "{\n  \"counters\": {\n%s\n  },\n  \"gauges\": {\n%s\n  },\n  \
+     \"histograms\": {\n%s\n  }\n}\n"
+    counters gauges histograms
+
 let render () =
   let b = Buffer.create 256 in
   List.iter

@@ -66,3 +66,9 @@ val reset : unit -> unit
 val render : unit -> string
 (** One [name kind value] line per metric, sorted — the [--metrics]
     output of the CLI. *)
+
+val render_json : unit -> string
+(** The registry as a JSON object
+    [{"counters": {..}, "gauges": {..}, "histograms": {name: {"count",
+    "sum"}}}], names sorted within each section — the payload of the
+    job server's stats endpoint. *)

@@ -1,4 +1,6 @@
-type state = Pending | Done | Failed of exn * Printexc.raw_backtrace
+type state = Pending | Done | Cancelled | Failed of exn * Printexc.raw_backtrace
+
+exception Cancelled_job
 
 (* Jobs share the domain's mutex/condition: completion is published and
    awaited under [mu], giving the happens-before edge the engine relies
@@ -20,7 +22,9 @@ let worker t () =
       Condition.wait t.cv t.mu
     done;
     (* Drain remaining jobs even after [stop]: an awaiter must never
-       block on a job that was accepted but not run. *)
+       block on a job that was accepted but not run. (A cancelling stop
+       empties the queue itself before setting [stop], so nothing is
+       left to drain on that path.) *)
     if Queue.is_empty t.queue then Mutex.unlock t.mu
     else begin
       let fn, job = Queue.pop t.queue in
@@ -76,16 +80,26 @@ let await job =
   match st with
   | Done -> was_done
   | Pending -> assert false
+  | Cancelled -> raise Cancelled_job
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
 
-let shutdown t =
+let stop ?(drain = true) t =
   Mutex.lock t.mu;
+  if not drain then begin
+    (* Cancel everything still queued; the job the worker is executing
+       right now (if any) runs to completion either way. Awaiters of a
+       cancelled job are woken and raise [Cancelled_job]. *)
+    Queue.iter (fun (_, job) -> job.st <- Cancelled) t.queue;
+    Queue.clear t.queue
+  end;
   t.stop <- true;
   Condition.broadcast t.cv;
   let d = t.domain in
   t.domain <- None;
   Mutex.unlock t.mu;
   match d with None -> () | Some d -> Domain.join d
+
+let shutdown t = stop ~drain:true t
 
 let with_io f =
   let t = create () in

@@ -14,6 +14,10 @@ type t
 
 type job
 
+exception Cancelled_job
+(** Raised by {!await} on a job that a cancelling {!stop} discarded
+    before the worker ran it. *)
+
 val create : unit -> t
 (** Spawn the I/O domain, idle until jobs arrive. *)
 
@@ -27,9 +31,20 @@ val await : job -> bool
     finished when [await] was called — the prefetch-hit signal. If the
     job raised, the exception is re-raised here with its backtrace. *)
 
+val stop : ?drain:bool -> t -> unit
+(** Stop and join the domain. With [~drain:true] (the default) every
+    queued job still runs before the worker exits — identical to
+    {!shutdown}. With [~drain:false] the queued-but-unstarted jobs are
+    {e cancelled}: their awaiters raise {!Cancelled_job}; the job the
+    worker is executing at the moment of the call (if any) still runs
+    to completion and its awaiter sees the normal result. Idempotent —
+    repeated or concurrent calls join at most one domain, the rest
+    return immediately. Subsequent {!async} calls raise
+    [Invalid_argument]. *)
+
 val shutdown : t -> unit
-(** Finish every queued job, then stop and join the domain.
-    Idempotent. *)
+(** [stop ~drain:true]: finish every queued job, then stop and join the
+    domain. Idempotent. *)
 
 val with_io : (t -> 'a) -> 'a
 (** [with_io f] creates a domain, applies [f], and shuts it down (also

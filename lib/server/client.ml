@@ -1,0 +1,51 @@
+module P = Protocol
+
+type t = { fd : Unix.file_descr; mutable next_id : int; mutable open_ : bool }
+
+exception Protocol_failure of string
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; next_id = 1; open_ = true }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_client ~socket_path f =
+  let t = connect ~socket_path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let fail msg = raise (Protocol_failure msg)
+
+let roundtrip t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  P.write_frame t.fd (P.encode_request req);
+  match P.read_frame t.fd with
+  | Error `Eof -> fail "server closed the connection"
+  | Error `Truncated -> fail "truncated reply frame"
+  | Error (`Oversized n) -> fail (Printf.sprintf "oversized reply (%d B)" n)
+  | Ok body -> (
+      match P.decode_response body with
+      | Error e -> fail (P.error_to_string e)
+      | Ok resp ->
+          if P.response_id resp <> id then
+            fail
+              (Printf.sprintf "reply id %d does not match request id %d"
+                 (P.response_id resp) id);
+          resp)
+
+let transpose ?(tenant = "") ?(priority = P.Normal) t ~m ~n payload =
+  roundtrip t (P.Transpose { id = t.next_id; tenant; priority; m; n; payload })
+
+let stats t =
+  match roundtrip t (P.Stats { id = t.next_id }) with
+  | P.Stats_reply { json; _ } -> json
+  | _ -> fail "expected a stats reply"

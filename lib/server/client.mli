@@ -1,0 +1,40 @@
+(** A blocking client for the job server.
+
+    One connection, synchronous request/response: {!transpose} and
+    {!stats} send a frame and block until the matching reply arrives
+    (replies carry the request id; a synchronous client never has more
+    than one outstanding, so ids only need to be locally fresh — the
+    client numbers them itself). The load driver opens one client per
+    traffic thread. *)
+
+type t
+
+val connect : socket_path:string -> t
+(** @raise Unix.Unix_error if the server is not listening. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_client : socket_path:string -> (t -> 'a) -> 'a
+
+exception Protocol_failure of string
+(** The server broke framing (truncated/oversized/unparseable reply)
+    or closed mid-request. *)
+
+val transpose :
+  ?tenant:string ->
+  ?priority:Protocol.priority ->
+  t ->
+  m:int ->
+  n:int ->
+  Protocol.buf ->
+  Protocol.response
+(** Submit the row-major [m x n] payload (not modified; the reply
+    carries a fresh buffer). Returns the server's reply: [Result] on
+    success, [Busy] under backpressure, [Error_reply] on a rejected or
+    failed job. Default tenant [""], priority [Normal].
+    @raise Protocol_failure / Unix.Unix_error on transport failure. *)
+
+val stats : t -> string
+(** Fetch the server's metrics snapshot as JSON.
+    @raise Protocol_failure if the server answers anything else. *)

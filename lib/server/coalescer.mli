@@ -1,0 +1,47 @@
+(** Shape-coalescing batcher: groups same-shape fused jobs so the
+    dispatcher can run one {!Xpose_cpu.Fused_f64.transpose_batch} — one
+    plan-cache lookup, one pool fan-out — instead of a pass sequence
+    per request (the request-level analogue of TTC's amortized
+    planning).
+
+    Jobs are keyed by [(priority, m, n)]. A group is dispatched when it
+    reaches [max_batch] jobs, or when [window_ns] has elapsed since its
+    {e first} job arrived — bounded added latency, no reordering within
+    a group. Non-batchable jobs (the ooc route transposes a private
+    staging file per job) bypass grouping and come back ready at once.
+
+    Pure bookkeeping over a caller-supplied clock ([now_ns]), so policy
+    tests are deterministic; the server feeds it
+    {!Xpose_obs.Clock.now_ns} under the dispatcher lock. Dispatch
+    totals are published as the [server.batches] /
+    [server.batched_jobs] counters — their ratio is the coalesce ratio
+    in the stats reply. *)
+
+type key = { priority : Protocol.priority; m : int; n : int }
+
+type 'a t
+
+val create : ?max_batch:int -> ?window_ns:int -> unit -> 'a t
+(** [max_batch] (default 8) caps a group; [window_ns] (default 2ms) is
+    the grouping window. @raise Invalid_argument if [max_batch < 1] or
+    [window_ns < 0]. *)
+
+val add : 'a t -> now_ns:int -> batchable:bool -> key:key -> 'a -> unit
+(** Stage one job. With [batchable:false] the job forms its own
+    singleton group, ready immediately. *)
+
+val ready : 'a t -> now_ns:int -> (key * 'a list) list
+(** Remove and return every dispatchable group: full ones, expired
+    ones, and non-batchable singletons — higher priorities first, then
+    in first-arrival order; jobs within a group in arrival order. *)
+
+val flush : 'a t -> (key * 'a list) list
+(** Remove and return everything pending (shutdown drain). *)
+
+val next_deadline_ns : 'a t -> int option
+(** Earliest instant at which {!ready} could return more than it would
+    now — the dispatcher's sleep bound. [None] when nothing is
+    pending. *)
+
+val pending : 'a t -> int
+(** Jobs currently staged. *)

@@ -1,0 +1,55 @@
+type 'a lane = { q : (int * 'a) Queue.t }
+
+type 'a t = {
+  max_jobs : int;
+  max_bytes : int;
+  lanes : 'a lane array; (* indexed by priority: high, normal, low *)
+  mutable total_bytes : int;
+}
+
+let lane_index = function
+  | Protocol.High -> 0
+  | Protocol.Normal -> 1
+  | Protocol.Low -> 2
+
+let lane_priority = [| Protocol.High; Protocol.Normal; Protocol.Low |]
+
+let create ?(max_jobs = 1024) ?(max_bytes = 256 * 1024 * 1024) () =
+  if max_jobs < 1 then invalid_arg "Job_queue.create: max_jobs must be >= 1";
+  if max_bytes < 1 then invalid_arg "Job_queue.create: max_bytes must be >= 1";
+  {
+    max_jobs;
+    max_bytes;
+    lanes = Array.init 3 (fun _ -> { q = Queue.create () });
+    total_bytes = 0;
+  }
+
+let offer t ~priority ~bytes job =
+  let lane = t.lanes.(lane_index priority) in
+  if Queue.length lane.q >= t.max_jobs then `Queue_full
+  else if t.total_bytes + bytes > t.max_bytes then `Bytes_full
+  else begin
+    Queue.push (bytes, job) lane.q;
+    t.total_bytes <- t.total_bytes + bytes;
+    `Ok
+  end
+
+let pop t =
+  let rec go i =
+    if i >= Array.length t.lanes then None
+    else
+      let lane = t.lanes.(i) in
+      match Queue.take_opt lane.q with
+      | Some (bytes, job) ->
+          t.total_bytes <- t.total_bytes - bytes;
+          Some (lane_priority.(i), bytes, job)
+      | None -> go (i + 1)
+  in
+  go 0
+
+let length t =
+  Array.fold_left (fun acc lane -> acc + Queue.length lane.q) 0 t.lanes
+
+let bytes t = t.total_bytes
+
+let depth t priority = Queue.length t.lanes.(lane_index priority).q

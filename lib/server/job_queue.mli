@@ -1,0 +1,45 @@
+(** Per-priority in-order job queues with count and byte limits.
+
+    Three FIFO lanes (one per {!Protocol.priority}); {!pop} always
+    serves the highest-priority non-empty lane, FIFO within it, so a
+    lone high-priority job overtakes any backlog of normal traffic but
+    jobs of equal priority complete in submission order.
+
+    {!offer} enforces the queue-shaping half of admission control: a
+    lane at its job-count cap, or a queue already holding its byte cap
+    of payloads, turns the job away — the server answers with an
+    explicit {!Protocol.Busy} backpressure reply instead of queueing
+    without bound. (The global in-flight memory budget, which also
+    covers jobs already dispatched to the engines, lives in
+    {!Admission}.)
+
+    Not synchronized: the server guards each queue with its own mutex.
+    All operations are O(1). *)
+
+type 'a t
+
+val create : ?max_jobs:int -> ?max_bytes:int -> unit -> 'a t
+(** [max_jobs] (default 1024) caps each priority lane's job count;
+    [max_bytes] (default 256 MiB) caps the payload bytes queued across
+    all lanes. @raise Invalid_argument if either is < 1. *)
+
+val offer :
+  'a t ->
+  priority:Protocol.priority ->
+  bytes:int ->
+  'a ->
+  [ `Ok | `Queue_full | `Bytes_full ]
+(** Append to the priority's lane, or refuse without enqueueing. *)
+
+val pop : 'a t -> (Protocol.priority * int * 'a) option
+(** Highest-priority, oldest job, with its accounted byte size;
+    releases its bytes/count from the limits. *)
+
+val length : 'a t -> int
+(** Total queued jobs across lanes. *)
+
+val bytes : 'a t -> int
+(** Total queued payload bytes. *)
+
+val depth : 'a t -> Protocol.priority -> int
+(** Queued jobs in one lane. *)

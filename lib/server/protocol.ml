@@ -1,0 +1,385 @@
+module S = Xpose_core.Storage.Float64
+
+type buf = S.t
+
+type priority = High | Normal | Low
+
+let priority_to_string = function
+  | High -> "high"
+  | Normal -> "normal"
+  | Low -> "low"
+
+let priority_of_string = function
+  | "high" -> Some High
+  | "normal" -> Some Normal
+  | "low" -> Some Low
+  | _ -> None
+
+type reject_reason = Queue_full | Budget_exhausted
+
+type request =
+  | Transpose of {
+      id : int;
+      tenant : string;
+      priority : priority;
+      m : int;
+      n : int;
+      payload : buf;
+    }
+  | Stats of { id : int }
+
+type response =
+  | Result of { id : int; m : int; n : int; payload : buf }
+  | Busy of {
+      id : int;
+      reason : reject_reason;
+      queued_jobs : int;
+      queued_bytes : int;
+    }
+  | Error_reply of { id : int; message : string }
+  | Stats_reply of { id : int; json : string }
+
+type error =
+  [ `Truncated | `Oversized of int | `Bad_tag of int | `Corrupt of string ]
+
+let error_to_string : error -> string = function
+  | `Truncated -> "truncated frame"
+  | `Oversized n -> Printf.sprintf "oversized frame (%d bytes)" n
+  | `Bad_tag t -> Printf.sprintf "unknown message tag 0x%02x" t
+  | `Corrupt msg -> Printf.sprintf "corrupt frame: %s" msg
+
+let default_max_frame_bytes = 64 * 1024 * 1024
+
+(* Message tags. Requests are < 0x80, responses >= 0x80. *)
+let tag_transpose = 0x01
+let tag_stats = 0x02
+let tag_result = 0x81
+let tag_busy = 0x82
+let tag_error = 0x83
+let tag_stats_reply = 0x84
+
+let priority_byte = function High -> 0 | Normal -> 1 | Low -> 2
+
+let priority_of_byte = function
+  | 0 -> Some High
+  | 1 -> Some Normal
+  | 2 -> Some Low
+  | _ -> None
+
+let reason_byte = function Queue_full -> 0 | Budget_exhausted -> 1
+
+let reason_of_byte = function
+  | 0 -> Some Queue_full
+  | 1 -> Some Budget_exhausted
+  | _ -> None
+
+(* -- little write/read helpers over a growing Buffer / a Bytes cursor -- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u32 b v =
+  if v < 0 || v > 0xffff_ffff then invalid_arg "Protocol: u32 out of range";
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u16 b v =
+  if v < 0 || v > 0xffff then invalid_arg "Protocol: u16 out of range";
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_string16 b s =
+  put_u16 b (String.length s);
+  Buffer.add_string b s
+
+let put_string32 b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_payload b (a : buf) =
+  let len = Bigarray.Array1.dim a in
+  let raw = Bytes.create (len * 8) in
+  for i = 0 to len - 1 do
+    Bytes.set_int64_le raw (i * 8)
+      (Int64.bits_of_float (Bigarray.Array1.unsafe_get a i))
+  done;
+  Buffer.add_bytes b raw
+
+(* A decode cursor. Reads return [Error `Truncated] past the end rather
+   than raising, threaded with [let*]. *)
+type cursor = { body : Bytes.t; mutable pos : int }
+
+let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
+
+let take cur n : (int, error) result =
+  if n < 0 || cur.pos + n > Bytes.length cur.body then Error `Truncated
+  else begin
+    let p = cur.pos in
+    cur.pos <- p + n;
+    Ok p
+  end
+
+let get_u8 cur =
+  let* p = take cur 1 in
+  Ok (Char.code (Bytes.get cur.body p))
+
+let get_u16 cur =
+  let* p = take cur 2 in
+  Ok ((Char.code (Bytes.get cur.body p) lsl 8)
+     lor Char.code (Bytes.get cur.body (p + 1)))
+
+let get_u32 cur =
+  let* p = take cur 4 in
+  Ok ((Char.code (Bytes.get cur.body p) lsl 24)
+     lor (Char.code (Bytes.get cur.body (p + 1)) lsl 16)
+     lor (Char.code (Bytes.get cur.body (p + 2)) lsl 8)
+     lor Char.code (Bytes.get cur.body (p + 3)))
+
+let get_string16 cur =
+  let* len = get_u16 cur in
+  let* p = take cur len in
+  Ok (Bytes.sub_string cur.body p len)
+
+let get_string32 ~max_bytes cur =
+  let* len = get_u32 cur in
+  if len > max_bytes then Error (`Oversized len)
+  else
+    let* p = take cur len in
+    Ok (Bytes.sub_string cur.body p len)
+
+let get_payload ~max_bytes cur ~elems =
+  if elems * 8 > max_bytes then Error (`Oversized (elems * 8))
+  else
+    let* p = take cur (elems * 8) in
+    let a = S.create elems in
+    for i = 0 to elems - 1 do
+      Bigarray.Array1.unsafe_set a i
+        (Int64.float_of_bits (Bytes.get_int64_le cur.body (p + (i * 8))))
+    done;
+    Ok a
+
+let done_ cur v =
+  if cur.pos <> Bytes.length cur.body then
+    Error (`Corrupt "trailing bytes after message")
+  else Ok v
+
+(* -- requests -------------------------------------------------------- *)
+
+let encode_request = function
+  | Transpose { id; tenant; priority; m; n; payload } ->
+      if Bigarray.Array1.dim payload <> m * n then
+        invalid_arg "Protocol.encode_request: payload size is not m * n";
+      let b = Buffer.create ((m * n * 8) + 64) in
+      put_u8 b tag_transpose;
+      put_u32 b id;
+      put_u8 b (priority_byte priority);
+      put_string16 b tenant;
+      put_u32 b m;
+      put_u32 b n;
+      put_payload b payload;
+      Buffer.to_bytes b
+  | Stats { id } ->
+      let b = Buffer.create 8 in
+      put_u8 b tag_stats;
+      put_u32 b id;
+      Buffer.to_bytes b
+
+let get_priority cur =
+  let* pb = get_u8 cur in
+  match priority_of_byte pb with
+  | Some p -> Ok p
+  | None -> Error (`Corrupt (Printf.sprintf "bad priority byte %d" pb))
+
+let get_reason cur =
+  let* rb = get_u8 cur in
+  match reason_of_byte rb with
+  | Some r -> Ok r
+  | None -> Error (`Corrupt (Printf.sprintf "bad reject reason %d" rb))
+
+let get_shape cur =
+  let* m = get_u32 cur in
+  let* n = get_u32 cur in
+  if m < 1 || n < 1 then
+    Error (`Corrupt (Printf.sprintf "non-positive shape %dx%d" m n))
+  else Ok (m, n)
+
+let decode_request ?(max_bytes = default_max_frame_bytes) body :
+    (request, error) result =
+  let cur = { body; pos = 0 } in
+  let* tag = get_u8 cur in
+  if tag = tag_transpose then begin
+    let* id = get_u32 cur in
+    let* priority = get_priority cur in
+    let* tenant = get_string16 cur in
+    let* m, n = get_shape cur in
+    let* payload = get_payload ~max_bytes cur ~elems:(m * n) in
+    done_ cur (Transpose { id; tenant; priority; m; n; payload })
+  end
+  else if tag = tag_stats then begin
+    let* id = get_u32 cur in
+    done_ cur (Stats { id })
+  end
+  else Error (`Bad_tag tag)
+
+(* -- responses ------------------------------------------------------- *)
+
+let encode_response = function
+  | Result { id; m; n; payload } ->
+      if Bigarray.Array1.dim payload <> m * n then
+        invalid_arg "Protocol.encode_response: payload size is not m * n";
+      let b = Buffer.create ((m * n * 8) + 32) in
+      put_u8 b tag_result;
+      put_u32 b id;
+      put_u32 b m;
+      put_u32 b n;
+      put_payload b payload;
+      Buffer.to_bytes b
+  | Busy { id; reason; queued_jobs; queued_bytes } ->
+      let b = Buffer.create 16 in
+      put_u8 b tag_busy;
+      put_u32 b id;
+      put_u8 b (reason_byte reason);
+      put_u32 b queued_jobs;
+      put_u32 b queued_bytes;
+      Buffer.to_bytes b
+  | Error_reply { id; message } ->
+      let b = Buffer.create (16 + String.length message) in
+      put_u8 b tag_error;
+      put_u32 b id;
+      put_string16 b message;
+      Buffer.to_bytes b
+  | Stats_reply { id; json } ->
+      let b = Buffer.create (16 + String.length json) in
+      put_u8 b tag_stats_reply;
+      put_u32 b id;
+      put_string32 b json;
+      Buffer.to_bytes b
+
+let decode_response ?(max_bytes = default_max_frame_bytes) body :
+    (response, error) result =
+  let cur = { body; pos = 0 } in
+  let* tag = get_u8 cur in
+  if tag = tag_result then begin
+    let* id = get_u32 cur in
+    let* m, n = get_shape cur in
+    let* payload = get_payload ~max_bytes cur ~elems:(m * n) in
+    done_ cur (Result { id; m; n; payload })
+  end
+  else if tag = tag_busy then begin
+    let* id = get_u32 cur in
+    let* reason = get_reason cur in
+    let* queued_jobs = get_u32 cur in
+    let* queued_bytes = get_u32 cur in
+    done_ cur (Busy { id; reason; queued_jobs; queued_bytes })
+  end
+  else if tag = tag_error then begin
+    let* id = get_u32 cur in
+    let* message = get_string16 cur in
+    done_ cur (Error_reply { id; message })
+  end
+  else if tag = tag_stats_reply then begin
+    let* id = get_u32 cur in
+    let* json = get_string32 ~max_bytes cur in
+    done_ cur (Stats_reply { id; json })
+  end
+  else Error (`Bad_tag tag)
+
+let request_id = function Transpose { id; _ } | Stats { id } -> id
+
+let response_id = function
+  | Result { id; _ }
+  | Busy { id; _ }
+  | Error_reply { id; _ }
+  | Stats_reply { id; _ } ->
+      id
+
+let equal_buf (a : buf) (b : buf) =
+  let la = Bigarray.Array1.dim a and lb = Bigarray.Array1.dim b in
+  la = lb
+  &&
+  let ok = ref true in
+  for i = 0 to la - 1 do
+    if
+      Int64.bits_of_float (Bigarray.Array1.unsafe_get a i)
+      <> Int64.bits_of_float (Bigarray.Array1.unsafe_get b i)
+    then ok := false
+  done;
+  !ok
+
+let equal_request a b =
+  match (a, b) with
+  | ( Transpose { id; tenant; priority; m; n; payload },
+      Transpose
+        {
+          id = id';
+          tenant = tenant';
+          priority = priority';
+          m = m';
+          n = n';
+          payload = payload';
+        } ) ->
+      id = id' && tenant = tenant' && priority = priority' && m = m' && n = n'
+      && equal_buf payload payload'
+  | Stats { id }, Stats { id = id' } -> id = id'
+  | _, _ -> false
+
+let equal_response a b =
+  match (a, b) with
+  | ( Result { id; m; n; payload },
+      Result { id = id'; m = m'; n = n'; payload = payload' } ) ->
+      id = id' && m = m' && n = n' && equal_buf payload payload'
+  | ( Busy { id; reason; queued_jobs; queued_bytes },
+      Busy
+        {
+          id = id';
+          reason = reason';
+          queued_jobs = qj';
+          queued_bytes = qb';
+        } ) ->
+      id = id' && reason = reason' && queued_jobs = qj' && queued_bytes = qb'
+  | Error_reply { id; message }, Error_reply { id = id'; message = msg' } ->
+      id = id' && message = msg'
+  | Stats_reply { id; json }, Stats_reply { id = id'; json = json' } ->
+      id = id' && json = json'
+  | _, _ -> false
+
+(* -- framing --------------------------------------------------------- *)
+
+let write_all fd bytes pos len =
+  let pos = ref pos and remaining = ref len in
+  while !remaining > 0 do
+    let n = Unix.write fd bytes !pos !remaining in
+    pos := !pos + n;
+    remaining := !remaining - n
+  done
+
+let write_frame fd body =
+  let len = Bytes.length body in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int len);
+  write_all fd header 0 4;
+  write_all fd body 0 len
+
+(* Returns [`Eof] only when the close lands exactly between frames. *)
+let read_all fd bytes len =
+  let pos = ref 0 in
+  let eof = ref false in
+  while !pos < len && not !eof do
+    let n = Unix.read fd bytes !pos (len - !pos) in
+    if n = 0 then eof := true else pos := !pos + n
+  done;
+  !pos
+
+let read_frame ?(max_bytes = default_max_frame_bytes) fd =
+  let header = Bytes.create 4 in
+  match read_all fd header 4 with
+  | 0 -> Error `Eof
+  | k when k < 4 -> Error `Truncated
+  | _ ->
+      let len = Int32.to_int (Bytes.get_int32_be header 0) in
+      if len < 0 || len > max_bytes then Error (`Oversized len)
+      else
+        let body = Bytes.create len in
+        if read_all fd body len < len then Error `Truncated
+        else Ok body

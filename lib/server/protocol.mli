@@ -1,0 +1,102 @@
+(** The job server's wire protocol: length-framed binary messages.
+
+    A connection carries a stream of frames in each direction. Every
+    frame is a 4-byte big-endian body length followed by the body; the
+    body's first byte is a message tag. Integers are big-endian;
+    float64 payloads travel as IEEE-754 bit patterns, row-major, and
+    are decoded straight into a {!Xpose_core.Storage.Float64} buffer so
+    the engines can run on the decoded message without a copy.
+
+    Every request carries a client-chosen [id] that the matching
+    response echoes, so a pipelining client can reorder replies (the
+    server may complete a coalesced batch before an earlier lone job).
+
+    The codec is total: {!decode_request} / {!decode_response} never
+    raise on hostile bytes — truncated, oversized, or corrupt frames
+    come back as [Error] values the server answers with a protocol
+    error reply. *)
+
+type buf = Xpose_core.Storage.Float64.t
+
+type priority = High | Normal | Low
+
+val priority_to_string : priority -> string
+val priority_of_string : string -> priority option
+
+type reject_reason =
+  | Queue_full  (** the priority queue is at its job-count limit *)
+  | Budget_exhausted
+      (** admitting the payload would push in-flight bytes over the
+          server's global memory budget *)
+
+type request =
+  | Transpose of {
+      id : int;
+      tenant : string;
+      priority : priority;
+      m : int;
+      n : int;
+      payload : buf;  (** row-major [m x n], exactly [m * n] elements *)
+    }
+  | Stats of { id : int }
+
+type response =
+  | Result of { id : int; m : int; n : int; payload : buf }
+      (** the transposed matrix: [n x m] for an [m x n] request *)
+  | Busy of {
+      id : int;
+      reason : reject_reason;
+      queued_jobs : int;
+      queued_bytes : int;
+    }  (** backpressure: resubmit later; nothing was queued *)
+  | Error_reply of { id : int; message : string }
+  | Stats_reply of { id : int; json : string }
+
+type error =
+  [ `Truncated  (** body shorter than its fields claim *)
+  | `Oversized of int  (** declared size exceeds the frame cap *)
+  | `Bad_tag of int
+  | `Corrupt of string  (** field-level inconsistency, with detail *) ]
+
+val error_to_string : error -> string
+
+val default_max_frame_bytes : int
+(** 64 MiB: the largest body either side accepts. *)
+
+(** {1 Codec}
+
+    Encoders return the frame {e body} (no length header); decoders
+    take one body. [max_bytes] bounds the payload a decoder will
+    allocate (default {!default_max_frame_bytes}). *)
+
+val encode_request : request -> Bytes.t
+val decode_request : ?max_bytes:int -> Bytes.t -> (request, error) result
+val encode_response : response -> Bytes.t
+val decode_response : ?max_bytes:int -> Bytes.t -> (response, error) result
+
+val request_id : request -> int
+val response_id : response -> int
+
+val equal_request : request -> request -> bool
+(** Structural equality, comparing payload buffers element-wise (float
+    bit patterns, so NaNs round-trip); used by the codec tests. *)
+
+val equal_response : response -> response -> bool
+
+(** {1 Framing I/O}
+
+    Blocking, over a connected socket (or any fd). *)
+
+val write_frame : Unix.file_descr -> Bytes.t -> unit
+(** Write the 4-byte length header and the body, handling short
+    writes. @raise Unix.Unix_error on I/O failure. *)
+
+val read_frame :
+  ?max_bytes:int ->
+  Unix.file_descr ->
+  (Bytes.t, [ `Eof | `Truncated | `Oversized of int ]) result
+(** Read one length header and body. [`Eof] is a clean close at a frame
+    boundary; [`Truncated] a close mid-frame; [`Oversized] a header
+    announcing a body over [max_bytes] (the connection should be
+    dropped — the stream cannot resynchronize).
+    @raise Unix.Unix_error on I/O failure. *)

@@ -1,0 +1,453 @@
+module P = Protocol
+module FF = Xpose_cpu.Fused_f64
+module FM = Xpose_mmap.File_matrix
+module Metrics = Xpose_obs.Metrics
+
+type config = {
+  socket_path : string;
+  workers : int;
+  budget_bytes : int;
+  default_quota_bytes : int;
+  default_window_bytes : int;
+  tenants : Admission.tenant list;
+  max_queue_jobs : int;
+  max_queue_bytes : int;
+  coalesce_window_ns : int;
+  max_batch : int;
+  max_frame_bytes : int;
+  prefetch : bool;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    workers = 2;
+    budget_bytes = 1024 * 1024 * 1024;
+    default_quota_bytes = 16 * 1024 * 1024;
+    default_window_bytes = 4 * 1024 * 1024;
+    tenants = [];
+    max_queue_jobs = 1024;
+    max_queue_bytes = 256 * 1024 * 1024;
+    coalesce_window_ns = 2_000_000;
+    max_batch = 8;
+    max_frame_bytes = P.default_max_frame_bytes;
+    prefetch = true;
+  }
+
+(* -- metrics ----------------------------------------------------------- *)
+
+let m_connections = lazy (Metrics.counter "server.connections")
+let m_requests = lazy (Metrics.counter "server.requests")
+let m_responses = lazy (Metrics.counter "server.responses")
+let m_stats_requests = lazy (Metrics.counter "server.stats_requests")
+let m_protocol_errors = lazy (Metrics.counter "server.protocol_errors")
+let m_rej_queue = lazy (Metrics.counter "server.rejects.queue_full")
+let m_rej_budget = lazy (Metrics.counter "server.rejects.budget")
+let m_job_errors = lazy (Metrics.counter "server.job_errors")
+let h_latency = lazy (Metrics.histogram "server.latency_ns")
+let g_depth_high = lazy (Metrics.gauge "server.queue_depth.high")
+let g_depth_normal = lazy (Metrics.gauge "server.queue_depth.normal")
+let g_depth_low = lazy (Metrics.gauge "server.queue_depth.low")
+
+let stats_json () = Metrics.render_json ()
+
+(* -- connections ------------------------------------------------------- *)
+
+(* Replies are written by whichever side finishes the work (reader
+   thread for immediate answers, dispatcher for job results), so every
+   write goes through the connection's mutex. A connection that fails
+   mid-write is marked dead and further replies to it are dropped
+   (their jobs still ran; admission bytes are still released). *)
+type conn = { fd : Unix.file_descr; wmu : Mutex.t; mutable alive : bool }
+
+let send_response conn resp =
+  Mutex.lock conn.wmu;
+  (try
+     if conn.alive then begin
+       P.write_frame conn.fd (P.encode_response resp);
+       Metrics.incr (Lazy.force m_responses)
+     end
+   with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false);
+  Mutex.unlock conn.wmu
+
+(* -- jobs -------------------------------------------------------------- *)
+
+type job = {
+  j_conn : conn;
+  j_id : int;
+  j_m : int;
+  j_n : int;
+  j_payload : P.buf;
+  j_bytes : int;
+  j_route : Admission.route;
+  j_arrival_ns : float;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  pool : Xpose_cpu.Pool.t;
+  admission : Admission.t;
+  plan_cache : Xpose_core.Plan.Cache.t;
+  (* queue, guarded by [qmu]; readers enqueue, the dispatcher drains *)
+  qmu : Mutex.t;
+  queue : job Job_queue.t;
+  (* dispatcher wake-up: readers write one byte after enqueueing, the
+     dispatcher selects on the read end with its coalesce deadline as
+     the timeout (no Condition.timedwait in the stdlib) *)
+  wake_rd : Unix.file_descr;
+  wake_wr : Unix.file_descr;
+  (* lifecycle *)
+  stop_readers : bool Atomic.t;
+  stop_dispatch : bool Atomic.t;
+  conns : conn list ref;
+  cmu : Mutex.t;
+  mutable acceptor : unit Domain.t option;
+  mutable dispatcher : Thread.t option;
+  mutable stopped : bool;
+}
+
+let now_ns () = Xpose_obs.Clock.now_ns ()
+
+let wake t =
+  (* Nonblocking: if the pipe is full the dispatcher is already awake. *)
+  try ignore (Unix.write t.wake_wr (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let update_depth_gauges t =
+  Metrics.set_gauge (Lazy.force g_depth_high)
+    (float_of_int (Job_queue.depth t.queue P.High));
+  Metrics.set_gauge (Lazy.force g_depth_normal)
+    (float_of_int (Job_queue.depth t.queue P.Normal));
+  Metrics.set_gauge (Lazy.force g_depth_low)
+    (float_of_int (Job_queue.depth t.queue P.Low))
+
+(* -- request handling (reader threads) --------------------------------- *)
+
+let clamp_u32 v = if v > 0xffff_ffff then 0xffff_ffff else max 0 v
+
+let busy_reply t ~id ~reason =
+  Mutex.lock t.qmu;
+  let jobs = Job_queue.length t.queue and bytes = Job_queue.bytes t.queue in
+  Mutex.unlock t.qmu;
+  P.Busy
+    {
+      id;
+      reason;
+      queued_jobs = clamp_u32 jobs;
+      queued_bytes = clamp_u32 bytes;
+    }
+
+let handle_transpose t conn ~id ~tenant ~priority ~m ~n ~payload =
+  Metrics.incr (Lazy.force m_requests);
+  let bytes = m * n * 8 in
+  match Admission.admit t.admission ~tenant ~bytes with
+  | Admission.Reject reason ->
+      Metrics.incr
+        (Lazy.force
+           (match reason with
+           | P.Queue_full -> m_rej_queue
+           | P.Budget_exhausted -> m_rej_budget));
+      send_response conn (busy_reply t ~id ~reason)
+  | Admission.Admit route -> (
+      let job =
+        {
+          j_conn = conn;
+          j_id = id;
+          j_m = m;
+          j_n = n;
+          j_payload = payload;
+          j_bytes = bytes;
+          j_route = route;
+          j_arrival_ns = now_ns ();
+        }
+      in
+      Mutex.lock t.qmu;
+      let verdict = Job_queue.offer t.queue ~priority ~bytes job in
+      if verdict = `Ok then update_depth_gauges t;
+      Mutex.unlock t.qmu;
+      match verdict with
+      | `Ok -> wake t
+      | `Queue_full | `Bytes_full ->
+          Admission.release t.admission ~bytes;
+          Metrics.incr (Lazy.force m_rej_queue);
+          send_response conn (busy_reply t ~id ~reason:P.Queue_full))
+
+let serve_conn t conn =
+  let rec loop () =
+    if Atomic.get t.stop_readers then ()
+    else
+      match P.read_frame ~max_bytes:t.cfg.max_frame_bytes conn.fd with
+      | Error `Eof -> ()
+      | Error `Truncated -> ()
+      | Error (`Oversized _ as e) ->
+          (* The stream cannot resynchronize after an oversized header:
+             answer and drop the connection. *)
+          Metrics.incr (Lazy.force m_protocol_errors);
+          send_response conn
+            (P.Error_reply { id = 0; message = P.error_to_string e });
+          ()
+      | Ok body -> (
+          match P.decode_request ~max_bytes:t.cfg.max_frame_bytes body with
+          | Error e ->
+              (* Frame boundaries survive a bad body; keep the
+                 connection. *)
+              Metrics.incr (Lazy.force m_protocol_errors);
+              send_response conn
+                (P.Error_reply { id = 0; message = P.error_to_string e });
+              loop ()
+          | Ok (P.Stats { id }) ->
+              Metrics.incr (Lazy.force m_stats_requests);
+              send_response conn (P.Stats_reply { id; json = stats_json () });
+              loop ()
+          | Ok (P.Transpose { id; tenant; priority; m; n; payload }) ->
+              handle_transpose t conn ~id ~tenant ~priority ~m ~n ~payload;
+              loop ())
+  in
+  (* The connection is NOT marked dead here: jobs this reader enqueued
+     may still be awaiting dispatch, and their replies go out over this
+     fd (a peer that half-closed its send side still reads). A failed
+     write marks it dead in [send_response]. *)
+  try loop () with Unix.Unix_error _ | Sys_error _ -> ()
+
+(* -- acceptor domain --------------------------------------------------- *)
+
+let acceptor_loop t () =
+  let readers = ref [] in
+  let rec loop () =
+    if Atomic.get t.stop_readers then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+              Metrics.incr (Lazy.force m_connections);
+              let conn = { fd; wmu = Mutex.create (); alive = true } in
+              Mutex.lock t.cmu;
+              t.conns := conn :: !(t.conns);
+              Mutex.unlock t.cmu;
+              readers := Thread.create (serve_conn t) conn :: !readers
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  (try loop () with Unix.Unix_error _ -> ());
+  (* Wake readers blocked in [read]: half-close the receive side; the
+     send side stays open until [stop] has drained their jobs. *)
+  Mutex.lock t.cmu;
+  let conns = !(t.conns) in
+  Mutex.unlock t.cmu;
+  List.iter
+    (fun c ->
+      try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ -> ())
+    conns;
+  List.iter Thread.join !readers
+
+(* -- job execution (dispatcher) ---------------------------------------- *)
+
+let finish t job resp =
+  send_response job.j_conn resp;
+  Metrics.observe (Lazy.force h_latency) (now_ns () -. job.j_arrival_ns);
+  Admission.release t.admission ~bytes:job.j_bytes
+
+let fail_batch t jobs exn =
+  Metrics.incr ~by:(List.length jobs) (Lazy.force m_job_errors);
+  let message = Printexc.to_string exn in
+  List.iter
+    (fun job -> finish t job (P.Error_reply { id = job.j_id; message }))
+    jobs
+
+let run_fused t ~m ~n jobs =
+  match
+    FF.transpose_batch ~cache:t.plan_cache t.pool ~m ~n
+      (Array.of_list (List.map (fun j -> j.j_payload) jobs))
+  with
+  | () ->
+      List.iter
+        (fun job ->
+          finish t job
+            (P.Result { id = job.j_id; m = n; n = m; payload = job.j_payload }))
+        jobs
+  | exception exn -> fail_batch t jobs exn
+
+(* An over-quota job never runs in RAM: its payload is staged to a
+   file and transposed there by the windowed engine, mapping at most
+   the tenant's window at a time. *)
+let run_ooc t ~window_bytes job =
+  let m = job.j_m and n = job.j_n in
+  match
+    let path = Filename.temp_file "xpose_server" ".mat" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        FM.create ~path ~elements:(m * n);
+        FM.with_map ~path (fun file ->
+            Bigarray.Array1.blit job.j_payload file);
+        Xpose_ooc.Ooc_f64.transpose_file ~pool:t.pool ~window_bytes
+          ~prefetch:t.cfg.prefetch ~cache:t.plan_cache ~path ~m ~n ();
+        FM.with_map ~write:false ~path (fun file ->
+            Bigarray.Array1.blit file job.j_payload))
+  with
+  | () ->
+      finish t job
+        (P.Result { id = job.j_id; m = n; n = m; payload = job.j_payload })
+  | exception exn -> fail_batch t [ job ] exn
+
+let execute_batch t (key : Coalescer.key) jobs =
+  match jobs with
+  | [] -> ()
+  | first :: _ -> (
+      match first.j_route with
+      | Admission.Fused -> run_fused t ~m:key.Coalescer.m ~n:key.Coalescer.n jobs
+      | Admission.Ooc { window_bytes } ->
+          List.iter (fun job -> run_ooc t ~window_bytes job) jobs)
+
+let dispatcher_loop t () =
+  let coal =
+    Coalescer.create ~max_batch:t.cfg.max_batch
+      ~window_ns:t.cfg.coalesce_window_ns ()
+  in
+  let scratch = Bytes.create 64 in
+  let rec loop () =
+    let now = int_of_float (now_ns ()) in
+    (* Drain the queues into the coalescer. *)
+    Mutex.lock t.qmu;
+    let rec drain acc =
+      match Job_queue.pop t.queue with
+      | Some (priority, _, job) -> drain ((priority, job) :: acc)
+      | None -> acc
+    in
+    let drained = drain [] in
+    if drained <> [] then update_depth_gauges t;
+    Mutex.unlock t.qmu;
+    List.iter
+      (fun (priority, job) ->
+        let batchable = job.j_route = Admission.Fused in
+        Coalescer.add coal ~now_ns:now ~batchable
+          ~key:{ Coalescer.priority; m = job.j_m; n = job.j_n }
+          job)
+      (List.rev drained);
+    let stopping = Atomic.get t.stop_dispatch in
+    let batches =
+      if stopping then Coalescer.flush coal else Coalescer.ready coal ~now_ns:now
+    in
+    match batches with
+    | _ :: _ ->
+        List.iter (fun (key, jobs) -> execute_batch t key jobs) batches;
+        loop ()
+    | [] ->
+        if stopping then begin
+          (* Readers are joined before [stop_dispatch] is raised, so an
+             empty queue and empty coalescer mean nothing is left. *)
+          Mutex.lock t.qmu;
+          let empty = Job_queue.length t.queue = 0 in
+          Mutex.unlock t.qmu;
+          if empty && Coalescer.pending coal = 0 then () else loop ()
+        end
+        else begin
+          let timeout =
+            match Coalescer.next_deadline_ns coal with
+            | Some d -> Float.max 0.0005 (float_of_int (d - now) /. 1e9)
+            | None -> 0.05
+          in
+          (match Unix.select [ t.wake_rd ] [] [] timeout with
+          | [], _, _ -> ()
+          | _ :: _, _, _ -> (
+              try ignore (Unix.read t.wake_rd scratch 0 64)
+              with Unix.Unix_error _ -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          loop ()
+        end
+  in
+  loop ()
+
+(* -- lifecycle --------------------------------------------------------- *)
+
+let start cfg =
+  if cfg.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if cfg.max_batch < 1 then invalid_arg "Server.start: max_batch must be >= 1";
+  if cfg.coalesce_window_ns < 0 then
+    invalid_arg "Server.start: coalesce_window_ns must be >= 0";
+  if cfg.max_frame_bytes < 64 then
+    invalid_arg "Server.start: max_frame_bytes must be >= 64";
+  Xpose_obs.Clock.install (fun () -> Unix.gettimeofday () *. 1e9);
+  (* A peer that vanishes mid-reply must surface as EPIPE on the write,
+     not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     (match Unix.stat cfg.socket_path with
+     | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink cfg.socket_path
+     | _ -> ()
+     | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  let wake_rd, wake_wr = Unix.pipe () in
+  Unix.set_nonblock wake_wr;
+  let t =
+    {
+      cfg;
+      listen_fd;
+      pool = Xpose_cpu.Pool.create ~workers:cfg.workers ();
+      admission =
+        Admission.create ~budget_bytes:cfg.budget_bytes
+          ~default_quota_bytes:cfg.default_quota_bytes
+          ~default_window_bytes:cfg.default_window_bytes ~tenants:cfg.tenants
+          ();
+      plan_cache = Xpose_core.Plan.Cache.create ~capacity:128 ();
+      qmu = Mutex.create ();
+      queue =
+        Job_queue.create ~max_jobs:cfg.max_queue_jobs
+          ~max_bytes:cfg.max_queue_bytes ();
+      wake_rd;
+      wake_wr;
+      stop_readers = Atomic.make false;
+      stop_dispatch = Atomic.make false;
+      conns = ref [];
+      cmu = Mutex.create ();
+      acceptor = None;
+      dispatcher = None;
+      stopped = false;
+    }
+  in
+  t.acceptor <- Some (Domain.spawn (acceptor_loop t));
+  t.dispatcher <- Some (Thread.create (dispatcher_loop t) ());
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (* 1. No new connections or frames: the acceptor joins its reader
+       threads (waking blocked reads with a receive-side shutdown)
+       before exiting, so after this join no job can still be on its
+       way into the queue. *)
+    Atomic.set t.stop_readers true;
+    (match t.acceptor with None -> () | Some d -> Domain.join d);
+    t.acceptor <- None;
+    (* 2. Drain: every admitted job is executed and answered. *)
+    Atomic.set t.stop_dispatch true;
+    wake t;
+    (match t.dispatcher with None -> () | Some th -> Thread.join th);
+    t.dispatcher <- None;
+    assert (Admission.in_flight_bytes t.admission = 0);
+    (* 3. Tear down. *)
+    Mutex.lock t.cmu;
+    let conns = !(t.conns) in
+    t.conns := [];
+    Mutex.unlock t.cmu;
+    List.iter
+      (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      conns;
+    Unix.close t.listen_fd;
+    (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+    Unix.close t.wake_rd;
+    Unix.close t.wake_wr;
+    Xpose_cpu.Pool.shutdown t.pool
+  end

@@ -1,0 +1,67 @@
+(** Transpose-as-a-service: the concurrent job server.
+
+    One {!start} binds a Unix-domain socket and assembles the pipeline:
+
+    - an {e acceptor domain} (the service-level generalization of
+      {!Xpose_ooc.Io_domain}'s in-order worker idiom) accepts
+      connections and runs one lightweight reader thread per
+      connection: decode a {!Protocol} frame, consult {!Admission},
+      and either feed the {!Job_queue} or answer immediately
+      ([Busy] backpressure, [Stats_reply], protocol errors);
+    - a {e dispatcher} drains the per-priority queues into the
+      {!Coalescer} and executes ready groups: fused groups as one
+      {!Xpose_cpu.Fused_f64.transpose_batch} over the worker pool
+      (same-shape requests share one plan-cache hit), ooc-routed jobs
+      through a staging file and {!Xpose_ooc.Ooc_f64.transpose_file}
+      under the tenant's window budget;
+    - a {!Xpose_cpu.Pool} of worker domains does the element moving.
+
+    Replies go back over the request's connection, tagged with the
+    request [id]; a connection's replies may be reordered by
+    coalescing and priorities. All [server.*] metrics (requests,
+    responses, rejects, batches, queue-depth gauges, in-flight-bytes
+    gauge, latency histogram) live in the process
+    {!Xpose_obs.Metrics} registry, which the [Stats] request snapshots
+    as JSON.
+
+    {!stop} is the clean-shutdown path: stop accepting, wake and join
+    every reader, drain-and-execute everything admitted (no admitted
+    job is dropped — its client is always answered), then tear down
+    the pool. Idempotent. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** pool lanes for the engines (>= 1) *)
+  budget_bytes : int;  (** global in-flight payload budget *)
+  default_quota_bytes : int;  (** per-tenant in-memory footprint quota *)
+  default_window_bytes : int;  (** per-tenant ooc residency window *)
+  tenants : Admission.tenant list;  (** explicit per-tenant overrides *)
+  max_queue_jobs : int;  (** per-priority queue depth cap *)
+  max_queue_bytes : int;  (** queued payload bytes cap *)
+  coalesce_window_ns : int;  (** same-shape grouping window *)
+  max_batch : int;  (** coalesced group size cap *)
+  max_frame_bytes : int;  (** largest accepted request frame *)
+  prefetch : bool;  (** ooc jobs double-buffer via an I/O domain *)
+}
+
+val default_config : socket_path:string -> config
+(** 2 workers, 1 GiB budget, 16 MiB quota, 4 MiB window, 1024-job /
+    256 MiB queues, 2 ms coalesce window, batches of 8, 64 MiB frames,
+    prefetch on. *)
+
+type t
+
+val start : config -> t
+(** Bind [socket_path] (replacing a stale socket file), spawn the
+    acceptor domain, dispatcher, and pool, and return once the server
+    accepts connections.
+    @raise Invalid_argument on nonsensical config values;
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val stop : t -> unit
+(** Clean shutdown as described above. Idempotent; must be called from
+    the thread/domain that called {!start}. *)
+
+val stats_json : unit -> string
+(** The stats payload the [Stats] request returns: the process metrics
+    registry as JSON (see {!Xpose_obs.Metrics.render_json}). *)

@@ -180,6 +180,48 @@ let test_cache_eviction_counter () =
   Plan.Cache.clear cache;
   Alcotest.(check int) "clear resets evictions" 0 (Plan.Cache.evictions cache)
 
+(* Hammer the cache from several domains at once: the server resolves
+   plans concurrently (acceptor threads and dispatcher), so lookups,
+   inserts, and LRU evictions must not corrupt the table or the
+   bookkeeping. Each [get] counts exactly one hit or one miss under the
+   lock, so the totals must balance the number of calls exactly. *)
+let test_cache_hammer () =
+  let capacity = 4 in
+  let cache = Plan.Cache.create ~capacity () in
+  (* More shapes than capacity, so the domains also race evictions. *)
+  let shapes =
+    [| (48, 36); (36, 48); (7, 1000); (1000, 7); (128, 128); (31, 97) |]
+  in
+  let domains = 4 and iterations = 400 in
+  let bad = Atomic.make 0 in
+  let worker d () =
+    for i = 0 to iterations - 1 do
+      (* Distinct traversal order per domain: same-shape collisions and
+         disjoint working sets both occur. *)
+      let m, n = shapes.((i + (d * 2)) mod Array.length shapes) in
+      let p = Plan.Cache.get ~cache ~m ~n () in
+      if p.Plan.m <> m || p.Plan.n <> n then Atomic.incr bad
+    done
+  in
+  let spawned = Array.init domains (fun d -> Domain.spawn (worker d)) in
+  Array.iter Domain.join spawned;
+  Alcotest.(check int) "every lookup returned its own shape's plan" 0
+    (Atomic.get bad);
+  let gets = domains * iterations in
+  Alcotest.(check int) "hits + misses account for every get" gets
+    (Plan.Cache.hits cache + Plan.Cache.misses cache);
+  Alcotest.(check bool) "capacity never exceeded" true
+    (Plan.Cache.length cache <= capacity);
+  Alcotest.(check bool) "the working set overflowed, so evictions ran" true
+    (Plan.Cache.evictions cache > 0);
+  (* The cached survivors still resolve correctly after the storm. *)
+  Array.iter
+    (fun (m, n) ->
+      let p = Plan.Cache.get ~cache ~m ~n () in
+      Alcotest.(check bool) "post-hammer plan is consistent" true
+        (p.Plan.m = m && p.Plan.n = n))
+    shapes
+
 let test_cache_invalid () =
   Alcotest.check_raises "capacity >= 1"
     (Invalid_argument "Plan.Cache.create: capacity must be >= 1") (fun () ->
@@ -199,6 +241,7 @@ let tests =
     Alcotest.test_case "cache eviction counter" `Quick
       test_cache_eviction_counter;
     Alcotest.test_case "cache invalid args" `Quick test_cache_invalid;
+    Alcotest.test_case "cache concurrent hammer" `Quick test_cache_hammer;
     Alcotest.test_case "invalid dims" `Quick test_invalid;
     Alcotest.test_case "coprime / scratch" `Quick test_coprime;
     Alcotest.test_case "Lemma 1 periodicity" `Quick test_periodicity_lemma1;

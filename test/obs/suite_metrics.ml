@@ -78,6 +78,44 @@ let test_dump_and_render () =
   in
   Alcotest.(check bool) "rendered line present" true has_line
 
+let test_render_json () =
+  let c = Metrics.counter "test.json.counter" in
+  Metrics.incr ~by:3 c;
+  Metrics.set_gauge (Metrics.gauge "test.json.gauge") 2.5;
+  let h = Metrics.histogram "test.json.hist" in
+  Metrics.observe h 1.0;
+  Metrics.observe h 2.0;
+  let json = Metrics.render_json () in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length json && (String.sub json i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "contains %s" sub) true (has sub))
+    [
+      "\"counters\"";
+      "\"gauges\"";
+      "\"histograms\"";
+      "\"test.json.counter\": 3";
+      "\"test.json.gauge\": 2.5";
+      "\"test.json.hist\": {\"count\": 2, \"sum\": 3.0}";
+    ];
+  (* integral gauges render with a decimal point so consumers parse a
+     stable number type *)
+  Metrics.set_gauge (Metrics.gauge "test.json.gauge") 4.0;
+  Alcotest.(check bool) "integral floats keep a decimal point" true
+    (let json = Metrics.render_json () in
+     let n = String.length "\"test.json.gauge\": 4.0" in
+     let sub = "\"test.json.gauge\": 4.0" in
+     let rec go i =
+       i + n <= String.length json && (String.sub json i n = sub || go (i + 1))
+     in
+     go 0)
+
 let tests =
   [
     Alcotest.test_case "parallel counter is exact" `Quick test_counter_parallel;
@@ -89,4 +127,5 @@ let tests =
     Alcotest.test_case "name/type mismatch raises" `Quick test_type_mismatch;
     Alcotest.test_case "gauges and histograms" `Quick test_gauge_histogram;
     Alcotest.test_case "dump and render" `Quick test_dump_and_render;
+    Alcotest.test_case "render_json" `Quick test_render_json;
   ]

@@ -98,6 +98,78 @@ let test_io_domain_exception () =
       let ok = Io_domain.async io (fun () -> ()) in
       ignore (Io_domain.await ok))
 
+(* Stop while a job is in flight and more are queued: the draining stop
+   must run everything (no lost scatter-backs), not deadlock, and stay
+   idempotent. The in-flight job is gated so the stop provably overlaps
+   it. *)
+let test_io_domain_drain_stop () =
+  let io = Io_domain.create () in
+  let started = Atomic.make false and gate = Atomic.make false in
+  let count = Atomic.make 0 in
+  let j1 =
+    Io_domain.async io (fun () ->
+        Atomic.set started true;
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done;
+        Atomic.incr count)
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let queued =
+    List.init 8 (fun _ -> Io_domain.async io (fun () -> Atomic.incr count))
+  in
+  (* stop joins the worker, so issue it while j1 is still blocked and
+     release the gate afterwards — if stop dropped queued jobs or
+     deadlocked, the join below would hang or the count would fall
+     short. *)
+  let stopper = Thread.create (fun () -> Io_domain.stop io) () in
+  Atomic.set gate true;
+  Thread.join stopper;
+  Alcotest.(check int) "in-flight and queued jobs all ran" 9
+    (Atomic.get count);
+  ignore (Io_domain.await j1);
+  List.iter (fun j -> ignore (Io_domain.await j)) queued;
+  (* idempotent: a second stop (and a cancelling one) return at once *)
+  Io_domain.stop io;
+  Io_domain.stop ~drain:false io;
+  Alcotest.check_raises "async after stop is refused"
+    (Invalid_argument "Io_domain.async: domain was shut down") (fun () ->
+      ignore (Io_domain.async io (fun () -> ())))
+
+(* Cancelling stop: queued-but-unstarted jobs are discarded and their
+   awaiters raise [Cancelled_job]; the job the worker is executing still
+   completes. Deterministic: the worker is pinned inside j1 until the
+   cancellation has been observed, so j2/j3 cannot have started. *)
+let test_io_domain_cancel_stop () =
+  let io = Io_domain.create () in
+  let started = Atomic.make false and release = Atomic.make false in
+  let ran = Atomic.make 0 in
+  let j1 =
+    Io_domain.async io (fun () ->
+        Atomic.set started true;
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done)
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let j2 = Io_domain.async io (fun () -> Atomic.incr ran) in
+  let j3 = Io_domain.async io (fun () -> Atomic.incr ran) in
+  let stopper = Thread.create (fun () -> Io_domain.stop ~drain:false io) () in
+  Alcotest.check_raises "first queued job cancelled" Io_domain.Cancelled_job
+    (fun () -> ignore (Io_domain.await j2));
+  Alcotest.check_raises "second queued job cancelled" Io_domain.Cancelled_job
+    (fun () -> ignore (Io_domain.await j3));
+  Atomic.set release true;
+  Thread.join stopper;
+  Alcotest.(check bool) "in-flight job ran to completion" true
+    (Io_domain.await j1);
+  Alcotest.(check int) "cancelled jobs never executed" 0 (Atomic.get ran);
+  Io_domain.stop ~drain:false io (* idempotent *)
+
 (* -- out-of-core transposition vs the in-RAM oracle ------------------------ *)
 
 (* Shapes covering every structural regime: degenerate (identity),
@@ -208,6 +280,10 @@ let () =
           Alcotest.test_case "hit detection" `Quick test_io_domain_hit_detection;
           Alcotest.test_case "exception propagation" `Quick
             test_io_domain_exception;
+          Alcotest.test_case "draining stop with in-flight job" `Quick
+            test_io_domain_drain_stop;
+          Alcotest.test_case "cancelling stop" `Quick
+            test_io_domain_cancel_stop;
         ] );
       ( "oracle",
         [

@@ -1,0 +1,122 @@
+module P = Xpose_server.Protocol
+module A = Xpose_server.Admission
+
+let kib n = n * 1024
+
+let check_admit name expected got =
+  let pp = function
+    | A.Admit A.Fused -> "Admit Fused"
+    | A.Admit (A.Ooc { window_bytes }) ->
+        Printf.sprintf "Admit (Ooc %d)" window_bytes
+    | A.Reject P.Queue_full -> "Reject Queue_full"
+    | A.Reject P.Budget_exhausted -> "Reject Budget_exhausted"
+  in
+  Alcotest.(check string) name (pp expected) (pp got)
+
+let test_routing_by_quota () =
+  let a =
+    A.create ~budget_bytes:(kib 1024) ~default_quota_bytes:(kib 64)
+      ~default_window_bytes:(kib 16) ()
+  in
+  check_admit "small job runs fused" (A.Admit A.Fused)
+    (A.admit a ~tenant:"t" ~bytes:(kib 64));
+  check_admit "over-quota job is demoted to ooc"
+    (A.Admit (A.Ooc { window_bytes = kib 16 }))
+    (A.admit a ~tenant:"t" ~bytes:(kib 64 + 1));
+  Alcotest.(check int) "both charged" ((kib 128) + 1) (A.in_flight_bytes a);
+  A.release a ~bytes:(kib 64);
+  A.release a ~bytes:(kib 64 + 1);
+  Alcotest.(check int) "released" 0 (A.in_flight_bytes a)
+
+let test_budget_reject () =
+  let a =
+    A.create ~budget_bytes:(kib 100) ~default_quota_bytes:(kib 100)
+      ~default_window_bytes:(kib 16) ()
+  in
+  check_admit "fills the budget" (A.Admit A.Fused)
+    (A.admit a ~tenant:"t" ~bytes:(kib 70));
+  check_admit "next job over budget is refused"
+    (A.Reject P.Budget_exhausted)
+    (A.admit a ~tenant:"t" ~bytes:(kib 31));
+  Alcotest.(check int) "reject does not charge" (kib 70)
+    (A.in_flight_bytes a);
+  check_admit "a job at the remaining budget fits" (A.Admit A.Fused)
+    (A.admit a ~tenant:"t" ~bytes:(kib 30));
+  A.release a ~bytes:(kib 70);
+  check_admit "release reopens the budget" (A.Admit A.Fused)
+    (A.admit a ~tenant:"t" ~bytes:(kib 70));
+  A.release a ~bytes:(kib 70);
+  A.release a ~bytes:(kib 30)
+
+let test_single_oversized_job () =
+  let a = A.create ~budget_bytes:(kib 8) () in
+  check_admit "a job bigger than the whole budget is always refused"
+    (A.Reject P.Budget_exhausted)
+    (A.admit a ~tenant:"t" ~bytes:(kib 8 + 1))
+
+let test_tenant_overrides () =
+  let a =
+    A.create ~budget_bytes:(kib 1024) ~default_quota_bytes:(kib 64)
+      ~default_window_bytes:(kib 32)
+      ~tenants:
+        [ { A.name = "small"; quota_bytes = kib 1; window_bytes = kib 4 } ]
+      ()
+  in
+  check_admit "override tenant has a 1 KiB quota"
+    (A.Admit (A.Ooc { window_bytes = kib 4 }))
+    (A.admit a ~tenant:"small" ~bytes:(kib 2));
+  check_admit "other tenants keep the default quota" (A.Admit A.Fused)
+    (A.admit a ~tenant:"other" ~bytes:(kib 2));
+  let tn = A.tenant_of a "small" in
+  Alcotest.(check int) "tenant_of reports the override" (kib 1) tn.A.quota_bytes;
+  let dflt = A.tenant_of a "unknown" in
+  Alcotest.(check int) "unknown tenants get defaults" (kib 64)
+    dflt.A.quota_bytes;
+  Alcotest.(check int) "and the default window" (kib 32) dflt.A.window_bytes;
+  A.release a ~bytes:(kib 2);
+  A.release a ~bytes:(kib 2)
+
+let test_invalid () =
+  Alcotest.check_raises "budget >= 1"
+    (Invalid_argument "Admission.create: budget_bytes must be >= 1") (fun () ->
+      ignore (A.create ~budget_bytes:0 ()));
+  Alcotest.check_raises "quota >= 1"
+    (Invalid_argument "Admission.create: default_quota_bytes must be >= 1")
+    (fun () -> ignore (A.create ~default_quota_bytes:0 ()))
+
+let test_concurrent_admit_release () =
+  (* Hammer the budget from several domains; the invariant is that
+     in-flight bytes return to zero and never go negative (release
+     asserts internally). *)
+  let a = A.create ~budget_bytes:(kib 64) ~default_quota_bytes:(kib 64) () in
+  let admitted = Atomic.make 0 and rejected = Atomic.make 0 in
+  let worker () =
+    for _ = 1 to 500 do
+      match A.admit a ~tenant:"t" ~bytes:(kib 16) with
+      | A.Admit _ ->
+          Atomic.incr admitted;
+          Domain.cpu_relax ();
+          A.release a ~bytes:(kib 16)
+      | A.Reject _ -> Atomic.incr rejected
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "everything admitted was released" 0
+    (A.in_flight_bytes a);
+  Alcotest.(check int) "every attempt was decided" 2000
+    (Atomic.get admitted + Atomic.get rejected);
+  Alcotest.(check bool) "some admissions went through" true
+    (Atomic.get admitted > 0)
+
+let tests =
+  [
+    Alcotest.test_case "routing by tenant quota" `Quick test_routing_by_quota;
+    Alcotest.test_case "budget rejection and release" `Quick test_budget_reject;
+    Alcotest.test_case "job bigger than the budget" `Quick
+      test_single_oversized_job;
+    Alcotest.test_case "tenant overrides" `Quick test_tenant_overrides;
+    Alcotest.test_case "invalid args" `Quick test_invalid;
+    Alcotest.test_case "concurrent admit/release" `Quick
+      test_concurrent_admit_release;
+  ]

@@ -1,0 +1,141 @@
+(* The coalescer is pure bookkeeping over a caller-supplied clock, so
+   these tests drive time explicitly and are fully deterministic. *)
+
+module P = Xpose_server.Protocol
+module C = Xpose_server.Coalescer
+
+let key ?(priority = P.Normal) m n = { C.priority; m; n }
+
+let names groups = List.map (fun (_, jobs) -> jobs) groups
+
+let test_window_grouping () =
+  let c = C.create ~max_batch:8 ~window_ns:1_000 () in
+  C.add c ~now_ns:0 ~batchable:true ~key:(key 4 5) "a";
+  C.add c ~now_ns:200 ~batchable:true ~key:(key 4 5) "b";
+  C.add c ~now_ns:400 ~batchable:true ~key:(key 4 5) "c";
+  Alcotest.(check int) "pending" 3 (C.pending c);
+  Alcotest.(check (list (list string))) "window still open at t=999" []
+    (names (C.ready c ~now_ns:999));
+  (* The window runs from the FIRST job's arrival. *)
+  Alcotest.(check (list (list string)))
+    "expired window dispatches one group in arrival order"
+    [ [ "a"; "b"; "c" ] ]
+    (names (C.ready c ~now_ns:1_000));
+  Alcotest.(check int) "nothing left" 0 (C.pending c)
+
+let test_distinct_shapes_distinct_groups () =
+  let c = C.create ~max_batch:8 ~window_ns:1_000 () in
+  C.add c ~now_ns:0 ~batchable:true ~key:(key 4 5) "a";
+  C.add c ~now_ns:1 ~batchable:true ~key:(key 5 4) "b";
+  C.add c ~now_ns:2 ~batchable:true ~key:(key 4 5) "c";
+  Alcotest.(check (list (list string)))
+    "same shape groups, different shapes do not"
+    [ [ "a"; "c" ]; [ "b" ] ]
+    (names (C.ready c ~now_ns:2_000))
+
+let test_max_batch_closes_group () =
+  let c = C.create ~max_batch:2 ~window_ns:1_000_000 () in
+  C.add c ~now_ns:0 ~batchable:true ~key:(key 3 3) "a";
+  C.add c ~now_ns:1 ~batchable:true ~key:(key 3 3) "b";
+  (* Full group dispatches immediately, long before its window. *)
+  Alcotest.(check (list (list string))) "full group is ready at once"
+    [ [ "a"; "b" ] ]
+    (names (C.ready c ~now_ns:2));
+  (* A full group is closed: later same-shape jobs start a fresh group
+     with a fresh window. *)
+  C.add c ~now_ns:10 ~batchable:true ~key:(key 3 3) "c";
+  Alcotest.(check (list (list string))) "new group still open" []
+    (names (C.ready c ~now_ns:11));
+  C.add c ~now_ns:12 ~batchable:true ~key:(key 3 3) "d";
+  Alcotest.(check (list (list string))) "fills and dispatches"
+    [ [ "c"; "d" ] ]
+    (names (C.ready c ~now_ns:13))
+
+let test_non_batchable_ready_at_once () =
+  let c = C.create ~max_batch:8 ~window_ns:1_000_000 () in
+  C.add c ~now_ns:0 ~batchable:true ~key:(key 4 5) "fused";
+  C.add c ~now_ns:1 ~batchable:false ~key:(key 100 100) "ooc";
+  Alcotest.(check (list (list string)))
+    "ooc job bypasses the window; fused job keeps waiting" [ [ "ooc" ] ]
+    (names (C.ready c ~now_ns:2));
+  Alcotest.(check int) "fused job still pending" 1 (C.pending c)
+
+let test_priority_order_in_ready () =
+  let c = C.create ~max_batch:8 ~window_ns:10 () in
+  C.add c ~now_ns:0 ~batchable:true ~key:(key ~priority:P.Low 2 2) "low";
+  C.add c ~now_ns:1 ~batchable:true ~key:(key ~priority:P.Normal 2 2) "norm";
+  C.add c ~now_ns:2 ~batchable:true ~key:(key ~priority:P.High 2 2) "high";
+  Alcotest.(check (list (list string)))
+    "higher priorities dispatch first"
+    [ [ "high" ]; [ "norm" ]; [ "low" ] ]
+    (names (C.ready c ~now_ns:1_000))
+
+let test_flush () =
+  let c = C.create ~max_batch:8 ~window_ns:1_000_000 () in
+  C.add c ~now_ns:0 ~batchable:true ~key:(key 4 5) "a";
+  C.add c ~now_ns:1 ~batchable:true ~key:(key 6 7) "b";
+  Alcotest.(check (list (list string))) "nothing ready yet" []
+    (names (C.ready c ~now_ns:2));
+  Alcotest.(check (list (list string))) "flush drains everything"
+    [ [ "a" ]; [ "b" ] ]
+    (names (C.flush c));
+  Alcotest.(check int) "empty after flush" 0 (C.pending c);
+  Alcotest.(check (list (list string))) "flush is idempotent" []
+    (names (C.flush c))
+
+let test_next_deadline () =
+  let c = C.create ~max_batch:8 ~window_ns:1_000 () in
+  Alcotest.(check (option int)) "empty: no deadline" None
+    (C.next_deadline_ns c);
+  C.add c ~now_ns:500 ~batchable:true ~key:(key 4 5) "a";
+  Alcotest.(check (option int)) "window deadline" (Some 1_500)
+    (C.next_deadline_ns c);
+  C.add c ~now_ns:600 ~batchable:true ~key:(key 6 7) "b";
+  Alcotest.(check (option int)) "earliest deadline wins" (Some 1_500)
+    (C.next_deadline_ns c);
+  C.add c ~now_ns:700 ~batchable:false ~key:(key 9 9) "ooc";
+  Alcotest.(check (option int)) "non-batchable job is due now" (Some 0)
+    (C.next_deadline_ns c);
+  ignore (C.flush c);
+  Alcotest.(check (option int)) "drained: no deadline" None
+    (C.next_deadline_ns c)
+
+let test_metrics_counters () =
+  let batches = Xpose_obs.Metrics.counter "server.batches" in
+  let batched = Xpose_obs.Metrics.counter "server.batched_jobs" in
+  let b0 = Xpose_obs.Metrics.counter_value batches in
+  let j0 = Xpose_obs.Metrics.counter_value batched in
+  let c = C.create ~max_batch:8 ~window_ns:10 () in
+  C.add c ~now_ns:0 ~batchable:true ~key:(key 4 5) "a";
+  C.add c ~now_ns:1 ~batchable:true ~key:(key 4 5) "b";
+  C.add c ~now_ns:2 ~batchable:true ~key:(key 4 5) "c";
+  ignore (C.ready c ~now_ns:100);
+  Alcotest.(check int) "one batch counted" 1
+    (Xpose_obs.Metrics.counter_value batches - b0);
+  Alcotest.(check int) "three jobs counted" 3
+    (Xpose_obs.Metrics.counter_value batched - j0)
+
+let test_invalid () =
+  Alcotest.check_raises "max_batch >= 1"
+    (Invalid_argument "Coalescer.create: max_batch must be >= 1") (fun () ->
+      ignore (C.create ~max_batch:0 ()));
+  Alcotest.check_raises "window_ns >= 0"
+    (Invalid_argument "Coalescer.create: window_ns must be >= 0") (fun () ->
+      ignore (C.create ~window_ns:(-1) ()))
+
+let tests =
+  [
+    Alcotest.test_case "window grouping" `Quick test_window_grouping;
+    Alcotest.test_case "distinct shapes stay separate" `Quick
+      test_distinct_shapes_distinct_groups;
+    Alcotest.test_case "max_batch closes a group" `Quick
+      test_max_batch_closes_group;
+    Alcotest.test_case "non-batchable jobs are immediate" `Quick
+      test_non_batchable_ready_at_once;
+    Alcotest.test_case "priority order in ready" `Quick
+      test_priority_order_in_ready;
+    Alcotest.test_case "flush" `Quick test_flush;
+    Alcotest.test_case "next_deadline_ns" `Quick test_next_deadline;
+    Alcotest.test_case "dispatch metrics" `Quick test_metrics_counters;
+    Alcotest.test_case "invalid args" `Quick test_invalid;
+  ]

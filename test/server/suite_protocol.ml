@@ -1,0 +1,349 @@
+(* Codec tests: the QCheck round-trip law (encode then decode is the
+   identity), the truncated / oversized error paths, and a seeded
+   corruption fuzz asserting the decoders are total — hostile bytes
+   come back as [Error], never as an exception. *)
+
+module P = Xpose_server.Protocol
+module S = Xpose_core.Storage.Float64
+
+let buf_of_array a =
+  let b = S.create (Array.length a) in
+  Array.iteri (fun i v -> S.set b i v) a;
+  b
+
+let iota_buf len = buf_of_array (Array.init len float_of_int)
+
+(* -- generators ------------------------------------------------------- *)
+
+let gen_special_float =
+  QCheck2.Gen.oneofl
+    [ nan; infinity; neg_infinity; -0.0; 0.0; Float.max_float; epsilon_float ]
+
+let gen_elt =
+  QCheck2.Gen.(oneof [ float; gen_special_float; map float_of_int small_int ])
+
+let gen_payload mn = QCheck2.Gen.array_repeat mn gen_elt
+
+let gen_id = QCheck2.Gen.int_range 0 0xffff_ffff
+let gen_priority = QCheck2.Gen.oneofl [ P.High; P.Normal; P.Low ]
+
+let gen_tenant =
+  QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 0 12))
+
+let gen_transpose =
+  QCheck2.Gen.(
+    let* id = gen_id in
+    let* tenant = gen_tenant in
+    let* priority = gen_priority in
+    let* m = int_range 1 9 in
+    let* n = int_range 1 9 in
+    let* payload = gen_payload (m * n) in
+    return
+      (P.Transpose { id; tenant; priority; m; n; payload = buf_of_array payload }))
+
+let gen_request =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, gen_transpose);
+        (1, map (fun id -> P.Stats { id }) gen_id);
+      ])
+
+let gen_response =
+  QCheck2.Gen.(
+    let* id = gen_id in
+    oneof
+      [
+        (let* m = int_range 1 9 in
+         let* n = int_range 1 9 in
+         let* payload = gen_payload (m * n) in
+         return (P.Result { id; m; n; payload = buf_of_array payload }));
+        (let* reason = oneofl [ P.Queue_full; P.Budget_exhausted ] in
+         let* queued_jobs = int_range 0 10_000 in
+         let* queued_bytes = int_range 0 0xffff_ffff in
+         return (P.Busy { id; reason; queued_jobs; queued_bytes }));
+        (let* message = string_size ~gen:printable (int_range 0 60) in
+         return (P.Error_reply { id; message }));
+        (let* json = string_size ~gen:printable (int_range 0 200) in
+         return (P.Stats_reply { id; json }));
+      ])
+
+(* -- round trip ------------------------------------------------------- *)
+
+let prop_request_roundtrip =
+  QCheck2.Test.make ~name:"decode_request (encode_request r) = Ok r" ~count:500
+    gen_request (fun req ->
+      match P.decode_request (P.encode_request req) with
+      | Ok req' -> P.equal_request req req'
+      | Error e -> QCheck2.Test.fail_reportf "%s" (P.error_to_string e))
+
+let prop_response_roundtrip =
+  QCheck2.Test.make ~name:"decode_response (encode_response r) = Ok r"
+    ~count:500 gen_response (fun resp ->
+      match P.decode_response (P.encode_response resp) with
+      | Ok resp' -> P.equal_response resp resp'
+      | Error e -> QCheck2.Test.fail_reportf "%s" (P.error_to_string e))
+
+(* -- truncation ------------------------------------------------------- *)
+
+(* Every strict prefix of a well-formed body must decode to
+   [Error `Truncated]: field lengths inside a genuine encoding are
+   consistent, so the only way a prefix fails is by running out of
+   bytes. *)
+let prop_request_prefix_truncated =
+  QCheck2.Test.make ~name:"strict prefixes decode to `Truncated" ~count:100
+    gen_request (fun req ->
+      let body = P.encode_request req in
+      let ok = ref true in
+      for len = 0 to Bytes.length body - 1 do
+        match P.decode_request (Bytes.sub body 0 len) with
+        | Error `Truncated -> ()
+        | Ok _ | Error _ -> ok := false
+      done;
+      !ok)
+
+let test_response_prefix_truncated () =
+  let responses =
+    [
+      P.Result { id = 7; m = 3; n = 4; payload = iota_buf 12 };
+      P.Busy
+        { id = 8; reason = P.Queue_full; queued_jobs = 3; queued_bytes = 96 };
+      P.Error_reply { id = 9; message = "bad frame" };
+      P.Stats_reply { id = 10; json = "{}" };
+    ]
+  in
+  List.iter
+    (fun resp ->
+      let body = P.encode_response resp in
+      for len = 0 to Bytes.length body - 1 do
+        match P.decode_response (Bytes.sub body 0 len) with
+        | Error `Truncated -> ()
+        | Ok _ ->
+            Alcotest.failf "prefix of length %d decoded successfully" len
+        | Error e ->
+            Alcotest.failf "prefix of length %d: expected `Truncated, got %s"
+              len (P.error_to_string e)
+      done)
+    responses
+
+let test_trailing_bytes () =
+  let body = P.encode_request (P.Stats { id = 3 }) in
+  let padded = Bytes.cat body (Bytes.make 1 '\x00') in
+  match P.decode_request padded with
+  | Error (`Corrupt _) -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes accepted"
+  | Error e -> Alcotest.failf "expected `Corrupt, got %s" (P.error_to_string e)
+
+(* -- oversized -------------------------------------------------------- *)
+
+let test_oversized_payload () =
+  (* A hand-built header announcing a 65536 x 65536 payload (32 GiB)
+     with no payload bytes behind it: the decoder must refuse before
+     allocating. *)
+  let b = Buffer.create 32 in
+  Buffer.add_char b '\x01';
+  (* id *)
+  Buffer.add_string b "\x00\x00\x00\x2a";
+  (* priority = normal *)
+  Buffer.add_char b '\x01';
+  (* tenant = "" *)
+  Buffer.add_string b "\x00\x00";
+  (* m = n = 65536 *)
+  Buffer.add_string b "\x00\x01\x00\x00";
+  Buffer.add_string b "\x00\x01\x00\x00";
+  match P.decode_request (Buffer.to_bytes b) with
+  | Error (`Oversized bytes) ->
+      Alcotest.(check int) "announced size" (65536 * 65536 * 8) bytes
+  | Ok _ -> Alcotest.fail "oversized payload accepted"
+  | Error e ->
+      Alcotest.failf "expected `Oversized, got %s" (P.error_to_string e)
+
+let test_oversized_respects_max_bytes () =
+  let req =
+    P.Transpose
+      {
+        id = 1;
+        tenant = "t";
+        priority = P.Normal;
+        m = 8;
+        n = 8;
+        payload = iota_buf 64;
+      }
+  in
+  let body = P.encode_request req in
+  (match P.decode_request ~max_bytes:(64 * 8) body with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "payload at the cap rejected: %s" (P.error_to_string e));
+  match P.decode_request ~max_bytes:((64 * 8) - 1) body with
+  | Error (`Oversized _) -> ()
+  | Ok _ -> Alcotest.fail "payload over the cap accepted"
+  | Error e ->
+      Alcotest.failf "expected `Oversized, got %s" (P.error_to_string e)
+
+(* -- structural corruption -------------------------------------------- *)
+
+let test_bad_tag () =
+  (match P.decode_request (Bytes.of_string "\x7f\x00\x00\x00\x01") with
+  | Error (`Bad_tag 0x7f) -> ()
+  | _ -> Alcotest.fail "unknown request tag not reported");
+  match P.decode_response (Bytes.of_string "\xff\x00\x00\x00\x01") with
+  | Error (`Bad_tag 0xff) -> ()
+  | _ -> Alcotest.fail "unknown response tag not reported"
+
+let test_empty_body () =
+  (match P.decode_request Bytes.empty with
+  | Error `Truncated -> ()
+  | _ -> Alcotest.fail "empty request body must be `Truncated");
+  match P.decode_response Bytes.empty with
+  | Error `Truncated -> ()
+  | _ -> Alcotest.fail "empty response body must be `Truncated"
+
+let test_bad_priority_and_shape () =
+  let body = P.encode_request (P.Transpose
+    { id = 1; tenant = ""; priority = P.Low; m = 2; n = 2;
+      payload = iota_buf 4 }) in
+  (* priority byte lives right after tag + id *)
+  let bad_priority = Bytes.copy body in
+  Bytes.set bad_priority 5 '\x09';
+  (match P.decode_request bad_priority with
+  | Error (`Corrupt _) -> ()
+  | _ -> Alcotest.fail "priority byte 9 accepted");
+  (* zero rows: m field sits after tag(1) id(4) priority(1) tenant(2) *)
+  let bad_shape = Bytes.copy body in
+  Bytes.blit_string "\x00\x00\x00\x00" 0 bad_shape 8 4;
+  match P.decode_request bad_shape with
+  | Error (`Corrupt _) -> ()
+  | _ -> Alcotest.fail "m = 0 accepted"
+
+(* -- seeded corruption fuzz ------------------------------------------- *)
+
+(* Flip bytes of valid encodings at random: the decoders must return
+   [Ok] or [Error], never raise. The seed is fixed so a failure
+   reproduces. *)
+let test_corruption_total () =
+  let rng = Random.State.make [| 0x5eed; 42 |] in
+  let requests =
+    [
+      P.encode_request
+        (P.Transpose
+           {
+             id = 123;
+             tenant = "acme";
+             priority = P.High;
+             m = 5;
+             n = 7;
+             payload = iota_buf 35;
+           });
+      P.encode_request (P.Stats { id = 99 });
+    ]
+  and responses =
+    [
+      P.encode_response (P.Result { id = 123; m = 7; n = 5; payload = iota_buf 35 });
+      P.encode_response
+        (P.Busy
+           { id = 4; reason = P.Budget_exhausted; queued_jobs = 1;
+             queued_bytes = 280 });
+      P.encode_response (P.Error_reply { id = 5; message = "nope" });
+      P.encode_response (P.Stats_reply { id = 6; json = "{\"a\": 1}" });
+    ]
+  in
+  let corrupt body =
+    let b = Bytes.copy body in
+    let flips = 1 + Random.State.int rng 4 in
+    for _ = 1 to flips do
+      let i = Random.State.int rng (Bytes.length b) in
+      Bytes.set b i (Char.chr (Random.State.int rng 256))
+    done;
+    b
+  in
+  let trials = 2000 in
+  let errors = ref 0 in
+  for _ = 1 to trials do
+    List.iter
+      (fun body ->
+        match P.decode_request (corrupt body) with
+        | Ok _ -> ()
+        | Error _ -> incr errors
+        | exception e ->
+            Alcotest.failf "decode_request raised %s" (Printexc.to_string e))
+      requests;
+    List.iter
+      (fun body ->
+        match P.decode_response (corrupt body) with
+        | Ok _ -> ()
+        | Error _ -> incr errors
+        | exception e ->
+            Alcotest.failf "decode_response raised %s" (Printexc.to_string e))
+      responses
+  done;
+  (* Sanity: the fuzz actually exercises the error paths. *)
+  Alcotest.(check bool) "corruption was detected at least once" true
+    (!errors > 0)
+
+(* -- framing over a real fd ------------------------------------------- *)
+
+let with_pipe f =
+  let rd, wr = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close rd with Unix.Unix_error _ -> ());
+      try Unix.close wr with Unix.Unix_error _ -> ())
+    (fun () -> f rd wr)
+
+let test_frame_roundtrip () =
+  with_pipe (fun rd wr ->
+      let body = P.encode_request (P.Stats { id = 17 }) in
+      P.write_frame wr body;
+      match P.read_frame rd with
+      | Ok body' ->
+          Alcotest.(check bool) "frame body survives" true (Bytes.equal body body')
+      | Error _ -> Alcotest.fail "frame did not round-trip")
+
+let test_frame_eof_and_truncation () =
+  with_pipe (fun rd wr ->
+      Unix.close wr;
+      match P.read_frame rd with
+      | Error `Eof -> ()
+      | _ -> Alcotest.fail "close at frame boundary must be `Eof");
+  with_pipe (fun rd wr ->
+      (* a header promising 100 bytes, then only 3 *)
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 100l;
+      ignore (Unix.write wr header 0 4);
+      ignore (Unix.write wr (Bytes.of_string "abc") 0 3);
+      Unix.close wr;
+      match P.read_frame rd with
+      | Error `Truncated -> ()
+      | _ -> Alcotest.fail "close mid-frame must be `Truncated")
+
+let test_frame_oversized () =
+  with_pipe (fun rd wr ->
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 0x7fff_ffffl;
+      ignore (Unix.write wr header 0 4);
+      match P.read_frame rd with
+      | Error (`Oversized n) -> Alcotest.(check int) "announced" 0x7fff_ffff n
+      | _ -> Alcotest.fail "giant header must be `Oversized")
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_response_roundtrip;
+    QCheck_alcotest.to_alcotest prop_request_prefix_truncated;
+    Alcotest.test_case "response prefixes truncate" `Quick
+      test_response_prefix_truncated;
+    Alcotest.test_case "trailing bytes rejected" `Quick test_trailing_bytes;
+    Alcotest.test_case "oversized payload refused" `Quick test_oversized_payload;
+    Alcotest.test_case "max_bytes is respected" `Quick
+      test_oversized_respects_max_bytes;
+    Alcotest.test_case "bad tag" `Quick test_bad_tag;
+    Alcotest.test_case "empty body" `Quick test_empty_body;
+    Alcotest.test_case "bad priority / shape" `Quick test_bad_priority_and_shape;
+    Alcotest.test_case "seeded corruption never raises" `Quick
+      test_corruption_total;
+    Alcotest.test_case "frame round-trip over fd" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame EOF and truncation" `Quick
+      test_frame_eof_and_truncation;
+    Alcotest.test_case "frame oversized header" `Quick test_frame_oversized;
+  ]

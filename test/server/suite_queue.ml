@@ -1,0 +1,97 @@
+module P = Xpose_server.Protocol
+module Q = Xpose_server.Job_queue
+
+let offer_ok q ~priority ~bytes job =
+  match Q.offer q ~priority ~bytes job with
+  | `Ok -> ()
+  | `Queue_full -> Alcotest.fail "unexpected `Queue_full"
+  | `Bytes_full -> Alcotest.fail "unexpected `Bytes_full"
+
+let test_priority_order () =
+  let q = Q.create () in
+  offer_ok q ~priority:P.Low ~bytes:1 "l1";
+  offer_ok q ~priority:P.Normal ~bytes:1 "n1";
+  offer_ok q ~priority:P.High ~bytes:1 "h1";
+  offer_ok q ~priority:P.Normal ~bytes:1 "n2";
+  offer_ok q ~priority:P.High ~bytes:1 "h2";
+  let drain () =
+    let rec go acc =
+      match Q.pop q with
+      | Some (_, _, j) -> go (j :: acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  Alcotest.(check (list string))
+    "high first, FIFO within a lane"
+    [ "h1"; "h2"; "n1"; "n2"; "l1" ]
+    (drain ());
+  Alcotest.(check int) "drained" 0 (Q.length q);
+  Alcotest.(check int) "no bytes left" 0 (Q.bytes q)
+
+let test_pop_reports_priority_and_bytes () =
+  let q = Q.create () in
+  offer_ok q ~priority:P.Normal ~bytes:48 "j";
+  match Q.pop q with
+  | Some (P.Normal, 48, "j") -> ()
+  | _ -> Alcotest.fail "pop must return the lane and accounted bytes"
+
+let test_job_count_limit () =
+  let q = Q.create ~max_jobs:2 () in
+  offer_ok q ~priority:P.Normal ~bytes:1 "a";
+  offer_ok q ~priority:P.Normal ~bytes:1 "b";
+  (match Q.offer q ~priority:P.Normal ~bytes:1 "c" with
+  | `Queue_full -> ()
+  | _ -> Alcotest.fail "third job in a 2-job lane must be refused");
+  (* The cap is per lane: another priority still has room. *)
+  offer_ok q ~priority:P.High ~bytes:1 "h";
+  Alcotest.(check int) "refused job was not queued" 3 (Q.length q);
+  (* Popping a job from the full lane frees a slot there. The high
+     lane is served first, so drain it out of the way. *)
+  ignore (Q.pop q);
+  ignore (Q.pop q);
+  offer_ok q ~priority:P.Normal ~bytes:1 "c'"
+
+let test_byte_limit () =
+  let q = Q.create ~max_bytes:100 () in
+  offer_ok q ~priority:P.Normal ~bytes:60 "a";
+  (match Q.offer q ~priority:P.High ~bytes:60 "b" with
+  | `Bytes_full -> ()
+  | _ -> Alcotest.fail "byte cap is shared across lanes");
+  Alcotest.(check int) "bytes tracked" 60 (Q.bytes q);
+  offer_ok q ~priority:P.High ~bytes:40 "c";
+  Alcotest.(check int) "at the cap exactly" 100 (Q.bytes q);
+  (* pop serves the high lane first, releasing its 40 bytes *)
+  (match Q.pop q with
+  | Some (P.High, 40, "c") -> ()
+  | _ -> Alcotest.fail "expected the high-lane job first");
+  Alcotest.(check int) "bytes released on pop" 60 (Q.bytes q);
+  offer_ok q ~priority:P.Normal ~bytes:40 "d"
+
+let test_depth () =
+  let q = Q.create () in
+  offer_ok q ~priority:P.Low ~bytes:1 "a";
+  offer_ok q ~priority:P.Low ~bytes:1 "b";
+  offer_ok q ~priority:P.High ~bytes:1 "c";
+  Alcotest.(check int) "low depth" 2 (Q.depth q P.Low);
+  Alcotest.(check int) "high depth" 1 (Q.depth q P.High);
+  Alcotest.(check int) "normal depth" 0 (Q.depth q P.Normal)
+
+let test_invalid () =
+  Alcotest.check_raises "max_jobs >= 1"
+    (Invalid_argument "Job_queue.create: max_jobs must be >= 1") (fun () ->
+      ignore (Q.create ~max_jobs:0 ()));
+  Alcotest.check_raises "max_bytes >= 1"
+    (Invalid_argument "Job_queue.create: max_bytes must be >= 1") (fun () ->
+      ignore (Q.create ~max_bytes:0 ()))
+
+let tests =
+  [
+    Alcotest.test_case "priority ordering" `Quick test_priority_order;
+    Alcotest.test_case "pop reports priority and bytes" `Quick
+      test_pop_reports_priority_and_bytes;
+    Alcotest.test_case "job-count limit" `Quick test_job_count_limit;
+    Alcotest.test_case "byte limit" `Quick test_byte_limit;
+    Alcotest.test_case "lane depth" `Quick test_depth;
+    Alcotest.test_case "invalid args" `Quick test_invalid;
+  ]

@@ -1,0 +1,224 @@
+(* End-to-end: a real server on a Unix socket, real client
+   connections, oracle-checked replies. *)
+
+module P = Xpose_server.Protocol
+module Server = Xpose_server.Server
+module Client = Xpose_server.Client
+module S = Xpose_core.Storage.Float64
+module M = Xpose_obs.Metrics
+
+let socket_counter = ref 0
+
+let fresh_socket_path () =
+  incr socket_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xpose_t%d_%d.sock" (Unix.getpid ()) !socket_counter)
+
+let with_server config f =
+  let t = Server.start config in
+  Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f ())
+
+let iota mn =
+  let b = S.create mn in
+  for i = 0 to mn - 1 do
+    S.set b i (float_of_int i)
+  done;
+  b
+
+(* The transpose of iota(m*n): element l of the n x m result is
+   n * (l mod m) + l / m. *)
+let check_result ~m ~n = function
+  | P.Result { m = rm; n = rn; payload; _ } ->
+      Alcotest.(check int) "result rows" n rm;
+      Alcotest.(check int) "result cols" m rn;
+      let ok = ref true in
+      for l = 0 to (m * n) - 1 do
+        let expected = float_of_int ((n * (l mod m)) + (l / m)) in
+        if S.get payload l <> expected then ok := false
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%dx%d reply matches the oracle" m n)
+        true !ok
+  | P.Busy _ -> Alcotest.fail "unexpected Busy reply"
+  | P.Error_reply { message; _ } -> Alcotest.failf "server error: %s" message
+  | P.Stats_reply _ -> Alcotest.fail "unexpected Stats reply"
+
+let counter_value name = M.counter_value (M.counter name)
+
+(* -- basic round trip ------------------------------------------------- *)
+
+let test_roundtrip () =
+  let config = Server.default_config ~socket_path:(fresh_socket_path ()) in
+  with_server config (fun () ->
+      Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+          check_result ~m:32 ~n:17 (Client.transpose c ~m:32 ~n:17 (iota (32 * 17)));
+          check_result ~m:1 ~n:64 (Client.transpose c ~m:1 ~n:64 (iota 64));
+          check_result ~m:5 ~n:5
+            (Client.transpose c ~priority:P.High ~m:5 ~n:5 (iota 25));
+          let json = Client.stats c in
+          Alcotest.(check bool) "stats is a counters snapshot" true
+            (let has needle =
+               let rec go i =
+                 i + String.length needle <= String.length json
+                 && (String.sub json i (String.length needle) = needle
+                    || go (i + 1))
+               in
+               go 0
+             in
+             has "\"counters\"" && has "server.requests")))
+
+(* -- coalescing ------------------------------------------------------- *)
+
+let test_coalescing () =
+  let config =
+    {
+      (Server.default_config ~socket_path:(fresh_socket_path ())) with
+      Server.coalesce_window_ns = 1_000_000_000;
+      max_batch = 3;
+    }
+  in
+  with_server config (fun () ->
+      let batches0 = counter_value "server.batches" in
+      let jobs0 = counter_value "server.batched_jobs" in
+      let m = 16 and n = 16 in
+      let failures = Atomic.make 0 in
+      let client_thread () =
+        Thread.create
+          (fun () ->
+            try
+              Client.with_client ~socket_path:config.Server.socket_path
+                (fun c ->
+                  check_result ~m ~n (Client.transpose c ~m ~n (iota (m * n))))
+            with _ -> Atomic.incr failures)
+          ()
+      in
+      let threads = List.init 3 (fun _ -> client_thread ()) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "every client got a correct reply" 0
+        (Atomic.get failures);
+      let batches = counter_value "server.batches" - batches0 in
+      let jobs = counter_value "server.batched_jobs" - jobs0 in
+      Alcotest.(check int) "three jobs went through the coalescer" 3 jobs;
+      (* With a 1 s window, the three concurrent same-shape requests
+         group; the full-batch path dispatches them without waiting out
+         the window. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "some coalescing happened (%d batches for 3 jobs)"
+           batches)
+        true (batches < 3))
+
+(* -- ooc routing ------------------------------------------------------ *)
+
+let test_ooc_routing () =
+  let config =
+    {
+      (Server.default_config ~socket_path:(fresh_socket_path ())) with
+      Server.tenants =
+        [
+          {
+            Xpose_server.Admission.name = "tiny";
+            quota_bytes = 1024;
+            window_bytes = 65536;
+          };
+        ];
+    }
+  in
+  with_server config (fun () ->
+      let ooc0 = counter_value "server.admit.ooc" in
+      let fused0 = counter_value "server.admit.fused" in
+      Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+          (* 32x32 f64 = 8 KiB, over the tenant's 1 KiB quota: the ooc
+             engine serves it, and the reply is still oracle-exact. *)
+          check_result ~m:32 ~n:32
+            (Client.transpose c ~tenant:"tiny" ~m:32 ~n:32 (iota 1024));
+          (* The same job from an unconfigured tenant stays in memory. *)
+          check_result ~m:32 ~n:32
+            (Client.transpose c ~tenant:"other" ~m:32 ~n:32 (iota 1024)));
+      Alcotest.(check int) "over-quota job routed out of core" 1
+        (counter_value "server.admit.ooc" - ooc0);
+      Alcotest.(check int) "default-tenant job ran fused" 1
+        (counter_value "server.admit.fused" - fused0))
+
+(* -- backpressure ----------------------------------------------------- *)
+
+let test_backpressure () =
+  let config =
+    {
+      (Server.default_config ~socket_path:(fresh_socket_path ())) with
+      Server.budget_bytes = 4096;
+    }
+  in
+  with_server config (fun () ->
+      let rejects0 = counter_value "server.rejects.budget" in
+      Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+          (* 8 KiB payload against a 4 KiB global budget: an explicit
+             Busy reply, not a timeout, and nothing is queued. *)
+          (match Client.transpose c ~m:32 ~n:32 (iota 1024) with
+          | P.Busy { reason = P.Budget_exhausted; _ } -> ()
+          | P.Busy { reason = P.Queue_full; _ } ->
+              Alcotest.fail "expected a budget rejection, got queue-full"
+          | P.Result _ -> Alcotest.fail "over-budget job was served"
+          | P.Error_reply { message; _ } -> Alcotest.failf "error: %s" message
+          | P.Stats_reply _ -> Alcotest.fail "unexpected stats reply");
+          (* The connection survives backpressure, and a job that fits
+             the budget still goes through. *)
+          check_result ~m:16 ~n:16 (Client.transpose c ~m:16 ~n:16 (iota 256)));
+      Alcotest.(check int) "rejection was counted" 1
+        (counter_value "server.rejects.budget" - rejects0))
+
+(* -- protocol errors on a live connection ----------------------------- *)
+
+let test_protocol_error_keeps_connection () =
+  let config = Server.default_config ~socket_path:(fresh_socket_path ()) in
+  with_server config (fun () ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX config.Server.socket_path);
+          (* A frame with an unknown tag: the server must answer with a
+             protocol error reply, not drop the connection or die. *)
+          P.write_frame fd (Bytes.of_string "\x7f\x00\x00\x00\x01");
+          (match P.read_frame fd with
+          | Ok body -> (
+              match P.decode_response body with
+              | Ok (P.Error_reply _) -> ()
+              | Ok _ -> Alcotest.fail "expected an Error_reply"
+              | Error e -> Alcotest.failf "undecodable reply: %s"
+                  (P.error_to_string e))
+          | Error _ -> Alcotest.fail "no reply to a corrupt frame");
+          (* The same connection still serves valid requests. *)
+          P.write_frame fd (P.encode_request (P.Stats { id = 42 }));
+          match P.read_frame fd with
+          | Ok body -> (
+              match P.decode_response body with
+              | Ok (P.Stats_reply { id = 42; _ }) -> ()
+              | _ -> Alcotest.fail "expected Stats_reply with id 42")
+          | Error _ -> Alcotest.fail "connection did not survive the error"))
+
+(* -- shutdown --------------------------------------------------------- *)
+
+let test_stop_idempotent () =
+  let config = Server.default_config ~socket_path:(fresh_socket_path ()) in
+  let t = Server.start config in
+  Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+      check_result ~m:8 ~n:8 (Client.transpose c ~m:8 ~n:8 (iota 64)));
+  Server.stop t;
+  Server.stop t;
+  Alcotest.(check bool) "socket file removed" false
+    (Sys.file_exists config.Server.socket_path);
+  (* The metrics snapshot keeps working after shutdown. *)
+  let json = Server.stats_json () in
+  Alcotest.(check bool) "stats_json still renders" true
+    (String.length json > 0)
+
+let tests =
+  [
+    Alcotest.test_case "round trip with oracle check" `Quick test_roundtrip;
+    Alcotest.test_case "same-shape requests coalesce" `Quick test_coalescing;
+    Alcotest.test_case "over-quota jobs route to ooc" `Quick test_ooc_routing;
+    Alcotest.test_case "budget backpressure" `Quick test_backpressure;
+    Alcotest.test_case "protocol error keeps the connection" `Quick
+      test_protocol_error_keeps_connection;
+    Alcotest.test_case "stop is idempotent" `Quick test_stop_idempotent;
+  ]

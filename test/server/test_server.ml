@@ -1,0 +1,9 @@
+let () =
+  Alcotest.run "xpose_server"
+    [
+      ("protocol", Suite_protocol.tests);
+      ("job_queue", Suite_queue.tests);
+      ("admission", Suite_admission.tests);
+      ("coalescer", Suite_coalescer.tests);
+      ("server", Suite_server.tests);
+    ]
