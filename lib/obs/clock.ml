@@ -2,6 +2,12 @@ let default_now_ns () = Sys.time () *. 1e9
 
 let source = Atomic.make default_now_ns
 
-let install f = Atomic.set source f
+let installed = Atomic.make false
+
+let install f =
+  Atomic.set source f;
+  Atomic.set installed true
+
+let install_if_unset f = if not (Atomic.get installed) then install f
 
 let now_ns () = (Atomic.get source) ()

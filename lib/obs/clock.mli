@@ -16,5 +16,11 @@ val install : (unit -> float) -> unit
 (** [install f] makes [f] the time source. [f] must return nanoseconds
     and be safe to call from any domain. *)
 
+val install_if_unset : (unit -> float) -> unit
+(** Like {!install}, but a no-op if any source was already installed.
+    For library code (e.g. the job server) that needs {e a} wall clock
+    but must not clobber one the embedding application or a
+    deterministic test chose. *)
+
 val default_now_ns : unit -> float
 (** The fallback source: [Sys.time () *. 1e9]. *)

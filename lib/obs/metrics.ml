@@ -156,7 +156,10 @@ let json_escape s =
   Buffer.contents b
 
 let json_float x =
-  if Float.is_integer x && Float.abs x < 1e15 then
+  (* JSON has no NaN/Infinity literal; a bare [nan] token from %g would
+     make the whole document unparseable. *)
+  if not (Float.is_finite x) then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
     Printf.sprintf "%.1f" x
   else Printf.sprintf "%.17g" x
 

@@ -71,4 +71,6 @@ val render_json : unit -> string
 (** The registry as a JSON object
     [{"counters": {..}, "gauges": {..}, "histograms": {name: {"count",
     "sum"}}}], names sorted within each section — the payload of the
-    job server's stats endpoint. *)
+    job server's stats endpoint. Always valid JSON: non-finite floats
+    (a NaN gauge, a sum that overflowed to infinity) render as
+    [null]. *)

@@ -148,9 +148,15 @@ let get_string32 ~max_bytes cur =
     let* p = take cur len in
     Ok (Bytes.sub_string cur.body p len)
 
-let get_payload ~max_bytes cur ~elems =
-  if elems * 8 > max_bytes then Error (`Oversized (elems * 8))
+let get_payload ~max_bytes cur ~m ~n =
+  (* [m] and [n] are u32 fields >= 1, so [m * n * 8] can exceed
+     [max_int] on 64-bit (and wrap): bound with division first.
+     [m > max_bytes / 8 / n] is exact — both sides integral — and once
+     it holds the product is known oversized without computing it. *)
+  if m > max_bytes / 8 / n then
+    Error (`Oversized (if m > max_int / 8 / n then max_int else m * n * 8))
   else
+    let elems = m * n in
     let* p = take cur (elems * 8) in
     let a = S.create elems in
     for i = 0 to elems - 1 do
@@ -213,7 +219,7 @@ let decode_request ?(max_bytes = default_max_frame_bytes) body :
     let* priority = get_priority cur in
     let* tenant = get_string16 cur in
     let* m, n = get_shape cur in
-    let* payload = get_payload ~max_bytes cur ~elems:(m * n) in
+    let* payload = get_payload ~max_bytes cur ~m ~n in
     done_ cur (Transpose { id; tenant; priority; m; n; payload })
   end
   else if tag = tag_stats then begin
@@ -263,7 +269,7 @@ let decode_response ?(max_bytes = default_max_frame_bytes) body :
   if tag = tag_result then begin
     let* id = get_u32 cur in
     let* m, n = get_shape cur in
-    let* payload = get_payload ~max_bytes cur ~elems:(m * n) in
+    let* payload = get_payload ~max_bytes cur ~m ~n in
     done_ cur (Result { id; m; n; payload })
   end
   else if tag = tag_busy then begin

@@ -15,6 +15,7 @@ type config = {
   coalesce_window_ns : int;
   max_batch : int;
   max_frame_bytes : int;
+  write_timeout_s : float;
   prefetch : bool;
 }
 
@@ -31,6 +32,7 @@ let default_config ~socket_path =
     coalesce_window_ns = 2_000_000;
     max_batch = 8;
     max_frame_bytes = P.default_max_frame_bytes;
+    write_timeout_s = 5.0;
     prefetch = true;
   }
 
@@ -55,10 +57,26 @@ let stats_json () = Metrics.render_json ()
 
 (* Replies are written by whichever side finishes the work (reader
    thread for immediate answers, dispatcher for job results), so every
-   write goes through the connection's mutex. A connection that fails
-   mid-write is marked dead and further replies to it are dropped
-   (their jobs still ran; admission bytes are still released). *)
-type conn = { fd : Unix.file_descr; wmu : Mutex.t; mutable alive : bool }
+   write goes through the connection's mutex. The accepted fd carries a
+   send timeout ([write_timeout_s]): a write that fails — including one
+   that times out against a stalled peer's full socket buffer — marks
+   the connection dead and further replies to it are dropped (their
+   jobs still ran; admission bytes are still released), so one stuck
+   client cannot stall the dispatcher for everyone else.
+
+   [inflight], [reader_done], and [closed] (all guarded by the
+   server's [cmu]) drive reclamation: once the reader has exited and
+   the last queued job's reply has gone out, the fd is closed and the
+   conn dropped from the server's list — a long-running server does
+   not accumulate an fd per client that ever connected. *)
+type conn = {
+  fd : Unix.file_descr;
+  wmu : Mutex.t;
+  mutable alive : bool;
+  mutable inflight : int;  (* admitted jobs not yet answered *)
+  mutable reader_done : bool;
+  mutable closed : bool;
+}
 
 let send_response conn resp =
   Mutex.lock conn.wmu;
@@ -101,6 +119,9 @@ type t = {
   stop_readers : bool Atomic.t;
   stop_dispatch : bool Atomic.t;
   conns : conn list ref;
+  (* ids of reader threads that have exited, awaiting a join by the
+     acceptor's sweep; guarded by [cmu] like [conns] *)
+  finished_readers : int list ref;
   cmu : Mutex.t;
   mutable acceptor : unit Domain.t option;
   mutable dispatcher : Thread.t option;
@@ -121,6 +142,36 @@ let update_depth_gauges t =
     (float_of_int (Job_queue.depth t.queue P.Normal));
   Metrics.set_gauge (Lazy.force g_depth_low)
     (float_of_int (Job_queue.depth t.queue P.Low))
+
+(* -- connection reclamation -------------------------------------------- *)
+
+(* Close and forget a connection once its reader has exited and its
+   last in-flight reply has gone out. Caller holds [t.cmu]; the
+   [closed] flag keeps [stop] and the acceptor's shutdown sweep off a
+   reclaimed (possibly reused) fd number. *)
+let reclaim_locked t conn =
+  if conn.reader_done && conn.inflight = 0 && not conn.closed then begin
+    conn.closed <- true;
+    t.conns := List.filter (fun c -> c != conn) !(t.conns);
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let conn_job_started t conn =
+  Mutex.lock t.cmu;
+  conn.inflight <- conn.inflight + 1;
+  Mutex.unlock t.cmu
+
+let conn_job_finished t conn =
+  Mutex.lock t.cmu;
+  conn.inflight <- conn.inflight - 1;
+  reclaim_locked t conn;
+  Mutex.unlock t.cmu
+
+let live_connections t =
+  Mutex.lock t.cmu;
+  let n = List.length !(t.conns) in
+  Mutex.unlock t.cmu;
+  n
 
 (* -- request handling (reader threads) --------------------------------- *)
 
@@ -162,6 +213,7 @@ let handle_transpose t conn ~id ~tenant ~priority ~m ~n ~payload =
           j_arrival_ns = now_ns ();
         }
       in
+      conn_job_started t conn;
       Mutex.lock t.qmu;
       let verdict = Job_queue.offer t.queue ~priority ~bytes job in
       if verdict = `Ok then update_depth_gauges t;
@@ -171,7 +223,8 @@ let handle_transpose t conn ~id ~tenant ~priority ~m ~n ~payload =
       | `Queue_full | `Bytes_full ->
           Admission.release t.admission ~bytes;
           Metrics.incr (Lazy.force m_rej_queue);
-          send_response conn (busy_reply t ~id ~reason:P.Queue_full))
+          send_response conn (busy_reply t ~id ~reason:P.Queue_full);
+          conn_job_finished t conn)
 
 let serve_conn t conn =
   let rec loop () =
@@ -207,27 +260,71 @@ let serve_conn t conn =
   (* The connection is NOT marked dead here: jobs this reader enqueued
      may still be awaiting dispatch, and their replies go out over this
      fd (a peer that half-closed its send side still reads). A failed
-     write marks it dead in [send_response]. *)
-  try loop () with Unix.Unix_error _ | Sys_error _ -> ()
+     write marks it dead in [send_response]. The fd is reclaimed as
+     soon as nothing more can be written to it — right now if no job
+     is in flight, otherwise when the dispatcher answers the last
+     one. *)
+  (try loop () with Unix.Unix_error _ | Sys_error _ -> ());
+  Mutex.lock t.cmu;
+  conn.reader_done <- true;
+  reclaim_locked t conn;
+  t.finished_readers := Thread.id (Thread.self ()) :: !(t.finished_readers);
+  Mutex.unlock t.cmu
 
 (* -- acceptor domain --------------------------------------------------- *)
 
 let acceptor_loop t () =
-  let readers = ref [] in
+  let readers : (int, Thread.t) Hashtbl.t = Hashtbl.create 32 in
+  (* Join readers that have announced their exit, so the thread table
+     stays bounded by the number of live connections rather than
+     growing by one per client that ever connected. *)
+  let sweep () =
+    Mutex.lock t.cmu;
+    let finished = !(t.finished_readers) in
+    t.finished_readers := [];
+    Mutex.unlock t.cmu;
+    List.iter
+      (fun tid ->
+        match Hashtbl.find_opt readers tid with
+        | Some th ->
+            Thread.join th;
+            Hashtbl.remove readers tid
+        | None -> ())
+      finished
+  in
   let rec loop () =
     if Atomic.get t.stop_readers then ()
     else begin
+      sweep ();
       (match Unix.select [ t.listen_fd ] [] [] 0.2 with
       | [], _, _ -> ()
       | _ :: _, _, _ -> (
           match Unix.accept t.listen_fd with
           | fd, _ ->
               Metrics.incr (Lazy.force m_connections);
-              let conn = { fd; wmu = Mutex.create (); alive = true } in
+              (* Bound every reply write: a peer that stops reading
+                 surfaces as a timed-out write, not a dispatcher that
+                 hangs on its full socket buffer. 0 keeps writes
+                 blocking (the OS convention for SO_SNDTIMEO). *)
+              (try
+                 Unix.setsockopt_float fd Unix.SO_SNDTIMEO
+                   t.cfg.write_timeout_s
+               with Unix.Unix_error _ | Invalid_argument _ -> ());
+              let conn =
+                {
+                  fd;
+                  wmu = Mutex.create ();
+                  alive = true;
+                  inflight = 0;
+                  reader_done = false;
+                  closed = false;
+                }
+              in
               Mutex.lock t.cmu;
               t.conns := conn :: !(t.conns);
               Mutex.unlock t.cmu;
-              readers := Thread.create (serve_conn t) conn :: !readers
+              let th = Thread.create (serve_conn t) conn in
+              Hashtbl.replace readers (Thread.id th) th
           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ())
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       loop ()
@@ -235,23 +332,26 @@ let acceptor_loop t () =
   in
   (try loop () with Unix.Unix_error _ -> ());
   (* Wake readers blocked in [read]: half-close the receive side; the
-     send side stays open until [stop] has drained their jobs. *)
+     send side stays open until [stop] has drained their jobs. Under
+     [cmu] so a concurrent reclaim cannot close (and the OS reuse) an
+     fd between the snapshot and the shutdown call. *)
   Mutex.lock t.cmu;
-  let conns = !(t.conns) in
-  Mutex.unlock t.cmu;
   List.iter
     (fun c ->
-      try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
-      with Unix.Unix_error _ -> ())
-    conns;
-  List.iter Thread.join !readers
+      if not c.closed then
+        try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+    !(t.conns);
+  Mutex.unlock t.cmu;
+  Hashtbl.iter (fun _ th -> Thread.join th) readers
 
 (* -- job execution (dispatcher) ---------------------------------------- *)
 
 let finish t job resp =
   send_response job.j_conn resp;
   Metrics.observe (Lazy.force h_latency) (now_ns () -. job.j_arrival_ns);
-  Admission.release t.admission ~bytes:job.j_bytes
+  Admission.release t.admission ~bytes:job.j_bytes;
+  conn_job_finished t job.j_conn
 
 let fail_batch t jobs exn =
   Metrics.incr ~by:(List.length jobs) (Lazy.force m_job_errors);
@@ -373,7 +473,12 @@ let start cfg =
     invalid_arg "Server.start: coalesce_window_ns must be >= 0";
   if cfg.max_frame_bytes < 64 then
     invalid_arg "Server.start: max_frame_bytes must be >= 64";
-  Xpose_obs.Clock.install (fun () -> Unix.gettimeofday () *. 1e9);
+  if not (cfg.write_timeout_s >= 0.0) then
+    invalid_arg "Server.start: write_timeout_s must be >= 0";
+  (* Coalesce deadlines and latency need a wall clock, but an embedding
+     application (or a deterministic-clock test) may have installed its
+     own source — only fill in the default when nothing has. *)
+  Xpose_obs.Clock.install_if_unset (fun () -> Unix.gettimeofday () *. 1e9);
   (* A peer that vanishes mid-reply must surface as EPIPE on the write,
      not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -411,6 +516,7 @@ let start cfg =
       stop_readers = Atomic.make false;
       stop_dispatch = Atomic.make false;
       conns = ref [];
+      finished_readers = ref [];
       cmu = Mutex.create ();
       acceptor = None;
       dispatcher = None;
@@ -437,14 +543,18 @@ let stop t =
     (match t.dispatcher with None -> () | Some th -> Thread.join th);
     t.dispatcher <- None;
     assert (Admission.in_flight_bytes t.admission = 0);
-    (* 3. Tear down. *)
+    (* 3. Tear down. Drained connections were already reclaimed when
+       their last reply went out; this sweeps any stragglers. *)
     Mutex.lock t.cmu;
-    let conns = !(t.conns) in
+    List.iter
+      (fun c ->
+        if not c.closed then begin
+          c.closed <- true;
+          try Unix.close c.fd with Unix.Unix_error _ -> ()
+        end)
+      !(t.conns);
     t.conns := [];
     Mutex.unlock t.cmu;
-    List.iter
-      (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
-      conns;
     Unix.close t.listen_fd;
     (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
     Unix.close t.wake_rd;

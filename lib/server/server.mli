@@ -41,13 +41,19 @@ type config = {
   coalesce_window_ns : int;  (** same-shape grouping window *)
   max_batch : int;  (** coalesced group size cap *)
   max_frame_bytes : int;  (** largest accepted request frame *)
+  write_timeout_s : float;
+      (** send timeout on every accepted socket: a reply write that
+          stalls this long against a peer that stopped reading marks
+          the connection dead and the reply is dropped, so a slow
+          client cannot stall the dispatcher for everyone else.
+          [0.] means no timeout (writes block). *)
   prefetch : bool;  (** ooc jobs double-buffer via an I/O domain *)
 }
 
 val default_config : socket_path:string -> config
 (** 2 workers, 1 GiB budget, 16 MiB quota, 4 MiB window, 1024-job /
     256 MiB queues, 2 ms coalesce window, batches of 8, 64 MiB frames,
-    prefetch on. *)
+    5 s write timeout, prefetch on. *)
 
 type t
 
@@ -61,6 +67,12 @@ val start : config -> t
 val stop : t -> unit
 (** Clean shutdown as described above. Idempotent; must be called from
     the thread/domain that called {!start}. *)
+
+val live_connections : t -> int
+(** Connections currently held open by the server. A connection is
+    reclaimed (fd closed, forgotten) as soon as its peer has gone away
+    {e and} its last in-flight reply has been written, so this does not
+    grow with the total number of clients ever served. *)
 
 val stats_json : unit -> string
 (** The stats payload the [Stats] request returns: the process metrics

@@ -116,6 +116,40 @@ let test_render_json () =
      in
      go 0)
 
+let test_render_json_non_finite () =
+  (* A degenerate computation can park NaN or infinity in a gauge (or
+     overflow a histogram sum); the snapshot must stay parseable JSON
+     rather than emit bare [nan]/[inf] tokens. *)
+  Metrics.set_gauge (Metrics.gauge "test.json.nan_gauge") nan;
+  Metrics.set_gauge (Metrics.gauge "test.json.inf_gauge") infinity;
+  let h = Metrics.histogram "test.json.inf_hist" in
+  Metrics.observe h infinity;
+  let json = Metrics.render_json () in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length json && (String.sub json i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "contains %s" sub) true (has sub))
+    [
+      "\"test.json.nan_gauge\": null";
+      "\"test.json.inf_gauge\": null";
+      "\"sum\": null";
+    ];
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no bare %s token" sub)
+        false (has sub))
+    [ ": nan"; ": inf"; ": -inf" ];
+  (* Leave finite values behind so later tests see a sane registry. *)
+  Metrics.set_gauge (Metrics.gauge "test.json.nan_gauge") 0.0;
+  Metrics.set_gauge (Metrics.gauge "test.json.inf_gauge") 0.0
+
 let tests =
   [
     Alcotest.test_case "parallel counter is exact" `Quick test_counter_parallel;
@@ -128,4 +162,6 @@ let tests =
     Alcotest.test_case "gauges and histograms" `Quick test_gauge_histogram;
     Alcotest.test_case "dump and render" `Quick test_dump_and_render;
     Alcotest.test_case "render_json" `Quick test_render_json;
+    Alcotest.test_case "render_json stays valid on non-finite floats" `Quick
+      test_render_json_non_finite;
   ]

@@ -158,6 +158,47 @@ let test_oversized_payload () =
   | Error e ->
       Alcotest.failf "expected `Oversized, got %s" (P.error_to_string e)
 
+let test_oversized_overflowing_shape () =
+  (* m = n = 2^31: m * n * 8 = 2^65 wraps to 0 on 64-bit ints, which
+     would sail past a multiply-then-compare guard. The decoder must
+     still answer [`Oversized] — and on both sides, since responses
+     carry the same shape + payload layout. *)
+  let request =
+    let b = Buffer.create 32 in
+    Buffer.add_char b '\x01';
+    (* id *)
+    Buffer.add_string b "\x00\x00\x00\x2a";
+    (* priority = normal *)
+    Buffer.add_char b '\x01';
+    (* tenant = "" *)
+    Buffer.add_string b "\x00\x00";
+    (* m = n = 0x80000000 *)
+    Buffer.add_string b "\x80\x00\x00\x00";
+    Buffer.add_string b "\x80\x00\x00\x00";
+    Buffer.to_bytes b
+  and response =
+    let b = Buffer.create 32 in
+    Buffer.add_char b '\x81';
+    Buffer.add_string b "\x00\x00\x00\x2a";
+    Buffer.add_string b "\x80\x00\x00\x00";
+    Buffer.add_string b "\x80\x00\x00\x00";
+    Buffer.to_bytes b
+  in
+  (match P.decode_request request with
+  | Error (`Oversized _) -> ()
+  | Ok _ -> Alcotest.fail "2^31 x 2^31 request accepted"
+  | Error e ->
+      Alcotest.failf "expected `Oversized, got %s" (P.error_to_string e)
+  | exception e ->
+      Alcotest.failf "decode_request raised %s" (Printexc.to_string e));
+  match P.decode_response response with
+  | Error (`Oversized _) -> ()
+  | Ok _ -> Alcotest.fail "2^31 x 2^31 response accepted"
+  | Error e ->
+      Alcotest.failf "expected `Oversized, got %s" (P.error_to_string e)
+  | exception e ->
+      Alcotest.failf "decode_response raised %s" (Printexc.to_string e)
+
 let test_oversized_respects_max_bytes () =
   let req =
     P.Transpose
@@ -335,6 +376,8 @@ let tests =
       test_response_prefix_truncated;
     Alcotest.test_case "trailing bytes rejected" `Quick test_trailing_bytes;
     Alcotest.test_case "oversized payload refused" `Quick test_oversized_payload;
+    Alcotest.test_case "overflowing shape refused" `Quick
+      test_oversized_overflowing_shape;
     Alcotest.test_case "max_bytes is respected" `Quick
       test_oversized_respects_max_bytes;
     Alcotest.test_case "bad tag" `Quick test_bad_tag;

@@ -196,6 +196,68 @@ let test_protocol_error_keeps_connection () =
               | _ -> Alcotest.fail "expected Stats_reply with id 42")
           | Error _ -> Alcotest.fail "connection did not survive the error"))
 
+let test_overflow_frame_keeps_connection () =
+  let config = Server.default_config ~socket_path:(fresh_socket_path ()) in
+  with_server config (fun () ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX config.Server.socket_path);
+          (* A ~25-byte frame claiming a 2^31 x 2^31 payload: the byte
+             count wraps a 64-bit int, so a multiply-then-compare guard
+             would admit it and the allocation would kill the reader.
+             The server must answer with a protocol error and live. *)
+          P.write_frame fd
+            (Bytes.of_string
+               "\x01\x00\x00\x00\x2a\x01\x00\x00\x80\x00\x00\x00\x80\x00\x00\x00");
+          (match P.read_frame fd with
+          | Ok body -> (
+              match P.decode_response body with
+              | Ok (P.Error_reply _) -> ()
+              | Ok _ -> Alcotest.fail "expected an Error_reply"
+              | Error e ->
+                  Alcotest.failf "undecodable reply: %s" (P.error_to_string e))
+          | Error _ -> Alcotest.fail "no reply to the overflowing frame");
+          (* The reader thread survived: the connection still serves. *)
+          P.write_frame fd (P.encode_request (P.Stats { id = 7 }));
+          match P.read_frame fd with
+          | Ok body -> (
+              match P.decode_response body with
+              | Ok (P.Stats_reply { id = 7; _ }) -> ()
+              | _ -> Alcotest.fail "expected Stats_reply with id 7")
+          | Error _ ->
+              Alcotest.fail "connection did not survive the overflow frame"))
+
+(* -- connection reclamation ------------------------------------------- *)
+
+let test_connections_reclaimed () =
+  let config = Server.default_config ~socket_path:(fresh_socket_path ()) in
+  let t = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> Server.stop t)
+    (fun () ->
+      (* Serve a burst of short-lived clients; once they disconnect and
+         their replies are out, the server must let go of every fd and
+         conn record — not hold them until stop. *)
+      for _ = 1 to 8 do
+        Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+            check_result ~m:8 ~n:8 (Client.transpose c ~m:8 ~n:8 (iota 64)))
+      done;
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec wait () =
+        let live = Server.live_connections t in
+        if live = 0 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.failf "%d connections still held after clients left" live
+        else begin
+          Thread.yield ();
+          Unix.sleepf 0.01;
+          wait ()
+        end
+      in
+      wait ())
+
 (* -- shutdown --------------------------------------------------------- *)
 
 let test_stop_idempotent () =
@@ -220,5 +282,9 @@ let tests =
     Alcotest.test_case "budget backpressure" `Quick test_backpressure;
     Alcotest.test_case "protocol error keeps the connection" `Quick
       test_protocol_error_keeps_connection;
+    Alcotest.test_case "overflowing frame keeps the connection" `Quick
+      test_overflow_frame_keeps_connection;
+    Alcotest.test_case "connections are reclaimed" `Quick
+      test_connections_reclaimed;
     Alcotest.test_case "stop is idempotent" `Quick test_stop_idempotent;
   ]
