@@ -375,6 +375,7 @@ let server_tests =
     P.Transpose
       {
         id = 1;
+        trace = 0;
         tenant = "bench";
         priority = P.Normal;
         m = sm;
@@ -454,6 +455,29 @@ let select_tests ~only =
     exit 1);
   Test.make_grouped ~name:"xpose" groups
 
+(* -- roofline attribution ------------------------------------------------ *)
+
+(* One traced fused c2r at the fused_tests shape, placed against the
+   machine's calibrated roofs: the per-family roofline fractions land
+   next to the timings in the JSON so the regression sentinel can watch
+   bandwidth efficiency, not just wall time. Warm-up first so the
+   traced run measures steady state. *)
+let roofline_report cal =
+  let fm = 480 and fn = 384 in
+  let p = Plan.make ~m:fm ~n:fn in
+  let buf = f64_iota (fm * fn) in
+  let ws = Workspace.F64.create () in
+  Xpose_cpu.Fused_f64.c2r ~ws p buf;
+  Xpose_cpu.Fused_f64.r2c ~ws p buf;
+  Xpose_obs.Tracer.start ();
+  Xpose_cpu.Fused_f64.c2r ~ws p buf;
+  Xpose_obs.Tracer.stop ();
+  let report =
+    Xpose_obs.Report.of_events ~cal (Xpose_obs.Tracer.events ())
+  in
+  Xpose_obs.Tracer.clear ();
+  report
+
 (* -- machine-readable sink ----------------------------------------------- *)
 
 let json_escape s =
@@ -469,7 +493,10 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~file ~quick rows =
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+let write_json ~file ~quick ~roofline rows =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"suite\": \"xpose\",\n";
   Printf.bprintf b "  \"quick\": %b,\n" quick;
@@ -497,6 +524,17 @@ let write_json ~file ~quick rows =
       if i > 0 then Buffer.add_string b ",\n";
       Printf.bprintf b "    \"%s\": %d" (json_escape name) c)
     counters;
+  Buffer.add_string b "\n  },\n  \"roofline\": {\n";
+  List.iteri
+    (fun i (r : Xpose_obs.Report.row) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Printf.bprintf b
+        "    \"%s\": {\"roofline_frac\": %s, \"gbps\": %s, \"rel_err\": %s}"
+        (json_escape r.name) (json_float r.roofline_frac) (json_float r.gbps)
+        (json_float r.rel_err))
+    (match roofline with
+    | None -> []
+    | Some (rep : Xpose_obs.Report.t) -> rep.passes);
   Buffer.add_string b "\n  }\n}\n";
   let oc = open_out file in
   Buffer.output_buffer oc b;
@@ -510,14 +548,31 @@ let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let out = ref "BENCH_xpose.json" in
   let only = ref None in
+  let cal_file = ref None in
   Array.iteri
     (fun i a ->
       if String.equal a "--out" && i + 1 < Array.length Sys.argv then
         out := Sys.argv.(i + 1);
       if String.equal a "--only" && i + 1 < Array.length Sys.argv then
-        only := Some Sys.argv.(i + 1))
+        only := Some Sys.argv.(i + 1);
+      if String.equal a "--calibration" && i + 1 < Array.length Sys.argv then
+        cal_file := Some Sys.argv.(i + 1))
     Sys.argv;
   Xpose_obs.Clock.install (fun () -> Unix.gettimeofday () *. 1e9);
+  (* Roofline attribution needs the machine's roofs: load a calibration
+     file written by [xpose obs calibrate] when given one, otherwise
+     run a reduced in-process calibration (2 MiB probes, best of 2 —
+     coarse, but the sentinel's thresholds are generous). *)
+  let cal =
+    match !cal_file with
+    | Some file -> (
+        match Xpose_obs.Calibrate.load ~file with
+        | Ok cal -> cal
+        | Error msg ->
+            Printf.eprintf "bench: bad calibration %s: %s\n%!" file msg;
+            exit 1)
+    | None -> Xpose_obs.Calibrate.run ~elems:(1 lsl 18) ~repeats:2 ()
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -545,5 +600,8 @@ let () =
             (name, None))
       rows
   in
-  write_json ~file:!out ~quick estimates;
-  Printf.printf "wrote %s (%d benchmarks)\n" !out (List.length estimates)
+  let roofline = roofline_report cal in
+  write_json ~file:!out ~quick ~roofline:(Some roofline) estimates;
+  Printf.printf "wrote %s (%d benchmarks, %d roofline passes)\n" !out
+    (List.length estimates)
+    (List.length roofline.Xpose_obs.Report.passes)

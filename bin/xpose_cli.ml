@@ -12,7 +12,13 @@ open Xpose_core
 (* Global observability flags, shared by every subcommand: [--trace FILE]
    records spans for the whole invocation and writes Chrome trace_event
    JSON (Perfetto-loadable) on exit; [--metrics] dumps the metrics
-   registry on exit. *)
+   registry on exit; [--calibration FILE] loads the machine's bandwidth
+   roofs so traces and reports carry roofline attribution. *)
+
+(* The loaded calibration, if any — read by [report] and the trace
+   sink. *)
+let calibration : Xpose_obs.Calibrate.t option ref = ref None
+
 let obs_args =
   let trace_arg =
     Arg.(
@@ -29,22 +35,56 @@ let obs_args =
       & info [ "metrics" ]
           ~doc:"Print the metrics registry on exit (one line per metric).")
   in
-  let setup trace metrics =
+  let calibration_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "calibration" ] ~docv:"FILE"
+          ~doc:
+            "Load the machine calibration written by $(b,xpose obs \
+             calibrate): traced pass/panel spans gain achieved GB/s and \
+             roofline-fraction args, and $(b,xpose report) adds GB/s and \
+             roofline columns.")
+  in
+  let setup trace metrics cal_file =
     Xpose_obs.Clock.install (fun () -> Unix.gettimeofday () *. 1e9);
-    if trace <> None then Xpose_obs.Tracer.start ();
+    (match cal_file with
+    | None -> ()
+    | Some file -> (
+        match Xpose_obs.Calibrate.load ~file with
+        | Ok cal -> calibration := Some cal
+        | Error msg ->
+            Printf.eprintf "warning: ignoring calibration %s: %s\n%!" file msg));
+    (match trace with
+    | None -> ()
+    | Some file ->
+        (* The sink rewrites the file with a full (roofline-annotated)
+           snapshot on every flush, so a server drained by SIGTERM has
+           already written its trace before the at_exit below runs —
+           which flushes once more and prints the summary line. *)
+        Xpose_obs.Tracer.set_sink
+          (Some
+             (fun events ->
+               let events =
+                 match !calibration with
+                 | None -> events
+                 | Some cal -> Xpose_obs.Roofline.annotate cal events
+               in
+               let oc = open_out file in
+               output_string oc (Xpose_obs.Tracer.to_chrome_json_events events);
+               close_out oc));
+        Xpose_obs.Tracer.start ());
     at_exit (fun () ->
         (match trace with
         | None -> ()
         | Some file ->
             Xpose_obs.Tracer.stop ();
-            let oc = open_out file in
-            output_string oc (Xpose_obs.Tracer.to_chrome_json ());
-            close_out oc;
+            Xpose_obs.Tracer.flush ();
             Printf.eprintf "trace written to %s (%d events)\n%!" file
               (List.length (Xpose_obs.Tracer.events ())));
         if metrics then print_string (Xpose_obs.Metrics.render ()))
   in
-  Term.(const setup $ trace_arg $ metrics_arg)
+  Term.(const setup $ trace_arg $ metrics_arg $ calibration_arg)
 
 (* [cmd info term] is [Cmd.v] with the observability flags grafted on
    (the setup side effects run before the command body). *)
@@ -523,7 +563,8 @@ let report_cmd =
                 transpose_once pool buf;
                 Xpose_obs.Tracer.stop ();
                 let r =
-                  Xpose_obs.Report.of_events (Xpose_obs.Tracer.events ())
+                  Xpose_obs.Report.of_events ?cal:!calibration
+                    (Xpose_obs.Tracer.events ())
                 in
                 match !best with
                 | Some (b : Xpose_obs.Report.t)
@@ -733,14 +774,33 @@ let serve_cmd =
       & info [ "no-prefetch" ]
           ~doc:"Disable the ooc engine's I/O-domain prefetch for routed jobs.")
   in
+  let metrics_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"FILE"
+          ~doc:
+            "Periodically rewrite $(docv) with the Prometheus text \
+             exposition of the server's metrics (atomic \
+             write-then-rename), plus once more on shutdown.")
+  in
+  let metrics_interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "metrics-interval-s" ] ~docv:"S"
+          ~doc:"Seconds between metrics-file dumps.")
+  in
   let run socket workers budget quota window tenants max_queue_jobs
-      max_queue_bytes coalesce_us max_batch no_prefetch =
+      max_queue_bytes coalesce_us max_batch no_prefetch metrics_file
+      metrics_interval =
     if workers < 1 then `Error (false, "workers must be >= 1")
     else if budget < 8 then `Error (false, "budget-bytes must be >= 8")
     else if quota < 8 then `Error (false, "quota-bytes must be >= 8")
     else if window < 8 then `Error (false, "window-bytes must be >= 8")
     else if max_batch < 1 then `Error (false, "max-batch must be >= 1")
     else if coalesce_us < 0 then `Error (false, "coalesce-window-us must be >= 0")
+    else if not (metrics_interval > 0.0) then
+      `Error (false, "metrics-interval-s must be > 0")
     else begin
       let cfg =
         {
@@ -755,6 +815,8 @@ let serve_cmd =
           coalesce_window_ns = coalesce_us * 1000;
           max_batch;
           prefetch = not no_prefetch;
+          metrics_file;
+          metrics_interval_s = metrics_interval;
         }
       in
       let server = Xpose_server.Server.start cfg in
@@ -784,7 +846,8 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ workers_arg $ budget_arg $ quota_arg
       $ window_arg $ tenant_arg $ max_queue_jobs_arg $ max_queue_bytes_arg
-      $ coalesce_us_arg $ max_batch_arg $ no_prefetch_arg)
+      $ coalesce_us_arg $ max_batch_arg $ no_prefetch_arg $ metrics_file_arg
+      $ metrics_interval_arg)
 
 (* Pull one "name": value field out of the stats JSON without a JSON
    dependency: the server emits flat two-level objects with quoted keys,
@@ -897,7 +960,11 @@ let loadtest_cmd =
             (m, n))
       in
       let mu = Mutex.create () in
-      let all_latencies = ref [] in
+      (* Latencies go into a sharded histogram instead of per-worker
+         lists: O(1) memory under any request count, and the quantiles
+         come from the same bucket-interpolated estimator the server's
+         exposition uses. *)
+      let lat_hist = Xpose_obs.Metrics.histogram "loadtest.latency_ns" in
       let ok = ref 0
       and busy_retries = ref 0
       and failed = ref 0
@@ -905,7 +972,6 @@ let loadtest_cmd =
       and payload_bytes = ref 0 in
       let worker k () =
         let rng = Random.State.make [| seed; k |] in
-        let latencies = ref [] in
         let w_ok = ref 0
         and w_busy = ref 0
         and w_failed = ref 0
@@ -921,7 +987,7 @@ let loadtest_cmd =
                 match C.transpose ~tenant client ~m ~n buf with
                 | P.Result { m = rm; n = rn; payload; _ } ->
                     let dt_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
-                    latencies := dt_ns :: !latencies;
+                    Xpose_obs.Metrics.observe lat_hist dt_ns;
                     incr w_ok;
                     w_bytes := !w_bytes + (m * n * 8);
                     if rm <> n || rn <> m then incr w_bad
@@ -947,7 +1013,6 @@ let loadtest_cmd =
               attempt 0
             done);
         Mutex.lock mu;
-        all_latencies := !latencies @ !all_latencies;
         ok := !ok + !w_ok;
         busy_retries := !busy_retries + !w_busy;
         failed := !failed + !w_failed;
@@ -968,17 +1033,14 @@ let loadtest_cmd =
       let batches = counter "server.batches" in
       let batched = counter "server.batched_jobs" in
       let coalesce_ratio = if batches > 0.0 then batched /. batches else 0.0 in
-      let lat = Array.of_list !all_latencies in
-      Array.sort compare lat;
       let pct p =
-        if Array.length lat = 0 then 0.0
-        else
-          lat.(min (Array.length lat - 1)
-                 (int_of_float (p *. float_of_int (Array.length lat))))
+        let v = Xpose_obs.Metrics.histogram_quantile lat_hist p in
+        if Float.is_nan v then 0.0 else v
       in
       let mean =
-        if Array.length lat = 0 then 0.0
-        else Array.fold_left ( +. ) 0.0 lat /. float_of_int (Array.length lat)
+        let c = Xpose_obs.Metrics.histogram_count lat_hist in
+        if c = 0 then 0.0
+        else Xpose_obs.Metrics.histogram_sum lat_hist /. float_of_int c
       in
       let b = Buffer.create 1024 in
       Printf.bprintf b "{\n  \"suite\": \"xpose_server\",\n";
@@ -1040,6 +1102,178 @@ let loadtest_cmd =
       const run $ socket_arg $ clients_arg $ requests_arg $ shapes_arg
       $ min_elems_arg $ max_elems_arg $ seed_arg $ tenant_name_arg $ out_arg)
 
+let obs_calibrate_cmd =
+  let doc =
+    "Measure the machine's four bandwidth roofs (streaming copy, strided \
+     gather and scatter at the fused engine's panel width, permuted write) \
+     and write them to a JSON calibration file. Load it back with the \
+     global $(b,--calibration) flag or $(b,xpose bench --calibration) to \
+     get roofline-attributed traces, reports, and bench output."
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the calibration JSON to $(docv).")
+  in
+  let elems_arg =
+    Arg.(
+      value & opt int Xpose_obs.Calibrate.default_elems
+      & info [ "elems" ] ~docv:"E"
+          ~doc:
+            "Float64 elements per probe buffer (default 2^21 = 16 MiB, past \
+             any sane L2 so the roofs measure memory).")
+  in
+  let repeats_arg =
+    Arg.(
+      value & opt int Xpose_obs.Calibrate.default_repeats
+      & info [ "repeats" ] ~docv:"R"
+          ~doc:"Best-of-$(docv) timing per probe, after a warm-up run.")
+  in
+  let run out elems repeats =
+    if elems < 1024 then `Error (false, "elems must be >= 1024")
+    else if repeats < 1 then `Error (false, "repeats must be >= 1")
+    else begin
+      let cal = Xpose_obs.Calibrate.run ~elems ~repeats () in
+      Xpose_obs.Calibrate.save cal ~file:out;
+      let open Xpose_obs.Calibrate in
+      Printf.printf "calibration written to %s (%d elems, best of %d)\n" out
+        cal.elems cal.repeats;
+      List.iter
+        (fun (name, p) -> Printf.printf "  %-8s %8.3f GB/s\n" name p.gbps)
+        [
+          ("stream", cal.stream);
+          ("gather", cal.gather);
+          ("scatter", cal.scatter);
+          ("permute", cal.permute);
+        ];
+      `Ok ()
+    end
+  in
+  cmd
+    (Cmd.info "calibrate" ~doc)
+    Term.(const run $ out_arg $ elems_arg $ repeats_arg)
+
+let obs_diff_cmd =
+  let doc =
+    "Compare two bench JSON files (written by the bench driver's --json or \
+     by a previous CI run) with noise-aware relative thresholds and print a \
+     machine-readable verdict. Exits non-zero when any benchmark slowed \
+     down, any counter grew, any roofline fraction dropped beyond its \
+     threshold, or a baseline benchmark disappeared — the CI regression \
+     sentinel."
+  in
+  let baseline_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline bench JSON.")
+  in
+  let current_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Current bench JSON.")
+  in
+  let d = Xpose_obs.Diff.default_thresholds in
+  let time_rel_arg =
+    Arg.(
+      value & opt float d.Xpose_obs.Diff.time_rel
+      & info [ "time-rel" ] ~docv:"FRAC"
+          ~doc:"Allowed relative growth of ns_per_run (0.5 = +50%).")
+  in
+  let counter_rel_arg =
+    Arg.(
+      value & opt float d.Xpose_obs.Diff.counter_rel
+      & info [ "counter-rel" ] ~docv:"FRAC"
+          ~doc:"Allowed relative growth of a work counter.")
+  in
+  let roofline_drop_arg =
+    Arg.(
+      value & opt float d.Xpose_obs.Diff.roofline_drop
+      & info [ "roofline-drop" ] ~docv:"FRAC"
+          ~doc:"Allowed absolute drop of a pass's roofline fraction.")
+  in
+  let min_ns_arg =
+    Arg.(
+      value & opt float d.Xpose_obs.Diff.min_ns
+      & info [ "min-ns" ] ~docv:"NS"
+          ~doc:"Absolute floor: time deltas below $(docv) ns are noise.")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let run baseline current time_rel counter_rel roofline_drop min_ns =
+    let thresholds =
+      { Xpose_obs.Diff.time_rel; counter_rel; roofline_drop; min_ns }
+    in
+    match
+      Xpose_obs.Diff.compare ~thresholds ~baseline:(read_file baseline)
+        ~current:(read_file current) ()
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok verdict ->
+        print_endline (Xpose_obs.Diff.render_verdict verdict);
+        if verdict.Xpose_obs.Diff.ok then `Ok ()
+        else begin
+          List.iter
+            (fun (f : Xpose_obs.Diff.finding) ->
+              Printf.eprintf "regression [%s] %s: %s\n%!" f.category f.metric
+                f.message)
+            verdict.Xpose_obs.Diff.findings;
+          `Error (false, "bench regression against baseline")
+        end
+  in
+  cmd (Cmd.info "diff" ~doc)
+    Term.(
+      const run $ baseline_arg $ current_arg $ time_rel_arg $ counter_rel_arg
+      $ roofline_drop_arg $ min_ns_arg)
+
+let stats_cmd =
+  let doc =
+    "Fetch a running server's metrics snapshot over its socket: the JSON \
+     registry dump by default, or with $(b,--text) the Prometheus text \
+     exposition (the wire Stats_text request) — counters, gauges, and \
+     cumulative histogram buckets with p50/p90/p99 quantile samples, ready \
+     for a scraper."
+  in
+  let text_arg =
+    Arg.(
+      value & flag
+      & info [ "text" ]
+          ~doc:"Print the Prometheus text exposition instead of JSON.")
+  in
+  let run socket text =
+    let module C = Xpose_server.Client in
+    match
+      C.with_client ~socket_path:socket (fun client ->
+          if text then C.stats_text client else C.stats client)
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+        `Error
+          (false,
+           Printf.sprintf "cannot reach server at %s: %s" socket
+             (Unix.error_message e))
+    | exception C.Protocol_failure msg -> `Error (false, msg)
+    | body ->
+        print_string body;
+        if body = "" || body.[String.length body - 1] <> '\n' then
+          print_newline ();
+        `Ok ()
+  in
+  cmd (Cmd.info "stats" ~doc) Term.(const run $ socket_arg $ text_arg)
+
+let obs_cmd =
+  let doc =
+    "Observability utilities: machine roofline calibration and the bench \
+     regression sentinel."
+  in
+  Cmd.group (Cmd.info "obs" ~doc) [ obs_calibrate_cmd; obs_diff_cmd ]
+
 let main =
   let doc = "In-place matrix transposition by decomposition (PPoPP 2014)." in
   Cmd.group (Cmd.info "xpose" ~doc)
@@ -1054,6 +1288,8 @@ let main =
       check_cmd;
       serve_cmd;
       loadtest_cmd;
+      stats_cmd;
+      obs_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -37,3 +37,32 @@ let ooc_row_window (p : Plan.t) ~rows =
 let ooc_panel_window (p : Plan.t) ~width =
   if width < 1 then invalid_arg "Pass_cost.ooc_panel_window: width must be >= 1";
   2 * p.m * width
+
+(* -- calibrated per-byte pricing ----------------------------------------- *)
+
+type rates = {
+  stream_ns_per_byte : float;
+  gather_ns_per_byte : float;
+  scatter_ns_per_byte : float;
+  permute_ns_per_byte : float;
+}
+
+let rates_of_calibration (cal : Xpose_obs.Calibrate.t) =
+  let open Xpose_obs.Calibrate in
+  {
+    stream_ns_per_byte = cal.stream.ns_per_byte;
+    gather_ns_per_byte = cal.gather.ns_per_byte;
+    scatter_ns_per_byte = cal.scatter.ns_per_byte;
+    permute_ns_per_byte = cal.permute.ns_per_byte;
+  }
+
+let rate_for r (kind : Xpose_obs.Roofline.kind) =
+  match kind with
+  | Stream -> r.stream_ns_per_byte
+  | Gather -> r.gather_ns_per_byte
+  | Scatter -> r.scatter_ns_per_byte
+  | Permute -> r.permute_ns_per_byte
+
+let predicted_ns r ~kind ~touches =
+  if touches < 0 then invalid_arg "Pass_cost.predicted_ns: touches must be >= 0";
+  float_of_int (touches * 8) *. rate_for r kind

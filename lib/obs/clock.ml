@@ -8,6 +8,18 @@ let install f =
   Atomic.set source f;
   Atomic.set installed true
 
-let install_if_unset f = if not (Atomic.get installed) then install f
+(* The claim-then-publish order matters: exactly one caller wins the CAS
+   on [installed], so two servers starting concurrently cannot both
+   install (the loser sees [installed] and leaves the winner's source
+   alone). Between the winner's CAS and its [source] store a reader gets
+   the previous source — the default, which is what "unset" meant. *)
+let install_if_unset f =
+  if Atomic.compare_and_set installed false true then Atomic.set source f
+
+let is_installed () = Atomic.get installed
+
+let reset () =
+  Atomic.set source default_now_ns;
+  Atomic.set installed false
 
 let now_ns () = (Atomic.get source) ()

@@ -20,7 +20,19 @@ val install_if_unset : (unit -> float) -> unit
 (** Like {!install}, but a no-op if any source was already installed.
     For library code (e.g. the job server) that needs {e a} wall clock
     but must not clobber one the embedding application or a
-    deterministic test chose. *)
+    deterministic test chose. Linearizable under concurrent callers: a
+    compare-and-set claims the installed flag, so exactly one of N
+    racing installers wins and the source never flip-flops. *)
+
+val is_installed : unit -> bool
+(** Whether any source has been installed (by {!install} or a winning
+    {!install_if_unset}) since startup or the last {!reset}. *)
+
+val reset : unit -> unit
+(** Back to the default source with the installed flag cleared — for
+    tests that exercise {!install_if_unset} semantics. Not for
+    production code: a reset under concurrent tracing tears timestamps
+    between epochs. *)
 
 val default_now_ns : unit -> float
 (** The fallback source: [Sys.time () *. 1e9]. *)

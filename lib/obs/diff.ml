@@ -1,0 +1,171 @@
+(* Noise-aware comparison of two bench JSON documents (the bench
+   driver's emitter format). Every check is relative with a generous
+   default threshold plus an absolute floor on timings, because a
+   quick-mode bench on a shared CI box is noisy: a finding must clear
+   both the relative bar and [min_ns] before it counts. *)
+
+type thresholds = {
+  time_rel : float;  (* ns_per_run may grow by this fraction *)
+  counter_rel : float;  (* work counters may grow by this fraction *)
+  roofline_drop : float;  (* absolute allowed drop in roofline_frac *)
+  min_ns : float;  (* time regressions below this are noise *)
+}
+
+let default_thresholds =
+  { time_rel = 0.5; counter_rel = 0.25; roofline_drop = 0.3; min_ns = 100.0 }
+
+type finding = {
+  metric : string;
+  category : string;  (* "time" | "counter" | "roofline" | "missing" *)
+  baseline : float;
+  current : float;
+  message : string;
+}
+
+type verdict = { ok : bool; compared : int; findings : finding list }
+
+(* -- bench-document shape ------------------------------------------------- *)
+
+type doc = {
+  benchmarks : (string * float) list;  (* name, ns_per_run *)
+  counters : (string * float) list;
+  roofline : (string * float) list;  (* pass name, roofline_frac *)
+}
+
+let ( let* ) = Result.bind
+
+let parse_doc label text =
+  let* json =
+    Result.map_error
+      (fun e -> Printf.sprintf "%s: %s" label e)
+      (Json_lite.parse text)
+  in
+  let benchmarks =
+    match Option.bind (Json_lite.mem "benchmarks" json) Json_lite.arr with
+    | None -> []
+    | Some items ->
+        List.filter_map
+          (fun item ->
+            match
+              ( Option.bind (Json_lite.mem "name" item) Json_lite.str,
+                Json_lite.num_field "ns_per_run" item )
+            with
+            | Some name, Some ns -> Some (name, ns)
+            | _ -> None)
+          items
+  in
+  let num_members key =
+    match Option.bind (Json_lite.mem key json) Json_lite.obj with
+    | None -> []
+    | Some fields ->
+        List.filter_map
+          (fun (k, v) ->
+            match Json_lite.num v with Some n -> Some (k, n) | None -> None)
+          fields
+  in
+  let counters = num_members "counters" in
+  let roofline =
+    match Option.bind (Json_lite.mem "roofline" json) Json_lite.obj with
+    | None -> []
+    | Some passes ->
+        List.filter_map
+          (fun (pass, v) ->
+            match Json_lite.num_field "roofline_frac" v with
+            | Some f when Float.is_finite f -> Some (pass, f)
+            | _ -> None)
+          passes
+  in
+  if benchmarks = [] then
+    Error (Printf.sprintf "%s: no benchmarks array — not a bench JSON?" label)
+  else Ok { benchmarks; counters; roofline }
+
+(* -- the comparison ------------------------------------------------------- *)
+
+let compare_docs th base cur =
+  let findings = ref [] in
+  let compared = ref 0 in
+  let emit metric category baseline current message =
+    findings :=
+      { metric; category; baseline; current; message } :: !findings
+  in
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name cur.benchmarks with
+      | None ->
+          emit name "missing" b Float.nan
+            "benchmark present in baseline but absent from current run"
+      | Some c ->
+          incr compared;
+          if c > b *. (1.0 +. th.time_rel) && c -. b > th.min_ns then
+            emit name "time" b c
+              (Printf.sprintf "%.0f ns -> %.0f ns (+%.0f%%, threshold +%.0f%%)"
+                 b c
+                 ((c /. b -. 1.0) *. 100.0)
+                 (th.time_rel *. 100.0)))
+    base.benchmarks;
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name cur.counters with
+      | None -> ()  (* counters come and go with instrumentation; not a bug *)
+      | Some c ->
+          incr compared;
+          if b > 0.0 && c > b *. (1.0 +. th.counter_rel) then
+            emit name "counter" b c
+              (Printf.sprintf "%.0f -> %.0f (+%.0f%%, threshold +%.0f%%)" b c
+                 ((c /. b -. 1.0) *. 100.0)
+                 (th.counter_rel *. 100.0)))
+    base.counters;
+  List.iter
+    (fun (pass, b) ->
+      match List.assoc_opt pass cur.roofline with
+      | None -> ()
+      | Some c ->
+          incr compared;
+          if b -. c > th.roofline_drop then
+            emit pass "roofline" b c
+              (Printf.sprintf
+                 "roofline_frac %.3f -> %.3f (drop %.3f, threshold %.3f)" b c
+                 (b -. c) th.roofline_drop))
+    base.roofline;
+  let findings = List.rev !findings in
+  { ok = findings = []; compared = !compared; findings }
+
+let compare ?(thresholds = default_thresholds) ~baseline ~current () =
+  let* base = parse_doc "baseline" baseline in
+  let* cur = parse_doc "current" current in
+  Ok (compare_docs thresholds base cur)
+
+(* -- rendering ------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_num x =
+  if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
+
+let render_verdict v =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "{\"ok\": %b, \"compared\": %d, \"findings\": [" v.ok
+    v.compared;
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b
+        "{\"metric\": \"%s\", \"category\": \"%s\", \"baseline\": %s, \
+         \"current\": %s, \"message\": \"%s\"}"
+        (json_escape f.metric) (json_escape f.category) (json_num f.baseline)
+        (json_num f.current) (json_escape f.message))
+    v.findings;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -1,0 +1,54 @@
+(** The bench regression sentinel: compare two bench JSON documents.
+
+    Input is the bench driver's emitter format — a [benchmarks] array
+    of [{name, ns_per_run}], a flat [counters] object, and (when the
+    run was calibrated) a [roofline] object of per-pass
+    [{roofline_frac, ...}] records. The comparison is {e noise-aware}:
+    quick-mode numbers from a shared CI box jitter, so every check is
+    relative with a generous default, and time regressions must also
+    clear an absolute [min_ns] floor. A missing benchmark is always a
+    finding (a silently dropped bench family is itself a regression);
+    counters and roofline passes absent from one side are skipped.
+
+    Comparing a document against itself yields [ok = true] with zero
+    findings — the property CI relies on, tested in the suite. *)
+
+type thresholds = {
+  time_rel : float;  (** allowed relative growth of [ns_per_run] *)
+  counter_rel : float;  (** allowed relative growth of a counter *)
+  roofline_drop : float;  (** allowed absolute drop of [roofline_frac] *)
+  min_ns : float;  (** absolute floor under which time deltas are noise *)
+}
+
+val default_thresholds : thresholds
+(** [{time_rel = 0.5; counter_rel = 0.25; roofline_drop = 0.3;
+    min_ns = 100.0}] — deliberately loose, tuned for quick-mode CI. *)
+
+type finding = {
+  metric : string;
+  category : string;  (** ["time"] / ["counter"] / ["roofline"] / ["missing"] *)
+  baseline : float;
+  current : float;  (** [nan] for ["missing"] findings *)
+  message : string;  (** human-readable, thresholds spelled out *)
+}
+
+type verdict = {
+  ok : bool;  (** [findings = []] *)
+  compared : int;  (** metrics present on both sides *)
+  findings : finding list;
+}
+
+val compare :
+  ?thresholds:thresholds ->
+  baseline:string ->
+  current:string ->
+  unit ->
+  (verdict, string) result
+(** Parse both documents (raw JSON text) and compare. Total: malformed
+    input — including a document with no [benchmarks] array — is an
+    [Error], never an exception. *)
+
+val render_verdict : verdict -> string
+(** Machine-readable JSON:
+    [{"ok": bool, "compared": n, "findings": [...]}]. What
+    [xpose obs diff] prints before exiting 0/1 on [ok]. *)

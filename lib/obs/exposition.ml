@@ -1,0 +1,68 @@
+(* Prometheus text exposition format, version 0.0.4: one [# TYPE] line
+   per metric followed by its samples. Metric names are sanitized
+   ([a-zA-Z0-9_:] only — the registry's dotted names map dots to
+   underscores); histograms render cumulative [_bucket{le="..."}]
+   samples plus [_sum] / [_count] and, as a convenience summary,
+   [{quantile="..."}] gauges from the bucket-interpolated estimate. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+(* Prometheus floats: plain decimal, with NaN / +Inf / -Inf spelled out
+   (all legal sample values in the text format). *)
+let prom_float x =
+  if Float.is_nan x then "NaN"
+  else if x = Float.infinity then "+Inf"
+  else if x = Float.neg_infinity then "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+let quantiles = [ 0.5; 0.9; 0.99 ]
+
+let render_histogram b name h =
+  let name = sanitize name in
+  Printf.bprintf b "# TYPE %s histogram\n" name;
+  let cumulative = ref 0 in
+  Array.iter
+    (fun (ub, count) ->
+      if ub <> Float.infinity then begin
+        cumulative := !cumulative + count;
+        Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" name (prom_float ub)
+          !cumulative
+      end)
+    (Metrics.histogram_buckets h);
+  let count = Metrics.histogram_count h in
+  (* The format requires the series to close at +Inf with the total
+     count — it also absorbs the unbounded top bucket and any racing
+     bump the bounded-bucket snapshot missed. *)
+  Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" name count;
+  Printf.bprintf b "%s_sum %s\n" name (prom_float (Metrics.histogram_sum h));
+  Printf.bprintf b "%s_count %d\n" name count;
+  List.iter
+    (fun q ->
+      Printf.bprintf b "%s{quantile=\"%s\"} %s\n" name (prom_float q)
+        (prom_float (Metrics.histogram_quantile h q)))
+    quantiles
+
+let render () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, handle) ->
+      match handle with
+      | Metrics.C_handle c ->
+          let name = sanitize name in
+          Printf.bprintf b "# TYPE %s counter\n" name;
+          Printf.bprintf b "%s %d\n" name (Metrics.counter_value c)
+      | Metrics.G_handle g ->
+          let name = sanitize name in
+          Printf.bprintf b "# TYPE %s gauge\n" name;
+          Printf.bprintf b "%s %s\n" name (prom_float (Metrics.gauge_value g))
+      | Metrics.H_handle h -> render_histogram b name h)
+    (Metrics.all ());
+  Buffer.contents b

@@ -1,0 +1,33 @@
+(** Prometheus text exposition of the whole metrics registry.
+
+    {!render} snapshots every registered metric into the text format a
+    Prometheus scraper (or a human with [curl]) reads:
+
+    {v
+# TYPE server_requests counter
+server_requests 812
+# TYPE server_latency_ns histogram
+server_latency_ns_bucket{le="1.67772e+07"} 118
+server_latency_ns_bucket{le="+Inf"} 812
+server_latency_ns_sum 5.1e+09
+server_latency_ns_count 812
+server_latency_ns{quantile="0.5"} 1.2e+07
+v}
+
+    Names are sanitized to the Prometheus charset (the registry's dots
+    become underscores); histogram buckets render cumulatively with
+    power-of-two [le] bounds plus the closing [+Inf] bucket, and each
+    histogram also exposes bucket-interpolated p50/p90/p99
+    [quantile]-labelled samples (see {!Metrics.histogram_quantile}).
+    Output order follows {!Metrics.all} — sorted by name, so the
+    rendering is deterministic given the same values.
+
+    Served by the job server's [Stats_text] request and written
+    periodically by its [metrics_file] option; non-finite values
+    render as [NaN]/[+Inf]/[-Inf], all legal in the text format. *)
+
+val render : unit -> string
+
+val sanitize : string -> string
+(** The name mapping: any character outside [[a-zA-Z0-9_:]] becomes
+    ['_']. *)

@@ -1,0 +1,182 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail "expected %C at offset %d, found %C" ch c.pos x
+  | None -> fail "expected %C at offset %d, found end of input" ch c.pos
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.s
+    && String.sub c.s c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail "bad literal at offset %d" c.pos
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' -> advance c; Buffer.add_char b '\n'; go ()
+        | Some 't' -> advance c; Buffer.add_char b '\t'; go ()
+        | Some 'r' -> advance c; Buffer.add_char b '\r'; go ()
+        | Some 'b' -> advance c; Buffer.add_char b '\b'; go ()
+        | Some 'f' -> advance c; Buffer.add_char b '\012'; go ()
+        | Some '/' -> advance c; Buffer.add_char b '/'; go ()
+        | Some '"' -> advance c; Buffer.add_char b '"'; go ()
+        | Some '\\' -> advance c; Buffer.add_char b '\\'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.s then fail "truncated \\u escape";
+            let hex = String.sub c.s c.pos 4 in
+            c.pos <- c.pos + 4;
+            (match int_of_string_opt ("0x" ^ hex) with
+            | None -> fail "bad \\u escape %S" hex
+            | Some code ->
+                (* Collapse to Latin-1 when possible; otherwise keep a
+                   lossy '?'. The documents this parser reads (bench
+                   JSON, calibration files) are ASCII. *)
+                Buffer.add_char b
+                  (if code < 0x100 then Char.chr code else '?'));
+            go ()
+        | _ -> fail "bad escape at offset %d" c.pos)
+    | Some ch ->
+        advance c;
+        Buffer.add_char b ch;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> is_num_char ch | None -> false) do
+    advance c
+  done;
+  let tok = String.sub c.s start (c.pos - start) in
+  match float_of_string_opt tok with
+  | Some v -> Num v
+  | None -> fail "bad number %S at offset %d" tok start
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "unexpected end of input"
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let key = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}' at offset %d" c.pos
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              elements (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']' at offset %d" c.pos
+        in
+        Arr (elements [])
+      end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse s =
+  let c = { s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "trailing input at offset %d" c.pos)
+      else Ok v
+  | exception Parse_error m -> Error m
+
+(* -- accessors ----------------------------------------------------------- *)
+
+let mem key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let str = function Str s -> Some s | _ -> None
+
+let num = function Num v -> Some v | _ -> None
+
+let arr = function Arr l -> Some l | _ -> None
+
+let obj = function Obj kvs -> Some kvs | _ -> None
+
+let num_field key v = Option.bind (mem key v) num

@@ -1,0 +1,37 @@
+(** A minimal recursive-descent JSON reader, stdlib-only.
+
+    Just enough JSON for the observability layer's own documents — the
+    bench emitter's output (read back by the {!Diff} regression
+    sentinel) and {!Calibrate}'s persisted machine-roof files. Numbers
+    are all [float] (every number these documents contain fits); [null]
+    is a first-class value (the emitters write it for non-finite
+    floats). Not a general-purpose parser: Unicode escapes beyond
+    Latin-1 are collapsed to ['?']. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Whole-document parse; [Error] carries a position-bearing message.
+    Never raises on hostile input. *)
+
+(** {1 Accessors}
+
+    All total: a shape mismatch is [None], threaded with
+    [Option.bind]. *)
+
+val mem : string -> t -> t option
+(** Object member by key ([None] on non-objects and missing keys). *)
+
+val str : t -> string option
+val num : t -> float option
+val arr : t -> t list option
+val obj : t -> (string * t) list option
+
+val num_field : string -> t -> float option
+(** [num_field k v] = [mem k v |> Option.bind num]. *)

@@ -108,10 +108,52 @@ let histogram_buckets h =
   done;
   Array.of_list (List.rev !out)
 
+let histogram_quantile h q =
+  let total = histogram_count h in
+  if total = 0 || Float.is_nan q then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int total in
+    (* Walk the log2 buckets accumulating counts; the quantile falls in
+       the first bucket whose cumulative count reaches [rank], and is
+       linearly interpolated between the bucket's bounds (the classic
+       Prometheus [histogram_quantile] estimate). Bucket 0 spans (0, 1];
+       the last bucket is unbounded, so its lower bound is returned. *)
+    let rec go i lb ub cum =
+      if i >= hist_buckets then lb
+      else
+        let c = Atomic.get h.buckets.(i) in
+        let cum' = cum + c in
+        if c > 0 && float_of_int cum' >= rank then
+          if i = hist_buckets - 1 then lb
+          else
+            let frac = (rank -. float_of_int cum) /. float_of_int c in
+            lb +. ((ub -. lb) *. Float.max 0.0 frac)
+        else go (i + 1) ub (ub *. 2.0) cum'
+    in
+    go 0 0.0 1.0 0
+  end
+
 type value =
   | Counter of int
   | Gauge of float
   | Histogram of { count : int; sum : float }
+
+type handle = C_handle of counter | G_handle of gauge | H_handle of histogram
+
+let all () =
+  let rows =
+    with_lock (fun () ->
+        Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  in
+  rows
+  |> List.map (fun (name, m) ->
+         ( name,
+           match m with
+           | C c -> C_handle c
+           | G g -> G_handle g
+           | H h -> H_handle h ))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let dump () =
   let rows =
@@ -164,7 +206,7 @@ let json_float x =
   else Printf.sprintf "%.17g" x
 
 let render_json () =
-  let rows = dump () in
+  let rows = all () in
   let section pick render_v =
     let entries = List.filter_map pick rows in
     String.concat ",\n"
@@ -175,22 +217,27 @@ let render_json () =
   in
   let counters =
     section
-      (fun (n, v) -> match v with Counter c -> Some (n, c) | _ -> None)
+      (fun (n, v) ->
+        match v with C_handle c -> Some (n, counter_value c) | _ -> None)
       string_of_int
   in
   let gauges =
     section
-      (fun (n, v) -> match v with Gauge g -> Some (n, g) | _ -> None)
+      (fun (n, v) ->
+        match v with G_handle g -> Some (n, gauge_value g) | _ -> None)
       json_float
   in
   let histograms =
     section
-      (fun (n, v) ->
-        match v with
-        | Histogram { count; sum } -> Some (n, (count, sum))
-        | _ -> None)
-      (fun (count, sum) ->
-        Printf.sprintf "{\"count\": %d, \"sum\": %s}" count (json_float sum))
+      (fun (n, v) -> match v with H_handle h -> Some (n, h) | _ -> None)
+      (fun h ->
+        Printf.sprintf
+          "{\"count\": %d, \"sum\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s}"
+          (histogram_count h)
+          (json_float (histogram_sum h))
+          (json_float (histogram_quantile h 0.50))
+          (json_float (histogram_quantile h 0.90))
+          (json_float (histogram_quantile h 0.99)))
   in
   Printf.sprintf
     "{\n  \"counters\": {\n%s\n  },\n  \"gauges\": {\n%s\n  },\n  \

@@ -50,6 +50,16 @@ val histogram_buckets : histogram -> (float * int) array
 (** [(upper_bound, count)] per non-empty bucket; bounds are powers of
     two, the last bucket is unbounded. *)
 
+val histogram_quantile : histogram -> float -> float
+(** [histogram_quantile h q] estimates the [q]-quantile ([0 <= q <= 1],
+    clamped) from the log2 buckets: find the bucket the target rank
+    falls in and interpolate linearly between its bounds — the classic
+    Prometheus estimate, exact at bucket boundaries and within one
+    bucket's resolution elsewhere. Returns [nan] on an empty histogram
+    (or a NaN [q]); the unbounded last bucket answers with its lower
+    bound. Replaces ad-hoc sort-the-samples percentiles: the histogram
+    is O(1) memory under any load. *)
+
 (** {1 Registry} *)
 
 type value =
@@ -57,8 +67,20 @@ type value =
   | Gauge of float
   | Histogram of { count : int; sum : float }
 
+type handle =
+  | C_handle of counter
+  | G_handle of gauge
+  | H_handle of histogram
+
+val all : unit -> (string * handle) list
+(** Every registered metric with its live handle, sorted by name — for
+    renderers (the Prometheus {!Exposition}) that need more than the
+    {!dump} snapshot, e.g. histogram buckets and quantiles. *)
+
 val dump : unit -> (string * value) list
-(** Every registered metric with its current value, sorted by name. *)
+(** Every registered metric with its current value, sorted by name (so
+    every rendering derived from it — [render], [render_json], the
+    Prometheus exposition — is deterministic given the same values). *)
 
 val reset : unit -> unit
 (** Zero every registered metric (registrations are kept). *)
@@ -70,7 +92,8 @@ val render : unit -> string
 val render_json : unit -> string
 (** The registry as a JSON object
     [{"counters": {..}, "gauges": {..}, "histograms": {name: {"count",
-    "sum"}}}], names sorted within each section — the payload of the
-    job server's stats endpoint. Always valid JSON: non-finite floats
-    (a NaN gauge, a sum that overflowed to infinity) render as
-    [null]. *)
+    "sum", "p50", "p90", "p99"}}}], names sorted within each section —
+    the payload of the job server's stats endpoint. Histogram quantiles
+    come from {!histogram_quantile}. Always valid JSON: non-finite
+    floats (a NaN gauge, a sum that overflowed to infinity, the
+    quantiles of an empty histogram) render as [null]. *)

@@ -12,9 +12,16 @@ type row = {
   rel_err : float;
   chunks : int;
   imbalance : float;
+  gbps : float;
+  roofline_frac : float;
 }
 
-type t = { passes : row list; total_ns : float; total_pred_touches : int }
+type t = {
+  passes : row list;
+  total_ns : float;
+  total_pred_touches : int;
+  calibrated : bool;
+}
 
 let int_arg args key default =
   match List.assoc_opt key args with Some (Tracer.Int i) -> i | _ -> default
@@ -39,7 +46,7 @@ let chunks_of passes (chunk : Tracer.event) =
       else best)
     None passes
 
-let of_events evs =
+let of_events ?cal evs =
   let complete cat =
     List.filter
       (fun (e : Tracer.event) -> e.Tracer.cat = cat && e.Tracer.ph = `Complete)
@@ -90,6 +97,15 @@ let of_events evs =
             if mean <= 0.0 then 1.0
             else List.fold_left Float.max 0.0 durs /. mean
         in
+        let bytes = float_of_int (pred_touches * 8) in
+        let gbps, roofline_frac =
+          match cal with
+          | None -> (Float.nan, Float.nan)
+          | Some cal ->
+              let kind = Roofline.kind_of_pass p.Tracer.name in
+              ( Roofline.achieved_gbps ~bytes ~dur_ns:p.Tracer.dur_ns,
+                Roofline.fraction cal kind ~bytes ~dur_ns:p.Tracer.dur_ns )
+        in
         {
           seq = p.Tracer.seq;
           name = p.Tracer.name;
@@ -106,10 +122,12 @@ let of_events evs =
              else Float.nan);
           chunks;
           imbalance;
+          gbps;
+          roofline_frac;
         })
       passes
   in
-  { passes = rows; total_ns; total_pred_touches }
+  { passes = rows; total_ns; total_pred_touches; calibrated = cal <> None }
 
 let shape_string r =
   let b = Buffer.create 16 in
@@ -120,10 +138,15 @@ let shape_string r =
 
 let render ?(show_times = true) t =
   let b = Buffer.create 1024 in
-  Printf.bprintf b "%-4s %-16s %-16s %12s %7s %9s %10s %8s %7s %7s\n" "#"
+  Printf.bprintf b "%-4s %-16s %-16s %12s %7s %9s %10s %8s %7s %7s" "#"
     "pass" "shape" "pred.touch" "share%" "scratch" "meas.ms" "rel.err"
     "chunks" "imbal";
-  Printf.bprintf b "%s\n" (String.make 104 '-');
+  (* The roofline columns appear only on calibrated runs, so the
+     uncalibrated table stays byte-identical (the cram tests pin it). *)
+  if t.calibrated then Printf.bprintf b " %8s %6s" "GB/s" "roofl";
+  Buffer.add_char b '\n';
+  Printf.bprintf b "%s\n"
+    (String.make (if t.calibrated then 120 else 104) '-');
   let share r =
     if t.total_pred_touches = 0 then 0.0
     else
@@ -143,6 +166,10 @@ let render ?(show_times = true) t =
       Printf.bprintf b " %7d" r.chunks;
       if show_times then Printf.bprintf b " %7.2f" r.imbalance
       else Printf.bprintf b " %7s" "-";
+      if t.calibrated then
+        if show_times && not (Float.is_nan r.gbps) then
+          Printf.bprintf b " %8.2f %6.2f" r.gbps r.roofline_frac
+        else Printf.bprintf b " %8s %6s" "-" "-";
       Buffer.add_char b '\n')
     t.passes;
   Printf.bprintf b "total: %d passes, %d predicted element touches"

@@ -31,17 +31,28 @@ type row = {
   rel_err : float;  (** [nan] when the pass has no predicted share *)
   chunks : int;  (** matched pool chunks; 0 when run serially *)
   imbalance : float;  (** max/mean chunk duration; 1.0 without chunks *)
+  gbps : float;  (** achieved GB/s; [nan] without calibration *)
+  roofline_frac : float;
+      (** achieved over the pass's applicable roof, in
+          (0, {!Roofline.max_fraction}]; [nan] without calibration *)
 }
 
 type t = {
   passes : row list;  (** in execution order *)
   total_ns : float;
   total_pred_touches : int;
+  calibrated : bool;  (** whether {!of_events} was given a calibration *)
 }
 
-val of_events : Tracer.event list -> t
+val of_events : ?cal:Calibrate.t -> Tracer.event list -> t
+(** With [?cal], every pass row additionally gets achieved GB/s
+    ([pred_touches * 8] bytes over measured duration) and its roofline
+    fraction against the roof {!Roofline.kind_of_pass} selects. *)
 
 val render : ?show_times:bool -> t -> string
 (** Fixed-width table. With [show_times:false] every wall-clock-derived
-    column (measured/predicted ns, relative error, imbalance) renders as
-    ["-"] so the output is deterministic (used by the cram tests). *)
+    column (measured/predicted ns, relative error, imbalance, and the
+    calibrated GB/s / roofline columns) renders as ["-"] so the output
+    is deterministic (used by the cram tests). The [GB/s] and [roofl]
+    columns appear only when [t.calibrated] — an uncalibrated report is
+    byte-identical to what pre-calibration releases printed. *)

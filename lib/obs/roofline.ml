@@ -1,0 +1,89 @@
+type kind = Stream | Gather | Scatter | Permute
+
+let kind_to_string = function
+  | Stream -> "stream"
+  | Gather -> "gather"
+  | Scatter -> "scatter"
+  | Permute -> "permute"
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* The traffic-class map: which probe's roof applies to a pass, keyed
+   on the pass names the instrumented engines emit (the "ooc." prefix
+   of the windowed engine's passes is immaterial — the traffic shape
+   through the mapped window is the same). First match wins:
+
+   - fused passes gather panels column-major at the calibrated width;
+   - rotation passes cycle columns — strided writes dominate;
+   - row shuffles/permutations scatter whole rows through a
+     permutation;
+   - column shuffles gather columns;
+   - anything else (plain copies, plan-level batched passes) is priced
+     against the streaming roof. *)
+let kind_of_pass name =
+  if contains name "fused" then Gather
+  else if contains name "rotate" then Scatter
+  else if contains name "row" then Permute
+  else if contains name "col" then Gather
+  else Stream
+
+let probe (cal : Calibrate.t) = function
+  | Stream -> cal.Calibrate.stream
+  | Gather -> cal.Calibrate.gather
+  | Scatter -> cal.Calibrate.scatter
+  | Permute -> cal.Calibrate.permute
+
+let roof_gbps cal kind = (probe cal kind).Calibrate.gbps
+
+let achieved_gbps ~bytes ~dur_ns =
+  if dur_ns > 0.0 && bytes > 0.0 then bytes /. dur_ns else Float.nan
+
+(* Fractions above 1 are real: a run whose working set sits in cache
+   beats an out-of-cache roof. Clamp at 1.5 so one cache-resident pass
+   cannot make the fraction axis useless, and so consumers can rely on
+   the documented (0, 1.5] range. *)
+let max_fraction = 1.5
+
+let fraction cal kind ~bytes ~dur_ns =
+  let a = achieved_gbps ~bytes ~dur_ns in
+  let roof = roof_gbps cal kind in
+  if Float.is_nan a || not (roof > 0.0) then Float.nan
+  else Float.min max_fraction (a /. roof)
+
+(* -- trace annotation ---------------------------------------------------- *)
+
+let int_arg args key =
+  match List.assoc_opt key args with
+  | Some (Tracer.Int i) -> Some i
+  | _ -> None
+
+let annotate_event cal (e : Tracer.event) =
+  if
+    e.Tracer.ph <> `Complete
+    || (e.Tracer.cat <> "pass" && e.Tracer.cat <> "panel")
+  then e
+  else
+    match int_arg e.Tracer.args "pred_touches" with
+    | None | Some 0 -> e
+    | Some touches ->
+        let kind = kind_of_pass e.Tracer.name in
+        let bytes = float_of_int (touches * 8) in
+        let gbps = achieved_gbps ~bytes ~dur_ns:e.Tracer.dur_ns in
+        let frac = fraction cal kind ~bytes ~dur_ns:e.Tracer.dur_ns in
+        if Float.is_nan gbps then e
+        else
+          {
+            e with
+            Tracer.args =
+              e.Tracer.args
+              @ [
+                  ("roofline_kind", Tracer.Str (kind_to_string kind));
+                  ("achieved_gbps", Tracer.Float gbps);
+                  ("roofline_frac", Tracer.Float frac);
+                ];
+          }
+
+let annotate cal events = List.map (annotate_event cal) events

@@ -45,6 +45,37 @@ let tid () = (Domain.self () :> int)
 
 let force_args = function None -> [] | Some f -> f ()
 
+(* -- ambient args -------------------------------------------------------- *)
+
+(* Request-scoped context for spans recorded deep inside the engines:
+   the job server's dispatcher sets the batch's trace id here before
+   running the engine, and every pass/panel span opened while it is set
+   carries the id — there is no lexical path from the dispatcher to the
+   pass runners (they execute on pool worker domains). One batch
+   executes at a time, so a single global cell suffices. *)
+let ambient : (string * value) list Atomic.t = Atomic.make []
+
+let set_ambient_args args = Atomic.set ambient args
+let clear_ambient_args () = Atomic.set ambient []
+let ambient_args () = Atomic.get ambient
+
+let with_ambient_args args f =
+  Atomic.set ambient args;
+  Fun.protect f ~finally:(fun () -> Atomic.set ambient [])
+
+(* -- trace ids ----------------------------------------------------------- *)
+
+(* Fresh-per-process u32 ids. A Knuth multiplicative hash of a counter:
+   unique within the process, and spread over the u32 space rather than
+   clustered on small integers, so ids from different id spaces (a
+   client numbering requests, a server numbering batches) are unlikely
+   to collide by accident in a merged trace. *)
+let trace_ctr = Atomic.make 1
+
+let fresh_trace_id () =
+  let n = Atomic.fetch_and_add trace_ctr 1 in
+  (n * 2654435761) land 0xffff_ffff
+
 let with_span ?(cat = "span") ?args name f =
   if not (enabled ()) then f ()
   else begin
@@ -91,7 +122,8 @@ let pass ~name ?(batch = 1) ?(block = 1) ~rows ~cols ~pred_touches
   Metrics.incr (Metrics.counter ("pass." ^ name));
   Metrics.incr ~by:pred_touches (Metrics.counter ("pass." ^ name ^ ".touches"));
   if not (enabled ()) then f ()
-  else
+  else begin
+    let ambient = ambient_args () in
     with_span ~cat:"pass"
       ~args:(fun () ->
         [
@@ -101,15 +133,18 @@ let pass ~name ?(batch = 1) ?(block = 1) ~rows ~cols ~pred_touches
           ("block", Int block);
           ("pred_touches", Int pred_touches);
           ("scratch_elems", Int scratch_elems);
-        ])
+        ]
+        @ ambient)
       name f
+  end
 
 let m_panels = lazy (Metrics.counter "xpose.panels_total")
 
 let panel ~name ~lo ~width ~rows ~pred_touches f =
   Metrics.incr (Lazy.force m_panels);
   if not (enabled ()) then f ()
-  else
+  else begin
+    let ambient = ambient_args () in
     with_span ~cat:"panel"
       ~args:(fun () ->
         [
@@ -117,8 +152,10 @@ let panel ~name ~lo ~width ~rows ~pred_touches f =
           ("width", Int width);
           ("rows", Int rows);
           ("pred_touches", Int pred_touches);
-        ])
+        ]
+        @ ambient)
       name f
+  end
 
 (* -- sinks --------------------------------------------------------------- *)
 
@@ -180,7 +217,7 @@ let buf_add_event b ev =
     ev.args;
   Buffer.add_string b "}}"
 
-let to_chrome_json () =
+let to_chrome_json_events evs =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   List.iteri
@@ -188,9 +225,24 @@ let to_chrome_json () =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_char b '\n';
       buf_add_event b ev)
-    (events ());
+    evs;
   Buffer.add_string b "\n]}\n";
   Buffer.contents b
+
+let to_chrome_json () = to_chrome_json_events (events ())
+
+(* -- the flush sink ------------------------------------------------------ *)
+
+(* A registered sink receives a full snapshot of the buffer on every
+   [flush]: flushing is idempotent (re-render everything, overwrite),
+   so a server can flush mid-run for durability and again at shutdown
+   without the application tracking deltas. *)
+let sink : (event list -> unit) option Atomic.t = Atomic.make None
+
+let set_sink s = Atomic.set sink s
+
+let flush () =
+  match Atomic.get sink with None -> () | Some f -> f (events ())
 
 let pp_value = function
   | Int i -> string_of_int i

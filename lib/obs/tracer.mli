@@ -62,7 +62,37 @@ val instant :
   ?cat:string -> ?args:(unit -> (string * value) list) -> string -> unit
 
 val emit : event -> unit
-(** Append a pre-built event (thread-safe; no enabled check). *)
+(** Append a pre-built event (thread-safe; no enabled check). The job
+    server uses this to record {e retroactive} spans — queue wait and
+    coalesce delay are only known once a job dispatches, so their
+    [Complete] events are built from recorded timestamps after the
+    fact. *)
+
+val next_seq : unit -> int
+(** Claim an emission ticket for a pre-built event — keeps
+    retroactively {!emit}ted events unique and ordered in the same
+    sequence space as {!with_span}'s. *)
+
+(** {1 Ambient args}
+
+    Request-scoped context for spans recorded far from where the
+    context is known: the job server's dispatcher sets the batch's
+    trace id before invoking an engine, and every {!pass}/{!panel}
+    span opened while the ambient args are set carries them (appended
+    to the span's own args). One global cell — correct because the
+    dispatcher executes one batch at a time; nested engine spans all
+    belong to that batch. *)
+
+val set_ambient_args : (string * value) list -> unit
+val clear_ambient_args : unit -> unit
+val ambient_args : unit -> (string * value) list
+
+val with_ambient_args : (string * value) list -> (unit -> 'a) -> 'a
+(** Set, run, clear (clears even if [f] raises). *)
+
+val fresh_trace_id : unit -> int
+(** A fresh u32 trace id, unique within the process (a multiplicative
+    hash of a global counter, so ids are spread over the id space). *)
 
 val pass :
   name:string ->
@@ -103,5 +133,30 @@ val to_chrome_json : unit -> string
     ["X"]/["i"] events — the Chrome [trace_event] format Perfetto
     accepts. Timestamps are microseconds. *)
 
+val to_chrome_json_events : event list -> string
+(** Like {!to_chrome_json} but over a caller-supplied event list — for
+    rendering events post-processed outside the buffer (e.g.
+    {!Roofline.annotate}d copies). *)
+
 val to_text : unit -> string
 (** Compact one-line-per-event rendering, sorted by start time. *)
+
+(** {1 Flush sink}
+
+    Without a sink, trace output only exists when the application
+    renders the buffer itself — historically at [at_exit], which loses
+    the trace when a drained server process is torn down before the
+    handler runs, and can't write anything mid-run. A sink closes both
+    holes: {!flush} hands the sink a {e full snapshot} of the buffer,
+    so flushing is idempotent (render everything, overwrite) and safe
+    to call from the shutdown drain path, a periodic timer, and
+    [at_exit] alike. *)
+
+val set_sink : (event list -> unit) option -> unit
+(** Install (or with [None] remove) the flush sink. The sink receives
+    a snapshot of all recorded events; it typically renders them with
+    {!to_chrome_json_events} and rewrites the trace file in full. *)
+
+val flush : unit -> unit
+(** Snapshot the buffer and hand it to the sink; no-op without one.
+    Thread-safe; may be called any number of times. *)

@@ -42,10 +42,35 @@ let roundtrip t req =
                  (P.response_id resp) id);
           resp)
 
-let transpose ?(tenant = "") ?(priority = P.Normal) t ~m ~n payload =
-  roundtrip t (P.Transpose { id = t.next_id; tenant; priority; m; n; payload })
+let transpose ?(tenant = "") ?(priority = P.Normal) ?trace t ~m ~n payload =
+  let trace =
+    match trace with
+    | Some tr -> tr
+    | None -> Xpose_obs.Tracer.fresh_trace_id ()
+  in
+  (* The submit span brackets the whole round trip and carries the same
+     trace id the server propagates into its queue/coalesce/dispatch
+     and engine pass spans — the client-side anchor of the end-to-end
+     trace. *)
+  Xpose_obs.Tracer.with_span ~cat:"client"
+    ~args:(fun () ->
+      [
+        ("trace", Xpose_obs.Tracer.Int trace);
+        ("id", Xpose_obs.Tracer.Int t.next_id);
+        ("m", Xpose_obs.Tracer.Int m);
+        ("n", Xpose_obs.Tracer.Int n);
+      ])
+    "client.submit"
+    (fun () ->
+      roundtrip t
+        (P.Transpose { id = t.next_id; trace; tenant; priority; m; n; payload }))
 
 let stats t =
   match roundtrip t (P.Stats { id = t.next_id }) with
+  | P.Stats_reply { json; _ } -> json
+  | _ -> fail "expected a stats reply"
+
+let stats_text t =
+  match roundtrip t (P.Stats_text { id = t.next_id }) with
   | P.Stats_reply { json; _ } -> json
   | _ -> fail "expected a stats reply"

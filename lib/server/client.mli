@@ -24,6 +24,7 @@ exception Protocol_failure of string
 val transpose :
   ?tenant:string ->
   ?priority:Protocol.priority ->
+  ?trace:int ->
   t ->
   m:int ->
   n:int ->
@@ -33,8 +34,19 @@ val transpose :
     carries a fresh buffer). Returns the server's reply: [Result] on
     success, [Busy] under backpressure, [Error_reply] on a rejected or
     failed job. Default tenant [""], priority [Normal].
+
+    [trace] is the request's end-to-end trace id (default: a
+    {!Xpose_obs.Tracer.fresh_trace_id}). The whole round trip runs
+    inside a [client.submit] span carrying it; in a co-traced server
+    process the queue/coalesce/dispatch and engine pass spans share the
+    same id, so one Chrome trace shows the request end to end.
     @raise Protocol_failure / Unix.Unix_error on transport failure. *)
 
 val stats : t -> string
 (** Fetch the server's metrics snapshot as JSON.
+    @raise Protocol_failure if the server answers anything else. *)
+
+val stats_text : t -> string
+(** Fetch the Prometheus text exposition of the server's metrics (the
+    [Stats_text] request).
     @raise Protocol_failure if the server answers anything else. *)

@@ -20,6 +20,7 @@ type reject_reason = Queue_full | Budget_exhausted
 type request =
   | Transpose of {
       id : int;
+      trace : int;
       tenant : string;
       priority : priority;
       m : int;
@@ -27,6 +28,7 @@ type request =
       payload : buf;
     }
   | Stats of { id : int }
+  | Stats_text of { id : int }
 
 type response =
   | Result of { id : int; m : int; n : int; payload : buf }
@@ -53,6 +55,7 @@ let default_max_frame_bytes = 64 * 1024 * 1024
 (* Message tags. Requests are < 0x80, responses >= 0x80. *)
 let tag_transpose = 0x01
 let tag_stats = 0x02
+let tag_stats_text = 0x03
 let tag_result = 0x81
 let tag_busy = 0x82
 let tag_error = 0x83
@@ -173,13 +176,14 @@ let done_ cur v =
 (* -- requests -------------------------------------------------------- *)
 
 let encode_request = function
-  | Transpose { id; tenant; priority; m; n; payload } ->
+  | Transpose { id; trace; tenant; priority; m; n; payload } ->
       if Bigarray.Array1.dim payload <> m * n then
         invalid_arg "Protocol.encode_request: payload size is not m * n";
       let b = Buffer.create ((m * n * 8) + 64) in
       put_u8 b tag_transpose;
       put_u32 b id;
       put_u8 b (priority_byte priority);
+      put_u32 b trace;
       put_string16 b tenant;
       put_u32 b m;
       put_u32 b n;
@@ -188,6 +192,11 @@ let encode_request = function
   | Stats { id } ->
       let b = Buffer.create 8 in
       put_u8 b tag_stats;
+      put_u32 b id;
+      Buffer.to_bytes b
+  | Stats_text { id } ->
+      let b = Buffer.create 8 in
+      put_u8 b tag_stats_text;
       put_u32 b id;
       Buffer.to_bytes b
 
@@ -217,14 +226,19 @@ let decode_request ?(max_bytes = default_max_frame_bytes) body :
   if tag = tag_transpose then begin
     let* id = get_u32 cur in
     let* priority = get_priority cur in
+    let* trace = get_u32 cur in
     let* tenant = get_string16 cur in
     let* m, n = get_shape cur in
     let* payload = get_payload ~max_bytes cur ~m ~n in
-    done_ cur (Transpose { id; tenant; priority; m; n; payload })
+    done_ cur (Transpose { id; trace; tenant; priority; m; n; payload })
   end
   else if tag = tag_stats then begin
     let* id = get_u32 cur in
     done_ cur (Stats { id })
+  end
+  else if tag = tag_stats_text then begin
+    let* id = get_u32 cur in
+    done_ cur (Stats_text { id })
   end
   else Error (`Bad_tag tag)
 
@@ -291,7 +305,8 @@ let decode_response ?(max_bytes = default_max_frame_bytes) body :
   end
   else Error (`Bad_tag tag)
 
-let request_id = function Transpose { id; _ } | Stats { id } -> id
+let request_id = function
+  | Transpose { id; _ } | Stats { id } | Stats_text { id } -> id
 
 let response_id = function
   | Result { id; _ }
@@ -315,19 +330,22 @@ let equal_buf (a : buf) (b : buf) =
 
 let equal_request a b =
   match (a, b) with
-  | ( Transpose { id; tenant; priority; m; n; payload },
+  | ( Transpose { id; trace; tenant; priority; m; n; payload },
       Transpose
         {
           id = id';
+          trace = trace';
           tenant = tenant';
           priority = priority';
           m = m';
           n = n';
           payload = payload';
         } ) ->
-      id = id' && tenant = tenant' && priority = priority' && m = m' && n = n'
+      id = id' && trace = trace' && tenant = tenant' && priority = priority'
+      && m = m' && n = n'
       && equal_buf payload payload'
   | Stats { id }, Stats { id = id' } -> id = id'
+  | Stats_text { id }, Stats_text { id = id' } -> id = id'
   | _, _ -> false
 
 let equal_response a b =

@@ -32,6 +32,12 @@ type reject_reason =
 type request =
   | Transpose of {
       id : int;
+      trace : int;
+          (** client-chosen trace id (u32), propagated through the
+              queue, the coalescer, and the engine's pass spans so one
+              Chrome trace shows the request end to end. [0] means
+              "untraced" by convention; {!Xpose_obs.Tracer.fresh_trace_id}
+              supplies non-colliding ids. *)
       tenant : string;
       priority : priority;
       m : int;
@@ -39,6 +45,10 @@ type request =
       payload : buf;  (** row-major [m x n], exactly [m * n] elements *)
     }
   | Stats of { id : int }
+  | Stats_text of { id : int }
+      (** Prometheus text exposition of the server's metrics registry;
+          answered with a {!Stats_reply} whose [json] field carries the
+          text body (the frame is format-agnostic bytes). *)
 
 type response =
   | Result of { id : int; m : int; n : int; payload : buf }

@@ -2,6 +2,7 @@ module P = Protocol
 module FF = Xpose_cpu.Fused_f64
 module FM = Xpose_mmap.File_matrix
 module Metrics = Xpose_obs.Metrics
+module Tracer = Xpose_obs.Tracer
 
 type config = {
   socket_path : string;
@@ -17,6 +18,8 @@ type config = {
   max_frame_bytes : int;
   write_timeout_s : float;
   prefetch : bool;
+  metrics_file : string option;
+  metrics_interval_s : float;
 }
 
 let default_config ~socket_path =
@@ -34,6 +37,8 @@ let default_config ~socket_path =
     max_frame_bytes = P.default_max_frame_bytes;
     write_timeout_s = 5.0;
     prefetch = true;
+    metrics_file = None;
+    metrics_interval_s = 1.0;
   }
 
 (* -- metrics ----------------------------------------------------------- *)
@@ -47,6 +52,8 @@ let m_rej_queue = lazy (Metrics.counter "server.rejects.queue_full")
 let m_rej_budget = lazy (Metrics.counter "server.rejects.budget")
 let m_job_errors = lazy (Metrics.counter "server.job_errors")
 let h_latency = lazy (Metrics.histogram "server.latency_ns")
+let h_queue_wait = lazy (Metrics.histogram "server.queue_wait_ns")
+let h_coalesce = lazy (Metrics.histogram "server.coalesce_delay_ns")
 let g_depth_high = lazy (Metrics.gauge "server.queue_depth.high")
 let g_depth_normal = lazy (Metrics.gauge "server.queue_depth.normal")
 let g_depth_low = lazy (Metrics.gauge "server.queue_depth.low")
@@ -93,12 +100,17 @@ let send_response conn resp =
 type job = {
   j_conn : conn;
   j_id : int;
+  j_trace : int;
   j_m : int;
   j_n : int;
   j_payload : P.buf;
   j_bytes : int;
   j_route : Admission.route;
   j_arrival_ns : float;
+  (* stamped by the dispatcher when the job leaves the queue; together
+     with [j_arrival_ns] and the dispatch time it splits latency into
+     queue wait and coalesce delay *)
+  mutable j_dequeue_ns : float;
 }
 
 type t = {
@@ -125,6 +137,8 @@ type t = {
   cmu : Mutex.t;
   mutable acceptor : unit Domain.t option;
   mutable dispatcher : Thread.t option;
+  stop_metrics : bool Atomic.t;
+  mutable metrics_writer : Thread.t option;
   mutable stopped : bool;
 }
 
@@ -189,7 +203,7 @@ let busy_reply t ~id ~reason =
       queued_bytes = clamp_u32 bytes;
     }
 
-let handle_transpose t conn ~id ~tenant ~priority ~m ~n ~payload =
+let handle_transpose t conn ~id ~trace ~tenant ~priority ~m ~n ~payload =
   Metrics.incr (Lazy.force m_requests);
   let bytes = m * n * 8 in
   match Admission.admit t.admission ~tenant ~bytes with
@@ -205,12 +219,14 @@ let handle_transpose t conn ~id ~tenant ~priority ~m ~n ~payload =
         {
           j_conn = conn;
           j_id = id;
+          j_trace = trace;
           j_m = m;
           j_n = n;
           j_payload = payload;
           j_bytes = bytes;
           j_route = route;
           j_arrival_ns = now_ns ();
+          j_dequeue_ns = 0.0;
         }
       in
       conn_job_started t conn;
@@ -253,8 +269,14 @@ let serve_conn t conn =
               Metrics.incr (Lazy.force m_stats_requests);
               send_response conn (P.Stats_reply { id; json = stats_json () });
               loop ()
-          | Ok (P.Transpose { id; tenant; priority; m; n; payload }) ->
-              handle_transpose t conn ~id ~tenant ~priority ~m ~n ~payload;
+          | Ok (P.Stats_text { id }) ->
+              Metrics.incr (Lazy.force m_stats_requests);
+              send_response conn
+                (P.Stats_reply { id; json = Xpose_obs.Exposition.render () });
+              loop ()
+          | Ok (P.Transpose { id; trace; tenant; priority; m; n; payload }) ->
+              handle_transpose t conn ~id ~trace ~tenant ~priority ~m ~n
+                ~payload;
               loop ())
   in
   (* The connection is NOT marked dead here: jobs this reader enqueued
@@ -396,14 +418,68 @@ let run_ooc t ~window_bytes job =
         (P.Result { id = job.j_id; m = n; n = m; payload = job.j_payload })
   | exception exn -> fail_batch t [ job ] exn
 
+(* Retroactive wait spans: a job's queue wait and coalesce delay are
+   only known at dispatch, so the spans are built from the stamped
+   arrival/dequeue times after the fact. The histograms are always
+   observed; trace events only when the tracer records. *)
+let observe_waits jobs ~dispatch_ns =
+  List.iter
+    (fun job ->
+      let queue_wait = Float.max 0.0 (job.j_dequeue_ns -. job.j_arrival_ns) in
+      let coalesce = Float.max 0.0 (dispatch_ns -. job.j_dequeue_ns) in
+      Metrics.observe (Lazy.force h_queue_wait) queue_wait;
+      Metrics.observe (Lazy.force h_coalesce) coalesce;
+      if Tracer.enabled () then begin
+        let args =
+          [ ("trace", Tracer.Int job.j_trace); ("id", Tracer.Int job.j_id) ]
+        in
+        let tid = (Domain.self () :> int) in
+        let span name ts_ns dur_ns : Tracer.event =
+          { name; cat = "server"; ph = `Complete; ts_ns; dur_ns; tid;
+            seq = Tracer.next_seq (); args }
+        in
+        Tracer.emit (span "server.queue_wait" job.j_arrival_ns queue_wait);
+        Tracer.emit (span "server.coalesce" job.j_dequeue_ns coalesce)
+      end)
+    jobs
+
+let batch_trace_args jobs =
+  match jobs with
+  | [ j ] -> [ ("trace", Tracer.Int j.j_trace) ]
+  | js ->
+      [
+        ( "trace",
+          Tracer.Str
+            (String.concat ","
+               (List.map (fun j -> string_of_int j.j_trace) js)) );
+      ]
+
 let execute_batch t (key : Coalescer.key) jobs =
   match jobs with
   | [] -> ()
-  | first :: _ -> (
-      match first.j_route with
-      | Admission.Fused -> run_fused t ~m:key.Coalescer.m ~n:key.Coalescer.n jobs
-      | Admission.Ooc { window_bytes } ->
-          List.iter (fun job -> run_ooc t ~window_bytes job) jobs)
+  | first :: _ ->
+      let dispatch_ns = now_ns () in
+      observe_waits jobs ~dispatch_ns;
+      let trace_args = batch_trace_args jobs in
+      (* Ambient args ride into the engine's pass/panel spans, which run
+         on pool worker domains with no lexical path back here; one
+         batch executes at a time, so the global cell is race-free. *)
+      Tracer.with_ambient_args trace_args (fun () ->
+          Tracer.with_span ~cat:"server"
+            ~args:(fun () ->
+              trace_args
+              @ [
+                  ("jobs", Tracer.Int (List.length jobs));
+                  ("m", Tracer.Int key.Coalescer.m);
+                  ("n", Tracer.Int key.Coalescer.n);
+                ])
+            "server.dispatch"
+            (fun () ->
+              match first.j_route with
+              | Admission.Fused ->
+                  run_fused t ~m:key.Coalescer.m ~n:key.Coalescer.n jobs
+              | Admission.Ooc { window_bytes } ->
+                  List.iter (fun job -> run_ooc t ~window_bytes job) jobs))
 
 let dispatcher_loop t () =
   let coal =
@@ -417,7 +493,9 @@ let dispatcher_loop t () =
     Mutex.lock t.qmu;
     let rec drain acc =
       match Job_queue.pop t.queue with
-      | Some (priority, _, job) -> drain ((priority, job) :: acc)
+      | Some (priority, _, job) ->
+          job.j_dequeue_ns <- now_ns ();
+          drain ((priority, job) :: acc)
       | None -> acc
     in
     let drained = drain [] in
@@ -464,6 +542,32 @@ let dispatcher_loop t () =
   in
   loop ()
 
+(* -- metrics exposition dump ------------------------------------------- *)
+
+(* Rewrite the whole file each tick (write-temp-then-rename, so a
+   scraper never reads a half-written exposition), plus one final dump
+   on shutdown so the file reflects the drained server. *)
+let metrics_writer_loop t path () =
+  let write () =
+    try
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
+      output_string oc (Xpose_obs.Exposition.render ());
+      close_out oc;
+      Sys.rename tmp path
+    with Sys_error _ -> ()
+  in
+  let interval = Float.max 0.05 t.cfg.metrics_interval_s in
+  while not (Atomic.get t.stop_metrics) do
+    write ();
+    let slept = ref 0.0 in
+    while !slept < interval && not (Atomic.get t.stop_metrics) do
+      Thread.delay 0.05;
+      slept := !slept +. 0.05
+    done
+  done;
+  write ()
+
 (* -- lifecycle --------------------------------------------------------- *)
 
 let start cfg =
@@ -475,6 +579,8 @@ let start cfg =
     invalid_arg "Server.start: max_frame_bytes must be >= 64";
   if not (cfg.write_timeout_s >= 0.0) then
     invalid_arg "Server.start: write_timeout_s must be >= 0";
+  if not (cfg.metrics_interval_s > 0.0) then
+    invalid_arg "Server.start: metrics_interval_s must be > 0";
   (* Coalesce deadlines and latency need a wall clock, but an embedding
      application (or a deterministic-clock test) may have installed its
      own source — only fill in the default when nothing has. *)
@@ -520,11 +626,17 @@ let start cfg =
       cmu = Mutex.create ();
       acceptor = None;
       dispatcher = None;
+      stop_metrics = Atomic.make false;
+      metrics_writer = None;
       stopped = false;
     }
   in
   t.acceptor <- Some (Domain.spawn (acceptor_loop t));
   t.dispatcher <- Some (Thread.create (dispatcher_loop t) ());
+  (match cfg.metrics_file with
+  | None -> ()
+  | Some path ->
+      t.metrics_writer <- Some (Thread.create (metrics_writer_loop t path) ()));
   t
 
 let stop t =
@@ -542,6 +654,14 @@ let stop t =
     wake t;
     (match t.dispatcher with None -> () | Some th -> Thread.join th);
     t.dispatcher <- None;
+    (* The drain is complete: every span the server will ever record
+       exists now. Flush the tracer sink before tear-down so a
+       SIGTERM-driven stop cannot lose the trace (historically it was
+       only written by an [at_exit] hook that a signal path skipped). *)
+    Tracer.flush ();
+    Atomic.set t.stop_metrics true;
+    (match t.metrics_writer with None -> () | Some th -> Thread.join th);
+    t.metrics_writer <- None;
     assert (Admission.in_flight_bytes t.admission = 0);
     (* 3. Tear down. Drained connections were already reclaimed when
        their last reply went out; this sweeps any stragglers. *)

@@ -22,7 +22,16 @@
     responses, rejects, batches, queue-depth gauges, in-flight-bytes
     gauge, latency histogram) live in the process
     {!Xpose_obs.Metrics} registry, which the [Stats] request snapshots
-    as JSON.
+    as JSON and the [Stats_text] request renders as a Prometheus text
+    exposition.
+
+    Every stage is traced when the process tracer records: each
+    request's [trace] id is carried through the queue (a retroactive
+    [server.queue_wait] span from arrival to dequeue), the coalescer
+    ([server.coalesce], dequeue to dispatch), the batch execution
+    ([server.dispatch]), and — via {!Xpose_obs.Tracer} ambient args —
+    into every engine pass/panel span the batch runs, so one Chrome
+    trace shows a request end to end under a single trace id.
 
     {!stop} is the clean-shutdown path: stop accepting, wake and join
     every reader, drain-and-execute everything admitted (no admitted
@@ -48,6 +57,12 @@ type config = {
           client cannot stall the dispatcher for everyone else.
           [0.] means no timeout (writes block). *)
   prefetch : bool;  (** ooc jobs double-buffer via an I/O domain *)
+  metrics_file : string option;
+      (** when set, a writer thread rewrites this file with the
+          Prometheus text exposition ({!Xpose_obs.Exposition.render})
+          every [metrics_interval_s] — write-temp-then-rename, so a
+          scraper never sees a torn file — plus once more on {!stop} *)
+  metrics_interval_s : float;  (** dump period, > 0 (default 1 s) *)
 }
 
 val default_config : socket_path:string -> config
@@ -65,8 +80,12 @@ val start : config -> t
     @raise Unix.Unix_error if the socket cannot be bound. *)
 
 val stop : t -> unit
-(** Clean shutdown as described above. Idempotent; must be called from
-    the thread/domain that called {!start}. *)
+(** Clean shutdown as described above, plus the observability half of
+    the drain: once the dispatcher has answered the last admitted job,
+    the tracer sink is {!Xpose_obs.Tracer.flush}ed (so a SIGTERM-driven
+    stop cannot lose the trace) and the metrics writer makes a final
+    dump. Idempotent; must be called from the thread/domain that called
+    {!start}. *)
 
 val live_connections : t -> int
 (** Connections currently held open by the server. A connection is

@@ -1,0 +1,73 @@
+open Xpose_obs
+
+(* These tests reset the process-global clock, so the suite runs LAST
+   in the runner and every test restores the harness wall clock on the
+   way out — the tracer/report suites depend on it. *)
+
+let wall () = Unix.gettimeofday () *. 1e9
+
+let with_fresh_clock f =
+  Fun.protect
+    ~finally:(fun () ->
+      Clock.reset ();
+      Clock.install wall)
+    (fun () ->
+      Clock.reset ();
+      f ())
+
+let test_install_if_unset_claims () =
+  with_fresh_clock (fun () ->
+      Alcotest.(check bool) "fresh state" false (Clock.is_installed ());
+      Clock.install_if_unset (fun () -> 42.0);
+      Alcotest.(check bool) "claimed" true (Clock.is_installed ());
+      Alcotest.(check (float 0.0)) "source active" 42.0 (Clock.now_ns ()))
+
+let test_install_if_unset_no_clobber () =
+  with_fresh_clock (fun () ->
+      Clock.install (fun () -> 1.0);
+      Clock.install_if_unset (fun () -> 2.0);
+      Alcotest.(check (float 0.0))
+        "explicit install survives a later install_if_unset" 1.0
+        (Clock.now_ns ()))
+
+let test_install_if_unset_concurrent_once () =
+  with_fresh_clock (fun () ->
+      (* N domains race to install distinct constant sources; exactly
+         one must win, and the clock must never flip between them. *)
+      let n = 8 in
+      let domains =
+        List.init n (fun i ->
+            Domain.spawn (fun () ->
+                Clock.install_if_unset (fun () -> float_of_int (i + 1))))
+      in
+      List.iter Domain.join domains;
+      Alcotest.(check bool) "installed" true (Clock.is_installed ());
+      let winner = Clock.now_ns () in
+      Alcotest.(check bool)
+        "winner is one of the racers" true
+        (winner >= 1.0 && winner <= float_of_int n);
+      for _ = 1 to 100 do
+        Alcotest.(check (float 0.0)) "source never flip-flops" winner
+          (Clock.now_ns ())
+      done)
+
+let test_reset_restores_default () =
+  with_fresh_clock (fun () ->
+      Clock.install (fun () -> 7.0);
+      Clock.reset ();
+      Alcotest.(check bool) "flag cleared" false (Clock.is_installed ());
+      (* the default source is CPU time: non-negative and finite *)
+      let v = Clock.default_now_ns () in
+      Alcotest.(check bool) "default ticks" true (Float.is_finite v && v >= 0.0))
+
+let tests =
+  [
+    Alcotest.test_case "install_if_unset claims an empty slot" `Quick
+      test_install_if_unset_claims;
+    Alcotest.test_case "install_if_unset never clobbers" `Quick
+      test_install_if_unset_no_clobber;
+    Alcotest.test_case "concurrent install_if_unset installs once" `Quick
+      test_install_if_unset_concurrent_once;
+    Alcotest.test_case "reset restores the default source" `Quick
+      test_reset_restores_default;
+  ]

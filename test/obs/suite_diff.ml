@@ -1,0 +1,162 @@
+open Xpose_obs
+
+(* A minimal document in the bench driver's emitter format. *)
+let doc ?(counters = []) ?(roofline = []) benchmarks =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Printf.bprintf b "    {\"name\": \"%s\", \"ns_per_run\": %.17g}" name ns)
+    benchmarks;
+  Buffer.add_string b "\n  ],\n  \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "\"%s\": %.17g" name v)
+    counters;
+  Buffer.add_string b "},\n  \"roofline\": {";
+  List.iteri
+    (fun i (pass, frac) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "\"%s\": {\"roofline_frac\": %.17g}" pass frac)
+    roofline;
+  Buffer.add_string b "}\n}\n";
+  Buffer.contents b
+
+let run ?thresholds ~baseline ~current () =
+  match Diff.compare ?thresholds ~baseline ~current () with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "compare failed: %s" e
+
+let base =
+  doc
+    ~counters:[ ("xpose.elements_moved", 1000.0) ]
+    ~roofline:[ ("c2r.fused", 0.8) ]
+    [ ("c2r/fused 480x384", 50_000.0); ("r2c/fused 480x384", 60_000.0) ]
+
+let test_self_compare_ok () =
+  let v = run ~baseline:base ~current:base () in
+  Alcotest.(check bool) "ok" true v.Diff.ok;
+  Alcotest.(check int) "no findings" 0 (List.length v.Diff.findings);
+  (* 2 benchmarks + 1 counter + 1 roofline pass on both sides *)
+  Alcotest.(check int) "compared all" 4 v.Diff.compared
+
+let test_slowdown_flagged () =
+  let cur =
+    doc
+      ~counters:[ ("xpose.elements_moved", 1000.0) ]
+      ~roofline:[ ("c2r.fused", 0.8) ]
+      [ ("c2r/fused 480x384", 100_000.0); ("r2c/fused 480x384", 60_000.0) ]
+  in
+  let v = run ~baseline:base ~current:cur () in
+  Alcotest.(check bool) "not ok on a 2x slowdown" false v.Diff.ok;
+  match v.Diff.findings with
+  | [ f ] ->
+      Alcotest.(check string) "category" "time" f.Diff.category;
+      Alcotest.(check string) "metric" "c2r/fused 480x384" f.Diff.metric
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_small_absolute_delta_is_noise () =
+  (* 10 ns -> 25 ns is +150 % relative but under the min_ns floor. *)
+  let b = doc [ ("tiny", 10.0) ] and c = doc [ ("tiny", 25.0) ] in
+  let v = run ~baseline:b ~current:c () in
+  Alcotest.(check bool) "sub-floor delta ignored" true v.Diff.ok
+
+let test_missing_benchmark () =
+  let cur = doc [ ("r2c/fused 480x384", 60_000.0) ] in
+  let v = run ~baseline:base ~current:cur () in
+  Alcotest.(check bool) "not ok" false v.Diff.ok;
+  let missing =
+    List.filter (fun f -> f.Diff.category = "missing") v.Diff.findings
+  in
+  Alcotest.(check int) "one missing finding" 1 (List.length missing)
+
+let test_counter_growth () =
+  let cur =
+    doc
+      ~counters:[ ("xpose.elements_moved", 2000.0) ]
+      [ ("c2r/fused 480x384", 50_000.0); ("r2c/fused 480x384", 60_000.0) ]
+  in
+  let v = run ~baseline:base ~current:cur () in
+  Alcotest.(check bool) "counter doubling flagged" false v.Diff.ok;
+  match v.Diff.findings with
+  | [ f ] -> Alcotest.(check string) "category" "counter" f.Diff.category
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_roofline_drop () =
+  let cur =
+    doc
+      ~roofline:[ ("c2r.fused", 0.3) ]
+      [ ("c2r/fused 480x384", 50_000.0); ("r2c/fused 480x384", 60_000.0) ]
+  in
+  let v = run ~baseline:base ~current:cur () in
+  Alcotest.(check bool) "roofline collapse flagged" false v.Diff.ok;
+  match v.Diff.findings with
+  | [ f ] ->
+      Alcotest.(check string) "category" "roofline" f.Diff.category;
+      Alcotest.(check string) "metric" "c2r.fused" f.Diff.metric
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_thresholds_tunable () =
+  let cur =
+    doc
+      [ ("c2r/fused 480x384", 60_000.0); ("r2c/fused 480x384", 60_000.0) ]
+  in
+  (* +20 % passes the default +50 % bar but fails a 10 % one. *)
+  let v = run ~baseline:base ~current:cur () in
+  Alcotest.(check bool) "default thresholds tolerate +20%" true v.Diff.ok;
+  let tight = { Diff.default_thresholds with time_rel = 0.1 } in
+  let v = run ~thresholds:tight ~baseline:base ~current:cur () in
+  Alcotest.(check bool) "tight thresholds flag +20%" false v.Diff.ok
+
+let test_malformed_is_error () =
+  let is_error baseline current =
+    match Diff.compare ~baseline ~current () with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  Alcotest.(check bool) "garbage baseline" true (is_error "nope" base);
+  Alcotest.(check bool) "garbage current" true (is_error base "{broken");
+  Alcotest.(check bool)
+    "document without benchmarks" true
+    (is_error "{\"counters\": {}}" base)
+
+let test_render_verdict () =
+  let cur = doc [ ("r2c/fused 480x384", 60_000.0) ] in
+  let v = run ~baseline:base ~current:cur () in
+  let rendered = Diff.render_verdict v in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length rendered
+      && (String.sub rendered i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "carries ok flag" true (has "\"ok\": false");
+  Alcotest.(check bool) "carries category" true (has "\"missing\"");
+  Alcotest.(check bool)
+    "nan current renders as null" true
+    (has "\"current\": null");
+  (* the verdict itself must parse as JSON *)
+  match Json_lite.parse rendered with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "verdict is not valid JSON: %s" e
+
+let tests =
+  [
+    Alcotest.test_case "self-compare is ok" `Quick test_self_compare_ok;
+    Alcotest.test_case "2x slowdown is flagged" `Quick test_slowdown_flagged;
+    Alcotest.test_case "sub-floor deltas are noise" `Quick
+      test_small_absolute_delta_is_noise;
+    Alcotest.test_case "missing benchmark is a finding" `Quick
+      test_missing_benchmark;
+    Alcotest.test_case "counter growth is flagged" `Quick test_counter_growth;
+    Alcotest.test_case "roofline drop is flagged" `Quick test_roofline_drop;
+    Alcotest.test_case "thresholds are tunable" `Quick test_thresholds_tunable;
+    Alcotest.test_case "malformed input is an Error" `Quick
+      test_malformed_is_error;
+    Alcotest.test_case "render_verdict is valid JSON" `Quick
+      test_render_verdict;
+  ]

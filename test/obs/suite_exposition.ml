@@ -1,0 +1,102 @@
+open Xpose_obs
+
+let has s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let lines s = String.split_on_char '\n' s
+
+let test_sanitize () =
+  Alcotest.(check string)
+    "dots become underscores" "server_queue_wait_ns"
+    (Exposition.sanitize "server.queue_wait_ns");
+  Alcotest.(check string)
+    "colon survives" "xpose:total"
+    (Exposition.sanitize "xpose:total");
+  Alcotest.(check string)
+    "hostile chars flattened" "a_b_c_"
+    (Exposition.sanitize "a-b c\xff")
+
+let test_counter_and_gauge_lines () =
+  Metrics.incr ~by:5 (Metrics.counter "test.expo.counter");
+  Metrics.set_gauge (Metrics.gauge "test.expo.gauge") 2.5;
+  let out = Exposition.render () in
+  Alcotest.(check bool)
+    "counter TYPE line" true
+    (has out "# TYPE test_expo_counter counter");
+  Alcotest.(check bool) "counter sample" true (has out "test_expo_counter 5");
+  Alcotest.(check bool)
+    "gauge TYPE line" true
+    (has out "# TYPE test_expo_gauge gauge");
+  Alcotest.(check bool) "gauge sample" true (has out "test_expo_gauge 2.5")
+
+let test_histogram_exposition () =
+  let h = Metrics.histogram "test.expo.hist" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 4.0 ];
+  let out = Exposition.render () in
+  Alcotest.(check bool)
+    "histogram TYPE line" true
+    (has out "# TYPE test_expo_hist histogram");
+  (* cumulative buckets: (0,1] holds 1, (1,2] brings the total to 2 *)
+  Alcotest.(check bool)
+    "first bucket" true
+    (has out "test_expo_hist_bucket{le=\"1\"} 1");
+  Alcotest.(check bool)
+    "cumulative second bucket" true
+    (has out "test_expo_hist_bucket{le=\"2\"} 2");
+  Alcotest.(check bool)
+    "+Inf closes at the count" true
+    (has out "test_expo_hist_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "sum" true (has out "test_expo_hist_sum 7");
+  Alcotest.(check bool) "count" true (has out "test_expo_hist_count 3");
+  (* p50 of [1;2;4]: rank 1.5 interpolates halfway through (1,2] *)
+  Alcotest.(check bool)
+    "p50 quantile sample" true
+    (has out "test_expo_hist{quantile=\"0.5\"} 1.5");
+  Alcotest.(check bool)
+    "p99 quantile present" true
+    (has out "test_expo_hist{quantile=\"0.99\"}")
+
+let test_non_finite_legal () =
+  Metrics.set_gauge (Metrics.gauge "test.expo.nan") nan;
+  Metrics.set_gauge (Metrics.gauge "test.expo.inf") infinity;
+  let out = Exposition.render () in
+  Alcotest.(check bool) "NaN sample" true (has out "test_expo_nan NaN");
+  Alcotest.(check bool) "+Inf sample" true (has out "test_expo_inf +Inf");
+  (* leave sane values for later suites *)
+  Metrics.set_gauge (Metrics.gauge "test.expo.nan") 0.0;
+  Metrics.set_gauge (Metrics.gauge "test.expo.inf") 0.0
+
+let test_deterministic_and_sorted () =
+  let a = Exposition.render () and b = Exposition.render () in
+  Alcotest.(check string) "stable across renders" a b;
+  (* one [# TYPE] line per metric, in the registry's sorted order *)
+  let families =
+    List.filter_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ "#"; "TYPE"; name; _kind ] -> Some name
+        | _ -> None)
+      (lines a)
+  in
+  Alcotest.(check (list string))
+    "TYPE lines follow the registry snapshot"
+    (List.map (fun (n, _) -> Exposition.sanitize n) (Metrics.all ()))
+    families
+
+let tests =
+  [
+    Alcotest.test_case "sanitize maps to the Prometheus charset" `Quick
+      test_sanitize;
+    Alcotest.test_case "counter and gauge samples" `Quick
+      test_counter_and_gauge_lines;
+    Alcotest.test_case "histogram buckets are cumulative" `Quick
+      test_histogram_exposition;
+    Alcotest.test_case "non-finite values render legally" `Quick
+      test_non_finite_legal;
+    Alcotest.test_case "rendering is deterministic" `Quick
+      test_deterministic_and_sorted;
+  ]

@@ -57,6 +57,51 @@ let test_gauge_histogram () =
   in
   Alcotest.(check int) "every observation bucketed" 4 bucketed
 
+let test_histogram_quantile () =
+  let h = Metrics.histogram "test.quantile" in
+  Alcotest.(check bool)
+    "empty histogram yields nan" true
+    (Float.is_nan (Metrics.histogram_quantile h 0.5));
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 4.0; 8.0 ];
+  (* Four observations, one per log2 bucket: rank q*4 walks the
+     cumulative counts, interpolating inside the bucket it lands in. *)
+  Alcotest.(check (float 1e-9))
+    "p25 is bucket 0's upper bound" 1.0
+    (Metrics.histogram_quantile h 0.25);
+  Alcotest.(check (float 1e-9))
+    "p50 is bucket 1's upper bound" 2.0
+    (Metrics.histogram_quantile h 0.50);
+  Alcotest.(check (float 1e-9))
+    "p100 is bucket 3's upper bound" 8.0
+    (Metrics.histogram_quantile h 1.0);
+  (* Out-of-range q clamps rather than extrapolating. *)
+  Alcotest.(check (float 1e-9))
+    "q > 1 clamps to the max" 8.0
+    (Metrics.histogram_quantile h 2.0);
+  Alcotest.(check bool)
+    "q <= 0 clamps to a finite value" true
+    (Float.is_finite (Metrics.histogram_quantile h (-1.0)));
+  Alcotest.(check bool)
+    "NaN q yields nan" true
+    (Float.is_nan (Metrics.histogram_quantile h Float.nan))
+
+let test_dump_sorted () =
+  (* Exposition and diffing rely on a deterministic dump order; register
+     in reverse-alphabetical order and assert the snapshot is sorted. *)
+  ignore (Metrics.counter "test.sorted.z");
+  ignore (Metrics.counter "test.sorted.a");
+  ignore (Metrics.counter "test.sorted.m");
+  let names = List.map fst (Metrics.dump ()) in
+  Alcotest.(check (list string))
+    "dump is sorted by name"
+    (List.sort String.compare names)
+    names;
+  let all_names = List.map fst (Metrics.all ()) in
+  Alcotest.(check (list string))
+    "all () is sorted by name"
+    (List.sort String.compare all_names)
+    all_names
+
 let test_dump_and_render () =
   let c = Metrics.counter "test.dumped" in
   Metrics.incr ~by:7 c;
@@ -102,7 +147,12 @@ let test_render_json () =
       "\"histograms\"";
       "\"test.json.counter\": 3";
       "\"test.json.gauge\": 2.5";
-      "\"test.json.hist\": {\"count\": 2, \"sum\": 3.0}";
+      (* p50 of [1.0; 2.0] interpolates to bucket 0's upper bound,
+         exactly 1.0; p90/p99 land mid-bucket so only their presence is
+         pinned (their rendering tracks float interpolation). *)
+      "\"test.json.hist\": {\"count\": 2, \"sum\": 3.0, \"p50\": 1.0";
+      "\"p90\": ";
+      "\"p99\": ";
     ];
   (* integral gauges render with a decimal point so consumers parse a
      stable number type *)
@@ -160,6 +210,8 @@ let tests =
       test_registration_idempotent;
     Alcotest.test_case "name/type mismatch raises" `Quick test_type_mismatch;
     Alcotest.test_case "gauges and histograms" `Quick test_gauge_histogram;
+    Alcotest.test_case "histogram_quantile" `Quick test_histogram_quantile;
+    Alcotest.test_case "dump is sorted by name" `Quick test_dump_sorted;
     Alcotest.test_case "dump and render" `Quick test_dump_and_render;
     Alcotest.test_case "render_json" `Quick test_render_json;
     Alcotest.test_case "render_json stays valid on non-finite floats" `Quick

@@ -115,6 +115,85 @@ let test_c2r_paper_shape () =
   check_c2r_totals ~workers:4 ~m:311 ~n:217
     ~pass_names:[ "row_shuffle"; "col_shuffle" ]
 
+(* A synthetic calibration with round-number roofs: 1 byte/ns for every
+   traffic shape except gather at 0.5, so fractions are exact. *)
+let synthetic_cal =
+  let probe gbps = { Calibrate.gbps; ns_per_byte = 1.0 /. gbps } in
+  {
+    Calibrate.elems = 4096;
+    repeats = 1;
+    panel_width = 16;
+    stream = probe 1.0;
+    gather = probe 0.5;
+    scatter = probe 1.0;
+    permute = probe 1.0;
+  }
+
+let test_roofline_columns () =
+  let events =
+    [
+      (* 100 touches = 800 B over 2000 ns -> 0.4 GB/s; plain name maps
+         to the stream roof (1.0) -> fraction 0.4 *)
+      ev ~seq:0 ~ts:0.0 ~dur:2000.0 ~args:(pred 100) "plain";
+      (* fused name maps to the gather roof (0.5): 300 touches = 2400 B
+         over 2000 ns -> 1.2 GB/s -> fraction 2.4, clamped to 1.5 *)
+      ev ~seq:1 ~ts:3000.0 ~dur:2000.0 ~args:(pred 300) "fused_panel";
+    ]
+  in
+  let r = Report.of_events ~cal:synthetic_cal events in
+  Alcotest.(check bool) "calibrated" true r.Report.calibrated;
+  (match r.Report.passes with
+  | [ plain; fused ] ->
+      Alcotest.(check (float 1e-9)) "plain gbps" 0.4 plain.Report.gbps;
+      Alcotest.(check (float 1e-9))
+        "plain roofline_frac" 0.4 plain.Report.roofline_frac;
+      Alcotest.(check (float 1e-9)) "fused gbps" 1.2 fused.Report.gbps;
+      Alcotest.(check (float 1e-9))
+        "over-roof fraction clamps" Roofline.max_fraction
+        fused.Report.roofline_frac;
+      List.iter
+        (fun (row : Report.row) ->
+          Alcotest.(check bool)
+            (row.Report.name ^ " frac in (0, max]")
+            true
+            (row.Report.roofline_frac > 0.0
+            && row.Report.roofline_frac <= Roofline.max_fraction))
+        [ plain; fused ]
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+  (* the calibrated table grows the GB/s and roofl columns *)
+  let rendered = r |> Report.render ~show_times:true in
+  let has s sub =
+    let nn = String.length sub in
+    let rec go i =
+      i + nn <= String.length s && (String.sub s i nn = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "GB/s header" true (has rendered "GB/s");
+  Alcotest.(check bool) "roofl header" true (has rendered "roofl")
+
+let test_uncalibrated_rows_are_nan () =
+  let events = [ ev ~seq:0 ~ts:0.0 ~dur:2000.0 ~args:(pred 100) "plain" ] in
+  let r = Report.of_events events in
+  Alcotest.(check bool) "not calibrated" false r.Report.calibrated;
+  (match r.Report.passes with
+  | [ row ] ->
+      Alcotest.(check bool) "gbps nan" true (Float.is_nan row.Report.gbps);
+      Alcotest.(check bool)
+        "frac nan" true
+        (Float.is_nan row.Report.roofline_frac)
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows));
+  (* and the rendered table keeps the pre-calibration layout *)
+  let rendered = Report.render ~show_times:true r in
+  let has s sub =
+    let nn = String.length sub in
+    let rec go i =
+      i + nn <= String.length s && (String.sub s i nn = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "no GB/s column" false (has rendered "GB/s")
+
 let test_render_no_times_deterministic () =
   let _, r = traced_c2r ~workers:2 ~m:4 ~n:6 in
   let rendered = Report.render ~show_times:false r in
@@ -146,6 +225,10 @@ let tests =
       test_c2r_coprime;
     Alcotest.test_case "c2r 311x217 pred sum = theorem 6" `Quick
       test_c2r_paper_shape;
+    Alcotest.test_case "calibrated rows carry roofline columns" `Quick
+      test_roofline_columns;
+    Alcotest.test_case "uncalibrated rows stay nan" `Quick
+      test_uncalibrated_rows_are_nan;
     Alcotest.test_case "render without times is deterministic" `Quick
       test_render_no_times_deterministic;
   ]

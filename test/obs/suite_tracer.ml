@@ -247,9 +247,72 @@ let test_pass_counters () =
     (read "xpose.pred_touches_total" - pred0);
   Alcotest.(check int) "per-kind counter" 1 (read "pass.unit_test_pass")
 
+let test_sink_flush () =
+  let snapshots = ref [] in
+  Fun.protect
+    ~finally:(fun () -> Tracer.set_sink None)
+    (fun () ->
+      Tracer.set_sink (Some (fun evs -> snapshots := evs :: !snapshots));
+      with_tracing (fun () ->
+          Tracer.with_span ~cat:"pass" "first" (fun () -> ());
+          Tracer.flush ();
+          Tracer.with_span ~cat:"pass" "second" (fun () -> ());
+          Tracer.flush ();
+          (* idempotent full snapshots: each flush re-delivers everything *)
+          match !snapshots with
+          | [ later; earlier ] ->
+              Alcotest.(check int) "first flush sees one event" 1
+                (List.length earlier);
+              Alcotest.(check int) "second flush sees both" 2
+                (List.length later);
+              Alcotest.(check (list string))
+                "snapshot order is recording order" [ "first"; "second" ]
+                (List.map (fun e -> e.Tracer.name) later)
+          | l -> Alcotest.failf "expected 2 snapshots, got %d" (List.length l)));
+  (* with the sink removed, flush is a no-op *)
+  let before = List.length !snapshots in
+  Tracer.flush ();
+  Alcotest.(check int) "no sink, no delivery" before (List.length !snapshots)
+
+let test_ambient_args_on_pass_spans () =
+  with_tracing (fun () ->
+      let trace = Tracer.fresh_trace_id () in
+      Tracer.with_ambient_args
+        [ ("trace", Tracer.Int trace) ]
+        (fun () ->
+          ignore
+            (Tracer.pass ~name:"ambient_pass" ~rows:2 ~cols:2 ~pred_touches:8
+               ~scratch_elems:2
+               (fun () -> 0)));
+      Alcotest.(check (list (pair string (float 0.0))))
+        "ambient cell cleared" []
+        (List.map
+           (fun (k, v) ->
+             (k, match v with Tracer.Int i -> float_of_int i | _ -> nan))
+           (Tracer.ambient_args ()));
+      match Tracer.events () with
+      | [ e ] -> (
+          match List.assoc_opt "trace" e.Tracer.args with
+          | Some (Tracer.Int t) ->
+              Alcotest.(check int) "pass span carries the trace id" trace t
+          | _ -> Alcotest.fail "trace arg missing from the pass span")
+      | es -> Alcotest.failf "expected 1 event, got %d" (List.length es))
+
+let test_fresh_trace_ids_distinct () =
+  let a = Tracer.fresh_trace_id () and b = Tracer.fresh_trace_id () in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check bool) "u32 range" true
+    (a >= 0 && a <= 0xFFFF_FFFF && b >= 0 && b <= 0xFFFF_FFFF)
+
 let tests =
   [
     Alcotest.test_case "chrome json round-trip" `Quick test_chrome_roundtrip;
+    Alcotest.test_case "sink receives idempotent full snapshots" `Quick
+      test_sink_flush;
+    Alcotest.test_case "ambient args land on pass spans" `Quick
+      test_ambient_args_on_pass_spans;
+    Alcotest.test_case "fresh trace ids are distinct u32s" `Quick
+      test_fresh_trace_ids_distinct;
     Alcotest.test_case "disabled tracer records nothing" `Quick
       test_disabled_is_free;
     Alcotest.test_case "span survives an exception" `Quick

@@ -7,4 +7,10 @@ let () =
       ("metrics", Suite_metrics.tests);
       ("tracer", Suite_tracer.tests);
       ("report", Suite_report.tests);
+      ("exposition", Suite_exposition.tests);
+      ("calibrate", Suite_calibrate.tests);
+      ("diff", Suite_diff.tests);
+      (* last: these tests reset the process-global clock and the other
+         suites depend on the wall clock installed above *)
+      ("clock", Suite_clock.tests);
     ]

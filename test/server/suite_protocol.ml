@@ -33,13 +33,15 @@ let gen_tenant =
 let gen_transpose =
   QCheck2.Gen.(
     let* id = gen_id in
+    let* trace = gen_id in
     let* tenant = gen_tenant in
     let* priority = gen_priority in
     let* m = int_range 1 9 in
     let* n = int_range 1 9 in
     let* payload = gen_payload (m * n) in
     return
-      (P.Transpose { id; tenant; priority; m; n; payload = buf_of_array payload }))
+      (P.Transpose
+         { id; trace; tenant; priority; m; n; payload = buf_of_array payload }))
 
 let gen_request =
   QCheck2.Gen.(
@@ -47,6 +49,7 @@ let gen_request =
       [
         (4, gen_transpose);
         (1, map (fun id -> P.Stats { id }) gen_id);
+        (1, map (fun id -> P.Stats_text { id }) gen_id);
       ])
 
 let gen_response =
@@ -146,6 +149,8 @@ let test_oversized_payload () =
   Buffer.add_string b "\x00\x00\x00\x2a";
   (* priority = normal *)
   Buffer.add_char b '\x01';
+  (* trace = 0 *)
+  Buffer.add_string b "\x00\x00\x00\x00";
   (* tenant = "" *)
   Buffer.add_string b "\x00\x00";
   (* m = n = 65536 *)
@@ -170,6 +175,8 @@ let test_oversized_overflowing_shape () =
     Buffer.add_string b "\x00\x00\x00\x2a";
     (* priority = normal *)
     Buffer.add_char b '\x01';
+    (* trace = 0 *)
+    Buffer.add_string b "\x00\x00\x00\x00";
     (* tenant = "" *)
     Buffer.add_string b "\x00\x00";
     (* m = n = 0x80000000 *)
@@ -204,6 +211,7 @@ let test_oversized_respects_max_bytes () =
     P.Transpose
       {
         id = 1;
+        trace = 0;
         tenant = "t";
         priority = P.Normal;
         m = 8;
@@ -242,7 +250,7 @@ let test_empty_body () =
 
 let test_bad_priority_and_shape () =
   let body = P.encode_request (P.Transpose
-    { id = 1; tenant = ""; priority = P.Low; m = 2; n = 2;
+    { id = 1; trace = 0; tenant = ""; priority = P.Low; m = 2; n = 2;
       payload = iota_buf 4 }) in
   (* priority byte lives right after tag + id *)
   let bad_priority = Bytes.copy body in
@@ -250,9 +258,10 @@ let test_bad_priority_and_shape () =
   (match P.decode_request bad_priority with
   | Error (`Corrupt _) -> ()
   | _ -> Alcotest.fail "priority byte 9 accepted");
-  (* zero rows: m field sits after tag(1) id(4) priority(1) tenant(2) *)
+  (* zero rows: m field sits after
+     tag(1) id(4) priority(1) trace(4) tenant(2) *)
   let bad_shape = Bytes.copy body in
-  Bytes.blit_string "\x00\x00\x00\x00" 0 bad_shape 8 4;
+  Bytes.blit_string "\x00\x00\x00\x00" 0 bad_shape 12 4;
   match P.decode_request bad_shape with
   | Error (`Corrupt _) -> ()
   | _ -> Alcotest.fail "m = 0 accepted"
@@ -270,6 +279,7 @@ let test_corruption_total () =
         (P.Transpose
            {
              id = 123;
+             trace = 0xdead_beef;
              tenant = "acme";
              priority = P.High;
              m = 5;
@@ -277,6 +287,7 @@ let test_corruption_total () =
              payload = iota_buf 35;
            });
       P.encode_request (P.Stats { id = 99 });
+      P.encode_request (P.Stats_text { id = 100 });
     ]
   and responses =
     [

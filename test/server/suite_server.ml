@@ -210,7 +210,7 @@ let test_overflow_frame_keeps_connection () =
              The server must answer with a protocol error and live. *)
           P.write_frame fd
             (Bytes.of_string
-               "\x01\x00\x00\x00\x2a\x01\x00\x00\x80\x00\x00\x00\x80\x00\x00\x00");
+               "\x01\x00\x00\x00\x2a\x01\x00\x00\x00\x00\x00\x00\x80\x00\x00\x00\x80\x00\x00\x00");
           (match P.read_frame fd with
           | Ok body -> (
               match P.decode_response body with
@@ -274,9 +274,167 @@ let test_stop_idempotent () =
   Alcotest.(check bool) "stats_json still renders" true
     (String.length json > 0)
 
+(* -- end-to-end request tracing --------------------------------------- *)
+
+module Tracer = Xpose_obs.Tracer
+
+let carries_trace trace (e : Tracer.event) =
+  List.exists
+    (fun (k, v) -> k = "trace" && v = Tracer.Int trace)
+    e.Tracer.args
+
+let test_trace_propagation () =
+  let config = Server.default_config ~socket_path:(fresh_socket_path ()) in
+  Tracer.clear ();
+  Tracer.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tracer.stop ();
+      Tracer.clear ())
+    (fun () ->
+      let trace = 0x00ab_cdef in
+      with_server config (fun () ->
+          Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+              check_result ~m:16 ~n:16
+                (Client.transpose c ~trace ~m:16 ~n:16 (iota 256))));
+      let events = Tracer.events () in
+      let named name =
+        List.filter (fun e -> e.Tracer.name = name) events
+      in
+      (* One request, one trace: the client anchor, the two retroactive
+         queue spans, the dispatch span, and at least one engine pass
+         must all exist and carry the same trace id. *)
+      List.iter
+        (fun name ->
+          match named name with
+          | [] -> Alcotest.failf "no %s span recorded" name
+          | es ->
+              Alcotest.(check bool)
+                (name ^ " carries the trace id")
+                true
+                (List.exists (carries_trace trace) es))
+        [ "client.submit"; "server.queue_wait"; "server.coalesce";
+          "server.dispatch" ];
+      let traced_passes =
+        List.filter
+          (fun e -> e.Tracer.cat = "pass" && carries_trace trace e)
+          events
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "engine passes carry the trace id (%d)"
+           (List.length traced_passes))
+        true
+        (List.length traced_passes >= 1);
+      (* and timing nests: the client span spans the whole round trip *)
+      match (named "client.submit", named "server.dispatch") with
+      | [ submit ], dispatch :: _ ->
+          Alcotest.(check bool) "dispatch starts after submit" true
+            (dispatch.Tracer.ts_ns >= submit.Tracer.ts_ns)
+      | _ -> Alcotest.fail "expected exactly one client.submit span")
+
+let test_queue_wait_histograms () =
+  let config = Server.default_config ~socket_path:(fresh_socket_path ()) in
+  let count name = M.histogram_count (M.histogram name) in
+  let qw0 = count "server.queue_wait_ns" in
+  let co0 = count "server.coalesce_delay_ns" in
+  with_server config (fun () ->
+      Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+          check_result ~m:8 ~n:8 (Client.transpose c ~m:8 ~n:8 (iota 64))));
+  Alcotest.(check int) "queue wait observed once" 1
+    (count "server.queue_wait_ns" - qw0);
+  Alcotest.(check int) "coalesce delay observed once" 1
+    (count "server.coalesce_delay_ns" - co0)
+
+(* S2: the drain path flushes the trace sink, so a server torn down by a
+   signal still leaves a complete trace file behind. *)
+let test_shutdown_flushes_sink () =
+  let config = Server.default_config ~socket_path:(fresh_socket_path ()) in
+  let flushed = ref [] in
+  Tracer.clear ();
+  Tracer.set_sink (Some (fun evs -> flushed := evs));
+  Tracer.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tracer.set_sink None;
+      Tracer.stop ();
+      Tracer.clear ())
+    (fun () ->
+      let t = Server.start config in
+      Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+          check_result ~m:8 ~n:8 (Client.transpose c ~m:8 ~n:8 (iota 64)));
+      Server.stop t;
+      Alcotest.(check bool)
+        (Printf.sprintf "stop flushed the sink (%d events)"
+           (List.length !flushed))
+        true
+        (List.length !flushed > 0);
+      Alcotest.(check bool) "flush included a server span" true
+        (List.exists
+           (fun e -> e.Tracer.cat = "server")
+           !flushed))
+
+(* -- Prometheus exposition over the wire ------------------------------ *)
+
+let test_stats_text () =
+  let config = Server.default_config ~socket_path:(fresh_socket_path ()) in
+  with_server config (fun () ->
+      Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+          check_result ~m:8 ~n:8 (Client.transpose c ~m:8 ~n:8 (iota 64));
+          let text = Client.stats_text c in
+          let has needle =
+            let rec go i =
+              i + String.length needle <= String.length text
+              && (String.sub text i (String.length needle) = needle
+                 || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "has TYPE lines" true (has "# TYPE ");
+          Alcotest.(check bool) "sanitized server counter" true
+            (has "server_requests");
+          Alcotest.(check bool) "queue-wait histogram exposed" true
+            (has "server_queue_wait_ns_bucket")))
+
+let test_metrics_file () =
+  let file = Filename.temp_file "xpose_metrics" ".prom" in
+  Sys.remove file;
+  let config =
+    {
+      (Server.default_config ~socket_path:(fresh_socket_path ())) with
+      Server.metrics_file = Some file;
+      metrics_interval_s = 0.05;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      with_server config (fun () ->
+          Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+              check_result ~m:8 ~n:8 (Client.transpose c ~m:8 ~n:8 (iota 64))));
+      (* stop wrote a final snapshot on the way out *)
+      Alcotest.(check bool) "metrics file exists" true (Sys.file_exists file);
+      let ic = open_in file in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Alcotest.(check bool) "file holds the exposition" true
+        (String.length text > 0
+        && String.sub text 0 7 = "# TYPE "))
+
 let tests =
   [
     Alcotest.test_case "round trip with oracle check" `Quick test_roundtrip;
+    Alcotest.test_case "trace id propagates end to end" `Quick
+      test_trace_propagation;
+    Alcotest.test_case "queue-wait histograms observe" `Quick
+      test_queue_wait_histograms;
+    Alcotest.test_case "shutdown flushes the trace sink" `Quick
+      test_shutdown_flushes_sink;
+    Alcotest.test_case "stats_text serves the exposition" `Quick
+      test_stats_text;
+    Alcotest.test_case "metrics file is written" `Quick test_metrics_file;
     Alcotest.test_case "same-shape requests coalesce" `Quick test_coalescing;
     Alcotest.test_case "over-quota jobs route to ooc" `Quick test_ooc_routing;
     Alcotest.test_case "budget backpressure" `Quick test_backpressure;
