@@ -108,10 +108,24 @@ let plan_entries ?threshold ~shapes ~permutes () =
 
 (* -- race analysis --------------------------------------------------------- *)
 
-(* A seeded split is vacuous when the driver runs no parallel pass at
-   all (degenerate shapes): nothing to corrupt, so no entry. *)
+(* A seeded split is vacuous when the driver runs no genuinely parallel
+   pass: degenerate shapes produce no barriers at all, and a schedule
+   whose every barrier lands all its work on a single lane (e.g. a
+   1-matrix batch forced matrix-parallel) has nothing a bad split could
+   corrupt, so no entry. *)
+let parallel_work barriers =
+  List.exists
+    (fun (b : Footprint.barrier) ->
+      let occupied =
+        List.filter
+          (fun (c : Footprint.chunk) -> c.writes <> [] || c.reads <> [])
+          b.chunks
+      in
+      List.length occupied >= 2)
+    barriers
+
 let race_entry ~subject ~seeded barriers =
-  if seeded && barriers = [] then None
+  if seeded && not (parallel_work barriers) then None
   else
     let nbar = List.length barriers in
     match Footprint.check barriers with
@@ -133,35 +147,71 @@ let race_entries ?(seeded = false) ~shapes ~permutes ~lanes () =
   let split =
     if seeded then Footprint.off_by_one_split else Footprint.pool_split
   in
+  (* Panel engines are proved at every width the autotuner may pick;
+     the row/column engines have no panel geometry, so one entry each
+     suffices. *)
+  let panel_engine engine =
+    match (engine : Spec.engine) with
+    | Spec.Cache | Spec.Fused -> true
+    | Spec.Functor | Spec.Kernels | Spec.Decomposed -> false
+  in
+  let widths_of engine =
+    if panel_engine engine then Tune_params.supported_widths
+    else [ Footprint.default_panel_width ]
+  in
   let engine_entries =
     List.concat_map
       (fun (m, n) ->
         List.concat_map
           (fun engine ->
-            List.filter_map
+            List.concat_map
               (fun l ->
-                let subject =
-                  Printf.sprintf "%s %dx%d @%d lanes" (Spec.engine_name engine)
-                    m n l
-                in
-                race_entry ~subject ~seeded
-                  (Footprint.transpose_barriers ~split ~engine ~lanes:l ~m ~n ()))
+                List.filter_map
+                  (fun width ->
+                    let subject =
+                      if panel_engine engine then
+                        Printf.sprintf "%s w%d %dx%d @%d lanes"
+                          (Spec.engine_name engine) width m n l
+                      else
+                        Printf.sprintf "%s %dx%d @%d lanes"
+                          (Spec.engine_name engine) m n l
+                    in
+                    race_entry ~subject ~seeded
+                      (Footprint.transpose_barriers ~split ~width ~engine
+                         ~lanes:l ~m ~n ()))
+                  (widths_of engine))
               lanes)
           Spec.all_engines)
       shapes
+  in
+  (* Every tunable batch-split policy is proved at every batch size the
+     policies disagree on, and at every supported panel width (the
+     panel-parallel side inherits the panel barriers). *)
+  let batch_policies =
+    Tune_params.
+      [ Auto; Matrix_parallel; Panel_parallel; Hybrid 2 ]
   in
   let batch_entries =
     List.concat_map
       (fun (m, n) ->
         List.concat_map
           (fun l ->
-            List.filter_map
+            List.concat_map
               (fun nb ->
-                let subject =
-                  Printf.sprintf "batch[%d] %dx%d @%d lanes" nb m n l
-                in
-                race_entry ~subject ~seeded
-                  (Footprint.batch_barriers ~split ~lanes:l ~m ~n ~nb ()))
+                List.concat_map
+                  (fun policy ->
+                    List.filter_map
+                      (fun width ->
+                        let subject =
+                          Printf.sprintf "batch[%d] %s w%d %dx%d @%d lanes" nb
+                            (Tune_params.split_to_string policy)
+                            width m n l
+                        in
+                        race_entry ~subject ~seeded
+                          (Footprint.batch_barriers ~split ~policy ~width
+                             ~lanes:l ~m ~n ~nb ()))
+                      Tune_params.supported_widths)
+                  batch_policies)
               [ 1; l; (2 * l) + 1 ])
           lanes)
       [ (32, 48); (97, 89) ]

@@ -97,6 +97,7 @@ val transpose_barriers :
 
 val batch_barriers :
   ?split:split ->
+  ?policy:Xpose_core.Tune_params.batch_split ->
   ?width:int ->
   lanes:int ->
   m:int ->
@@ -104,9 +105,11 @@ val batch_barriers :
   nb:int ->
   unit ->
   barrier list
-(** [Fused_f64.transpose_batch]: whole-matrix batch chunking when
-    [nb >= lanes] (or [lanes = 1]), per-matrix panel parallelism
-    otherwise. *)
+(** [Fused_f64.transpose_batch] under a batch-split [policy] (default
+    [Auto]): whole-matrix batch chunking when the policy goes
+    matrix-parallel for this [nb] (always when [lanes = 1]), per-matrix
+    panel parallelism otherwise — the same decision rule the engine
+    runs, so the race proof covers every tunable schedule. *)
 
 val ooc_barriers :
   ?split:split ->

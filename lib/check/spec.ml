@@ -172,8 +172,6 @@ let transpose_model engine ~m ~n =
 
 (* -- structured probes ---------------------------------------------------- *)
 
-let panel_width = 16
-
 let dedup_in_range ~bound l =
   List.sort_uniq compare (List.filter (fun x -> x >= 0 && x < bound) l)
 
@@ -183,19 +181,25 @@ let border ~bound =
 (* Flat probe indices for an [m x n] shape: border rows x (border columns
    + panel edges + one column per gcd residue class), the index classes
    where the engines' case splits live (rotation wrap, panel boundary,
-   CRT residue selection in d'_inv / q_inv). *)
-let probes ~m ~n =
+   CRT residue selection in d'_inv / q_inv). Panel edges are taken at
+   every width the autotuner may select, not just the default 16, so
+   the verification evidence covers each supported panel geometry. *)
+let probes ?(widths = Tune_params.supported_widths) ~m ~n () =
   let c = Intmath.gcd m n in
   let rows = border ~bound:m in
   let panel_edges =
-    let groups = Intmath.ceil_div n panel_width in
-    let picked =
-      dedup_in_range ~bound:groups
-        [ 0; 1; 2; groups / 2; groups - 2; groups - 1 ]
-    in
     List.concat_map
-      (fun g -> [ (g * panel_width) - 1; g * panel_width; (g * panel_width) + 1 ])
-      picked
+      (fun panel_width ->
+        let groups = Intmath.ceil_div n panel_width in
+        let picked =
+          dedup_in_range ~bound:groups
+            [ 0; 1; 2; groups / 2; groups - 2; groups - 1 ]
+        in
+        List.concat_map
+          (fun g ->
+            [ (g * panel_width) - 1; g * panel_width; (g * panel_width) + 1 ])
+          picked)
+      widths
   in
   let residues =
     List.init (min c 8) (fun r ->
@@ -210,7 +214,7 @@ let verify_transpose ?threshold engine ~m ~n =
   let model = transpose_model engine ~m ~n in
   let net = Perm.pipeline ~size:(m * n) (List.map snd model) in
   let verdict =
-    Perm.verify ?threshold ~probes:(probes ~m ~n)
+    Perm.verify ?threshold ~probes:(probes ~m ~n ())
       ~target:(transpose_target ~m ~n) net
   in
   (List.map fst model, verdict)

@@ -50,10 +50,12 @@ val transpose_model : engine -> m:int -> n:int -> (string * Perm.t) list
     [Decomposed]/[Cache], and the fused column pass (symbolically the
     composition of its two column-local sub-passes) for [Fused]. *)
 
-val probes : m:int -> n:int -> int list
+val probes : ?widths:int list -> m:int -> n:int -> unit -> int list
 (** Structured probe indices for a shape: border rows crossed with border
-    columns, panel-edge columns ([16k - 1, 16k, 16k + 1]) and one column
-    per [gcd(m, n)] residue class — the index classes where the engines'
+    columns, panel-edge columns ([wk - 1, wk, wk + 1] for every panel
+    width [w] in [widths], default
+    {!Xpose_core.Tune_params.supported_widths}) and one column per
+    [gcd(m, n)] residue class — the index classes where the engines'
     case splits live (rotation wrap, panel boundary, CRT residue
     selection). *)
 

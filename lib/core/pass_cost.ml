@@ -66,3 +66,30 @@ let rate_for r (kind : Xpose_obs.Roofline.kind) =
 let predicted_ns r ~kind ~touches =
   if touches < 0 then invalid_arg "Pass_cost.predicted_ns: touches must be >= 0";
   float_of_int (touches * 8) *. rate_for r kind
+
+(* Locality-aware width scaling: the gather/scatter/permute probes are
+   measured at one panel width, where every transaction moves a
+   [width * 8]-byte sub-row. A wider panel amortizes the strided part
+   of the access toward the streaming rate; a narrower one pays more
+   per byte. Linear in [calibrated_width / width] on the strided excess
+   over the streaming rate, floored at the streaming rate (no panel
+   beats a pure stream). Streaming traffic is width-independent. *)
+let rate_at_width r (kind : Xpose_obs.Roofline.kind) ~calibrated_width ~width =
+  if calibrated_width < 1 then
+    invalid_arg "Pass_cost.rate_at_width: calibrated_width must be >= 1";
+  if width < 1 then invalid_arg "Pass_cost.rate_at_width: width must be >= 1";
+  match kind with
+  | Stream -> r.stream_ns_per_byte
+  | Gather | Scatter | Permute ->
+      let stream = r.stream_ns_per_byte in
+      let excess = rate_for r kind -. stream in
+      let scaled =
+        stream
+        +. (excess *. float_of_int calibrated_width /. float_of_int width)
+      in
+      Float.max stream scaled
+
+let predicted_ns_at_width r ~kind ~calibrated_width ~width ~touches =
+  if touches < 0 then
+    invalid_arg "Pass_cost.predicted_ns_at_width: touches must be >= 0";
+  float_of_int (touches * 8) *. rate_at_width r kind ~calibrated_width ~width

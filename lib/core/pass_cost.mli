@@ -92,3 +92,28 @@ val predicted_ns : rates -> kind:Xpose_obs.Roofline.kind -> touches:int -> float
     roof. Measured time divided by this is the inverse roofline
     fraction.
     @raise Invalid_argument if [touches < 0]. *)
+
+val rate_at_width :
+  rates ->
+  Xpose_obs.Roofline.kind ->
+  calibrated_width:int ->
+  width:int ->
+  float
+(** The effective ns/byte of strided traffic at panel width [width],
+    given probes measured at [calibrated_width]: linear in
+    [calibrated_width / width] on the excess over the streaming rate,
+    floored at the streaming rate (a wider panel amortizes the strided
+    part of every transaction toward a pure stream; a narrower one pays
+    more per byte). [Stream] traffic is width-independent. Monotone
+    non-increasing in [width] — the autotuner's pruning contract.
+    @raise Invalid_argument if either width is [< 1]. *)
+
+val predicted_ns_at_width :
+  rates ->
+  kind:Xpose_obs.Roofline.kind ->
+  calibrated_width:int ->
+  width:int ->
+  touches:int ->
+  float
+(** {!predicted_ns} priced at {!rate_at_width}.
+    @raise Invalid_argument if [touches < 0] or either width is [< 1]. *)

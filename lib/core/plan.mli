@@ -116,11 +116,21 @@ module Cache : sig
   val default : t
   (** The process-global cache used when no explicit one is given. *)
 
-  val get : ?cache:t -> m:int -> n:int -> unit -> plan
+  val get :
+    ?cache:t -> ?params:Tune_params.t -> m:int -> n:int -> unit -> plan
   (** [get ~m ~n ()] is [make ~m ~n], memoized: a hit returns the cached
       plan (physically equal to the one built on the miss), a miss
       builds, stores, and (at capacity) evicts the least recently used
-      shape. @raise Invalid_argument as {!val:make}. *)
+      entry. Entries are keyed by shape {e and} tuned parameters
+      ([params], default {!Tune_params.default}) and carry the
+      parameters they were resolved with, so callers tuning the same
+      shape differently never alias to one entry.
+      @raise Invalid_argument as {!val:make}. *)
+
+  val cached_params :
+    ?cache:t -> m:int -> n:int -> unit -> Tune_params.t list
+  (** Every parameter variant currently cached for the shape, most
+      recently used first; [[]] when the shape is not cached. *)
 
   val length : t -> int
   val hits : t -> int

@@ -20,7 +20,7 @@ module Make (S : Storage.S) = struct
     let hi = match hi with Some h -> h | None -> n in
     if lo < 0 || hi > n || lo > hi then
       invalid_arg "Cache_aware.rotate_columns: bad column range";
-    F.rotate_columns ?width ?block_rows ?ws ~lo ~hi p buf ~amount
+    F.rotate_columns ?panel_width:width ?block_rows ?ws ~lo ~hi p buf ~amount
 
   let permute_rows ?width ?ws ?(lo = 0) ?hi (p : Plan.t) buf ~index =
     let m = p.m and n = p.n in
@@ -28,7 +28,7 @@ module Make (S : Storage.S) = struct
     if lo < 0 || hi > n || lo > hi then
       invalid_arg "Cache_aware.permute_rows: bad column range";
     let cycles = F.cycles ~whom:"Cache_aware.permute_rows" ~m ~index in
-    F.permute_cols ?width ?ws ~lo ~hi p buf ~cycles
+    F.permute_cols ?panel_width:width ?ws ~lo ~hi p buf ~cycles
 
   let c2r ?width ?ws (p : Plan.t) buf ~tmp =
     let m = p.m and n = p.n in

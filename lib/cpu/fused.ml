@@ -8,6 +8,7 @@ module Make (S : Storage.S) = struct
 
   let default_width = 16
   let default_block_rows = 64
+  let supported_widths = Tune_params.supported_widths
 
   let get_ws = function Some ws -> ws | None -> Ws.create ()
 
@@ -166,7 +167,7 @@ module Make (S : Storage.S) = struct
     done;
     if !moved then Pass_cost.fused_panel p ~width:w else 0
 
-  let rotate_columns ?(width = default_width)
+  let rotate_columns ?panel_width:(width = default_width)
       ?(block_rows = default_block_rows) ?ws ?(lo = 0) ?hi (p : Plan.t) buf
       ~amount =
     let m = p.m and n = p.n in
@@ -184,7 +185,7 @@ module Make (S : Storage.S) = struct
       g := lo + w
     done
 
-  let permute_cols ?(width = default_width) ?ws ?(lo = 0) ?hi (p : Plan.t) buf
+  let permute_cols ?panel_width:(width = default_width) ?ws ?(lo = 0) ?hi (p : Plan.t) buf
       ~cycles =
     let m = p.m and n = p.n in
     let hi = match hi with Some h -> h | None -> n in
@@ -201,13 +202,13 @@ module Make (S : Storage.S) = struct
       g := lo + w
     done
 
-  let permute_rows ?width ?ws ?lo ?hi (p : Plan.t) buf ~index =
+  let permute_rows ?panel_width:width ?ws ?lo ?hi (p : Plan.t) buf ~index =
     let cycles = cycles ~whom:"Fused.permute_rows" ~m:p.m ~index in
-    permute_cols ?width ?ws ?lo ?hi p buf ~cycles
+    permute_cols ?panel_width:width ?ws ?lo ?hi p buf ~cycles
 
   (* -- fused visits: all column-wise passes of one panel back to back ----- *)
 
-  let c2r_cols ?(width = default_width) ?(block_rows = default_block_rows)
+  let c2r_cols ?panel_width:(width = default_width) ?(block_rows = default_block_rows)
       ?ws ?(lo = 0) ?hi (p : Plan.t) buf ~cycles =
     let m = p.m and n = p.n in
     let hi = match hi with Some h -> h | None -> n in
@@ -226,7 +227,7 @@ module Make (S : Storage.S) = struct
       g := lo + w
     done
 
-  let r2c_cols ?(width = default_width) ?(block_rows = default_block_rows)
+  let r2c_cols ?panel_width:(width = default_width) ?(block_rows = default_block_rows)
       ?ws ?(lo = 0) ?hi (p : Plan.t) buf ~cycles =
     let m = p.m and n = p.n in
     let hi = match hi with Some h -> h | None -> n in
@@ -255,7 +256,7 @@ module Make (S : Storage.S) = struct
     if S.length buf <> p.m * p.n then
       invalid_arg (whom ^ ": buffer size does not match plan")
 
-  let c2r ?(width = default_width) ?(block_rows = default_block_rows) ?ws
+  let c2r ?panel_width:(width = default_width) ?(block_rows = default_block_rows) ?ws
       (p : Plan.t) buf =
     check_buf "Fused.c2r" p buf;
     let m = p.m and n = p.n in
@@ -265,7 +266,7 @@ module Make (S : Storage.S) = struct
       if not (Plan.coprime p) then begin
         let amount = Plan.rotate_amount p in
         obs_pass p "rotate_pre" ~pred:(Pass_cost.panel_rotate p ~width ~amount)
-          (fun () -> rotate_columns ~width ~block_rows ~ws p buf ~amount)
+          (fun () -> rotate_columns ~panel_width:width ~block_rows ~ws p buf ~amount)
       end;
       obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
           A.Phases.row_shuffle_gather p buf
@@ -273,10 +274,10 @@ module Make (S : Storage.S) = struct
             ~lo:0 ~hi:m);
       let cycles = cycles ~whom:"Fused.c2r" ~m ~index:(Plan.q p) in
       obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
-          c2r_cols ~width ~block_rows ~ws p buf ~cycles)
+          c2r_cols ~panel_width:width ~block_rows ~ws p buf ~cycles)
     end
 
-  let r2c ?(width = default_width) ?(block_rows = default_block_rows) ?ws
+  let r2c ?panel_width:(width = default_width) ?(block_rows = default_block_rows) ?ws
       (p : Plan.t) buf =
     check_buf "Fused.r2c" p buf;
     let m = p.m and n = p.n in
@@ -285,7 +286,7 @@ module Make (S : Storage.S) = struct
       let ws = get_ws ws in
       let cycles = cycles ~whom:"Fused.r2c" ~m ~index:(Plan.q_inv p) in
       obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
-          r2c_cols ~width ~block_rows ~ws p buf ~cycles);
+          r2c_cols ~panel_width:width ~block_rows ~ws p buf ~cycles);
       obs_pass p "row_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
           A.Phases.row_shuffle_ungather p buf
             ~tmp:(Ws.tmp ws (Plan.scratch_elements p))
@@ -294,16 +295,27 @@ module Make (S : Storage.S) = struct
         let amount j = -Plan.rotate_amount p j in
         obs_pass p "rotate_post"
           ~pred:(Pass_cost.panel_rotate p ~width ~amount)
-          (fun () -> rotate_columns ~width ~block_rows ~ws p buf ~amount)
+          (fun () -> rotate_columns ~panel_width:width ~block_rows ~ws p buf ~amount)
       end
     end
 
-  let transpose ?(order = Layout.Row_major) ?width ?block_rows ?ws ?cache ~m
+  let transpose ?(order = Layout.Row_major) ?panel_width:width ?block_rows ?ws ?cache ~m
       ~n buf =
     let rm, rn =
       match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
     in
+    let params =
+      {
+        Tune_params.default with
+        panel_width = Option.value width ~default:default_width;
+      }
+    in
     if rm > rn then
-      c2r ?width ?block_rows ?ws (Plan.Cache.get ?cache ~m:rm ~n:rn ()) buf
-    else r2c ?width ?block_rows ?ws (Plan.Cache.get ?cache ~m:rn ~n:rm ()) buf
+      c2r ?panel_width:width ?block_rows ?ws
+        (Plan.Cache.get ?cache ~params ~m:rm ~n:rn ())
+        buf
+    else
+      r2c ?panel_width:width ?block_rows ?ws
+        (Plan.Cache.get ?cache ~params ~m:rn ~n:rm ())
+        buf
 end

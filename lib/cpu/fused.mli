@@ -34,6 +34,11 @@ module Make (S : Xpose_core.Storage.S) : sig
   val default_block_rows : int
   (** Rows per strip of the fine rotation phase (64). *)
 
+  val supported_widths : int list
+  (** The panel widths the autotuner searches and the check layer
+      verifies ({!Xpose_core.Tune_params.supported_widths}); any
+      positive [?panel_width] is still accepted and correct. *)
+
   val cycles :
     whom:string -> m:int -> index:(int -> int) -> int array array
   (** The nontrivial cycles of the permutation [row_i <- row_{index i}]
@@ -49,7 +54,7 @@ module Make (S : Xpose_core.Storage.S) : sig
       (default all columns). *)
 
   val rotate_columns :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     ?lo:int ->
@@ -65,7 +70,7 @@ module Make (S : Xpose_core.Storage.S) : sig
       rotation, so any [amount] is correct. *)
 
   val permute_cols :
-    ?width:int ->
+    ?panel_width:int ->
     ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
@@ -77,7 +82,7 @@ module Make (S : Xpose_core.Storage.S) : sig
       sub-rows panel by panel. *)
 
   val permute_rows :
-    ?width:int ->
+    ?panel_width:int ->
     ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
@@ -97,7 +102,7 @@ module Make (S : Xpose_core.Storage.S) : sig
       drivers partition the range and share [cycles]. *)
 
   val c2r_cols :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     ?lo:int ->
@@ -111,7 +116,7 @@ module Make (S : Xpose_core.Storage.S) : sig
       [permute_rows ~index:(Plan.q p)] but with one panel residency. *)
 
   val r2c_cols :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     ?lo:int ->
@@ -126,7 +131,7 @@ module Make (S : Xpose_core.Storage.S) : sig
   (** {1 Full engines} *)
 
   val c2r :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     Xpose_core.Plan.t ->
@@ -139,7 +144,7 @@ module Make (S : Xpose_core.Storage.S) : sig
       plan. *)
 
   val r2c :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     Xpose_core.Plan.t ->
@@ -149,7 +154,7 @@ module Make (S : Xpose_core.Storage.S) : sig
 
   val transpose :
     ?order:Xpose_core.Layout.order ->
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     ?cache:Xpose_core.Plan.Cache.t ->

@@ -8,6 +8,7 @@ module G = Fused.Make (Storage.Float64)
 
 let default_width = G.default_width
 let default_block_rows = G.default_block_rows
+let supported_widths = G.supported_widths
 let cycles ~m ~index = G.cycles ~whom:"Fused_f64" ~m ~index
 let get_ws = function Some ws -> ws | None -> Ws.create ()
 
@@ -335,7 +336,7 @@ end
 
 module type ENGINE = sig
   val rotate_columns :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     ?lo:int ->
@@ -346,7 +347,7 @@ module type ENGINE = sig
     unit
 
   val permute_cols :
-    ?width:int ->
+    ?panel_width:int ->
     ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
@@ -356,7 +357,7 @@ module type ENGINE = sig
     unit
 
   val c2r_cols :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     ?lo:int ->
@@ -367,7 +368,7 @@ module type ENGINE = sig
     unit
 
   val r2c_cols :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     ?lo:int ->
@@ -377,12 +378,12 @@ module type ENGINE = sig
     cycles:int array array ->
     unit
 
-  val c2r : ?width:int -> ?block_rows:int -> ?ws:Ws.t -> Plan.t -> buf -> unit
-  val r2c : ?width:int -> ?block_rows:int -> ?ws:Ws.t -> Plan.t -> buf -> unit
+  val c2r : ?panel_width:int -> ?block_rows:int -> ?ws:Ws.t -> Plan.t -> buf -> unit
+  val r2c : ?panel_width:int -> ?block_rows:int -> ?ws:Ws.t -> Plan.t -> buf -> unit
 
   val transpose :
     ?order:Layout.order ->
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     ?cache:Plan.Cache.t ->
@@ -392,7 +393,7 @@ module type ENGINE = sig
     unit
 
   val c2r_pool :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?workspaces:Ws.t array ->
     Pool.t ->
@@ -401,7 +402,7 @@ module type ENGINE = sig
     unit
 
   val r2c_pool :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?workspaces:Ws.t array ->
     Pool.t ->
@@ -411,7 +412,7 @@ module type ENGINE = sig
 
   val transpose_pool :
     ?order:Layout.order ->
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?workspaces:Ws.t array ->
     ?cache:Plan.Cache.t ->
@@ -423,7 +424,8 @@ module type ENGINE = sig
 
   val transpose_batch :
     ?order:Layout.order ->
-    ?width:int ->
+    ?split:Tune_params.batch_split ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?cache:Plan.Cache.t ->
     Pool.t ->
@@ -440,7 +442,7 @@ end
 module Engine_of (P : PRIMS) : ENGINE = struct
   (* -- column-range sweeps ---------------------------------------------- *)
 
-  let rotate_columns ?(width = default_width)
+  let rotate_columns ?panel_width:(width = default_width)
       ?(block_rows = default_block_rows) ?ws ?(lo = 0) ?hi (p : Plan.t) buf
       ~amount =
     let m = p.m and n = p.n in
@@ -458,7 +460,7 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       g := lo + w
     done
 
-  let permute_cols ?(width = default_width) ?ws ?(lo = 0) ?hi (p : Plan.t) buf
+  let permute_cols ?panel_width:(width = default_width) ?ws ?(lo = 0) ?hi (p : Plan.t) buf
       ~cycles =
     let m = p.m and n = p.n in
     let hi = match hi with Some h -> h | None -> n in
@@ -477,7 +479,7 @@ module Engine_of (P : PRIMS) : ENGINE = struct
 
   (* -- fused panel visits ------------------------------------------------ *)
 
-  let c2r_cols ?(width = default_width) ?(block_rows = default_block_rows) ?ws
+  let c2r_cols ?panel_width:(width = default_width) ?(block_rows = default_block_rows) ?ws
       ?(lo = 0) ?hi (p : Plan.t) buf ~cycles =
     let m = p.m and n = p.n in
     let hi = match hi with Some h -> h | None -> n in
@@ -496,7 +498,7 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       g := lo + w
     done
 
-  let r2c_cols ?(width = default_width) ?(block_rows = default_block_rows) ?ws
+  let r2c_cols ?panel_width:(width = default_width) ?(block_rows = default_block_rows) ?ws
       ?(lo = 0) ?hi (p : Plan.t) buf ~cycles =
     let m = p.m and n = p.n in
     let hi = match hi with Some h -> h | None -> n in
@@ -518,7 +520,7 @@ module Engine_of (P : PRIMS) : ENGINE = struct
 
   (* -- serial engines ---------------------------------------------------- *)
 
-  let c2r ?(width = default_width) ?(block_rows = default_block_rows) ?ws
+  let c2r ?panel_width:(width = default_width) ?(block_rows = default_block_rows) ?ws
       (p : Plan.t) buf =
     check_buf "Fused_f64.c2r" p buf;
     let m = p.m in
@@ -528,7 +530,7 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       if not (Plan.coprime p) then begin
         let amount = Plan.rotate_amount p in
         obs_pass p "rotate_pre" ~pred:(Pass_cost.panel_rotate p ~width ~amount)
-          (fun () -> rotate_columns ~width ~block_rows ~ws p buf ~amount)
+          (fun () -> rotate_columns ~panel_width:width ~block_rows ~ws p buf ~amount)
       end;
       obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
           P.row_shuffle_gather p buf
@@ -536,10 +538,10 @@ module Engine_of (P : PRIMS) : ENGINE = struct
             ~lo:0 ~hi:m);
       let cycles = cycles ~m ~index:(Plan.q p) in
       obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
-          c2r_cols ~width ~block_rows ~ws p buf ~cycles)
+          c2r_cols ~panel_width:width ~block_rows ~ws p buf ~cycles)
     end
 
-  let r2c ?(width = default_width) ?(block_rows = default_block_rows) ?ws
+  let r2c ?panel_width:(width = default_width) ?(block_rows = default_block_rows) ?ws
       (p : Plan.t) buf =
     check_buf "Fused_f64.r2c" p buf;
     let m = p.m in
@@ -548,7 +550,7 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       let ws = get_ws ws in
       let cycles = cycles ~m ~index:(Plan.q_inv p) in
       obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
-          r2c_cols ~width ~block_rows ~ws p buf ~cycles);
+          r2c_cols ~panel_width:width ~block_rows ~ws p buf ~cycles);
       obs_pass p "row_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
           P.row_shuffle_ungather p buf
             ~tmp:(Ws.tmp ws (Plan.scratch_elements p))
@@ -557,22 +559,38 @@ module Engine_of (P : PRIMS) : ENGINE = struct
         let amount j = -Plan.rotate_amount p j in
         obs_pass p "rotate_post"
           ~pred:(Pass_cost.panel_rotate p ~width ~amount)
-          (fun () -> rotate_columns ~width ~block_rows ~ws p buf ~amount)
+          (fun () -> rotate_columns ~panel_width:width ~block_rows ~ws p buf ~amount)
       end
     end
 
-  let transpose ?(order = Layout.Row_major) ?width ?block_rows ?ws ?cache ~m
+  (* Plan-cache entries are keyed by (and carry) the configuration the
+     caller actually runs, so differently tuned callers of one shape
+     never alias. *)
+  let cache_params ?(split = Tune_params.Auto) width =
+    {
+      Tune_params.default with
+      panel_width = Option.value width ~default:default_width;
+      batch_split = split;
+    }
+
+  let transpose ?(order = Layout.Row_major) ?panel_width:width ?block_rows ?ws ?cache ~m
       ~n buf =
     let rm, rn =
       match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
     in
+    let params = cache_params width in
     if rm > rn then
-      c2r ?width ?block_rows ?ws (Plan.Cache.get ?cache ~m:rm ~n:rn ()) buf
-    else r2c ?width ?block_rows ?ws (Plan.Cache.get ?cache ~m:rn ~n:rm ()) buf
+      c2r ?panel_width:width ?block_rows ?ws
+        (Plan.Cache.get ?cache ~params ~m:rm ~n:rn ())
+        buf
+    else
+      r2c ?panel_width:width ?block_rows ?ws
+        (Plan.Cache.get ?cache ~params ~m:rn ~n:rm ())
+        buf
 
   (* -- pool drivers ------------------------------------------------------ *)
 
-  let c2r_pool ?(width = default_width) ?(block_rows = default_block_rows)
+  let c2r_pool ?panel_width:(width = default_width) ?(block_rows = default_block_rows)
       ?workspaces pool (p : Plan.t) buf =
     check_buf "Fused_f64.c2r_pool" p buf;
     let m = p.m and n = p.n in
@@ -584,7 +602,7 @@ module Engine_of (P : PRIMS) : ENGINE = struct
         obs_pass p "rotate_pre" ~pred:(Pass_cost.panel_rotate p ~width ~amount)
           (fun () ->
             over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-                rotate_columns ~width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
+                rotate_columns ~panel_width:width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
                   ~amount))
       end;
       obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
@@ -595,11 +613,11 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       let cycles = cycles ~m ~index:(Plan.q p) in
       obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
           over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-              c2r_cols ~width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
+              c2r_cols ~panel_width:width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
                 ~cycles))
     end
 
-  let r2c_pool ?(width = default_width) ?(block_rows = default_block_rows)
+  let r2c_pool ?panel_width:(width = default_width) ?(block_rows = default_block_rows)
       ?workspaces pool (p : Plan.t) buf =
     check_buf "Fused_f64.r2c_pool" p buf;
     let m = p.m and n = p.n in
@@ -609,7 +627,7 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       let cycles = cycles ~m ~index:(Plan.q_inv p) in
       obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
           over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-              r2c_cols ~width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
+              r2c_cols ~panel_width:width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
                 ~cycles));
       obs_pass p "row_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
           Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
@@ -622,29 +640,30 @@ module Engine_of (P : PRIMS) : ENGINE = struct
           ~pred:(Pass_cost.panel_rotate p ~width ~amount)
           (fun () ->
             over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-                rotate_columns ~width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
+                rotate_columns ~panel_width:width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
                   ~amount))
       end
     end
 
-  let transpose_pool ?(order = Layout.Row_major) ?width ?block_rows
+  let transpose_pool ?(order = Layout.Row_major) ?panel_width:width ?block_rows
       ?workspaces ?cache pool ~m ~n buf =
     let rm, rn =
       match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
     in
+    let params = cache_params width in
     if rm > rn then
-      c2r_pool ?width ?block_rows ?workspaces pool
-        (Plan.Cache.get ?cache ~m:rm ~n:rn ())
+      c2r_pool ?panel_width:width ?block_rows ?workspaces pool
+        (Plan.Cache.get ?cache ~params ~m:rm ~n:rn ())
         buf
     else
-      r2c_pool ?width ?block_rows ?workspaces pool
-        (Plan.Cache.get ?cache ~m:rn ~n:rm ())
+      r2c_pool ?panel_width:width ?block_rows ?workspaces pool
+        (Plan.Cache.get ?cache ~params ~m:rn ~n:rm ())
         buf
 
   (* -- batched transpose ------------------------------------------------- *)
 
-  let transpose_batch ?(order = Layout.Row_major) ?width ?block_rows ?cache
-      pool ~m ~n bufs =
+  let transpose_batch ?(order = Layout.Row_major) ?(split = Tune_params.Auto)
+      ?panel_width:width ?block_rows ?cache pool ~m ~n bufs =
     let rm, rn =
       match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
     in
@@ -660,12 +679,25 @@ module Engine_of (P : PRIMS) : ENGINE = struct
               "Fused_f64.transpose_batch: buffer size does not match shape")
         bufs;
       let c2r_side = rm > rn in
+      let params = cache_params ~split width in
       let p =
-        if c2r_side then Plan.Cache.get ?cache ~m:rm ~n:rn ()
-        else Plan.Cache.get ?cache ~m:rn ~n:rm ()
+        if c2r_side then Plan.Cache.get ?cache ~params ~m:rm ~n:rn ()
+        else Plan.Cache.get ?cache ~params ~m:rn ~n:rm ()
       in
       let lanes = Pool.workers pool in
-      if nb >= lanes || lanes = 1 then begin
+      (* The split policy decides matrix- vs panel-parallelism; a
+         single-lane pool always runs the (cheaper) serial engine per
+         matrix, whatever the policy asked for. *)
+      let matrix_parallel =
+        lanes = 1
+        ||
+        match split with
+        | Tune_params.Auto -> nb >= lanes
+        | Tune_params.Matrix_parallel -> true
+        | Tune_params.Panel_parallel -> false
+        | Tune_params.Hybrid t -> nb >= t
+      in
+      if matrix_parallel then begin
         (* Enough matrices to keep every lane busy: parallelize across the
            batch, each lane running the serial fused engine with its own
            workspace. *)
@@ -673,8 +705,8 @@ module Engine_of (P : PRIMS) : ENGINE = struct
         Pool.parallel_chunks pool ~lo:0 ~hi:nb (fun ~chunk ~lo ~hi ->
             let ws = wss.(chunk) in
             for b = lo to hi - 1 do
-              if c2r_side then c2r ?width ?block_rows ~ws p bufs.(b)
-              else r2c ?width ?block_rows ~ws p bufs.(b)
+              if c2r_side then c2r ?panel_width:width ?block_rows ~ws p bufs.(b)
+              else r2c ?panel_width:width ?block_rows ~ws p bufs.(b)
             done)
       end
       else begin
@@ -684,8 +716,8 @@ module Engine_of (P : PRIMS) : ENGINE = struct
         Array.iter
           (fun buf ->
             if c2r_side then
-              c2r_pool ?width ?block_rows ~workspaces:wss pool p buf
-            else r2c_pool ?width ?block_rows ~workspaces:wss pool p buf)
+              c2r_pool ?panel_width:width ?block_rows ~workspaces:wss pool p buf
+            else r2c_pool ?panel_width:width ?block_rows ~workspaces:wss pool p buf)
           bufs
       end
     end

@@ -34,6 +34,11 @@ module Ws = Xpose_core.Workspace.F64
 val default_width : int
 val default_block_rows : int
 
+val supported_widths : int list
+(** The panel widths the autotuner searches and the check layer
+    verifies; any positive [?panel_width] remains accepted and
+    correct. *)
+
 val cycles : m:int -> index:(int -> int) -> int array array
 (** Nontrivial cycles of [row_i <- row_{index i}] in gather-chain order;
     shared by every panel (and by every worker of a pool run).
@@ -49,7 +54,7 @@ module type ENGINE = sig
       the column range [[lo, hi)] (default all columns). *)
 
   val rotate_columns :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     ?lo:int ->
@@ -60,7 +65,7 @@ module type ENGINE = sig
     unit
 
   val permute_cols :
-    ?width:int ->
+    ?panel_width:int ->
     ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
@@ -70,7 +75,7 @@ module type ENGINE = sig
     unit
 
   val c2r_cols :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     ?lo:int ->
@@ -83,7 +88,7 @@ module type ENGINE = sig
       [Plan.q]. *)
 
   val r2c_cols :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     ?lo:int ->
@@ -98,7 +103,7 @@ module type ENGINE = sig
   (** {1 Serial engines} *)
 
   val c2r :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     Xpose_core.Plan.t ->
@@ -108,7 +113,7 @@ module type ENGINE = sig
       plan. *)
 
   val r2c :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     Xpose_core.Plan.t ->
@@ -117,7 +122,7 @@ module type ENGINE = sig
 
   val transpose :
     ?order:Xpose_core.Layout.order ->
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?ws:Ws.t ->
     ?cache:Xpose_core.Plan.Cache.t ->
@@ -139,7 +144,7 @@ module type ENGINE = sig
       array. *)
 
   val c2r_pool :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?workspaces:Ws.t array ->
     Pool.t ->
@@ -148,7 +153,7 @@ module type ENGINE = sig
     unit
 
   val r2c_pool :
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?workspaces:Ws.t array ->
     Pool.t ->
@@ -158,7 +163,7 @@ module type ENGINE = sig
 
   val transpose_pool :
     ?order:Xpose_core.Layout.order ->
-    ?width:int ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?workspaces:Ws.t array ->
     ?cache:Xpose_core.Plan.Cache.t ->
@@ -172,7 +177,8 @@ module type ENGINE = sig
 
   val transpose_batch :
     ?order:Xpose_core.Layout.order ->
-    ?width:int ->
+    ?split:Xpose_core.Tune_params.batch_split ->
+    ?panel_width:int ->
     ?block_rows:int ->
     ?cache:Xpose_core.Plan.Cache.t ->
     Pool.t ->
@@ -181,11 +187,17 @@ module type ENGINE = sig
     buf array ->
     unit
   (** [transpose_batch pool ~m ~n bufs] transposes every matrix of the
-      same-shape batch in place. When the batch has at least as many
-      matrices as the pool has lanes, lanes take contiguous slices of the
-      batch and run the serial engine (one plan, one workspace per lane);
-      smaller batches run each matrix panel-parallel instead. The whole
-      batch is validated before any element moves.
+      same-shape batch in place. [split] (default
+      {!Xpose_core.Tune_params.Auto}) decides the parallelism: under
+      [Auto], when the batch has at least as many matrices as the pool
+      has lanes, lanes take contiguous slices of the batch and run the
+      serial engine (one plan, one workspace per lane), and smaller
+      batches run each matrix panel-parallel instead;
+      [Matrix_parallel] / [Panel_parallel] force one side, and
+      [Hybrid t] switches at batch size [t]. A single-lane pool always
+      runs the serial engine per matrix. Every policy computes the same
+      result — the autotuner picks whichever is fastest for the shape.
+      The whole batch is validated before any element moves.
       @raise Invalid_argument if any buffer size differs from [m * n]. *)
 end
 

@@ -30,7 +30,7 @@ module Make (S : Storage.S) = struct
       let tmp chunk = F.Ws.tmp wss.(chunk) (Plan.scratch_elements p) in
       if not (Plan.coprime p) then
         over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-            F.rotate_columns ~width ~ws:wss.(chunk) ~lo ~hi p buf
+            F.rotate_columns ~panel_width:width ~ws:wss.(chunk) ~lo ~hi p buf
               ~amount:(Plan.rotate_amount p));
       Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
           A.Phases.row_shuffle_gather p buf ~tmp:(tmp chunk) ~lo ~hi);
@@ -40,7 +40,7 @@ module Make (S : Storage.S) = struct
          shared read-only by all workers. *)
       let cycles = F.cycles ~whom:"Par_cache_aware.c2r" ~m ~index:(Plan.q p) in
       over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-          F.c2r_cols ~width ~ws:wss.(chunk) ~lo ~hi p buf ~cycles)
+          F.c2r_cols ~panel_width:width ~ws:wss.(chunk) ~lo ~hi p buf ~cycles)
     end
 
   let r2c ?(width = C.default_width) pool (p : Plan.t) buf =
@@ -54,12 +54,12 @@ module Make (S : Storage.S) = struct
         F.cycles ~whom:"Par_cache_aware.r2c" ~m ~index:(Plan.q_inv p)
       in
       over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-          F.r2c_cols ~width ~ws:wss.(chunk) ~lo ~hi p buf ~cycles);
+          F.r2c_cols ~panel_width:width ~ws:wss.(chunk) ~lo ~hi p buf ~cycles);
       Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
           A.Phases.row_shuffle_ungather p buf ~tmp:(tmp chunk) ~lo ~hi);
       if not (Plan.coprime p) then
         over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-            F.rotate_columns ~width ~ws:wss.(chunk) ~lo ~hi p buf
+            F.rotate_columns ~panel_width:width ~ws:wss.(chunk) ~lo ~hi p buf
               ~amount:(fun j -> -Plan.rotate_amount p j))
     end
 

@@ -210,6 +210,13 @@ let of_json s =
     let* permute = probe_field "permute" in
     Ok { elems; repeats; panel_width; stream; gather; scatter; permute }
 
+(* The canonical JSON rendering is a deterministic function of the
+   record (%.17g is a float round-trip fixpoint), so its digest
+   identifies the calibration exactly: any re-probe that measures even
+   slightly different roofs yields a new fingerprint, which is what
+   invalidates tuning-DB entries priced against the old roofs. *)
+let fingerprint t = Digest.to_hex (Digest.string (to_json t))
+
 let save t ~file =
   let oc = open_out file in
   Fun.protect

@@ -1,0 +1,48 @@
+(** Timing harness for surviving candidates.
+
+    Each measurement is a best-of-N forward-and-back roundtrip (no
+    re-fill between repeats, and the identity at the end is verified
+    element-by-element — a candidate that computes the wrong answer
+    raises instead of winning), halved to the per-transpose time and
+    wrapped in a ["tune.measure"] {!Xpose_obs.Tracer} span. Out-of-core
+    candidates honestly pay their file staging; batched measurements
+    ([nb > 1]) drive {!Xpose_cpu.Fused_f64.transpose_batch} under the
+    candidate's split policy. *)
+
+open Xpose_core
+
+type sample = {
+  params : Tune_params.t;
+  predicted_ns : float;  (** Model price ({!Space.predict_ns}). *)
+  measured_ns : float;  (** Best-of-N per-transpose wall time. *)
+  roofline_frac : float;
+      (** Achieved fraction of the streaming roof for the ideal
+          [2 * m * n * 8] bytes of one transpose. *)
+}
+
+val measure :
+  ?pool:Xpose_cpu.Pool.t ->
+  ?nb:int ->
+  repeats:int ->
+  m:int ->
+  n:int ->
+  Tune_params.t ->
+  float
+(** Best-of-[repeats] per-transpose nanoseconds for the candidate on an
+    [m x n] iota matrix (batch of [nb], default 1).
+    @raise Invalid_argument on degenerate arguments or if the candidate
+    fails the roundtrip identity check. *)
+
+val roofline_frac : Xpose_obs.Calibrate.t -> m:int -> n:int -> ns:float -> float
+
+val sample :
+  ?pool:Xpose_cpu.Pool.t ->
+  ?nb:int ->
+  cal:Xpose_obs.Calibrate.t ->
+  repeats:int ->
+  m:int ->
+  n:int ->
+  Space.priced ->
+  sample
+(** {!measure} a priced candidate and record its achieved roofline
+    fraction. *)

@@ -1,0 +1,135 @@
+open Xpose_core
+
+type outcome = {
+  m : int;
+  n : int;
+  nb : int;
+  db_hit : bool;
+  pruned : int;
+  timed : int;
+  winner : Measure.sample;
+  default_ns : float;
+  samples : Measure.sample list;
+}
+
+let sample_of_entry (e : Db.entry) =
+  {
+    Measure.params = e.Db.params;
+    predicted_ns = e.Db.predicted_ns;
+    measured_ns = e.Db.measured_ns;
+    roofline_frac = e.Db.roofline_frac;
+  }
+
+let is_default (c : Space.priced) =
+  Tune_params.equal c.Space.params Tune_params.default
+
+let tune_shape ?pool ~cal ~rates ~db ~space ~budget_ms ~repeats ~keep ~m ~n
+    ~nb () =
+  if m < 1 || n < 1 || nb < 1 then
+    invalid_arg "Tuner.tune_shape: m, n and nb must be >= 1";
+  match Db.find db ~m ~n with
+  | Some e ->
+      (* Pure DB hit: zero timing runs. *)
+      {
+        m;
+        n;
+        nb = e.Db.nb;
+        db_hit = true;
+        pruned = 0;
+        timed = 0;
+        winner = sample_of_entry e;
+        default_ns = e.Db.default_ns;
+        samples = [ sample_of_entry e ];
+      }
+  | None ->
+      Xpose_obs.Tracer.with_span ~cat:"tune"
+        ~args:(fun () ->
+          [
+            ("m", Xpose_obs.Tracer.Int m);
+            ("n", Xpose_obs.Tracer.Int n);
+            ("nb", Xpose_obs.Tracer.Int nb);
+          ])
+        "tune.shape"
+        (fun () ->
+          let all = Space.price ~cal ~rates ~m ~n (Space.candidates space ~nb) in
+          let survivors = Space.prune ~keep all in
+          let pruned = List.length all - List.length survivors in
+          let t0 = Xpose_obs.Clock.now_ns () in
+          let budget_ns = budget_ms *. 1e6 in
+          let timed = ref 0 in
+          (* Time candidates in model order until the budget runs out.
+             The default configuration is always timed (it is the floor
+             the winner is gated against), whatever the budget. *)
+          let samples =
+            List.filter_map
+              (fun (c : Space.priced) ->
+                let elapsed = Xpose_obs.Clock.now_ns () -. t0 in
+                let within =
+                  !timed = 0 || is_default c || elapsed < budget_ns
+                in
+                if not within then None
+                else begin
+                  incr timed;
+                  Some (Measure.sample ?pool ~nb ~cal ~repeats ~m ~n c)
+                end)
+              survivors
+          in
+          let default_ns =
+            match
+              List.find_opt
+                (fun (s : Measure.sample) ->
+                  Tune_params.equal s.Measure.params Tune_params.default)
+                samples
+            with
+            | Some s -> s.Measure.measured_ns
+            | None -> nan (* unreachable: prune keeps the default *)
+          in
+          let winner =
+            List.fold_left
+              (fun (best : Measure.sample) (s : Measure.sample) ->
+                if s.Measure.measured_ns < best.Measure.measured_ns then s
+                else best)
+              (List.hd samples) (List.tl samples)
+          in
+          Db.add db
+            {
+              Db.m;
+              n;
+              nb;
+              params = winner.Measure.params;
+              predicted_ns = winner.Measure.predicted_ns;
+              measured_ns = winner.Measure.measured_ns;
+              default_ns;
+              roofline_frac = winner.Measure.roofline_frac;
+            };
+          {
+            m;
+            n;
+            nb;
+            db_hit = false;
+            pruned;
+            timed = !timed;
+            winner;
+            default_ns;
+            samples =
+              List.sort
+                (fun (a : Measure.sample) (b : Measure.sample) ->
+                  Float.compare a.Measure.measured_ns b.Measure.measured_ns)
+                samples;
+          })
+
+let tune ?pool ?db_file ~cal ~db ~space ~budget_ms ~repeats ~keep shapes =
+  let rates = Pass_cost.rates_of_calibration cal in
+  List.map
+    (fun (m, n, nb) ->
+      let o =
+        tune_shape ?pool ~cal ~rates ~db ~space ~budget_ms ~repeats ~keep ~m
+          ~n ~nb ()
+      in
+      (* Persist after every shape: an interrupted run keeps its
+         finished work (the save is an atomic rename). *)
+      (match db_file with
+      | Some file when not o.db_hit -> Db.save db ~file
+      | _ -> ());
+      o)
+    shapes

@@ -1,0 +1,57 @@
+(** The tuning loop: model-guided pruning, budgeted measurement, DB
+    persistence.
+
+    Per shape: all candidates are priced with the calibrated cost
+    model, {!Space.prune} keeps the [keep] cheapest (plus the default
+    configuration), and the survivors are timed in model order until
+    [budget_ms] of wall time is spent — the first candidate and the
+    default are always timed, so even a zero budget yields a winner and
+    its never-slower floor. The measured winner goes into the DB; a
+    shape already in the DB performs {e zero} timing runs. *)
+
+open Xpose_core
+
+type outcome = {
+  m : int;
+  n : int;
+  nb : int;
+  db_hit : bool;  (** The shape came from the DB — nothing was timed. *)
+  pruned : int;  (** Candidates discarded by the cost model. *)
+  timed : int;  (** Timing runs actually performed. *)
+  winner : Measure.sample;
+  default_ns : float;
+      (** Measured time of {!Tune_params.default} (the gate floor). *)
+  samples : Measure.sample list;
+      (** All timed candidates, fastest first (singleton on a DB
+          hit). *)
+}
+
+val tune_shape :
+  ?pool:Xpose_cpu.Pool.t ->
+  cal:Xpose_obs.Calibrate.t ->
+  rates:Pass_cost.rates ->
+  db:Db.t ->
+  space:Space.t ->
+  budget_ms:float ->
+  repeats:int ->
+  keep:int ->
+  m:int ->
+  n:int ->
+  nb:int ->
+  unit ->
+  outcome
+
+val tune :
+  ?pool:Xpose_cpu.Pool.t ->
+  ?db_file:string ->
+  cal:Xpose_obs.Calibrate.t ->
+  db:Db.t ->
+  space:Space.t ->
+  budget_ms:float ->
+  repeats:int ->
+  keep:int ->
+  (int * int * int) list ->
+  outcome list
+(** Tune every [(m, n, nb)] shape, saving the DB to [db_file] (atomic
+    rename) after each newly tuned shape so interrupted runs keep their
+    finished work. *)

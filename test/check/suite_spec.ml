@@ -133,7 +133,7 @@ let test_permute_target_matches_reality () =
 let test_probes_in_range () =
   List.iter
     (fun (m, n) ->
-      let probes = Spec.probes ~m ~n in
+      let probes = Spec.probes ~m ~n () in
       Alcotest.(check bool)
         (Printf.sprintf "probes exist %dx%d" m n)
         true

@@ -93,7 +93,7 @@ let prop_fused_equals_oracle =
         buf_to_list buf
       in
       let buf = iota_buf (m * n) in
-      F.c2r ~width ~block_rows p buf;
+      F.c2r ~panel_width:width ~block_rows p buf;
       buf_to_list buf = expected)
 
 let prop_r2c_inverts =
@@ -102,8 +102,8 @@ let prop_r2c_inverts =
     (fun (m, n, width) ->
       let p = Plan.make ~m ~n in
       let buf = iota_buf (m * n) in
-      F.c2r ~width p buf;
-      F.r2c ~width p buf;
+      F.c2r ~panel_width:width p buf;
+      F.r2c ~panel_width:width p buf;
       buf_to_list buf = List.init (m * n) float_of_int)
 
 let test_generic_fused_matches_oracle () =
@@ -284,6 +284,72 @@ let test_batch_validates_before_moving () =
       Alcotest.(check (list (float 0.0)))
         "no element moved" (List.init 24 float_of_int) (buf_to_list good))
 
+let test_width_grid_matches_oracle () =
+  (* Every supported panel width is a pure locality knob: results must be
+     bit-identical to the oracle on every shape, including widths larger
+     than n and widths that do not divide n. *)
+  List.iter
+    (fun panel_width ->
+      List.iter
+        (fun (m, n) ->
+          let p = Plan.make ~m ~n in
+          let expected = oracle_c2r m n in
+          let buf = iota_buf (m * n) in
+          F.c2r ~panel_width p buf;
+          Alcotest.(check (list (float 0.0)))
+            (Printf.sprintf "w%d c2r %dx%d" panel_width m n)
+            expected (buf_to_list buf);
+          F.r2c ~panel_width p buf;
+          Alcotest.(check (list (float 0.0)))
+            (Printf.sprintf "w%d r2c inverts %dx%d" panel_width m n)
+            (List.init (m * n) float_of_int)
+            (buf_to_list buf);
+          F.transpose ~panel_width ~m ~n buf;
+          Alcotest.(check (list (float 0.0)))
+            (Printf.sprintf "w%d transpose %dx%d" panel_width m n)
+            expected (buf_to_list buf))
+        shapes)
+    Tune_params.supported_widths
+
+let test_batch_split_policies_match_oracle () =
+  (* Each explicit split policy must produce the same result as the Auto
+     heuristic in both regimes (batch >= lanes and batch < lanes). *)
+  let policies =
+    [
+      Tune_params.Auto;
+      Tune_params.Matrix_parallel;
+      Tune_params.Panel_parallel;
+      Tune_params.Hybrid 2;
+    ]
+  in
+  with_pool 3 (fun pool ->
+      List.iter
+        (fun split ->
+          List.iter
+            (fun panel_width ->
+              List.iter
+                (fun (batch, m, n) ->
+                  let bufs =
+                    Array.init batch (fun _ -> iota_buf (m * n))
+                  in
+                  F.transpose_batch ~split ~panel_width pool ~m ~n bufs;
+                  let expected =
+                    let buf = iota_buf (m * n) in
+                    F.transpose ~m ~n buf;
+                    buf_to_list buf
+                  in
+                  Array.iteri
+                    (fun b buf ->
+                      Alcotest.(check (list (float 0.0)))
+                        (Printf.sprintf "%s/w%d batch[%d] %dx%d"
+                           (Tune_params.split_to_string split)
+                           panel_width b m n)
+                        expected (buf_to_list buf))
+                    bufs)
+                [ (5, 48, 36); (2, 40, 23) ])
+            [ 8; 32 ])
+        policies)
+
 let tests =
   [
     Alcotest.test_case "fused f64 c2r/r2c vs oracle" `Quick
@@ -303,6 +369,10 @@ let tests =
       test_batch_workspace_reuse_across_shapes;
     Alcotest.test_case "batch validates before moving" `Quick
       test_batch_validates_before_moving;
+    Alcotest.test_case "panel width grid vs oracle" `Quick
+      test_width_grid_matches_oracle;
+    Alcotest.test_case "batch split policies vs oracle" `Quick
+      test_batch_split_policies_match_oracle;
     QCheck_alcotest.to_alcotest prop_fused_equals_oracle;
     QCheck_alcotest.to_alcotest prop_r2c_inverts;
   ]

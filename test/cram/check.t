@@ -4,9 +4,9 @@ split, exiting zero:
   $ xpose check > report.txt; echo "exit $?"
   exit 0
   $ tail -1 report.txt
-  checked 383: 0 violations, 0 seeded detections
+  checked 923: 0 violations, 0 seeded detections
   $ grep -c proved report.txt
-  383
+  923
 
 One plan line per engine and shape, one race line per engine, shape and
 lane count:
@@ -26,13 +26,13 @@ and the first conflicting pair named:
   $ xpose check --seed-race > seeded.txt 2> err.txt; echo "exit $?"
   exit 124
   $ grep -c detected seeded.txt
-  267
+  747
   $ grep violated seeded.txt
   [1]
   $ grep '^race' seeded.txt | head -1
   race   detected  functor 2x2 @2 lanes               write/write conflict in pass col_unshuffle between chunks 0 and 1 at index 1
   $ cat err.txt
-  xpose: 267 seeded defect(s) detected
+  xpose: 747 seeded defect(s) detected
 
 A seeded out-of-bounds access in the checked kernels must likewise be
 detected:
@@ -52,4 +52,4 @@ Shadow mode reruns the engines with every access checked:
 JSON output carries the same verdicts:
 
   $ xpose check --json | head -c 66; echo
-  {"checked":383,"violations":0,"detections":0,"entries":[{"check":"
+  {"checked":923,"violations":0,"detections":0,"entries":[{"check":"

@@ -1,0 +1,129 @@
+open Xpose_core
+open Xpose_tune
+
+let probe gbps = { Xpose_obs.Calibrate.gbps; ns_per_byte = 1.0 /. gbps }
+
+let cal =
+  {
+    Xpose_obs.Calibrate.elems = 1 lsl 16;
+    repeats = 3;
+    panel_width = 16;
+    stream = probe 40.0;
+    gather = probe 16.0;
+    scatter = probe 10.0;
+    permute = probe 8.0;
+  }
+
+let rates = Pass_cost.rates_of_calibration cal
+let space = Space.make ()
+
+let tune_one ?(budget_ms = 20.0) db ~m ~n ~nb =
+  Tuner.tune_shape ~cal ~rates ~db ~space ~budget_ms ~repeats:1 ~keep:4 ~m ~n
+    ~nb ()
+
+let test_winner_never_slower_than_default () =
+  let db = Db.create ~fingerprint:"fp" in
+  let o = tune_one db ~m:96 ~n:72 ~nb:1 in
+  Alcotest.(check bool) "not a hit on a fresh DB" false o.Tuner.db_hit;
+  Alcotest.(check bool) "something was timed" true (o.Tuner.timed >= 1);
+  Alcotest.(check bool)
+    "winner <= default (default is always in the timed set)" true
+    (o.Tuner.winner.Measure.measured_ns <= o.Tuner.default_ns);
+  Alcotest.(check bool)
+    "default floor was actually measured" true
+    (Float.is_finite o.Tuner.default_ns && o.Tuner.default_ns > 0.0)
+
+let test_second_run_is_pure_db_hit () =
+  let db = Db.create ~fingerprint:"fp" in
+  let first = tune_one db ~m:64 ~n:48 ~nb:1 in
+  Alcotest.(check bool) "first run times" true (first.Tuner.timed > 0);
+  let second = tune_one db ~m:64 ~n:48 ~nb:1 in
+  Alcotest.(check bool) "second run is a DB hit" true second.Tuner.db_hit;
+  Alcotest.(check int) "second run performs zero timing runs" 0
+    second.Tuner.timed;
+  Alcotest.(check bool)
+    "hit returns the recorded winner" true
+    (Tune_params.equal second.Tuner.winner.Measure.params
+       first.Tuner.winner.Measure.params)
+
+let test_zero_budget_still_gates () =
+  (* Even with no budget at all, the first candidate and the default
+     are timed, so a winner and its floor always exist. *)
+  let db = Db.create ~fingerprint:"fp" in
+  let o = tune_one ~budget_ms:0.0 db ~m:48 ~n:36 ~nb:1 in
+  Alcotest.(check bool) "timed at least one" true (o.Tuner.timed >= 1);
+  Alcotest.(check bool) "timed at most two under zero budget" true
+    (o.Tuner.timed <= 2);
+  Alcotest.(check bool)
+    "winner <= default" true
+    (o.Tuner.winner.Measure.measured_ns <= o.Tuner.default_ns)
+
+let with_temp_file f =
+  let path = Filename.temp_file "xpose_test_tuner" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_fingerprint_invalidation_forces_retune () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      (* Tune under fp1 and persist. *)
+      let outcomes =
+        match Db.load ~file:path ~fingerprint:"fp1" with
+        | Ok (db, _) ->
+            Tuner.tune ~db_file:path ~cal ~db ~space ~budget_ms:20.0
+              ~repeats:1 ~keep:4
+              [ (64, 48, 1) ]
+        | Error msg -> Alcotest.fail msg
+      in
+      Alcotest.(check int) "one outcome" 1 (List.length outcomes);
+      (* Same fingerprint: the reload is pure DB hits. *)
+      (match Db.load ~file:path ~fingerprint:"fp1" with
+      | Ok (db, Db.Loaded) ->
+          let o =
+            List.hd
+              (Tuner.tune ~db_file:path ~cal ~db ~space ~budget_ms:20.0
+                 ~repeats:1 ~keep:4
+                 [ (64, 48, 1) ])
+          in
+          Alcotest.(check bool) "db hit" true o.Tuner.db_hit;
+          Alcotest.(check int) "zero timing runs" 0 o.Tuner.timed
+      | Ok _ -> Alcotest.fail "expected Loaded"
+      | Error msg -> Alcotest.fail msg);
+      (* A re-calibration (new fingerprint) discards the file's entries
+         and the same shape is timed again. *)
+      match Db.load ~file:path ~fingerprint:"fp2" with
+      | Ok (db, Db.Invalidated) ->
+          let o =
+            List.hd
+              (Tuner.tune ~db_file:path ~cal ~db ~space ~budget_ms:20.0
+                 ~repeats:1 ~keep:4
+                 [ (64, 48, 1) ])
+          in
+          Alcotest.(check bool) "re-tuned, not a hit" false o.Tuner.db_hit;
+          Alcotest.(check bool) "timed again" true (o.Tuner.timed > 0)
+      | Ok _ -> Alcotest.fail "expected Invalidated"
+      | Error msg -> Alcotest.fail msg)
+
+let test_batched_tuning () =
+  let db = Db.create ~fingerprint:"fp" in
+  let o = tune_one db ~m:48 ~n:36 ~nb:4 in
+  Alcotest.(check bool) "winner <= default" true
+    (o.Tuner.winner.Measure.measured_ns <= o.Tuner.default_ns);
+  match Db.find db ~m:48 ~n:36 with
+  | Some e -> Alcotest.(check int) "nb recorded" 4 e.Db.nb
+  | None -> Alcotest.fail "entry missing"
+
+let tests =
+  [
+    Alcotest.test_case "winner never slower than default" `Quick
+      test_winner_never_slower_than_default;
+    Alcotest.test_case "second run is a pure DB hit" `Quick
+      test_second_run_is_pure_db_hit;
+    Alcotest.test_case "zero budget still times the gate pair" `Quick
+      test_zero_budget_still_gates;
+    Alcotest.test_case "fingerprint invalidation forces re-tune" `Quick
+      test_fingerprint_invalidation_forces_retune;
+    Alcotest.test_case "batched shapes tune and record nb" `Quick
+      test_batched_tuning;
+  ]

@@ -1,0 +1,11 @@
+let () =
+  (* The tuner times wall-clock; the library default clock measures CPU
+     seconds, which would make budgets and measurements nonsense. *)
+  Xpose_obs.Clock.install_if_unset (fun () -> Unix.gettimeofday () *. 1e9);
+  Alcotest.run "xpose_tune"
+    [
+      ("space", Suite_space.tests);
+      ("db", Suite_db.tests);
+      ("tuner", Suite_tuner.tests);
+      ("engine_select", Suite_engine_select.tests);
+    ]
