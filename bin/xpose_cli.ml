@@ -654,9 +654,10 @@ let check_cmd =
   let doc =
     "Statically verify the engines: prove every plan's pass pipeline equal to \
      the transpose specification (symbolic, no data movement), prove the \
-     parallel drivers' chunk footprints disjoint, and optionally run the \
-     checked-access engine twins. Non-zero exit on any violation or seeded \
-     detection."
+     parallel drivers' chunk footprints disjoint, optionally run the \
+     checked-access engine twins, and optionally certify every unsafe access \
+     in bounds and alias-free parametrically, for all shapes at once \
+     (--prove-bounds). Non-zero exit on any violation or seeded detection."
   in
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
@@ -687,6 +688,35 @@ let check_cmd =
              buffer; the access checker must detect the out-of-bounds read \
              (non-zero exit).")
   in
+  let prove_bounds_arg =
+    Arg.(
+      value & flag
+      & info [ "prove-bounds" ]
+          ~doc:
+            "Add the parametric certificate grids: prove every access of \
+             every engine pipeline in bounds, and every chunk/window split \
+             and barrier footprint alias-free, for all shapes, widths, lane \
+             counts and window budgets at once (symbolic proofs, no \
+             enumeration).")
+  in
+  let seed_oob_static_arg =
+    Arg.(
+      value & flag
+      & info [ "seed-oob-static" ]
+          ~doc:
+            "Negative test: certify a deliberately off-by-one access \
+             summary; the bounds prover must refute it with a concrete \
+             witness shape (non-zero exit).")
+  in
+  let only_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "only" ] ~docv:"ANALYSIS,.."
+          ~doc:
+            "Restrict the report to the named analyses: perm (plan), race, \
+             shadow, bounds, alias. Naming an opt-in analysis enables it.")
+  in
   let lanes_arg =
     Arg.(
       value
@@ -694,32 +724,39 @@ let check_cmd =
       & info [ "lanes" ] ~docv:"L1,L2,.."
           ~doc:"Worker-lane counts to analyze the parallel footprints at.")
   in
-  let run json shadow seed_race seed_oob lanes =
+  let run json shadow seed_race seed_oob prove_bounds seed_oob_static only
+      lanes =
     if lanes = [] || List.exists (fun l -> l < 1) lanes then
       `Error (false, "lanes must be positive")
-    else begin
-      let r =
-        Xpose_check.Driver.run ~lanes ~seed_race ~seed_oob ~shadow ()
-      in
-      if json then print_string (Xpose_check.Driver.to_json r)
-      else Format.printf "%a" Xpose_check.Driver.pp r;
-      if Xpose_check.Driver.ok r then `Ok ()
-      else if r.Xpose_check.Driver.violations > 0 then
-        `Error
-          ( false,
-            Printf.sprintf "%d of %d checks violated"
-              r.Xpose_check.Driver.violations r.Xpose_check.Driver.checked )
-      else
-        `Error
-          ( false,
-            Printf.sprintf "%d seeded defect(s) detected"
-              r.Xpose_check.Driver.detections )
-    end
+    else
+      match
+        List.find_opt
+          (fun f -> Xpose_check.Driver.family_of_name f = None)
+          only
+      with
+      | Some bad ->
+          `Error
+            ( false,
+              Printf.sprintf
+                "unknown analysis %S (expected perm, race, shadow, bounds or \
+                 alias)"
+                bad )
+      | None -> begin
+          let r =
+            Xpose_check.Driver.run ~lanes ~seed_race ~seed_oob ~shadow
+              ~prove_bounds ~seed_oob_static ~only ()
+          in
+          if json then print_string (Xpose_check.Driver.to_json r)
+          else Format.printf "%a" Xpose_check.Driver.pp r;
+          match Xpose_check.Driver.verdict r with
+          | Ok () -> `Ok ()
+          | Error msg -> `Error (false, msg)
+        end
   in
   cmd (Cmd.info "check" ~doc)
     Term.(
       const run $ json_arg $ shadow_arg $ seed_race_arg $ seed_oob_arg
-      $ lanes_arg)
+      $ prove_bounds_arg $ seed_oob_static_arg $ only_arg $ lanes_arg)
 
 (* -- the job server ------------------------------------------------------ *)
 

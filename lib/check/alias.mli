@@ -1,0 +1,44 @@
+(** Parametric alias certification.
+
+    The {!Footprint} race analysis proves the parallel drivers' chunk
+    footprints disjoint on concrete shapes; this module quantifies that
+    argument. Every split the drivers partition index space with --
+    [Pool.chunk_bounds], the ooc [Window.split], and the footprint maps
+    the barriers lift them through (row intervals, column ranges,
+    width-scaled panel groups, batch slices, strided block slots,
+    per-lane scratch slices) -- is modeled symbolically and proved
+    disjoint by {!Poly.prove_nonneg} for {e every} range, shape, lane
+    count, panel width, batch size and window budget at once.
+    Workspace/matrix disjointness is certified structurally: regions
+    are distinct allocations, so with {!Bounds}' in-bounds certificates
+    an access can only alias an access to the same region.
+
+    On proof failure the analyzer searches the corresponding concrete
+    split function for a minimal overlap witness, turning an
+    incompleteness report into a refutation when one exists -- this is
+    how the seeded [Footprint.off_by_one_split] and
+    [Window.overlapping_split] negatives are caught. *)
+
+type result = {
+  subject : string;  (** grid label, e.g. ["split/pool"] *)
+  proved : bool;
+  obligations : int;  (** polynomial goals discharged, branches counted *)
+  detail : string;
+  counterexample : string option;
+      (** concrete witness split when the failure was refuted *)
+}
+
+val split_counterexample : Footprint.split -> string option
+(** Deterministic smallest-first search for two chunks of the split
+    that overlap (or a chunk escaping its range). [None] for
+    [Footprint.pool_split]; a witness for [off_by_one_split]. *)
+
+val window_counterexample : Xpose_ooc.Window.splitter -> string option
+(** Same search over window lists. [None] for [Window.split]; a
+    witness for [Window.overlapping_split]. *)
+
+val run : ?seed_race:bool -> unit -> result list
+(** The full certificate grid: both split families, every barrier
+    footprint lift, the scratch-slice model and the structural region
+    discipline -- plus, when [seed_race], the two seeded broken splits
+    that must be refuted with a concrete counterexample. *)

@@ -3,7 +3,7 @@ open Xpose_core
 type status = Proved | Violated | Detected
 
 type entry = {
-  check : string;  (** "plan" | "race" | "shadow" *)
+  check : string;  (** "plan" | "race" | "shadow" | "bounds" | "alias" *)
   subject : string;
   status : status;
   detail : string;
@@ -364,16 +364,81 @@ let seeded_oob_entry () =
         detail = msg;
       }
 
+(* -- parametric certificates (bounds & alias) ------------------------------ *)
+
+(* A certificate maps onto the report the same way a seeded race does:
+   clean subjects must be proved; a "seeded/" subject must be refuted
+   with a concrete counterexample (a seeded summary that proves, or that
+   merely fails without a witness, means the analyzer is broken). *)
+let seeded_subject s =
+  String.length s >= 7 && String.sub s 0 7 = "seeded/"
+
+let certificate_entry ~check ~subject ~proved ~counterexample ~detail =
+  let status =
+    if seeded_subject subject then
+      if proved then Violated
+      else match counterexample with Some _ -> Detected | None -> Violated
+    else if proved then Proved
+    else Violated
+  in
+  { check; subject; status; detail }
+
+let bounds_entries ?widths ~grid ~seeded () =
+  let results =
+    (if grid then Bounds.run ?widths () else [])
+    @ if seeded then [ Bounds.seeded_result () ] else []
+  in
+  List.map
+    (fun (r : Bounds.result) ->
+      certificate_entry ~check:"bounds" ~subject:r.subject ~proved:r.proved
+        ~counterexample:r.counterexample ~detail:r.detail)
+    results
+
+let alias_entries ~seed_race () =
+  List.map
+    (fun (r : Alias.result) ->
+      certificate_entry ~check:"alias" ~subject:r.subject ~proved:r.proved
+        ~counterexample:r.counterexample ~detail:r.detail)
+    (Alias.run ~seed_race ())
+
 (* -- assembling the report ------------------------------------------------ *)
+
+let families = [ "plan"; "race"; "shadow"; "bounds"; "alias" ]
+
+let family_of_name = function
+  | "perm" -> Some "plan"
+  | f when List.mem f families -> Some f
+  | _ -> None
 
 let run ?threshold ?(shapes = default_shapes) ?(permutes = default_permutes)
     ?(lanes = default_lanes) ?(seed_race = false) ?(seed_oob = false)
-    ?(shadow = false) () =
+    ?(shadow = false) ?(prove_bounds = false) ?(seed_oob_static = false)
+    ?widths ?(only = []) () =
+  let only =
+    List.map (fun f -> match family_of_name f with Some f -> f | None -> f) only
+  in
+  let want fam ~default = if only = [] then default else List.mem fam only in
+  (* Each opt-in family follows the same rule: its grid runs when its
+     enabling flag is set or it is named in [only] with no seeding flag;
+     its seeding flag alone adds just the (fast) seeded negative. *)
+  let shadow_wanted = want "shadow" ~default:(shadow || seed_oob) in
+  let shadow_grid = shadow_wanted && (shadow || not seed_oob) in
+  let bounds_wanted = want "bounds" ~default:(prove_bounds || seed_oob_static) in
+  let bounds_grid = bounds_wanted && (prove_bounds || not seed_oob_static) in
   let entries =
-    plan_entries ?threshold ~shapes ~permutes ()
-    @ race_entries ~seeded:seed_race ~shapes ~permutes ~lanes ()
-    @ (if shadow then shadow_entries ~shapes () else [])
-    @ if seed_oob then [ seeded_oob_entry () ] else []
+    (if want "plan" ~default:true then plan_entries ?threshold ~shapes ~permutes ()
+     else [])
+    @ (if want "race" ~default:true then
+         race_entries ~seeded:seed_race ~shapes ~permutes ~lanes ()
+       else [])
+    @ (if shadow_grid then shadow_entries ~shapes () else [])
+    @ (if shadow_wanted && seed_oob then [ seeded_oob_entry () ] else [])
+    @ (if bounds_wanted then
+         bounds_entries ?widths ~grid:bounds_grid ~seeded:seed_oob_static ()
+       else [])
+    @
+    if want "alias" ~default:prove_bounds then alias_entries ~seed_race ()
+    else []
   in
   let count st = List.length (List.filter (fun e -> e.status = st) entries) in
   {
@@ -384,6 +449,12 @@ let run ?threshold ?(shapes = default_shapes) ?(permutes = default_permutes)
   }
 
 let ok r = r.violations = 0 && r.detections = 0
+
+let verdict r =
+  if ok r then Ok ()
+  else if r.violations > 0 then
+    Error (Printf.sprintf "%d of %d checks violated" r.violations r.checked)
+  else Error (Printf.sprintf "%d seeded defect(s) detected" r.detections)
 
 (* -- rendering ------------------------------------------------------------ *)
 

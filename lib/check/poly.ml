@@ -1,0 +1,721 @@
+(* A small multivariate polynomial prover for the access-summary proof
+   obligations of {!Bounds} and {!Alias}.
+
+   Everything is reduced to goals of the form [p >= 0] where [p] is an
+   integer polynomial over variables that are all provably nonnegative.
+   A context carries, per variable, polynomial lower and upper bounds
+   (inclusive), plus a set of facts [f >= 0]. The prover is a bounded
+   DFS over five sound moves:
+
+   - base: every coefficient of [p] is >= 0 (all vars nonnegative);
+   - factor: [p = v * q] for a variable [v] -- recurse on [q];
+   - upper-substitute: a variable [v] occurring with a negative
+     coefficient is replaced by [U - v'] for an upper bound [U] of [v]
+     and a fresh [v' in [0, U - L]];
+   - subtract: [p := p - mu * f] for a fact [f >= 0] and a multiplier
+     [mu] that is 1 or a variable of [p] (sound: all vars >= 0);
+   - lower-substitute: [v := L + v'] for a nonzero lower bound [L] and
+     fresh [v' >= 0].
+
+   Each move preserves "goal >= 0 in every model of the context", so a
+   successful derivation is a proof valid for all shapes at once. The
+   search is capped (depth and node budget), so failure is fast -- and
+   failure is not a verdict: {!Bounds} then looks for a concrete
+   counterexample shape by deterministic enumeration.
+
+   The same module hosts the translator from {!Xpose_core.Access}
+   expressions to polynomials. Non-polynomial operations fork the
+   obligation into covering branches ([Min]/[Max]/[Ite]/inequality
+   negation) or introduce constrained fresh variables with divisibility
+   side conditions ([Div]/[Mod], mirroring [Intmath.ediv]/[emod]). *)
+
+module SMap = Map.Make (String)
+
+module P = struct
+  module Mono = struct
+    type t = int SMap.t
+    (* var -> exponent, exponents >= 1; empty = the unit monomial *)
+
+    let compare = SMap.compare Int.compare
+    let one = SMap.empty
+    let var s = SMap.singleton s 1
+    let mul = SMap.union (fun _ a b -> Some (a + b))
+
+    let to_string m =
+      if SMap.is_empty m then "1"
+      else
+        String.concat "*"
+          (List.map
+             (fun (v, e) ->
+               if e = 1 then v else Printf.sprintf "%s^%d" v e)
+             (SMap.bindings m))
+  end
+
+  module MMap = Map.Make (Mono)
+
+  type t = int MMap.t
+  (* monomial -> coefficient, coefficients <> 0 *)
+
+  let zero : t = MMap.empty
+  let const c = if c = 0 then zero else MMap.singleton Mono.one c
+  let var s = MMap.singleton (Mono.var s) 1
+
+  let add : t -> t -> t =
+    MMap.union (fun _ a b -> if a + b = 0 then None else Some (a + b))
+
+  let neg p = MMap.map (fun c -> -c) p
+  let sub a b = add a (neg b)
+
+  let mul (a : t) (b : t) : t =
+    MMap.fold
+      (fun ma ca acc ->
+        MMap.fold
+          (fun mb cb acc ->
+            add acc (MMap.singleton (Mono.mul ma mb) (ca * cb)))
+          b acc)
+      a zero
+
+  let rec pow p e = if e <= 0 then const 1 else mul p (pow p (e - 1))
+  let equal a b = MMap.equal Int.equal a b
+  let compare = MMap.compare Int.compare
+  let is_zero = MMap.is_empty
+  let all_nonneg p = MMap.for_all (fun _ c -> c >= 0) p
+
+  let vars p =
+    MMap.fold
+      (fun m _ acc -> SMap.fold (fun v _ acc -> v :: acc) m acc)
+      p []
+    |> List.sort_uniq String.compare
+
+  (* Variables appearing in some monomial with a negative coefficient. *)
+  let neg_vars p =
+    MMap.fold
+      (fun m c acc ->
+        if c < 0 then SMap.fold (fun v _ acc -> v :: acc) m acc else acc)
+      p []
+    |> List.sort_uniq String.compare
+
+  let pos_vars p =
+    MMap.fold
+      (fun m c acc ->
+        if c > 0 then SMap.fold (fun v _ acc -> v :: acc) m acc else acc)
+      p []
+    |> List.sort_uniq String.compare
+
+  (* Concrete evaluation under a full assignment; [None] when the
+     polynomial mentions an unassigned variable. *)
+  let eval (asg : int SMap.t) (p : t) : int option =
+    let rec ipow x e = if e <= 0 then 1 else x * ipow x (e - 1) in
+    try
+      Some
+        (MMap.fold
+           (fun m c acc ->
+             let mv =
+               SMap.fold
+                 (fun v e acc ->
+                   match SMap.find_opt v asg with
+                   | Some x -> acc * ipow x e
+                   | None -> raise Exit)
+                 m 1
+             in
+             acc + (c * mv))
+           p 0)
+    with Exit -> None
+
+  let subst (p : t) v (q : t) : t =
+    MMap.fold
+      (fun m c acc ->
+        match SMap.find_opt v m with
+        | None -> add acc (MMap.singleton m c)
+        | Some e ->
+            let rest = MMap.singleton (SMap.remove v m) c in
+            add acc (mul rest (pow q e)))
+      p zero
+
+  (* [Some q] with [p = v * q] when every monomial contains [v]. *)
+  let factor_var (p : t) v : t option =
+    if is_zero p then None
+    else if MMap.for_all (fun m _ -> SMap.mem v m) p then
+      Some
+        (MMap.fold
+           (fun m c acc ->
+             let e = SMap.find v m in
+             let m' = if e = 1 then SMap.remove v m else SMap.add v (e - 1) m in
+             add acc (MMap.singleton m' c))
+           p zero)
+    else None
+
+  (* Heuristic goal cost for best-first search: how many monomials
+     still have a negative coefficient, then their total coefficient
+     magnitude (a subtract that scales a negative term up is churn --
+     chains like [g - k*f] applied forever keep every other component
+     flat while |coeff| climbs), then their degree mass (high-degree
+     negative terms are the hardest to discharge), then monomial
+     count. *)
+  let cost p =
+    let degree m = SMap.fold (fun _ e acc -> acc + e) m 0 in
+    ( MMap.fold (fun _ c acc -> if c < 0 then acc + 1 else acc) p 0,
+      MMap.fold (fun _ c acc -> if c < 0 then acc - c else acc) p 0,
+      MMap.fold (fun m c acc -> if c < 0 then acc + degree m else acc) p 0,
+      MMap.cardinal p )
+
+  let to_string p =
+    if is_zero p then "0"
+    else
+      String.concat " + "
+        (List.map
+           (fun (m, c) ->
+             if SMap.is_empty m then string_of_int c
+             else if c = 1 then Mono.to_string m
+             else Printf.sprintf "%d*%s" c (Mono.to_string m))
+           (MMap.bindings p))
+end
+
+(* -- contexts ------------------------------------------------------------ *)
+
+type info = { lowers : P.t list; uppers : P.t list }
+
+type ctx = {
+  vars : info SMap.t;  (** every variable is >= 0 in every model *)
+  facts : P.t list;  (** each [f] satisfies [f >= 0] in every model *)
+  fresh : int;
+}
+
+let ctx_empty = { vars = SMap.empty; facts = []; fresh = 0 }
+
+let add_var ctx name ~lowers ~uppers =
+  { ctx with vars = SMap.add name { lowers; uppers } ctx.vars }
+
+let add_fact ctx f = if P.is_zero f then ctx else { ctx with facts = f :: ctx.facts }
+
+let fresh_var ctx prefix =
+  (Printf.sprintf "!%s%d" prefix ctx.fresh, { ctx with fresh = ctx.fresh + 1 })
+
+(* Change of variable: rewrite the whole context under [v := r] and
+   drop [v]. Sound whenever the equation holds in every model of the
+   (restricted) context: substituted facts and bounds stay nonnegative
+   there, and no information is stranded on the eliminated variable --
+   a fact like [rem - v - 1 >= 0] keeps its correlation with the fresh
+   variable instead of silently going dead. [extra] carries [v]'s own
+   residual bounds re-expressed through [r]; all-nonneg residuals are
+   dropped (subtracting one can only add negative monomials). *)
+let subst_ctx ctx v r extra =
+  let sub p = P.subst p v r in
+  let vars =
+    SMap.map
+      (fun { lowers; uppers } ->
+        { lowers = List.map sub lowers; uppers = List.map sub uppers })
+      (SMap.remove v ctx.vars)
+  in
+  let extra = List.filter (fun f -> not (P.all_nonneg f)) extra in
+  { ctx with vars; facts = List.rev_append extra (List.map sub ctx.facts) }
+
+(* -- the prover ---------------------------------------------------------- *)
+
+let default_depth = 12
+let default_budget = 6000
+
+let beam_width = 40
+
+let prove_nonneg ?(depth = default_depth) ?(budget = default_budget) ctx goal =
+  let bounds_of ctx v =
+    match SMap.find_opt v ctx.vars with
+    | Some i -> i
+    | None -> { lowers = [ P.zero ]; uppers = [] }
+  in
+  (* Concrete models of the context, for falsification pruning: every
+     prover move is sound, so a candidate goal that evaluates negative
+     in a genuine model can never be proved -- discarding it loses
+     nothing and keeps lossy subtract/substitution chains from burning
+     the budget. Assignments are built by a dependency fixpoint
+     (bounds reference earlier variables), the value choice is
+     patterned per variable so the draws spread across the box, and
+     only assignments satisfying every fact survive (divisibility
+     facts reject most box corners; whatever remains is still a
+     model). *)
+  let base_draws =
+    let nvars = SMap.cardinal ctx.vars in
+    let lo_of asg lowers =
+      List.fold_left
+        (fun acc l ->
+          match (acc, P.eval asg l) with
+          | Some a, Some x -> Some (Stdlib.max a x)
+          | _ -> None)
+        (Some 0) lowers
+    in
+    let hi_of asg uppers =
+      (* [Some None] = unbounded, [None] = not yet evaluable *)
+      List.fold_left
+        (fun acc u ->
+          match (acc, P.eval asg u) with
+          | Some (Some a), Some x -> Some (Some (min a x))
+          | Some None, Some x -> Some (Some x)
+          | _ -> None)
+        (Some None) uppers
+    in
+    (* Facts mentioning a given variable: the value choice below only
+       needs to re-check those. *)
+    let facts_of v =
+      List.filter (fun f -> List.mem v (P.vars f)) ctx.facts
+    in
+    let mk pat =
+      let asg = ref SMap.empty in
+      let feasible = ref true in
+      let assign v { lowers; uppers } =
+        match (lo_of !asg lowers, hi_of !asg uppers) with
+        | Some lo, Some hi ->
+            (match hi with
+            | Some h when h < lo -> feasible := false
+            | _ -> ());
+            if !feasible then begin
+              let cap =
+                match hi with
+                | Some h -> min h (lo + 15)
+                | None -> lo + 2 + (pat mod 2)
+              in
+              let start =
+                match Hashtbl.hash (pat, v) mod 3 with
+                | 0 -> lo
+                | 1 -> cap
+                | _ -> lo + ((cap - lo) / 2)
+              in
+              (* first value consistent with every fact that is fully
+                 determined so far (undetermined facts pass; the final
+                 whole-assignment filter still decides) *)
+              let vfacts = facts_of v in
+              let ok a =
+                List.for_all
+                  (fun f ->
+                    match P.eval a f with Some x -> x >= 0 | None -> true)
+                  vfacts
+              in
+              let rec first = function
+                | [] -> feasible := false
+                | x :: rest ->
+                    let a = SMap.add v x !asg in
+                    if ok a then asg := a else first rest
+              in
+              first (start :: List.init (cap - lo + 1) (fun i -> lo + i))
+            end;
+            true
+        | _ -> false
+      in
+      (* Named variables first, translator-introduced fresh ([!]-prefixed)
+         ones after: a fresh variable's divisibility facts are fully
+         determined once the named variables are fixed, so its value can
+         be picked to satisfy them instead of the whole draw being
+         rejected afterwards. *)
+      let sweep allow_fresh =
+        let changed = ref true in
+        while !changed && !feasible do
+          changed := false;
+          SMap.iter
+            (fun v info ->
+              if
+                !feasible
+                && (not (SMap.mem v !asg))
+                && (allow_fresh || not (String.length v > 0 && v.[0] = '!'))
+              then if assign v info then changed := true)
+            ctx.vars
+        done
+      in
+      sweep false;
+      sweep true;
+      if
+        !feasible
+        && SMap.cardinal !asg = nvars
+        && List.for_all
+             (fun f ->
+               match P.eval !asg f with Some x -> x >= 0 | None -> false)
+             ctx.facts
+      then Some !asg
+      else None
+    in
+    List.filter_map mk (List.init 48 Fun.id)
+    |> List.sort_uniq compare
+    |> List.filteri (fun i _ -> i < 16)
+  in
+  (* An infeasible branch: the translator's Min/Max/Ite forks can land
+     a branch fact next to its strict complement (e.g. [k - rem >= 0]
+     beside [rem - k - 1 >= 0]), excluding every model -- any goal
+     then holds vacuously, but the subtract search cannot see it when
+     the goal shares no variable with the facts (a contradictory
+     branch often collapses the goal to a bare negative constant). Two
+     facts -- context or variable-range -- summing to a negative
+     constant witness the contradiction directly. *)
+  let infeasible =
+    let as_const p = if P.vars p = [] then P.eval SMap.empty p else None in
+    let neg_const p = match as_const p with Some c -> c < 0 | None -> false in
+    let fs =
+      ctx.facts
+      @ SMap.fold
+          (fun v { lowers; uppers } acc ->
+            List.map (fun l -> P.sub (P.var v) l) lowers
+            @ List.map (fun u -> P.sub u (P.var v)) uppers
+            @ acc)
+          ctx.vars []
+    in
+    List.exists
+      (fun f ->
+        neg_const f || List.exists (fun g -> neg_const (P.add f g)) fs)
+      fs
+  in
+  (* One depth-bounded pass. Proofs are short chains when the move
+     ordering is right, so the outer loop deepens iteratively: a dead
+     subtree at depth 3 costs almost nothing, and most obligations
+     close there; only the stubborn ones pay for a deep pass. *)
+  let try_depth depth =
+  let budget = ref budget in
+  (* Failure cache only. Caching failures is sound for certification
+     (a spurious hit can only lose a proof, never fabricate one) and
+     turns the DFS into a DAG search: commuting subtract chains reach
+     the same normal-form polynomial and are explored once. Successes
+     are not cached -- a cached success would have to pin down the
+     bounds of every fresh variable, and any real proof is cheap to
+     re-derive. *)
+  let failed : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let key d ctx (g : P.t) =
+    Printf.sprintf "%d|%d|%s|%s" d ctx.fresh
+      (String.concat "&"
+         (List.sort String.compare (List.map P.to_string ctx.facts)))
+      (P.to_string g)
+  in
+  let trace = Sys.getenv_opt "POLY_TRACE" <> None in
+  (* Cycle check, up to fresh-variable naming: an oscillating
+     substitution chain (substitute [v := U - v'], then re-substitute
+     the result back) reproduces the same goal with a freshly-minted
+     variable name each round, so neither [P.equal] nor the failure
+     cache ever recognizes the repeat and a whole branch of the depth
+     budget burns in the loop. Merging every [!]-fresh variable into
+     one name gives a cheap canonical form; a candidate whose canonical
+     form already appeared on the current path is a repeat state (any
+     proof below it was already available at the first occurrence). *)
+  let canon (g : P.t) =
+    let merged =
+      List.fold_left
+        (fun g v ->
+          if String.length v > 0 && v.[0] = '!' then P.subst g v (P.var "#")
+          else g)
+        g (P.vars g)
+    in
+    P.to_string merged
+  in
+  let rec go d ctx (g : P.t) draws path =
+    if trace then
+      Printf.eprintf "%s[d=%d b=%d w=%d] %s\n%!"
+        (String.make (Stdlib.max 0 (depth - d)) ' ')
+        d !budget (List.length draws) (P.to_string g);
+    if P.all_nonneg g then true
+    else if d <= 0 || !budget <= 0 then false
+    else begin
+      let k = key d ctx g in
+      if Hashtbl.mem failed k then false
+      else begin
+        decr budget;
+        (* Candidate children, pooled across the three depth-consuming
+           moves, then tried best-first (fewest remaining negative
+           monomials). The ordering is pure heuristic -- soundness and
+           the search space are unchanged -- but it steers the DFS into
+           the branch that actually makes progress instead of burning
+           the budget inside a degenerate substitution subtree. Each
+           candidate carries the model draws extended to its fresh
+           variable (a substitution equation determines the fresh
+           variable's value in every model). *)
+        let candidates =
+          (* upper-substitute a negatively-occurring variable:
+             v = u - v' is consistent (L <= v <= u holds in some model,
+             and every gap u - L >= v' >= 0 there) *)
+          List.concat_map
+            (fun v ->
+              let { lowers; uppers } = bounds_of ctx v in
+              List.map
+                (fun u ->
+                  let v', ctx = fresh_var ctx "u" in
+                  let r = P.sub u (P.var v') in
+                  let gaps = List.map (fun l -> P.sub u l) lowers in
+                  let ctx = add_var ctx v' ~lowers:[ P.zero ] ~uppers:gaps in
+                  let residual =
+                    List.filter_map
+                      (fun u2 -> if u2 = u then None else Some (P.sub u2 r))
+                      uppers
+                  in
+                  let ctx = subst_ctx ctx v r residual in
+                  let draws =
+                    List.filter_map
+                      (fun a ->
+                        match (P.eval a u, SMap.find_opt v a) with
+                        | Some uu, Some xv when uu >= xv ->
+                            Some (SMap.add v' (uu - xv) a)
+                        | _ -> None)
+                      draws
+                  in
+                  (0, ctx, P.subst g v r, draws))
+                uppers)
+            (P.neg_vars g)
+          (* lower-substitute: v = L + v' shifts the origin. With a
+             constant lower this is almost always churn (the range fact
+             v - L covers the additive uses), so those candidates are
+             demoted to a last-resort class: ties would otherwise rank
+             them first and burn the budget in identical subtrees. *)
+          @ List.concat_map
+              (fun v ->
+                let { lowers; uppers } = bounds_of ctx v in
+                List.filter_map
+                  (fun l ->
+                    if P.is_zero l then None
+                    else begin
+                      let v', ctx = fresh_var ctx "l" in
+                      let r = P.add l (P.var v') in
+                      let gaps = List.map (fun u -> P.sub u l) uppers in
+                      let ctx =
+                        add_var ctx v' ~lowers:[ P.zero ] ~uppers:gaps
+                      in
+                      let residual =
+                        List.filter_map
+                          (fun l2 ->
+                            if l2 = l then None else Some (P.sub r l2))
+                          lowers
+                      in
+                      let ctx = subst_ctx ctx v r residual in
+                      let draws =
+                        List.filter_map
+                          (fun a ->
+                            match (P.eval a l, SMap.find_opt v a) with
+                            | Some ll, Some xv when xv >= ll ->
+                                Some (SMap.add v' (xv - ll) a)
+                            | _ -> None)
+                          draws
+                      in
+                      let cls = if P.vars l = [] then 1 else 0 in
+                      Some (cls, ctx, P.subst g v r, draws)
+                    end)
+                  lowers)
+              (P.vars g)
+          (* subtract a known-nonnegative fact, optionally scaled by a
+             goal variable (all variables are nonnegative). Facts that
+             share no variable with the goal only inject fresh negative
+             monomials, so they are pruned -- this keeps contexts rich
+             in divisibility facts (every Div/Mod translated upstream
+             leaves two) from drowning the relevant candidates.
+
+             A range fact of a variable that also occurs with the
+             opposite sign elsewhere in the goal is demoted: subtracting
+             [mu * (U - v)] amounts to substituting [v]'s upper into
+             only its negative occurrences, which throws away the
+             correlation with the positive ones (the full substitution
+             keeps it) -- these frequently produce sound-but-false
+             subgoals that eat the budget. *)
+          @
+          let gvars = P.vars g in
+          let posv = P.pos_vars g and negv = P.neg_vars g in
+          let fact_cands =
+            List.map (fun f -> (0, f)) ctx.facts
+            @ List.concat_map
+                (fun v ->
+                  let { lowers; uppers } = bounds_of ctx v in
+                  let lower_cls = if List.mem v negv then 1 else 0 in
+                  let upper_cls = if List.mem v posv then 1 else 0 in
+                  List.filter_map
+                    (fun l ->
+                      if P.is_zero l then None
+                      else Some (lower_cls, P.sub (P.var v) l))
+                    lowers
+                  @ List.map (fun u -> (upper_cls, P.sub u (P.var v))) uppers)
+                gvars
+          in
+          List.concat_map
+            (fun (cls, f) ->
+              (cls, ctx, P.sub g f, draws)
+              :: List.map
+                   (fun v -> (cls, ctx, P.sub g (P.mul (P.var v) f), draws))
+                   gvars)
+            (List.filter
+               (fun (_, f) ->
+                 List.exists (fun v -> List.mem v gvars) (P.vars f))
+               fact_cands)
+        in
+        (* Falsification: a candidate goal negative in a model of its
+           context is not a theorem, so no sound derivation can close
+           it -- drop it before it costs anything. *)
+        let candidates =
+          List.filter
+            (fun (_, _, g', draws') ->
+              List.for_all
+                (fun a ->
+                  match P.eval a g' with Some x -> x >= 0 | None -> true)
+                draws')
+            candidates
+        in
+        let path' = canon g :: path in
+        let candidates =
+          List.filter
+            (fun (_, _, g', _) -> not (List.mem (canon g') path'))
+            candidates
+        in
+        let scored =
+          List.stable_sort
+            (fun (c1, _, g1, _) (c2, _, g2, _) ->
+              compare (c1, P.cost g1) (c2, P.cost g2))
+            candidates
+          |> List.map (fun (_, ctx, g, draws) -> (ctx, g, draws))
+        in
+        (* Drop adjacent duplicates (commuting subtract chains produce
+           the same normal form many times over). *)
+        let rec dedupe = function
+          | (_, g1, _) :: ((_, g2, _) :: _ as rest) when P.equal g1 g2 ->
+              dedupe rest
+          | c :: rest -> c :: dedupe rest
+          | [] -> []
+        in
+        let scored = dedupe scored in
+        (* Beam: only the most promising candidates are expanded. This
+           caps the branching factor (the subtract move alone can
+           produce dozens of children); together with the shallow first
+           passes it keeps dead subtrees from starving the budget. *)
+        let scored = List.filteri (fun i _ -> i < beam_width) scored in
+        let ok =
+          (* one-step lookahead: a candidate that is already trivially
+             nonnegative completes the proof no matter how the
+             heuristic ranked it (demotion and the beam only steer the
+             recursive descent) *)
+          List.exists (fun (_, _, g', _) -> P.all_nonneg g') candidates
+          (* factor out a common variable: strict structural progress *)
+          || List.exists
+               (fun v ->
+                 match P.factor_var g v with
+                 | Some q -> go d ctx q draws path'
+                 | None -> false)
+               (P.vars g)
+          || List.exists
+               (fun (ctx, g', draws') -> go (d - 1) ctx g' draws' path')
+               scored
+        in
+        (* Only cache a failure if the subtree was fully explored: a
+           budget-starved search is not a verdict on this node. *)
+        if (not ok) && !budget > 0 then Hashtbl.replace failed k ();
+        ok
+      end
+    end
+  in
+  go depth ctx goal base_draws []
+  in
+  infeasible
+  || List.exists try_depth
+       (List.sort_uniq compare
+          [ min 3 depth; min 5 depth; min 7 depth; min 9 depth; depth ])
+
+(* -- translating Access expressions -------------------------------------- *)
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type env = P.t SMap.t
+
+let env_find (env : env) v =
+  match SMap.find_opt v env with
+  | Some p -> p
+  | None -> unsupported "unbound variable %s" v
+
+(* Translation forks: each returned branch is a context enriched with
+   the branch's facts plus the expression's polynomial value there. The
+   branches cover all models of the input context. *)
+let rec translate (ctx : ctx) (env : env) (e : Xpose_core.Access.exp) :
+    (ctx * P.t) list =
+  let open Xpose_core.Access in
+  match e with
+  | Const c -> [ (ctx, P.const c) ]
+  | Var v -> [ (ctx, env_find env v) ]
+  | Add (x, y) -> translate2 ctx env x y |> List.map (fun (c, a, b) -> (c, P.add a b))
+  | Sub (x, y) -> translate2 ctx env x y |> List.map (fun (c, a, b) -> (c, P.sub a b))
+  | Mul (x, y) -> translate2 ctx env x y |> List.map (fun (c, a, b) -> (c, P.mul a b))
+  | Div (x, y) ->
+      translate2 ctx env x y
+      |> List.map (fun (ctx, px, py) ->
+             (* ediv: requires 0 <= x and 1 <= y, then q = x/y is the
+                unique q >= 0 with q*y <= x <= q*y + y - 1 *)
+             if not (prove_nonneg ctx px) then
+               unsupported "cannot prove dividend nonneg: %s >= 0"
+                 (P.to_string px);
+             if not (prove_nonneg ctx (P.sub py (P.const 1))) then
+               unsupported "cannot prove divisor positive: %s >= 1"
+                 (P.to_string py);
+             let q, ctx = fresh_var ctx "q" in
+             let ctx = add_var ctx q ~lowers:[ P.zero ] ~uppers:[ px ] in
+             let qy = P.mul (P.var q) py in
+             let ctx = add_fact ctx (P.sub px qy) in
+             let ctx =
+               add_fact ctx (P.sub (P.add qy (P.sub py (P.const 1))) px)
+             in
+             (ctx, P.var q))
+  | Mod (x, y) ->
+      translate2 ctx env x y
+      |> List.map (fun (ctx, _px, py) ->
+             (* emod: requires 1 <= y; the remainder lies in [0, y-1]
+                regardless of the dividend's sign *)
+             if not (prove_nonneg ctx (P.sub py (P.const 1))) then
+               unsupported "cannot prove modulus positive: %s >= 1"
+                 (P.to_string py);
+             let r, ctx = fresh_var ctx "r" in
+             let ctx =
+               add_var ctx r ~lowers:[ P.zero ]
+                 ~uppers:[ P.sub py (P.const 1) ]
+             in
+             (ctx, P.var r))
+  | Min (x, y) ->
+      translate2 ctx env x y
+      |> List.concat_map (fun (ctx, px, py) ->
+             [
+               (add_fact ctx (P.sub py px), px);
+               (add_fact ctx (P.sub px py), py);
+             ])
+  | Max (x, y) ->
+      translate2 ctx env x y
+      |> List.concat_map (fun (ctx, px, py) ->
+             [
+               (add_fact ctx (P.sub py px), py);
+               (add_fact ctx (P.sub px py), px);
+             ])
+  | Ite (c, x, y) ->
+      List.concat_map (fun ctx -> translate ctx env x) (assume ctx env c)
+      @ List.concat_map
+          (fun ctx -> translate ctx env y)
+          (assume_not ctx env c)
+
+and translate2 ctx env x y =
+  translate ctx env x
+  |> List.concat_map (fun (ctx, px) ->
+         translate ctx env y |> List.map (fun (ctx, py) -> (ctx, px, py)))
+
+(* Branches covering [ctx /\ c]. *)
+and assume ctx env (c : Xpose_core.Access.cond) : ctx list =
+  let open Xpose_core.Access in
+  match c with
+  | Le (x, y) ->
+      translate2 ctx env x y
+      |> List.map (fun (ctx, px, py) -> add_fact ctx (P.sub py px))
+  | Eq (x, y) ->
+      translate2 ctx env x y
+      |> List.map (fun (ctx, px, py) ->
+             add_fact (add_fact ctx (P.sub py px)) (P.sub px py))
+  | And (c1, c2) ->
+      List.concat_map (fun ctx -> assume ctx env c2) (assume ctx env c1)
+
+(* Branches covering [ctx /\ not c] (a covering disjunction: their
+   union contains every model of [ctx] violating [c]). *)
+and assume_not ctx env (c : Xpose_core.Access.cond) : ctx list =
+  let open Xpose_core.Access in
+  match c with
+  | Le (x, y) ->
+      (* not (x <= y)  <=>  y + 1 <= x *)
+      translate2 ctx env x y
+      |> List.map (fun (ctx, px, py) ->
+             add_fact ctx (P.sub px (P.add py (P.const 1))))
+  | Eq (x, y) ->
+      translate2 ctx env x y
+      |> List.concat_map (fun (ctx, px, py) ->
+             [
+               add_fact ctx (P.sub py (P.add px (P.const 1)));
+               add_fact ctx (P.sub px (P.add py (P.const 1)));
+             ])
+  | And (c1, c2) -> assume_not ctx env c1 @ assume_not ctx env c2

@@ -1,0 +1,74 @@
+(** Polynomial goals, contexts, and the bounded-search prover behind the
+    parametric {!Bounds} and {!Alias} certificates.
+
+    Goals have the form [p >= 0] over variables that are all
+    nonnegative in every model; contexts carry per-variable polynomial
+    bounds and facts [f >= 0]. Every prover move is sound, so success
+    is a proof for all shapes; failure is merely "no proof found"
+    ({!Bounds} then searches for a concrete counterexample). *)
+
+module SMap : Map.S with type key = string
+
+(** Multivariate integer polynomials in normal form. *)
+module P : sig
+  type t
+
+  val zero : t
+  val const : int -> t
+  val var : string -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val pow : t -> int -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val is_zero : t -> bool
+
+  val all_nonneg : t -> bool
+  (** Trivially nonnegative: every coefficient is [>= 0]. *)
+
+  val vars : t -> string list
+  val neg_vars : t -> string list
+  val subst : t -> string -> t -> t
+  val factor_var : t -> string -> t option
+  val to_string : t -> string
+end
+
+type info = { lowers : P.t list; uppers : P.t list }
+(** Inclusive polynomial bounds of one variable. *)
+
+type ctx = {
+  vars : info SMap.t;  (** every variable is [>= 0] in every model *)
+  facts : P.t list;  (** each [f] satisfies [f >= 0] in every model *)
+  fresh : int;
+}
+
+val ctx_empty : ctx
+val add_var : ctx -> string -> lowers:P.t list -> uppers:P.t list -> ctx
+val add_fact : ctx -> P.t -> ctx
+val fresh_var : ctx -> string -> string * ctx
+
+val prove_nonneg : ?depth:int -> ?budget:int -> ctx -> P.t -> bool
+(** Bounded DFS for a proof of [goal >= 0] under the context. [true]
+    is a certificate valid for every model; [false] only means no
+    proof was found within the caps. *)
+
+exception Unsupported of string
+(** Raised by the translator on an expression it cannot soundly model
+    (unbound variable, unprovable division side condition). *)
+
+type env = P.t SMap.t
+(** Maps every summary-level variable name to its polynomial. *)
+
+val translate : ctx -> env -> Xpose_core.Access.exp -> (ctx * P.t) list
+(** Branches covering all models of [ctx]: each is the context enriched
+    with branch facts ([Min]/[Max]/[Ite] case splits, [Div]/[Mod]
+    divisibility facts on fresh variables) and the expression's value
+    there. *)
+
+val assume : ctx -> env -> Xpose_core.Access.cond -> ctx list
+(** Branches covering [ctx /\ c]. *)
+
+val assume_not : ctx -> env -> Xpose_core.Access.cond -> ctx list
+(** Branches covering [ctx /\ not c]. *)

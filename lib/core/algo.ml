@@ -219,3 +219,18 @@ module Make (S : Storage.S) = struct
     S.blit buf 0 dst 0 (S.length buf);
     dst
 end
+
+(* -- access metadata -----------------------------------------------------
+   The symbolic access summaries of the pipelines above, storage-
+   independent by construction: Access.Passes mirrors the phase bodies
+   of this functor (and of Kernels_f64, which shares them) expression
+   for expression. *)
+
+let c2r_access = function
+  | C2r_gather -> Access.Passes.c2r Access.Passes.Gather
+  | C2r_scatter -> Access.Passes.c2r Access.Passes.Scatter
+  | C2r_decomposed -> Access.Passes.c2r Access.Passes.Decomposed
+
+let r2c_access = function
+  | R2c_fused -> Access.Passes.r2c Access.Passes.Fused_inverse
+  | R2c_decomposed -> Access.Passes.r2c Access.Passes.Decomposed_inverse

@@ -2,7 +2,14 @@ exception Violation of string
 
 let violation fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
 
+let recorder :
+    (who:string -> what:string -> len:int -> int -> unit) option ref =
+  ref None
+
+let set_recorder r = recorder := r
+
 let bounds ~who ~what ~len i =
+  (match !recorder with None -> () | Some r -> r ~who ~what ~len i);
   if i < 0 || i >= len then
     violation "%s: %s index %d out of bounds [0, %d)" who what i len
 

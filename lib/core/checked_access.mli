@@ -23,6 +23,14 @@ val bounds : who:string -> what:string -> len:int -> int -> unit
 (** [bounds ~who ~what ~len i] raises {!Violation} unless
     [0 <= i < len]. *)
 
+val set_recorder :
+  (who:string -> what:string -> len:int -> int -> unit) option -> unit
+(** Install (or clear) a hook observing every single-element checked
+    access before it is validated. The access-summary cross-validation
+    tests use it to record the exact index trace of a checked pass and
+    diff it against the concretized {!Access} summary. Not for
+    production paths; the hook sees accesses from every thread. *)
+
 val range : who:string -> what:string -> len:int -> pos:int -> count:int -> unit
 (** [range ~who ~what ~len ~pos ~count] raises {!Violation} unless
     [[pos, pos + count)] lies within [[0, len)] and [count >= 0]. *)

@@ -334,3 +334,8 @@ module Checked = struct
 
   include Engine_of (Phases)
 end
+
+(* The specialized kernels run the same phase bodies as Algo.Make, so
+   they share its access summaries. *)
+let c2r_access = Algo.c2r_access
+let r2c_access = Algo.r2c_access

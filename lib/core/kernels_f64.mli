@@ -69,3 +69,9 @@ module Checked : sig
 
   include ENGINE
 end
+
+val c2r_access : Algo.c2r_variant -> Access.summary list
+(** {!Algo.c2r_access}: these kernels run the same phase bodies. *)
+
+val r2c_access : Algo.r2c_variant -> Access.summary list
+(** {!Algo.r2c_access}. *)

@@ -319,3 +319,182 @@ module Make (S : Storage.S) = struct
         (Plan.Cache.get ?cache ~params ~m:rn ~n:rm ())
         buf
 end
+
+(* -- access metadata -----------------------------------------------------
+   Symbolic summaries of the panel primitives, shared by every [Make]
+   instantiation and by the specialized [Fused_f64] twin (their loop
+   bodies index identically). The panel phases are summarized in the
+   free basis (roots m, n >= 1) with the panel geometry as parameters:
+   w in [1, n], lo in [0, n - w], so one certificate covers every
+   panel width, every sweep position, and every pool chunking of the
+   column groups at once.
+
+   The cycle-following phases (coarse rotation, row permutation) are
+   summarized as the superset "every row of the panel, plus the line
+   buffer": the cycle structure visits a subset of those rows, which is
+   all a bounds/alias proof needs. The fine phase's head reads are kept
+   precise (they are the subtle ones). The fallback path of
+   [rotate_panel] runs [Kernels_f64.Phases.rotate_columns] over
+   [lo, lo + w), which the sub-range-quantified kernel rotate
+   certificates already cover. *)
+
+module Summary = struct
+  open Xpose_core.Access
+
+  let m = var "m"
+  let n = var "n"
+  let w = var "w"
+  let lo = var "lo"
+  let matrix = { rname = "matrix"; size = m *: n }
+
+  let panel_params =
+    [
+      {
+        name = "w";
+        p_lo = Const 1;
+        p_his = [ n ];
+        sample = [ 1; 2; 3; 4; 8; 16 ];
+      };
+      {
+        name = "lo";
+        p_lo = Const 0;
+        p_his = [ n -: w ];
+        sample = [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ];
+      };
+    ]
+
+  let panel_sweep pass =
+    {
+      pass;
+      basis = Free_basis;
+      params = panel_params;
+      regions = [ matrix; { rname = "line"; size = w } ];
+      body =
+        [
+          for_ "r" (num 0) m
+            [
+              for_ "jj" (num 0) w
+                [
+                  read "matrix" ((var "r" *: n) +: lo +: var "jj");
+                  write "matrix" ((var "r" *: n) +: lo +: var "jj");
+                  read "line" (var "jj");
+                  write "line" (var "jj");
+                ];
+            ];
+        ];
+      exact = false;
+    }
+
+  let coarse = panel_sweep "fused.rotate_coarse"
+  let permute = panel_sweep "fused.permute_panel"
+
+  let fine =
+    {
+      pass = "fused.rotate_fine";
+      basis = Free_basis;
+      params =
+        panel_params
+        @ [
+            {
+              name = "block_rows";
+              p_lo = Const 1;
+              p_his = [];
+              sample = [ 1; 2; 3; 64 ];
+            };
+            {
+              name = "maxres";
+              p_lo = Const 1;
+              (* conjunction form of maxres <= min (w, m) - 1: parameter
+                 bounds must stay fork-free for the prover's prelude *)
+              p_his = [ w -: num 1; m -: num 1 ];
+              sample = [ 1; 2; 3; 7 ];
+            };
+          ];
+      regions =
+        [
+          matrix;
+          { rname = "head"; size = w *: w };
+          { rname = "block"; size = var "block_rows" *: w };
+        ];
+      body =
+        [
+          (* save the first maxres rows of the panel into head *)
+          for_ "r" (num 0) (var "maxres")
+            [
+              for_ "jj" (num 0) w
+                [
+                  read "matrix" ((var "r" *: n) +: lo +: var "jj");
+                  write "head" ((var "r" *: w) +: var "jj");
+                ];
+            ];
+          (* every strip slot of the block buffer *)
+          for_ "t" (num 0) (Min (var "block_rows", m))
+            [
+              for_ "jj" (num 0) w
+                [
+                  write "block" ((var "t" *: w) +: var "jj");
+                  read "block" ((var "t" *: w) +: var "jj");
+                ];
+            ];
+          (* gather reads: row i shifted by a per-column residual
+             res(jj) <= maxres; past the bottom it wraps into head *)
+          for_ "i" (num 0) m
+            [
+              for_ "jj" (num 0) w
+                [
+                  for_ "resj" (num 0) (var "maxres" +: num 1)
+                    [
+                      bind "src"
+                        (var "i" +: var "resj")
+                        [
+                          When
+                            ( le (var "src") (m -: num 1),
+                              [
+                                read "matrix"
+                                  ((var "src" *: n) +: lo +: var "jj");
+                              ] );
+                          When
+                            ( le m (var "src"),
+                              [
+                                read "head"
+                                  (((var "src" -: m) *: w) +: var "jj");
+                              ] );
+                        ];
+                    ];
+                ];
+            ];
+          (* strip writebacks *)
+          for_ "i2" (num 0) m
+            [
+              for_ "jj2" (num 0) w
+                [ write "matrix" ((var "i2" *: n) +: lo +: var "jj2") ];
+            ];
+        ];
+      exact = false;
+    }
+
+  let panel_passes = [ coarse; fine; permute ]
+
+  (* The full fused pipelines, serial or pool-chunked: panel phases plus
+     the kernel row shuffles (and the kernel rotate as panel fallback),
+     all already quantified over their sub-ranges. *)
+  let c2r_passes =
+    [
+      coarse;
+      fine;
+      permute;
+      Passes.rotate_pre;
+      Passes.col_rotate;
+      Passes.row_shuffle_gather;
+    ]
+
+  let r2c_passes =
+    [
+      coarse;
+      fine;
+      permute;
+      Passes.rotate_post;
+      Passes.col_unrotate;
+      Passes.row_shuffle_ungather;
+    ]
+end

@@ -167,3 +167,24 @@ module Make (S : Xpose_core.Storage.S) : sig
       as [Algo.Make(S).transpose]). Plans come from [cache] (default
       {!Xpose_core.Plan.Cache.default}). *)
 end
+
+(** Symbolic access summaries of the panel primitives (free basis:
+    m, n >= 1; parameters w in [1, n], lo in [0, n - w], and the fine
+    phase's block_rows >= 1 and maxres in [1, min(w, m) - 1]), shared
+    by every [Make] instantiation and by [Fused_f64]. The cycle-
+    following phases are proven supersets; [fine] keeps the head-wrap
+    reads precise. *)
+module Summary : sig
+  val panel_params : Xpose_core.Access.param list
+  val coarse : Xpose_core.Access.summary
+  val fine : Xpose_core.Access.summary
+  val permute : Xpose_core.Access.summary
+  val panel_passes : Xpose_core.Access.summary list
+
+  val c2r_passes : Xpose_core.Access.summary list
+  (** Every summary the fused C2R pipeline touches (panel phases, kernel
+      rotate fallback, kernel row shuffle), each sub-range-quantified so
+      serial, pool, and batch schedules are all covered. *)
+
+  val r2c_passes : Xpose_core.Access.summary list
+end

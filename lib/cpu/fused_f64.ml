@@ -726,3 +726,6 @@ end
 include Engine_of (Prims)
 
 module Checked = Engine_of (Checked_prims)
+
+(* Same loop bodies as Fused.Make => same access summaries. *)
+module Summary = Fused.Summary

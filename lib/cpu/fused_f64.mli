@@ -210,3 +210,7 @@ module Checked : ENGINE
     {!Xpose_core.Checked_access.Violation} on the first bad access
     instead of corrupting memory. Selected by tests (run the suite once
     under checking) and by [xpose check --shadow]. *)
+
+module Summary = Fused.Summary
+(** {!Fused.Summary}: the specialized engine runs the same loop bodies,
+    so it shares the same symbolic access summaries. *)

@@ -1,0 +1,265 @@
+(* Cross-validation of the symbolic access summaries (Xpose_core.Access)
+   against reality: run the checked-access twins with a trace recorder
+   installed and diff the recorded index set against the concretized
+   summary. [exact] summaries must match set-for-set; superset summaries
+   must contain the trace. This is what keeps the Bounds/Alias proof
+   obligations honest: a summary that drifts from the code fails here
+   long before a wrong certificate could be issued. *)
+
+open Xpose_core
+
+let contains s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  lb = 0 || go 0
+
+(* Map a checked access (who/what) to the summary's region name. *)
+let region_of ~who ~what =
+  if contains who "Kernels_f64" then
+    if contains what "scratch" then "tmp" else "matrix"
+  else if contains what "line" then "line"
+  else if contains what "head" then "head"
+  else if contains what "block" then "block"
+  else "matrix"
+
+let kind_of what : Access.kind =
+  if contains what "write" then Write else Read
+
+let with_trace f =
+  let events = ref [] in
+  Checked_access.set_recorder
+    (Some
+       (fun ~who ~what ~len:_ i ->
+         events :=
+           {
+             Access.e_region = region_of ~who ~what;
+             e_kind = kind_of what;
+             e_index = i;
+           }
+           :: !events));
+  Fun.protect ~finally:(fun () -> Checked_access.set_recorder None) f;
+  List.sort_uniq compare !events
+
+let pp_events evs =
+  let shown = List.filteri (fun i _ -> i < 8) evs in
+  let suffix = if List.length evs > 8 then ", ..." else "" in
+  String.concat ", "
+    (List.map
+       (fun (e : Access.event) ->
+         Printf.sprintf "%s %s[%d]" e.e_region
+           (match e.e_kind with Read -> "r" | Write -> "w")
+           e.e_index)
+       shown)
+  ^ suffix
+
+let check_exact ~msg summary env trace =
+  let want = Access.concretize ~env summary in
+  if want <> trace then
+    Alcotest.failf "%s: summary %s disagrees with trace\n summary-only: %s\n trace-only: %s"
+      msg summary.Access.pass
+      (pp_events (List.filter (fun e -> not (List.mem e trace)) want))
+      (pp_events (List.filter (fun e -> not (List.mem e want)) trace))
+
+let check_superset ~msg summary env trace =
+  let want = Access.concretize ~env summary in
+  let missing = List.filter (fun e -> not (List.mem e want)) trace in
+  if missing <> [] then
+    Alcotest.failf "%s: trace escapes summary %s: %s" msg
+      summary.Access.pass (pp_events missing)
+
+(* -- the row/column kernel phases ---------------------------------------- *)
+
+let f64 len = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len
+
+let fill buf =
+  for i = 0 to Bigarray.Array1.dim buf - 1 do
+    Bigarray.Array1.set buf i (float_of_int i)
+  done
+
+type axis = Rows | Cols
+
+let kernel_cases (p : Plan.t) =
+  let module K = Kernels_f64.Checked.Phases in
+  let open Access.Passes in
+  [
+    ( rotate_pre,
+      Cols,
+      fun buf ~tmp ~lo ~hi ->
+        K.rotate_columns p buf ~tmp ~amount:(Plan.rotate_amount p) ~lo ~hi );
+    ( rotate_post,
+      Cols,
+      fun buf ~tmp ~lo ~hi ->
+        K.rotate_columns p buf ~tmp
+          ~amount:(fun j -> -Plan.rotate_amount p j)
+          ~lo ~hi );
+    ( col_rotate,
+      Cols,
+      fun buf ~tmp ~lo ~hi ->
+        K.rotate_columns p buf ~tmp ~amount:(fun j -> j) ~lo ~hi );
+    ( col_unrotate,
+      Cols,
+      fun buf ~tmp ~lo ~hi ->
+        K.rotate_columns p buf ~tmp ~amount:(fun j -> -j) ~lo ~hi );
+    (row_shuffle_gather, Rows, K.row_shuffle_gather p);
+    (row_shuffle_scatter, Rows, K.row_shuffle_scatter p);
+    (row_shuffle_ungather, Rows, K.row_shuffle_ungather p);
+    (col_shuffle_gather, Cols, K.col_shuffle_gather p);
+    (col_shuffle_ungather, Cols, K.col_shuffle_ungather p);
+    ( row_permute_q,
+      Cols,
+      fun buf ~tmp ~lo ~hi -> K.permute_rows p buf ~tmp ~index:(Plan.q p) ~lo ~hi
+    );
+    ( row_permute_q_inv,
+      Cols,
+      fun buf ~tmp ~lo ~hi ->
+        K.permute_rows p buf ~tmp ~index:(Plan.q_inv p) ~lo ~hi );
+  ]
+
+let check_kernel_phases ~m ~n ~lo_frac ~hi_frac =
+  let p = Plan.make ~m ~n in
+  let buf = f64 (m * n) and tmp = f64 (max m n) in
+  List.iter
+    (fun (summary, axis, run) ->
+      let full = match axis with Rows -> m | Cols -> n in
+      let lo = min full (lo_frac * full / 4)
+      and hi = max 0 (hi_frac * full / 4) in
+      let lo = min lo hi in
+      fill buf;
+      fill tmp;
+      let trace = with_trace (fun () -> run buf ~tmp ~lo ~hi) in
+      let env = ("lo", lo) :: ("hi", hi) :: Access.env_of_plan p in
+      check_exact
+        ~msg:(Printf.sprintf "m=%d n=%d lo=%d hi=%d" m n lo hi)
+        summary env trace)
+    (kernel_cases p)
+
+let test_kernel_phases_grid () =
+  List.iter
+    (fun (m, n) ->
+      check_kernel_phases ~m ~n ~lo_frac:0 ~hi_frac:4;
+      check_kernel_phases ~m ~n ~lo_frac:1 ~hi_frac:3)
+    [
+      (1, 1); (1, 7); (7, 1); (2, 2); (3, 5); (5, 3); (4, 6); (6, 4);
+      (8, 12); (12, 8); (9, 9); (7, 11); (16, 10);
+    ]
+
+(* -- fused panel engine: trace inclusion --------------------------------
+   The panel summaries are proven supersets (the cycle structure visits
+   a subset of the summarized rows), so the check here is inclusion:
+   every access the checked fused engine performs must appear in the
+   union of the concretized panel summaries over the panels of the
+   sweep (plus the kernel summaries for the row shuffles and the
+   rotate fallback). *)
+
+let fused_allowed (p : Plan.t) ~width ~block_rows ~with_row_shuffles =
+  let m = p.m and n = p.n in
+  let base = Access.env_of_plan p in
+  let tbl = Hashtbl.create 4096 in
+  let add env s =
+    List.iter
+      (fun e -> Hashtbl.replace tbl e ())
+      (Access.concretize ~env s)
+  in
+  let groups = (n + width - 1) / width in
+  for g = 0 to groups - 1 do
+    let lo = g * width in
+    let w = min width (n - lo) in
+    let fenv =
+      ("w", w) :: ("lo", lo) :: ("block_rows", block_rows)
+      :: ("maxres", max 0 (min w m - 1))
+      :: base
+    in
+    List.iter (add fenv) Xpose_cpu.Fused.Summary.panel_passes;
+    add
+      (("lo", lo) :: ("hi", lo + w) :: base)
+      (Access.Passes.rotate_any ())
+  done;
+  if with_row_shuffles then begin
+    let renv = ("lo", 0) :: ("hi", m) :: base in
+    add renv Access.Passes.row_shuffle_gather;
+    add renv Access.Passes.row_shuffle_ungather
+  end;
+  tbl
+
+let check_included ~msg allowed trace =
+  List.iter
+    (fun (e : Access.event) ->
+      if not (Hashtbl.mem allowed e) then
+        Alcotest.failf "%s: access %s escapes the summaries" msg
+          (pp_events [ e ]))
+    trace
+
+let check_fused ~m ~n ~width ~block_rows =
+  let module FC = Xpose_cpu.Fused_f64.Checked in
+  let p = Plan.make ~m ~n in
+  let buf = f64 (m * n) in
+  let msg = Printf.sprintf "fused m=%d n=%d w=%d br=%d" m n width block_rows in
+  let allowed = fused_allowed p ~width ~block_rows ~with_row_shuffles:true in
+  let runs =
+    [
+      (fun () ->
+        FC.rotate_columns ~panel_width:width ~block_rows p buf
+          ~amount:(Plan.rotate_amount p));
+      (fun () ->
+        FC.rotate_columns ~panel_width:width ~block_rows p buf
+          ~amount:(fun j -> j));
+      (fun () ->
+        let cycles = Xpose_cpu.Fused_f64.cycles ~m ~index:(Plan.q p) in
+        FC.permute_cols ~panel_width:width p buf ~cycles);
+      (fun () -> FC.c2r ~panel_width:width ~block_rows p buf);
+      (fun () -> FC.r2c ~panel_width:width ~block_rows p buf);
+    ]
+  in
+  List.iter
+    (fun run ->
+      fill buf;
+      check_included ~msg allowed (with_trace run))
+    runs
+
+let test_fused_grid () =
+  List.iter
+    (fun (m, n) ->
+      List.iter
+        (fun width ->
+          check_fused ~m ~n ~width ~block_rows:3;
+          check_fused ~m ~n ~width ~block_rows:64)
+        [ 2; 3; 8; 16 ])
+    [ (2, 2); (3, 5); (5, 3); (4, 6); (8, 12); (9, 9); (7, 11); (16, 10) ]
+
+let test_fused_random =
+  QCheck.Test.make ~count:40 ~name:"random shapes: fused traces included"
+    QCheck.(
+      make
+        ~print:(fun ((m, n), (w, br)) ->
+          Printf.sprintf "m=%d n=%d width=%d block_rows=%d" m n w br)
+      QCheck.Gen.(
+        pair
+          (pair (int_range 1 20) (int_range 1 20))
+          (pair (int_range 1 17) (int_range 1 8))))
+    (fun ((m, n), (width, block_rows)) ->
+      check_fused ~m ~n ~width ~block_rows;
+      true)
+
+let shape_gen =
+  QCheck.Gen.(pair (int_range 1 24) (int_range 1 24))
+
+let test_kernel_phases_random =
+  QCheck.Test.make ~count:60 ~name:"random shapes: kernel phase traces"
+    QCheck.(
+      make
+        ~print:(fun ((m, n), (lf, hf)) ->
+          Printf.sprintf "m=%d n=%d lo_frac=%d hi_frac=%d" m n lf hf)
+        QCheck.Gen.(pair shape_gen (pair (int_range 0 2) (int_range 2 4))))
+    (fun ((m, n), (lo_frac, hi_frac)) ->
+      check_kernel_phases ~m ~n ~lo_frac ~hi_frac;
+      true)
+
+let tests =
+  [
+    Alcotest.test_case "kernel phase traces = summaries (grid)" `Quick
+      test_kernel_phases_grid;
+    QCheck_alcotest.to_alcotest test_kernel_phases_random;
+    Alcotest.test_case "fused engine traces included in summaries (grid)"
+      `Quick test_fused_grid;
+    QCheck_alcotest.to_alcotest test_fused_random;
+  ]

@@ -68,6 +68,49 @@ let test_json_rendering () =
   Alcotest.(check bool) "summary line" true
     (contains ~sub:"0 violations" pretty)
 
+let families_of r =
+  List.sort_uniq compare (List.map (fun e -> e.Driver.check) r.Driver.entries)
+
+let test_only_filter () =
+  let r = Driver.run ~shapes ~permutes ~lanes ~only:[ "race" ] () in
+  Alcotest.(check (list string)) "race only" [ "race" ] (families_of r);
+  (* "perm" is the user-facing synonym of the plan family *)
+  let r = Driver.run ~shapes ~permutes ~lanes ~only:[ "perm" ] () in
+  Alcotest.(check (list string)) "perm selects plan" [ "plan" ] (families_of r);
+  (* naming an opt-in family enables it without its flag *)
+  let r = Driver.run ~shapes:[ (3, 5) ] ~permutes ~lanes ~only:[ "shadow" ] () in
+  Alcotest.(check (list string)) "shadow enabled" [ "shadow" ] (families_of r);
+  Alcotest.(check bool) "ok" true (Driver.ok r)
+
+let test_only_bounds_seeded () =
+  (* the fast static negative: just the seeded certificate, no grid *)
+  let r =
+    Driver.run ~shapes ~permutes ~lanes ~only:[ "bounds" ] ~seed_oob_static:true
+      ()
+  in
+  Alcotest.(check int) "one entry" 1 r.Driver.checked;
+  Alcotest.(check int) "one detection" 1 r.Driver.detections;
+  match r.Driver.entries with
+  | [ e ] ->
+      Alcotest.(check string) "family" "bounds" e.Driver.check;
+      Alcotest.(check string) "subject" "seeded/rotate-oob" e.Driver.subject;
+      Alcotest.(check bool) "detected" true (e.Driver.status = Driver.Detected)
+  | _ -> Alcotest.fail "expected exactly the seeded bounds entry"
+
+let test_verdict () =
+  let clean = Driver.run ~shapes ~permutes ~lanes () in
+  Alcotest.(check bool) "clean verdict" true (Driver.verdict clean = Ok ());
+  let seeded = Driver.run ~shapes ~permutes ~lanes ~seed_race:true () in
+  (match Driver.verdict seeded with
+  | Ok () -> Alcotest.fail "seeded run must not verdict Ok"
+  | Error msg ->
+      Alcotest.(check bool) "mentions detection" true
+        (contains ~sub:"detected" msg));
+  Alcotest.(check string) "unknown family" ""
+    (match Driver.family_of_name "nonsense" with Some f -> f | None -> "");
+  Alcotest.(check bool) "perm normalizes" true
+    (Driver.family_of_name "perm" = Some "plan")
+
 let tests =
   [
     Alcotest.test_case "clean run ok" `Quick test_clean_run_ok;
@@ -75,4 +118,7 @@ let tests =
     Alcotest.test_case "seeded OOB detected" `Quick test_seeded_oob_detected;
     Alcotest.test_case "shadow runs clean" `Quick test_shadow_runs_clean;
     Alcotest.test_case "report rendering" `Quick test_json_rendering;
+    Alcotest.test_case "only filter" `Quick test_only_filter;
+    Alcotest.test_case "only bounds seeded" `Quick test_only_bounds_seeded;
+    Alcotest.test_case "verdict" `Quick test_verdict;
   ]

@@ -5,4 +5,7 @@ let () =
       ("spec", Suite_spec.tests);
       ("footprint", Suite_footprint.tests);
       ("driver", Suite_driver.tests);
+      ("access", Suite_access.tests);
+      ("bounds", Suite_bounds.tests);
+      ("alias", Suite_alias.tests);
     ]

@@ -53,3 +53,59 @@ JSON output carries the same verdicts:
 
   $ xpose check --json | head -c 66; echo
   {"checked":923,"violations":0,"detections":0,"entries":[{"check":"
+
+The parametric certificate families are reachable through --only
+without paying for the full bounds grid: the alias certificates prove
+every split and barrier footprint for all shapes at once.
+
+  $ xpose check --only alias > alias.txt; echo "exit $?"
+  exit 0
+  $ cat alias.txt
+  alias  proved    split/pool                         42 obligations proved for all shapes: Pool.chunk_bounds partitions [lo, hi) exactly for every range and lane count
+  alias  proved    split/window                       8 obligations proved for all shapes: Window.split tiles [0, total) exactly for every total and window size
+  alias  proved    barrier/row-chunks                 14 obligations proved for all shapes: per-lane row intervals of the flat matrix are disjoint and within the buffer for every shape and lane count (row barriers of every engine and the ooc per-window shuffles)
+  alias  proved    barrier/column-chunks              14 obligations proved for all shapes: per-lane column ranges are disjoint sub-ranges of every row (strided footprints never meet)
+  alias  proved    barrier/panel-groups               26 obligations proved for all shapes: width-aligned panel-group column ranges are disjoint and clipped to the matrix for every width and lane count
+  alias  proved    barrier/batch-slices               14 obligations proved for all shapes: per-lane whole-matrix slices of a batch are disjoint and within the buffer for every matrix size, batch size and lane count (matrix-parallel batch schedules and permute batch/slice axes)
+  alias  proved    barrier/block-slots                20 obligations proved for all shapes: strided block-slot footprints are disjoint within and across repetitions for every block width, repetition count and lane count
+  alias  proved    barrier/ooc-windows                4 obligations proved for all shapes: row-window and stripe file footprints are disjoint and within the file for every shape and window budget (column panels reduce to the window split on columns)
+  alias  proved    barrier/scratch-slots              2 obligations proved for all shapes: per-lane workspace slices are pairwise disjoint and within the pool for every slot size and lane count
+  alias  proved    regions/workspace-matrix           171 structural checks: regions are distinct allocations and every access names a declared one (cross-region disjointness by construction, in-region bounds by the Bounds grid)
+  checked 10: 0 violations, 0 seeded detections
+
+With --seed-race the alias prover must refute the seeded splits with a
+concrete overlap witness:
+
+  $ xpose check --only alias --seed-race > alias-seeded.txt 2> err.txt; echo "exit $?"
+  exit 124
+  $ grep '^alias  detected' alias-seeded.txt
+  alias  detected  seeded/off-by-one-split            refuted: lo=0 hi=2 lanes=2: chunk 0 [0,2) overlaps chunk 1 [1,2) at index 1
+  alias  detected  seeded/overlapping-windows         refuted: total=2 per=1: window 0 [0,2) overlaps window 1 [1,2) at index 1
+  $ cat err.txt
+  xpose: 2 seeded defect(s) detected
+
+The static out-of-bounds negative runs just the seeded bounds
+certificate (the full --prove-bounds grid belongs to CI), refuting it
+with the smallest witness shape:
+
+  $ xpose check --only bounds --seed-oob-static > oob-static.txt 2> err.txt; echo "exit $?"
+  exit 124
+  $ cat oob-static.txt
+  bounds detected  seeded/rotate-oob                  refuted: m=2 n=2 hi=2 lo=0: read matrix[5] outside [0, 4) in seeded.rotate_oob
+  checked 1: 0 violations, 1 seeded detection
+  $ cat err.txt
+  xpose: 1 seeded defect(s) detected
+
+--only validates its analysis names ("perm" is accepted for the plan
+family):
+
+  $ xpose check --only plans > /dev/null 2> err.txt; echo "exit $?"
+  exit 124
+  $ cat err.txt
+  xpose: unknown analysis "plans" (expected perm, race, shadow, bounds or alias)
+  $ xpose check --only perm > perm.txt; echo "exit $?"
+  exit 0
+  $ grep -c '^plan' perm.txt
+  80
+  $ tail -1 perm.txt
+  checked 80: 0 violations, 0 seeded detections
