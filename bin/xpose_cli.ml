@@ -283,6 +283,24 @@ let engine_arg =
            $(b,xpose tune) (pass --db) and runs whatever won there. See the \
            bench suite for what each measures.")
 
+(* Kernel tier of the fused engine's inner loops (scalar | mk8 | mk16).
+   Only the fused engine has the micro-kernel tier; the tuned engine
+   reads its tier from the DB entry instead. *)
+let tier_arg =
+  let tier_conv =
+    Arg.enum
+      (List.map
+         (fun t -> (Tune_params.tier_to_string t, t))
+         Tune_params.supported_tiers)
+  in
+  Arg.(
+    value & opt tier_conv Tune_params.Scalar
+    & info [ "tier" ] ~docv:"TIER"
+        ~doc:
+          "Inner-loop kernel tier of the fused engine: scalar, mk8 or mk16 \
+           (in-register 8x8 / 16x16 blocked column movers). Only meaningful \
+           with the fused engine; every tier computes the same result.")
+
 module CA = Xpose_cpu.Cache_aware.Make (S)
 module ES = Xpose_tune.Engine_select
 
@@ -401,10 +419,12 @@ let bench_cmd =
             "Disable the ooc engine's I/O-domain double-buffered prefetch \
              (windows are mapped synchronously).")
   in
-  let run m n algorithm engine batch workers window_bytes no_prefetch db =
+  let run m n algorithm engine tier batch workers window_bytes no_prefetch db =
     if m < 1 || n < 1 then `Error (false, "dimensions must be positive")
     else if batch < 1 then `Error (false, "batch must be >= 1")
     else if workers < 1 then `Error (false, "workers must be >= 1")
+    else if tier <> Tune_params.Scalar && engine <> `Fused then
+      `Error (false, "--tier selects the fused engine's kernels: use --engine fused")
     else if engine = `Ooc && batch > 1 then
       `Error (false, "the ooc engine has no batched path")
     else if engine = `Ooc && window_bytes < 8 then
@@ -434,15 +454,16 @@ let bench_cmd =
       in
       let t0 = Unix.gettimeofday () in
       (if batch = 1 && workers = 1 then
-         (match selector with
-         | Some sel -> ES.dispatch sel ~m ~n bufs.(0)
-         | None -> transpose_engine ~engine ~algorithm ~m ~n bufs.(0))
+         (match (selector, engine) with
+         | Some sel, _ -> ES.dispatch sel ~m ~n bufs.(0)
+         | None, `Fused -> Xpose_cpu.Fused_f64.transpose ~tier ~m ~n bufs.(0)
+         | None, _ -> transpose_engine ~engine ~algorithm ~m ~n bufs.(0))
        else
          Xpose_cpu.Pool.with_pool ~workers (fun pool ->
              match (engine, selector) with
              | _, Some sel -> ES.dispatch_batch sel pool ~m ~n bufs
              | `Fused, None ->
-                 Xpose_cpu.Fused_f64.transpose_batch pool ~m ~n bufs
+                 Xpose_cpu.Fused_f64.transpose_batch ~tier pool ~m ~n bufs
              | _ ->
                  (* Other engines have no batched path: fan the serial
                     engine across the pool. *)
@@ -482,8 +503,8 @@ let bench_cmd =
   in
   cmd (Cmd.info "bench" ~doc)
     Term.(
-      const run $ m_arg $ n_arg $ algorithm_arg $ engine_arg $ batch_arg
-      $ workers_arg $ window_bytes_arg $ no_prefetch_arg $ db_arg)
+      const run $ m_arg $ n_arg $ algorithm_arg $ engine_arg $ tier_arg
+      $ batch_arg $ workers_arg $ window_bytes_arg $ no_prefetch_arg $ db_arg)
 
 let permute_cmd =
   let doc =
@@ -579,10 +600,12 @@ let report_cmd =
             "Omit the wall-clock-derived columns (measured time, relative \
              error, imbalance) so the output is deterministic.")
   in
-  let run m n algorithm engine workers repeats no_times =
+  let run m n algorithm engine tier workers repeats no_times =
     if m < 1 || n < 1 then `Error (false, "dimensions must be positive")
     else if workers < 1 then `Error (false, "workers must be >= 1")
     else if repeats < 1 then `Error (false, "repeats must be >= 1")
+    else if tier <> Tune_params.Scalar && engine <> `Fused then
+      `Error (false, "--tier selects the fused engine's kernels: use --engine fused")
     else begin
       let module PT = Xpose_cpu.Par_transpose.Make (S) in
       let module FF = Xpose_cpu.Fused_f64 in
@@ -603,8 +626,8 @@ let report_cmd =
             match (engine, algorithm) with
             | `Functor, `C2r -> PT.c2r pool (Plan.make ~m ~n) buf
             | `Functor, `R2c -> PT.r2c pool (Plan.make ~m:n ~n:m) buf
-            | `Fused, `C2r -> FF.c2r_pool pool (Plan.make ~m ~n) buf
-            | `Fused, `R2c -> FF.r2c_pool pool (Plan.make ~m:n ~n:m) buf
+            | `Fused, `C2r -> FF.c2r_pool ~tier pool (Plan.make ~m ~n) buf
+            | `Fused, `R2c -> FF.r2c_pool ~tier pool (Plan.make ~m:n ~n:m) buf
           in
           let buf = S.create (m * n) in
           let best = ref None in
@@ -647,8 +670,8 @@ let report_cmd =
   in
   cmd (Cmd.info "report" ~doc)
     Term.(
-      const run $ m_arg $ n_arg $ algorithm_arg $ engine_arg $ workers_arg
-      $ repeats_arg $ no_times_arg)
+      const run $ m_arg $ n_arg $ algorithm_arg $ engine_arg $ tier_arg
+      $ workers_arg $ repeats_arg $ no_times_arg)
 
 let check_cmd =
   let doc =

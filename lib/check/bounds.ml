@@ -286,6 +286,16 @@ let fused_results ~widths () =
                (Access.pin s "w" w))
            widths)
     Xpose_cpu.Fused.Summary.panel_passes
+  (* The kernel-tier axis: the mk summary's [bk] parameter quantifies
+     over every unroll depth at once; these entries additionally pin it
+     at each shipped tier's block so the certificate the autotuner's
+     choice rests on is named in the grid (still no shape enumerated). *)
+  @ List.map
+      (fun bk ->
+        certify
+          ~subject:(Printf.sprintf "fused.rotate_fine_mk bk=%d" bk)
+          (Access.pin Xpose_cpu.Fused.Summary.fine_mk "bk" bk))
+      [ 8; 16 ]
 
 let ooc_results () =
   List.map

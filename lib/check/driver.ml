@@ -159,6 +159,22 @@ let race_entries ?(seeded = false) ~shapes ~permutes ~lanes () =
     if panel_engine engine then Tune_params.supported_widths
     else [ Footprint.default_panel_width ]
   in
+  (* The kernel-tier axis exists only under the fused engine. A tier
+     reorders accesses {e within} one lane's own panel (the micro-kernel
+     walks block tiles through the same column group) and never moves
+     work across lanes, so every tier shares the panel barrier model;
+     the grid still names each tier so a seeded split is detected — and
+     a clean split proved — at every tier the autotuner can pick. *)
+  let tiers_of engine =
+    match (engine : Spec.engine) with
+    | Spec.Fused -> Tune_params.supported_tiers
+    | Spec.Cache | Spec.Functor | Spec.Kernels | Spec.Decomposed ->
+        [ Tune_params.Scalar ]
+  in
+  let tier_tag = function
+    | Tune_params.Scalar -> ""
+    | t -> Printf.sprintf "/%s" (Tune_params.tier_to_string t)
+  in
   let engine_entries =
     List.concat_map
       (fun (m, n) ->
@@ -166,19 +182,23 @@ let race_entries ?(seeded = false) ~shapes ~permutes ~lanes () =
           (fun engine ->
             List.concat_map
               (fun l ->
-                List.filter_map
+                List.concat_map
                   (fun width ->
-                    let subject =
-                      if panel_engine engine then
-                        Printf.sprintf "%s w%d %dx%d @%d lanes"
-                          (Spec.engine_name engine) width m n l
-                      else
-                        Printf.sprintf "%s %dx%d @%d lanes"
-                          (Spec.engine_name engine) m n l
-                    in
-                    race_entry ~subject ~seeded
-                      (Footprint.transpose_barriers ~split ~width ~engine
-                         ~lanes:l ~m ~n ()))
+                    List.filter_map
+                      (fun tier ->
+                        let subject =
+                          if panel_engine engine then
+                            Printf.sprintf "%s%s w%d %dx%d @%d lanes"
+                              (Spec.engine_name engine) (tier_tag tier) width
+                              m n l
+                          else
+                            Printf.sprintf "%s %dx%d @%d lanes"
+                              (Spec.engine_name engine) m n l
+                        in
+                        race_entry ~subject ~seeded
+                          (Footprint.transpose_barriers ~split ~width ~engine
+                             ~lanes:l ~m ~n ()))
+                      (tiers_of engine))
                   (widths_of engine))
               lanes)
           Spec.all_engines)
@@ -200,16 +220,21 @@ let race_entries ?(seeded = false) ~shapes ~permutes ~lanes () =
               (fun nb ->
                 List.concat_map
                   (fun policy ->
-                    List.filter_map
+                    List.concat_map
                       (fun width ->
-                        let subject =
-                          Printf.sprintf "batch[%d] %s w%d %dx%d @%d lanes" nb
-                            (Tune_params.split_to_string policy)
-                            width m n l
-                        in
-                        race_entry ~subject ~seeded
-                          (Footprint.batch_barriers ~split ~policy ~width
-                             ~lanes:l ~m ~n ~nb ()))
+                        List.filter_map
+                          (fun tier ->
+                            let subject =
+                              Printf.sprintf "batch[%d] %s w%d%s %dx%d @%d \
+                                              lanes"
+                                nb
+                                (Tune_params.split_to_string policy)
+                                width (tier_tag tier) m n l
+                            in
+                            race_entry ~subject ~seeded
+                              (Footprint.batch_barriers ~split ~policy ~width
+                                 ~lanes:l ~m ~n ~nb ()))
+                          Tune_params.supported_tiers)
                       Tune_params.supported_widths)
                   batch_policies)
               [ 1; l; (2 * l) + 1 ])
@@ -304,36 +329,45 @@ let shadow_entries ~shapes () =
             transposed_ok ~m ~n buf))
       small
   in
-  let fused =
-    List.map
+  (* The fused shadow runs cover every kernel tier: the non-scalar
+     tiers rerun the transpose through the checked micro-kernel twins
+     ([Microkernel.Checked]), so an out-of-bounds unrolled mover or a
+     bad tail handoff trips a Violation here, not UB in the raw path. *)
+  let tier_tag = function
+    | Xpose_core.Tune_params.Scalar -> ""
+    | t -> Printf.sprintf "[%s]" (Xpose_core.Tune_params.tier_to_string t)
+  in
+  let per_tier kind run =
+    List.concat_map
       (fun (m, n) ->
-        shadow_entry ~subject:(Printf.sprintf "fused %dx%d" m n) (fun () ->
-            let buf = iota_buf (m * n) in
-            Xpose_cpu.Fused_f64.Checked.transpose ~m ~n buf;
-            transposed_ok ~m ~n buf))
+        List.map
+          (fun tier ->
+            shadow_entry
+              ~subject:
+                (Printf.sprintf "%s%s %dx%d" kind (tier_tag tier) m n)
+              (fun () -> run ~tier ~m ~n))
+          Xpose_core.Tune_params.supported_tiers)
       small
+  in
+  let fused =
+    per_tier "fused" (fun ~tier ~m ~n ->
+        let buf = iota_buf (m * n) in
+        Xpose_cpu.Fused_f64.Checked.transpose ~tier ~m ~n buf;
+        transposed_ok ~m ~n buf)
   in
   let pool =
-    List.map
-      (fun (m, n) ->
-        shadow_entry ~subject:(Printf.sprintf "fused-pool %dx%d" m n)
-          (fun () ->
-            let buf = iota_buf (m * n) in
-            Xpose_cpu.Fused_f64.Checked.transpose_pool Xpose_cpu.Pool.sequential
-              ~m ~n buf;
-            transposed_ok ~m ~n buf))
-      small
+    per_tier "fused-pool" (fun ~tier ~m ~n ->
+        let buf = iota_buf (m * n) in
+        Xpose_cpu.Fused_f64.Checked.transpose_pool ~tier
+          Xpose_cpu.Pool.sequential ~m ~n buf;
+        transposed_ok ~m ~n buf)
   in
   let batch =
-    List.map
-      (fun (m, n) ->
-        shadow_entry ~subject:(Printf.sprintf "fused-batch %dx%d" m n)
-          (fun () ->
-            let bufs = Array.init 3 (fun _ -> iota_buf (m * n)) in
-            Xpose_cpu.Fused_f64.Checked.transpose_batch Xpose_cpu.Pool.sequential
-              ~m ~n bufs;
-            Array.for_all (transposed_ok ~m ~n) bufs))
-      small
+    per_tier "fused-batch" (fun ~tier ~m ~n ->
+        let bufs = Array.init 3 (fun _ -> iota_buf (m * n)) in
+        Xpose_cpu.Fused_f64.Checked.transpose_batch ~tier
+          Xpose_cpu.Pool.sequential ~m ~n bufs;
+        Array.for_all (transposed_ok ~m ~n) bufs)
   in
   kernels @ fused @ pool @ batch
 

@@ -1,0 +1,161 @@
+(* In-register blocked micro-kernels for float64 tile movement.
+
+   Every mover is a fully unrolled straight-line sequence of
+   [Bigarray.Array1.unsafe_get]/[unsafe_set] with strength-reduced
+   index increments: no per-element bounds test, no branch, no loop
+   counter in the hot path, so flambda compiles each into a flat run
+   of loads and stores the CPU can issue back to back.  Callers are
+   responsible for proving the footprints in bounds — the fused
+   engine's tiles are certified by the parametric Bounds/Alias
+   provers, and {!Checked} is the shadow twin that verifies every
+   access at runtime. *)
+
+type buf = Storage.Float64.t
+
+let block8 = 8
+let block16 = 16
+
+module A1 = Bigarray.Array1
+
+(* Move 8 elements from a stride-[sstride] column of [src] into a
+   stride-[dstride] column of [dst]. The explicit [buf] annotations
+   matter: without them the movers infer a polymorphic bigarray type
+   and every access goes through the generic-kind path instead of a
+   direct float64 load/store. *)
+let[@inline] col8 ~(src : buf) ~soff ~sstride ~(dst : buf) ~doff ~dstride =
+  let s = soff and d = doff in
+  A1.unsafe_set dst d (A1.unsafe_get src s);
+  let s = s + sstride and d = d + dstride in
+  A1.unsafe_set dst d (A1.unsafe_get src s);
+  let s = s + sstride and d = d + dstride in
+  A1.unsafe_set dst d (A1.unsafe_get src s);
+  let s = s + sstride and d = d + dstride in
+  A1.unsafe_set dst d (A1.unsafe_get src s);
+  let s = s + sstride and d = d + dstride in
+  A1.unsafe_set dst d (A1.unsafe_get src s);
+  let s = s + sstride and d = d + dstride in
+  A1.unsafe_set dst d (A1.unsafe_get src s);
+  let s = s + sstride and d = d + dstride in
+  A1.unsafe_set dst d (A1.unsafe_get src s);
+  let s = s + sstride and d = d + dstride in
+  A1.unsafe_set dst d (A1.unsafe_get src s)
+
+let[@inline] col16 ~src ~soff ~sstride ~dst ~doff ~dstride =
+  col8 ~src ~soff ~sstride ~dst ~doff ~dstride;
+  col8 ~src
+    ~soff:(soff + (8 * sstride))
+    ~sstride ~dst
+    ~doff:(doff + (8 * dstride))
+    ~dstride
+
+(* Unit-stride 8- and 16-element row copies. *)
+let[@inline] row8 ~(src : buf) ~soff ~(dst : buf) ~doff =
+  A1.unsafe_set dst doff (A1.unsafe_get src soff);
+  A1.unsafe_set dst (doff + 1) (A1.unsafe_get src (soff + 1));
+  A1.unsafe_set dst (doff + 2) (A1.unsafe_get src (soff + 2));
+  A1.unsafe_set dst (doff + 3) (A1.unsafe_get src (soff + 3));
+  A1.unsafe_set dst (doff + 4) (A1.unsafe_get src (soff + 4));
+  A1.unsafe_set dst (doff + 5) (A1.unsafe_get src (soff + 5));
+  A1.unsafe_set dst (doff + 6) (A1.unsafe_get src (soff + 6));
+  A1.unsafe_set dst (doff + 7) (A1.unsafe_get src (soff + 7))
+
+let[@inline] row16 ~src ~soff ~dst ~doff =
+  row8 ~src ~soff ~dst ~doff;
+  row8 ~src ~soff:(soff + 8) ~dst ~doff:(doff + 8)
+
+(* Chunked unit-stride copy: 16- then 8-wide unrolled chunks, scalar
+   tail.  The regions must not overlap. *)
+let copy_span ~src ~soff ~dst ~doff ~len =
+  let i = ref 0 in
+  while !i + 16 <= len do
+    row16 ~src ~soff:(soff + !i) ~dst ~doff:(doff + !i);
+    i := !i + 16
+  done;
+  if !i + 8 <= len then (
+    row8 ~src ~soff:(soff + !i) ~dst ~doff:(doff + !i);
+    i := !i + 8);
+  for k = !i to len - 1 do
+    A1.unsafe_set dst (doff + k) (A1.unsafe_get src (soff + k))
+  done
+
+(* In-register tile transposes: column [j] of the source tile becomes
+   row [j] of the destination tile, so each column mover's writes are
+   unit-stride. *)
+let transpose8 ~src ~soff ~sstride ~dst ~doff ~dstride =
+  col8 ~src ~soff ~sstride ~dst ~doff ~dstride:1;
+  col8 ~src ~soff:(soff + 1) ~sstride ~dst ~doff:(doff + dstride) ~dstride:1;
+  col8 ~src ~soff:(soff + 2) ~sstride ~dst
+    ~doff:(doff + (2 * dstride))
+    ~dstride:1;
+  col8 ~src ~soff:(soff + 3) ~sstride ~dst
+    ~doff:(doff + (3 * dstride))
+    ~dstride:1;
+  col8 ~src ~soff:(soff + 4) ~sstride ~dst
+    ~doff:(doff + (4 * dstride))
+    ~dstride:1;
+  col8 ~src ~soff:(soff + 5) ~sstride ~dst
+    ~doff:(doff + (5 * dstride))
+    ~dstride:1;
+  col8 ~src ~soff:(soff + 6) ~sstride ~dst
+    ~doff:(doff + (6 * dstride))
+    ~dstride:1;
+  col8 ~src ~soff:(soff + 7) ~sstride ~dst
+    ~doff:(doff + (7 * dstride))
+    ~dstride:1
+
+let transpose16 ~src ~soff ~sstride ~dst ~doff ~dstride =
+  let j = ref 0 in
+  while !j < 16 do
+    col16 ~src ~soff:(soff + !j) ~sstride ~dst
+      ~doff:(doff + (!j * dstride))
+      ~dstride:1;
+    incr j
+  done
+
+module Checked = struct
+  module S = Storage.Float64
+
+  let who = "Microkernel.Checked"
+
+  let get buf ~what i =
+    Checked_access.bounds ~who ~what ~len:(S.length buf) i;
+    S.get buf i
+
+  let set buf ~what i v =
+    Checked_access.bounds ~who ~what ~len:(S.length buf) i;
+    S.set buf i v
+
+  let col ~edge ~src ~soff ~sstride ~dst ~doff ~dstride =
+    for t = 0 to edge - 1 do
+      set dst ~what:"col write"
+        (doff + (t * dstride))
+        (get src ~what:"col read" (soff + (t * sstride)))
+    done
+
+  let col8 = col ~edge:8
+  let col16 = col ~edge:16
+
+  let row ~edge ~src ~soff ~dst ~doff =
+    for k = 0 to edge - 1 do
+      set dst ~what:"row write" (doff + k) (get src ~what:"row read" (soff + k))
+    done
+
+  let row8 = row ~edge:8
+  let row16 = row ~edge:16
+
+  let copy_span ~src ~soff ~dst ~doff ~len =
+    for k = 0 to len - 1 do
+      set dst ~what:"span write" (doff + k)
+        (get src ~what:"span read" (soff + k))
+    done
+
+  let transpose ~edge ~src ~soff ~sstride ~dst ~doff ~dstride =
+    for j = 0 to edge - 1 do
+      col ~edge ~src ~soff:(soff + j) ~sstride ~dst
+        ~doff:(doff + (j * dstride))
+        ~dstride:1
+    done
+
+  let transpose8 = transpose ~edge:8
+  let transpose16 = transpose ~edge:16
+end

@@ -178,6 +178,16 @@ module Summary : sig
   val panel_params : Xpose_core.Access.param list
   val coarse : Xpose_core.Access.summary
   val fine : Xpose_core.Access.summary
+
+  val fine_mk : Xpose_core.Access.summary
+  (** The micro-kernel tier's fine rotation: the fully-unwrapped tile
+      region's unguarded [bk]-row column movers (parameter [bk] in
+      [1, min(block_rows, m - maxres)] — the engine's own fast-path
+      preconditions) plus the guarded scalar tail. Certifying this
+      summary proves the unrolled movers in bounds {e without} the
+      wrap test the scalar path relies on. Pin [bk] at 8 or 16 for the
+      per-tier grid entries. *)
+
   val permute : Xpose_core.Access.summary
   val panel_passes : Xpose_core.Access.summary list
 

@@ -67,6 +67,7 @@ let get_workspaces ?workspaces pool =
    either. *)
 module type PRIMS = sig
   val rotate_panel :
+    tier:Tune_params.kernel_tier ->
     block_rows:int ->
     Ws.t ->
     Plan.t ->
@@ -78,7 +79,14 @@ module type PRIMS = sig
     unit
 
   val permute_panel :
-    Ws.t -> buf -> n:int -> cycles:int array array -> lo:int -> w:int -> unit
+    tier:Tune_params.kernel_tier ->
+    Ws.t ->
+    buf ->
+    n:int ->
+    cycles:int array array ->
+    lo:int ->
+    w:int ->
+    unit
 
   val row_shuffle_gather : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
   val row_shuffle_ungather : Plan.t -> buf -> tmp:buf -> lo:int -> hi:int -> unit
@@ -88,49 +96,118 @@ module Prims = struct
   (* -- monomorphic sub-row primitives -----------------------------------
      Explicit unsafe loops instead of [Bigarray.Array1.sub]+[blit]: the sub
      views are heap allocations per transfer, and for the 16-element panel
-     width a direct loop vectorizes at least as well. *)
+     width a direct loop vectorizes at least as well. Under an mk tier
+     ([mk = true]) the sub-row moves go through the unrolled
+     {!Microkernel.copy_span} chunks instead. *)
 
-  let copy_subrow (buf : buf) ~n ~lo ~w ~src ~dst =
+  let copy_subrow ~mk (buf : buf) ~n ~lo ~w ~src ~dst =
     let sb = (src * n) + lo and db = (dst * n) + lo in
-    for jj = 0 to w - 1 do
-      unsafe_set buf (db + jj) (unsafe_get buf (sb + jj))
-    done
+    if mk then Microkernel.copy_span ~src:buf ~soff:sb ~dst:buf ~doff:db ~len:w
+    else
+      for jj = 0 to w - 1 do
+        unsafe_set buf (db + jj) (unsafe_get buf (sb + jj))
+      done
 
-  let save_subrow (buf : buf) ~n ~lo ~w ~row (line : buf) =
+  let save_subrow ~mk (buf : buf) ~n ~lo ~w ~row (line : buf) =
     let base = (row * n) + lo in
-    for jj = 0 to w - 1 do
-      unsafe_set line jj (unsafe_get buf (base + jj))
-    done
+    if mk then
+      Microkernel.copy_span ~src:buf ~soff:base ~dst:line ~doff:0 ~len:w
+    else
+      for jj = 0 to w - 1 do
+        unsafe_set line jj (unsafe_get buf (base + jj))
+      done
 
-  let restore_subrow (line : buf) (buf : buf) ~n ~lo ~w ~row =
+  let restore_subrow ~mk (line : buf) (buf : buf) ~n ~lo ~w ~row =
     let base = (row * n) + lo in
-    for jj = 0 to w - 1 do
-      unsafe_set buf (base + jj) (unsafe_get line jj)
-    done
+    if mk then
+      Microkernel.copy_span ~src:line ~soff:0 ~dst:buf ~doff:base ~len:w
+    else
+      for jj = 0 to w - 1 do
+        unsafe_set buf (base + jj) (unsafe_get line jj)
+      done
 
   (* Coarse phase of §4.6: cycle-following rotation of the whole panel by a
      shared amount k (gcd(m, k) analytic cycles). *)
-  let rotate_coarse (buf : buf) ~m ~n ~lo ~w ~k ~line =
+  let rotate_coarse ~mk (buf : buf) ~m ~n ~lo ~w ~k ~line =
     if k <> 0 then begin
       let cycles = Intmath.gcd m k in
       for y = 0 to cycles - 1 do
-        save_subrow buf ~n ~lo ~w ~row:y line;
+        save_subrow ~mk buf ~n ~lo ~w ~row:y line;
         let i = ref y in
         let continue = ref true in
         while !continue do
           let src = !i + k in
           let src = if src >= m then src - m else src in
           if src = y then begin
-            restore_subrow line buf ~n ~lo ~w ~row:!i;
+            restore_subrow ~mk line buf ~n ~lo ~w ~row:!i;
             continue := false
           end
           else begin
-            copy_subrow buf ~n ~lo ~w ~src ~dst:!i;
+            copy_subrow ~mk buf ~n ~lo ~w ~src ~dst:!i;
             i := src
           end
         done
       done
     end
+
+  (* Per-panel strength reduction shared by the fine-phase gathers:
+     [cb.(jj) = res.(jj)*n + lo + jj], so the source index of panel
+     element (i, jj) is [i*n + cb.(jj)] — one add per element instead of
+     a multiply, and the row term hoists out of the inner loop. *)
+  let column_bases ~n ~lo ~w ~(res : int array) =
+    let cb = Array.make w 0 in
+    for jj = 0 to w - 1 do
+      cb.(jj) <- (res.(jj) * n) + lo + jj
+    done;
+    cb
+
+  let save_head (buf : buf) ~n ~lo ~w ~maxres ~(head : buf) =
+    let base = ref lo in
+    let hb = ref 0 in
+    for _r = 0 to maxres - 1 do
+      let b = !base and h = !hb in
+      for jj = 0 to w - 1 do
+        unsafe_set head (h + jj) (unsafe_get buf (b + jj))
+      done;
+      base := !base + n;
+      hb := !hb + w
+    done
+
+  (* Scalar gather of strip rows [t0, rows) (absolute rows [r0+t0,
+     r0+rows)) into the block buffer, wrapped rows from the saved head.
+     Row bases are strength-reduced: the only per-element work is the
+     wrap test and one add. *)
+  let gather_scalar (buf : buf) ~m ~n ~w ~(res : int array) ~(cb : int array)
+      ~r0 ~t0 ~rows ~(head : buf) ~(block : buf) =
+    let ib = ref ((r0 + t0) * n) in
+    let tb = ref (t0 * w) in
+    for t = t0 to rows - 1 do
+      let i = r0 + t in
+      let limit = m - 1 - i in
+      let b = !ib and d = !tb in
+      for jj = 0 to w - 1 do
+        let rv = Array.unsafe_get res jj in
+        let v =
+          if rv > limit then unsafe_get head (((i + rv - m) * w) + jj)
+          else unsafe_get buf (b + Array.unsafe_get cb jj)
+        in
+        unsafe_set block (d + jj) v
+      done;
+      ib := !ib + n;
+      tb := !tb + w
+    done
+
+  let writeback_scalar (buf : buf) ~n ~lo ~w ~r0 ~rows ~(block : buf) =
+    let base = ref ((r0 * n) + lo) in
+    let tb = ref 0 in
+    for _t = 0 to rows - 1 do
+      let b = !base and s = !tb in
+      for jj = 0 to w - 1 do
+        unsafe_set buf (b + jj) (unsafe_get block (s + jj))
+      done;
+      base := !base + n;
+      tb := !tb + w
+    done
 
   (* Fine phase of §4.6: per-column residual rotations bounded by [w], read
      in strips of [block_rows] rows through the block buffer; wrapped rows
@@ -138,38 +215,69 @@ module Prims = struct
   let rotate_fine (buf : buf) ~m ~n ~lo ~w ~(res : int array) ~maxres
       ~block_rows ~(head : buf) ~(block : buf) =
     if maxres > 0 then begin
-      for r = 0 to maxres - 1 do
-        let base = (r * n) + lo in
-        for jj = 0 to w - 1 do
-          unsafe_set head ((r * w) + jj) (unsafe_get buf (base + jj))
-        done
-      done;
+      let cb = column_bases ~n ~lo ~w ~res in
+      save_head buf ~n ~lo ~w ~maxres ~head;
       let r = ref 0 in
       while !r < m do
         let rows = min block_rows (m - !r) in
-        for t = 0 to rows - 1 do
-          let i = !r + t in
-          for jj = 0 to w - 1 do
-            let src = i + Array.unsafe_get res jj in
-            let v =
-              if src >= m then unsafe_get head (((src - m) * w) + jj)
-              else unsafe_get buf ((src * n) + lo + jj)
-            in
-            unsafe_set block ((t * w) + jj) v
-          done
+        gather_scalar buf ~m ~n ~w ~res ~cb ~r0:!r ~t0:0 ~rows ~head ~block;
+        writeback_scalar buf ~n ~lo ~w ~r0:!r ~rows ~block;
+        r := !r + rows
+      done
+    end
+
+  (* Micro-kernel fine phase: identical movement, but rows whose whole
+     [bk]-row chunk stays unwrapped ([r0 + t + bk - 1 + maxres < m])
+     gather through fully unrolled strided column movers — one
+     {!Microkernel.col8}/{!col16} call per panel column, no per-element
+     wrap test — and the strip writes back through unrolled
+     {!Microkernel.copy_span} rows. The strip tail and the wrap region
+     take the strength-reduced scalar path. *)
+  let rotate_fine_mk ~bk (buf : buf) ~m ~n ~lo ~w ~(res : int array) ~maxres
+      ~block_rows ~(head : buf) ~(block : buf) =
+    if maxres > 0 then begin
+      let cb = column_bases ~n ~lo ~w ~res in
+      save_head buf ~n ~lo ~w ~maxres ~head;
+      let r = ref 0 in
+      while !r < m do
+        let rows = min block_rows (m - !r) in
+        (* chunk start t admits the unrolled movers iff every source row
+           of its bk rows is below m: t <= m - maxres - bk - r0 *)
+        let tmax = min (rows - bk) (m - maxres - bk - !r) in
+        let t = ref 0 in
+        while !t <= tmax do
+          let ib = (!r + !t) * n in
+          let tb = !t * w in
+          if bk = 8 then
+            for jj = 0 to w - 1 do
+              Microkernel.col8 ~src:buf
+                ~soff:(ib + Array.unsafe_get cb jj)
+                ~sstride:n ~dst:block ~doff:(tb + jj) ~dstride:w
+            done
+          else
+            for jj = 0 to w - 1 do
+              Microkernel.col16 ~src:buf
+                ~soff:(ib + Array.unsafe_get cb jj)
+                ~sstride:n ~dst:block ~doff:(tb + jj) ~dstride:w
+            done;
+          t := !t + bk
         done;
-        for t = 0 to rows - 1 do
-          let base = ((!r + t) * n) + lo in
-          for jj = 0 to w - 1 do
-            unsafe_set buf (base + jj) (unsafe_get block ((t * w) + jj))
-          done
+        if !t < rows then
+          gather_scalar buf ~m ~n ~w ~res ~cb ~r0:!r ~t0:!t ~rows ~head ~block;
+        let base = ref ((!r * n) + lo) in
+        let tb = ref 0 in
+        for _t = 0 to rows - 1 do
+          Microkernel.copy_span ~src:block ~soff:!tb ~dst:buf ~doff:!base
+            ~len:w;
+          base := !base + n;
+          tb := !tb + w
         done;
         r := !r + rows
       done
     end
 
-  let rotate_panel ~block_rows ws (p : Plan.t) (buf : buf) ~amount ~res ~lo ~w
-      =
+  let rotate_panel ~tier ~block_rows ws (p : Plan.t) (buf : buf) ~amount ~res
+      ~lo ~w =
     let m = p.m and n = p.n in
     let k, maxres =
       let k, mr = pick_residuals ~m ~lo ~w ~amount ~res lo in
@@ -177,25 +285,35 @@ module Prims = struct
       else pick_residuals ~m ~lo ~w ~amount ~res (lo + w - 1)
     in
     if maxres < w && maxres < m then begin
-      rotate_coarse buf ~m ~n ~lo ~w ~k ~line:(Ws.line ws w);
-      rotate_fine buf ~m ~n ~lo ~w ~res ~maxres ~block_rows
-        ~head:(Ws.head ws (w * w))
-        ~block:(Ws.block ws (block_rows * w))
+      let mk = tier <> Tune_params.Scalar in
+      rotate_coarse ~mk buf ~m ~n ~lo ~w ~k ~line:(Ws.line ws w);
+      let head = Ws.head ws (w * w) in
+      let block = Ws.block ws (block_rows * w) in
+      match tier with
+      | Tune_params.Scalar ->
+          rotate_fine buf ~m ~n ~lo ~w ~res ~maxres ~block_rows ~head ~block
+      | Tune_params.Mk8 ->
+          rotate_fine_mk ~bk:8 buf ~m ~n ~lo ~w ~res ~maxres ~block_rows ~head
+            ~block
+      | Tune_params.Mk16 ->
+          rotate_fine_mk ~bk:16 buf ~m ~n ~lo ~w ~res ~maxres ~block_rows
+            ~head ~block
     end
     else
       Kernels_f64.Phases.rotate_columns p buf ~tmp:(Ws.tmp ws m) ~amount ~lo
         ~hi:(lo + w)
 
-  let permute_panel ws (buf : buf) ~n ~cycles ~lo ~w =
+  let permute_panel ~tier ws (buf : buf) ~n ~cycles ~lo ~w =
+    let mk = tier <> Tune_params.Scalar in
     let line = Ws.line ws w in
     Array.iter
       (fun (chain : int array) ->
         let len = Array.length chain in
-        save_subrow buf ~n ~lo ~w ~row:chain.(0) line;
+        save_subrow ~mk buf ~n ~lo ~w ~row:chain.(0) line;
         for t = 0 to len - 2 do
-          copy_subrow buf ~n ~lo ~w ~src:chain.(t + 1) ~dst:chain.(t)
+          copy_subrow ~mk buf ~n ~lo ~w ~src:chain.(t + 1) ~dst:chain.(t)
         done;
-        restore_subrow line buf ~n ~lo ~w ~row:chain.(len - 1))
+        restore_subrow ~mk line buf ~n ~lo ~w ~row:chain.(len - 1))
       cycles
 
   let row_shuffle_gather = Kernels_f64.Phases.row_shuffle_gather
@@ -217,53 +335,83 @@ module Checked_prims = struct
     Checked_access.bounds ~who ~what ~len:(dim buf) i;
     unsafe_set buf i v
 
-  let copy_subrow (buf : buf) ~n ~lo ~w ~src ~dst =
+  (* The mk-tier twins route the same tile structure through
+     {!Microkernel.Checked}: every unrolled mover access is bounds
+     verified, so the shadow run exercises exactly the tier the raw
+     engine would. *)
+  let copy_subrow ~mk (buf : buf) ~n ~lo ~w ~src ~dst =
     let sb = (src * n) + lo and db = (dst * n) + lo in
-    for jj = 0 to w - 1 do
-      cset buf "panel copy write" (db + jj)
-        (cget buf "panel copy read" (sb + jj))
-    done
+    if mk then
+      Microkernel.Checked.copy_span ~src:buf ~soff:sb ~dst:buf ~doff:db ~len:w
+    else
+      for jj = 0 to w - 1 do
+        cset buf "panel copy write" (db + jj)
+          (cget buf "panel copy read" (sb + jj))
+      done
 
-  let save_subrow (buf : buf) ~n ~lo ~w ~row (line : buf) =
+  let save_subrow ~mk (buf : buf) ~n ~lo ~w ~row (line : buf) =
     let base = (row * n) + lo in
-    for jj = 0 to w - 1 do
-      cset line "panel line write" jj (cget buf "panel save read" (base + jj))
-    done
+    if mk then
+      Microkernel.Checked.copy_span ~src:buf ~soff:base ~dst:line ~doff:0
+        ~len:w
+    else
+      for jj = 0 to w - 1 do
+        cset line "panel line write" jj (cget buf "panel save read" (base + jj))
+      done
 
-  let restore_subrow (line : buf) (buf : buf) ~n ~lo ~w ~row =
+  let restore_subrow ~mk (line : buf) (buf : buf) ~n ~lo ~w ~row =
     let base = (row * n) + lo in
-    for jj = 0 to w - 1 do
-      cset buf "panel restore write" (base + jj)
-        (cget line "panel line read" jj)
-    done
+    if mk then
+      Microkernel.Checked.copy_span ~src:line ~soff:0 ~dst:buf ~doff:base
+        ~len:w
+    else
+      for jj = 0 to w - 1 do
+        cset buf "panel restore write" (base + jj)
+          (cget line "panel line read" jj)
+      done
 
-  let rotate_coarse (buf : buf) ~m ~n ~lo ~w ~k ~line =
+  let rotate_coarse ~mk (buf : buf) ~m ~n ~lo ~w ~k ~line =
     Checked_access.distinct ~who ~what:"panel line buffer" line buf;
     if k <> 0 then begin
       let cycles = Intmath.gcd m k in
       for y = 0 to cycles - 1 do
-        save_subrow buf ~n ~lo ~w ~row:y line;
+        save_subrow ~mk buf ~n ~lo ~w ~row:y line;
         let i = ref y in
         let continue = ref true in
         while !continue do
           let src = !i + k in
           let src = if src >= m then src - m else src in
           if src = y then begin
-            restore_subrow line buf ~n ~lo ~w ~row:!i;
+            restore_subrow ~mk line buf ~n ~lo ~w ~row:!i;
             continue := false
           end
           else begin
-            copy_subrow buf ~n ~lo ~w ~src ~dst:!i;
+            copy_subrow ~mk buf ~n ~lo ~w ~src ~dst:!i;
             i := src
           end
         done
       done
     end
 
-  let rotate_fine (buf : buf) ~m ~n ~lo ~w ~(res : int array) ~maxres
+  let gather_scalar (buf : buf) ~m ~n ~lo ~w ~(res : int array) ~r0 ~t0 ~rows
+      ~(head : buf) ~(block : buf) =
+    for t = t0 to rows - 1 do
+      let i = r0 + t in
+      for jj = 0 to w - 1 do
+        let src = i + res.(jj) in
+        let v =
+          if src >= m then cget head "panel head read" (((src - m) * w) + jj)
+          else cget buf "panel fine read" ((src * n) + lo + jj)
+        in
+        cset block "panel block write" ((t * w) + jj) v
+      done
+    done
+
+  let rotate_fine ~tier (buf : buf) ~m ~n ~lo ~w ~(res : int array) ~maxres
       ~block_rows ~(head : buf) ~(block : buf) =
     Checked_access.distinct ~who ~what:"panel head buffer" head buf;
     Checked_access.distinct ~who ~what:"panel block buffer" block buf;
+    let bk = Tune_params.tier_block tier in
     if maxres > 0 then begin
       for r = 0 to maxres - 1 do
         let base = (r * n) + lo in
@@ -275,30 +423,43 @@ module Checked_prims = struct
       let r = ref 0 in
       while !r < m do
         let rows = min block_rows (m - !r) in
-        for t = 0 to rows - 1 do
-          let i = !r + t in
-          for jj = 0 to w - 1 do
-            let src = i + res.(jj) in
-            let v =
-              if src >= m then cget head "panel head read" (((src - m) * w) + jj)
-              else cget buf "panel fine read" ((src * n) + lo + jj)
-            in
-            cset block "panel block write" ((t * w) + jj) v
+        let t = ref 0 in
+        if bk > 1 then begin
+          let tmax = min (rows - bk) (m - maxres - bk - !r) in
+          while !t <= tmax do
+            let ib = (!r + !t) * n in
+            let tb = !t * w in
+            for jj = 0 to w - 1 do
+              let soff = ib + (res.(jj) * n) + lo + jj in
+              if bk = 8 then
+                Microkernel.Checked.col8 ~src:buf ~soff ~sstride:n ~dst:block
+                  ~doff:(tb + jj) ~dstride:w
+              else
+                Microkernel.Checked.col16 ~src:buf ~soff ~sstride:n ~dst:block
+                  ~doff:(tb + jj) ~dstride:w
+            done;
+            t := !t + bk
           done
-        done;
+        end;
+        if !t < rows then
+          gather_scalar buf ~m ~n ~lo ~w ~res ~r0:!r ~t0:!t ~rows ~head ~block;
         for t = 0 to rows - 1 do
           let base = ((!r + t) * n) + lo in
-          for jj = 0 to w - 1 do
-            cset buf "panel fine write" (base + jj)
-              (cget block "panel block read" ((t * w) + jj))
-          done
+          if bk > 1 then
+            Microkernel.Checked.copy_span ~src:block ~soff:(t * w) ~dst:buf
+              ~doff:base ~len:w
+          else
+            for jj = 0 to w - 1 do
+              cset buf "panel fine write" (base + jj)
+                (cget block "panel block read" ((t * w) + jj))
+            done
         done;
         r := !r + rows
       done
     end
 
-  let rotate_panel ~block_rows ws (p : Plan.t) (buf : buf) ~amount ~res ~lo ~w
-      =
+  let rotate_panel ~tier ~block_rows ws (p : Plan.t) (buf : buf) ~amount ~res
+      ~lo ~w =
     let m = p.m and n = p.n in
     let k, maxres =
       let k, mr = pick_residuals ~m ~lo ~w ~amount ~res lo in
@@ -306,8 +467,9 @@ module Checked_prims = struct
       else pick_residuals ~m ~lo ~w ~amount ~res (lo + w - 1)
     in
     if maxres < w && maxres < m then begin
-      rotate_coarse buf ~m ~n ~lo ~w ~k ~line:(Ws.line ws w);
-      rotate_fine buf ~m ~n ~lo ~w ~res ~maxres ~block_rows
+      let mk = tier <> Tune_params.Scalar in
+      rotate_coarse ~mk buf ~m ~n ~lo ~w ~k ~line:(Ws.line ws w);
+      rotate_fine ~tier buf ~m ~n ~lo ~w ~res ~maxres ~block_rows
         ~head:(Ws.head ws (w * w))
         ~block:(Ws.block ws (block_rows * w))
     end
@@ -315,17 +477,18 @@ module Checked_prims = struct
       Kernels_f64.Checked.Phases.rotate_columns p buf ~tmp:(Ws.tmp ws m)
         ~amount ~lo ~hi:(lo + w)
 
-  let permute_panel ws (buf : buf) ~n ~cycles ~lo ~w =
+  let permute_panel ~tier ws (buf : buf) ~n ~cycles ~lo ~w =
+    let mk = tier <> Tune_params.Scalar in
     let line = Ws.line ws w in
     Checked_access.distinct ~who ~what:"panel line buffer" line buf;
     Array.iter
       (fun (chain : int array) ->
         let len = Array.length chain in
-        save_subrow buf ~n ~lo ~w ~row:chain.(0) line;
+        save_subrow ~mk buf ~n ~lo ~w ~row:chain.(0) line;
         for t = 0 to len - 2 do
-          copy_subrow buf ~n ~lo ~w ~src:chain.(t + 1) ~dst:chain.(t)
+          copy_subrow ~mk buf ~n ~lo ~w ~src:chain.(t + 1) ~dst:chain.(t)
         done;
-        restore_subrow line buf ~n ~lo ~w ~row:chain.(len - 1))
+        restore_subrow ~mk line buf ~n ~lo ~w ~row:chain.(len - 1))
       cycles
 
   let row_shuffle_gather = Kernels_f64.Checked.Phases.row_shuffle_gather
@@ -338,6 +501,7 @@ module type ENGINE = sig
   val rotate_columns :
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Tune_params.kernel_tier ->
     ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
@@ -348,6 +512,7 @@ module type ENGINE = sig
 
   val permute_cols :
     ?panel_width:int ->
+    ?tier:Tune_params.kernel_tier ->
     ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
@@ -359,6 +524,7 @@ module type ENGINE = sig
   val c2r_cols :
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Tune_params.kernel_tier ->
     ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
@@ -370,6 +536,7 @@ module type ENGINE = sig
   val r2c_cols :
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Tune_params.kernel_tier ->
     ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
@@ -378,13 +545,29 @@ module type ENGINE = sig
     cycles:int array array ->
     unit
 
-  val c2r : ?panel_width:int -> ?block_rows:int -> ?ws:Ws.t -> Plan.t -> buf -> unit
-  val r2c : ?panel_width:int -> ?block_rows:int -> ?ws:Ws.t -> Plan.t -> buf -> unit
+  val c2r :
+    ?panel_width:int ->
+    ?block_rows:int ->
+    ?tier:Tune_params.kernel_tier ->
+    ?ws:Ws.t ->
+    Plan.t ->
+    buf ->
+    unit
+
+  val r2c :
+    ?panel_width:int ->
+    ?block_rows:int ->
+    ?tier:Tune_params.kernel_tier ->
+    ?ws:Ws.t ->
+    Plan.t ->
+    buf ->
+    unit
 
   val transpose :
     ?order:Layout.order ->
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Tune_params.kernel_tier ->
     ?ws:Ws.t ->
     ?cache:Plan.Cache.t ->
     m:int ->
@@ -395,6 +578,7 @@ module type ENGINE = sig
   val c2r_pool :
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Tune_params.kernel_tier ->
     ?workspaces:Ws.t array ->
     Pool.t ->
     Plan.t ->
@@ -404,6 +588,7 @@ module type ENGINE = sig
   val r2c_pool :
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Tune_params.kernel_tier ->
     ?workspaces:Ws.t array ->
     Pool.t ->
     Plan.t ->
@@ -414,6 +599,7 @@ module type ENGINE = sig
     ?order:Layout.order ->
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Tune_params.kernel_tier ->
     ?workspaces:Ws.t array ->
     ?cache:Plan.Cache.t ->
     Pool.t ->
@@ -427,6 +613,7 @@ module type ENGINE = sig
     ?split:Tune_params.batch_split ->
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Tune_params.kernel_tier ->
     ?cache:Plan.Cache.t ->
     Pool.t ->
     m:int ->
@@ -443,8 +630,8 @@ module Engine_of (P : PRIMS) : ENGINE = struct
   (* -- column-range sweeps ---------------------------------------------- *)
 
   let rotate_columns ?panel_width:(width = default_width)
-      ?(block_rows = default_block_rows) ?ws ?(lo = 0) ?hi (p : Plan.t) buf
-      ~amount =
+      ?(block_rows = default_block_rows) ?(tier = Tune_params.Scalar) ?ws
+      ?(lo = 0) ?hi (p : Plan.t) buf ~amount =
     let m = p.m and n = p.n in
     let hi = match hi with Some h -> h | None -> n in
     check_range "Fused_f64.rotate_columns" ~n ~lo ~hi;
@@ -456,12 +643,13 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       let w = min width (hi - lo) in
       Xpose_obs.Tracer.panel ~name:"rotate_panel" ~lo ~width:w ~rows:m
         ~pred_touches:(rotate_panel_pred p ~amount ~lo ~w)
-        (fun () -> P.rotate_panel ~block_rows ws p buf ~amount ~res ~lo ~w);
+        (fun () ->
+          P.rotate_panel ~tier ~block_rows ws p buf ~amount ~res ~lo ~w);
       g := lo + w
     done
 
-  let permute_cols ?panel_width:(width = default_width) ?ws ?(lo = 0) ?hi (p : Plan.t) buf
-      ~cycles =
+  let permute_cols ?panel_width:(width = default_width)
+      ?(tier = Tune_params.Scalar) ?ws ?(lo = 0) ?hi (p : Plan.t) buf ~cycles =
     let m = p.m and n = p.n in
     let hi = match hi with Some h -> h | None -> n in
     check_range "Fused_f64.permute_cols" ~n ~lo ~hi;
@@ -473,14 +661,14 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       let w = min width (hi - lo) in
       Xpose_obs.Tracer.panel ~name:"permute_panel" ~lo ~width:w ~rows:m
         ~pred_touches:(2 * rows * w)
-        (fun () -> P.permute_panel ws buf ~n ~cycles ~lo ~w);
+        (fun () -> P.permute_panel ~tier ws buf ~n ~cycles ~lo ~w);
       g := lo + w
     done
 
   (* -- fused panel visits ------------------------------------------------ *)
 
-  let c2r_cols ?panel_width:(width = default_width) ?(block_rows = default_block_rows) ?ws
-      ?(lo = 0) ?hi (p : Plan.t) buf ~cycles =
+  let c2r_cols ?panel_width:(width = default_width) ?(block_rows = default_block_rows)
+      ?(tier = Tune_params.Scalar) ?ws ?(lo = 0) ?hi (p : Plan.t) buf ~cycles =
     let m = p.m and n = p.n in
     let hi = match hi with Some h -> h | None -> n in
     check_range "Fused_f64.c2r_cols" ~n ~lo ~hi;
@@ -493,13 +681,14 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       Xpose_obs.Tracer.panel ~name:"fused_panel" ~lo ~width:w ~rows:m
         ~pred_touches:(Pass_cost.fused_panel p ~width:w)
         (fun () ->
-          P.rotate_panel ~block_rows ws p buf ~amount:(fun j -> j) ~res ~lo ~w;
-          P.permute_panel ws buf ~n ~cycles ~lo ~w);
+          P.rotate_panel ~tier ~block_rows ws p buf ~amount:(fun j -> j) ~res
+            ~lo ~w;
+          P.permute_panel ~tier ws buf ~n ~cycles ~lo ~w);
       g := lo + w
     done
 
-  let r2c_cols ?panel_width:(width = default_width) ?(block_rows = default_block_rows) ?ws
-      ?(lo = 0) ?hi (p : Plan.t) buf ~cycles =
+  let r2c_cols ?panel_width:(width = default_width) ?(block_rows = default_block_rows)
+      ?(tier = Tune_params.Scalar) ?ws ?(lo = 0) ?hi (p : Plan.t) buf ~cycles =
     let m = p.m and n = p.n in
     let hi = match hi with Some h -> h | None -> n in
     check_range "Fused_f64.r2c_cols" ~n ~lo ~hi;
@@ -512,16 +701,16 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       Xpose_obs.Tracer.panel ~name:"fused_panel" ~lo ~width:w ~rows:m
         ~pred_touches:(Pass_cost.fused_panel p ~width:w)
         (fun () ->
-          P.permute_panel ws buf ~n ~cycles ~lo ~w;
-          P.rotate_panel ~block_rows ws p buf ~amount:(fun j -> -j) ~res ~lo
-            ~w);
+          P.permute_panel ~tier ws buf ~n ~cycles ~lo ~w;
+          P.rotate_panel ~tier ~block_rows ws p buf ~amount:(fun j -> -j) ~res
+            ~lo ~w);
       g := lo + w
     done
 
   (* -- serial engines ---------------------------------------------------- *)
 
-  let c2r ?panel_width:(width = default_width) ?(block_rows = default_block_rows) ?ws
-      (p : Plan.t) buf =
+  let c2r ?panel_width:(width = default_width) ?(block_rows = default_block_rows)
+      ?(tier = Tune_params.Scalar) ?ws (p : Plan.t) buf =
     check_buf "Fused_f64.c2r" p buf;
     let m = p.m in
     if m = 1 || p.n = 1 then ()
@@ -530,7 +719,9 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       if not (Plan.coprime p) then begin
         let amount = Plan.rotate_amount p in
         obs_pass p "rotate_pre" ~pred:(Pass_cost.panel_rotate p ~width ~amount)
-          (fun () -> rotate_columns ~panel_width:width ~block_rows ~ws p buf ~amount)
+          (fun () ->
+            rotate_columns ~panel_width:width ~block_rows ~tier ~ws p buf
+              ~amount)
       end;
       obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
           P.row_shuffle_gather p buf
@@ -538,11 +729,11 @@ module Engine_of (P : PRIMS) : ENGINE = struct
             ~lo:0 ~hi:m);
       let cycles = cycles ~m ~index:(Plan.q p) in
       obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
-          c2r_cols ~panel_width:width ~block_rows ~ws p buf ~cycles)
+          c2r_cols ~panel_width:width ~block_rows ~tier ~ws p buf ~cycles)
     end
 
-  let r2c ?panel_width:(width = default_width) ?(block_rows = default_block_rows) ?ws
-      (p : Plan.t) buf =
+  let r2c ?panel_width:(width = default_width) ?(block_rows = default_block_rows)
+      ?(tier = Tune_params.Scalar) ?ws (p : Plan.t) buf =
     check_buf "Fused_f64.r2c" p buf;
     let m = p.m in
     if m = 1 || p.n = 1 then ()
@@ -550,7 +741,7 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       let ws = get_ws ws in
       let cycles = cycles ~m ~index:(Plan.q_inv p) in
       obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
-          r2c_cols ~panel_width:width ~block_rows ~ws p buf ~cycles);
+          r2c_cols ~panel_width:width ~block_rows ~tier ~ws p buf ~cycles);
       obs_pass p "row_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
           P.row_shuffle_ungather p buf
             ~tmp:(Ws.tmp ws (Plan.scratch_elements p))
@@ -559,39 +750,43 @@ module Engine_of (P : PRIMS) : ENGINE = struct
         let amount j = -Plan.rotate_amount p j in
         obs_pass p "rotate_post"
           ~pred:(Pass_cost.panel_rotate p ~width ~amount)
-          (fun () -> rotate_columns ~panel_width:width ~block_rows ~ws p buf ~amount)
+          (fun () ->
+            rotate_columns ~panel_width:width ~block_rows ~tier ~ws p buf
+              ~amount)
       end
     end
 
   (* Plan-cache entries are keyed by (and carry) the configuration the
      caller actually runs, so differently tuned callers of one shape
      never alias. *)
-  let cache_params ?(split = Tune_params.Auto) width =
+  let cache_params ?(split = Tune_params.Auto) ?(tier = Tune_params.Scalar)
+      width =
     {
       Tune_params.default with
       panel_width = Option.value width ~default:default_width;
       batch_split = split;
+      kernel_tier = tier;
     }
 
-  let transpose ?(order = Layout.Row_major) ?panel_width:width ?block_rows ?ws ?cache ~m
-      ~n buf =
+  let transpose ?(order = Layout.Row_major) ?panel_width:width ?block_rows
+      ?tier ?ws ?cache ~m ~n buf =
     let rm, rn =
       match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
     in
-    let params = cache_params width in
+    let params = cache_params ?tier width in
     if rm > rn then
-      c2r ?panel_width:width ?block_rows ?ws
+      c2r ?panel_width:width ?block_rows ?tier ?ws
         (Plan.Cache.get ?cache ~params ~m:rm ~n:rn ())
         buf
     else
-      r2c ?panel_width:width ?block_rows ?ws
+      r2c ?panel_width:width ?block_rows ?tier ?ws
         (Plan.Cache.get ?cache ~params ~m:rn ~n:rm ())
         buf
 
   (* -- pool drivers ------------------------------------------------------ *)
 
   let c2r_pool ?panel_width:(width = default_width) ?(block_rows = default_block_rows)
-      ?workspaces pool (p : Plan.t) buf =
+      ?(tier = Tune_params.Scalar) ?workspaces pool (p : Plan.t) buf =
     check_buf "Fused_f64.c2r_pool" p buf;
     let m = p.m and n = p.n in
     if m = 1 || n = 1 then ()
@@ -602,8 +797,8 @@ module Engine_of (P : PRIMS) : ENGINE = struct
         obs_pass p "rotate_pre" ~pred:(Pass_cost.panel_rotate p ~width ~amount)
           (fun () ->
             over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-                rotate_columns ~panel_width:width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
-                  ~amount))
+                rotate_columns ~panel_width:width ~block_rows ~tier
+                  ~ws:wss.(chunk) ~lo ~hi p buf ~amount))
       end;
       obs_pass p "row_shuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
           Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
@@ -613,12 +808,12 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       let cycles = cycles ~m ~index:(Plan.q p) in
       obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
           over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-              c2r_cols ~panel_width:width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
-                ~cycles))
+              c2r_cols ~panel_width:width ~block_rows ~tier ~ws:wss.(chunk)
+                ~lo ~hi p buf ~cycles))
     end
 
   let r2c_pool ?panel_width:(width = default_width) ?(block_rows = default_block_rows)
-      ?workspaces pool (p : Plan.t) buf =
+      ?(tier = Tune_params.Scalar) ?workspaces pool (p : Plan.t) buf =
     check_buf "Fused_f64.r2c_pool" p buf;
     let m = p.m and n = p.n in
     if m = 1 || n = 1 then ()
@@ -627,8 +822,8 @@ module Engine_of (P : PRIMS) : ENGINE = struct
       let cycles = cycles ~m ~index:(Plan.q_inv p) in
       obs_pass p "fused_col" ~pred:(Pass_cost.fused_col p) (fun () ->
           over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-              r2c_cols ~panel_width:width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
-                ~cycles));
+              r2c_cols ~panel_width:width ~block_rows ~tier ~ws:wss.(chunk)
+                ~lo ~hi p buf ~cycles));
       obs_pass p "row_unshuffle" ~pred:(Pass_cost.shuffle p) (fun () ->
           Pool.parallel_chunks pool ~lo:0 ~hi:m (fun ~chunk ~lo ~hi ->
               P.row_shuffle_ungather p buf
@@ -640,30 +835,30 @@ module Engine_of (P : PRIMS) : ENGINE = struct
           ~pred:(Pass_cost.panel_rotate p ~width ~amount)
           (fun () ->
             over_columns pool ~n ~width (fun ~chunk ~lo ~hi ->
-                rotate_columns ~panel_width:width ~block_rows ~ws:wss.(chunk) ~lo ~hi p buf
-                  ~amount))
+                rotate_columns ~panel_width:width ~block_rows ~tier
+                  ~ws:wss.(chunk) ~lo ~hi p buf ~amount))
       end
     end
 
   let transpose_pool ?(order = Layout.Row_major) ?panel_width:width ?block_rows
-      ?workspaces ?cache pool ~m ~n buf =
+      ?tier ?workspaces ?cache pool ~m ~n buf =
     let rm, rn =
       match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
     in
-    let params = cache_params width in
+    let params = cache_params ?tier width in
     if rm > rn then
-      c2r_pool ?panel_width:width ?block_rows ?workspaces pool
+      c2r_pool ?panel_width:width ?block_rows ?tier ?workspaces pool
         (Plan.Cache.get ?cache ~params ~m:rm ~n:rn ())
         buf
     else
-      r2c_pool ?panel_width:width ?block_rows ?workspaces pool
+      r2c_pool ?panel_width:width ?block_rows ?tier ?workspaces pool
         (Plan.Cache.get ?cache ~params ~m:rn ~n:rm ())
         buf
 
   (* -- batched transpose ------------------------------------------------- *)
 
   let transpose_batch ?(order = Layout.Row_major) ?(split = Tune_params.Auto)
-      ?panel_width:width ?block_rows ?cache pool ~m ~n bufs =
+      ?panel_width:width ?block_rows ?tier ?cache pool ~m ~n bufs =
     let rm, rn =
       match order with Layout.Row_major -> (m, n) | Layout.Col_major -> (n, m)
     in
@@ -679,7 +874,7 @@ module Engine_of (P : PRIMS) : ENGINE = struct
               "Fused_f64.transpose_batch: buffer size does not match shape")
         bufs;
       let c2r_side = rm > rn in
-      let params = cache_params ~split width in
+      let params = cache_params ~split ?tier width in
       let p =
         if c2r_side then Plan.Cache.get ?cache ~params ~m:rm ~n:rn ()
         else Plan.Cache.get ?cache ~params ~m:rn ~n:rm ()
@@ -705,8 +900,9 @@ module Engine_of (P : PRIMS) : ENGINE = struct
         Pool.parallel_chunks pool ~lo:0 ~hi:nb (fun ~chunk ~lo ~hi ->
             let ws = wss.(chunk) in
             for b = lo to hi - 1 do
-              if c2r_side then c2r ?panel_width:width ?block_rows ~ws p bufs.(b)
-              else r2c ?panel_width:width ?block_rows ~ws p bufs.(b)
+              if c2r_side then
+                c2r ?panel_width:width ?block_rows ?tier ~ws p bufs.(b)
+              else r2c ?panel_width:width ?block_rows ?tier ~ws p bufs.(b)
             done)
       end
       else begin
@@ -716,8 +912,11 @@ module Engine_of (P : PRIMS) : ENGINE = struct
         Array.iter
           (fun buf ->
             if c2r_side then
-              c2r_pool ?panel_width:width ?block_rows ~workspaces:wss pool p buf
-            else r2c_pool ?panel_width:width ?block_rows ~workspaces:wss pool p buf)
+              c2r_pool ?panel_width:width ?block_rows ?tier ~workspaces:wss
+                pool p buf
+            else
+              r2c_pool ?panel_width:width ?block_rows ?tier ~workspaces:wss
+                pool p buf)
           bufs
       end
     end

@@ -56,6 +56,7 @@ module type ENGINE = sig
   val rotate_columns :
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Xpose_core.Tune_params.kernel_tier ->
     ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
@@ -66,6 +67,7 @@ module type ENGINE = sig
 
   val permute_cols :
     ?panel_width:int ->
+    ?tier:Xpose_core.Tune_params.kernel_tier ->
     ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
@@ -77,6 +79,7 @@ module type ENGINE = sig
   val c2r_cols :
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Xpose_core.Tune_params.kernel_tier ->
     ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
@@ -90,6 +93,7 @@ module type ENGINE = sig
   val r2c_cols :
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Xpose_core.Tune_params.kernel_tier ->
     ?ws:Ws.t ->
     ?lo:int ->
     ?hi:int ->
@@ -100,11 +104,20 @@ module type ENGINE = sig
   (** One panel visit = permute by the cycles of [Plan.q_inv] + rotate by
       [-j]. *)
 
-  (** {1 Serial engines} *)
+  (** {1 Serial engines}
+
+      [tier] (default [Scalar]) selects the inner-loop kernel tier of
+      the panel passes: under [Mk8]/[Mk16] the fine-phase gather walks
+      8x8 / 16x16 block tiles through the fully unrolled
+      {!Xpose_core.Microkernel} movers (scalar tail for edge blocks and
+      the head-wrap region) and sub-row moves go through the unrolled
+      span copies. Every tier computes the identical result — the
+      autotuner picks the fastest per shape. *)
 
   val c2r :
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Xpose_core.Tune_params.kernel_tier ->
     ?ws:Ws.t ->
     Xpose_core.Plan.t ->
     buf ->
@@ -115,6 +128,7 @@ module type ENGINE = sig
   val r2c :
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Xpose_core.Tune_params.kernel_tier ->
     ?ws:Ws.t ->
     Xpose_core.Plan.t ->
     buf ->
@@ -124,6 +138,7 @@ module type ENGINE = sig
     ?order:Xpose_core.Layout.order ->
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Xpose_core.Tune_params.kernel_tier ->
     ?ws:Ws.t ->
     ?cache:Xpose_core.Plan.Cache.t ->
     m:int ->
@@ -146,6 +161,7 @@ module type ENGINE = sig
   val c2r_pool :
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Xpose_core.Tune_params.kernel_tier ->
     ?workspaces:Ws.t array ->
     Pool.t ->
     Xpose_core.Plan.t ->
@@ -155,6 +171,7 @@ module type ENGINE = sig
   val r2c_pool :
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Xpose_core.Tune_params.kernel_tier ->
     ?workspaces:Ws.t array ->
     Pool.t ->
     Xpose_core.Plan.t ->
@@ -165,6 +182,7 @@ module type ENGINE = sig
     ?order:Xpose_core.Layout.order ->
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Xpose_core.Tune_params.kernel_tier ->
     ?workspaces:Ws.t array ->
     ?cache:Xpose_core.Plan.Cache.t ->
     Pool.t ->
@@ -180,6 +198,7 @@ module type ENGINE = sig
     ?split:Xpose_core.Tune_params.batch_split ->
     ?panel_width:int ->
     ?block_rows:int ->
+    ?tier:Xpose_core.Tune_params.kernel_tier ->
     ?cache:Xpose_core.Plan.Cache.t ->
     Pool.t ->
     m:int ->

@@ -18,30 +18,48 @@ let fine_rotate (b : buf) ~rows ~fields ~res =
   let maxres = Array.fold_left max 0 res in
   if maxres > 0 then begin
     let head = Array.make (maxres * fields) 0.0 in
-    for r = 0 to maxres - 1 do
+    let hb = ref 0 in
+    for _r = 0 to maxres - 1 do
       for j = 0 to fields - 1 do
-        head.((r * fields) + j) <- unsafe_get b ((r * fields) + j)
-      done
+        head.(!hb + j) <- unsafe_get b (!hb + j)
+      done;
+      hb := !hb + fields
     done;
+    (* Strength-reduced gather: read index (i + res.(j)) * fields + j
+       splits into a per-row base i*fields (incremented, never
+       remultiplied) plus a per-column constant cb.(j); the wrap test
+       becomes a compare of res.(j) against a per-row limit. *)
+    let cb =
+      Array.init fields (fun j -> (Array.unsafe_get res j * fields) + j)
+    in
     let strip = Array.make (strip_rows * fields) 0.0 in
     let r = ref 0 in
     while !r < rows do
       let count = min strip_rows (rows - !r) in
+      let ib = ref (!r * fields) in
+      let tb = ref 0 in
       for t = 0 to count - 1 do
         let i = !r + t in
+        let limit = rows - 1 - i in
         for j = 0 to fields - 1 do
-          let src = i + Array.unsafe_get res j in
+          let rv = Array.unsafe_get res j in
           let v =
-            if src >= rows then head.(((src - rows) * fields) + j)
-            else unsafe_get b ((src * fields) + j)
+            if rv > limit then head.((((i + rv) - rows) * fields) + j)
+            else unsafe_get b (!ib + Array.unsafe_get cb j)
           in
-          strip.((t * fields) + j) <- v
-        done
+          strip.(!tb + j) <- v
+        done;
+        ib := !ib + fields;
+        tb := !tb + fields
       done;
-      for t = 0 to count - 1 do
+      let wb = ref (!r * fields) in
+      let sb = ref 0 in
+      for _t = 0 to count - 1 do
         for j = 0 to fields - 1 do
-          unsafe_set b (((!r + t) * fields) + j) strip.((t * fields) + j)
-        done
+          unsafe_set b (!wb + j) strip.(!sb + j)
+        done;
+        wb := !wb + fields;
+        sb := !sb + fields
       done;
       r := !r + count
     done
@@ -55,33 +73,51 @@ let fine_rotate_neg (b : buf) ~rows ~fields ~res =
   let maxres = Array.fold_left max 0 res in
   if maxres > 0 then begin
     let tail = Array.make (maxres * fields) 0.0 in
-    for r = 0 to maxres - 1 do
+    let tb0 = ref 0 in
+    let mb = ref ((rows - maxres) * fields) in
+    for _r = 0 to maxres - 1 do
       for j = 0 to fields - 1 do
-        tail.((r * fields) + j) <- unsafe_get b (((rows - maxres + r) * fields) + j)
-      done
+        tail.(!tb0 + j) <- unsafe_get b (!mb + j)
+      done;
+      tb0 := !tb0 + fields;
+      mb := !mb + fields
     done;
+    (* Backward gather, strength-reduced like [fine_rotate]: the read
+       index (i - res.(j)) * fields + j is a decremented per-row base
+       plus cb.(j), and the wrap test compares res.(j) against i. *)
+    let cb =
+      Array.init fields (fun j -> j - (Array.unsafe_get res j * fields))
+    in
     let strip = Array.make (strip_rows * fields) 0.0 in
     let r = ref rows in
     while !r > 0 do
       let count = min strip_rows !r in
       let base_row = !r - count in
+      let ib = ref (base_row * fields) in
+      let tb = ref 0 in
       for t = 0 to count - 1 do
         let i = base_row + t in
         for j = 0 to fields - 1 do
-          let src = i - Array.unsafe_get res j in
+          let rv = Array.unsafe_get res j in
           let v =
-            if src < 0 then
-              (* wrapped source row rows+src lives in the saved tail *)
-              tail.(((src + maxres) * fields) + j)
-            else unsafe_get b ((src * fields) + j)
+            if rv > i then
+              (* wrapped source row rows + (i - rv) lives in the tail *)
+              tail.((((i - rv) + maxres) * fields) + j)
+            else unsafe_get b (!ib + Array.unsafe_get cb j)
           in
-          strip.((t * fields) + j) <- v
-        done
+          strip.(!tb + j) <- v
+        done;
+        ib := !ib + fields;
+        tb := !tb + fields
       done;
-      for t = 0 to count - 1 do
+      let wb = ref (base_row * fields) in
+      let sb = ref 0 in
+      for _t = 0 to count - 1 do
         for j = 0 to fields - 1 do
-          unsafe_set b (((base_row + t) * fields) + j) strip.((t * fields) + j)
-        done
+          unsafe_set b (!wb + j) strip.(!sb + j)
+        done;
+        wb := !wb + fields;
+        sb := !sb + fields
       done;
       r := base_row
     done

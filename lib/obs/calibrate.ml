@@ -8,6 +8,7 @@ type t = {
   gather : probe;
   scatter : probe;
   permute : probe;
+  ghz : float option;
 }
 
 let default_elems = 1 lsl 21 (* 16 MiB of float64: past any sane L2 *)
@@ -80,6 +81,21 @@ let run_scatter ~elems ~width src dst =
     Float.Array.unsafe_set dst i (Float.Array.unsafe_get src i)
   done
 
+(* Frequency probe: a loop-carried integer-add chain retires one add
+   per cycle on any out-of-order core — the dependence through [acc]
+   serializes the adds while the trip bookkeeping fills spare issue
+   slots. Adds per nanosecond is then the effective clock in GHz, which
+   the report layer uses to turn pass nanoseconds into cycles per
+   element without ever touching a hardware counter. *)
+let spin_iters = 1 lsl 27
+
+let run_spin iters =
+  let acc = ref 0 in
+  for i = 1 to iters do
+    acc := !acc + (i lor 1)
+  done;
+  !acc
+
 (* Permuted write: sequential reads scattered through a full-buffer
    permutation — the worst traffic shape a row-permutation pass can
    produce (no two consecutive writes share a cache line). *)
@@ -133,8 +149,15 @@ let run ?(elems = default_elems) ?(repeats = default_repeats)
   let permute =
     probe_of_dt ~elems (time_best ~repeats (fun () -> run_permute ~elems perm src dst))
   in
+  let ghz =
+    let dt =
+      time_best ~repeats (fun () ->
+          ignore (Sys.opaque_identity (run_spin spin_iters)))
+    in
+    Some (float_of_int spin_iters /. dt)
+  in
   ignore (Float.Array.get dst 0);
-  { elems; repeats; panel_width; stream; gather; scatter; permute }
+  { elems; repeats; panel_width; stream; gather; scatter; permute; ghz }
 
 (* -- persistence --------------------------------------------------------- *)
 
@@ -145,22 +168,26 @@ let probe_json p =
   Printf.sprintf "{\"gbps\": %s, \"ns_per_byte\": %s}" (json_float p.gbps)
     (json_float p.ns_per_byte)
 
+(* [ghz] is emitted only when present so a pre-frequency-probe file
+   still survives [load] -> [to_json] byte-identically (and keeps its
+   fingerprint, so tuning-DB entries stamped against it stay valid). *)
 let to_json t =
-  Printf.sprintf
-    "{\n\
-    \  \"version\": 1,\n\
-    \  \"elems\": %d,\n\
-    \  \"repeats\": %d,\n\
-    \  \"panel_width\": %d,\n\
-    \  \"roofs\": {\n\
-    \    \"stream\": %s,\n\
-    \    \"gather\": %s,\n\
-    \    \"scatter\": %s,\n\
-    \    \"permute\": %s\n\
-    \  }\n\
-     }\n"
-    t.elems t.repeats t.panel_width (probe_json t.stream) (probe_json t.gather)
-    (probe_json t.scatter) (probe_json t.permute)
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"version\": 1,\n";
+  Printf.bprintf b "  \"elems\": %d,\n" t.elems;
+  Printf.bprintf b "  \"repeats\": %d,\n" t.repeats;
+  Printf.bprintf b "  \"panel_width\": %d,\n" t.panel_width;
+  (match t.ghz with
+  | None -> ()
+  | Some g -> Printf.bprintf b "  \"ghz\": %s,\n" (json_float g));
+  Buffer.add_string b "  \"roofs\": {\n";
+  Printf.bprintf b "    \"stream\": %s,\n" (probe_json t.stream);
+  Printf.bprintf b "    \"gather\": %s,\n" (probe_json t.gather);
+  Printf.bprintf b "    \"scatter\": %s,\n" (probe_json t.scatter);
+  Printf.bprintf b "    \"permute\": %s\n" (probe_json t.permute);
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b
 
 let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
 
@@ -208,7 +235,15 @@ let of_json s =
     let* gather = probe_field "gather" in
     let* scatter = probe_field "scatter" in
     let* permute = probe_field "permute" in
-    Ok { elems; repeats; panel_width; stream; gather; scatter; permute }
+    let* ghz =
+      match Json_lite.mem "ghz" j with
+      | None -> Ok None (* pre-frequency-probe calibration file *)
+      | Some v -> (
+          match Json_lite.num v with
+          | Some g when Float.is_finite g && g > 0.0 -> Ok (Some g)
+          | _ -> Error "calibration: \"ghz\" must be a positive number")
+    in
+    Ok { elems; repeats; panel_width; stream; gather; scatter; permute; ghz }
 
 (* The canonical JSON rendering is a deterministic function of the
    record (%.17g is a float round-trip fixpoint), so its digest

@@ -43,6 +43,12 @@ type t = {
   gather : probe;
   scatter : probe;
   permute : probe;
+  ghz : float option;
+      (** effective clock from the frequency probe — a loop-carried
+          integer-add chain retiring ~1 add/cycle, so adds per
+          nanosecond is GHz. [None] when loaded from a file written
+          before the probe existed; the report layer then omits the
+          cycles-per-element column rather than guess. *)
 }
 
 val default_elems : int
@@ -56,8 +62,8 @@ val default_panel_width : int
     unit test; this library cannot depend on the cpu layer). *)
 
 val run : ?elems:int -> ?repeats:int -> ?panel_width:int -> unit -> t
-(** Measure all four roofs, best-of-[repeats] each after a warm-up
-    run.
+(** Measure all four roofs plus the clock probe, best-of-[repeats]
+    each after a warm-up run ([ghz] is always [Some] on a fresh run).
     @raise Invalid_argument on degenerate sizes ([elems < 1024],
     [repeats < 1], [panel_width < 2]). *)
 

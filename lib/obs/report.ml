@@ -14,6 +14,7 @@ type row = {
   imbalance : float;
   gbps : float;
   roofline_frac : float;
+  cpe : float;
 }
 
 type t = {
@@ -21,6 +22,7 @@ type t = {
   total_ns : float;
   total_pred_touches : int;
   calibrated : bool;
+  has_cpe : bool;
 }
 
 let int_arg args key default =
@@ -106,6 +108,20 @@ let of_events ?cal evs =
               ( Roofline.achieved_gbps ~bytes ~dur_ns:p.Tracer.dur_ns,
                 Roofline.fraction cal kind ~bytes ~dur_ns:p.Tracer.dur_ns )
         in
+        (* Cycles per element: touches count each element once per
+           direction (read + write), so elements = touches / 2 — the
+           same accounting the calibration probes use. Needs the clock
+           probe; a pre-[ghz] calibration yields [nan] and no column. *)
+        let cpe =
+          match cal with
+          | Some { Calibrate.ghz = Some g; _ } when pred_touches > 0 ->
+              p.Tracer.dur_ns *. g /. (float_of_int pred_touches /. 2.0)
+          | _ -> Float.nan
+        in
+        if Float.is_finite cpe then
+          Metrics.set_gauge
+            (Metrics.gauge (Printf.sprintf "pass.%s.cpe" p.Tracer.name))
+            cpe;
         {
           seq = p.Tracer.seq;
           name = p.Tracer.name;
@@ -124,10 +140,18 @@ let of_events ?cal evs =
           imbalance;
           gbps;
           roofline_frac;
+          cpe;
         })
       passes
   in
-  { passes = rows; total_ns; total_pred_touches; calibrated = cal <> None }
+  {
+    passes = rows;
+    total_ns;
+    total_pred_touches;
+    calibrated = cal <> None;
+    has_cpe =
+      (match cal with Some { Calibrate.ghz = Some _; _ } -> true | _ -> false);
+  }
 
 let shape_string r =
   let b = Buffer.create 16 in
@@ -142,11 +166,16 @@ let render ?(show_times = true) t =
     "pass" "shape" "pred.touch" "share%" "scratch" "meas.ms" "rel.err"
     "chunks" "imbal";
   (* The roofline columns appear only on calibrated runs, so the
-     uncalibrated table stays byte-identical (the cram tests pin it). *)
+     uncalibrated table stays byte-identical (the cram tests pin it);
+     CPE additionally needs the clock probe, so reports against a
+     pre-[ghz] calibration file keep the roofline-era layout too. *)
   if t.calibrated then Printf.bprintf b " %8s %6s" "GB/s" "roofl";
+  if t.has_cpe then Printf.bprintf b " %6s" "CPE";
   Buffer.add_char b '\n';
   Printf.bprintf b "%s\n"
-    (String.make (if t.calibrated then 120 else 104) '-');
+    (String.make
+       ((if t.calibrated then 120 else 104) + if t.has_cpe then 7 else 0)
+       '-');
   let share r =
     if t.total_pred_touches = 0 then 0.0
     else
@@ -170,6 +199,10 @@ let render ?(show_times = true) t =
         if show_times && not (Float.is_nan r.gbps) then
           Printf.bprintf b " %8.2f %6.2f" r.gbps r.roofline_frac
         else Printf.bprintf b " %8s %6s" "-" "-";
+      if t.has_cpe then
+        if show_times && not (Float.is_nan r.cpe) then
+          Printf.bprintf b " %6.2f" r.cpe
+        else Printf.bprintf b " %6s" "-";
       Buffer.add_char b '\n')
     t.passes;
   Printf.bprintf b "total: %d passes, %d predicted element touches"

@@ -35,6 +35,13 @@ type row = {
   roofline_frac : float;
       (** achieved over the pass's applicable roof, in
           (0, {!Roofline.max_fraction}]; [nan] without calibration *)
+  cpe : float;
+      (** cycles per element: measured duration times the calibration's
+          [ghz] over [pred_touches / 2] elements (touches count each
+          element once per direction, the probes' own accounting).
+          [nan] without a calibration, when the calibration predates
+          the clock probe ([ghz = None]), or when the pass predicts no
+          touches. *)
 }
 
 type t = {
@@ -42,12 +49,19 @@ type t = {
   total_ns : float;
   total_pred_touches : int;
   calibrated : bool;  (** whether {!of_events} was given a calibration *)
+  has_cpe : bool;
+      (** whether the calibration carried a clock probe, i.e. the [cpe]
+          column is meaningful *)
 }
 
 val of_events : ?cal:Calibrate.t -> Tracer.event list -> t
 (** With [?cal], every pass row additionally gets achieved GB/s
     ([pred_touches * 8] bytes over measured duration) and its roofline
-    fraction against the roof {!Roofline.kind_of_pass} selects. *)
+    fraction against the roof {!Roofline.kind_of_pass} selects; when
+    the calibration carries a clock probe, each pass's cycles-per-
+    element lands in the row and is published as the
+    [pass.<name>.cpe] gauge in {!Metrics} (so the Prometheus
+    exposition exports it). *)
 
 val render : ?show_times:bool -> t -> string
 (** Fixed-width table. With [show_times:false] every wall-clock-derived
@@ -55,4 +69,6 @@ val render : ?show_times:bool -> t -> string
     calibrated GB/s / roofline columns) renders as ["-"] so the output
     is deterministic (used by the cram tests). The [GB/s] and [roofl]
     columns appear only when [t.calibrated] — an uncalibrated report is
-    byte-identical to what pre-calibration releases printed. *)
+    byte-identical to what pre-calibration releases printed. The [CPE]
+    column appears only when [t.has_cpe], so reports against a
+    pre-clock-probe calibration keep the roofline-era layout. *)

@@ -87,13 +87,14 @@ let run ?pool t ~(params : Tune_params.t) ~m ~n buf =
   | Tune_params.Fused -> (
       let c2r_side, p = plan_for t ~params ~m ~n in
       let panel_width = params.Tune_params.panel_width in
+      let tier = params.Tune_params.kernel_tier in
       match pool with
       | Some pool when Xpose_cpu.Pool.workers pool > 1 ->
-          if c2r_side then FF.c2r_pool ~panel_width pool p buf
-          else FF.r2c_pool ~panel_width pool p buf
+          if c2r_side then FF.c2r_pool ~panel_width ~tier pool p buf
+          else FF.r2c_pool ~panel_width ~tier pool p buf
       | _ ->
-          if c2r_side then FF.c2r ~panel_width p buf
-          else FF.r2c ~panel_width p buf)
+          if c2r_side then FF.c2r ~panel_width ~tier p buf
+          else FF.r2c ~panel_width ~tier p buf)
   | Tune_params.Ooc ->
       let window_bytes =
         match params.Tune_params.window_bytes with
@@ -118,8 +119,8 @@ let dispatch_batch t pool ~m ~n bufs =
     match params.Tune_params.engine with
     | Tune_params.Fused ->
         FF.transpose_batch ~split:params.Tune_params.batch_split
-          ~panel_width:params.Tune_params.panel_width ~cache:t.cache pool ~m
-          ~n bufs
+          ~panel_width:params.Tune_params.panel_width
+          ~tier:params.Tune_params.kernel_tier ~cache:t.cache pool ~m ~n bufs
     | Tune_params.Kernels | Tune_params.Cache | Tune_params.Ooc ->
         Array.iter (fun buf -> run ~pool t ~params ~m ~n buf) bufs
   end

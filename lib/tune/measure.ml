@@ -31,13 +31,14 @@ let roundtrip_single ?pool ~m ~n (params : Tune_params.t) buf =
   | Tune_params.Fused -> (
       let p = p () in
       let panel_width = params.Tune_params.panel_width in
+      let tier = params.Tune_params.kernel_tier in
       match pool with
       | Some pool when Xpose_cpu.Pool.workers pool > 1 ->
-          FF.c2r_pool ~panel_width pool p buf;
-          FF.r2c_pool ~panel_width pool p buf
+          FF.c2r_pool ~panel_width ~tier pool p buf;
+          FF.r2c_pool ~panel_width ~tier pool p buf
       | _ ->
-          FF.c2r ~panel_width p buf;
-          FF.r2c ~panel_width p buf)
+          FF.c2r ~panel_width ~tier p buf;
+          FF.r2c ~panel_width ~tier p buf)
   | Tune_params.Ooc ->
       (* The serving path stages out-of-core jobs through a file, so an
          honest ooc measurement pays the staging streams too. *)
@@ -70,8 +71,9 @@ let roundtrip_batch ~pool ~m ~n (params : Tune_params.t) bufs =
   | Tune_params.Fused ->
       let split = params.Tune_params.batch_split in
       let panel_width = params.Tune_params.panel_width in
-      FF.transpose_batch ~split ~panel_width pool ~m ~n bufs;
-      FF.transpose_batch ~split ~panel_width pool ~m:n ~n:m bufs
+      let tier = params.Tune_params.kernel_tier in
+      FF.transpose_batch ~split ~panel_width ~tier pool ~m ~n bufs;
+      FF.transpose_batch ~split ~panel_width ~tier pool ~m:n ~n:m bufs
   | Tune_params.Kernels | Tune_params.Cache | Tune_params.Ooc ->
       Array.iter (fun buf -> roundtrip_single ~pool ~m ~n params buf) bufs
 

@@ -5,16 +5,18 @@ type t = {
   widths : int list;
   splits : Tune_params.batch_split list;
   windows : int list;
+  tiers : Tune_params.kernel_tier list;
 }
 
 let default_splits = Tune_params.[ Auto; Matrix_parallel; Panel_parallel ]
 
 let make ?(engines = Tune_params.[ Kernels; Cache; Fused ])
     ?(widths = Tune_params.supported_widths) ?(splits = default_splits)
-    ?(windows = []) () =
+    ?(windows = []) ?(tiers = Tune_params.supported_tiers) () =
   if widths = [] then invalid_arg "Space.make: widths must be non-empty";
   if splits = [] then invalid_arg "Space.make: splits must be non-empty";
-  { engines; widths; splits; windows }
+  if tiers = [] then invalid_arg "Space.make: tiers must be non-empty";
+  { engines; widths; splits; windows; tiers }
 
 let candidates t ~nb =
   (* A single matrix has no batch to split; only a real batch spreads
@@ -31,11 +33,27 @@ let candidates t ~nb =
           (fun panel_width -> { Tune_params.default with engine; panel_width })
           t.widths
     | Tune_params.Fused ->
+        (* The kernel-tier axis only exists under the fused panel loops;
+           a tier's block must fit inside the panel (an 8-wide panel
+           cannot host a 16x16 tile's amortization). *)
         List.concat_map
           (fun panel_width ->
-            List.map
+            List.concat_map
               (fun batch_split ->
-                { Tune_params.default with engine; panel_width; batch_split })
+                List.filter_map
+                  (fun kernel_tier ->
+                    if Tune_params.tier_block kernel_tier > panel_width then
+                      None
+                    else
+                      Some
+                        {
+                          Tune_params.default with
+                          engine;
+                          panel_width;
+                          batch_split;
+                          kernel_tier;
+                        })
+                  t.tiers)
               splits)
           t.widths
     | Tune_params.Ooc ->
@@ -70,23 +88,28 @@ let predict_ns ~(cal : Xpose_obs.Calibrate.t) ~(rates : Pass_cost.rates) ~m ~n
   let rm = max m n and rn = min m n in
   let p = Plan.Cache.get ~params ~m:rm ~n:rn () in
   let cw = cal.Xpose_obs.Calibrate.panel_width in
-  let price ~pass_name ~width touches =
+  (* Only the passes that actually run under the candidate's kernel
+     tier (the fused panel loops) get the block discount; the row
+     shuffle is tier-independent. Non-fused candidates carry the scalar
+     tier, so [block = 1] and the discount is the identity. *)
+  let block = Tune_params.tier_block params.Tune_params.kernel_tier in
+  let price ?(block = 1) ~pass_name ~width touches =
     let kind = Xpose_obs.Roofline.kind_of_pass pass_name in
-    Pass_cost.predicted_ns_at_width rates ~kind ~calibrated_width:cw ~width
-      ~touches
+    Pass_cost.predicted_ns_at_tier rates ~kind ~calibrated_width:cw ~width
+      ~block ~touches
   in
   let w = params.Tune_params.panel_width in
   let rotate_pre =
     if Plan.coprime p then 0.0
     else
-      price ~pass_name:"rotate_pre" ~width:w
+      price ~block ~pass_name:"rotate_pre" ~width:w
         (Pass_cost.panel_rotate p ~width:w ~amount:(Plan.rotate_amount p))
   in
   let shuffle = price ~pass_name:"row_shuffle" ~width:w (Pass_cost.shuffle p) in
   match params.Tune_params.engine with
   | Tune_params.Fused ->
       rotate_pre +. shuffle
-      +. price ~pass_name:"fused_col" ~width:w (Pass_cost.fused_col p)
+      +. price ~block ~pass_name:"fused_col" ~width:w (Pass_cost.fused_col p)
   | Tune_params.Cache ->
       rotate_pre +. shuffle
       +. price ~pass_name:"col_rotate" ~width:w

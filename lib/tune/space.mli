@@ -16,6 +16,8 @@ type t = {
   widths : int list;
   splits : Tune_params.batch_split list;
   windows : int list;  (** Candidate ooc window budgets, in bytes. *)
+  tiers : Tune_params.kernel_tier list;
+      (** Candidate kernel tiers for the fused panel loops. *)
 }
 
 val make :
@@ -23,18 +25,21 @@ val make :
   ?widths:int list ->
   ?splits:Tune_params.batch_split list ->
   ?windows:int list ->
+  ?tiers:Tune_params.kernel_tier list ->
   unit ->
   t
 (** Defaults: in-RAM engines ([Kernels]/[Cache]/[Fused] — [Ooc] joins
     only when asked for, since it also needs [windows]),
     {!Tune_params.supported_widths}, the three split policies, no
-    windows.
-    @raise Invalid_argument on an empty [widths] or [splits]. *)
+    windows, {!Tune_params.supported_tiers}.
+    @raise Invalid_argument on an empty [widths], [splits] or
+    [tiers]. *)
 
 val candidates : t -> nb:int -> Tune_params.t list
 (** All candidates for a shape tuned at batch size [nb]. Always
     contains {!Tune_params.default}; [nb <= 1] collapses the split axis
-    to [Auto]. *)
+    to [Auto]. The kernel-tier axis spreads only under the fused
+    engine, restricted to tiers whose block fits the panel width. *)
 
 val predict_ns :
   cal:Xpose_obs.Calibrate.t ->
@@ -47,9 +52,12 @@ val predict_ns :
     candidate: each pass the engine would run, priced at the calibrated
     rate of its traffic class ({!Xpose_obs.Roofline.kind_of_pass} on
     the engine's own pass names), width-scaled from the calibration's
-    probe width. Monotone in every rate — perturbing the calibration
-    can reorder candidates only in the direction of the perturbed
-    traffic class (the pruning contract the property tests pin). *)
+    probe width; the fused panel passes additionally carry the
+    candidate's kernel-tier block discount
+    ({!Pass_cost.predicted_ns_at_tier}). Monotone in every rate —
+    perturbing the calibration can reorder candidates only in the
+    direction of the perturbed traffic class (the pruning contract the
+    property tests pin). *)
 
 type priced = { params : Tune_params.t; predicted_ns : float }
 

@@ -17,6 +17,7 @@ let cal_of ~stream ~gather ~scatter ~permute =
     gather = probe gather;
     scatter = probe scatter;
     permute = probe permute;
+    ghz = None;
   }
 
 (* gbps quadruple with every strided roof at or below the stream roof

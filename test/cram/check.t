@@ -4,9 +4,9 @@ split, exiting zero:
   $ xpose check > report.txt; echo "exit $?"
   exit 0
   $ tail -1 report.txt
-  checked 923: 0 violations, 0 seeded detections
+  checked 1859: 0 violations, 0 seeded detections
   $ grep -c proved report.txt
-  923
+  1859
 
 One plan line per engine and shape, one race line per engine, shape and
 lane count:
@@ -26,13 +26,13 @@ and the first conflicting pair named:
   $ xpose check --seed-race > seeded.txt 2> err.txt; echo "exit $?"
   exit 124
   $ grep -c detected seeded.txt
-  747
+  1587
   $ grep violated seeded.txt
   [1]
   $ grep '^race' seeded.txt | head -1
   race   detected  functor 2x2 @2 lanes               write/write conflict in pass col_unshuffle between chunks 0 and 1 at index 1
   $ cat err.txt
-  xpose: 747 seeded defect(s) detected
+  xpose: 1587 seeded defect(s) detected
 
 A seeded out-of-bounds access in the checked kernels must likewise be
 detected:
@@ -47,12 +47,12 @@ Shadow mode reruns the engines with every access checked:
   $ xpose check --shadow > shadow.txt; echo "exit $?"
   exit 0
   $ grep -c '^shadow' shadow.txt
-  52
+  130
 
 JSON output carries the same verdicts:
 
   $ xpose check --json | head -c 66; echo
-  {"checked":923,"violations":0,"detections":0,"entries":[{"check":"
+  {"checked":1859,"violations":0,"detections":0,"entries":[{"check":
 
 The parametric certificate families are reachable through --only
 without paying for the full bounds grid: the alias certificates prove
@@ -70,7 +70,7 @@ every split and barrier footprint for all shapes at once.
   alias  proved    barrier/block-slots                20 obligations proved for all shapes: strided block-slot footprints are disjoint within and across repetitions for every block width, repetition count and lane count
   alias  proved    barrier/ooc-windows                4 obligations proved for all shapes: row-window and stripe file footprints are disjoint and within the file for every shape and window budget (column panels reduce to the window split on columns)
   alias  proved    barrier/scratch-slots              2 obligations proved for all shapes: per-lane workspace slices are pairwise disjoint and within the pool for every slot size and lane count
-  alias  proved    regions/workspace-matrix           171 structural checks: regions are distinct allocations and every access names a declared one (cross-region disjointness by construction, in-region bounds by the Bounds grid)
+  alias  proved    regions/workspace-matrix           198 structural checks: regions are distinct allocations and every access names a declared one (cross-region disjointness by construction, in-region bounds by the Bounds grid)
   checked 10: 0 violations, 0 seeded detections
 
 With --seed-race the alias prover must refute the seeded splits with a

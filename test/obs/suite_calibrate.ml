@@ -78,6 +78,39 @@ let test_of_json_rejects_hostile () =
     (Calibrate.to_json
        { cal with stream = { gbps = -1.0; ns_per_byte = -1.0 } })
 
+(* The clock probe: fresh runs always measure one; files written before
+   the probe existed (no "ghz" member) must still load — with the CPE
+   machinery disabled — and re-serialise byte-identically so their
+   fingerprint (and every tuning-DB entry stamped with it) survives. *)
+let test_ghz_probe_and_pre_ghz_files () =
+  let cal = small_cal () in
+  (match cal.Calibrate.ghz with
+  | Some g ->
+      Alcotest.(check bool)
+        "measured ghz positive and finite" true
+        (Float.is_finite g && g > 0.0)
+  | None -> Alcotest.fail "a fresh run must measure ghz");
+  let with_ghz = Calibrate.to_json cal in
+  let pre_ghz_json =
+    (* strip the "ghz" line: exactly what an old file looks like *)
+    String.concat "\n"
+      (List.filter
+         (fun line ->
+           let t = String.trim line in
+           not (String.length t >= 5 && String.sub t 0 5 = "\"ghz\""))
+         (String.split_on_char '\n' with_ghz))
+  in
+  (match Calibrate.of_json pre_ghz_json with
+  | Error e -> Alcotest.failf "pre-ghz file rejected: %s" e
+  | Ok old ->
+      Alcotest.(check bool) "pre-ghz file loads as None" true
+        (old.Calibrate.ghz = None);
+      Alcotest.(check string) "pre-ghz round-trip is a fixpoint" pre_ghz_json
+        (Calibrate.to_json old));
+  match Calibrate.of_json (replace_first "\"ghz\": " "\"ghz\": -" with_ghz) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative ghz must be rejected"
+
 let test_save_load () =
   let cal = small_cal () in
   let file = Filename.temp_file "xpose_cal" ".json" in
@@ -104,5 +137,7 @@ let tests =
       test_json_round_trip_fixpoint;
     Alcotest.test_case "of_json rejects hostile input" `Quick
       test_of_json_rejects_hostile;
+    Alcotest.test_case "clock probe and pre-ghz files" `Quick
+      test_ghz_probe_and_pre_ghz_files;
     Alcotest.test_case "save/load round-trips" `Quick test_save_load;
   ]

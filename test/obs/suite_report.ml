@@ -127,6 +127,7 @@ let synthetic_cal =
     gather = probe 0.5;
     scatter = probe 1.0;
     permute = probe 1.0;
+    ghz = None;
   }
 
 let test_roofline_columns () =
@@ -171,6 +172,39 @@ let test_roofline_columns () =
   in
   Alcotest.(check bool) "GB/s header" true (has rendered "GB/s");
   Alcotest.(check bool) "roofl header" true (has rendered "roofl")
+
+(* A clock probe turns nanoseconds into cycles: with ghz = 2 and 100
+   touches = 50 elements, a 2000 ns pass is 4000 cycles -> CPE 80. *)
+let test_cpe_column () =
+  let cal = { synthetic_cal with Calibrate.ghz = Some 2.0 } in
+  let events = [ ev ~seq:0 ~ts:0.0 ~dur:2000.0 ~args:(pred 100) "plain" ] in
+  let r = Report.of_events ~cal events in
+  Alcotest.(check bool) "has_cpe" true r.Report.has_cpe;
+  (match r.Report.passes with
+  | [ row ] -> Alcotest.(check (float 1e-9)) "cpe" 80.0 row.Report.cpe
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows));
+  let has s sub =
+    let nn = String.length sub in
+    let rec go i =
+      i + nn <= String.length s && (String.sub s i nn = sub || go (i + 1))
+    in
+    go 0
+  in
+  let rendered = Report.render ~show_times:true r in
+  Alcotest.(check bool) "CPE header" true (has rendered "CPE");
+  Alcotest.(check bool)
+    "CPE value rendered" true
+    (has rendered "80.00");
+  (* the gauge is published for the exposition *)
+  Alcotest.(check (float 1e-9))
+    "pass.plain.cpe gauge" 80.0
+    (Metrics.gauge_value (Metrics.gauge "pass.plain.cpe"));
+  (* a ghz-less calibration keeps the roofline-era layout *)
+  let r' = Report.of_events ~cal:synthetic_cal events in
+  Alcotest.(check bool) "no cpe without ghz" false r'.Report.has_cpe;
+  Alcotest.(check bool)
+    "no CPE column without ghz" false
+    (has (Report.render ~show_times:true r') "CPE")
 
 let test_uncalibrated_rows_are_nan () =
   let events = [ ev ~seq:0 ~ts:0.0 ~dur:2000.0 ~args:(pred 100) "plain" ] in
@@ -227,6 +261,8 @@ let tests =
       test_c2r_paper_shape;
     Alcotest.test_case "calibrated rows carry roofline columns" `Quick
       test_roofline_columns;
+    Alcotest.test_case "clock probe adds the CPE column and gauge" `Quick
+      test_cpe_column;
     Alcotest.test_case "uncalibrated rows stay nan" `Quick
       test_uncalibrated_rows_are_nan;
     Alcotest.test_case "render without times is deterministic" `Quick

@@ -19,6 +19,7 @@ let tuned =
     panel_width = 32;
     batch_split = Tune_params.Hybrid 3;
     window_bytes = Some (1 lsl 22);
+    kernel_tier = Tune_params.Mk16;
   }
 
 let test_roundtrip () =
@@ -45,6 +46,25 @@ let test_roundtrip () =
             e.Db.default_ns);
       Alcotest.(check string)
         "serialization is deterministic" json (Db.to_json db')
+
+let test_pre_tier_entries_load () =
+  (* DBs written before the kernel-tier axis carry no "kernel_tier"
+     field; they must load as scalar-tier entries, not errors. *)
+  let json =
+    "{\"version\": 1, \"fingerprint\": \"fp\", \"entries\": [{\"m\": 8, \
+     \"n\": 6, \"nb\": 1, \"engine\": \"fused\", \"panel_width\": 16, \
+     \"batch_split\": \"auto\", \"predicted_ns\": 1.0, \"measured_ns\": 1.0, \
+     \"default_ns\": 1.0, \"roofline_frac\": 0.5}]}"
+  in
+  match Db.of_json json with
+  | Error msg -> Alcotest.failf "pre-tier DB rejected: %s" msg
+  | Ok db -> (
+      match Db.find db ~m:8 ~n:6 with
+      | Some e ->
+          Alcotest.(check bool)
+            "defaults to scalar tier" true
+            (e.Db.params.Tune_params.kernel_tier = Tune_params.Scalar)
+      | None -> Alcotest.fail "entry missing")
 
 let test_add_replaces () =
   let db = Db.create ~fingerprint:"f" in
@@ -142,6 +162,8 @@ let test_validation () =
 let tests =
   [
     Alcotest.test_case "JSON round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "pre-tier DBs load as scalar" `Quick
+      test_pre_tier_entries_load;
     Alcotest.test_case "add replaces per shape" `Quick test_add_replaces;
     Alcotest.test_case "hostile bytes are errors" `Quick test_hostile_bytes;
     Alcotest.test_case "load: fresh / loaded / invalidated" `Quick

@@ -12,6 +12,7 @@ let cal =
     gather = probe 16.0;
     scatter = probe 10.0;
     permute = probe 8.0;
+    ghz = None;
   }
 
 let rates = Pass_cost.rates_of_calibration cal
